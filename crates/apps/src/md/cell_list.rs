@@ -1,0 +1,187 @@
+//! Cell-list spatial partitioning for neighbor search.
+//!
+//! Divides the periodic box into a grid of cells at least one cutoff wide, so
+//! all interactions within the cutoff lie in the 27 surrounding cells. At the
+//! paper's parameters (cutoff one third of the box) the pruning is modest, but
+//! the structure keeps neighbor counting exact and scales properly for the
+//! denser/shorter-cutoff configurations the benchmark ablations explore.
+
+use crate::md::system::{min_image_vec, Vec3};
+
+/// A cell list over a set of positions in a periodic cubic box.
+#[derive(Debug, Clone)]
+pub struct CellList {
+    cells: Vec<Vec<u32>>,
+    n_side: usize,
+    box_len: f64,
+}
+
+impl CellList {
+    /// Build a cell list with cells at least `cutoff` wide.
+    ///
+    /// Panics if the cutoff is not in `(0, box_len]` or positions are empty.
+    pub fn build(positions: &[Vec3], box_len: f64, cutoff: f64) -> Self {
+        assert!(!positions.is_empty(), "cell list needs at least one particle");
+        assert!(
+            cutoff > 0.0 && cutoff <= box_len,
+            "cutoff must be in (0, box_len], got {cutoff} for box {box_len}"
+        );
+        let n_side = ((box_len / cutoff).floor() as usize).max(1);
+        let mut cells = vec![Vec::new(); n_side * n_side * n_side];
+        for (i, p) in positions.iter().enumerate() {
+            cells[Self::cell_index_of(p, box_len, n_side)].push(i as u32);
+        }
+        Self { cells, n_side, box_len }
+    }
+
+    fn cell_index_of(p: &Vec3, box_len: f64, n_side: usize) -> usize {
+        let coord = |v: f64| -> usize {
+            let c = (v.rem_euclid(box_len) / box_len * n_side as f64) as usize;
+            c.min(n_side - 1)
+        };
+        (coord(p.x) * n_side + coord(p.y)) * n_side + coord(p.z)
+    }
+
+    /// Cells per box edge.
+    pub fn cells_per_side(&self) -> usize {
+        self.n_side
+    }
+
+    /// Visit every particle index in the 27-cell neighborhood of particle
+    /// `i`'s cell (including `i` itself; callers skip it).
+    pub fn for_each_candidate<F: FnMut(u32)>(&self, p: &Vec3, mut f: F) {
+        let n = self.n_side as isize;
+        let coord = |v: f64| -> isize {
+            let c = (v.rem_euclid(self.box_len) / self.box_len * self.n_side as f64) as isize;
+            c.min(n - 1)
+        };
+        let (cx, cy, cz) = (coord(p.x), coord(p.y), coord(p.z));
+        // With fewer than 3 cells per side, offsets alias the same cell; visit
+        // each distinct cell once.
+        let span: Vec<isize> = if n >= 3 { vec![-1, 0, 1] } else { (0..n).collect() };
+        for &dx in &span {
+            for &dy in &span {
+                for &dz in &span {
+                    let (x, y, z) = if n >= 3 {
+                        ((cx + dx).rem_euclid(n), (cy + dy).rem_euclid(n), (cz + dz).rem_euclid(n))
+                    } else {
+                        (dx, dy, dz)
+                    };
+                    let idx = ((x * n + y) * n + z) as usize;
+                    for &j in &self.cells[idx] {
+                        f(j);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Exact near-neighbor count for each particle: how many others lie within
+/// `cutoff` (minimum-image metric). This is the data-dependent quantity the MD
+/// hardware kernel's cycle count hinges on.
+pub fn neighbor_counts(positions: &[Vec3], box_len: f64, cutoff: f64) -> Vec<u32> {
+    let list = CellList::build(positions, box_len, cutoff);
+    let c2 = cutoff * cutoff;
+    positions
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let mut count = 0u32;
+            list.for_each_candidate(p, |j| {
+                if j as usize != i {
+                    let d = min_image_vec(*p - positions[j as usize], box_len);
+                    if d.norm2() < c2 {
+                        count += 1;
+                    }
+                }
+            });
+            count
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Brute-force reference count.
+    fn brute_counts(positions: &[Vec3], box_len: f64, cutoff: f64) -> Vec<u32> {
+        let c2 = cutoff * cutoff;
+        positions
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                positions
+                    .iter()
+                    .enumerate()
+                    .filter(|&(j, q)| {
+                        j != i && min_image_vec(*p - *q, box_len).norm2() < c2
+                    })
+                    .count() as u32
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_brute_force_small_cutoff() {
+        let s = crate::md::system::System::random(400, 1.0, 101);
+        let cl = neighbor_counts(&s.positions, 1.0, 0.12);
+        let bf = brute_counts(&s.positions, 1.0, 0.12);
+        assert_eq!(cl, bf);
+    }
+
+    #[test]
+    fn matches_brute_force_paper_cutoff() {
+        // Cutoff one third of the box: only 3 cells per side.
+        let s = crate::md::system::System::random(300, 1.0, 102);
+        let cl = neighbor_counts(&s.positions, 1.0, 0.329);
+        let bf = brute_counts(&s.positions, 1.0, 0.329);
+        assert_eq!(cl, bf);
+    }
+
+    #[test]
+    fn matches_brute_force_huge_cutoff() {
+        // Cutoff over half the box collapses to one or two cells per side.
+        let s = crate::md::system::System::random(150, 1.0, 103);
+        let cl = neighbor_counts(&s.positions, 1.0, 0.8);
+        let bf = brute_counts(&s.positions, 1.0, 0.8);
+        assert_eq!(cl, bf);
+    }
+
+    #[test]
+    fn mean_count_tracks_cutoff_volume() {
+        // For uniform density, mean near count ~ (N-1) * (4/3) pi r^3 / V.
+        let n = 4000;
+        let s = crate::md::system::System::random(n, 1.0, 104);
+        let counts = neighbor_counts(&s.positions, 1.0, 0.2);
+        let mean: f64 = counts.iter().map(|&c| c as f64).sum::<f64>() / n as f64;
+        let expect = (n - 1) as f64 * (4.0 / 3.0) * std::f64::consts::PI * 0.2f64.powi(3);
+        assert!(
+            (mean - expect).abs() / expect < 0.05,
+            "mean {mean:.1} vs expectation {expect:.1}"
+        );
+    }
+
+    #[test]
+    fn two_particles_across_the_boundary_see_each_other() {
+        let positions = vec![Vec3::new(0.02, 0.5, 0.5), Vec3::new(0.98, 0.5, 0.5)];
+        let counts = neighbor_counts(&positions, 1.0, 0.1);
+        assert_eq!(counts, vec![1, 1]);
+    }
+
+    #[test]
+    fn cells_per_side_scales_inverse_to_cutoff() {
+        let s = crate::md::system::System::random(100, 1.0, 105);
+        assert_eq!(CellList::build(&s.positions, 1.0, 0.1).cells_per_side(), 10);
+        assert_eq!(CellList::build(&s.positions, 1.0, 0.329).cells_per_side(), 3);
+        assert_eq!(CellList::build(&s.positions, 1.0, 0.9).cells_per_side(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "cutoff")]
+    fn oversized_cutoff_panics() {
+        let s = crate::md::system::System::random(10, 1.0, 106);
+        CellList::build(&s.positions, 1.0, 1.5);
+    }
+}

@@ -1,0 +1,228 @@
+//! Lennard-Jones force evaluation with the paper's early-out structure.
+//!
+//! Every pair is distance-checked; pairs beyond the cutoff cost only that
+//! check ("distant molecules are assumed to have negligible interaction and
+//! therefore require less computational effort"), pairs within it run the full
+//! 12-6 Lennard-Jones force kernel. The same structure drives the hardware
+//! op-counting model: [`OPS_PER_DISTANT`] per rejected pair,
+//! [`OPS_PER_NEAR`] per computed interaction.
+
+use crate::md::cell_list::CellList;
+use crate::md::system::{min_image_vec, System, Vec3};
+use rayon::prelude::*;
+
+/// Lennard-Jones parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LjParams {
+    /// Well depth.
+    pub epsilon: f64,
+    /// Zero-crossing distance.
+    pub sigma: f64,
+    /// Interaction cutoff radius.
+    pub cutoff: f64,
+}
+
+impl LjParams {
+    /// Parameters matching the case study's box-relative scales.
+    pub fn paper_scale() -> Self {
+        Self { epsilon: 1.0e-4, sigma: 0.05, cutoff: crate::md::CUTOFF }
+    }
+}
+
+/// Operations charged per pair rejected by the distance check
+/// (3 subtractions folded with the compare in hardware).
+pub const OPS_PER_DISTANT: u64 = 3;
+
+/// Operations charged per pair inside the cutoff: the full force kernel
+/// (distance, reciprocals, 12-6 terms, 3-component accumulate). Together with
+/// [`OPS_PER_DISTANT`] and the ~2,444 mean near-neighbors of the paper-scale
+/// system, this reproduces Table 8's 164,000 ops/element.
+pub const OPS_PER_NEAR: u64 = 47;
+
+/// Force on each particle plus total potential energy. Sequential.
+pub fn compute_forces(system: &System, params: &LjParams) -> (Vec<Vec3>, f64) {
+    let list = CellList::build(&system.positions, system.box_len, params.cutoff);
+    let results: Vec<(Vec3, f64)> = (0..system.len())
+        .map(|i| particle_force(system, params, &list, i))
+        .collect();
+    collect_forces(results)
+}
+
+/// Force on each particle plus total potential energy, parallel over
+/// particles.
+pub fn compute_forces_parallel(system: &System, params: &LjParams) -> (Vec<Vec3>, f64) {
+    let list = CellList::build(&system.positions, system.box_len, params.cutoff);
+    let results: Vec<(Vec3, f64)> = (0..system.len())
+        .into_par_iter()
+        .map(|i| particle_force(system, params, &list, i))
+        .collect();
+    collect_forces(results)
+}
+
+fn collect_forces(results: Vec<(Vec3, f64)>) -> (Vec<Vec3>, f64) {
+    let mut forces = Vec::with_capacity(results.len());
+    let mut potential = 0.0;
+    for (f, u) in results {
+        forces.push(f);
+        potential += u;
+    }
+    // Each pair's potential was counted from both ends.
+    (forces, potential * 0.5)
+}
+
+/// Force and (double-counted) potential contribution on particle `i`.
+fn particle_force(
+    system: &System,
+    params: &LjParams,
+    list: &CellList,
+    i: usize,
+) -> (Vec3, f64) {
+    let c2 = params.cutoff * params.cutoff;
+    let p = system.positions[i];
+    let mut force = Vec3::ZERO;
+    let mut potential = 0.0;
+    list.for_each_candidate(&p, |j| {
+        let j = j as usize;
+        if j == i {
+            return;
+        }
+        let d = min_image_vec(p - system.positions[j], system.box_len);
+        let r2 = d.norm2();
+        if r2 >= c2 || r2 == 0.0 {
+            return; // the early-out the op model charges OPS_PER_DISTANT for
+        }
+        let sr2 = params.sigma * params.sigma / r2;
+        let sr6 = sr2 * sr2 * sr2;
+        let sr12 = sr6 * sr6;
+        // F = 24 eps (2 (s/r)^12 - (s/r)^6) / r^2 * d
+        let f_over_r = 24.0 * params.epsilon * (2.0 * sr12 - sr6) / r2;
+        force += d * f_over_r;
+        potential += 4.0 * params.epsilon * (sr12 - sr6);
+    });
+    (force, potential)
+}
+
+/// The hardware op-counting model: operations for one molecule with
+/// `near` neighbors in an `n`-molecule system.
+pub fn ops_for_molecule(near: u32, n: usize) -> u64 {
+    OPS_PER_DISTANT * (n as u64 - 1 - near as u64) + OPS_PER_NEAR * near as u64
+        + OPS_PER_DISTANT * near as u64
+    // Near pairs also pay the distance check before the kernel.
+}
+
+/// Total hardware operations for a system given its per-molecule near counts.
+pub fn total_ops(near_counts: &[u32], n: usize) -> u64 {
+    near_counts.iter().map(|&c| ops_for_molecule(c, n)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::md::system::System;
+
+    fn small_system() -> (System, LjParams) {
+        let s = System::random(400, 1.0, 201);
+        let p = LjParams { epsilon: 1.0e-4, sigma: 0.05, cutoff: 0.25 };
+        (s, p)
+    }
+
+    #[test]
+    fn forces_sum_to_zero() {
+        // Newton's third law: internal forces cancel (to rounding, relative to
+        // the largest individual force — close pairs make huge LJ forces).
+        let (s, p) = small_system();
+        let (forces, _) = compute_forces(&s, &p);
+        let net = forces.iter().fold(Vec3::ZERO, |a, &f| a + f);
+        let scale = forces
+            .iter()
+            .map(|f| f.norm2().sqrt())
+            .fold(0.0f64, f64::max)
+            .max(1e-30);
+        assert!(
+            net.norm2().sqrt() / scale < 1e-9,
+            "net force {net:?} vs max |F| {scale:.3e}"
+        );
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let (s, p) = small_system();
+        let (fs, us) = compute_forces(&s, &p);
+        let (fp, up) = compute_forces_parallel(&s, &p);
+        assert!((us - up).abs() < 1e-12 * us.abs().max(1.0));
+        for (a, b) in fs.iter().zip(&fp) {
+            assert!(((*a - *b).norm2()).sqrt() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn two_particles_at_sigma_repel_then_attract() {
+        let p = LjParams { epsilon: 1.0, sigma: 0.05, cutoff: 0.4 };
+        let mk = |r: f64| System {
+            positions: vec![Vec3::new(0.3, 0.5, 0.5), Vec3::new(0.3 + r, 0.5, 0.5)],
+            velocities: vec![Vec3::ZERO; 2],
+            accelerations: vec![Vec3::ZERO; 2],
+            box_len: 1.0,
+        };
+        // Inside the well minimum (r < 2^(1/6) sigma): repulsive.
+        let (f, _) = compute_forces(&mk(0.045), &p);
+        assert!(f[0].x < 0.0, "should push particle 0 left, got {:?}", f[0]);
+        // Outside the minimum: attractive.
+        let (f, _) = compute_forces(&mk(0.08), &p);
+        assert!(f[0].x > 0.0, "should pull particle 0 right, got {:?}", f[0]);
+    }
+
+    #[test]
+    fn potential_minimum_at_r_min() {
+        let p = LjParams { epsilon: 1.0, sigma: 0.05, cutoff: 0.4 };
+        let u = |r: f64| {
+            let s = System {
+                positions: vec![Vec3::new(0.3, 0.5, 0.5), Vec3::new(0.3 + r, 0.5, 0.5)],
+                velocities: vec![Vec3::ZERO; 2],
+                accelerations: vec![Vec3::ZERO; 2],
+                box_len: 1.0,
+            };
+            compute_forces(&s, &p).1
+        };
+        let r_min = 0.05 * 2.0f64.powf(1.0 / 6.0);
+        assert!(u(r_min) < u(r_min * 0.95));
+        assert!(u(r_min) < u(r_min * 1.05));
+        assert!((u(r_min) - (-1.0)).abs() < 1e-9, "well depth should be -epsilon");
+    }
+
+    #[test]
+    fn beyond_cutoff_no_interaction() {
+        let p = LjParams { epsilon: 1.0, sigma: 0.05, cutoff: 0.1 };
+        let s = System {
+            positions: vec![Vec3::new(0.2, 0.5, 0.5), Vec3::new(0.5, 0.5, 0.5)],
+            velocities: vec![Vec3::ZERO; 2],
+            accelerations: vec![Vec3::ZERO; 2],
+            box_len: 1.0,
+        };
+        let (f, u) = compute_forces(&s, &p);
+        assert_eq!(f[0], Vec3::ZERO);
+        assert_eq!(u, 0.0);
+    }
+
+    #[test]
+    fn op_model_reproduces_paper_estimate_at_scale() {
+        // Mean near count at the paper's parameters is ~2444, making
+        // ops/molecule ~ 3*16383 + (47+3)*2444 ~ 171k... the model charges the
+        // distance check on every pair (near and far) plus the kernel on near:
+        // 3*(N-1) + 47*near = 49149 + 114868 = 164017 ~ Table 8's 164000.
+        let near = 2444;
+        let ops = ops_for_molecule(near, crate::md::N_MOLECULES);
+        assert!(
+            (ops as f64 - 164_000.0).abs() / 164_000.0 < 0.01,
+            "ops/molecule {ops} should be within 1% of the paper's 164,000"
+        );
+    }
+
+    #[test]
+    fn total_ops_sums_per_molecule() {
+        let counts = vec![10, 20, 30];
+        let total = total_ops(&counts, 100);
+        let by_hand: u64 = counts.iter().map(|&c| ops_for_molecule(c, 100)).sum();
+        assert_eq!(total, by_hand);
+    }
+}

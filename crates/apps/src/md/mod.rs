@@ -1,0 +1,33 @@
+//! The molecular-dynamics case study (paper §5.2).
+//!
+//! MD is the paper's stress test for RAT: the computation per molecule depends
+//! on the *data* (how many other molecules sit within interaction range), so
+//! `ops_per_element` can only be estimated, and `throughput_proc` is used as a
+//! tuning knob — "50 is the quantitative value computed by the equations to
+//! achieve the desired overall speedup of approximately 10x".
+//!
+//! This module implements the substrate for real: a Lennard-Jones particle
+//! system with periodic boundaries ([`system`]), cell-list neighbor search
+//! ([`cell_list`]), force evaluation with the paper's early-out structure
+//! ([`forces`]), velocity-Verlet integration ([`integrate`]), the
+//! data-dependent hardware kernel model ([`hw`]), and the Table-8 worksheet
+//! input ([`rat`]).
+
+pub mod cell_list;
+pub mod forces;
+pub mod hw;
+pub mod integrate;
+pub mod rat;
+pub mod system;
+
+/// Molecules in the paper's dataset: "small but still scientifically
+/// interesting".
+pub const N_MOLECULES: usize = 16_384;
+
+/// Interaction cutoff radius (box units). Chosen so the mean near-neighbor
+/// count over a uniform unit box (~2,444) reproduces the paper's estimated
+/// 164,000 operations per molecule under the op-counting model in [`forces`].
+pub const CUTOFF: f64 = 0.329;
+
+/// Simulation box edge length (periodic cube).
+pub const BOX_LEN: f64 = 1.0;

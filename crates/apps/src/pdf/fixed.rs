@@ -1,0 +1,355 @@
+//! The fixed-point PDF datapath, bit-accurately modelled.
+//!
+//! The paper's hardware uses 18-bit fixed point "so that only one Xilinx 18x18
+//! multiply-accumulate (MAC) unit would be needed per multiplication", after
+//! establishing its maximum error (~2%) was acceptable. This module models
+//! that datapath:
+//!
+//! - samples and bin centers quantized to `Q0.17` (18 bits),
+//! - the difference `d = b - x` held exactly (the DSP pre-adder's full width),
+//! - the squared distance compared against a cutoff and used to index a
+//!   Gaussian lookup table whose entries are `Q0.17`-quantized,
+//! - accumulation in the DSP48's 48-bit accumulator (exact).
+//!
+//! Error therefore comes from input quantization, LUT value quantization, and
+//! LUT index resolution — the same sources a real implementation has. The
+//! datapath is parameterized over fractional width so the RAT precision test
+//! can sweep candidate formats (reproducing the paper's 18-vs-32-bit study).
+
+use crate::pdf::parzen::gaussian_kernel;
+use fixedpoint::{ErrorStats, Fx, Overflow, QFormat, Rounding};
+
+/// Kernel lookup-table entries for a datapath with `frac_bits` fractional
+/// bits. A real design sizes the LUT to the datapath: the table is addressed
+/// by the top half of the squared-distance word, so its depth grows with the
+/// format (clamped to one physical BRAM's worth). The paper's 18-bit format
+/// gets 512 entries — half a BRAM18.
+pub fn lut_size_for(frac_bits: u32) -> usize {
+    1usize << (frac_bits.div_ceil(2)).clamp(4, 12)
+}
+
+/// Kernel support cutoff in bandwidths: beyond `CUTOFF_BW * h` the Gaussian is
+/// treated as zero (at 5 bandwidths it is below 4e-6 of the peak).
+pub const CUTOFF_BW: f64 = 5.0;
+
+/// A fixed-point Parzen datapath with a given data format.
+#[derive(Debug, Clone)]
+pub struct FixedParzen1d {
+    fmt: QFormat,
+    h: f64,
+    cutoff2: f64,
+    /// LUT of kernel values, normalized to peak 1.0, quantized to `fmt`.
+    lut: Vec<Fx>,
+    /// Peak kernel value, multiplied back in during normalization.
+    peak: f64,
+}
+
+impl FixedParzen1d {
+    /// Build the datapath for bandwidth `h` at the paper's 18-bit format.
+    pub fn paper_18bit(h: f64) -> Self {
+        Self::with_format(QFormat::signed(0, 17).expect("Q0.17 is valid"), h)
+    }
+
+    /// Build the datapath for bandwidth `h` with data format `fmt`
+    /// (must be a signed sub-unity format, `Q0.f`).
+    pub fn with_format(fmt: QFormat, h: f64) -> Self {
+        assert!(h > 0.0, "bandwidth must be positive");
+        assert!(fmt.is_signed() && fmt.int_bits() == 0, "data format must be Q0.f");
+        let peak = gaussian_kernel(0.0, h);
+        let cutoff2 = (CUTOFF_BW * h) * (CUTOFF_BW * h);
+        let lut_size = lut_size_for(fmt.frac_bits());
+        let lut = (0..lut_size)
+            .map(|i| {
+                // Table entry i covers squared distances
+                // [i, i+1) * cutoff2 / lut_size; store the midpoint value.
+                let d2 = (i as f64 + 0.5) * cutoff2 / lut_size as f64;
+                let v = gaussian_kernel(d2, h) / peak;
+                Fx::from_f64(v, fmt, Rounding::Nearest, Overflow::Saturate)
+            })
+            .collect();
+        Self { fmt, h, cutoff2, lut, peak }
+    }
+
+    /// The data format in use.
+    pub fn format(&self) -> QFormat {
+        self.fmt
+    }
+
+    /// The bandwidth.
+    pub fn bandwidth(&self) -> f64 {
+        self.h
+    }
+
+    /// Kernel value (normalized to peak 1.0) the hardware produces for one
+    /// (bin, sample) pair.
+    fn kernel_fx(&self, bin_q: f64, x_q: f64) -> Option<Fx> {
+        // The difference and its square are exact in the DSP's full width.
+        let d = bin_q - x_q;
+        let s = d * d;
+        if s >= self.cutoff2 {
+            return None; // beyond LUT support: hardware contributes zero
+        }
+        let idx = (s / self.cutoff2 * self.lut.len() as f64) as usize;
+        Some(self.lut[idx.min(self.lut.len() - 1)])
+    }
+
+    /// Run the full fixed-point estimate: quantize inputs, accumulate each
+    /// kernel value in a 48-bit accumulator (exact: entries are multiples of
+    /// one ULP), normalize at the end.
+    pub fn estimate(&self, samples: &[f64], bins: &[f64]) -> Vec<f64> {
+        let q = |v: f64| {
+            Fx::from_f64(v, self.fmt, Rounding::Nearest, Overflow::Saturate).to_f64()
+        };
+        let norm = self.peak / samples.len().max(1) as f64;
+        bins.iter()
+            .map(|&b| {
+                let bq = q(b);
+                // 48-bit accumulation of Q0.f entries is exact for any block
+                // size below 2^(47-f); model it as an i64 sum of raw values.
+                let mut acc_raw: i64 = 0;
+                for &x in samples {
+                    if let Some(k) = self.kernel_fx(bq, q(x)) {
+                        acc_raw += k.raw();
+                    }
+                }
+                acc_raw as f64 * self.fmt.ulp() * norm
+            })
+            .collect()
+    }
+
+    /// Error of this datapath against the `f64` reference on the same data.
+    pub fn error_vs_reference(&self, samples: &[f64], bins: &[f64]) -> ErrorStats {
+        let reference = crate::pdf::parzen::estimate_1d(samples, bins, self.h);
+        let quantized = self.estimate(samples, bins);
+        // Relative error on near-zero density values is meaningless (and the
+        // paper's ~2% figure is against the PDF's meaningful range), so
+        // compare only bins with non-negligible reference density.
+        let floor = reference.iter().cloned().fold(0.0, f64::max) * 1e-3;
+        let mut stats = ErrorStats::new();
+        for (&r, &q) in reference.iter().zip(&quantized) {
+            if r > floor {
+                stats.record(r, q);
+            }
+        }
+        stats
+    }
+}
+
+/// Precision-test evaluation hook: error of a `Q0.(bits-1)` datapath on a
+/// standard workload. Suitable for [`rat_core::precision::precision_test`].
+pub fn precision_eval(fmt: QFormat, samples: &[f64], bins: &[f64], h: f64) -> ErrorStats {
+    FixedParzen1d::with_format(fmt, h).error_vs_reference(samples, bins)
+}
+
+/// The 2-D fixed-point datapath: same quantization discipline as the 1-D
+/// design (inputs and LUT entries in `Q0.f`, exact squared distances, exact
+/// 48-bit accumulation), with the squared distance summed over both
+/// dimensions before the LUT lookup — exactly the `(N1-n1)^2 + (N2-n2)^2`
+/// structure §5.1 describes.
+#[derive(Debug, Clone)]
+pub struct FixedParzen2d {
+    inner: FixedParzen1d,
+}
+
+impl FixedParzen2d {
+    /// Build the 2-D datapath at the paper's 18-bit format.
+    pub fn paper_18bit(h: f64) -> Self {
+        Self { inner: FixedParzen1d::paper_18bit(h) }
+    }
+
+    /// Build with an explicit data format.
+    pub fn with_format(fmt: QFormat, h: f64) -> Self {
+        Self { inner: FixedParzen1d::with_format(fmt, h) }
+    }
+
+    /// Run the fixed-point 2-D estimate over the `bins_x` x `bins_y` grid
+    /// (x-major ordering, matching [`crate::pdf::parzen::estimate_2d`]).
+    pub fn estimate(&self, samples: &[(f64, f64)], bins_x: &[f64], bins_y: &[f64]) -> Vec<f64> {
+        let fmt = self.inner.fmt;
+        let q =
+            |v: f64| Fx::from_f64(v, fmt, Rounding::Nearest, Overflow::Saturate).to_f64();
+        // 2-D normalization: peak of the 2-D kernel.
+        let peak2 = crate::pdf::parzen::gaussian_kernel_2d(0.0, self.inner.h);
+        let norm = peak2 / samples.len().max(1) as f64;
+        let qsamples: Vec<(f64, f64)> = samples.iter().map(|&(x, y)| (q(x), q(y))).collect();
+        let mut out = Vec::with_capacity(bins_x.len() * bins_y.len());
+        for &bx in bins_x {
+            let bxq = q(bx);
+            for &by in bins_y {
+                let byq = q(by);
+                let mut acc_raw: i64 = 0;
+                for &(xq, yq) in &qsamples {
+                    let dx = bxq - xq;
+                    let dy = byq - yq;
+                    let s = dx * dx + dy * dy;
+                    if s >= self.inner.cutoff2 {
+                        continue;
+                    }
+                    let idx = (s / self.inner.cutoff2 * self.inner.lut.len() as f64) as usize;
+                    acc_raw += self.inner.lut[idx.min(self.inner.lut.len() - 1)].raw();
+                }
+                out.push(acc_raw as f64 * fmt.ulp() * norm);
+            }
+        }
+        out
+    }
+
+    /// Error against the f64 2-D reference on the same data (bins with
+    /// negligible reference density are excluded from relative error, as in
+    /// the 1-D path).
+    pub fn error_vs_reference(
+        &self,
+        samples: &[(f64, f64)],
+        bins_x: &[f64],
+        bins_y: &[f64],
+    ) -> ErrorStats {
+        let reference =
+            crate::pdf::parzen::estimate_2d(samples, bins_x, bins_y, self.inner.h);
+        let quantized = self.estimate(samples, bins_x, bins_y);
+        let floor = reference.iter().cloned().fold(0.0, f64::max) * 1e-3;
+        let mut stats = ErrorStats::new();
+        for (&r, &q) in reference.iter().zip(&quantized) {
+            if r > floor {
+                stats.record(r, q);
+            }
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datagen::bimodal_samples;
+    use crate::pdf::{bin_centers, BANDWIDTH};
+
+    fn workload() -> (Vec<f64>, Vec<f64>) {
+        (bimodal_samples(2048, 31), bin_centers())
+    }
+
+    #[test]
+    fn paper_18bit_error_is_about_two_percent() {
+        let (samples, bins) = workload();
+        let dp = FixedParzen1d::paper_18bit(BANDWIDTH);
+        let stats = dp.error_vs_reference(&samples, &bins);
+        let err = stats.max_rel_error();
+        assert!(
+            err < 0.03,
+            "18-bit datapath error {err:.4} should be within the paper's ~2-3% band"
+        );
+        assert!(err > 1e-4, "error {err:.2e} suspiciously small for 18-bit");
+    }
+
+    #[test]
+    fn wider_formats_reduce_error() {
+        let (samples, bins) = workload();
+        let e18 = FixedParzen1d::with_format(QFormat::signed(0, 17).unwrap(), BANDWIDTH)
+            .error_vs_reference(&samples, &bins)
+            .max_rel_error();
+        let e24 = FixedParzen1d::with_format(QFormat::signed(0, 23).unwrap(), BANDWIDTH)
+            .error_vs_reference(&samples, &bins)
+            .max_rel_error();
+        assert!(e24 < e18, "24-bit ({e24:.2e}) should beat 18-bit ({e18:.2e})");
+    }
+
+    #[test]
+    fn narrow_format_fails_tolerance() {
+        let (samples, bins) = workload();
+        let e10 = FixedParzen1d::with_format(QFormat::signed(0, 9).unwrap(), BANDWIDTH)
+            .error_vs_reference(&samples, &bins)
+            .max_rel_error();
+        assert!(e10 > 0.03, "10-bit error {e10:.3} should bust the 2-3% tolerance");
+    }
+
+    #[test]
+    fn estimate_is_close_to_reference_in_shape() {
+        let (samples, bins) = workload();
+        let dp = FixedParzen1d::paper_18bit(BANDWIDTH);
+        let fx = dp.estimate(&samples, &bins);
+        let f64ref = crate::pdf::parzen::estimate_1d(&samples, &bins, BANDWIDTH);
+        // Peak bin agrees.
+        let argmax = |v: &[f64]| {
+            v.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).unwrap().0
+        };
+        assert_eq!(argmax(&fx), argmax(&f64ref));
+    }
+
+    #[test]
+    fn lut_is_monotone_decreasing() {
+        let dp = FixedParzen1d::paper_18bit(BANDWIDTH);
+        for w in dp.lut.windows(2) {
+            assert!(w[1].raw() <= w[0].raw());
+        }
+        // First entry is ~peak (1.0 saturates to max representable).
+        // First entry is the first bin's midpoint value, just below the peak.
+        assert!(dp.lut[0].to_f64() > 0.98);
+        // Last entry is ~0 (5 bandwidths out).
+        assert_eq!(dp.lut.len(), lut_size_for(17));
+        assert_eq!(dp.lut.len(), 512);
+        assert!(dp.lut[dp.lut.len() - 1].to_f64() < 1e-4);
+    }
+
+    #[test]
+    fn beyond_cutoff_contributes_nothing() {
+        let dp = FixedParzen1d::paper_18bit(BANDWIDTH);
+        // Sample at -0.9, bin at +0.9: far beyond 5 bandwidths.
+        let est = dp.estimate(&[-0.9], &[0.9]);
+        assert_eq!(est[0], 0.0);
+    }
+
+    #[test]
+    fn precision_eval_hook_matches_direct_call() {
+        let (samples, bins) = workload();
+        let fmt = QFormat::signed(0, 17).unwrap();
+        let via_hook = precision_eval(fmt, &samples, &bins, BANDWIDTH);
+        let direct = FixedParzen1d::with_format(fmt, BANDWIDTH)
+            .error_vs_reference(&samples, &bins);
+        assert_eq!(via_hook.max_rel_error(), direct.max_rel_error());
+    }
+
+    #[test]
+    #[should_panic(expected = "Q0.f")]
+    fn integer_bits_rejected() {
+        FixedParzen1d::with_format(QFormat::signed(2, 15).unwrap(), BANDWIDTH);
+    }
+
+    fn workload_2d() -> (Vec<(f64, f64)>, Vec<f64>) {
+        let samples = crate::datagen::bimodal_samples_2d(512, 33);
+        let bins: Vec<f64> = (0..32).map(|i| i as f64 / 16.0 - 1.0 + 1.0 / 32.0).collect();
+        (samples, bins)
+    }
+
+    #[test]
+    fn two_d_18bit_error_within_band() {
+        let (samples, bins) = workload_2d();
+        let dp = FixedParzen2d::paper_18bit(BANDWIDTH);
+        let stats = dp.error_vs_reference(&samples, &bins, &bins);
+        let err = stats.max_rel_error();
+        assert!(err < 0.04, "2-D 18-bit datapath error {err:.4}");
+        assert!(err > 1e-5, "error {err:.2e} suspiciously small");
+    }
+
+    #[test]
+    fn two_d_wider_format_reduces_error() {
+        let (samples, bins) = workload_2d();
+        let e18 = FixedParzen2d::with_format(QFormat::signed(0, 17).unwrap(), BANDWIDTH)
+            .error_vs_reference(&samples, &bins, &bins)
+            .max_rel_error();
+        let e24 = FixedParzen2d::with_format(QFormat::signed(0, 23).unwrap(), BANDWIDTH)
+            .error_vs_reference(&samples, &bins, &bins)
+            .max_rel_error();
+        assert!(e24 < e18, "24-bit {e24:.2e} should beat 18-bit {e18:.2e}");
+    }
+
+    #[test]
+    fn two_d_estimate_matches_reference_shape() {
+        let (samples, bins) = workload_2d();
+        let fx = FixedParzen2d::paper_18bit(BANDWIDTH).estimate(&samples, &bins, &bins);
+        let reference =
+            crate::pdf::parzen::estimate_2d(&samples, &bins, &bins, BANDWIDTH);
+        assert_eq!(fx.len(), reference.len());
+        let argmax =
+            |v: &[f64]| v.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).unwrap().0;
+        assert_eq!(argmax(&fx), argmax(&reference));
+    }
+}

@@ -1,0 +1,307 @@
+//! Hardware designs for the PDF case studies.
+//!
+//! The 1-D design is the paper's Figure 3: eight parallel pipelines, each
+//! owning a 32-bin slice of the 256 probability levels, fed the 512-element
+//! block sequentially; each pipeline retires one (element, bin) pair — three
+//! operations: subtract, multiply, accumulate — per cycle. Structural peak is
+//! therefore 24 ops/cycle; the paper's worksheet conservatively uses 20, and
+//! the measured design achieved ~18.9 (pipeline fill plus stalls), which is
+//! exactly what the calibrated [`PipelineSpec`] reproduces.
+//!
+//! The 2-D design doubles the per-pair work (two subtract-squares plus two
+//! accumulates: six operations) and widens to twelve pipelines; the paper's
+//! worksheet again discounts the structural 72 ops/cycle to 48.
+
+use fpga_sim::catalog;
+use fpga_sim::pipeline::{PipelineSpec, PipelinedKernel, StallModel};
+use fpga_sim::platform::{AppRun, BufferMode, Measurement, Platform};
+use rat_core::resources::{device, ResourceEstimate, ResourceReport};
+
+use crate::pdf::{BINS, BLOCK};
+
+/// The Figure-3 1-D PDF estimation design.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Pdf1dDesign;
+
+impl Pdf1dDesign {
+    /// Parallel pipelines instantiated.
+    pub const PIPELINES: u32 = 8;
+
+    /// Operations per (element, bin) pair: subtract, multiply, accumulate.
+    pub const OPS_PER_PAIR: u32 = 3;
+
+    /// Operations per element: 256 bins x 3 ops.
+    pub const OPS_PER_ELEMENT: u64 = (BINS as u64) * (Self::OPS_PER_PAIR as u64);
+
+    /// The pipeline's cycle model, calibrated so the effective rate lands at
+    /// the measured ~18.9 ops/cycle (Table 3's actual t_comp of 1.39e-4 s at
+    /// 150 MHz): 18-cycle fill, 4-cycle drain, and an average 8.7 stall cycles
+    /// per element from bin-accumulator read-modify-write hazards.
+    pub fn pipeline_spec(&self) -> PipelineSpec {
+        PipelineSpec {
+            lanes: Self::PIPELINES,
+            ops_per_lane_cycle: Self::OPS_PER_PAIR,
+            fill_latency: 18,
+            drain_latency: 4,
+            stall: StallModel::PerElement { cycles: 8.7 },
+        }
+    }
+
+    /// The design as a simulator kernel.
+    pub fn kernel(&self) -> PipelinedKernel {
+        PipelinedKernel::new("pdf1d-fig3", self.pipeline_spec(), Self::OPS_PER_ELEMENT)
+    }
+
+    /// How the implemented application actually drives the platform. Note one
+    /// deviation from the worksheet's assumption (Table 2's N_out = 1 with a
+    /// single final read): the implementation read the 256-bin running block
+    /// back every iteration — the "800 (400 read, 400 write) repetitive
+    /// transfers" §4.3 blames for the communication underestimate.
+    pub fn app_run(&self) -> AppRun {
+        AppRun::builder()
+            .iterations((crate::pdf::TOTAL_SAMPLES_1D / BLOCK) as u64)
+            .elements_per_iter(BLOCK as u64)
+            .input_bytes_per_iter((BLOCK * 4) as u64)
+            .output_bytes_per_iter((BINS * 4) as u64)
+            .buffer_mode(BufferMode::Single)
+            .build()
+    }
+
+    /// Resource estimate on the LX100 (the paper's Table 4: BRAMs 15%, low
+    /// DSP and slice usage):
+    /// - one 18x18 MAC per pipeline = 8 DSP48s;
+    /// - 24 BRAMs for the vendor's PCI-X wrapper (constant per the paper),
+    ///   8 kernel LUTs (one per pipeline), 4 I/O buffers = 36 BRAMs;
+    /// - ~760 slices per pipeline plus control = ~6100 slices.
+    pub fn resource_estimate(&self) -> ResourceEstimate {
+        ResourceEstimate { dsp: 8, bram: 36, logic: 6100 }
+    }
+
+    /// The resource test against the LX100.
+    pub fn resource_report(&self) -> ResourceReport {
+        ResourceReport::analyze(device::virtex4_lx100(), self.resource_estimate())
+    }
+
+    /// Execute on the simulated Nallatech H101 at `fclock_hz`, producing the
+    /// "actual" column of Table 3.
+    pub fn simulate(&self, fclock_hz: f64) -> Measurement {
+        let platform = Platform::new(catalog::nallatech_h101());
+        platform
+            .execute(&self.kernel(), &self.app_run(), fclock_hz)
+            .expect("valid run by construction")
+    }
+
+    /// Render the Figure-3 architecture sketch.
+    pub fn render_architecture(&self) -> String {
+        let mut s = String::new();
+        s.push_str("1-D PDF estimation architecture (paper Figure 3)\n");
+        s.push_str("================================================\n");
+        s.push_str("512-element input buffer  ->  broadcast to 8 pipelines\n\n");
+        for p in 0..Self::PIPELINES {
+            let lo = p * (BINS as u32) / Self::PIPELINES;
+            let hi = (p + 1) * (BINS as u32) / Self::PIPELINES - 1;
+            s.push_str(&format!(
+                "  pipeline {p}: bins {lo:>3}-{hi:>3}  [sub]->[sq/MAC]->[LUT]->[acc]  1 elt-bin/cycle\n"
+            ));
+        }
+        s.push_str("\nPer-bin running totals held in registers; final 256-bin\n");
+        s.push_str("block transferred to host. Structural 24 ops/cycle, worksheet\n");
+        s.push_str("estimate 20, measured ~18.9 after fill + stalls.\n");
+        s
+    }
+}
+
+/// The 2-D PDF estimation design (§5.1).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Pdf2dDesign;
+
+impl Pdf2dDesign {
+    /// Parallel pipelines instantiated.
+    pub const PIPELINES: u32 = 12;
+
+    /// Operations per (element, bin) pair: two subtract-squares, an add, and
+    /// the scaled accumulate — six operations.
+    pub const OPS_PER_PAIR: u32 = 6;
+
+    /// Operations per element: 256 x 256 bins x 6 ops = 393,216 (Table 5).
+    pub const OPS_PER_ELEMENT: u64 = (BINS as u64) * (BINS as u64) * (Self::OPS_PER_PAIR as u64);
+
+    /// Elements per iteration: 512 samples in each of two dimensions.
+    pub const ELEMENTS_PER_ITER: u64 = 2 * BLOCK as u64;
+
+    /// Cycle model: structural peak 72 ops/cycle; calibrated stalls (bin-row
+    /// buffer swaps every 256 pairs) cost ~13%, landing the effective rate
+    /// near 64 ops/cycle — consistent with §5.1's observation that the
+    /// *prediction's* conservative 48 ops/cycle overestimated t_comp.
+    pub fn pipeline_spec(&self) -> PipelineSpec {
+        PipelineSpec {
+            lanes: Self::PIPELINES,
+            ops_per_lane_cycle: Self::OPS_PER_PAIR,
+            fill_latency: 24,
+            drain_latency: 8,
+            stall: StallModel::PerElement { cycles: 720.0 },
+        }
+    }
+
+    /// The design as a simulator kernel.
+    pub fn kernel(&self) -> PipelinedKernel {
+        PipelinedKernel::new("pdf2d", self.pipeline_spec(), Self::OPS_PER_ELEMENT)
+    }
+
+    /// Per-iteration data movement: 1024 input elements (512 per dimension)
+    /// and — unlike the 1-D design — the full 65,536-value PDF block read back
+    /// every iteration ("the PDF values computed over each iteration are sent
+    /// back to the host processor", §5.1).
+    pub fn app_run(&self) -> AppRun {
+        AppRun::builder()
+            .iterations(400)
+            .elements_per_iter(Self::ELEMENTS_PER_ITER)
+            .input_bytes_per_iter(Self::ELEMENTS_PER_ITER * 4)
+            .output_bytes_per_iter((BINS * BINS * 4) as u64)
+            .buffer_mode(BufferMode::Single)
+            .build()
+    }
+
+    /// Resource estimate on the LX100 (Table 7; the readable figure is 21%
+    /// slices, with the paper noting usage "increased but still has not nearly
+    /// exhausted the resources"):
+    /// - two MACs per pipeline (one per dimension) = 24 DSP48s;
+    /// - 24 wrapper + 12 LUT + 64 bin-partial + 4 I/O = 104 BRAMs;
+    /// - ~860 slices per pipeline plus control = ~10300 slices (21%).
+    pub fn resource_estimate(&self) -> ResourceEstimate {
+        ResourceEstimate { dsp: 24, bram: 104, logic: 10_300 }
+    }
+
+    /// The resource test against the LX100.
+    pub fn resource_report(&self) -> ResourceReport {
+        ResourceReport::analyze(device::virtex4_lx100(), self.resource_estimate())
+    }
+
+    /// Execute on the simulated Nallatech H101 at `fclock_hz` ("actual"
+    /// column of Table 6).
+    pub fn simulate(&self, fclock_hz: f64) -> Measurement {
+        let platform = Platform::new(catalog::nallatech_h101());
+        platform
+            .execute(&self.kernel(), &self.app_run(), fclock_hz)
+            .expect("valid run by construction")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpga_sim::kernel::{Batch, HardwareKernel};
+
+    #[test]
+    fn fig3_constants_match_table2() {
+        assert_eq!(Pdf1dDesign::OPS_PER_ELEMENT, 768);
+        assert_eq!(Pdf1dDesign.pipeline_spec().peak_ops_per_cycle(), 24);
+    }
+
+    #[test]
+    fn pdf2d_constants_match_table5() {
+        assert_eq!(Pdf2dDesign::OPS_PER_ELEMENT, 393_216);
+        assert_eq!(Pdf2dDesign.pipeline_spec().peak_ops_per_cycle(), 72);
+    }
+
+    #[test]
+    fn pdf1d_batch_cycles_match_measured_tcomp() {
+        // Table 3 actual: t_comp = 1.39e-4 s at 150 MHz = 20,850 cycles.
+        let k = Pdf1dDesign.kernel();
+        let cycles = k.batch_cycles(&Batch { index: 0, elements: 512, bytes: 2048 });
+        assert!(
+            (cycles as f64 - 20_850.0).abs() / 20_850.0 < 0.02,
+            "got {cycles} cycles"
+        );
+    }
+
+    #[test]
+    fn pdf2d_effective_rate_lands_near_64() {
+        let spec = Pdf2dDesign.pipeline_spec();
+        let eff = spec.effective_ops_per_cycle(
+            Pdf2dDesign::ELEMENTS_PER_ITER * Pdf2dDesign::OPS_PER_ELEMENT / 2,
+            1024,
+        );
+        // 1024 elements * 393216 ops... (per-element convention: the 2-D pair
+        // count is per input element).
+        let eff_full = spec.effective_ops_per_cycle(1024 * Pdf2dDesign::OPS_PER_ELEMENT, 1024);
+        assert!((60.0..68.0).contains(&eff_full), "effective rate {eff_full}");
+        assert!(eff > 0.0);
+    }
+
+    #[test]
+    fn pdf1d_simulation_reproduces_table3_actual_row() {
+        let m = Pdf1dDesign.simulate(150.0e6);
+        let comm = m.comm_per_iter().as_secs_f64();
+        let comp = m.comp_per_iter().as_secs_f64();
+        let total = m.total.as_secs_f64();
+        // Table 3 actual at 150 MHz: t_comm 2.50e-5, t_comp 1.39e-4,
+        // t_RC 7.45e-2 (speedup 7.8 against t_soft 0.578).
+        assert!((comm - 2.5e-5).abs() / 2.5e-5 < 0.10, "comm {comm:.3e}");
+        assert!((comp - 1.39e-4).abs() / 1.39e-4 < 0.03, "comp {comp:.3e}");
+        assert!((total - 7.45e-2).abs() / 7.45e-2 < 0.05, "total {total:.3e}");
+        let speedup = 0.578 / total;
+        assert!((7.4..8.2).contains(&speedup), "speedup {speedup:.2}");
+    }
+
+    #[test]
+    fn pdf2d_simulation_reproduces_table6_actual_constraints() {
+        // The paper's Table 6 actual column is OCR-damaged; §5.1's prose fixes
+        // three facts: communication ~6x the prediction (1.65e-3), comm = 19%
+        // of execution, computation overestimated (predicted 5.59e-2).
+        let m = Pdf2dDesign.simulate(150.0e6);
+        let comm = m.comm_per_iter().as_secs_f64();
+        let comp = m.comp_per_iter().as_secs_f64();
+        let ratio = comm / 1.65e-3;
+        assert!((5.4..6.6).contains(&ratio), "comm {comm:.3e} is {ratio:.2}x prediction");
+        assert!(comp < 5.59e-2, "comp {comp:.3e} must undercut the conservative prediction");
+        let util_comm = comm / (comm + comp);
+        assert!((0.17..0.21).contains(&util_comm), "util_comm {util_comm:.3}");
+        let speedup = 158.8 / m.total.as_secs_f64();
+        assert!((7.0..8.0).contains(&speedup), "speedup {speedup:.2}");
+    }
+
+    #[test]
+    fn faster_clock_shortens_pdf1d_compute() {
+        let slow = Pdf1dDesign.simulate(75.0e6);
+        let fast = Pdf1dDesign.simulate(150.0e6);
+        assert!(fast.compute_busy < slow.compute_busy);
+        // Communication is clock-independent.
+        assert_eq!(fast.comm_busy, slow.comm_busy);
+    }
+
+    #[test]
+    fn resource_reports_fit_with_headroom() {
+        let r1 = Pdf1dDesign.resource_report();
+        assert!(r1.fits && !r1.routing_strain);
+        // Table 4: BRAMs 15%.
+        assert!((r1.bram_util - 0.15).abs() < 0.01, "bram {:.3}", r1.bram_util);
+        // "Relatively low resource usage ... potential for further speedup".
+        assert!(r1.replication_headroom() > 2.0);
+
+        let r2 = Pdf2dDesign.resource_report();
+        assert!(r2.fits);
+        // Table 7's readable figure: 21% slices.
+        assert!((r2.logic_util - 0.21).abs() < 0.01, "slices {:.3}", r2.logic_util);
+        // 2-D uses more of everything than 1-D but doesn't exhaust the part.
+        assert!(r2.dsp_util > r1.dsp_util && r2.dsp_util < 0.5);
+    }
+
+    #[test]
+    fn architecture_rendering_shows_eight_pipelines() {
+        let s = Pdf1dDesign.render_architecture();
+        assert_eq!(s.matches("pipeline ").count(), 8);
+        assert!(s.contains("bins   0- 31"));
+        assert!(s.contains("bins 224-255"));
+    }
+
+    #[test]
+    fn app_runs_match_paper_iteration_structure() {
+        let r1 = Pdf1dDesign.app_run();
+        assert_eq!(r1.iterations, 400);
+        assert_eq!(r1.input_bytes_per_iter, 2048);
+        let r2 = Pdf2dDesign.app_run();
+        assert_eq!(r2.iterations, 400);
+        assert_eq!(r2.output_bytes_per_iter, 262_144);
+    }
+}

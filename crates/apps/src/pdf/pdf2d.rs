@@ -1,0 +1,125 @@
+//! The 2-D PDF estimation case study (paper §5.1).
+//!
+//! The two-dimensional Parzen estimate multiplies the per-element work by
+//! three orders of magnitude (65,536 bins x 6 ops) while the parallelism only
+//! doubles — the paper's cautionary tale about how a "more amenable" algorithm
+//! can deliver *less* speedup when its higher communication demand collides
+//! with platform limits.
+
+use rat_core::params::{
+    Buffering, CommParams, CompParams, DatasetParams, RatInput, SoftwareParams,
+};
+
+use crate::datagen;
+use crate::pdf::hw::Pdf2dDesign;
+use crate::pdf::parzen::estimate_2d;
+use crate::pdf::{bin_centers, BANDWIDTH, BINS};
+
+/// The paper's software baseline: 158.8 s (C, gcc, 3.2 GHz Xeon).
+pub const T_SOFT: f64 = 158.8;
+
+/// The paper's Table 5: RAT input parameters for the 2-D PDF design.
+pub fn rat_input(fclock_hz: f64) -> RatInput {
+    RatInput {
+        name: "2-D PDF".into(),
+        dataset: DatasetParams {
+            elements_in: Pdf2dDesign::ELEMENTS_PER_ITER,
+            elements_out: (BINS * BINS) as u64,
+            bytes_per_element: 4,
+        },
+        comm: CommParams { ideal_bandwidth: 1.0e9, alpha_write: 0.37, alpha_read: 0.16 },
+        comp: CompParams {
+            ops_per_element: Pdf2dDesign::OPS_PER_ELEMENT as f64,
+            // Structural peak 72; the worksheet uses 48, "conservatively
+            // estimated to account for unforeseen problems".
+            throughput_proc: 48.0,
+            fclock: fclock_hz,
+        },
+        software: SoftwareParams { t_soft: T_SOFT, iterations: 400 },
+        buffering: Buffering::Single,
+    }
+}
+
+/// The hardware design model.
+pub fn design() -> Pdf2dDesign {
+    Pdf2dDesign
+}
+
+/// A seeded 2-D dataset of `n` correlated sample pairs.
+pub fn dataset(n: usize) -> Vec<(f64, f64)> {
+    datagen::bimodal_samples_2d(n, 0x2d)
+}
+
+/// Run the software baseline on `samples`, returning the 256x256 PDF grid
+/// (x-major).
+pub fn run_software_baseline(samples: &[(f64, f64)]) -> Vec<f64> {
+    let bins = bin_centers();
+    estimate_2d(samples, &bins, &bins, BANDWIDTH)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rat_core::worksheet::Worksheet;
+
+    #[test]
+    fn rat_input_is_table5() {
+        let i = rat_input(150.0e6);
+        assert_eq!(i.dataset.elements_in, 1024);
+        assert_eq!(i.dataset.elements_out, 65_536);
+        assert_eq!(i.comp.ops_per_element, 393_216.0);
+        assert_eq!(i.comp.throughput_proc, 48.0);
+        assert_eq!(i.software.t_soft, 158.8);
+    }
+
+    #[test]
+    fn predictions_match_table6_columns() {
+        // Table 6 predicted: t_comm 1.65e-3 (clock-independent), and per clock
+        // (t_comp, t_RC, speedup): 75 MHz (1.12e-1, 4.54e+1, 3.5),
+        // 100 MHz (8.39e-2, 3.42e+1, 4.6), 150 MHz (5.59e-2, 2.30e+1, 6.9).
+        for (f, tc, trc, sp) in [
+            (75.0e6, 1.12e-1, 4.54e1, 3.5),
+            (100.0e6, 8.39e-2, 3.42e1, 4.6),
+            (150.0e6, 5.59e-2, 2.30e1, 6.9),
+        ] {
+            let r = Worksheet::new(rat_input(f)).analyze().unwrap();
+            assert!((r.throughput.t_comm - 1.65e-3).abs() / 1.65e-3 < 0.01);
+            assert!((r.throughput.t_comp - tc).abs() / tc < 0.01, "t_comp at {f}");
+            assert!((r.throughput.t_rc - trc).abs() / trc < 0.01, "t_RC at {f}");
+            assert!((r.speedup - sp).abs() < 0.06, "speedup {} vs {sp}", r.speedup);
+        }
+    }
+
+    #[test]
+    fn two_d_predicts_less_speedup_than_one_d_despite_more_parallel_work() {
+        // The paper's §5.1 takeaway.
+        let one_d = Worksheet::new(crate::pdf::pdf1d::rat_input(150.0e6)).analyze().unwrap();
+        let two_d = Worksheet::new(rat_input(150.0e6)).analyze().unwrap();
+        assert!(two_d.input.comp.ops_per_element > one_d.input.comp.ops_per_element * 100.0);
+        assert!(two_d.speedup < one_d.speedup);
+    }
+
+    #[test]
+    fn simulated_run_validates_prose_constraints() {
+        // Covered in depth in hw.rs tests; here check the end-to-end speedup
+        // relationship the prose fixes: prediction 6.9 close to measurement,
+        // closer than the 1-D case was.
+        let predicted = Worksheet::new(rat_input(150.0e6)).analyze().unwrap();
+        let m = design().simulate(150.0e6);
+        let measured_speedup = T_SOFT / m.total.as_secs_f64();
+        let rel_err_2d = (predicted.speedup - measured_speedup).abs() / measured_speedup;
+        assert!(rel_err_2d < 0.15, "2-D prediction error {rel_err_2d:.3}");
+        // 1-D's error was ~36% (10.6 vs 7.8).
+        assert!(rel_err_2d < 0.36);
+    }
+
+    #[test]
+    fn software_baseline_produces_a_normalized_grid() {
+        let samples = dataset(256);
+        let grid = run_software_baseline(&samples);
+        assert_eq!(grid.len(), BINS * BINS);
+        let cell = (2.0 / BINS as f64) * (2.0 / BINS as f64);
+        let integral: f64 = grid.iter().sum::<f64>() * cell;
+        assert!((integral - 1.0).abs() < 0.1, "integral {integral}");
+    }
+}

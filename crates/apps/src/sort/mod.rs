@@ -1,0 +1,46 @@
+//! Sorting: the paper's "value in an array to be sorted" element example,
+//! built out as a fourth case study — and a deliberately *negative* one.
+//!
+//! A bitonic sorting network is a classic FPGA showpiece: fully pipelined,
+//! one element per cycle, massively parallel compare-exchanges. Yet RAT's
+//! worksheet says the migration loses: sorting does only `O(log^2 n)` work
+//! per element, so the design drowns in its own data movement — every key
+//! crosses the bus twice for a few dozen comparator passes. The amenability
+//! test exists precisely to catch this *before* anyone writes the RTL, which
+//! makes sorting the perfect foil to the PDF and MD studies.
+//!
+//! - [`baseline`]: merge-sort software baselines (sequential + parallel).
+//! - [`hw`]: the bitonic-network hardware design model.
+//! - [`rat`]: the worksheet input and its (unflattering) predictions.
+
+pub mod baseline;
+pub mod hw;
+pub mod network;
+pub mod rat;
+
+/// Keys per buffered block: one network load.
+pub const BLOCK_KEYS: usize = 4096;
+
+/// Total keys in the full problem (1,024 iterations of 4,096).
+pub const TOTAL_KEYS: usize = 4_194_304;
+
+/// Compare-exchange stages a 4096-key bitonic network applies to each key:
+/// `log2(n) * (log2(n) + 1) / 2` = 12 * 13 / 2.
+pub const CE_STAGES: u64 = 78;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn network_depth_formula() {
+        let log2n = (BLOCK_KEYS as f64).log2() as u64;
+        assert_eq!(log2n, 12);
+        assert_eq!(CE_STAGES, log2n * (log2n + 1) / 2);
+    }
+
+    #[test]
+    fn iteration_structure() {
+        assert_eq!(TOTAL_KEYS / BLOCK_KEYS, 1024);
+    }
+}

@@ -1,0 +1,130 @@
+//! A software-emulated bitonic sorting network.
+//!
+//! This is the exact dataflow the hardware design pipelines: a fixed,
+//! data-oblivious sequence of compare-exchange stages. Emulating it serves
+//! two purposes — it proves the network sorts (the hardware's functional
+//! correctness argument), and it counts the stages/compare-exchanges the
+//! cycle model charges for, tying [`crate::sort::CE_STAGES`] to an executable
+//! artifact instead of a formula in a comment.
+
+/// Statistics from one network pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetworkStats {
+    /// Compare-exchange stages applied (the network's depth).
+    pub stages: u64,
+    /// Total compare-exchange operations executed (`n/2` per stage).
+    pub compare_exchanges: u64,
+}
+
+/// Sort `data` in place with a bitonic network. The length must be a power of
+/// two (networks are fixed-wiring; hardware pads odd blocks). Returns the
+/// stage/CE counts.
+pub fn bitonic_sort(data: &mut [u32]) -> NetworkStats {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "bitonic network needs a power-of-two size, got {n}");
+    if n < 2 {
+        return NetworkStats { stages: 0, compare_exchanges: 0 };
+    }
+    let mut stages = 0u64;
+    let mut ces = 0u64;
+    // k: size of the bitonic sequences being merged; j: comparison distance.
+    let mut k = 2;
+    while k <= n {
+        let mut j = k / 2;
+        while j > 0 {
+            stages += 1;
+            for i in 0..n {
+                let partner = i ^ j;
+                if partner > i {
+                    ces += 1;
+                    let ascending = (i & k) == 0;
+                    if (data[i] > data[partner]) == ascending {
+                        data.swap(i, partner);
+                    }
+                }
+            }
+            j /= 2;
+        }
+        k *= 2;
+    }
+    NetworkStats { stages, compare_exchanges: ces }
+}
+
+/// The network depth for `n` keys: `log2(n) * (log2(n) + 1) / 2` stages.
+pub fn network_depth(n: usize) -> u64 {
+    assert!(n.is_power_of_two() && n >= 1, "need a power-of-two size");
+    let log2n = n.trailing_zeros() as u64;
+    log2n * (log2n + 1) / 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn sorts_a_block() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let mut v: Vec<u32> = (0..4096).map(|_| rng.gen()).collect();
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        bitonic_sort(&mut v);
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn stage_count_matches_the_hardware_models_constant() {
+        // The cycle model's CE_STAGES must equal what the real network does.
+        let mut v = vec![0u32; crate::sort::BLOCK_KEYS];
+        let stats = bitonic_sort(&mut v);
+        assert_eq!(stats.stages, crate::sort::CE_STAGES);
+        assert_eq!(stats.stages, network_depth(crate::sort::BLOCK_KEYS));
+        // n/2 compare-exchanges per stage.
+        assert_eq!(
+            stats.compare_exchanges,
+            stats.stages * (crate::sort::BLOCK_KEYS as u64 / 2)
+        );
+    }
+
+    #[test]
+    fn tiny_networks() {
+        let mut v = vec![3u32, 1];
+        let stats = bitonic_sort(&mut v);
+        assert_eq!(v, vec![1, 3]);
+        assert_eq!(stats.stages, 1);
+        let mut v = vec![7u32];
+        assert_eq!(bitonic_sort(&mut v).stages, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn non_power_of_two_panics() {
+        bitonic_sort(&mut [1, 2, 3]);
+    }
+
+    proptest! {
+        /// The network sorts arbitrary power-of-two-sized inputs, with a
+        /// data-independent operation count (the property that makes it
+        /// pipeline so well in hardware).
+        #[test]
+        fn network_sorts_and_is_data_oblivious(
+            log_n in 1u32..10,
+            seed in 0u64..1000,
+        ) {
+            let n = 1usize << log_n;
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let mut v: Vec<u32> = (0..n).map(|_| rng.gen()).collect();
+            let mut expect = v.clone();
+            expect.sort_unstable();
+            let stats = bitonic_sort(&mut v);
+            prop_assert_eq!(&v, &expect);
+            // Identical op counts for sorted input: data-obliviousness.
+            let mut sorted = expect.clone();
+            let stats2 = bitonic_sort(&mut sorted);
+            prop_assert_eq!(stats, stats2);
+            prop_assert_eq!(stats.stages, network_depth(n));
+        }
+    }
+}

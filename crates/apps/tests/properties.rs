@@ -1,0 +1,139 @@
+//! Property-based tests for the case-study substrates: estimator identities,
+//! neighbor-search correctness, force-field physics.
+
+use proptest::prelude::*;
+use rat_apps::datagen;
+use rat_apps::md::cell_list::neighbor_counts;
+use rat_apps::md::forces::{compute_forces, total_ops, LjParams};
+use rat_apps::md::system::{min_image_vec, System, Vec3};
+use rat_apps::pdf::parzen::{estimate_1d, StreamingEstimator1d};
+use rat_apps::pdf::{bin_centers, BANDWIDTH};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Streaming estimation is invariant to how samples are split into blocks.
+    #[test]
+    fn streaming_split_invariance(n in 16usize..256, split in 1usize..64, tag in 0u64..100) {
+        let samples = datagen::bimodal_samples(n, tag);
+        let bins: Vec<f64> = (0..32).map(|i| i as f64 / 16.0 - 1.0).collect();
+        let batch = estimate_1d(&samples, &bins, BANDWIDTH);
+        let mut stream = StreamingEstimator1d::new(bins, BANDWIDTH);
+        for block in samples.chunks(split) {
+            stream.process_block(block);
+        }
+        let streamed = stream.finish();
+        for (a, b) in batch.iter().zip(&streamed) {
+            prop_assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    /// The Parzen estimate is translation-equivariant: shifting samples and
+    /// evaluation points together leaves the density unchanged.
+    #[test]
+    fn parzen_translation_equivariance(n in 8usize..128, shift in -0.3f64..0.3, tag in 0u64..50) {
+        let samples = datagen::bimodal_samples(n, tag);
+        let bins: Vec<f64> = (0..16).map(|i| i as f64 / 16.0 - 0.5).collect();
+        let base = estimate_1d(&samples, &bins, BANDWIDTH);
+        let moved_samples: Vec<f64> = samples.iter().map(|x| x + shift).collect();
+        let moved_bins: Vec<f64> = bins.iter().map(|b| b + shift).collect();
+        let moved = estimate_1d(&moved_samples, &moved_bins, BANDWIDTH);
+        for (a, b) in base.iter().zip(&moved) {
+            prop_assert!((a - b).abs() <= 1e-9 * a.abs().max(1.0));
+        }
+    }
+
+    /// Parzen density is non-negative and bounded by the kernel peak.
+    #[test]
+    fn parzen_density_bounds(n in 1usize..256, tag in 0u64..50) {
+        let samples = datagen::bimodal_samples(n, tag);
+        let bins = bin_centers();
+        let pdf = estimate_1d(&samples, &bins, BANDWIDTH);
+        let peak = rat_apps::pdf::parzen::gaussian_kernel(0.0, BANDWIDTH);
+        for &p in &pdf {
+            prop_assert!(p >= 0.0);
+            prop_assert!(p <= peak * (1.0 + 1e-12));
+        }
+    }
+
+    /// Cell-list neighbor counts match brute force for arbitrary cutoffs, and
+    /// their sum is even (pairs are mutual).
+    #[test]
+    fn neighbor_counts_match_brute_force(
+        n in 20usize..150,
+        cutoff in 0.05f64..0.9,
+        tag in 0u64..50,
+    ) {
+        let s = System::random(n, 1.0, tag);
+        let counts = neighbor_counts(&s.positions, 1.0, cutoff);
+        let c2 = cutoff * cutoff;
+        let brute: Vec<u32> = s
+            .positions
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                s.positions
+                    .iter()
+                    .enumerate()
+                    .filter(|&(j, q)| j != i && min_image_vec(*p - *q, 1.0).norm2() < c2)
+                    .count() as u32
+            })
+            .collect();
+        prop_assert_eq!(&counts, &brute);
+        let sum: u64 = counts.iter().map(|&c| c as u64).sum();
+        prop_assert_eq!(sum % 2, 0, "mutual pairs must count twice");
+    }
+
+    /// The hardware op model is monotone in near counts and bounded between
+    /// the all-distant and all-near extremes.
+    #[test]
+    fn op_model_bounds(counts in prop::collection::vec(0u32..500, 2..64)) {
+        let n = 1000usize;
+        let ops = total_ops(&counts, n);
+        let all_distant = counts.len() as u64 * 3 * (n as u64 - 1);
+        prop_assert!(ops >= all_distant);
+        let mut more = counts.clone();
+        more[0] += 1;
+        prop_assert!(total_ops(&more, n) > ops);
+    }
+
+    /// Newton's third law holds for arbitrary random systems (relative to the
+    /// largest force present).
+    #[test]
+    fn forces_cancel_for_random_systems(
+        n in 10usize..120,
+        cutoff in 0.1f64..0.5,
+        tag in 0u64..50,
+    ) {
+        let s = System::random(n, 1.0, tag);
+        let params = LjParams { epsilon: 1e-4, sigma: 0.04, cutoff };
+        let (forces, _) = compute_forces(&s, &params);
+        let net = forces.iter().fold(Vec3::ZERO, |a, &f| a + f);
+        let scale = forces
+            .iter()
+            .map(|f| f.norm2().sqrt())
+            .fold(0.0f64, f64::max)
+            .max(1e-30);
+        prop_assert!(net.norm2().sqrt() / scale < 1e-8, "net {net:?} vs scale {scale:.2e}");
+    }
+
+    /// Potential energy is invariant under global translation (periodic box).
+    #[test]
+    fn potential_translation_invariance(
+        n in 10usize..80,
+        shift in 0.0f64..1.0,
+        tag in 0u64..50,
+    ) {
+        let s = System::random(n, 1.0, tag);
+        let params = LjParams { epsilon: 1e-4, sigma: 0.04, cutoff: 0.3 };
+        let (_, u0) = compute_forces(&s, &params);
+        let mut moved = s.clone();
+        for p in &mut moved.positions {
+            p.x = (p.x + shift).rem_euclid(1.0);
+            p.y = (p.y + shift).rem_euclid(1.0);
+            p.z = (p.z + shift).rem_euclid(1.0);
+        }
+        let (_, u1) = compute_forces(&moved, &params);
+        prop_assert!((u0 - u1).abs() <= 1e-9 * u0.abs().max(1e-12), "{u0} vs {u1}");
+    }
+}

@@ -1,0 +1,23 @@
+//! One benchmark per paper figure: regenerating the methodology flow
+//! (Figure 1), the simulated overlap schedules (Figure 2), and the 1-D PDF
+//! architecture rendering (Figure 3).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.bench_function("figure1_methodology_flow", |b| {
+        b.iter(|| black_box(rat_bench::figures::render_figure1()))
+    });
+    g.bench_function("figure2_overlap_scenarios", |b| {
+        b.iter(|| black_box(rat_bench::figures::render_figure2()))
+    });
+    g.bench_function("figure3_pdf1d_architecture", |b| {
+        b.iter(|| black_box(rat_bench::figures::render_figure3()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

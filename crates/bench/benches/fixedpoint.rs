@@ -1,0 +1,96 @@
+//! Fixed-point substrate benchmarks: the cost of the precision test's inner
+//! loops — quantization, arithmetic, the bit-accurate PDF datapath, and the
+//! minimal-width search.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use fixedpoint::{ErrorStats, Fx, Overflow, QFormat, Rounding};
+use rat_apps::datagen;
+use rat_apps::pdf::fixed::FixedParzen1d;
+use rat_apps::pdf::{bin_centers, BANDWIDTH};
+
+fn bench_fx_ops(c: &mut Criterion) {
+    let fmt = QFormat::signed(0, 17).unwrap();
+    let values: Vec<Fx> = (0..1024)
+        .map(|i| {
+            Fx::from_f64(
+                (i as f64 / 1024.0) * 1.9 - 0.95,
+                fmt,
+                Rounding::Nearest,
+                Overflow::Saturate,
+            )
+        })
+        .collect();
+    let mut g = c.benchmark_group("fixedpoint-ops");
+    g.throughput(Throughput::Elements(values.len() as u64));
+    g.bench_function("mac_chain", |b| {
+        b.iter(|| {
+            let mut acc = Fx::zero(fmt);
+            for w in values.windows(2) {
+                acc = acc.mac(w[0], w[1], Rounding::Nearest, Overflow::Saturate);
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("quantize_from_f64", |b| {
+        b.iter(|| {
+            let mut acc = 0i64;
+            for i in 0..1024 {
+                let v = (i as f64 / 1024.0) * 1.9 - 0.95;
+                acc = acc.wrapping_add(
+                    Fx::from_f64(v, fmt, Rounding::Nearest, Overflow::Saturate).raw(),
+                );
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("requantize_18_to_12", |b| {
+        let narrow = QFormat::signed(0, 11).unwrap();
+        b.iter(|| {
+            let mut acc = 0i64;
+            for &v in &values {
+                acc = acc.wrapping_add(
+                    v.requantize(narrow, Rounding::Nearest, Overflow::Saturate).raw(),
+                );
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+fn bench_datapath(c: &mut Criterion) {
+    let samples = datagen::bimodal_samples(512, 5001);
+    let bins = bin_centers();
+    let mut g = c.benchmark_group("fixedpoint-datapath");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements((samples.len() * bins.len()) as u64));
+    g.bench_function("pdf1d_18bit_block", |b| {
+        let dp = FixedParzen1d::paper_18bit(BANDWIDTH);
+        b.iter(|| black_box(dp.estimate(&samples, &bins)))
+    });
+    g.bench_function("pdf1d_error_vs_reference", |b| {
+        let dp = FixedParzen1d::paper_18bit(BANDWIDTH);
+        b.iter(|| black_box(dp.error_vs_reference(&samples, &bins)))
+    });
+    g.finish();
+}
+
+fn bench_width_search(c: &mut Criterion) {
+    let data: Vec<f64> = (0..512).map(|i| (i as f64 / 512.0) * 1.9 - 0.95).collect();
+    let eval = |fmt: QFormat| {
+        let q: Vec<f64> = data
+            .iter()
+            .map(|&v| Fx::from_f64(v, fmt, Rounding::Nearest, Overflow::Saturate).to_f64())
+            .collect();
+        ErrorStats::between(&data, &q)
+    };
+    c.bench_function("fixedpoint-min-width-search", |b| {
+        let base = QFormat::signed(0, 17).unwrap();
+        b.iter(|| black_box(fixedpoint::search::min_frac_bits(base, 30, 1e-3, eval)))
+    });
+}
+
+criterion_group!(benches, bench_fx_ops, bench_datapath, bench_width_search);
+criterion_main!(benches);

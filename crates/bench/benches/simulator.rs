@@ -1,0 +1,112 @@
+//! Simulator performance: how cheaply the discrete-event platform model runs.
+//!
+//! RAT's value proposition is speed ("rapidly analyzing an application's
+//! design"); the simulated-validation loop must stay interactive too. These
+//! benches time the event queue, interconnect model, and full platform
+//! executions across iteration counts and buffering modes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use fpga_sim::catalog;
+use fpga_sim::interconnect::Direction;
+use fpga_sim::kernel::TabulatedKernel;
+use fpga_sim::platform::{AppRun, BufferMode, Platform};
+use fpga_sim::queue::EventQueue;
+use fpga_sim::time::SimTime;
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim-event-queue");
+    for &n in &[1_000usize, 100_000] {
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("schedule_pop", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut q = EventQueue::new();
+                // Interleaved times exercise heap reordering.
+                for i in 0..n {
+                    let t = ((i * 7919) % n) as u64;
+                    q.schedule(SimTime::from_ns(t), i);
+                }
+                let mut acc = 0usize;
+                while let Some((_, p)) = q.pop() {
+                    acc = acc.wrapping_add(p);
+                }
+                black_box(acc)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_interconnect(c: &mut Criterion) {
+    let ic = catalog::nallatech_h101().interconnect;
+    let mut g = c.benchmark_group("sim-interconnect");
+    g.bench_function("transfer_time_lookup", |b| {
+        b.iter(|| {
+            let mut acc = SimTime::ZERO;
+            for shift in 8..22 {
+                acc += ic.transfer_time(1u64 << shift, Direction::Read);
+                acc += ic.transfer_time(1u64 << shift, Direction::Write);
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("microbench_alpha_sweep", |b| {
+        b.iter(|| {
+            black_box(fpga_sim::microbench::alpha_table(
+                &ic,
+                &fpga_sim::microbench::standard_sizes(),
+            ))
+        })
+    });
+    g.finish();
+}
+
+fn bench_platform_execution(c: &mut Criterion) {
+    let platform = Platform::new(catalog::nallatech_h101());
+    let mut g = c.benchmark_group("sim-platform");
+    for &iters in &[10u64, 400, 10_000] {
+        let kernel = TabulatedKernel::uniform("k", 20_000, iters as usize);
+        for (label, mode) in [("single", BufferMode::Single), ("double", BufferMode::Double)] {
+            let run = AppRun::builder()
+                .iterations(iters)
+                .elements_per_iter(512)
+                .input_bytes_per_iter(2048)
+                .output_bytes_per_iter(1024)
+                .buffer_mode(mode)
+                .build();
+            g.throughput(Throughput::Elements(iters));
+            g.bench_with_input(
+                BenchmarkId::new(label, iters),
+                &(kernel.clone(), run),
+                |b, (k, r)| b.iter(|| black_box(platform.execute(k, r, 150.0e6).unwrap())),
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_gantt_rendering(c: &mut Criterion) {
+    let platform = Platform::new(catalog::nallatech_h101());
+    let kernel = TabulatedKernel::uniform("k", 20_000, 100);
+    let run = AppRun::builder()
+        .iterations(100)
+        .elements_per_iter(512)
+        .input_bytes_per_iter(2048)
+        .output_bytes_per_iter(1024)
+        .buffer_mode(BufferMode::Double)
+        .build();
+    let m = platform.execute(&kernel, &run, 150.0e6).unwrap();
+    c.bench_function("sim-gantt-render", |b| {
+        b.iter(|| black_box(m.trace.render_gantt(100)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_interconnect,
+    bench_platform_execution,
+    bench_gantt_rendering
+);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! One benchmark per paper table: the cost of regenerating each artifact
+//! (worksheet analysis + platform simulation where the table has an "actual"
+//! column). Regeneration itself is the experiment — these benches both time it
+//! and, run via `cargo bench`, serve as the reproduction entry point for CI.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_tables(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tables");
+    g.sample_size(10);
+    g.bench_function("table1_template", |b| {
+        b.iter(|| black_box(rat_bench::tables::render_table1()))
+    });
+    g.bench_function("table2_pdf1d_inputs", |b| {
+        b.iter(|| black_box(rat_bench::tables::render_table2()))
+    });
+    g.bench_function("table3_pdf1d_perf", |b| {
+        b.iter(|| black_box(rat_bench::tables::render_table3()))
+    });
+    g.bench_function("table4_pdf1d_resources", |b| {
+        b.iter(|| black_box(rat_bench::tables::render_table4()))
+    });
+    g.bench_function("table5_pdf2d_inputs", |b| {
+        b.iter(|| black_box(rat_bench::tables::render_table5()))
+    });
+    g.bench_function("table6_pdf2d_perf", |b| {
+        b.iter(|| black_box(rat_bench::tables::render_table6()))
+    });
+    g.bench_function("table7_pdf2d_resources", |b| {
+        b.iter(|| black_box(rat_bench::tables::render_table7()))
+    });
+    g.bench_function("table8_md_inputs", |b| {
+        b.iter(|| black_box(rat_bench::tables::render_table8()))
+    });
+    // The analytic workload path; the counted 16,384-molecule pass is benched
+    // separately below with a minimal sample count.
+    g.bench_function("table9_md_perf_analytic", |b| {
+        b.iter(|| black_box(rat_bench::tables::render_table9(true)))
+    });
+    g.bench_function("table10_md_resources", |b| {
+        b.iter(|| black_box(rat_bench::tables::render_table10()))
+    });
+    g.finish();
+
+    let mut heavy = c.benchmark_group("tables-full-scale");
+    heavy.sample_size(10);
+    heavy.bench_function("table9_md_perf_counted", |b| {
+        b.iter(|| black_box(rat_bench::tables::render_table9(false)))
+    });
+    heavy.finish();
+}
+
+criterion_group!(benches, bench_tables);
+criterion_main!(benches);

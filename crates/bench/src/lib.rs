@@ -1,0 +1,77 @@
+//! Reproduction harness for every table and figure in the RAT paper.
+//!
+//! Each `render_*` function regenerates one published artifact from this
+//! workspace's implementations — worksheet predictions from [`rat_core`],
+//! "actual" measurements from [`fpga_sim`] runs of the [`rat_apps`] designs —
+//! and lays it side by side with the paper's reported numbers
+//! (see [`paper`] for provenance, including which of the paper's values are
+//! reconstructed from prose because the available scan is OCR-damaged).
+//!
+//! The [`all_artifacts`] entry point drives the `rat reproduce` CLI and the
+//! EXPERIMENTS.md log.
+
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod paper;
+pub mod tables;
+
+/// One regenerated artifact.
+#[derive(Debug, Clone)]
+pub struct Artifact {
+    /// Identifier, e.g. `table3` or `figure2`.
+    pub id: &'static str,
+    /// Title matching the paper's caption.
+    pub title: &'static str,
+    /// Rendered text.
+    pub body: String,
+}
+
+/// Regenerate every table and figure.
+///
+/// `fast` skips the paper-scale MD neighbor count (2.7e8 distance checks) in
+/// favour of a proportionally scaled system; full-scale reproduction is the
+/// default for release binaries.
+pub fn all_artifacts(fast: bool) -> Vec<Artifact> {
+    vec![
+        Artifact { id: "table1", title: "Input parameters for RAT analysis", body: tables::render_table1() },
+        Artifact { id: "table2", title: "Input parameters of 1-D PDF", body: tables::render_table2() },
+        Artifact { id: "table3", title: "Performance parameters of 1-D PDF", body: tables::render_table3() },
+        Artifact { id: "table4", title: "Resource usage of 1-D PDF (LX100)", body: tables::render_table4() },
+        Artifact { id: "table5", title: "Input parameters of 2-D PDF (LX100)", body: tables::render_table5() },
+        Artifact { id: "table6", title: "Performance parameters of 2-D PDF", body: tables::render_table6() },
+        Artifact { id: "table7", title: "Resource usage of 2-D PDF (LX100)", body: tables::render_table7() },
+        Artifact { id: "table8", title: "Input parameters of MD", body: tables::render_table8() },
+        Artifact { id: "table9", title: "Performance parameters of MD", body: tables::render_table9(fast) },
+        Artifact { id: "table10", title: "Resource usage of MD (EP2S180)", body: tables::render_table10() },
+        Artifact { id: "figure1", title: "Overview of RAT methodology", body: figures::render_figure1() },
+        Artifact { id: "figure2", title: "Example overlap scenarios", body: figures::render_figure2() },
+        Artifact { id: "figure3", title: "Architecture of 1-D PDF algorithm", body: figures::render_figure3() },
+    ]
+}
+
+/// Look up one artifact by id (`table1`..`table10`, `figure1`..`figure3`).
+pub fn artifact(id: &str, fast: bool) -> Option<Artifact> {
+    all_artifacts(fast).into_iter().find(|a| a.id == id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_thirteen_artifacts_render() {
+        let arts = all_artifacts(true);
+        assert_eq!(arts.len(), 13);
+        for a in &arts {
+            assert!(!a.body.trim().is_empty(), "{} rendered empty", a.id);
+        }
+    }
+
+    #[test]
+    fn artifact_lookup() {
+        assert!(artifact("table3", true).is_some());
+        assert!(artifact("figure2", true).is_some());
+        assert!(artifact("table99", true).is_none());
+    }
+}

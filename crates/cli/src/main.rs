@@ -1,0 +1,523 @@
+//! `rat` — the RC Amenability Test command-line tool.
+//!
+//! ```text
+//! rat analyze <worksheet.toml>             run the RAT worksheet
+//! rat clocks <worksheet.toml> <MHz>...     analyze at several clocks
+//! rat solve <worksheet.toml> <speedup>     inverse-solve for the target
+//! rat sweep <worksheet.toml> <param> <v>.. sweep one parameter
+//! rat sensitivity <worksheet.toml>         rank parameter elasticities
+//! rat microbench <platform>                derive alpha(size) tables
+//! rat reproduce <artifact|all> [--fast]    regenerate paper tables/figures
+//! rat example-worksheet                    print a starter worksheet
+//! ```
+
+use std::process::ExitCode;
+
+use rat_core::params::RatInput;
+use rat_core::sweep::SweepParam;
+use rat_core::worksheet::Worksheet;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(output) => {
+            println!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("run `rat help` for usage");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<String, String> {
+    let cmd = args.first().map(String::as_str).unwrap_or("help");
+    match cmd {
+        "help" | "--help" | "-h" => Ok(usage()),
+        "analyze" => {
+            let input = load_worksheet(args.get(1))?;
+            let report = Worksheet::new(input).analyze().map_err(|e| e.to_string())?;
+            if args.iter().any(|a| a == "--markdown") {
+                Ok(report.render_markdown())
+            } else {
+                Ok(report.render())
+            }
+        }
+        "clocks" => {
+            let input = load_worksheet(args.get(1))?;
+            let clocks = parse_mhz_list(&args[2..])?;
+            let reports = Worksheet::new(input)
+                .analyze_clocks(&clocks)
+                .map_err(|e| e.to_string())?;
+            let mut out = String::new();
+            for r in reports {
+                out.push_str(&r.render_performance());
+                out.push('\n');
+            }
+            Ok(out)
+        }
+        "solve" => {
+            let input = load_worksheet(args.get(1))?;
+            let target: f64 = args
+                .get(2)
+                .ok_or("solve needs a target speedup")?
+                .parse()
+                .map_err(|e| format!("bad target speedup: {e}"))?;
+            Ok(render_solve(&input, target))
+        }
+        "sweep" => {
+            let input = load_worksheet(args.get(1))?;
+            let param = parse_param(args.get(2).map(String::as_str).unwrap_or(""))?;
+            let values: Vec<f64> = args[3..]
+                .iter()
+                .map(|v| v.parse().map_err(|e| format!("bad sweep value '{v}': {e}")))
+                .collect::<Result<_, _>>()?;
+            if values.is_empty() {
+                return Err("sweep needs at least one value".into());
+            }
+            let result =
+                rat_core::sweep::sweep(&input, param, &values).map_err(|e| e.to_string())?;
+            Ok(result.render())
+        }
+        "sensitivity" => {
+            let input = load_worksheet(args.get(1))?;
+            let report = rat_core::sensitivity::analyze(&input).map_err(|e| e.to_string())?;
+            Ok(report.render())
+        }
+        "multi-fpga" => {
+            let input = load_worksheet(args.get(1))?;
+            let max: u32 = args
+                .get(2)
+                .map(|v| v.parse().map_err(|e| format!("bad device count: {e}")))
+                .transpose()?
+                .unwrap_or(16);
+            let curve =
+                rat_core::multifpga::scaling_curve(&input, max).map_err(|e| e.to_string())?;
+            let sat = rat_core::multifpga::saturating_devices(&input)
+                .map_err(|e| e.to_string())?;
+            Ok(format!(
+                "{}channel saturates the scaling at {sat} device(s)\n",
+                curve.render()
+            ))
+        }
+        "streaming" => {
+            let input = load_worksheet(args.get(1))?;
+            let duplex = match args.get(2).map(String::as_str) {
+                None | Some("half") => rat_core::streaming::ChannelDuplex::Half,
+                Some("full") => rat_core::streaming::ChannelDuplex::Full,
+                Some(other) => return Err(format!("unknown duplex '{other}' (half|full)")),
+            };
+            let s = rat_core::streaming::analyze(&input, duplex).map_err(|e| e.to_string())?;
+            Ok(s.render())
+        }
+        "uncertainty" => {
+            let input = load_worksheet(args.get(1))?;
+            // Ranges as triples: <param> <lo> <hi> ...
+            let mut ranges = Vec::new();
+            let mut rest = &args[2..];
+            while rest.len() >= 3 {
+                let param = parse_param(&rest[0])?;
+                let lo: f64 =
+                    rest[1].parse().map_err(|e| format!("bad range low '{}': {e}", rest[1]))?;
+                let hi: f64 =
+                    rest[2].parse().map_err(|e| format!("bad range high '{}': {e}", rest[2]))?;
+                ranges.push(rat_core::uncertainty::ParamRange::new(param, lo, hi));
+                rest = &rest[3..];
+            }
+            if ranges.is_empty() {
+                return Err("uncertainty needs at least one <param> <lo> <hi> triple".into());
+            }
+            let report = rat_core::uncertainty::propagate(&input, &ranges, 10_000, 2007)
+                .map_err(|e| e.to_string())?;
+            Ok(report.render())
+        }
+        "microbench" => {
+            let spec = parse_platform(args.get(1).map(String::as_str).unwrap_or(""))?;
+            let table = fpga_sim::microbench::alpha_table(
+                &spec.interconnect,
+                &fpga_sim::microbench::standard_sizes(),
+            );
+            Ok(format!(
+                "alpha(size) for {}:\n{}",
+                spec.name,
+                fpga_sim::microbench::render_alpha_table(&table)
+            ))
+        }
+        "reproduce" => {
+            let what = args.get(1).map(String::as_str).unwrap_or("all");
+            let fast = args.iter().any(|a| a == "--fast");
+            if what == "all" || what == "--fast" {
+                let mut out = String::new();
+                for a in rat_bench::all_artifacts(fast) {
+                    out.push_str(&format!("==== {} — {} ====\n{}\n", a.id, a.title, a.body));
+                }
+                Ok(out)
+            } else {
+                rat_bench::artifact(what, fast)
+                    .map(|a| format!("==== {} — {} ====\n{}", a.id, a.title, a.body))
+                    .ok_or_else(|| {
+                        format!("unknown artifact '{what}' (table1..table10, figure1..figure3)")
+                    })
+            }
+        }
+        "trace" => {
+            let (measurement, t_soft, fclk) = match args.get(1).map(String::as_str) {
+                Some("pdf1d") => (
+                    rat_apps::pdf::pdf1d::design().simulate(150.0e6),
+                    rat_apps::pdf::pdf1d::T_SOFT,
+                    150.0e6,
+                ),
+                Some("pdf2d") => (
+                    rat_apps::pdf::pdf2d::design().simulate(150.0e6),
+                    rat_apps::pdf::pdf2d::T_SOFT,
+                    150.0e6,
+                ),
+                Some("md") => (
+                    rat_apps::md::hw::MdDesign::paper_scale_analytic().simulate(100.0e6),
+                    rat_apps::md::rat::T_SOFT,
+                    100.0e6,
+                ),
+                Some("sort") => (
+                    rat_apps::sort::rat::design().simulate(150.0e6),
+                    rat_apps::sort::rat::T_SOFT,
+                    150.0e6,
+                ),
+                other => {
+                    return Err(format!(
+                        "trace needs a case study (pdf1d|pdf2d|md|sort), got {other:?}"
+                    ))
+                }
+            };
+            let csv = args.iter().any(|a| a == "--csv");
+            if csv {
+                Ok(measurement.trace.to_csv())
+            } else {
+                Ok(format!(
+                    "{}\nsimulated at {:.0} MHz; speedup {:.1}x\n\nfirst-iterations Gantt:\n{}",
+                    measurement.render(),
+                    fclk / 1e6,
+                    t_soft / measurement.total.as_secs_f64(),
+                    measurement.trace.render_gantt(100)
+                ))
+            }
+        }
+        "devices" => {
+            let mut out = String::from("Device catalog:\n");
+            for d in rat_core::resources::device::all_devices() {
+                out.push_str(&format!(
+                    "  {:<28} {:>4} {}  {:>4} BRAMs  {:>7} {}\n",
+                    d.name,
+                    d.dsp_blocks,
+                    d.dsp_name,
+                    d.bram_blocks,
+                    d.logic_cells,
+                    d.logic_kind.name()
+                ));
+            }
+            Ok(out)
+        }
+        "compare" => {
+            let designs = args[1..]
+                .iter()
+                .map(|p| load_worksheet(Some(p)))
+                .collect::<Result<Vec<_>, _>>()?;
+            let cmp = rat_core::comparison::DesignComparison::compare(&designs)
+                .map_err(|e| e.to_string())?;
+            Ok(cmp.render())
+        }
+        "breakeven" => {
+            let input = load_worksheet(args.get(1))?;
+            let dev_hours: f64 = args
+                .get(2)
+                .ok_or("breakeven needs <dev-hours> <runs-per-day>")?
+                .parse()
+                .map_err(|e| format!("bad dev-hours: {e}"))?;
+            let runs_per_day: f64 = args
+                .get(3)
+                .ok_or("breakeven needs <dev-hours> <runs-per-day>")?
+                .parse()
+                .map_err(|e| format!("bad runs-per-day: {e}"))?;
+            let cost = rat_core::breakeven::MigrationCost {
+                development_hours: dev_hours,
+                runs_per_day,
+            };
+            let be = rat_core::breakeven::BreakEven::analyze(&input, &cost)
+                .map_err(|e| e.to_string())?;
+            Ok(be.render())
+        }
+        "example-worksheet" => Ok(example_worksheet()),
+        other => Err(format!("unknown command '{other}'")),
+    }
+}
+
+fn usage() -> String {
+    "rat — RC Amenability Test (Holland et al., HPRCTA'07)
+
+USAGE:
+  rat analyze <worksheet.toml> [--markdown] run the RAT worksheet, print the report
+  rat clocks <worksheet.toml> <MHz>...      analyze the design at several clocks
+  rat solve <worksheet.toml> <speedup>      required throughput_proc / fclock / alpha
+  rat sweep <worksheet.toml> <param> <v>... sweep one parameter
+                                            (fclock|alpha-write|alpha-read|alpha|
+                                             throughput-proc|ops-per-element|
+                                             elements-in|iterations)
+  rat sensitivity <worksheet.toml>          rank speedup elasticity per parameter
+  rat multi-fpga <worksheet.toml> [max]     scaling curve across devices (default 16)
+  rat streaming <worksheet.toml> [half|full] streaming-mode throughput analysis
+  rat uncertainty <ws.toml> <p> <lo> <hi>.. Monte-Carlo speedup distribution
+  rat microbench <nallatech|xd1000|pcie>    derive alpha(size) like the paper's Sec 4.2
+  rat trace <pdf1d|pdf2d|md|sort> [--csv]   simulate a case study, dump trace/Gantt
+  rat devices                               list the FPGA device catalog
+  rat compare <ws1.toml> <ws2.toml>...      rank candidate designs
+  rat breakeven <ws.toml> <hours> <runs/day> development-vs-savings break-even
+  rat reproduce <id|all> [--fast]           regenerate paper tables/figures
+  rat example-worksheet                     print a starter worksheet (Table 2)
+"
+    .to_string()
+}
+
+fn load_worksheet(path: Option<&String>) -> Result<RatInput, String> {
+    let path = path.ok_or("missing worksheet path")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let input: RatInput = toml::from_str(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+    input.validate().map_err(|e| e.to_string())?;
+    Ok(input)
+}
+
+fn parse_mhz_list(args: &[String]) -> Result<Vec<f64>, String> {
+    if args.is_empty() {
+        return Err("clocks needs at least one frequency in MHz".into());
+    }
+    args.iter()
+        .map(|a| {
+            a.parse::<f64>()
+                .map(|mhz| mhz * 1e6)
+                .map_err(|e| format!("bad frequency '{a}': {e}"))
+        })
+        .collect()
+}
+
+fn parse_param(name: &str) -> Result<SweepParam, String> {
+    match name {
+        "fclock" => Ok(SweepParam::Fclock),
+        "alpha-write" => Ok(SweepParam::AlphaWrite),
+        "alpha-read" => Ok(SweepParam::AlphaRead),
+        "alpha" => Ok(SweepParam::AlphaBoth),
+        "throughput-proc" => Ok(SweepParam::ThroughputProc),
+        "ops-per-element" => Ok(SweepParam::OpsPerElement),
+        "elements-in" => Ok(SweepParam::ElementsIn),
+        "iterations" => Ok(SweepParam::Iterations),
+        other => Err(format!("unknown sweep parameter '{other}'")),
+    }
+}
+
+fn parse_platform(name: &str) -> Result<fpga_sim::platform::PlatformSpec, String> {
+    match name {
+        "nallatech" => Ok(fpga_sim::catalog::nallatech_h101()),
+        "xd1000" => Ok(fpga_sim::catalog::xd1000()),
+        "pcie" => Ok(fpga_sim::catalog::generic_pcie_gen2_x8()),
+        other => Err(format!("unknown platform '{other}' (nallatech|xd1000|pcie)")),
+    }
+}
+
+fn render_solve(input: &RatInput, target: f64) -> String {
+    let mut out = format!("Inverse solve for {target}x speedup on '{}':\n", input.name);
+    match rat_core::solve::required_throughput_proc(input, target) {
+        Ok(v) => out.push_str(&format!("  required throughput_proc: {v:.1} ops/cycle\n")),
+        Err(e) => out.push_str(&format!("  throughput_proc: {e}\n")),
+    }
+    match rat_core::solve::required_fclock(input, target) {
+        Ok(v) => out.push_str(&format!("  required f_clock:         {:.1} MHz\n", v / 1e6)),
+        Err(e) => out.push_str(&format!("  f_clock: {e}\n")),
+    }
+    match rat_core::solve::required_alpha_scale(input, target) {
+        Ok(v) => out.push_str(&format!("  required alpha scale:     {v:.2}x current\n")),
+        Err(e) => out.push_str(&format!("  alpha: {e}\n")),
+    }
+    match rat_core::solve::max_speedup(input) {
+        Ok(v) => out.push_str(&format!("  speedup ceiling (comm-bound wall): {v:.1}x\n")),
+        Err(e) => out.push_str(&format!("  ceiling: {e}\n")),
+    }
+    out
+}
+
+fn example_worksheet() -> String {
+    let input = rat_apps::pdf::pdf1d::rat_input(150.0e6);
+    format!(
+        "# RAT worksheet (the paper's Table 2: 1-D PDF estimation)\n{}",
+        toml::to_string(&input).expect("serializable")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn help_runs_without_args() {
+        assert!(run(&[]).unwrap().contains("USAGE"));
+        assert!(run(&["help".into()]).unwrap().contains("reproduce"));
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        assert!(run(&["frobnicate".into()]).is_err());
+    }
+
+    #[test]
+    fn example_worksheet_round_trips() {
+        let text = example_worksheet();
+        let parsed: RatInput = toml::from_str(&text).unwrap();
+        assert_eq!(parsed.dataset.elements_in, 512);
+    }
+
+    #[test]
+    fn analyze_from_a_temp_file() {
+        let dir = std::env::temp_dir().join("rat-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ws.toml");
+        std::fs::write(&path, example_worksheet()).unwrap();
+        let out = run(&["analyze".into(), path.to_string_lossy().into_owned()]).unwrap();
+        assert!(out.contains("speedup"), "{out}");
+        assert!(out.contains("10.6"), "{out}");
+        let md = run(&[
+            "analyze".into(),
+            path.to_string_lossy().into_owned(),
+            "--markdown".into(),
+        ])
+        .unwrap();
+        assert!(md.starts_with("## RAT analysis"), "{md}");
+    }
+
+    #[test]
+    fn solve_prints_all_four_answers() {
+        let dir = std::env::temp_dir().join("rat-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ws2.toml");
+        std::fs::write(&path, example_worksheet()).unwrap();
+        let out =
+            run(&["solve".into(), path.to_string_lossy().into_owned(), "8".into()]).unwrap();
+        assert!(out.contains("throughput_proc"));
+        assert!(out.contains("f_clock"));
+        assert!(out.contains("ceiling"));
+    }
+
+    #[test]
+    fn microbench_platforms_parse() {
+        for p in ["nallatech", "xd1000", "pcie"] {
+            let out = run(&["microbench".into(), p.into()]).unwrap();
+            assert!(out.contains("alpha_write"), "{p}");
+        }
+        assert!(run(&["microbench".into(), "cray".into()]).is_err());
+    }
+
+    #[test]
+    fn reproduce_single_artifact() {
+        let out = run(&["reproduce".into(), "table2".into(), "--fast".into()]).unwrap();
+        assert!(out.contains("Table 2"));
+        assert!(run(&["reproduce".into(), "table42".into()]).is_err());
+    }
+
+    #[test]
+    fn param_names_parse() {
+        assert!(parse_param("fclock").is_ok());
+        assert!(parse_param("alpha").is_ok());
+        assert!(parse_param("warp-factor").is_err());
+    }
+
+    #[test]
+    fn mhz_list_scales_to_hz() {
+        let v = parse_mhz_list(&["75".into(), "150".into()]).unwrap();
+        assert_eq!(v, vec![75.0e6, 150.0e6]);
+        assert!(parse_mhz_list(&[]).is_err());
+    }
+
+    #[test]
+    fn trace_command_renders_and_exports() {
+        let out = run(&["trace".into(), "sort".into()]).unwrap();
+        assert!(out.contains("Gantt"), "{out}");
+        assert!(out.contains("speedup"), "{out}");
+        let csv = run(&["trace".into(), "sort".into(), "--csv".into()]).unwrap();
+        assert!(csv.starts_with("resource,label,start_ps"));
+        assert!(run(&["trace".into(), "unknown-app".into()]).is_err());
+        assert!(run(&["trace".into()]).is_err());
+    }
+
+    #[test]
+    fn devices_compare_breakeven_via_cli() {
+        let out = run(&["devices".into()]).unwrap();
+        assert!(out.contains("LX100"));
+        assert!(out.contains("EP2S180"));
+
+        let dir = std::env::temp_dir().join("rat-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let a = dir.join("cmp-a.toml");
+        let b = dir.join("cmp-b.toml");
+        std::fs::write(&a, example_worksheet()).unwrap();
+        std::fs::write(&b, example_worksheet().replace("150000000", "75000000")).unwrap();
+        let out = run(&[
+            "compare".into(),
+            a.to_string_lossy().into_owned(),
+            b.to_string_lossy().into_owned(),
+        ])
+        .unwrap();
+        assert!(out.contains("spread"), "{out}");
+
+        let out = run(&[
+            "breakeven".into(),
+            a.to_string_lossy().into_owned(),
+            "500".into(),
+            "1000".into(),
+        ])
+        .unwrap();
+        assert!(out.contains("days to break even"), "{out}");
+        assert!(run(&["breakeven".into(), a.to_string_lossy().into_owned()]).is_err());
+    }
+
+    #[test]
+    fn multifpga_streaming_uncertainty_via_cli() {
+        let dir = std::env::temp_dir().join("rat-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ws4.toml");
+        std::fs::write(&path, example_worksheet()).unwrap();
+        let ws = path.to_string_lossy().into_owned();
+
+        let out = run(&["multi-fpga".into(), ws.clone(), "8".into()]).unwrap();
+        assert!(out.contains("Devices"), "{out}");
+        assert!(out.contains("saturates"), "{out}");
+
+        let out = run(&["streaming".into(), ws.clone()]).unwrap();
+        assert!(out.contains("sustained rate"), "{out}");
+        assert!(run(&["streaming".into(), ws.clone(), "quantum".into()]).is_err());
+
+        let out = run(&[
+            "uncertainty".into(),
+            ws.clone(),
+            "fclock".into(),
+            "75e6".into(),
+            "150e6".into(),
+        ])
+        .unwrap();
+        assert!(out.contains("median"), "{out}");
+        assert!(run(&["uncertainty".into(), ws]).is_err());
+    }
+
+    #[test]
+    fn sweep_via_cli() {
+        let dir = std::env::temp_dir().join("rat-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ws3.toml");
+        std::fs::write(&path, example_worksheet()).unwrap();
+        let out = run(&[
+            "sweep".into(),
+            path.to_string_lossy().into_owned(),
+            "fclock".into(),
+            "75e6".into(),
+            "150e6".into(),
+        ])
+        .unwrap();
+        assert!(out.contains("Sweep of f_clock"));
+    }
+}

@@ -1,0 +1,137 @@
+//! Break-even analysis: is the migration worth the engineering?
+//!
+//! §1 of the paper frames the decision in exactly these terms: some managers
+//! demand 50–100x before approving an FPGA effort, while "other scenarios
+//! might place the break-even point (time of development versus time saved at
+//! execution) at a more conservative factor of ten or less". This module
+//! computes that break-even: given the predicted speedup, the software
+//! baseline, and an estimate of the development investment, how many runs —
+//! and how much calendar time at a given duty cycle — until the migration
+//! pays for itself?
+
+use crate::error::RatError;
+use crate::params::RatInput;
+use crate::table::TextTable;
+use crate::throughput;
+use serde::{Deserialize, Serialize};
+
+/// The development investment and usage profile of a migration project.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MigrationCost {
+    /// Engineering investment, in hours.
+    pub development_hours: f64,
+    /// How many application runs execute per day once deployed.
+    pub runs_per_day: f64,
+}
+
+/// The break-even verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BreakEven {
+    /// Wall-clock time saved by one accelerated run, in seconds.
+    pub saved_per_run: f64,
+    /// Runs needed for cumulative savings to cover the development time.
+    /// `f64::INFINITY` if the design is a slowdown.
+    pub runs_to_break_even: f64,
+    /// Calendar days to break even at the given duty cycle.
+    pub days_to_break_even: f64,
+}
+
+impl BreakEven {
+    /// Compute the break-even point for a design under a cost model.
+    pub fn analyze(input: &RatInput, cost: &MigrationCost) -> Result<Self, RatError> {
+        input.validate()?;
+        if !(cost.development_hours.is_finite() && cost.development_hours > 0.0) {
+            return Err(RatError::param("development_hours must be positive"));
+        }
+        if !(cost.runs_per_day.is_finite() && cost.runs_per_day > 0.0) {
+            return Err(RatError::param("runs_per_day must be positive"));
+        }
+        let saved_per_run = input.software.t_soft - throughput::t_rc(input);
+        let dev_secs = cost.development_hours * 3600.0;
+        let (runs, days) = if saved_per_run <= 0.0 {
+            (f64::INFINITY, f64::INFINITY)
+        } else {
+            let runs = dev_secs / saved_per_run;
+            (runs, runs / cost.runs_per_day)
+        };
+        Ok(Self { saved_per_run, runs_to_break_even: runs, days_to_break_even: days })
+    }
+
+    /// Whether the migration pays for itself within `horizon_days`.
+    pub fn worth_it_within(&self, horizon_days: f64) -> bool {
+        self.days_to_break_even <= horizon_days
+    }
+
+    /// Render the verdict.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new()
+            .title("Break-even analysis (development time vs execution time saved)")
+            .header(["Metric", "Value"]);
+        t.row(["time saved per run".to_string(), format!("{:.3e} s", self.saved_per_run)]);
+        t.row(["runs to break even".to_string(), format!("{:.0}", self.runs_to_break_even)]);
+        t.row(["days to break even".to_string(), format!("{:.1}", self.days_to_break_even)]);
+        t.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::pdf1d_example;
+
+    fn cost() -> MigrationCost {
+        // Three engineer-months at ~21 workdays of 8 hours, heavy usage.
+        MigrationCost { development_hours: 500.0, runs_per_day: 10_000.0 }
+    }
+
+    #[test]
+    fn pdf1d_break_even_numbers() {
+        // Saved per run: 0.578 - 0.0546 = 0.523 s; 500 h = 1.8e6 s;
+        // ~3.44 million runs, ~344 days at 10k runs/day.
+        let be = BreakEven::analyze(&pdf1d_example(), &cost()).unwrap();
+        assert!((be.saved_per_run - 0.523).abs() < 0.01);
+        assert!((be.runs_to_break_even - 3.44e6).abs() / 3.44e6 < 0.02);
+        assert!((be.days_to_break_even - 344.0).abs() < 10.0);
+        assert!(!be.worth_it_within(100.0));
+        assert!(be.worth_it_within(400.0));
+    }
+
+    #[test]
+    fn slowdown_never_breaks_even() {
+        let mut input = pdf1d_example();
+        input.comp.throughput_proc = 0.1; // cripple the design: speedup < 1
+        let be = BreakEven::analyze(&input, &cost()).unwrap();
+        assert!(be.saved_per_run < 0.0);
+        assert_eq!(be.runs_to_break_even, f64::INFINITY);
+        assert!(!be.worth_it_within(1e9));
+    }
+
+    #[test]
+    fn higher_duty_cycle_breaks_even_sooner() {
+        let lazy = BreakEven::analyze(
+            &pdf1d_example(),
+            &MigrationCost { development_hours: 500.0, runs_per_day: 100.0 },
+        )
+        .unwrap();
+        let busy = BreakEven::analyze(&pdf1d_example(), &cost()).unwrap();
+        assert!(busy.days_to_break_even < lazy.days_to_break_even);
+        // Runs to break even are duty-cycle independent.
+        assert!((busy.runs_to_break_even - lazy.runs_to_break_even).abs() < 1e-6);
+    }
+
+    #[test]
+    fn invalid_costs_rejected() {
+        let bad = MigrationCost { development_hours: 0.0, runs_per_day: 1.0 };
+        assert!(BreakEven::analyze(&pdf1d_example(), &bad).is_err());
+        let bad = MigrationCost { development_hours: 10.0, runs_per_day: -1.0 };
+        assert!(BreakEven::analyze(&pdf1d_example(), &bad).is_err());
+    }
+
+    #[test]
+    fn render_contains_the_three_numbers() {
+        let s = BreakEven::analyze(&pdf1d_example(), &cost()).unwrap().render();
+        assert!(s.contains("time saved per run"));
+        assert!(s.contains("runs to break even"));
+        assert!(s.contains("days to break even"));
+    }
+}

@@ -1,0 +1,48 @@
+//! Error types for RAT analyses.
+
+use std::fmt;
+
+/// Errors produced by RAT analyses.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RatError {
+    /// An input parameter failed validation. The string names the parameter and
+    /// the constraint it violated.
+    InvalidParameter(String),
+    /// An inverse solve has no feasible solution (e.g. the communication time
+    /// alone already exceeds the execution-time budget for the target speedup).
+    Infeasible(String),
+}
+
+impl RatError {
+    pub(crate) fn param(msg: impl Into<String>) -> Self {
+        RatError::InvalidParameter(msg.into())
+    }
+
+    pub(crate) fn infeasible(msg: impl Into<String>) -> Self {
+        RatError::Infeasible(msg.into())
+    }
+}
+
+impl fmt::Display for RatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RatError::InvalidParameter(msg) => write!(f, "invalid RAT parameter: {msg}"),
+            RatError::Infeasible(msg) => write!(f, "infeasible: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RatError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_context() {
+        let e = RatError::param("alpha_write must be in (0, 1]");
+        assert!(e.to_string().contains("alpha_write"));
+        let e = RatError::infeasible("communication alone exceeds budget");
+        assert!(e.to_string().starts_with("infeasible"));
+    }
+}

@@ -1,0 +1,73 @@
+//! # RC Amenability Test (RAT)
+//!
+//! An implementation of the RAT methodology from *"RAT: A Methodology for
+//! Predicting Performance in Application Design Migration to FPGAs"* (Holland,
+//! Nagarajan, Conger, Jacobs, George — HPRCTA'07). RAT answers, **before any
+//! hardware is written**, whether a specific application design on a specific
+//! FPGA platform is likely to meet its performance goals, using three tests:
+//!
+//! 1. **Throughput** ([`throughput`], [`worksheet`]): closed-form predictions
+//!    of communication time (Eqs. 1–3), computation time (Eq. 4), total RC
+//!    execution time under single/double buffering (Eqs. 5–6), speedup
+//!    (Eq. 7), and utilizations (Eqs. 8–11).
+//! 2. **Numerical precision** ([`precision`]): is the chosen number format's
+//!    error within tolerance, and is a cheaper format available?
+//! 3. **Resources** ([`resources`]): does the design fit the device?
+//!
+//! Beyond the paper's worksheet, this crate adds the machinery a practicing
+//! team needs around it: inverse solvers ([`solve`]) for "what throughput_proc
+//! do I need for 10x?", parameter sweeps ([`sweep`]), local sensitivity
+//! analysis ([`sensitivity`]), Monte-Carlo uncertainty propagation
+//! ([`uncertainty`]), multi-kernel application analysis ([`multistage`]), and
+//! the Figure-1 methodology flow as an executable state machine
+//! ([`methodology`]).
+//!
+//! ## Example: the paper's §4.3 worked example
+//!
+//! ```
+//! use rat_core::params::*;
+//! use rat_core::worksheet::Worksheet;
+//!
+//! // Table 2: 1-D PDF estimation at fclock = 150 MHz.
+//! let input = RatInput {
+//!     name: "1-D PDF".into(),
+//!     dataset: DatasetParams { elements_in: 512, elements_out: 1, bytes_per_element: 4 },
+//!     comm: CommParams { ideal_bandwidth: 1.0e9, alpha_write: 0.37, alpha_read: 0.16 },
+//!     comp: CompParams { ops_per_element: 768.0, throughput_proc: 20.0, fclock: 150.0e6 },
+//!     software: SoftwareParams { t_soft: 0.578, iterations: 400 },
+//!     buffering: Buffering::Single,
+//! };
+//! let report = Worksheet::new(input).analyze().unwrap();
+//! assert!((report.throughput.t_comp - 1.31e-4).abs() < 1e-6);   // §4.3: 1.31E-4 s
+//! assert!((report.speedup - 10.6).abs() < 0.1);                 // Table 3: 10.6
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod breakeven;
+pub mod comparison;
+pub mod error;
+pub mod explore;
+pub mod methodology;
+pub mod multifpga;
+pub mod multistage;
+pub mod params;
+pub mod precision;
+pub mod report;
+pub mod resources;
+pub mod sensitivity;
+pub mod solve;
+pub mod streaming;
+pub mod sweep;
+pub mod table;
+pub mod throughput;
+pub mod uncertainty;
+pub mod utilization;
+pub mod validation;
+pub mod worksheet;
+
+pub use error::RatError;
+pub use params::{Buffering, CommParams, CompParams, DatasetParams, RatInput, SoftwareParams};
+pub use report::Report;
+pub use throughput::ThroughputPrediction;
+pub use worksheet::Worksheet;

@@ -1,0 +1,266 @@
+//! RAT input parameters (the paper's Table 1).
+//!
+//! The worksheet groups its inputs into four categories: dataset,
+//! communication, computation, and software. All quantities are SI —
+//! bandwidth in bytes/second, clock in Hz, time in seconds — with unit
+//! conversions confined to rendering.
+
+use crate::error::RatError;
+use serde::{Deserialize, Serialize};
+
+/// Dataset parameters: how big one buffered block of the problem is.
+///
+/// An *element* is the paper's unit tying communication to computation: "a
+/// value in an array to be sorted, an atom in a molecular dynamics simulation,
+/// or a single character in a string-matching algorithm" (§3.1). Elements in
+/// and out may differ — the 1-D PDF consumes 512 elements per iteration but
+/// emits one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DatasetParams {
+    /// Elements transferred host→FPGA per iteration (`N_elements,input`).
+    pub elements_in: u64,
+    /// Elements transferred FPGA→host per iteration (`N_elements,output`).
+    pub elements_out: u64,
+    /// Bytes per element on the communication channel (`N_bytes/element`).
+    pub bytes_per_element: u64,
+}
+
+/// Communication parameters: properties of the CPU–FPGA interconnect.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CommParams {
+    /// Documented peak interconnect bandwidth in bytes/second
+    /// (`throughput_ideal`; the paper quotes MB/s).
+    pub ideal_bandwidth: f64,
+    /// Fraction of ideal throughput sustained host→FPGA (`alpha_write`),
+    /// from a microbenchmark.
+    pub alpha_write: f64,
+    /// Fraction of ideal throughput sustained FPGA→host (`alpha_read`).
+    pub alpha_read: f64,
+}
+
+/// Computation parameters: how much work per element and how fast the design
+/// retires it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CompParams {
+    /// Operations per element (`N_ops/element`), measured from the algorithm
+    /// structure. What counts as one "operation" is the designer's choice, as
+    /// long as `throughput_proc` uses the same convention (§3.1's Booth
+    /// multiplier discussion).
+    pub ops_per_element: f64,
+    /// Operations completed per clock cycle (`throughput_proc`). Equals
+    /// ops/element for a fully pipelined design; a fraction of it otherwise.
+    pub throughput_proc: f64,
+    /// FPGA clock frequency in Hz (`f_clock`).
+    pub fclock: f64,
+}
+
+/// Software baseline parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SoftwareParams {
+    /// Execution time of the sequential software baseline in seconds
+    /// (`t_soft`), for the *whole* problem.
+    pub t_soft: f64,
+    /// Number of communication+computation iterations needed to cover the
+    /// whole problem (`N_iter`).
+    pub iterations: u64,
+}
+
+/// Buffering discipline assumed by the prediction (paper Figure 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Buffering {
+    /// Single-buffered: communication and computation serialize (Eq. 5).
+    #[default]
+    Single,
+    /// Double-buffered: the longer of communication and computation hides the
+    /// shorter at steady state (Eq. 6). Only meaningful with enough iterations
+    /// to amortize the pipeline startup.
+    Double,
+}
+
+/// A complete RAT worksheet input (the paper's Table 1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RatInput {
+    /// Name of the application design under analysis.
+    pub name: String,
+    /// Dataset parameters.
+    pub dataset: DatasetParams,
+    /// Communication parameters.
+    pub comm: CommParams,
+    /// Computation parameters.
+    pub comp: CompParams,
+    /// Software baseline parameters.
+    pub software: SoftwareParams,
+    /// Buffering assumption.
+    pub buffering: Buffering,
+}
+
+impl RatInput {
+    /// Validate every parameter, returning the first violation.
+    ///
+    /// Checks positivity/finiteness of rates and times, `alpha` in `(0, 1]`,
+    /// and at least one iteration. `elements_out` may be zero (results may
+    /// accumulate on-chip), but `elements_in` must be positive — a design that
+    /// consumes no data computes nothing RAT can reason about.
+    pub fn validate(&self) -> Result<(), RatError> {
+        let d = &self.dataset;
+        if d.elements_in == 0 {
+            return Err(RatError::param("elements_in must be at least 1"));
+        }
+        if d.bytes_per_element == 0 {
+            return Err(RatError::param("bytes_per_element must be at least 1"));
+        }
+        let c = &self.comm;
+        if !(c.ideal_bandwidth.is_finite() && c.ideal_bandwidth > 0.0) {
+            return Err(RatError::param(format!(
+                "ideal_bandwidth must be positive and finite, got {}",
+                c.ideal_bandwidth
+            )));
+        }
+        for (name, alpha) in [("alpha_write", c.alpha_write), ("alpha_read", c.alpha_read)] {
+            if !(alpha.is_finite() && alpha > 0.0 && alpha <= 1.0) {
+                return Err(RatError::param(format!("{name} must be in (0, 1], got {alpha}")));
+            }
+        }
+        let p = &self.comp;
+        if !(p.ops_per_element.is_finite() && p.ops_per_element > 0.0) {
+            return Err(RatError::param(format!(
+                "ops_per_element must be positive, got {}",
+                p.ops_per_element
+            )));
+        }
+        if !(p.throughput_proc.is_finite() && p.throughput_proc > 0.0) {
+            return Err(RatError::param(format!(
+                "throughput_proc must be positive, got {}",
+                p.throughput_proc
+            )));
+        }
+        if !(p.fclock.is_finite() && p.fclock > 0.0) {
+            return Err(RatError::param(format!("fclock must be positive, got {}", p.fclock)));
+        }
+        let s = &self.software;
+        if !(s.t_soft.is_finite() && s.t_soft > 0.0) {
+            return Err(RatError::param(format!("t_soft must be positive, got {}", s.t_soft)));
+        }
+        if s.iterations == 0 {
+            return Err(RatError::param("iterations must be at least 1"));
+        }
+        Ok(())
+    }
+
+    /// Bytes moved host→FPGA per iteration.
+    pub fn input_bytes(&self) -> u64 {
+        self.dataset.elements_in * self.dataset.bytes_per_element
+    }
+
+    /// Bytes moved FPGA→host per iteration.
+    pub fn output_bytes(&self) -> u64 {
+        self.dataset.elements_out * self.dataset.bytes_per_element
+    }
+
+    /// A copy of this input with a different clock frequency — the paper's
+    /// Tables 3/6/9 evaluate each design at 75, 100, and 150 MHz.
+    pub fn with_fclock(&self, fclock: f64) -> Self {
+        let mut next = self.clone();
+        next.comp.fclock = fclock;
+        next
+    }
+
+    /// A copy with a different buffering assumption.
+    pub fn with_buffering(&self, buffering: Buffering) -> Self {
+        let mut next = self.clone();
+        next.buffering = buffering;
+        next
+    }
+}
+
+#[cfg(test)]
+pub(crate) fn pdf1d_example() -> RatInput {
+    // The paper's Table 2, at 150 MHz.
+    RatInput {
+        name: "1-D PDF".into(),
+        dataset: DatasetParams { elements_in: 512, elements_out: 1, bytes_per_element: 4 },
+        comm: CommParams { ideal_bandwidth: 1.0e9, alpha_write: 0.37, alpha_read: 0.16 },
+        comp: CompParams { ops_per_element: 768.0, throughput_proc: 20.0, fclock: 150.0e6 },
+        software: SoftwareParams { t_soft: 0.578, iterations: 400 },
+        buffering: Buffering::Single,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_input_validates() {
+        assert!(pdf1d_example().validate().is_ok());
+    }
+
+    #[test]
+    fn rejects_zero_elements_in() {
+        let mut i = pdf1d_example();
+        i.dataset.elements_in = 0;
+        assert!(matches!(i.validate(), Err(RatError::InvalidParameter(m)) if m.contains("elements_in")));
+    }
+
+    #[test]
+    fn allows_zero_elements_out() {
+        let mut i = pdf1d_example();
+        i.dataset.elements_out = 0;
+        assert!(i.validate().is_ok());
+    }
+
+    #[test]
+    fn rejects_alpha_out_of_range() {
+        for bad in [0.0, -0.5, 1.5, f64::NAN, f64::INFINITY] {
+            let mut i = pdf1d_example();
+            i.comm.alpha_read = bad;
+            assert!(i.validate().is_err(), "alpha_read = {bad} should be rejected");
+        }
+        let mut i = pdf1d_example();
+        i.comm.alpha_write = 1.0;
+        assert!(i.validate().is_ok(), "alpha exactly 1.0 is legal");
+    }
+
+    #[test]
+    fn rejects_nonpositive_rates_and_times() {
+        let mut i = pdf1d_example();
+        i.comp.fclock = 0.0;
+        assert!(i.validate().is_err());
+        let mut i = pdf1d_example();
+        i.comp.throughput_proc = -3.0;
+        assert!(i.validate().is_err());
+        let mut i = pdf1d_example();
+        i.software.t_soft = 0.0;
+        assert!(i.validate().is_err());
+        let mut i = pdf1d_example();
+        i.software.iterations = 0;
+        assert!(i.validate().is_err());
+        let mut i = pdf1d_example();
+        i.comm.ideal_bandwidth = f64::NAN;
+        assert!(i.validate().is_err());
+    }
+
+    #[test]
+    fn byte_accessors() {
+        let i = pdf1d_example();
+        assert_eq!(i.input_bytes(), 2048);
+        assert_eq!(i.output_bytes(), 4);
+    }
+
+    #[test]
+    fn with_fclock_changes_only_clock() {
+        let i = pdf1d_example();
+        let j = i.with_fclock(75.0e6);
+        assert_eq!(j.comp.fclock, 75.0e6);
+        assert_eq!(j.comp.ops_per_element, i.comp.ops_per_element);
+        assert_eq!(j.dataset, i.dataset);
+    }
+
+    #[test]
+    fn serde_round_trip_via_toml() {
+        let i = pdf1d_example();
+        let text = toml::to_string(&i).unwrap();
+        let back: RatInput = toml::from_str(&text).unwrap();
+        assert_eq!(back, i);
+    }
+}

@@ -1,0 +1,262 @@
+//! Minimal aligned-column text tables for worksheet reports.
+//!
+//! The paper presents everything as small tables (input parameters,
+//! predicted-vs-actual performance, resource usage); this renderer produces
+//! the same artifacts on a terminal without pulling in a formatting crate.
+
+/// A simple text table with a header row and aligned columns.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    title: Option<String>,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the table title (rendered above the header).
+    pub fn title(mut self, title: impl Into<String>) -> Self {
+        self.title = Some(title.into());
+        self
+    }
+
+    /// Set the header cells.
+    pub fn header<S: Into<String>>(mut self, cells: impl IntoIterator<Item = S>) -> Self {
+        self.header = cells.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Append one row. Rows may be ragged; short rows pad with empty cells.
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) -> &mut Self {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Append a full-width section label row.
+    pub fn section(&mut self, label: impl Into<String>) -> &mut Self {
+        self.rows.push(vec![format!("-- {} --", label.into())]);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Render with single-space-padded, left-aligned columns separated by two
+    /// spaces.
+    pub fn render(&self) -> String {
+        let cols = self
+            .rows
+            .iter()
+            .map(Vec::len)
+            .chain(std::iter::once(self.header.len()))
+            .max()
+            .unwrap_or(0);
+        if cols == 0 {
+            return String::new();
+        }
+        let mut widths = vec![0usize; cols];
+        let all_rows = std::iter::once(&self.header).chain(self.rows.iter());
+        for row in all_rows.clone() {
+            // Full-width section rows don't participate in column sizing.
+            if row.len() == 1 && cols > 1 && row[0].starts_with("-- ") {
+                continue;
+            }
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        if let Some(t) = &self.title {
+            out.push_str(t);
+            out.push('\n');
+        }
+        let render_row = |row: &[String]| -> String {
+            if row.len() == 1 && cols > 1 && row[0].starts_with("-- ") {
+                return row[0].clone();
+            }
+            let mut line = String::new();
+            for (i, w) in widths.iter().enumerate() {
+                let cell = row.get(i).map(String::as_str).unwrap_or("");
+                if i + 1 == cols {
+                    line.push_str(cell);
+                } else {
+                    line.push_str(&format!("{cell:<w$}"));
+                    line.push_str("  ");
+                }
+            }
+            line.trim_end().to_string()
+        };
+        if !self.header.is_empty() {
+            out.push_str(&render_row(&self.header));
+            out.push('\n');
+            out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+            out.push('\n');
+        }
+        for row in &self.rows {
+            out.push_str(&render_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl TextTable {
+    /// Render as a GitHub-flavored-Markdown table. Section rows become bold
+    /// full-width cells; the title becomes a `###` heading.
+    pub fn render_markdown(&self) -> String {
+        let cols = self
+            .rows
+            .iter()
+            .map(Vec::len)
+            .chain(std::iter::once(self.header.len()))
+            .max()
+            .unwrap_or(0);
+        if cols == 0 {
+            return String::new();
+        }
+        let mut out = String::new();
+        if let Some(t) = &self.title {
+            out.push_str(&format!("### {t}\n\n"));
+        }
+        let escape = |s: &str| s.replace('|', "\\|");
+        let row_line = |cells: &[String]| -> String {
+            let mut line = String::from("|");
+            for i in 0..cols {
+                line.push_str(&format!(
+                    " {} |",
+                    escape(cells.get(i).map(String::as_str).unwrap_or(""))
+                ));
+            }
+            line
+        };
+        if self.header.is_empty() {
+            out.push_str(&row_line(&vec![String::new(); cols]));
+        } else {
+            out.push_str(&row_line(&self.header));
+        }
+        out.push('\n');
+        out.push_str(&format!("|{}\n", "---|".repeat(cols)));
+        for row in &self.rows {
+            if row.len() == 1 && cols > 1 && row[0].starts_with("-- ") {
+                let label = row[0].trim_matches(|c| c == '-' || c == ' ');
+                let mut cells = vec![format!("**{label}**")];
+                cells.resize(cols, String::new());
+                out.push_str(&row_line(&cells));
+            } else {
+                out.push_str(&row_line(row));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format a quantity in engineering scientific notation with 3 significant
+/// digits, e.g. `5.56e-6` — the paper's table style.
+pub fn sci(v: f64) -> String {
+    if v == 0.0 {
+        return "0".into();
+    }
+    format!("{v:.2e}")
+}
+
+/// Format a ratio as a percentage with no decimals (e.g. `4%`), or one decimal
+/// below 1% — matching the paper's utilization rows.
+pub fn pct(v: f64) -> String {
+    let p = v * 100.0;
+    if p >= 1.0 {
+        format!("{p:.0}%")
+    } else {
+        format!("{p:.1}%")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_header_rule_and_rows() {
+        let mut t = TextTable::new().title("Demo").header(["a", "bb", "ccc"]);
+        t.row(["1", "2", "3"]);
+        t.row(["10", "20", "30"]);
+        let s = t.render();
+        let lines: Vec<_> = s.lines().collect();
+        assert_eq!(lines[0], "Demo");
+        assert!(lines[1].starts_with("a"));
+        assert!(lines[2].chars().all(|c| c == '-'));
+        assert_eq!(lines.len(), 5);
+    }
+
+    #[test]
+    fn columns_align() {
+        let mut t = TextTable::new().header(["name", "value"]);
+        t.row(["x", "1"]);
+        t.row(["longer-name", "2"]);
+        let s = t.render();
+        let data_lines: Vec<_> = s.lines().skip(2).collect();
+        let col1 = data_lines[0].find('1').unwrap();
+        let col2 = data_lines[1].find('2').unwrap();
+        assert_eq!(col1, col2, "value column should align:\n{s}");
+    }
+
+    #[test]
+    fn ragged_rows_pad() {
+        let mut t = TextTable::new().header(["a", "b"]);
+        t.row(["only"]);
+        let s = t.render();
+        assert!(s.contains("only"));
+    }
+
+    #[test]
+    fn section_rows_span() {
+        let mut t = TextTable::new().header(["param", "value"]);
+        t.section("Dataset Parameters");
+        t.row(["elements", "512"]);
+        let s = t.render();
+        assert!(s.contains("-- Dataset Parameters --"));
+    }
+
+    #[test]
+    fn empty_table_renders_empty() {
+        assert_eq!(TextTable::new().render(), "");
+    }
+
+    #[test]
+    fn markdown_rendering() {
+        let mut t = TextTable::new().title("Demo").header(["Param", "Value"]);
+        t.section("Dataset");
+        t.row(["elements", "512"]);
+        t.row(["pipe|char", "x"]);
+        let s = t.render_markdown();
+        assert!(s.starts_with("### Demo"));
+        assert!(s.contains("| Param | Value |"));
+        assert!(s.contains("|---|---|"));
+        assert!(s.contains("| **Dataset** |  |"));
+        assert!(s.contains("pipe\\|char"), "pipes must be escaped:\n{s}");
+        // Every table line has a consistent pipe count.
+        for line in s.lines().filter(|l| l.starts_with('|')) {
+            assert_eq!(line.matches('|').count() - line.matches("\\|").count(), 3, "{line}");
+        }
+    }
+
+    #[test]
+    fn markdown_empty_table() {
+        assert_eq!(TextTable::new().render_markdown(), "");
+    }
+
+    #[test]
+    fn sci_and_pct_formatting() {
+        assert_eq!(sci(5.56e-6), "5.56e-6");
+        assert_eq!(sci(0.0), "0");
+        assert_eq!(pct(0.04), "4%");
+        assert_eq!(pct(0.152), "15%");
+        assert_eq!(pct(0.004), "0.4%");
+    }
+}

@@ -1,0 +1,233 @@
+//! The RAT throughput test: Equations (1) through (7).
+//!
+//! Predicted performance is two terms — CPU↔FPGA communication time and FPGA
+//! computation time — combined per the buffering discipline, then held against
+//! the software baseline for a speedup figure. Reconfiguration and setup times
+//! are ignored, exactly as the paper specifies.
+
+use crate::error::RatError;
+use crate::params::{Buffering, RatInput};
+use crate::utilization;
+use serde::{Deserialize, Serialize};
+
+/// Equation (2): time to write one iteration's input block host→FPGA.
+///
+/// `t_write = N_elements,in * N_bytes/elt / (alpha_write * throughput_ideal)`
+pub fn t_write(input: &RatInput) -> f64 {
+    input.input_bytes() as f64 / (input.comm.alpha_write * input.comm.ideal_bandwidth)
+}
+
+/// Equation (3): time to read one iteration's output block FPGA→host.
+pub fn t_read(input: &RatInput) -> f64 {
+    input.output_bytes() as f64 / (input.comm.alpha_read * input.comm.ideal_bandwidth)
+}
+
+/// Equation (1): total communication time per iteration.
+pub fn t_comm(input: &RatInput) -> f64 {
+    t_write(input) + t_read(input)
+}
+
+/// Equation (4): computation time per iteration.
+///
+/// `t_comp = N_elements,in * N_ops/elt / (f_clock * throughput_proc)`
+pub fn t_comp(input: &RatInput) -> f64 {
+    input.dataset.elements_in as f64 * input.comp.ops_per_element
+        / (input.comp.fclock * input.comp.throughput_proc)
+}
+
+/// Equation (5): single-buffered RC execution time.
+pub fn t_rc_single(input: &RatInput) -> f64 {
+    input.software.iterations as f64 * (t_comm(input) + t_comp(input))
+}
+
+/// Equation (6): double-buffered RC execution time (steady-state overlap).
+pub fn t_rc_double(input: &RatInput) -> f64 {
+    input.software.iterations as f64 * t_comm(input).max(t_comp(input))
+}
+
+/// RC execution time under the input's buffering assumption.
+pub fn t_rc(input: &RatInput) -> f64 {
+    match input.buffering {
+        Buffering::Single => t_rc_single(input),
+        Buffering::Double => t_rc_double(input),
+    }
+}
+
+/// Equation (7): predicted speedup over the software baseline.
+pub fn speedup(input: &RatInput) -> f64 {
+    input.software.t_soft / t_rc(input)
+}
+
+/// All throughput-test outputs for one input, in one struct.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThroughputPrediction {
+    /// Per-iteration input (host→FPGA) transfer time, Eq. (2).
+    pub t_write: f64,
+    /// Per-iteration output (FPGA→host) transfer time, Eq. (3).
+    pub t_read: f64,
+    /// Per-iteration communication time, Eq. (1).
+    pub t_comm: f64,
+    /// Per-iteration computation time, Eq. (4).
+    pub t_comp: f64,
+    /// Total RC execution time, Eq. (5) or (6) per the buffering assumption.
+    pub t_rc: f64,
+    /// Speedup over software, Eq. (7).
+    pub speedup: f64,
+    /// Communication utilization, Eq. (9) or (11).
+    pub util_comm: f64,
+    /// Computation utilization, Eq. (8) or (10).
+    pub util_comp: f64,
+    /// Buffering assumption the prediction was made under.
+    pub buffering: Buffering,
+}
+
+impl ThroughputPrediction {
+    /// Run the complete throughput test on a validated input.
+    pub fn analyze(input: &RatInput) -> Result<Self, RatError> {
+        input.validate()?;
+        let comm = t_comm(input);
+        let comp = t_comp(input);
+        let (util_comp, util_comm) = match input.buffering {
+            Buffering::Single => (
+                utilization::util_comp_single(comm, comp),
+                utilization::util_comm_single(comm, comp),
+            ),
+            Buffering::Double => (
+                utilization::util_comp_double(comm, comp),
+                utilization::util_comm_double(comm, comp),
+            ),
+        };
+        Ok(Self {
+            t_write: t_write(input),
+            t_read: t_read(input),
+            t_comm: comm,
+            t_comp: comp,
+            t_rc: t_rc(input),
+            speedup: speedup(input),
+            util_comm,
+            util_comp,
+            buffering: input.buffering,
+        })
+    }
+
+    /// Whether the design is communication-bound (`t_comm > t_comp`). For a
+    /// communication-bound design, double buffering cannot rescue throughput —
+    /// the channel itself is the bottleneck, and the paper notes it is a
+    /// single, serialized resource.
+    pub fn comm_bound(&self) -> bool {
+        self.t_comm > self.t_comp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::pdf1d_example;
+
+    /// §4.3 works the 150 MHz case end to end; Table 3 lists all three clocks.
+    #[test]
+    fn paper_worked_example_tcomp() {
+        let input = pdf1d_example();
+        // "t_comp = 512 * 768 / (150 MHz * 20 ops/cycle) = 1.31E-4 secs"
+        assert!((t_comp(&input) - 1.31072e-4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_worked_example_tcomm() {
+        let input = pdf1d_example();
+        // Write: 2048 B at 0.37 GB/s = 5.54e-6; read: 4 B at 0.16 GB/s = 2.5e-8.
+        assert!((t_write(&input) - 5.5351e-6).abs() < 1e-9);
+        assert!((t_read(&input) - 2.5e-8).abs() < 1e-10);
+        // Table 3: t_comm = 5.56E-6 s.
+        assert!((t_comm(&input) - 5.56e-6).abs() < 5e-9);
+    }
+
+    #[test]
+    fn paper_worked_example_trc_and_speedup() {
+        let input = pdf1d_example();
+        // "t_RC_SB = 400 * (5.56E-6 + 1.31E-4) = 5.46E-2 secs"
+        assert!((t_rc_single(&input) - 5.46e-2).abs() < 2e-4);
+        // Table 3: speedup 10.6 at 150 MHz.
+        assert!((speedup(&input) - 10.6).abs() < 0.05);
+    }
+
+    #[test]
+    fn table3_all_three_clocks() {
+        // (fclock MHz, t_comp, t_RC, speedup) — the paper's predicted columns.
+        let cases = [
+            (75.0e6, 2.62e-4, 1.07e-1, 5.4),
+            (100.0e6, 1.97e-4, 8.09e-2, 7.2),
+            (150.0e6, 1.31e-4, 5.46e-2, 10.6),
+        ];
+        for (f, tc, trc, sp) in cases {
+            let input = pdf1d_example().with_fclock(f);
+            assert!(
+                (t_comp(&input) - tc).abs() / tc < 0.01,
+                "t_comp at {f} Hz: {} vs paper {tc}",
+                t_comp(&input)
+            );
+            assert!(
+                (t_rc(&input) - trc).abs() / trc < 0.01,
+                "t_RC at {f} Hz: {} vs paper {trc}",
+                t_rc(&input)
+            );
+            assert!(
+                (speedup(&input) - sp).abs() / sp < 0.01,
+                "speedup at {f} Hz: {} vs paper {sp}",
+                speedup(&input)
+            );
+        }
+    }
+
+    #[test]
+    fn double_buffering_hides_the_smaller_term() {
+        let input = pdf1d_example();
+        let db = t_rc_double(&input);
+        // Compute-bound: DB time is iterations * t_comp.
+        assert!((db - 400.0 * t_comp(&input)).abs() < 1e-12);
+        assert!(db < t_rc_single(&input));
+    }
+
+    #[test]
+    fn db_equals_sb_only_when_one_term_vanishes() {
+        // As t_comm -> 0, SB -> DB.
+        let mut input = pdf1d_example();
+        input.comm.alpha_write = 1.0;
+        input.comm.alpha_read = 1.0;
+        input.comm.ideal_bandwidth = 1e18; // effectively free communication
+        let sb = t_rc_single(&input);
+        let db = t_rc_double(&input);
+        assert!((sb - db) / sb < 1e-6);
+    }
+
+    #[test]
+    fn prediction_struct_is_consistent() {
+        let input = pdf1d_example();
+        let p = ThroughputPrediction::analyze(&input).unwrap();
+        assert_eq!(p.t_comm, t_comm(&input));
+        assert_eq!(p.t_comp, t_comp(&input));
+        assert_eq!(p.t_rc, t_rc(&input));
+        assert_eq!(p.speedup, speedup(&input));
+        assert!(!p.comm_bound(), "1-D PDF is compute-bound");
+        // SB utilizations partition the iteration.
+        assert!((p.util_comm + p.util_comp - 1.0).abs() < 1e-12);
+        // Table 3: util_comm 4% at 150 MHz.
+        assert!((p.util_comm - 0.04).abs() < 0.005);
+    }
+
+    #[test]
+    fn analyze_rejects_invalid_input() {
+        let mut input = pdf1d_example();
+        input.comm.alpha_read = 0.0;
+        assert!(ThroughputPrediction::analyze(&input).is_err());
+    }
+
+    #[test]
+    fn speedup_scales_linearly_with_fclock_when_compute_dominates() {
+        let input = pdf1d_example().with_buffering(Buffering::Double);
+        let s100 = speedup(&input.with_fclock(100.0e6));
+        let s150 = speedup(&input.with_fclock(150.0e6));
+        // DB + compute-bound: speedup strictly proportional to clock.
+        assert!((s150 / s100 - 1.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,212 @@
+//! Monte-Carlo uncertainty propagation for RAT predictions.
+//!
+//! Several RAT inputs are estimates with real uncertainty: the achievable
+//! clock is unknowable "until after the entire application has been converted
+//! to a hardware design" (§4.2), `ops_per_element` is data-dependent for
+//! irregular algorithms like MD, and alphas wobble with transfer size. Instead
+//! of a single-point prediction, sample those ranges and report the speedup
+//! *distribution* — turning "predicted 10.6x" into "90% chance of at least
+//! 5.6x", which is the honest form of a pre-design commitment.
+
+use crate::error::RatError;
+use crate::params::RatInput;
+use crate::sweep::SweepParam;
+use crate::table::TextTable;
+use crate::throughput;
+use rand::distributions::{Distribution, Uniform};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// A uniform uncertainty range on one parameter.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ParamRange {
+    /// The uncertain parameter.
+    pub param: SweepParam,
+    /// Lower bound (inclusive).
+    pub lo: f64,
+    /// Upper bound (inclusive).
+    pub hi: f64,
+}
+
+impl ParamRange {
+    /// A range spanning `lo..=hi` for `param`. Panics if the bounds are not
+    /// finite and ordered.
+    pub fn new(param: SweepParam, lo: f64, hi: f64) -> Self {
+        assert!(lo.is_finite() && hi.is_finite() && lo <= hi, "need finite lo <= hi");
+        Self { param, lo, hi }
+    }
+}
+
+/// Speedup distribution statistics from a Monte-Carlo run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UncertaintyReport {
+    /// Number of samples drawn.
+    pub samples: usize,
+    /// Mean speedup.
+    pub mean: f64,
+    /// Standard deviation of speedup.
+    pub std_dev: f64,
+    /// Minimum sampled speedup.
+    pub min: f64,
+    /// 5th / 50th / 95th percentile speedups.
+    pub p5: f64,
+    /// Median speedup.
+    pub p50: f64,
+    /// 95th percentile speedup.
+    pub p95: f64,
+    /// Maximum sampled speedup.
+    pub max: f64,
+}
+
+impl UncertaintyReport {
+    /// Probability (fraction of samples) that speedup meets `target`.
+    /// Recomputable only if samples were kept; this report stores the
+    /// percentile summary, so the answer is interpolated from it.
+    pub fn likely_meets(&self, target: f64) -> bool {
+        self.p5 >= target
+    }
+
+    /// Render a summary table.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new()
+            .title(format!("Speedup distribution ({} samples)", self.samples))
+            .header(["Statistic", "Speedup"]);
+        for (name, v) in [
+            ("mean", self.mean),
+            ("std dev", self.std_dev),
+            ("min", self.min),
+            ("p5", self.p5),
+            ("median", self.p50),
+            ("p95", self.p95),
+            ("max", self.max),
+        ] {
+            t.row([name.to_string(), format!("{v:.2}")]);
+        }
+        t.render()
+    }
+}
+
+/// Draw `samples` joint samples of the given parameter ranges (independent
+/// uniforms), evaluate the speedup at each, and summarize the distribution.
+/// Deterministic for a given `seed`.
+pub fn propagate(
+    input: &RatInput,
+    ranges: &[ParamRange],
+    samples: usize,
+    seed: u64,
+) -> Result<UncertaintyReport, RatError> {
+    input.validate()?;
+    if samples == 0 {
+        return Err(RatError::param("need at least one Monte-Carlo sample"));
+    }
+    if ranges.is_empty() {
+        return Err(RatError::param("need at least one uncertain parameter range"));
+    }
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let dists: Vec<(SweepParam, Uniform<f64>)> = ranges
+        .iter()
+        .map(|r| (r.param, Uniform::new_inclusive(r.lo, r.hi)))
+        .collect();
+    let mut speedups = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut candidate = input.clone();
+        for (param, dist) in &dists {
+            candidate = param.apply(&candidate, dist.sample(&mut rng));
+        }
+        candidate.validate()?;
+        speedups.push(throughput::speedup(&candidate));
+    }
+    speedups.sort_by(f64::total_cmp);
+    let n = speedups.len();
+    let mean = speedups.iter().sum::<f64>() / n as f64;
+    let var = speedups.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n as f64;
+    let pick = |q: f64| speedups[(((n - 1) as f64) * q).round() as usize];
+    Ok(UncertaintyReport {
+        samples: n,
+        mean,
+        std_dev: var.sqrt(),
+        min: speedups[0],
+        p5: pick(0.05),
+        p50: pick(0.50),
+        p95: pick(0.95),
+        max: speedups[n - 1],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::pdf1d_example;
+
+    fn clock_range() -> Vec<ParamRange> {
+        // The paper's own uncertainty: fclock anywhere in 75–150 MHz.
+        vec![ParamRange::new(SweepParam::Fclock, 75.0e6, 150.0e6)]
+    }
+
+    #[test]
+    fn clock_uncertainty_brackets_table3_speedups() {
+        let r = propagate(&pdf1d_example(), &clock_range(), 4000, 7).unwrap();
+        // Table 3's extremes are 5.4 (75 MHz) and 10.6 (150 MHz).
+        assert!(r.min >= 5.3 && r.min < 5.7, "min {}", r.min);
+        assert!(r.max > 10.2 && r.max <= 10.7, "max {}", r.max);
+        assert!(r.p50 > r.p5 && r.p95 > r.p50);
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = propagate(&pdf1d_example(), &clock_range(), 500, 42).unwrap();
+        let b = propagate(&pdf1d_example(), &clock_range(), 500, 42).unwrap();
+        assert_eq!(a, b);
+        let c = propagate(&pdf1d_example(), &clock_range(), 500, 43).unwrap();
+        assert_ne!(a.mean, c.mean);
+    }
+
+    #[test]
+    fn multiple_ranges_compound() {
+        let ranges = vec![
+            ParamRange::new(SweepParam::Fclock, 75.0e6, 150.0e6),
+            ParamRange::new(SweepParam::ThroughputProc, 16.0, 24.0),
+        ];
+        let r = propagate(&pdf1d_example(), &ranges, 4000, 11).unwrap();
+        // Worst corner: 75 MHz and 16 ops/cycle -> speedup ~4.4.
+        assert!(r.min < 4.6, "min {}", r.min);
+        assert!(r.std_dev > 0.5);
+    }
+
+    #[test]
+    fn degenerate_range_collapses_distribution() {
+        let ranges = vec![ParamRange::new(SweepParam::Fclock, 100.0e6, 100.0e6)];
+        let r = propagate(&pdf1d_example(), &ranges, 100, 1).unwrap();
+        assert!(r.std_dev < 1e-12);
+        // 7.148 exactly; the paper's Table 3 rounds this to 7.2.
+        assert!((r.mean - 7.15).abs() < 0.05);
+    }
+
+    #[test]
+    fn zero_samples_and_empty_ranges_rejected() {
+        assert!(propagate(&pdf1d_example(), &clock_range(), 0, 1).is_err());
+        assert!(propagate(&pdf1d_example(), &[], 10, 1).is_err());
+    }
+
+    #[test]
+    fn out_of_domain_range_fails_validation() {
+        let ranges = vec![ParamRange::new(SweepParam::AlphaWrite, 0.5, 1.5)];
+        assert!(propagate(&pdf1d_example(), &ranges, 200, 1).is_err());
+    }
+
+    #[test]
+    fn render_has_all_statistics() {
+        let r = propagate(&pdf1d_example(), &clock_range(), 200, 5).unwrap();
+        let s = r.render();
+        for key in ["mean", "std dev", "median", "p95"] {
+            assert!(s.contains(key), "missing {key}:\n{s}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "finite lo <= hi")]
+    fn reversed_range_panics() {
+        ParamRange::new(SweepParam::Fclock, 2.0, 1.0);
+    }
+}

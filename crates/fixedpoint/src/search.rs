@@ -1,0 +1,182 @@
+//! Minimal-bit-width search under an error tolerance.
+//!
+//! The paper's PDF case study compared 18-bit fixed, 32-bit fixed, and 32-bit
+//! float, settling on 18-bit fixed because its ~2% maximum error was acceptable
+//! and a narrower format "would have achieved no appreciable resource savings".
+//! This module automates that sweep: given a quantized evaluation of a workload
+//! and a tolerance, find the narrowest fractional width that stays within it.
+
+use crate::error::ErrorStats;
+use crate::format::QFormat;
+
+/// Result of a bit-width search: the chosen format plus the error at that width
+/// and the full sweep for reporting.
+#[derive(Debug, Clone)]
+pub struct SearchResult {
+    /// Narrowest format meeting the tolerance.
+    pub format: QFormat,
+    /// Error statistics at the chosen width.
+    pub stats: ErrorStats,
+    /// `(frac_bits, max_rel_error)` for every width evaluated, widest first.
+    pub sweep: Vec<(u32, f64)>,
+}
+
+/// Search for the minimal fractional width whose maximum *relative* error is
+/// within `tolerance`.
+///
+/// `evaluate` runs the workload quantized to the candidate format and returns the
+/// error statistics against the f64 reference. The search assumes error is
+/// monotone non-increasing in fractional bits (true for well-conditioned
+/// fixed-point datapaths) and verifies the assumption: every evaluated width is
+/// recorded in [`SearchResult::sweep`] so a non-monotone workload is visible.
+///
+/// Integer bits and signedness are fixed by `base` (size them first with
+/// [`crate::RangeAnalysis`]). Returns `None` if even `max_frac_bits` misses the
+/// tolerance.
+pub fn min_frac_bits<F>(
+    base: QFormat,
+    max_frac_bits: u32,
+    tolerance: f64,
+    mut evaluate: F,
+) -> Option<SearchResult>
+where
+    F: FnMut(QFormat) -> ErrorStats,
+{
+    let make = |frac: u32| -> Option<QFormat> {
+        if base.is_signed() {
+            QFormat::signed(base.int_bits(), frac).ok()
+        } else {
+            QFormat::unsigned(base.int_bits(), frac).ok()
+        }
+    };
+
+    // Check feasibility at the widest width first.
+    let widest = make(max_frac_bits)?;
+    let widest_stats = evaluate(widest);
+    let mut sweep = vec![(max_frac_bits, widest_stats.max_rel_error())];
+    if !widest_stats.within_rel_tolerance(tolerance) {
+        return None;
+    }
+
+    // Binary search on fractional bits: find the smallest width meeting tolerance.
+    let (mut lo, mut hi) = (0u32, max_frac_bits); // invariant: hi meets tolerance
+    let mut best_stats = widest_stats;
+    let mut best_fmt = widest;
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        let Some(fmt) = make(mid) else {
+            lo = mid + 1;
+            continue;
+        };
+        let stats = evaluate(fmt);
+        sweep.push((mid, stats.max_rel_error()));
+        if stats.within_rel_tolerance(tolerance) {
+            hi = mid;
+            best_stats = stats;
+            best_fmt = fmt;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    sweep.sort_by_key(|&(bits, _)| std::cmp::Reverse(bits));
+    Some(SearchResult { format: best_fmt, stats: best_stats, sweep })
+}
+
+/// Exhaustive sweep of fractional widths `lo..=hi`, returning
+/// `(frac_bits, ErrorStats)` per width. Useful for plotting error-vs-width
+/// curves and for workloads where error is not monotone in width.
+pub fn sweep_frac_bits<F>(
+    base: QFormat,
+    lo: u32,
+    hi: u32,
+    mut evaluate: F,
+) -> Vec<(u32, ErrorStats)>
+where
+    F: FnMut(QFormat) -> ErrorStats,
+{
+    (lo..=hi)
+        .filter_map(|frac| {
+            let fmt = if base.is_signed() {
+                QFormat::signed(base.int_bits(), frac).ok()?
+            } else {
+                QFormat::unsigned(base.int_bits(), frac).ok()?
+            };
+            Some((frac, evaluate(fmt)))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::{Overflow, Rounding};
+    use crate::value::Fx;
+
+    /// Quantize a fixed dataset and measure error; error is monotone in width.
+    fn quantize_dataset(fmt: QFormat) -> ErrorStats {
+        let data: Vec<f64> = (0..200).map(|i| (i as f64) / 201.0 - 0.5).collect();
+        let quantized: Vec<f64> = data
+            .iter()
+            .map(|&v| Fx::from_f64(v, fmt, Rounding::Nearest, Overflow::Saturate).to_f64())
+            .collect();
+        ErrorStats::between(&data, &quantized)
+    }
+
+    #[test]
+    fn finds_minimal_width() {
+        let base = QFormat::signed(0, 17).unwrap();
+        let res = min_frac_bits(base, 30, 0.01, quantize_dataset).unwrap();
+        // Verify minimality: chosen width passes, one bit narrower fails.
+        let chosen = res.format.frac_bits();
+        assert!(quantize_dataset(res.format).within_rel_tolerance(0.01));
+        if chosen > 0 {
+            let narrower = QFormat::signed(0, chosen - 1).unwrap();
+            assert!(!quantize_dataset(narrower).within_rel_tolerance(0.01));
+        }
+    }
+
+    #[test]
+    fn infeasible_tolerance_returns_none() {
+        let base = QFormat::signed(0, 4).unwrap();
+        // 1e-30 relative tolerance is unreachable for irrational-ish samples.
+        assert!(min_frac_bits(base, 20, 1e-30, quantize_dataset).is_none());
+    }
+
+    #[test]
+    fn zero_tolerance_with_exactly_representable_data() {
+        // Data representable exactly in 4 fractional bits.
+        let eval = |fmt: QFormat| {
+            let data = [0.25, 0.5, -0.0625];
+            let q: Vec<f64> = data
+                .iter()
+                .map(|&v| Fx::from_f64(v, fmt, Rounding::Nearest, Overflow::Saturate).to_f64())
+                .collect();
+            ErrorStats::between(&data, &q)
+        };
+        let base = QFormat::signed(0, 10).unwrap();
+        let res = min_frac_bits(base, 10, 0.0, eval).unwrap();
+        assert_eq!(res.format.frac_bits(), 4);
+    }
+
+    #[test]
+    fn sweep_covers_requested_range() {
+        let base = QFormat::signed(0, 0).unwrap();
+        let sweep = sweep_frac_bits(base, 2, 6, quantize_dataset);
+        assert_eq!(sweep.len(), 5);
+        assert_eq!(sweep[0].0, 2);
+        assert_eq!(sweep[4].0, 6);
+        // Error shrinks (weakly) as width grows.
+        for w in sweep.windows(2) {
+            assert!(w[1].1.max_abs_error() <= w[0].1.max_abs_error() + 1e-15);
+        }
+    }
+
+    #[test]
+    fn search_result_sweep_is_sorted_widest_first() {
+        let base = QFormat::signed(0, 17).unwrap();
+        let res = min_frac_bits(base, 24, 0.01, quantize_dataset).unwrap();
+        for w in res.sweep.windows(2) {
+            assert!(w[0].0 > w[1].0);
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! Property-based tests for the fixed-point substrate: quantization error
+//! bounds, arithmetic laws, and analysis invariants.
+
+use fixedpoint::{ErrorStats, Fx, MiniFloat, Overflow, QFormat, RangeAnalysis, Rounding};
+use proptest::prelude::*;
+
+/// Strategy: a valid signed format with sane ranges for property work.
+fn signed_format() -> impl Strategy<Value = QFormat> {
+    (0u32..8, 1u32..30).prop_map(|(i, f)| QFormat::signed(i, f).expect("valid"))
+}
+
+
+proptest! {
+    /// Round-to-nearest quantization error never exceeds half a ULP for
+    /// in-range values.
+    #[test]
+    fn nearest_quantization_error_within_half_ulp(fmt in signed_format(), seed in 0.0f64..1.0) {
+        let v = fmt.min_value() + seed * (fmt.max_value() - fmt.min_value());
+        let err = Fx::quantization_error(v, fmt, Rounding::Nearest);
+        prop_assert!(err <= fmt.ulp() / 2.0 + 1e-15, "err {err} > ulp/2 {}", fmt.ulp() / 2.0);
+    }
+
+    /// Floor quantization error is below one ULP and the result never exceeds
+    /// the input.
+    #[test]
+    fn floor_quantization_bounds(fmt in signed_format(), seed in 0.0f64..1.0) {
+        let v = fmt.min_value() + seed * (fmt.max_value() - fmt.min_value());
+        let q = Fx::from_f64(v, fmt, Rounding::Floor, Overflow::Saturate).to_f64();
+        prop_assert!(q <= v + 1e-15);
+        prop_assert!(v - q < fmt.ulp() + 1e-15);
+    }
+
+    /// Representable values round-trip exactly under every rounding mode.
+    #[test]
+    fn representable_values_round_trip(fmt in signed_format(), raw_seed in any::<i64>()) {
+        let span = (fmt.raw_max() as i128 - fmt.raw_min() as i128 + 1) as i64;
+        let raw = fmt.raw_min() + (raw_seed.rem_euclid(span));
+        let v = Fx::from_raw(raw, fmt, Overflow::Saturate);
+        for rounding in [Rounding::Nearest, Rounding::Floor, Rounding::Ceil, Rounding::TowardZero] {
+            let back = Fx::from_f64(v.to_f64(), fmt, rounding, Overflow::Saturate);
+            prop_assert_eq!(back.raw(), v.raw(), "mode {:?}", rounding);
+        }
+    }
+
+    /// Saturating addition is commutative and bounded by the format.
+    #[test]
+    fn saturating_add_commutative_and_bounded(
+        fmt in signed_format(),
+        a_seed in 0.0f64..1.0,
+        b_seed in 0.0f64..1.0,
+    ) {
+        let span = fmt.max_value() - fmt.min_value();
+        let a = Fx::from_f64(fmt.min_value() + a_seed * span, fmt, Rounding::Nearest, Overflow::Saturate);
+        let b = Fx::from_f64(fmt.min_value() + b_seed * span, fmt, Rounding::Nearest, Overflow::Saturate);
+        let ab = a.add(b, Overflow::Saturate);
+        let ba = b.add(a, Overflow::Saturate);
+        prop_assert_eq!(ab, ba);
+        prop_assert!(ab.raw() >= fmt.raw_min() && ab.raw() <= fmt.raw_max());
+    }
+
+    /// Wrapping addition is associative (a property saturation deliberately
+    /// gives up).
+    #[test]
+    fn wrapping_add_associative(
+        fmt in signed_format(),
+        s1 in 0.0f64..1.0,
+        s2 in 0.0f64..1.0,
+        s3 in 0.0f64..1.0,
+    ) {
+        let span = fmt.max_value() - fmt.min_value();
+        let v = |s: f64| Fx::from_f64(fmt.min_value() + s * span, fmt, Rounding::Nearest, Overflow::Wrap);
+        let (a, b, c) = (v(s1), v(s2), v(s3));
+        let left = a.add(b, Overflow::Wrap).add(c, Overflow::Wrap);
+        let right = a.add(b.add(c, Overflow::Wrap), Overflow::Wrap);
+        prop_assert_eq!(left, right);
+    }
+
+    /// `a - b` then `+ b` is the identity when no saturation occurs
+    /// (guaranteed by shrinking the operands into the safe half-range).
+    #[test]
+    fn sub_then_add_identity_in_safe_range(
+        fmt in signed_format(),
+        a_seed in 0.26f64..0.74,
+        b_seed in 0.26f64..0.74,
+    ) {
+        let span = fmt.max_value() - fmt.min_value();
+        let a = Fx::from_f64(fmt.min_value() + a_seed * span, fmt, Rounding::Nearest, Overflow::Saturate);
+        let b = Fx::from_f64(fmt.min_value() + b_seed * span, fmt, Rounding::Nearest, Overflow::Saturate);
+        let round_trip = a.sub(b, Overflow::Saturate).add(b, Overflow::Saturate);
+        prop_assert_eq!(round_trip, a);
+    }
+
+    /// Multiplication is commutative and its rounding error is within half a
+    /// ULP of the exact product of the quantized operands (when that product
+    /// is in range).
+    #[test]
+    fn mul_commutative_with_bounded_error(
+        fmt in signed_format(),
+        a_seed in 0.3f64..0.7,
+        b_seed in 0.3f64..0.7,
+    ) {
+        let span = fmt.max_value() - fmt.min_value();
+        let a = Fx::from_f64(fmt.min_value() + a_seed * span, fmt, Rounding::Nearest, Overflow::Saturate);
+        let b = Fx::from_f64(fmt.min_value() + b_seed * span, fmt, Rounding::Nearest, Overflow::Saturate);
+        let ab = a.mul(b, Rounding::Nearest, Overflow::Saturate);
+        let ba = b.mul(a, Rounding::Nearest, Overflow::Saturate);
+        prop_assert_eq!(ab, ba);
+        let exact = a.to_f64() * b.to_f64();
+        if exact > fmt.min_value() && exact < fmt.max_value() {
+            prop_assert!((ab.to_f64() - exact).abs() <= fmt.ulp() / 2.0 + 1e-12);
+        }
+    }
+
+    /// Requantizing to a wider format and back is the identity.
+    #[test]
+    fn widen_then_narrow_is_identity(fmt in signed_format(), seed in 0.0f64..1.0) {
+        let wide = QFormat::signed(fmt.int_bits(), fmt.frac_bits() + 8).expect("valid");
+        let span = fmt.max_value() - fmt.min_value();
+        let v = Fx::from_f64(fmt.min_value() + seed * span, fmt, Rounding::Nearest, Overflow::Saturate);
+        let back = v
+            .requantize(wide, Rounding::Nearest, Overflow::Saturate)
+            .requantize(fmt, Rounding::Nearest, Overflow::Saturate);
+        prop_assert_eq!(back, v);
+    }
+
+    /// Ordering agrees with the real values.
+    #[test]
+    fn ordering_agrees_with_f64(fmt in signed_format(), s1 in 0.0f64..1.0, s2 in 0.0f64..1.0) {
+        let span = fmt.max_value() - fmt.min_value();
+        let a = Fx::from_f64(fmt.min_value() + s1 * span, fmt, Rounding::Nearest, Overflow::Saturate);
+        let b = Fx::from_f64(fmt.min_value() + s2 * span, fmt, Rounding::Nearest, Overflow::Saturate);
+        prop_assert_eq!(a.partial_cmp(&b), a.to_f64().partial_cmp(&b.to_f64()));
+    }
+
+    /// ErrorStats::merge is equivalent to sequential accumulation.
+    #[test]
+    fn error_stats_merge_law(
+        xs in prop::collection::vec((-100.0f64..100.0, -100.0f64..100.0), 1..50),
+        split in 0usize..50,
+    ) {
+        let split = split.min(xs.len());
+        let mut whole = ErrorStats::new();
+        for &(r, q) in &xs {
+            whole.record(r, q);
+        }
+        let mut left = ErrorStats::new();
+        for &(r, q) in &xs[..split] {
+            left.record(r, q);
+        }
+        let mut right = ErrorStats::new();
+        for &(r, q) in &xs[split..] {
+            right.record(r, q);
+        }
+        left.merge(&right);
+        prop_assert_eq!(left.count(), whole.count());
+        prop_assert!((left.max_abs_error() - whole.max_abs_error()).abs() < 1e-12);
+        prop_assert!((left.rms_error() - whole.rms_error()).abs() < 1e-9);
+    }
+
+    /// RangeAnalysis's suggested format always contains every observed sample.
+    #[test]
+    fn suggested_format_contains_all_samples(
+        samples in prop::collection::vec(-1e6f64..1e6, 1..100),
+        frac in 0u32..20,
+    ) {
+        let r = RangeAnalysis::of(&samples);
+        let fmt = r.suggest_format(frac).expect("valid format");
+        for &v in &samples {
+            prop_assert!(fmt.contains(v), "{v} escapes {fmt}");
+        }
+    }
+
+    /// MiniFloat quantization is idempotent and within the relative error
+    /// bound for normal values.
+    #[test]
+    fn minifloat_quantization_laws(
+        exp_bits in 4u32..9,
+        mant_bits in 2u32..24,
+        v in -1e4f64..1e4,
+    ) {
+        let fmt = MiniFloat::new(exp_bits, mant_bits);
+        let q = fmt.quantize(v);
+        // Idempotence: a quantized value is a fixed point of quantization.
+        let qq = fmt.quantize(q);
+        prop_assert_eq!(q.to_bits(), qq.to_bits(), "quantize not idempotent for {}", v);
+        // Relative error bound for normal, in-range values.
+        if v.abs() >= fmt.min_positive_normal() && v.abs() <= fmt.max_value() {
+            prop_assert!(
+                ((q - v) / v).abs() <= fmt.rel_error_bound() * (1.0 + 1e-12),
+                "v={v}, q={q}"
+            );
+        }
+        // Sign preservation.
+        if v != 0.0 && q != 0.0 && q.is_finite() {
+            prop_assert_eq!(v.signum(), q.signum());
+        }
+    }
+
+    /// MiniFloat quantization is monotone: a <= b implies q(a) <= q(b).
+    #[test]
+    fn minifloat_monotone(
+        mant_bits in 2u32..20,
+        a in -1e4f64..1e4,
+        b in -1e4f64..1e4,
+    ) {
+        let fmt = MiniFloat::new(8, mant_bits);
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(fmt.quantize(lo) <= fmt.quantize(hi));
+    }
+
+    /// Quantization error decreases (weakly) with fractional width.
+    #[test]
+    fn error_weakly_decreases_with_width(int_bits in 0u32..4, v in -10.0f64..10.0) {
+        let mut last = f64::INFINITY;
+        for frac in [2u32, 6, 10, 14, 18] {
+            let fmt = QFormat::signed(int_bits, frac).expect("valid");
+            if !fmt.contains(v) {
+                continue;
+            }
+            let err = Fx::quantization_error(v, fmt, Rounding::Nearest);
+            prop_assert!(err <= last + 1e-15);
+            last = err;
+        }
+    }
+}

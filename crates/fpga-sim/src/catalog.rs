@@ -1,0 +1,182 @@
+//! Platform catalog: the two systems the paper evaluates, plus a generic
+//! modern profile.
+//!
+//! The constants here are *calibrated* against the paper's published
+//! measurements, then frozen (see DESIGN.md §5). The calibration inputs:
+//!
+//! - **Nallatech H101-PCIXM** (§4.2): a 2 KB microbenchmark yields
+//!   `alpha_write = 0.37`, `alpha_read = 0.16` against the 1 GB/s PCI-X peak.
+//!   The measured 1-D PDF application saw ~25 us of communication per
+//!   iteration (vs 5.56 us predicted) from per-transfer setup plus API-call
+//!   overhead over 800 small transfers, and its total runtime implies ~21 us
+//!   of kernel-synchronization overhead per iteration. The 2-D PDF saw its
+//!   256 KB result read-backs run ~6x slower than the 2 KB-derived alpha
+//!   predicts — modelled as a read-efficiency cliff beyond the driver's
+//!   pinned-buffer size ("communication protocols used by Nallatech atop
+//!   PCI-X", §4.2).
+//! - **XtremeData XD1000** (§5.2): HyperTransport with low per-transfer cost;
+//!   the paper's round `alpha = 0.9` estimate sits slightly above the 0.85
+//!   the measured MD input transfer implies at 576 KB.
+
+use crate::host::HostModel;
+use crate::interconnect::{AlphaCurve, Interconnect};
+use crate::platform::PlatformSpec;
+use crate::time::SimTime;
+
+/// Nallatech H101-PCIXM card (Xilinx Virtex-4 LX100) on 133 MHz 64-bit PCI-X:
+/// the platform of the 1-D and 2-D PDF case studies.
+pub fn nallatech_h101() -> PlatformSpec {
+    PlatformSpec {
+        name: "Nallatech H101-PCIXM (Virtex-4 LX100, 133MHz PCI-X)".into(),
+        interconnect: Interconnect {
+            name: "133MHz 64-bit PCI-X via Nallatech API".into(),
+            ideal_bw: 1.0e9,
+            setup_write: SimTime::from_ns(3_000),
+            setup_read: SimTime::from_ns(10_000),
+            // Payload efficiency (excludes setup). Write path sustains ~0.81.
+            alpha_write: AlphaCurve::from_points(vec![
+                (512, 0.78),
+                (2_048, 0.808),
+                (65_536, 0.82),
+                (4_194_304, 0.82),
+            ]),
+            // Read path: decent for small DMAs, collapses past the driver's
+            // pinned bounce buffer (~16 KB) to ~26 MB/s sustained.
+            alpha_read: AlphaCurve::from_points(vec![
+                (512, 0.55),
+                (2_048, 0.731),
+                (16_384, 0.62),
+                (65_536, 0.10),
+                (262_144, 0.0265),
+                (4_194_304, 0.0265),
+            ]),
+            max_dma_bytes: None,
+        },
+        host: HostModel {
+            api_call_overhead: SimTime::from_ns(4_000),
+            kernel_sync_overhead: SimTime::from_ns(21_000),
+        },
+        reconfiguration: SimTime::ZERO,
+    }
+}
+
+/// XtremeData XD1000 (Altera Stratix-II EP2S180) on HyperTransport: the
+/// platform of the molecular-dynamics case study.
+pub fn xd1000() -> PlatformSpec {
+    PlatformSpec {
+        name: "XtremeData XD1000 (Stratix-II EP2S180, HyperTransport)".into(),
+        interconnect: Interconnect {
+            name: "HyperTransport (Opteron socket)".into(),
+            ideal_bw: 500.0e6,
+            setup_write: SimTime::from_ns(1_000),
+            setup_read: SimTime::from_ns(1_000),
+            alpha_write: AlphaCurve::from_points(vec![
+                (4_096, 0.92),
+                (65_536, 0.90),
+                (589_824, 0.855),
+                (4_194_304, 0.855),
+            ]),
+            alpha_read: AlphaCurve::from_points(vec![
+                (4_096, 0.92),
+                (65_536, 0.90),
+                (589_824, 0.855),
+                (4_194_304, 0.855),
+            ]),
+            max_dma_bytes: None,
+        },
+        host: HostModel {
+            api_call_overhead: SimTime::from_ns(1_000),
+            kernel_sync_overhead: SimTime::from_ns(5_000),
+        },
+        reconfiguration: SimTime::ZERO,
+    }
+}
+
+/// A generic PCIe Gen2 x8 profile (4 GB/s peak) for design-space studies beyond
+/// the paper's 2007-era hardware.
+pub fn generic_pcie_gen2_x8() -> PlatformSpec {
+    PlatformSpec {
+        name: "Generic PCIe Gen2 x8 FPGA card".into(),
+        interconnect: Interconnect {
+            name: "PCIe Gen2 x8".into(),
+            ideal_bw: 4.0e9,
+            setup_write: SimTime::from_ns(1_500),
+            setup_read: SimTime::from_ns(1_500),
+            alpha_write: AlphaCurve::from_points(vec![
+                (512, 0.60),
+                (4_096, 0.78),
+                (65_536, 0.85),
+                (4_194_304, 0.87),
+            ]),
+            alpha_read: AlphaCurve::from_points(vec![
+                (512, 0.55),
+                (4_096, 0.75),
+                (65_536, 0.84),
+                (4_194_304, 0.86),
+            ]),
+            // Typical driver scatter-gather limit: transfers split at 4 MiB.
+            max_dma_bytes: Some(4 << 20),
+        },
+        host: HostModel {
+            api_call_overhead: SimTime::from_ns(1_500),
+            kernel_sync_overhead: SimTime::from_ns(6_000),
+        },
+        reconfiguration: SimTime::ZERO,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interconnect::Direction;
+
+    #[test]
+    fn nallatech_2kb_write_matches_measured_alpha() {
+        let ic = nallatech_h101().interconnect;
+        // Documented microbenchmark result: 2048 B write at alpha 0.37 of
+        // 1 GB/s = 5.54 us end to end.
+        let t = ic.transfer_time(2048, Direction::Write).as_secs_f64();
+        assert!((t - 5.54e-6).abs() / 5.54e-6 < 0.02, "write time {t:.3e} not ~5.54 us");
+    }
+
+    #[test]
+    fn nallatech_2kb_read_matches_measured_alpha() {
+        let ic = nallatech_h101().interconnect;
+        let t = ic.transfer_time(2048, Direction::Read).as_secs_f64();
+        assert!((t - 12.8e-6).abs() / 12.8e-6 < 0.02, "read time {t:.3e} not ~12.8 us");
+    }
+
+    #[test]
+    fn nallatech_256kb_read_is_about_six_times_the_alpha_model() {
+        let ic = nallatech_h101().interconnect;
+        let t = ic.transfer_time(262_144, Direction::Read).as_secs_f64();
+        let alpha_model = 262_144.0 / (0.16 * 1.0e9); // what RAT predicts from the 2 KB alpha
+        let ratio = t / alpha_model;
+        assert!((5.0..7.0).contains(&ratio), "256 KB read ratio {ratio:.2} not ~6x");
+    }
+
+    #[test]
+    fn xd1000_md_input_transfer_near_paper_measurement() {
+        let ic = xd1000().interconnect;
+        // Table 9 actual: 1.39e-3 s for the 16384-molecule, 36 B/elt input.
+        let t = ic.transfer_time(16_384 * 36, Direction::Write).as_secs_f64();
+        assert!((t - 1.39e-3).abs() / 1.39e-3 < 0.02, "MD input transfer {t:.3e} not ~1.39 ms");
+    }
+
+    #[test]
+    fn platform_names_are_descriptive() {
+        assert!(nallatech_h101().name.contains("LX100"));
+        assert!(xd1000().name.contains("EP2S180"));
+        assert!(generic_pcie_gen2_x8().name.contains("PCIe"));
+    }
+
+    #[test]
+    fn generic_pcie_is_faster_than_2007_buses() {
+        let pcie = generic_pcie_gen2_x8().interconnect;
+        let pcix = nallatech_h101().interconnect;
+        let size = 1 << 20;
+        assert!(
+            pcie.transfer_time(size, Direction::Write) < pcix.transfer_time(size, Direction::Write)
+        );
+    }
+}

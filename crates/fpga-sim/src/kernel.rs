@@ -1,0 +1,125 @@
+//! Hardware kernels: the FPGA-side compute model.
+//!
+//! A kernel consumes one buffered batch of input per invocation and takes some
+//! number of FPGA clock cycles to do so. How many is the kernel's whole story:
+//! deterministic pipelines compute it from structure
+//! ([`crate::pipeline::PipelinedKernel`]), data-dependent designs look it up
+//! from per-batch workload measurements ([`TabulatedKernel`], fed by an actual
+//! dataset — how the molecular-dynamics case study is modelled).
+
+/// One iteration's worth of buffered input, as seen by the kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Batch {
+    /// Zero-based iteration index.
+    pub index: u64,
+    /// Number of elements in this batch.
+    pub elements: u64,
+    /// Payload size in bytes.
+    pub bytes: u64,
+}
+
+/// FPGA-side compute behaviour: cycles needed per batch.
+///
+/// Implementations must be deterministic in `batch` (the platform may re-run
+/// batches when comparing buffering modes).
+pub trait HardwareKernel {
+    /// Kernel name for traces and reports.
+    fn name(&self) -> &str;
+
+    /// Clock cycles to process `batch`, including pipeline fill/drain and stalls.
+    fn batch_cycles(&self, batch: &Batch) -> u64;
+}
+
+/// A kernel whose per-batch cycle counts were measured or precomputed.
+///
+/// Batches beyond the table reuse the last entry, so a uniform kernel can be
+/// described by a single-entry table.
+#[derive(Debug, Clone)]
+pub struct TabulatedKernel {
+    name: String,
+    cycles: Vec<u64>,
+}
+
+impl TabulatedKernel {
+    /// A kernel taking `cycles[i]` cycles on batch `i`.
+    ///
+    /// Panics on an empty table: a kernel must cost something.
+    pub fn new(name: impl Into<String>, cycles: Vec<u64>) -> Self {
+        assert!(!cycles.is_empty(), "TabulatedKernel needs at least one cycle count");
+        Self { name: name.into(), cycles }
+    }
+
+    /// A kernel taking the same `cycles` on each of `batches` batches.
+    pub fn uniform(name: impl Into<String>, cycles: u64, batches: usize) -> Self {
+        Self::new(name, vec![cycles; batches.max(1)])
+    }
+
+    /// Total cycles across the whole table.
+    pub fn total_cycles(&self) -> u64 {
+        self.cycles.iter().sum()
+    }
+}
+
+impl HardwareKernel for TabulatedKernel {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn batch_cycles(&self, batch: &Batch) -> u64 {
+        let i = (batch.index as usize).min(self.cycles.len() - 1);
+        self.cycles[i]
+    }
+}
+
+impl<K: HardwareKernel + ?Sized> HardwareKernel for &K {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn batch_cycles(&self, batch: &Batch) -> u64 {
+        (**self).batch_cycles(batch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn batch(index: u64) -> Batch {
+        Batch { index, elements: 512, bytes: 2048 }
+    }
+
+    #[test]
+    fn tabulated_kernel_indexes_by_batch() {
+        let k = TabulatedKernel::new("k", vec![10, 20, 30]);
+        assert_eq!(k.batch_cycles(&batch(0)), 10);
+        assert_eq!(k.batch_cycles(&batch(2)), 30);
+    }
+
+    #[test]
+    fn tabulated_kernel_clamps_past_table_end() {
+        let k = TabulatedKernel::new("k", vec![10, 20]);
+        assert_eq!(k.batch_cycles(&batch(7)), 20);
+    }
+
+    #[test]
+    fn uniform_kernel() {
+        let k = TabulatedKernel::uniform("k", 100, 5);
+        assert_eq!(k.total_cycles(), 500);
+        assert_eq!(k.batch_cycles(&batch(3)), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cycle count")]
+    fn empty_table_panics() {
+        TabulatedKernel::new("k", vec![]);
+    }
+
+    #[test]
+    fn kernel_trait_object_via_reference() {
+        let k = TabulatedKernel::uniform("k", 7, 1);
+        let r: &dyn HardwareKernel = &k;
+        assert_eq!(r.batch_cycles(&batch(0)), 7);
+        assert_eq!((&r).name(), "k");
+    }
+}

@@ -1,0 +1,919 @@
+//! The co-processor platform: host + interconnect + FPGA, executing an
+//! application run under single- or double-buffered scheduling.
+//!
+//! This is a discrete-event simulation over two exclusive resources — the
+//! interconnect channel and the compute fabric — plus host overheads that
+//! serialize the control loop. Single buffering reproduces the paper's
+//! Figure-2 `R1 C1 W1 R2 C2 W2 …` schedule; double buffering provides two
+//! input buffers so transfers overlap computation, reproducing both the
+//! compute-bound and communication-bound overlap scenarios.
+
+use crate::host::HostModel;
+use crate::interconnect::{Direction, Interconnect};
+use crate::kernel::{Batch, HardwareKernel};
+use crate::queue::EventQueue;
+use crate::time::SimTime;
+use crate::trace::{Resource, Trace};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Buffering discipline for the input side of the co-processor loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BufferMode {
+    /// One buffer: communication and computation fully serialize
+    /// (paper Eq. 5: `t_RC = N_iter * (t_comm + t_comp)`).
+    Single,
+    /// Two buffers: the next input transfer overlaps the current computation
+    /// (paper Eq. 6: `t_RC ~= N_iter * max(t_comm, t_comp)` at steady state).
+    Double,
+}
+
+/// A platform definition: its interconnect and host-overhead model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PlatformSpec {
+    /// Human-readable platform name (e.g. "Nallatech H101-PCIXM / V4 LX100").
+    pub name: String,
+    /// The CPU–FPGA interconnect.
+    pub interconnect: Interconnect,
+    /// Host-side overheads.
+    pub host: HostModel,
+    /// One-time FPGA configuration (bitstream load) cost, charged before the
+    /// first transfer. The RAT equations ignore it by design
+    /// ("Reconfiguration and other setup times are ignored", §3.1); modeling
+    /// it here lets the simulator show *when that assumption breaks* — short
+    /// runs on platforms with ~100 ms configuration times.
+    #[serde(default)]
+    pub reconfiguration: SimTime,
+}
+
+/// One application execution: how much data moves per iteration and how the
+/// loop is buffered.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppRun {
+    /// Number of communication+computation iterations (`N_iter`).
+    pub iterations: u64,
+    /// Elements per buffered batch (drives kernel cycle counts).
+    pub elements_per_iter: u64,
+    /// Bytes written host→FPGA per iteration.
+    pub input_bytes_per_iter: u64,
+    /// Bytes read FPGA→host per iteration (0 if results accumulate on-chip).
+    pub output_bytes_per_iter: u64,
+    /// Bytes read once after the last iteration (e.g. the 1-D PDF's final
+    /// 256-bin block).
+    pub final_output_bytes: u64,
+    /// Buffering discipline.
+    pub buffer_mode: BufferMode,
+    /// If true, per-iteration output streams back *during* computation (DMA
+    /// bursts interleaved with compute), hiding its latency. The streamed
+    /// occupancy is recorded in the trace but does not block other transfers —
+    /// an approximation valid while streamed traffic is far below channel
+    /// capacity, as in the MD case study.
+    pub streamed_output: bool,
+    /// Number of parallel kernel instances batches may be dispatched to:
+    /// replicated kernels on one FPGA, or multiple FPGAs sharing the host
+    /// interconnect (the paper's §6 future-work scenario). The channel remains
+    /// a single serialized resource; under double buffering, input buffering
+    /// scales to `parallel_kernels + 1` so every instance can stay fed.
+    pub parallel_kernels: u32,
+}
+
+impl AppRun {
+    /// Start building an [`AppRun`].
+    pub fn builder() -> AppRunBuilder {
+        AppRunBuilder::default()
+    }
+}
+
+/// Builder for [`AppRun`].
+#[derive(Debug, Clone)]
+pub struct AppRunBuilder {
+    run: AppRun,
+}
+
+impl Default for AppRunBuilder {
+    fn default() -> Self {
+        Self {
+            run: AppRun {
+                iterations: 1,
+                elements_per_iter: 1,
+                input_bytes_per_iter: 0,
+                output_bytes_per_iter: 0,
+                final_output_bytes: 0,
+                buffer_mode: BufferMode::Single,
+                streamed_output: false,
+                parallel_kernels: 1,
+            },
+        }
+    }
+}
+
+impl AppRunBuilder {
+    /// Set the number of iterations (`N_iter`). Must be at least 1.
+    pub fn iterations(mut self, n: u64) -> Self {
+        self.run.iterations = n;
+        self
+    }
+
+    /// Set elements per batch.
+    pub fn elements_per_iter(mut self, n: u64) -> Self {
+        self.run.elements_per_iter = n;
+        self
+    }
+
+    /// Set bytes written host→FPGA per iteration.
+    pub fn input_bytes_per_iter(mut self, n: u64) -> Self {
+        self.run.input_bytes_per_iter = n;
+        self
+    }
+
+    /// Set bytes read FPGA→host per iteration.
+    pub fn output_bytes_per_iter(mut self, n: u64) -> Self {
+        self.run.output_bytes_per_iter = n;
+        self
+    }
+
+    /// Set bytes read once after the final iteration.
+    pub fn final_output_bytes(mut self, n: u64) -> Self {
+        self.run.final_output_bytes = n;
+        self
+    }
+
+    /// Set the buffering discipline.
+    pub fn buffer_mode(mut self, mode: BufferMode) -> Self {
+        self.run.buffer_mode = mode;
+        self
+    }
+
+    /// Enable streamed (compute-overlapped) output.
+    pub fn streamed_output(mut self, on: bool) -> Self {
+        self.run.streamed_output = on;
+        self
+    }
+
+    /// Set the number of parallel kernel instances (default 1).
+    pub fn parallel_kernels(mut self, n: u32) -> Self {
+        self.run.parallel_kernels = n;
+        self
+    }
+
+    /// Finish building.
+    pub fn build(self) -> AppRun {
+        self.run
+    }
+}
+
+/// Execution error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// `iterations` was zero.
+    NoIterations,
+    /// The clock frequency was not a positive finite number.
+    BadClock,
+    /// `parallel_kernels` was zero.
+    NoKernels,
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::NoIterations => write!(f, "application run needs at least one iteration"),
+            ExecError::BadClock => write!(f, "clock frequency must be positive and finite"),
+            ExecError::NoKernels => write!(f, "application run needs at least one kernel instance"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// What the simulated platform measured.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// End-to-end execution time (makespan), the paper's measured `t_RC`.
+    pub total: SimTime,
+    /// Blocking channel occupancy: input transfers, non-streamed output
+    /// transfers, and the final read, including host API call overhead. This is
+    /// what timing the transfer calls measures — the paper's "actual" `t_comm`.
+    pub comm_busy: SimTime,
+    /// Channel occupancy of streamed (compute-overlapped) outputs.
+    pub streamed_comm: SimTime,
+    /// FPGA kernel occupancy — the paper's "actual" `t_comp`.
+    pub compute_busy: SimTime,
+    /// Host kernel-synchronization time not attributed to comm or comp.
+    pub host_overhead: SimTime,
+    /// Iterations executed.
+    pub iterations: u64,
+    /// Full execution trace.
+    pub trace: Trace,
+}
+
+impl Measurement {
+    /// Mean blocking communication time per iteration (final read excluded
+    /// proportionally — it is amortized into the mean, matching how the paper
+    /// folds the 1-D PDF's single final read into per-iteration figures).
+    pub fn comm_per_iter(&self) -> SimTime {
+        SimTime::from_ps(self.comm_busy.as_ps() / self.iterations)
+    }
+
+    /// Mean computation time per iteration.
+    pub fn comp_per_iter(&self) -> SimTime {
+        SimTime::from_ps(self.compute_busy.as_ps() / self.iterations)
+    }
+
+    /// Fraction of the makespan the channel was (blockingly) busy.
+    pub fn channel_utilization(&self) -> f64 {
+        self.comm_busy.as_secs_f64() / self.total.as_secs_f64()
+    }
+
+    /// Fraction of the makespan the compute fabric was busy.
+    pub fn compute_utilization(&self) -> f64 {
+        self.compute_busy.as_secs_f64() / self.total.as_secs_f64()
+    }
+
+    /// Render a one-screen summary of the measurement.
+    pub fn render(&self) -> String {
+        format!(
+            "measured over {} iterations:\n\
+             \x20 total (t_RC)     {}\n\
+             \x20 comm busy        {}  ({:.1}% of makespan; {} per iteration)\n\
+             \x20 compute busy     {}  ({:.1}% of makespan; {} per iteration)\n\
+             \x20 streamed output  {}\n\
+             \x20 host overhead    {}\n",
+            self.iterations,
+            self.total,
+            self.comm_busy,
+            self.channel_utilization() * 100.0,
+            self.comm_per_iter(),
+            self.compute_busy,
+            self.compute_utilization() * 100.0,
+            self.comp_per_iter(),
+            self.streamed_comm,
+            self.host_overhead,
+        )
+    }
+}
+
+/// A simulated co-processor platform.
+#[derive(Debug, Clone)]
+pub struct Platform {
+    spec: PlatformSpec,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(clippy::enum_variant_names)] // the Done suffix is the point: completions drive the DES
+enum Ev {
+    ReconfigDone,
+    InputDone { iter: u64, dur: SimTime },
+    ComputeDone { iter: u64, start: SimTime },
+    SyncDone { iter: u64, start: SimTime },
+    OutputDone { dur: SimTime },
+    FinalReadDone { dur: SimTime },
+}
+
+impl Platform {
+    /// Create a platform from its spec.
+    pub fn new(spec: PlatformSpec) -> Self {
+        Self { spec }
+    }
+
+    /// The platform definition.
+    pub fn spec(&self) -> &PlatformSpec {
+        &self.spec
+    }
+
+    /// Execute `run` with `kernel` clocked at `fclock_hz`, returning the
+    /// measurement. Deterministic: same inputs, same schedule.
+    pub fn execute<K: HardwareKernel + ?Sized>(
+        &self,
+        kernel: &K,
+        run: &AppRun,
+        fclock_hz: f64,
+    ) -> Result<Measurement, ExecError> {
+        if run.iterations == 0 {
+            return Err(ExecError::NoIterations);
+        }
+        if !(fclock_hz.is_finite() && fclock_hz > 0.0) {
+            return Err(ExecError::BadClock);
+        }
+        if run.parallel_kernels == 0 {
+            return Err(ExecError::NoKernels);
+        }
+        let mut sim = Sim::new(&self.spec, kernel, run, fclock_hz);
+        sim.start();
+        while let Some((_, ev)) = sim.q.pop() {
+            sim.handle(ev);
+        }
+        Ok(sim.finish())
+    }
+}
+
+/// Scheduler state for one execution.
+struct Sim<'a, K: ?Sized> {
+    spec: &'a PlatformSpec,
+    kernel: &'a K,
+    run: &'a AppRun,
+    fclock: f64,
+    q: EventQueue<Ev>,
+    trace: Trace,
+    // Resource state.
+    channel_free: bool,
+    compute_units_free: u32,
+    input_buffers_free: u32,
+    // Progress counters.
+    next_input: u64,
+    inputs_done: u64,
+    next_compute: u64,
+    computes_done: u64,
+    pending_outputs: VecDeque<u64>,
+    outputs_done: u64,
+    expected_outputs: u64,
+    final_read_issued: bool,
+    configured: bool,
+    // Accounting.
+    comm_busy: SimTime,
+    streamed_comm: SimTime,
+    compute_busy: SimTime,
+    host_overhead: SimTime,
+}
+
+impl<'a, K: HardwareKernel + ?Sized> Sim<'a, K> {
+    fn new(spec: &'a PlatformSpec, kernel: &'a K, run: &'a AppRun, fclock: f64) -> Self {
+        // Single buffering serializes everything through one buffer, so extra
+        // kernel instances sit idle; double buffering scales buffering with
+        // the instance count to keep every instance fed.
+        let buffers = match run.buffer_mode {
+            BufferMode::Single => 1,
+            BufferMode::Double => run.parallel_kernels + 1,
+        };
+        let expected_outputs = if run.output_bytes_per_iter > 0 && !run.streamed_output {
+            run.iterations
+        } else {
+            0
+        };
+        Self {
+            spec,
+            kernel,
+            run,
+            fclock,
+            q: EventQueue::new(),
+            trace: Trace::new(),
+            channel_free: true,
+            compute_units_free: run.parallel_kernels,
+            input_buffers_free: buffers,
+            next_input: 0,
+            inputs_done: 0,
+            next_compute: 0,
+            computes_done: 0,
+            pending_outputs: VecDeque::new(),
+            outputs_done: 0,
+            expected_outputs,
+            final_read_issued: false,
+            configured: spec.reconfiguration == SimTime::ZERO,
+            comm_busy: SimTime::ZERO,
+            streamed_comm: SimTime::ZERO,
+            compute_busy: SimTime::ZERO,
+            host_overhead: SimTime::ZERO,
+        }
+    }
+
+    fn start(&mut self) {
+        if !self.configured {
+            let cfg = self.spec.reconfiguration;
+            self.trace.record(Resource::Host, "CFG", SimTime::ZERO, cfg);
+            self.q.schedule(cfg, Ev::ReconfigDone);
+            return;
+        }
+        self.try_issue();
+        // An app with no input data still computes: handle in try_issue.
+    }
+
+    /// Duration of one transfer as the host experiences it: API call plus bus time.
+    fn xfer(&self, bytes: u64, dir: Direction) -> SimTime {
+        if bytes == 0 {
+            return SimTime::ZERO;
+        }
+        self.spec.host.api_call_overhead + self.spec.interconnect.transfer_time(bytes, dir)
+    }
+
+    fn try_issue(&mut self) {
+        loop {
+            let mut progressed = false;
+
+            // Channel arbitration: outputs normally drain before new inputs
+            // load (keeping the single-buffer schedule R1 C1 W1 R2 … and
+            // Figure 2's double-buffered interleaving R1 R2 W1 R3 W2 …), but a
+            // *starving* compute engine — idle with no landed batch to run —
+            // takes precedence: for output-heavy workloads, strict
+            // output-first arbitration would serialize input behind output
+            // every iteration and forfeit the Eq.-(6) steady state.
+            if self.channel_free {
+                let can_input = self.next_input < self.run.iterations
+                    && self.input_buffers_free > 0
+                    && self.run.input_bytes_per_iter > 0;
+                let compute_starving =
+                    self.compute_units_free > 0 && self.next_compute == self.inputs_done;
+                if can_input && (compute_starving || self.pending_outputs.is_empty()) {
+                    let iter = self.next_input;
+                    self.next_input += 1;
+                    self.input_buffers_free -= 1;
+                    let dur = self.xfer(self.run.input_bytes_per_iter, Direction::Write);
+                    self.channel_free = false;
+                    let now = self.q.now();
+                    self.trace.record(Resource::Comm, format!("R{}", iter + 1), now, now + dur);
+                    self.q.schedule_after(dur, Ev::InputDone { iter, dur });
+                    progressed = true;
+                } else if let Some(iter) = self.pending_outputs.pop_front() {
+                    let dur = self.xfer(self.run.output_bytes_per_iter, Direction::Read);
+                    self.channel_free = false;
+                    let now = self.q.now();
+                    self.trace.record(Resource::Comm, format!("W{}", iter + 1), now, now + dur);
+                    self.q.schedule_after(dur, Ev::OutputDone { dur });
+                    progressed = true;
+                } else if self.ready_for_final_read() {
+                    self.final_read_issued = true;
+                    let dur = self.xfer(self.run.final_output_bytes, Direction::Read);
+                    self.channel_free = false;
+                    let now = self.q.now();
+                    self.trace.record(Resource::Comm, "WF", now, now + dur);
+                    self.q.schedule_after(dur, Ev::FinalReadDone { dur });
+                    progressed = true;
+                }
+            }
+
+            // Inputless apps: mark iterations' input as implicitly done.
+            if self.run.input_bytes_per_iter == 0 && self.next_input < self.run.iterations {
+                self.next_input = self.run.iterations;
+                self.inputs_done = self.run.iterations;
+                progressed = true;
+            }
+
+            // Compute: dispatch every landed batch a free kernel instance can
+            // take (in order — batches are independent, so ordering is just
+            // determinism).
+            while self.compute_units_free > 0 && self.next_compute < self.inputs_done {
+                let iter = self.next_compute;
+                self.next_compute += 1;
+                self.compute_units_free -= 1;
+                let batch = Batch {
+                    index: iter,
+                    elements: self.run.elements_per_iter,
+                    bytes: self.run.input_bytes_per_iter,
+                };
+                let cycles = self.kernel.batch_cycles(&batch);
+                let dur = SimTime::from_cycles(cycles, self.fclock);
+                let now = self.q.now();
+                self.trace.record(Resource::Comp, format!("C{}", iter + 1), now, now + dur);
+                self.compute_busy += dur;
+                self.q.schedule_after(dur, Ev::ComputeDone { iter, start: now });
+                progressed = true;
+            }
+
+            if !progressed {
+                break;
+            }
+        }
+    }
+
+    fn ready_for_final_read(&self) -> bool {
+        self.run.final_output_bytes > 0
+            && !self.final_read_issued
+            && self.computes_done == self.run.iterations
+            && self.outputs_done == self.expected_outputs
+            && self.pending_outputs.is_empty()
+    }
+
+    fn handle(&mut self, ev: Ev) {
+        match ev {
+            Ev::ReconfigDone => {
+                self.configured = true;
+                self.host_overhead += self.spec.reconfiguration;
+            }
+            Ev::InputDone { iter: _, dur } => {
+                self.channel_free = true;
+                self.inputs_done += 1;
+                self.comm_busy += dur;
+            }
+            Ev::ComputeDone { iter, start } => {
+                self.computes_done += 1;
+                let sync = self.spec.host.kernel_sync_overhead;
+                if sync > SimTime::ZERO {
+                    let now = self.q.now();
+                    self.trace.record(Resource::Host, format!("S{}", iter + 1), now, now + sync);
+                }
+                self.q.schedule_after(sync, Ev::SyncDone { iter, start });
+            }
+            Ev::SyncDone { iter, start } => {
+                self.compute_units_free += 1;
+                self.host_overhead += self.spec.host.kernel_sync_overhead;
+                if self.run.output_bytes_per_iter > 0 {
+                    if self.run.streamed_output {
+                        // The output streamed back during the computation; record
+                        // its (overlapped) channel occupancy retroactively.
+                        let dur = self
+                            .spec
+                            .interconnect
+                            .transfer_time(self.run.output_bytes_per_iter, Direction::Read);
+                        self.trace.record(
+                            Resource::Comm,
+                            format!("W{}~", iter + 1),
+                            start,
+                            start + dur,
+                        );
+                        self.streamed_comm += dur;
+                    } else {
+                        self.pending_outputs.push_back(iter);
+                    }
+                }
+                // Double buffering frees the input buffer once computation has
+                // consumed it; single buffering must also drain the output
+                // (the lone buffer holds the results until the read completes).
+                let frees_now = match self.run.buffer_mode {
+                    BufferMode::Double => true,
+                    BufferMode::Single => {
+                        self.run.output_bytes_per_iter == 0 || self.run.streamed_output
+                    }
+                };
+                if frees_now {
+                    self.input_buffers_free += 1;
+                }
+            }
+            Ev::OutputDone { dur } => {
+                self.channel_free = true;
+                self.outputs_done += 1;
+                self.comm_busy += dur;
+                if self.run.buffer_mode == BufferMode::Single {
+                    self.input_buffers_free += 1;
+                }
+            }
+            Ev::FinalReadDone { dur } => {
+                self.channel_free = true;
+                self.comm_busy += dur;
+            }
+        }
+        self.try_issue();
+    }
+
+    fn finish(self) -> Measurement {
+        debug_assert_eq!(self.computes_done, self.run.iterations, "not all batches computed");
+        debug_assert_eq!(self.outputs_done, self.expected_outputs, "not all outputs drained");
+        Measurement {
+            total: self.trace.end(),
+            comm_busy: self.comm_busy,
+            streamed_comm: self.streamed_comm,
+            compute_busy: self.compute_busy,
+            host_overhead: self.host_overhead,
+            iterations: self.run.iterations,
+            trace: self.trace,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interconnect::AlphaCurve;
+    use crate::kernel::TabulatedKernel;
+
+    /// A bus moving 1 byte per nanosecond with no setup cost: transfer time in
+    /// ns equals the byte count, making schedules easy to reason about.
+    fn unit_bus() -> PlatformSpec {
+        PlatformSpec {
+            name: "unit".into(),
+            interconnect: Interconnect {
+                name: "unit-bus".into(),
+                ideal_bw: 1.0e9,
+                setup_write: SimTime::ZERO,
+                setup_read: SimTime::ZERO,
+                alpha_write: AlphaCurve::flat(1.0),
+                alpha_read: AlphaCurve::flat(1.0),
+                max_dma_bytes: None,
+            },
+            host: HostModel::IDEAL,
+        reconfiguration: SimTime::ZERO,
+        }
+    }
+
+    /// Kernel taking `cycles` per batch at 1 GHz: duration in ns equals cycles.
+    fn run_case(
+        mode: BufferMode,
+        in_bytes: u64,
+        out_bytes: u64,
+        comp_cycles: u64,
+        iters: u64,
+    ) -> Measurement {
+        let platform = Platform::new(unit_bus());
+        let kernel = TabulatedKernel::uniform("k", comp_cycles, iters as usize);
+        let run = AppRun::builder()
+            .iterations(iters)
+            .elements_per_iter(1)
+            .input_bytes_per_iter(in_bytes)
+            .output_bytes_per_iter(out_bytes)
+            .buffer_mode(mode)
+            .build();
+        platform.execute(&kernel, &run, 1.0e9).unwrap()
+    }
+
+    #[test]
+    fn single_buffer_is_fully_serial() {
+        // Per iteration: 100 ns in + 300 ns compute + 50 ns out = 450 ns.
+        let m = run_case(BufferMode::Single, 100, 50, 300, 4);
+        assert_eq!(m.total, SimTime::from_ns(4 * 450));
+        assert_eq!(m.comm_busy, SimTime::from_ns(4 * 150));
+        assert_eq!(m.compute_busy, SimTime::from_ns(4 * 300));
+        assert!(!m.trace.has_overlap());
+    }
+
+    #[test]
+    fn double_buffer_compute_bound_hides_comm() {
+        // Compute (300) > comm (100 + 50): steady state is compute-limited.
+        let m = run_case(BufferMode::Double, 100, 50, 300, 10);
+        // First input (100) + 10 computes back-to-back (3000) + final drain (50).
+        assert_eq!(m.total, SimTime::from_ns(100 + 10 * 300 + 50));
+        assert!(m.trace.has_overlap());
+    }
+
+    #[test]
+    fn double_buffer_comm_bound_saturates_channel() {
+        // Comm (200 + 150 = 350) > compute (100): channel is the bottleneck.
+        let m = run_case(BufferMode::Double, 200, 150, 100, 10);
+        // Channel busy continuously after the first input; makespan ≈
+        // N*(in+out) + first fill + last compute tail.
+        let lower = SimTime::from_ns(10 * 350);
+        assert!(m.total >= lower, "makespan {} below channel bound {lower}", m.total);
+        // Within one iteration's slack of the bound.
+        assert!(m.total <= lower + SimTime::from_ns(350 + 100));
+        assert!(m.trace.has_overlap());
+    }
+
+    #[test]
+    fn double_buffer_never_slower_than_single() {
+        for (inb, outb, comp) in [(100, 50, 300), (200, 150, 100), (64, 64, 64), (10, 0, 500)] {
+            let sb = run_case(BufferMode::Single, inb, outb, comp, 8);
+            let db = run_case(BufferMode::Double, inb, outb, comp, 8);
+            assert!(
+                db.total <= sb.total,
+                "DB ({}) slower than SB ({}) for in={inb} out={outb} comp={comp}",
+                db.total,
+                sb.total
+            );
+        }
+    }
+
+    #[test]
+    fn makespan_at_least_each_resource_bound() {
+        let m = run_case(BufferMode::Double, 128, 128, 200, 16);
+        assert!(m.total >= m.comm_busy.max(m.compute_busy));
+    }
+
+    #[test]
+    fn no_output_means_no_write_spans() {
+        let m = run_case(BufferMode::Single, 100, 0, 100, 3);
+        assert!(m
+            .trace
+            .spans()
+            .iter()
+            .all(|s| !s.label.starts_with('W')));
+        assert_eq!(m.comm_busy, SimTime::from_ns(300));
+    }
+
+    #[test]
+    fn final_read_happens_after_everything() {
+        let platform = Platform::new(unit_bus());
+        let kernel = TabulatedKernel::uniform("k", 100, 3);
+        let run = AppRun::builder()
+            .iterations(3)
+            .input_bytes_per_iter(50)
+            .final_output_bytes(400)
+            .build();
+        let m = platform.execute(&kernel, &run, 1.0e9).unwrap();
+        // 3*(50+100) serial + 400 final read.
+        assert_eq!(m.total, SimTime::from_ns(3 * 150 + 400));
+        let final_span = m.trace.spans().iter().find(|s| s.label == "WF").unwrap();
+        assert_eq!(final_span.end, m.total);
+    }
+
+    #[test]
+    fn streamed_output_hides_behind_compute() {
+        let platform = Platform::new(unit_bus());
+        let kernel = TabulatedKernel::uniform("k", 1000, 1);
+        let run = AppRun::builder()
+            .iterations(1)
+            .input_bytes_per_iter(200)
+            .output_bytes_per_iter(500)
+            .streamed_output(true)
+            .build();
+        let m = platform.execute(&kernel, &run, 1.0e9).unwrap();
+        // Output (500 ns) streams during compute (1000 ns): total = 200 + 1000.
+        assert_eq!(m.total, SimTime::from_ns(1200));
+        assert_eq!(m.comm_busy, SimTime::from_ns(200));
+        assert_eq!(m.streamed_comm, SimTime::from_ns(500));
+    }
+
+    #[test]
+    fn host_overheads_serialize_the_loop() {
+        let mut spec = unit_bus();
+        spec.host = HostModel {
+            api_call_overhead: SimTime::from_ns(10),
+            kernel_sync_overhead: SimTime::from_ns(20),
+        };
+        let platform = Platform::new(spec);
+        let kernel = TabulatedKernel::uniform("k", 100, 2);
+        let run = AppRun::builder()
+            .iterations(2)
+            .input_bytes_per_iter(50)
+            .output_bytes_per_iter(30)
+            .build();
+        let m = platform.execute(&kernel, &run, 1.0e9).unwrap();
+        // Per iter: (10+50) in + 100 comp + 20 sync + (10+30) out = 220.
+        assert_eq!(m.total, SimTime::from_ns(440));
+        assert_eq!(m.host_overhead, SimTime::from_ns(40));
+        // API overhead is folded into measured comm, as a host-side timer would.
+        assert_eq!(m.comm_busy, SimTime::from_ns(2 * (60 + 40)));
+    }
+
+    #[test]
+    fn zero_iterations_rejected() {
+        let platform = Platform::new(unit_bus());
+        let kernel = TabulatedKernel::uniform("k", 1, 1);
+        let run = AppRun::builder().iterations(0).build();
+        assert_eq!(platform.execute(&kernel, &run, 1.0e9).unwrap_err(), ExecError::NoIterations);
+    }
+
+    #[test]
+    fn bad_clock_rejected() {
+        let platform = Platform::new(unit_bus());
+        let kernel = TabulatedKernel::uniform("k", 1, 1);
+        let run = AppRun::builder().iterations(1).input_bytes_per_iter(1).build();
+        assert_eq!(platform.execute(&kernel, &run, 0.0).unwrap_err(), ExecError::BadClock);
+        assert_eq!(platform.execute(&kernel, &run, f64::NAN).unwrap_err(), ExecError::BadClock);
+    }
+
+    #[test]
+    fn inputless_app_still_computes() {
+        let m = run_case(BufferMode::Single, 0, 0, 500, 4);
+        assert_eq!(m.total, SimTime::from_ns(2000));
+        assert_eq!(m.comm_busy, SimTime::ZERO);
+    }
+
+    #[test]
+    fn per_iteration_means() {
+        let m = run_case(BufferMode::Single, 100, 0, 300, 4);
+        assert_eq!(m.comm_per_iter(), SimTime::from_ns(100));
+        assert_eq!(m.comp_per_iter(), SimTime::from_ns(300));
+    }
+
+    #[test]
+    fn utilizations_sum_to_one_when_serial_and_overhead_free() {
+        let m = run_case(BufferMode::Single, 100, 50, 300, 5);
+        let sum = m.channel_utilization() + m.compute_utilization();
+        assert!((sum - 1.0).abs() < 1e-9, "serial schedule should split the makespan, got {sum}");
+    }
+
+    #[test]
+    fn measurement_eq_error_types() {
+        assert_eq!(ExecError::NoIterations.to_string(), "application run needs at least one iteration");
+        assert!(ExecError::BadClock.to_string().contains("positive"));
+    }
+
+    #[test]
+    fn trace_labels_match_figure2_notation() {
+        let m = run_case(BufferMode::Single, 10, 10, 10, 2);
+        let labels: Vec<_> = m.trace.spans().iter().map(|s| s.label.as_str()).collect();
+        assert_eq!(labels, vec!["R1", "C1", "W1", "R2", "C2", "W2"]);
+    }
+
+    #[test]
+    fn partial_eq_ne_exec_error() {
+        assert_ne!(ExecError::NoIterations, ExecError::BadClock);
+    }
+
+    fn run_parallel(kernels: u32, in_bytes: u64, comp_cycles: u64, iters: u64) -> Measurement {
+        let platform = Platform::new(unit_bus());
+        let kernel = TabulatedKernel::uniform("k", comp_cycles, iters as usize);
+        let run = AppRun::builder()
+            .iterations(iters)
+            .elements_per_iter(1)
+            .input_bytes_per_iter(in_bytes)
+            .buffer_mode(BufferMode::Double)
+            .parallel_kernels(kernels)
+            .build();
+        platform.execute(&kernel, &run, 1.0e9).unwrap()
+    }
+
+    #[test]
+    fn parallel_kernels_overlap_compute() {
+        // Compute-bound single instance: 100 ns in, 1000 ns compute, 8 iters.
+        let one = run_parallel(1, 100, 1000, 8);
+        let two = run_parallel(2, 100, 1000, 8);
+        let four = run_parallel(4, 100, 1000, 8);
+        // One instance: makespan ~ 100 + 8*1000.
+        assert_eq!(one.total, SimTime::from_ns(100 + 8 * 1000));
+        // Two instances: compute halves (channel feeds both easily).
+        assert!(two.total < one.total);
+        assert!(four.total < two.total);
+        // Aggregate kernel occupancy is schedule-independent.
+        assert_eq!(one.compute_busy, four.compute_busy);
+    }
+
+    #[test]
+    fn parallel_kernels_hit_the_channel_wall() {
+        // Channel time per iteration (500 ns in) exceeds compute/4 (250 ns):
+        // beyond 4 instances the channel is the bottleneck and more kernels
+        // cannot help — the paper's "the channel is only a single resource".
+        let m4 = run_parallel(4, 500, 1000, 16);
+        let m8 = run_parallel(8, 500, 1000, 16);
+        let channel_bound = SimTime::from_ns(16 * 500);
+        assert!(m4.total >= channel_bound);
+        // No meaningful gain past the wall (within one iteration's slack).
+        assert!(m8.total + SimTime::from_ns(1) >= channel_bound);
+        assert!(m4.total.saturating_sub(m8.total) <= SimTime::from_ns(1500));
+    }
+
+    #[test]
+    fn single_buffering_wastes_extra_kernels() {
+        let platform = Platform::new(unit_bus());
+        let kernel = TabulatedKernel::uniform("k", 1000, 4);
+        let mk = |kernels: u32| {
+            let run = AppRun::builder()
+                .iterations(4)
+                .elements_per_iter(1)
+                .input_bytes_per_iter(100)
+                .buffer_mode(BufferMode::Single)
+                .parallel_kernels(kernels)
+                .build();
+            platform.execute(&kernel, &run, 1.0e9).unwrap().total
+        };
+        assert_eq!(mk(1), mk(8), "one buffer serializes regardless of kernel count");
+    }
+
+    #[test]
+    fn zero_kernels_rejected() {
+        let platform = Platform::new(unit_bus());
+        let kernel = TabulatedKernel::uniform("k", 1, 1);
+        let run = AppRun::builder().iterations(1).parallel_kernels(0).build();
+        assert_eq!(platform.execute(&kernel, &run, 1.0e9).unwrap_err(), ExecError::NoKernels);
+    }
+
+    #[test]
+    fn parallel_compute_spans_overlap_in_trace() {
+        let m = run_parallel(2, 10, 1000, 4);
+        let comps: Vec<_> = m.trace.spans_on(Resource::Comp).collect();
+        assert_eq!(comps.len(), 4);
+        // C1 and C2 overlap in time.
+        assert!(comps[0].start < comps[1].end && comps[1].start < comps[0].end);
+    }
+
+    #[test]
+    fn measurement_render_summarizes() {
+        let m = run_case(BufferMode::Single, 100, 50, 300, 4);
+        let s = m.render();
+        assert!(s.contains("4 iterations"));
+        assert!(s.contains("total (t_RC)"));
+        assert!(s.contains("comm busy"));
+        assert!(s.contains("compute busy"));
+    }
+
+    #[test]
+    fn reconfiguration_delays_everything_once() {
+        let mut spec = unit_bus();
+        spec.reconfiguration = SimTime::from_us(100);
+        let platform = Platform::new(spec);
+        let kernel = TabulatedKernel::uniform("k", 100, 3);
+        let run = AppRun::builder()
+            .iterations(3)
+            .elements_per_iter(1)
+            .input_bytes_per_iter(50)
+            .build();
+        let m = platform.execute(&kernel, &run, 1.0e9).unwrap();
+        // 100 us configuration + 3 * (50 + 100) ns of work.
+        assert_eq!(m.total, SimTime::from_us(100) + SimTime::from_ns(450));
+        assert_eq!(m.host_overhead, SimTime::from_us(100));
+        // The configuration span appears in the trace before any transfer.
+        let cfg = m.trace.spans().iter().find(|s| s.label == "CFG").unwrap();
+        assert_eq!(cfg.start, SimTime::ZERO);
+        let first_xfer = m.trace.spans_on(Resource::Comm).next().unwrap();
+        assert!(first_xfer.start >= cfg.end);
+    }
+
+    #[test]
+    fn reconfiguration_breaks_rat_assumption_only_for_short_runs() {
+        // A long run amortizes the bitstream load; a short one is dominated
+        // by it — quantifying when the paper's "reconfiguration ... ignored"
+        // assumption is safe.
+        let mut spec = unit_bus();
+        spec.reconfiguration = SimTime::from_us(100);
+        let platform = Platform::new(spec.clone());
+        let kernel_short = TabulatedKernel::uniform("k", 1000, 1);
+        let run_short = AppRun::builder().iterations(1).input_bytes_per_iter(100).build();
+        let short = platform.execute(&kernel_short, &run_short, 1.0e9).unwrap();
+        let cfg_share_short =
+            spec.reconfiguration.as_secs_f64() / short.total.as_secs_f64();
+        assert!(cfg_share_short > 0.9, "short run is configuration-dominated");
+
+        let kernel_long = TabulatedKernel::uniform("k", 1000, 10_000);
+        let run_long = AppRun::builder().iterations(10_000).input_bytes_per_iter(100).build();
+        let long = platform.execute(&kernel_long, &run_long, 1.0e9).unwrap();
+        let cfg_share_long = spec.reconfiguration.as_secs_f64() / long.total.as_secs_f64();
+        assert!(cfg_share_long < 0.01, "long run amortizes configuration");
+    }
+}

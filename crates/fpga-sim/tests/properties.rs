@@ -1,0 +1,173 @@
+//! Property-based tests for the platform simulator: time arithmetic, event
+//! ordering, interconnect physics, and schedule invariants.
+
+use fpga_sim::host::HostModel;
+use fpga_sim::interconnect::Direction;
+use fpga_sim::queue::EventQueue;
+use fpga_sim::trace::Resource;
+use fpga_sim::{
+    AlphaCurve, AppRun, BufferMode, Interconnect, Platform, PlatformSpec, SimTime,
+    TabulatedKernel,
+};
+use proptest::prelude::*;
+
+fn bus(alpha_w: f64, alpha_r: f64, setup_ns: u64) -> Interconnect {
+    Interconnect {
+        name: "prop-bus".into(),
+        ideal_bw: 1.0e9,
+        setup_write: SimTime::from_ns(setup_ns),
+        setup_read: SimTime::from_ns(setup_ns),
+        alpha_write: AlphaCurve::flat(alpha_w),
+        alpha_read: AlphaCurve::flat(alpha_r),
+        max_dma_bytes: None,
+    }
+}
+
+proptest! {
+    /// SimTime cycle conversions round-trip.
+    #[test]
+    fn cycles_round_trip(cycles in 1u64..1_000_000, mhz in 1u64..2_000) {
+        let f = mhz as f64 * 1e6;
+        let t = SimTime::from_cycles(cycles, f);
+        prop_assert_eq!(t.as_cycles(f), cycles);
+    }
+
+    /// SimTime addition is commutative/associative and Display never panics.
+    #[test]
+    fn simtime_arithmetic(a in 0u64..1u64 << 40, b in 0u64..1u64 << 40, c in 0u64..1u64 << 40) {
+        let (ta, tb, tc) = (SimTime::from_ps(a), SimTime::from_ps(b), SimTime::from_ps(c));
+        prop_assert_eq!(ta + tb, tb + ta);
+        prop_assert_eq!((ta + tb) + tc, ta + (tb + tc));
+        let _ = format!("{ta}");
+        prop_assert_eq!((ta + tb).saturating_sub(tb), ta);
+    }
+
+    /// Events pop in nondecreasing time order with FIFO tie-break.
+    #[test]
+    fn event_queue_pops_sorted(times in prop::collection::vec(0u64..10_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_ns(t), (t, i));
+        }
+        let mut last: Option<(SimTime, usize)> = None;
+        while let Some((at, (t, i))) = q.pop() {
+            prop_assert_eq!(at, SimTime::from_ns(t));
+            if let Some((lt, li)) = last {
+                prop_assert!(at >= lt);
+                if at == lt {
+                    prop_assert!(i > li, "FIFO tie-break violated");
+                }
+            }
+            last = Some((at, i));
+        }
+    }
+
+    /// Transfer time is monotone in payload size and always at least the
+    /// setup latency.
+    #[test]
+    fn transfer_time_monotone(
+        alpha in 0.05f64..1.0,
+        setup in 0u64..100_000,
+        a in 1u64..1u64 << 24,
+        b in 1u64..1u64 << 24,
+    ) {
+        let ic = bus(alpha, alpha, setup);
+        let (small, large) = (a.min(b), a.max(b));
+        for dir in [Direction::Write, Direction::Read] {
+            let ts = ic.transfer_time(small, dir);
+            let tl = ic.transfer_time(large, dir);
+            prop_assert!(tl >= ts);
+            prop_assert!(ts >= SimTime::from_ns(setup));
+        }
+    }
+
+    /// AlphaCurve interpolation stays within the envelope of its points.
+    #[test]
+    fn alpha_curve_within_envelope(
+        e1 in 0.01f64..1.0,
+        e2 in 0.01f64..1.0,
+        e3 in 0.01f64..1.0,
+        probe in 1u64..1u64 << 26,
+    ) {
+        let c = AlphaCurve::from_points(vec![(1024, e1), (65536, e2), (1 << 24, e3)]);
+        let lo = e1.min(e2).min(e3);
+        let hi = e1.max(e2).max(e3);
+        let got = c.efficiency(probe);
+        prop_assert!(got >= lo - 1e-12 && got <= hi + 1e-12, "{got} outside [{lo}, {hi}]");
+    }
+
+    /// Simulated schedules respect fundamental bounds for arbitrary workloads
+    /// and host overheads: makespan >= each resource's busy time, DB <= SB,
+    /// busy totals schedule-independent, kernel count never hurts.
+    #[test]
+    fn schedule_invariants(
+        in_bytes in 1u64..100_000,
+        out_bytes in 0u64..100_000,
+        cycles in 1u64..1_000_000,
+        iters in 1u64..12,
+        kernels in 1u32..6,
+        api_ns in 0u64..10_000,
+        sync_ns in 0u64..10_000,
+    ) {
+        let spec = PlatformSpec {
+            name: "prop".into(),
+            interconnect: bus(0.8, 0.6, 500),
+            host: HostModel {
+                api_call_overhead: SimTime::from_ns(api_ns),
+                kernel_sync_overhead: SimTime::from_ns(sync_ns),
+            },
+        reconfiguration: SimTime::ZERO,
+        };
+        let platform = Platform::new(spec);
+        let kernel = TabulatedKernel::uniform("k", cycles, iters as usize);
+        let mk = |mode: BufferMode, k: u32| {
+            AppRun::builder()
+                .iterations(iters)
+                .elements_per_iter(1)
+                .input_bytes_per_iter(in_bytes)
+                .output_bytes_per_iter(out_bytes)
+                .buffer_mode(mode)
+                .parallel_kernels(k)
+                .build()
+        };
+        let sb = platform.execute(&kernel, &mk(BufferMode::Single, 1), 1.0e8).unwrap();
+        let db = platform.execute(&kernel, &mk(BufferMode::Double, 1), 1.0e8).unwrap();
+        let dbk = platform.execute(&kernel, &mk(BufferMode::Double, kernels), 1.0e8).unwrap();
+        prop_assert!(db.total <= sb.total);
+        prop_assert!(dbk.total <= db.total + SimTime::from_ns(1));
+        for m in [&sb, &db] {
+            prop_assert!(m.total >= m.comm_busy);
+            prop_assert!(m.total >= m.compute_busy);
+        }
+        for m in [&sb, &db, &dbk] {
+            prop_assert!(m.total >= m.comm_busy);
+            prop_assert_eq!(m.iterations, iters);
+        }
+        // With K parallel kernels the aggregate occupancy can exceed the
+        // makespan, but never by more than the unit count.
+        prop_assert!(
+            dbk.total.as_ps() as u128 * kernels as u128 >= dbk.compute_busy.as_ps() as u128
+        );
+        prop_assert_eq!(sb.comm_busy, db.comm_busy);
+        prop_assert_eq!(sb.compute_busy, dbk.compute_busy);
+        // Trace accounting agrees with the measurement.
+        prop_assert_eq!(sb.trace.busy(Resource::Comp), sb.compute_busy);
+        prop_assert_eq!(sb.trace.busy(Resource::Comm), sb.comm_busy);
+    }
+
+    /// Microbenchmark-derived alpha reproduces a flat curve's efficiency in
+    /// the large-transfer limit and never exceeds 1.
+    #[test]
+    fn microbench_recovers_flat_alpha(alpha in 0.05f64..1.0, setup in 0u64..10_000) {
+        let ic = bus(alpha, alpha, setup);
+        let large = fpga_sim::microbench::measure_alpha(&ic, 1 << 26);
+        prop_assert!(large.alpha_write <= 1.0);
+        prop_assert!((large.alpha_write - alpha).abs() / alpha < 0.01,
+            "derived {} vs true {alpha}", large.alpha_write);
+        // Picosecond rounding of tiny payload times can perturb the derived
+        // alpha by a few ppm; allow that noise.
+        let small = fpga_sim::microbench::measure_alpha(&ic, 64);
+        prop_assert!(small.alpha_write <= large.alpha_write * (1.0 + 1e-4),
+            "setup latency must not make small transfers look faster");
+    }
+}

@@ -1,0 +1,67 @@
+//! Design-space exploration with sweeps, sensitivity, and uncertainty.
+//!
+//! RAT is meant to be applied iteratively "until a suitable version of the
+//! algorithm is formulated". This example scripts that loop for the 2-D PDF
+//! design: find which parameter the speedup actually depends on, sweep it,
+//! quantify the risk band from uncertain inputs, and check what double
+//! buffering would buy.
+//!
+//! ```sh
+//! cargo run --example design_space_exploration
+//! ```
+
+use rat::apps::pdf2d;
+use rat::core::params::Buffering;
+use rat::core::sensitivity;
+use rat::core::sweep::{sweep, SweepParam};
+use rat::core::uncertainty::{propagate, ParamRange};
+use rat::core::worksheet::Worksheet;
+
+fn main() {
+    let input = pdf2d::rat_input(150.0e6);
+
+    // 1. Sensitivity: which estimate deserves measurement effort?
+    let sens = sensitivity::analyze(&input).expect("valid input");
+    println!("{}", sens.render());
+    println!(
+        "Dominant parameter: {} — the 2-D PDF is compute-bound on paper, so clock and \
+         ops/cycle dominate. (The paper's actual bottleneck surprise was alpha_read; \
+         see the platform_validation example.)\n",
+        sens.dominant().expect("non-empty").param.label()
+    );
+
+    // 2. Sweep the clock across the plausible range.
+    let clocks: Vec<f64> = (3..=8).map(|i| i as f64 * 25.0e6).collect();
+    let by_clock = sweep(&input, SweepParam::Fclock, &clocks).expect("valid sweep");
+    println!("{}", by_clock.render());
+    match by_clock.first_meeting(5.0) {
+        Some(p) => println!("First clock reaching 5x: {:.0} MHz\n", p.value / 1e6),
+        None => println!("No clock in range reaches 5x\n"),
+    }
+
+    // 3. Sweep the parallelism (pipelines) via throughput_proc.
+    let rates: Vec<f64> = [24.0, 48.0, 72.0, 96.0, 144.0, 288.0].to_vec();
+    let by_rate = sweep(&input, SweepParam::ThroughputProc, &rates).expect("valid sweep");
+    println!("{}", by_rate.render());
+
+    // 4. Uncertainty: clock anywhere in 75-150 MHz, achieved ops/cycle
+    //    anywhere from the conservative 48 to the structural 72.
+    let ranges = [
+        ParamRange::new(SweepParam::Fclock, 75.0e6, 150.0e6),
+        ParamRange::new(SweepParam::ThroughputProc, 48.0, 72.0),
+    ];
+    let dist = propagate(&input, &ranges, 20_000, 2007).expect("valid ranges");
+    println!("{}", dist.render());
+
+    // 5. Would double buffering help? (Compute-bound: barely.)
+    let sb = Worksheet::new(input.clone()).analyze().expect("valid");
+    let db = Worksheet::new(input.with_buffering(Buffering::Double)).analyze().expect("valid");
+    println!(
+        "Buffering: single {:.2}x vs double {:.2}x — overlap buys {:.1}% because the \
+         predicted communication share is only {:.0}%.",
+        sb.speedup,
+        db.speedup,
+        (db.speedup / sb.speedup - 1.0) * 100.0,
+        sb.throughput.util_comm * 100.0
+    );
+}

@@ -1,0 +1,78 @@
+//! Platform characterization and the 2-D PDF's communication surprise.
+//!
+//! The paper derives its alpha parameters from a microbenchmark at one
+//! transfer size (§4.2) and warns — after the fact — that the 2-D PDF's
+//! 256 KB result reads behaved six times worse than that alpha predicted.
+//! This example walks the whole trap: characterize the bus, predict, execute,
+//! compare, and show the overlap schedules.
+//!
+//! ```sh
+//! cargo run --example platform_validation
+//! ```
+
+use rat::apps::{pdf1d, pdf2d};
+use rat::core::worksheet::Worksheet;
+use rat::sim::microbench::{alpha_table, render_alpha_table, standard_sizes};
+use rat::sim::{catalog, Direction};
+
+fn main() {
+    let platform = catalog::nallatech_h101();
+
+    // 1. Characterize the interconnect the way the paper does.
+    let table = alpha_table(&platform.interconnect, &standard_sizes());
+    println!("Microbenchmark-derived alpha(size) for {}:\n", platform.name);
+    println!("{}", render_alpha_table(&table));
+
+    // 2. The trap: the paper's worksheet used alpha_read = 0.16, measured at
+    //    the 1-D PDF's 2 KB transfer size. The 2-D design reads 256 KB.
+    let at_2k = platform.interconnect.transfer_time(2048, Direction::Read);
+    let at_256k = platform.interconnect.transfer_time(262_144, Direction::Read);
+    let alpha_model = 262_144.0 / (0.16 * 1.0e9);
+    println!(
+        "Read 2 KB: {at_2k}   read 256 KB: {at_256k}   (2 KB-alpha model predicts {:.2e} s \
+         for 256 KB — off by {:.1}x)\n",
+        alpha_model,
+        at_256k.as_secs_f64() / alpha_model
+    );
+
+    // 3. Prediction vs simulated execution for both PDF designs at 150 MHz.
+    for (name, predicted, measured, t_soft) in [
+        (
+            "1-D PDF",
+            Worksheet::new(pdf1d::rat_input(150.0e6)).analyze().expect("valid"),
+            pdf1d::design().simulate(150.0e6),
+            pdf1d::T_SOFT,
+        ),
+        (
+            "2-D PDF",
+            Worksheet::new(pdf2d::rat_input(150.0e6)).analyze().expect("valid"),
+            pdf2d::design().simulate(150.0e6),
+            pdf2d::T_SOFT,
+        ),
+    ] {
+        let sim_speedup = t_soft / measured.total.as_secs_f64();
+        println!(
+            "{name}: predicted t_comm {:.2e} s vs measured {:.2e} s ({:.1}x miss); \
+             predicted speedup {:.1}x vs measured {:.1}x",
+            predicted.throughput.t_comm,
+            measured.comm_per_iter().as_secs_f64(),
+            measured.comm_per_iter().as_secs_f64() / predicted.throughput.t_comm,
+            predicted.speedup,
+            sim_speedup
+        );
+    }
+
+    // 4. The schedule itself: first iterations of the 1-D design, single
+    //    buffered, straight from the simulator trace (Figure-2 style).
+    let run = rat::sim::AppRun::builder()
+        .iterations(3)
+        .elements_per_iter(512)
+        .input_bytes_per_iter(2048)
+        .output_bytes_per_iter(1024)
+        .buffer_mode(rat::sim::BufferMode::Single)
+        .build();
+    let m = rat::sim::Platform::new(platform)
+        .execute(&pdf1d::design().kernel(), &run, 150.0e6)
+        .expect("valid run");
+    println!("\nFirst three iterations, single buffered:\n{}", m.trace.render_gantt(72));
+}

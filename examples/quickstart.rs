@@ -1,0 +1,62 @@
+//! Quickstart: run a RAT worksheet and the full three-test methodology.
+//!
+//! Reproduces the paper's §4 walkthrough — the 1-D PDF estimation design on a
+//! Nallatech H101 (Virtex-4 LX100) — in a few lines of library calls.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use rat::apps::pdf1d;
+use rat::core::methodology::{AmenabilityTest, Requirements};
+use rat::core::worksheet::Worksheet;
+
+fn main() {
+    // 1. The worksheet input: the paper's Table 2 (at the optimistic 150 MHz
+    //    clock assumption).
+    let input = pdf1d::rat_input(150.0e6);
+
+    // 2. The throughput test: Equations (1)-(11) in one call.
+    let report = Worksheet::new(input.clone()).analyze().expect("valid worksheet");
+    println!("{}", report.render());
+
+    // 3. The paper evaluates three candidate clocks because the achievable
+    //    frequency is unknowable before place-and-route.
+    println!("Across candidate clocks (Table 3's predicted columns):");
+    for r in Worksheet::new(input.clone())
+        .analyze_clocks(&[75.0e6, 100.0e6, 150.0e6])
+        .expect("valid worksheet")
+    {
+        println!(
+            "  {:>3.0} MHz: t_comp {:.2e} s, t_RC {:.2e} s, speedup {:.1}x",
+            r.input.comp.fclock / 1e6,
+            r.throughput.t_comp,
+            r.throughput.t_rc,
+            r.speedup
+        );
+    }
+
+    // 4. The full Figure-1 methodology pass: throughput gate, then resources
+    //    (precision was settled separately at 18-bit fixed point; see the
+    //    precision_study example).
+    let pass = AmenabilityTest::new(
+        input,
+        Requirements { min_speedup: 10.0, reject_routing_strain: false },
+    )
+    .with_resources(pdf1d::design().resource_report())
+    .evaluate()
+    .expect("valid worksheet");
+    println!("\n{}", pass.render());
+
+    // 5. And the validation the paper had to build hardware for: a simulated
+    //    execution of the Figure-3 design on the simulated platform.
+    let measured = pdf1d::design().simulate(150.0e6);
+    println!(
+        "Simulated 'actual' at 150 MHz: t_comm/iter {:.2e} s, t_comp/iter {:.2e} s, \
+         total {:.2e} s, speedup {:.1}x (paper measured 7.8x)",
+        measured.comm_per_iter().as_secs_f64(),
+        measured.comp_per_iter().as_secs_f64(),
+        measured.total.as_secs_f64(),
+        pdf1d::T_SOFT / measured.total.as_secs_f64()
+    );
+}

@@ -1,0 +1,72 @@
+//! The paper's future work, executed: multi-FPGA scaling and streaming mode.
+//!
+//! §6 flags "systems containing multiple FPGAs being increasingly deployed";
+//! §3.1 notes the framework "can be adjusted for streaming applications".
+//! Both extensions share one hard constraint the paper keeps emphasizing: the
+//! host interconnect is a single serialized resource, so every scaling story
+//! ends at the communication wall.
+//!
+//! ```sh
+//! cargo run --example scaling_and_streaming
+//! ```
+
+use rat::apps::pdf1d;
+use rat::core::multifpga;
+use rat::core::params::Buffering;
+use rat::core::streaming::{self, ChannelDuplex};
+use rat::sim::{catalog, AppRun, BufferMode, Platform};
+
+fn main() {
+    let input = pdf1d::rat_input(150.0e6).with_buffering(Buffering::Double);
+
+    // 1. Analytic scaling curve across device counts.
+    let curve = multifpga::scaling_curve(&input, 32).expect("valid input");
+    println!("{}", curve.render());
+    let sat = multifpga::saturating_devices(&input).expect("valid input");
+    println!(
+        "The shared channel caps scaling at {sat} devices; beyond that, speedup is the \
+         communication wall ({:.0}x).\n",
+        rat::core::solve::max_speedup(&input).expect("valid input")
+    );
+
+    // 2. Cross-check against the simulator: replicate the Figure-3 kernel
+    //    on the simulated platform and watch the same knee appear (the full
+    //    platform model includes per-transfer setup costs the analytic curve
+    //    ignores, so its wall arrives earlier — that gap is the lesson).
+    println!("Simulated scaling on the Nallatech model (with setup/host overheads):");
+    let platform = Platform::new(catalog::nallatech_h101());
+    let kernel = pdf1d::design().kernel();
+    for devices in [1u32, 2, 4, 8, 16, 32] {
+        let run = AppRun::builder()
+            .iterations(400)
+            .elements_per_iter(512)
+            .input_bytes_per_iter(2048)
+            .output_bytes_per_iter(1024)
+            .buffer_mode(BufferMode::Double)
+            .parallel_kernels(devices)
+            .build();
+        let m = platform.execute(&kernel, &run, 150.0e6).expect("valid run");
+        println!(
+            "  {devices:>2} device(s): total {:.3e} s, speedup {:>5.1}x, channel busy {:>4.0}%",
+            m.total.as_secs_f64(),
+            pdf1d::T_SOFT / m.total.as_secs_f64(),
+            m.channel_utilization() * 100.0
+        );
+    }
+
+    // 3. Streaming mode: no buffered round trips at all.
+    println!();
+    let half = streaming::analyze(&input, ChannelDuplex::Half).expect("valid input");
+    println!("{}", half.render());
+    println!(
+        "Streaming sustains {:.2e} elements/s ({} bound); the batch double-buffered \
+         model gives {:.2e} elements/s.",
+        half.sustained_rate,
+        match half.bottleneck {
+            streaming::StreamBottleneck::Channel => "channel",
+            streaming::StreamBottleneck::Compute => "compute",
+        },
+        (input.dataset.elements_in * input.software.iterations) as f64
+            / rat::core::throughput::t_rc_double(&input),
+    );
+}

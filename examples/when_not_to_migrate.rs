@@ -1,0 +1,81 @@
+//! The negative result: RAT talking a team *out* of a migration.
+//!
+//! The paper's introduction is blunt about the stakes — a migration that
+//! cannot meet its speedup goal wastes months of development. This example
+//! runs the bitonic-sort case study (the paper's "value in an array to be
+//! sorted" element example) through the full methodology and watches every
+//! tool agree that the migration should not happen, then quantifies the
+//! engineering cost RAT just saved via the break-even analysis.
+//!
+//! ```sh
+//! cargo run --example when_not_to_migrate
+//! ```
+
+use rat::apps::sort;
+use rat::core::breakeven::{BreakEven, MigrationCost};
+use rat::core::methodology::{AmenabilityTest, Requirements};
+use rat::core::solve;
+use rat::core::worksheet::Worksheet;
+
+fn main() {
+    let input = sort::rat::rat_input(150.0e6);
+
+    // 1. The worksheet: sorting is everything the PDF kernels are not.
+    let report = Worksheet::new(input.clone()).analyze().expect("valid worksheet");
+    println!("{}", report.render_performance());
+    println!(
+        "Communication carries {:.0}% of every iteration — a sorting network does only \
+         78 compare-exchanges per key, but every key crosses the bus twice.\n",
+        report.throughput.util_comm * 100.0
+    );
+
+    // 2. The inverse solvers: no knob reaches 10x.
+    println!("Can anything reach 10x?");
+    for (label, result) in [
+        ("more parallelism", solve::required_throughput_proc(&input, 10.0).map(|v| format!("{v:.0} ops/cycle"))),
+        ("faster clock    ", solve::required_fclock(&input, 10.0).map(|v| format!("{:.0} MHz", v / 1e6))),
+        ("better interconnect", solve::required_alpha_scale(&input, 10.0).map(|v| format!("{v:.1}x alpha"))),
+    ] {
+        match result {
+            Ok(v) => println!("  {label}: yes, with {v}"),
+            Err(e) => println!("  {label}: no — {e}"),
+        }
+    }
+    println!(
+        "  hard ceiling: {:.1}x (communication-bound wall)\n",
+        solve::max_speedup(&input).expect("valid input")
+    );
+
+    // 3. The methodology gate bounces it.
+    let pass = AmenabilityTest::new(
+        input.clone(),
+        Requirements { min_speedup: 10.0, reject_routing_strain: true },
+    )
+    .with_resources(sort::rat::design().resource_report())
+    .evaluate()
+    .expect("valid input");
+    println!("{}", pass.render());
+
+    // 4. Validation: the simulator agrees (it lands even lower than the
+    //    prediction, since 1,024 round trips pay per-transfer overheads).
+    let m = sort::rat::design().simulate(150.0e6);
+    let measured = sort::rat::T_SOFT / m.total.as_secs_f64();
+    println!(
+        "Simulated execution: {:.3e} s total, {measured:.1}x speedup (predicted {:.1}x).\n",
+        m.total.as_secs_f64(),
+        report.speedup
+    );
+
+    // 5. What did the 30-minute worksheet save? Even if the modest speedup
+    //    were accepted, break-even on the engineering runs to years.
+    let be = BreakEven::analyze(
+        &input,
+        &MigrationCost { development_hours: 400.0, runs_per_day: 1_000.0 },
+    )
+    .expect("valid input");
+    println!("{}", be.render());
+    println!(
+        "Verdict: do not migrate. (And if sorting is a stage of a larger pipeline, \
+         leave it on the CPU — see the multistage module.)"
+    );
+}

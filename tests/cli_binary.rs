@@ -1,0 +1,72 @@
+//! True end-to-end tests of the `rat` binary: spawn the compiled executable
+//! against the shipped worksheets and inspect stdout/exit codes, the way a
+//! user's shell would.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn rat_binary() -> PathBuf {
+    // target/<profile>/rat, relative to this test binary's location
+    // (target/<profile>/deps/...).
+    let mut p = std::env::current_exe().expect("test binary path");
+    p.pop(); // deps/
+    p.pop(); // <profile>/
+    p.push(format!("rat{}", std::env::consts::EXE_SUFFIX));
+    p
+}
+
+fn worksheet(name: &str) -> String {
+    format!("{}/worksheets/{name}.toml", env!("CARGO_MANIFEST_DIR"))
+}
+
+fn run_rat(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(rat_binary())
+        .args(args)
+        .output()
+        .expect("spawning the rat binary (build it with `cargo build -p rat-cli`)");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn analyze_shipped_pdf1d_worksheet() {
+    let (stdout, stderr, ok) = run_rat(&["analyze", &worksheet("pdf1d")]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("10.6"), "missing Table-3 speedup:\n{stdout}");
+    assert!(stdout.contains("computation-bound"), "{stdout}");
+}
+
+#[test]
+fn solve_on_shipped_md_worksheet_recovers_the_tuning() {
+    let (stdout, _, ok) = run_rat(&["solve", &worksheet("md"), "10.7"]);
+    assert!(ok);
+    // §5.2's tuned value: ~50 ops/cycle.
+    assert!(
+        stdout.contains("required throughput_proc: 50.0 ops/cycle"),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn unknown_command_fails_with_usage_hint() {
+    let (_, stderr, ok) = run_rat(&["bogus"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown command"), "{stderr}");
+}
+
+#[test]
+fn missing_worksheet_is_a_clean_error() {
+    let (_, stderr, ok) = run_rat(&["analyze", "/nonexistent/path.toml"]);
+    assert!(!ok);
+    assert!(stderr.contains("reading"), "{stderr}");
+}
+
+#[test]
+fn help_exits_zero() {
+    let (stdout, _, ok) = run_rat(&["help"]);
+    assert!(ok);
+    assert!(stdout.contains("USAGE"));
+}

@@ -1,0 +1,127 @@
+//! The Figure-1 methodology exercised as the paper intends: iteratively,
+//! across candidate designs, with all three tests wired to real artifacts.
+
+use rat::apps::pdf::fixed::precision_eval;
+use rat::apps::{datagen, pdf, pdf1d};
+use rat::core::methodology::{AmenabilityTest, Bounce, Requirements, Verdict};
+use rat::core::precision::precision_test;
+use rat::core::resources::{device, ResourceEstimate, ResourceReport};
+use rat::fixed::QFormat;
+
+fn reqs(min_speedup: f64) -> Requirements {
+    Requirements { min_speedup, reject_routing_strain: true }
+}
+
+fn pdf_precision(tolerance: f64) -> rat::core::precision::PrecisionReport {
+    let samples = datagen::bimodal_samples(1024, 55);
+    let bins = pdf::bin_centers();
+    let candidates: Vec<QFormat> = [9u32, 13, 17, 23, 31]
+        .iter()
+        .map(|&f| QFormat::signed(0, f).unwrap())
+        .collect();
+    precision_test(&candidates, tolerance, 18, |fmt| {
+        precision_eval(fmt, &samples, &bins, pdf::BANDWIDTH)
+    })
+}
+
+/// The happy path: 1-D PDF at 150 MHz with the 18-bit datapath and the
+/// Figure-3 resource budget proceeds to hardware.
+#[test]
+fn full_three_test_pass_proceeds() {
+    let report = AmenabilityTest::new(pdf1d::rat_input(150.0e6), reqs(10.0))
+        .with_precision(pdf_precision(0.03))
+        .with_resources(pdf1d::design().resource_report())
+        .evaluate()
+        .unwrap();
+    assert!(report.proceed(), "{}", report.render());
+    let chosen = report.precision.as_ref().unwrap().chosen_candidate().unwrap();
+    // The tolerance admits a format at or below the paper's 18 bits, costing
+    // a single MAC per multiply.
+    assert!(chosen.format.total_bits() <= 18);
+    assert_eq!(chosen.dsps_per_mult, 1);
+}
+
+/// The iterative loop: the 75 MHz design misses 10x, gets bounced, and the
+/// designer's revision (find the clock that works) passes.
+#[test]
+fn iterative_redesign_loop() {
+    let mut fclock = 75.0e6;
+    let mut passes = Vec::new();
+    loop {
+        let report = AmenabilityTest::new(pdf1d::rat_input(fclock), reqs(10.0))
+            .evaluate()
+            .unwrap();
+        let done = report.proceed();
+        passes.push((fclock, done));
+        if done {
+            break;
+        }
+        match report.verdict {
+            Verdict::Revise(Bounce::InsufficientThroughput { .. }) => {
+                fclock += 25.0e6; // "NEW: create design on paper" — retarget the clock
+            }
+            other => panic!("unexpected bounce {other:?}"),
+        }
+        assert!(fclock < 1.0e9, "runaway loop");
+    }
+    // 75 and 100 MHz fail (5.4x, 7.1x), 125 fails (8.9x), 150 passes (10.6x).
+    let outcomes: Vec<bool> = passes.iter().map(|p| p.1).collect();
+    assert_eq!(outcomes, vec![false, false, false, true]);
+    assert_eq!(passes.last().unwrap().0, 150.0e6);
+}
+
+/// An unrealizable precision requirement bounces at the second gate even
+/// though throughput is fine.
+#[test]
+fn precision_gate_bounces_impossible_tolerance() {
+    let report = AmenabilityTest::new(pdf1d::rat_input(150.0e6), reqs(5.0))
+        .with_precision(pdf_precision(1e-12))
+        .evaluate()
+        .unwrap();
+    assert_eq!(report.verdict, Verdict::Revise(Bounce::UnrealizablePrecision));
+}
+
+/// A design that fits on a bigger part but not the LX100: the resource gate
+/// is device-specific, and switching device is a legitimate revision.
+#[test]
+fn resource_gate_depends_on_device() {
+    // A hypothetical 60-pipeline variant of the 1-D PDF: 120 MACs. Logic kept
+    // below the SX55's routing-strain threshold (its slice count is half the
+    // LX100's).
+    let big = ResourceEstimate { dsp: 60 * 2, bram: 90, logic: 15_000 };
+    let on_lx100 = ResourceReport::analyze(device::virtex4_lx100(), big);
+    let on_sx55 = ResourceReport::analyze(device::virtex4_sx55(), big);
+    assert!(!on_lx100.fits, "120 DSPs exceed the LX100's 96");
+    assert!(on_sx55.fits, "the SX55's 512 DSPs absorb it");
+
+    let bounced = AmenabilityTest::new(pdf1d::rat_input(150.0e6), reqs(5.0))
+        .with_resources(on_lx100)
+        .evaluate()
+        .unwrap();
+    assert!(matches!(
+        bounced.verdict,
+        Verdict::Revise(Bounce::InsufficientResources { .. })
+    ));
+    let passed = AmenabilityTest::new(pdf1d::rat_input(150.0e6), reqs(5.0))
+        .with_resources(on_sx55)
+        .evaluate()
+        .unwrap();
+    assert!(passed.proceed());
+}
+
+/// Multi-stage composition: PDF estimation embedded in a larger pipeline with
+/// software pre/post-processing obeys Amdahl accounting.
+#[test]
+fn multistage_application_analysis() {
+    use rat::core::multistage::{analyze, Stage};
+    let stages = vec![
+        Stage::Software { name: "ingest + windowing".into(), t_soft: 0.12 },
+        Stage::Fpga(pdf1d::rat_input(150.0e6)),
+        Stage::Software { name: "report generation".into(), t_soft: 0.05 },
+    ];
+    let r = analyze(&stages).unwrap();
+    assert!((r.total_soft - 0.748).abs() < 1e-9);
+    assert!(r.speedup > 2.5 && r.speedup < 4.0, "composite speedup {}", r.speedup);
+    assert!(r.amdahl_ceiling() < 4.5);
+    assert_eq!(r.bottleneck().unwrap().name, "ingest + windowing");
+}

@@ -1,0 +1,134 @@
+//! The paper's §4.2 workflow, end to end: derive alpha parameters from
+//! (simulated) microbenchmarks, feed them into the worksheet, and observe both
+//! the success (1-D PDF) and the documented failure mode (2-D PDF's 256 KB
+//! reads probed at 2 KB).
+
+use rat::apps::{pdf1d, pdf2d};
+use rat::core::worksheet::Worksheet;
+use rat::sim::catalog;
+use rat::sim::microbench::measure_alpha;
+
+/// Microbenchmarking the simulated Nallatech at the 1-D PDF's transfer size
+/// recovers the paper's Table-2 alphas.
+#[test]
+fn derived_alphas_match_table2() {
+    let ic = catalog::nallatech_h101().interconnect;
+    let probe = measure_alpha(&ic, 2048);
+    assert!((probe.alpha_write - 0.37).abs() < 0.02, "alpha_write {}", probe.alpha_write);
+    assert!((probe.alpha_read - 0.16).abs() < 0.02, "alpha_read {}", probe.alpha_read);
+}
+
+/// Feeding the derived (rather than hard-coded) alphas through the worksheet
+/// reproduces the Table-3 prediction: the procedure is self-consistent.
+#[test]
+fn microbenchmark_driven_prediction_pipeline() {
+    let ic = catalog::nallatech_h101().interconnect;
+    let probe = measure_alpha(&ic, 2048);
+    let mut input = pdf1d::rat_input(150.0e6);
+    input.comm.alpha_write = probe.alpha_write;
+    input.comm.alpha_read = probe.alpha_read;
+    let r = Worksheet::new(input).analyze().unwrap();
+    assert!((r.speedup - 10.6).abs() < 0.1, "speedup {}", r.speedup);
+}
+
+/// The 2-D failure mode: alphas probed at the *right* size (256 KB for the
+/// result block) would have predicted the communication correctly; alphas
+/// probed at 2 KB underestimate it ~6x. RAT is only as good as its
+/// microbenchmarks — the paper's own conclusion.
+#[test]
+fn size_matched_microbenchmark_fixes_the_2d_prediction() {
+    let ic = catalog::nallatech_h101().interconnect;
+    let wrong_size = measure_alpha(&ic, 2048);
+    let right_size = measure_alpha(&ic, 262_144);
+
+    let naive = pdf2d::rat_input(150.0e6); // uses the paper's 2 KB-derived alphas
+    let naive_pred = Worksheet::new(naive.clone()).analyze().unwrap();
+
+    let mut corrected = naive.clone();
+    corrected.comm.alpha_write = right_size.alpha_write;
+    corrected.comm.alpha_read = right_size.alpha_read;
+    let corrected_pred = Worksheet::new(corrected).analyze().unwrap();
+
+    let m = pdf2d::design().simulate(150.0e6);
+    let measured_comm = m.comm_per_iter().as_secs_f64();
+
+    let naive_err = (measured_comm - naive_pred.throughput.t_comm).abs() / measured_comm;
+    let corrected_err =
+        (measured_comm - corrected_pred.throughput.t_comm).abs() / measured_comm;
+    assert!(naive_err > 0.75, "2 KB-probed prediction should miss badly: {naive_err:.3}");
+    assert!(
+        corrected_err < 0.05,
+        "size-matched prediction should land: {corrected_err:.3}"
+    );
+    // The twist the paper itself reports (§5.1, "a victory in contingency
+    // planning"): the naive prediction's *speedup* was accidentally accurate
+    // because its optimistic communication estimate cancelled its
+    // conservative computation estimate (48 of the actual ~64 ops/cycle).
+    // Fixing communication alone therefore makes the end-to-end speedup
+    // prediction WORSE — error cancellation is not accuracy.
+    let measured_speedup = pdf2d::T_SOFT / m.total.as_secs_f64();
+    let naive_sp_err = (naive_pred.speedup - measured_speedup).abs() / measured_speedup;
+    let corr_sp_err = (corrected_pred.speedup - measured_speedup).abs() / measured_speedup;
+    assert!(
+        corr_sp_err > naive_sp_err,
+        "expected cancellation loss: corrected {corr_sp_err:.3} vs naive {naive_sp_err:.3}"
+    );
+    // Fixing BOTH estimates (size-matched alpha + the achieved ~64 ops/cycle)
+    // beats everything.
+    let mut fully = naive;
+    fully.comm.alpha_write = right_size.alpha_write;
+    fully.comm.alpha_read = right_size.alpha_read;
+    fully.comp.throughput_proc = 64.0;
+    let fully_pred = Worksheet::new(fully).analyze().unwrap();
+    let fully_err = (fully_pred.speedup - measured_speedup).abs() / measured_speedup;
+    assert!(
+        fully_err < naive_sp_err && fully_err < corr_sp_err,
+        "full correction {fully_err:.3} should beat naive {naive_sp_err:.3} and partial {corr_sp_err:.3}"
+    );
+    // Sanity: the 2 KB probe itself is the Table-2/5 value.
+    assert!((wrong_size.alpha_read - 0.16).abs() < 0.02);
+}
+
+/// Alpha tables across the full size sweep are physical: in (0, 1], and on the
+/// XD1000 (setup-dominated small transfers) monotone improving with size.
+#[test]
+fn alpha_tables_are_physical() {
+    for spec in [catalog::nallatech_h101(), catalog::xd1000(), catalog::generic_pcie_gen2_x8()] {
+        let table = rat::sim::microbench::alpha_table(
+            &spec.interconnect,
+            &rat::sim::microbench::standard_sizes(),
+        );
+        for s in &table {
+            assert!(s.alpha_write > 0.0 && s.alpha_write <= 1.0);
+            assert!(s.alpha_read > 0.0 && s.alpha_read <= 1.0);
+        }
+    }
+    let xd = rat::sim::microbench::alpha_table(
+        &catalog::xd1000().interconnect,
+        &rat::sim::microbench::standard_sizes(),
+    );
+    for w in xd.windows(2) {
+        assert!(
+            w[1].alpha_write >= w[0].alpha_write * 0.97,
+            "XD1000 write alpha should not regress materially with size"
+        );
+    }
+}
+
+/// The MD prediction driven by the XD1000's own microbenchmark instead of the
+/// paper's round 0.9 — the communication prediction tightens against the
+/// simulated measurement.
+#[test]
+fn md_prediction_with_measured_alpha() {
+    let ic = catalog::xd1000().interconnect;
+    let probe = measure_alpha(&ic, 16_384 * 36);
+    let mut input = rat::apps::md::rat::rat_input(100.0e6);
+    input.comm.alpha_write = probe.alpha_write;
+    input.comm.alpha_read = probe.alpha_read;
+    let r = Worksheet::new(input).analyze().unwrap();
+    // t_comm prediction with measured alpha ~ 2 x 1.386e-3 = 2.77e-3 (the
+    // worksheet still models a blocking read-back; the design streams it).
+    assert!((r.throughput.t_comm - 2.77e-3).abs() / 2.77e-3 < 0.02);
+    // Speedup barely moves — MD is compute-dominated.
+    assert!((r.speedup - 10.7).abs() < 0.1);
+}

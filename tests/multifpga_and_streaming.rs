@@ -1,0 +1,156 @@
+//! Validation of the future-work extensions (multi-FPGA scaling, streaming)
+//! against the discrete-event simulator.
+
+use rat::apps::pdf1d;
+use rat::core::multifpga;
+use rat::core::params::Buffering;
+use rat::core::streaming::{self, ChannelDuplex, StreamBottleneck};
+use rat::sim::host::HostModel;
+use rat::sim::{
+    AlphaCurve, AppRun, BufferMode, Interconnect, Platform, PlatformSpec, SimTime,
+    TabulatedKernel,
+};
+
+fn ideal_platform() -> Platform {
+    Platform::new(PlatformSpec {
+        name: "ideal".into(),
+        interconnect: Interconnect {
+            name: "ideal-bus".into(),
+            ideal_bw: 1.0e9,
+            setup_write: SimTime::ZERO,
+            setup_read: SimTime::ZERO,
+            alpha_write: AlphaCurve::flat(0.37),
+            alpha_read: AlphaCurve::flat(0.16),
+            max_dma_bytes: None,
+        },
+        host: HostModel::IDEAL,
+        reconfiguration: SimTime::ZERO,
+    })
+}
+
+/// The analytic multi-FPGA curve matches simulated parallel-kernel executions
+/// across the linear region, the knee, and the saturated region.
+#[test]
+fn multifpga_model_matches_simulator() {
+    let input = pdf1d_input_db();
+    let iters = input.software.iterations;
+    let cycles = (input.dataset.elements_in as f64 * input.comp.ops_per_element
+        / input.comp.throughput_proc) as u64;
+    let kernel = TabulatedKernel::uniform("k", cycles, iters as usize);
+    let platform = ideal_platform();
+
+    for devices in [1u32, 2, 4, 8, 24, 32] {
+        let run = AppRun::builder()
+            .iterations(iters)
+            .elements_per_iter(input.dataset.elements_in)
+            .input_bytes_per_iter(input.input_bytes())
+            .output_bytes_per_iter(input.output_bytes())
+            .buffer_mode(BufferMode::Double)
+            .parallel_kernels(devices)
+            .build();
+        let m = platform.execute(&kernel, &run, input.comp.fclock).unwrap();
+        let predicted = multifpga::analyze(&input, devices).unwrap();
+        let sim = m.total.as_secs_f64();
+        // Within one iteration's startup/drain of the steady-state model.
+        let slack = (predicted.t_comm + predicted.t_comp_each) * devices as f64;
+        assert!(
+            sim >= predicted.t_rc * (1.0 - 1e-9),
+            "{devices} devices: sim {sim:.4e} below model {:.4e}",
+            predicted.t_rc
+        );
+        assert!(
+            sim <= predicted.t_rc + slack,
+            "{devices} devices: sim {sim:.4e} exceeds model {:.4e} + slack {slack:.2e}",
+            predicted.t_rc
+        );
+    }
+}
+
+fn pdf1d_input_db() -> rat::core::params::RatInput {
+    let mut input = pdf1d::rat_input(150.0e6);
+    input.buffering = Buffering::Double;
+    input
+}
+
+/// The saturation point the analytic model names is where the simulator stops
+/// improving.
+#[test]
+fn saturation_point_is_where_simulation_plateaus() {
+    let input = pdf1d_input_db();
+    let sat = multifpga::saturating_devices(&input).unwrap();
+    assert_eq!(sat, 24);
+
+    let iters = input.software.iterations;
+    let cycles = (input.dataset.elements_in as f64 * input.comp.ops_per_element
+        / input.comp.throughput_proc) as u64;
+    let kernel = TabulatedKernel::uniform("k", cycles, iters as usize);
+    let platform = ideal_platform();
+    let total_at = |devices: u32| {
+        let run = AppRun::builder()
+            .iterations(iters)
+            .elements_per_iter(input.dataset.elements_in)
+            .input_bytes_per_iter(input.input_bytes())
+            .output_bytes_per_iter(input.output_bytes())
+            .buffer_mode(BufferMode::Double)
+            .parallel_kernels(devices)
+            .build();
+        platform.execute(&kernel, &run, input.comp.fclock).unwrap().total.as_secs_f64()
+    };
+    let below = total_at(sat / 2);
+    let at = total_at(sat);
+    let above = total_at(sat * 2);
+    // Meaningful gain up to saturation, negligible after.
+    assert!(below / at > 1.5, "halving devices should hurt: {below:.3e} vs {at:.3e}");
+    assert!(at / above < 1.05, "doubling past saturation buys <5%: {at:.3e} vs {above:.3e}");
+}
+
+/// Streaming prediction vs a simulated streamed run: a compute-bound stream's
+/// total time matches `N_elements / compute_rate` to the startup transfer.
+#[test]
+fn streaming_model_matches_streamed_simulation() {
+    let input = pdf1d_input_db();
+    let s = streaming::analyze(&input, ChannelDuplex::Half).unwrap();
+    assert_eq!(s.bottleneck, StreamBottleneck::Compute);
+
+    let iters = input.software.iterations;
+    let cycles = (input.dataset.elements_in as f64 * input.comp.ops_per_element
+        / input.comp.throughput_proc) as u64;
+    let kernel = TabulatedKernel::uniform("k", cycles, iters as usize);
+    let run = AppRun::builder()
+        .iterations(iters)
+        .elements_per_iter(input.dataset.elements_in)
+        .input_bytes_per_iter(input.input_bytes())
+        .output_bytes_per_iter(input.output_bytes())
+        .buffer_mode(BufferMode::Double)
+        .streamed_output(true)
+        .build();
+    let m = ideal_platform().execute(&kernel, &run, input.comp.fclock).unwrap();
+    let sim = m.total.as_secs_f64();
+    assert!(
+        (sim - s.t_stream).abs() / s.t_stream < 0.01,
+        "simulated streamed run {sim:.4e} vs streaming model {:.4e}",
+        s.t_stream
+    );
+}
+
+/// The channel wall is the same number everywhere it appears: the streaming
+/// channel rate, the multi-FPGA ceiling, and the inverse solver's max_speedup
+/// all describe one physical limit.
+#[test]
+fn channel_wall_is_consistent_across_models() {
+    let input = pdf1d_input_db();
+    let wall_solver = rat::core::solve::max_speedup(&input).unwrap();
+    let curve = multifpga::scaling_curve(&input, 64).unwrap();
+    let wall_scaling = curve.points.last().unwrap().speedup;
+    assert!(
+        (wall_solver - wall_scaling).abs() / wall_solver < 1e-9,
+        "solver wall {wall_solver} vs scaling wall {wall_scaling}"
+    );
+    let s = streaming::analyze(&input, ChannelDuplex::Half).unwrap();
+    let wall_streaming = input.software.t_soft
+        / ((input.dataset.elements_in * input.software.iterations) as f64 / s.channel_rate);
+    assert!(
+        (wall_solver - wall_streaming).abs() / wall_solver < 1e-9,
+        "solver wall {wall_solver} vs streaming wall {wall_streaming}"
+    );
+}

@@ -1,0 +1,36 @@
+//! The shipped TOML worksheets in `worksheets/` must stay parseable and in
+//! sync with the case-study constants.
+
+use rat::core::params::RatInput;
+use rat::core::worksheet::Worksheet;
+
+fn load(name: &str) -> RatInput {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/worksheets/");
+    let text = std::fs::read_to_string(format!("{path}{name}.toml"))
+        .unwrap_or_else(|e| panic!("reading {name}.toml: {e}"));
+    let input: RatInput = toml::from_str(&text).expect("valid worksheet TOML");
+    input.validate().expect("valid parameters");
+    input
+}
+
+#[test]
+fn pdf1d_worksheet_matches_table2() {
+    let ws = load("pdf1d");
+    assert_eq!(ws, rat::apps::pdf1d::rat_input(150.0e6));
+    let r = Worksheet::new(ws).analyze().unwrap();
+    assert!((r.speedup - 10.6).abs() < 0.05);
+}
+
+#[test]
+fn pdf2d_worksheet_matches_table5() {
+    let ws = load("pdf2d");
+    assert_eq!(ws, rat::apps::pdf2d::rat_input(150.0e6));
+}
+
+#[test]
+fn md_worksheet_matches_table8() {
+    let ws = load("md");
+    assert_eq!(ws, rat::apps::md::rat::rat_input(100.0e6));
+    let r = Worksheet::new(ws).analyze().unwrap();
+    assert!((r.speedup - 10.7).abs() < 0.06);
+}

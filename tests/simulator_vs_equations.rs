@@ -1,0 +1,233 @@
+//! Cross-validation of the discrete-event simulator against RAT's closed-form
+//! equations: on an ideal platform (no setup latency, no host overhead,
+//! size-independent alpha), the simulated makespan must match Eq. (5) exactly
+//! for single buffering and land within one startup iteration of Eq. (6) for
+//! double buffering. Property-based over workload shapes.
+
+use proptest::prelude::*;
+
+use rat::core::params::{
+    Buffering, CommParams, CompParams, DatasetParams, RatInput, SoftwareParams,
+};
+use rat::core::throughput;
+use rat::sim::{
+    AppRun, BufferMode, HardwareKernel, Interconnect, Platform, PlatformSpec, SimTime,
+    TabulatedKernel,
+};
+
+const BW: f64 = 1.0e9;
+const ALPHA: f64 = 0.5;
+const FCLOCK: f64 = 100.0e6;
+
+fn ideal_platform() -> Platform {
+    Platform::new(PlatformSpec {
+        name: "ideal".into(),
+        interconnect: Interconnect {
+            name: "ideal-bus".into(),
+            ideal_bw: BW,
+            setup_write: SimTime::ZERO,
+            setup_read: SimTime::ZERO,
+            alpha_write: rat::sim::AlphaCurve::flat(ALPHA),
+            alpha_read: rat::sim::AlphaCurve::flat(ALPHA),
+            max_dma_bytes: None,
+        },
+        host: rat::sim::host::HostModel::IDEAL,
+        reconfiguration: SimTime::ZERO,
+    })
+}
+
+/// Build matched (RatInput, AppRun, kernel) descriptions of the same workload.
+fn matched(
+    elements_in: u64,
+    elements_out: u64,
+    ops_per_element: u64,
+    throughput_proc: u64,
+    iterations: u64,
+    buffering: Buffering,
+) -> (RatInput, AppRun, TabulatedKernel) {
+    let input = RatInput {
+        name: "prop".into(),
+        dataset: DatasetParams { elements_in, elements_out, bytes_per_element: 4 },
+        comm: CommParams { ideal_bandwidth: BW, alpha_write: ALPHA, alpha_read: ALPHA },
+        comp: CompParams {
+            ops_per_element: ops_per_element as f64,
+            throughput_proc: throughput_proc as f64,
+            fclock: FCLOCK,
+        },
+        software: SoftwareParams { t_soft: 1.0, iterations },
+        buffering,
+    };
+    let run = AppRun::builder()
+        .iterations(iterations)
+        .elements_per_iter(elements_in)
+        .input_bytes_per_iter(elements_in * 4)
+        .output_bytes_per_iter(elements_out * 4)
+        .buffer_mode(match buffering {
+            Buffering::Single => BufferMode::Single,
+            Buffering::Double => BufferMode::Double,
+        })
+        .build();
+    // Kernel whose cycles equal Eq. (4)'s prediction exactly.
+    let cycles = (elements_in * ops_per_element).div_ceil(throughput_proc);
+    let kernel = TabulatedKernel::uniform("prop", cycles, iterations as usize);
+    (input, run, kernel)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Single-buffered: simulated makespan == Eq. (5) to rounding.
+    #[test]
+    fn single_buffered_makespan_matches_eq5(
+        elements_in in 1u64..4096,
+        elements_out in 0u64..4096,
+        ops in 1u64..10_000,
+        tproc in 1u64..64,
+        iters in 1u64..20,
+    ) {
+        let (input, run, kernel) =
+            matched(elements_in, elements_out, ops, tproc, iters, Buffering::Single);
+        let m = ideal_platform().execute(&kernel, &run, FCLOCK).unwrap();
+        // Account for div_ceil rounding in the kernel's cycle count.
+        let comp_cycles = (elements_in * ops).div_ceil(tproc);
+        let analytic = iters as f64
+            * (throughput::t_comm(&input) + comp_cycles as f64 / FCLOCK);
+        let sim = m.total.as_secs_f64();
+        prop_assert!(
+            (sim - analytic).abs() / analytic < 1e-6,
+            "sim {sim:.6e} vs Eq.5 {analytic:.6e}"
+        );
+    }
+
+    /// Double-buffered: Eq. (6) bounds the makespan from below, and the bound
+    /// is tight to within one iteration's startup cost.
+    #[test]
+    fn double_buffered_makespan_brackets_eq6(
+        elements_in in 1u64..4096,
+        elements_out in 0u64..4096,
+        ops in 1u64..10_000,
+        tproc in 1u64..64,
+        iters in 2u64..20,
+    ) {
+        let (input, run, kernel) =
+            matched(elements_in, elements_out, ops, tproc, iters, Buffering::Double);
+        let m = ideal_platform().execute(&kernel, &run, FCLOCK).unwrap();
+        let comp_cycles = (elements_in * ops).div_ceil(tproc);
+        let t_comp = comp_cycles as f64 / FCLOCK;
+        let t_comm = throughput::t_comm(&input);
+        let steady = iters as f64 * t_comm.max(t_comp);
+        let sim = m.total.as_secs_f64();
+        prop_assert!(sim >= steady * (1.0 - 1e-9), "sim {sim:.3e} below Eq.6 {steady:.3e}");
+        let slack = t_comm + t_comp; // startup + drain allowance
+        prop_assert!(
+            sim <= steady + slack + 1e-12,
+            "sim {sim:.3e} exceeds Eq.6 {steady:.3e} + startup {slack:.3e}"
+        );
+    }
+
+    /// Double buffering never loses to single buffering, and both dominate
+    /// the per-resource busy-time lower bounds.
+    #[test]
+    fn buffering_and_resource_bounds(
+        elements_in in 1u64..2048,
+        elements_out in 0u64..2048,
+        ops in 1u64..5_000,
+        tproc in 1u64..32,
+        iters in 1u64..12,
+    ) {
+        let (_, run_sb, kernel) =
+            matched(elements_in, elements_out, ops, tproc, iters, Buffering::Single);
+        let (_, run_db, _) =
+            matched(elements_in, elements_out, ops, tproc, iters, Buffering::Double);
+        let platform = ideal_platform();
+        let sb = platform.execute(&kernel, &run_sb, FCLOCK).unwrap();
+        let db = platform.execute(&kernel, &run_db, FCLOCK).unwrap();
+        prop_assert!(db.total <= sb.total);
+        for m in [&sb, &db] {
+            prop_assert!(m.total >= m.comm_busy);
+            prop_assert!(m.total >= m.compute_busy);
+        }
+        // Busy totals are schedule-independent.
+        prop_assert_eq!(sb.comm_busy, db.comm_busy);
+        prop_assert_eq!(sb.compute_busy, db.compute_busy);
+    }
+
+    /// The worksheet's speedup is monotone: more ops/cycle never hurts, higher
+    /// clock never hurts, better alpha never hurts.
+    #[test]
+    fn speedup_monotonicity(
+        elements_in in 1u64..4096,
+        elements_out in 0u64..4096,
+        ops in 1u64..100_000,
+        tproc in 1u64..128,
+        iters in 1u64..100,
+        buffering in prop_oneof![Just(Buffering::Single), Just(Buffering::Double)],
+    ) {
+        let (input, _, _) = matched(elements_in, elements_out, ops, tproc, iters, buffering);
+        let base = throughput::speedup(&input);
+        let mut faster = input.clone();
+        faster.comp.throughput_proc *= 2.0;
+        prop_assert!(throughput::speedup(&faster) >= base - 1e-12);
+        let mut clocked = input.clone();
+        clocked.comp.fclock *= 1.5;
+        prop_assert!(throughput::speedup(&clocked) >= base - 1e-12);
+        let mut alpha = input.clone();
+        alpha.comm.alpha_write = (alpha.comm.alpha_write * 1.5).min(1.0);
+        alpha.comm.alpha_read = (alpha.comm.alpha_read * 1.5).min(1.0);
+        prop_assert!(throughput::speedup(&alpha) >= base - 1e-12);
+    }
+
+    /// Inverse solve round trip under arbitrary feasible targets.
+    #[test]
+    fn inverse_solver_round_trip(
+        elements_in in 1u64..4096,
+        ops in 1u64..100_000,
+        iters in 1u64..100,
+        target_frac in 0.05f64..0.95,
+    ) {
+        let (input, _, _) = matched(elements_in, 0, ops, 8, iters, Buffering::Single);
+        // Pick a target safely inside the feasible region (below the wall).
+        let wall = rat::core::solve::max_speedup(&input).unwrap();
+        let target = wall * target_frac;
+        let req = rat::core::solve::required_throughput_proc(&input, target).unwrap();
+        let mut tuned = input.clone();
+        tuned.comp.throughput_proc = req;
+        let achieved = throughput::speedup(&tuned);
+        prop_assert!((achieved - target).abs() / target < 1e-9);
+    }
+}
+
+/// Deterministic re-execution: the simulator is a pure function of its inputs.
+#[test]
+fn simulator_is_deterministic() {
+    let (_, run, kernel) = matched(512, 256, 768, 20, 40, Buffering::Double);
+    let platform = ideal_platform();
+    let a = platform.execute(&kernel, &run, FCLOCK).unwrap();
+    let b = platform.execute(&kernel, &run, FCLOCK).unwrap();
+    assert_eq!(a.total, b.total);
+    assert_eq!(a.trace.spans().len(), b.trace.spans().len());
+    assert_eq!(a.trace.spans(), b.trace.spans());
+}
+
+/// A data-dependent kernel (unequal batch costs) still satisfies the SB
+/// equation with the *mean* computation time — RAT's implicit assumption.
+#[test]
+fn uneven_batches_average_out_in_sb() {
+    let cycles = vec![1000, 3000, 500, 4500, 2000];
+    let kernel = TabulatedKernel::new("uneven", cycles.clone());
+    let run = AppRun::builder()
+        .iterations(5)
+        .elements_per_iter(1)
+        .input_bytes_per_iter(1000)
+        .buffer_mode(BufferMode::Single)
+        .build();
+    let m = ideal_platform().execute(&kernel, &run, FCLOCK).unwrap();
+    let total_cycles: u64 = cycles.iter().sum();
+    let expect = 5.0 * (1000.0 / (ALPHA * BW)) + total_cycles as f64 / FCLOCK;
+    assert!((m.total.as_secs_f64() - expect).abs() / expect < 1e-6);
+    let mean_comp = m.comp_per_iter().as_secs_f64();
+    assert!((mean_comp - (total_cycles as f64 / 5.0) / FCLOCK).abs() < 1e-9);
+    // Spot-check the kernel reference wrapper too.
+    let as_ref: &dyn HardwareKernel = &kernel;
+    assert_eq!(as_ref.name(), "uneven");
+}
