@@ -24,7 +24,11 @@ pub fn bimodal_samples(n: usize, tag: u64) -> Vec<f64> {
     let mut rng = rng_for(tag);
     let mut out = Vec::with_capacity(n);
     while out.len() < n {
-        let (mean, std) = if rng.gen_bool(0.6) { (-0.4, 0.15) } else { (0.45, 0.2) };
+        let (mean, std) = if rng.gen_bool(0.6) {
+            (-0.4, 0.15)
+        } else {
+            (0.45, 0.2)
+        };
         let v = mean + std * standard_normal(&mut rng);
         if v > -1.0 && v < 1.0 {
             out.push(v);
@@ -39,7 +43,11 @@ pub fn bimodal_samples_2d(n: usize, tag: u64) -> Vec<(f64, f64)> {
     let mut rng = rng_for(tag);
     let mut out = Vec::with_capacity(n);
     while out.len() < n {
-        let (mean, std) = if rng.gen_bool(0.6) { (-0.4, 0.15) } else { (0.45, 0.2) };
+        let (mean, std) = if rng.gen_bool(0.6) {
+            (-0.4, 0.15)
+        } else {
+            (0.45, 0.2)
+        };
         let x = mean + std * standard_normal(&mut rng);
         let y = 0.5 * x + 0.25 * standard_normal(&mut rng);
         if x > -1.0 && x < 1.0 && y > -1.0 && y < 1.0 {
@@ -54,7 +62,13 @@ pub fn uniform_positions(n: usize, tag: u64) -> Vec<[f64; 3]> {
     let mut rng = rng_for(tag);
     let dist = rand::distributions::Uniform::new(0.0, 1.0);
     (0..n)
-        .map(|_| [dist.sample(&mut rng), dist.sample(&mut rng), dist.sample(&mut rng)])
+        .map(|_| {
+            [
+                dist.sample(&mut rng),
+                dist.sample(&mut rng),
+                dist.sample(&mut rng),
+            ]
+        })
         .collect()
 }
 
@@ -91,7 +105,10 @@ mod tests {
         let left = near(-0.4);
         let right = near(0.45);
         let trough = near(0.0);
-        assert!(left > trough && right > trough, "modes {left}/{right} vs trough {trough}");
+        assert!(
+            left > trough && right > trough,
+            "modes {left}/{right} vs trough {trough}"
+        );
     }
 
     #[test]
@@ -114,8 +131,7 @@ mod tests {
             s.iter().map(|p| p.0).sum::<f64>() / s.len() as f64,
             s.iter().map(|p| p.1).sum::<f64>() / s.len() as f64,
         );
-        let cov: f64 =
-            s.iter().map(|p| (p.0 - mx) * (p.1 - my)).sum::<f64>() / s.len() as f64;
+        let cov: f64 = s.iter().map(|p| (p.0 - mx) * (p.1 - my)).sum::<f64>() / s.len() as f64;
         assert!(cov > 0.01, "x and y should correlate, cov = {cov}");
     }
 }

@@ -21,7 +21,10 @@ impl CellList {
     ///
     /// Panics if the cutoff is not in `(0, box_len]` or positions are empty.
     pub fn build(positions: &[Vec3], box_len: f64, cutoff: f64) -> Self {
-        assert!(!positions.is_empty(), "cell list needs at least one particle");
+        assert!(
+            !positions.is_empty(),
+            "cell list needs at least one particle"
+        );
         assert!(
             cutoff > 0.0 && cutoff <= box_len,
             "cutoff must be in (0, box_len], got {cutoff} for box {box_len}"
@@ -31,7 +34,11 @@ impl CellList {
         for (i, p) in positions.iter().enumerate() {
             cells[Self::cell_index_of(p, box_len, n_side)].push(i as u32);
         }
-        Self { cells, n_side, box_len }
+        Self {
+            cells,
+            n_side,
+            box_len,
+        }
     }
 
     fn cell_index_of(p: &Vec3, box_len: f64, n_side: usize) -> usize {
@@ -58,12 +65,20 @@ impl CellList {
         let (cx, cy, cz) = (coord(p.x), coord(p.y), coord(p.z));
         // With fewer than 3 cells per side, offsets alias the same cell; visit
         // each distinct cell once.
-        let span: Vec<isize> = if n >= 3 { vec![-1, 0, 1] } else { (0..n).collect() };
+        let span: Vec<isize> = if n >= 3 {
+            vec![-1, 0, 1]
+        } else {
+            (0..n).collect()
+        };
         for &dx in &span {
             for &dy in &span {
                 for &dz in &span {
                     let (x, y, z) = if n >= 3 {
-                        ((cx + dx).rem_euclid(n), (cy + dy).rem_euclid(n), (cz + dz).rem_euclid(n))
+                        (
+                            (cx + dx).rem_euclid(n),
+                            (cy + dy).rem_euclid(n),
+                            (cz + dz).rem_euclid(n),
+                        )
                     } else {
                         (dx, dy, dz)
                     };
@@ -115,9 +130,7 @@ mod tests {
                 positions
                     .iter()
                     .enumerate()
-                    .filter(|&(j, q)| {
-                        j != i && min_image_vec(*p - *q, box_len).norm2() < c2
-                    })
+                    .filter(|&(j, q)| j != i && min_image_vec(*p - *q, box_len).norm2() < c2)
                     .count() as u32
             })
             .collect()
@@ -174,7 +187,10 @@ mod tests {
     fn cells_per_side_scales_inverse_to_cutoff() {
         let s = crate::md::system::System::random(100, 1.0, 105);
         assert_eq!(CellList::build(&s.positions, 1.0, 0.1).cells_per_side(), 10);
-        assert_eq!(CellList::build(&s.positions, 1.0, 0.329).cells_per_side(), 3);
+        assert_eq!(
+            CellList::build(&s.positions, 1.0, 0.329).cells_per_side(),
+            3
+        );
         assert_eq!(CellList::build(&s.positions, 1.0, 0.9).cells_per_side(), 1);
     }
 

@@ -25,7 +25,11 @@ pub struct LjParams {
 impl LjParams {
     /// Parameters matching the case study's box-relative scales.
     pub fn paper_scale() -> Self {
-        Self { epsilon: 1.0e-4, sigma: 0.05, cutoff: crate::md::CUTOFF }
+        Self {
+            epsilon: 1.0e-4,
+            sigma: 0.05,
+            cutoff: crate::md::CUTOFF,
+        }
     }
 }
 
@@ -71,12 +75,7 @@ fn collect_forces(results: Vec<(Vec3, f64)>) -> (Vec<Vec3>, f64) {
 }
 
 /// Force and (double-counted) potential contribution on particle `i`.
-fn particle_force(
-    system: &System,
-    params: &LjParams,
-    list: &CellList,
-    i: usize,
-) -> (Vec3, f64) {
+fn particle_force(system: &System, params: &LjParams, list: &CellList, i: usize) -> (Vec3, f64) {
     let c2 = params.cutoff * params.cutoff;
     let p = system.positions[i];
     let mut force = Vec3::ZERO;
@@ -105,7 +104,8 @@ fn particle_force(
 /// The hardware op-counting model: operations for one molecule with
 /// `near` neighbors in an `n`-molecule system.
 pub fn ops_for_molecule(near: u32, n: usize) -> u64 {
-    OPS_PER_DISTANT * (n as u64 - 1 - near as u64) + OPS_PER_NEAR * near as u64
+    OPS_PER_DISTANT * (n as u64 - 1 - near as u64)
+        + OPS_PER_NEAR * near as u64
         + OPS_PER_DISTANT * near as u64
     // Near pairs also pay the distance check before the kernel.
 }
@@ -122,7 +122,11 @@ mod tests {
 
     fn small_system() -> (System, LjParams) {
         let s = System::random(400, 1.0, 201);
-        let p = LjParams { epsilon: 1.0e-4, sigma: 0.05, cutoff: 0.25 };
+        let p = LjParams {
+            epsilon: 1.0e-4,
+            sigma: 0.05,
+            cutoff: 0.25,
+        };
         (s, p)
     }
 
@@ -157,7 +161,11 @@ mod tests {
 
     #[test]
     fn two_particles_at_sigma_repel_then_attract() {
-        let p = LjParams { epsilon: 1.0, sigma: 0.05, cutoff: 0.4 };
+        let p = LjParams {
+            epsilon: 1.0,
+            sigma: 0.05,
+            cutoff: 0.4,
+        };
         let mk = |r: f64| System {
             positions: vec![Vec3::new(0.3, 0.5, 0.5), Vec3::new(0.3 + r, 0.5, 0.5)],
             velocities: vec![Vec3::ZERO; 2],
@@ -174,7 +182,11 @@ mod tests {
 
     #[test]
     fn potential_minimum_at_r_min() {
-        let p = LjParams { epsilon: 1.0, sigma: 0.05, cutoff: 0.4 };
+        let p = LjParams {
+            epsilon: 1.0,
+            sigma: 0.05,
+            cutoff: 0.4,
+        };
         let u = |r: f64| {
             let s = System {
                 positions: vec![Vec3::new(0.3, 0.5, 0.5), Vec3::new(0.3 + r, 0.5, 0.5)],
@@ -187,12 +199,19 @@ mod tests {
         let r_min = 0.05 * 2.0f64.powf(1.0 / 6.0);
         assert!(u(r_min) < u(r_min * 0.95));
         assert!(u(r_min) < u(r_min * 1.05));
-        assert!((u(r_min) - (-1.0)).abs() < 1e-9, "well depth should be -epsilon");
+        assert!(
+            (u(r_min) - (-1.0)).abs() < 1e-9,
+            "well depth should be -epsilon"
+        );
     }
 
     #[test]
     fn beyond_cutoff_no_interaction() {
-        let p = LjParams { epsilon: 1.0, sigma: 0.05, cutoff: 0.1 };
+        let p = LjParams {
+            epsilon: 1.0,
+            sigma: 0.05,
+            cutoff: 0.1,
+        };
         let s = System {
             positions: vec![Vec3::new(0.2, 0.5, 0.5), Vec3::new(0.5, 0.5, 0.5)],
             velocities: vec![Vec3::ZERO; 2],

@@ -11,6 +11,7 @@
 //! (Table 9: measured t_comp 8.79e-1 s vs the 5.37e-1 s the tuned estimate
 //! promised at 100 MHz).
 
+use fpga_sim::cache::{SimCache, SimSummary};
 use fpga_sim::catalog;
 use fpga_sim::kernel::TabulatedKernel;
 use fpga_sim::pipeline::{PipelineSpec, StallModel};
@@ -47,7 +48,11 @@ impl MdDesign {
         let n = system.len();
         let total = total_ops(&counts, n);
         let mean_near = counts.iter().map(|&c| c as f64).sum::<f64>() / n as f64;
-        Self { n, total_ops: total, mean_near }
+        Self {
+            n,
+            total_ops: total,
+            mean_near,
+        }
     }
 
     /// Build the paper-scale design: 16,384 molecules at the standard cutoff.
@@ -66,8 +71,7 @@ impl MdDesign {
     pub fn paper_scale_analytic() -> Self {
         let n = crate::md::N_MOLECULES;
         let rc = crate::md::CUTOFF;
-        let vol_frac = (4.0 / 3.0) * std::f64::consts::PI * rc.powi(3)
-            / crate::md::BOX_LEN.powi(3);
+        let vol_frac = (4.0 / 3.0) * std::f64::consts::PI * rc.powi(3) / crate::md::BOX_LEN.powi(3);
         let mean_near = (n as f64 - 1.0) * vol_frac;
         let ops_per_molecule = crate::md::forces::OPS_PER_DISTANT as f64 * (n as f64 - 1.0)
             + crate::md::forces::OPS_PER_NEAR as f64 * mean_near;
@@ -106,7 +110,9 @@ impl MdDesign {
             ops_per_lane_cycle: 1,
             fill_latency: 64,
             drain_latency: 32,
-            stall: StallModel::Efficiency { efficiency: EFFICIENCY },
+            stall: StallModel::Efficiency {
+                efficiency: EFFICIENCY,
+            },
         }
     }
 
@@ -141,7 +147,11 @@ impl MdDesign {
     /// - neighbor/position staging in ~420 M4K blocks (55%);
     /// - ~122,000 ALUTs (85%) of pipeline control and accumulation trees.
     pub fn resource_estimate(&self) -> ResourceEstimate {
-        ResourceEstimate { dsp: 768, bram: 420, logic: 122_000 }
+        ResourceEstimate {
+            dsp: 768,
+            bram: 420,
+            logic: 122_000,
+        }
     }
 
     /// The resource test against the EP2S180.
@@ -155,6 +165,15 @@ impl MdDesign {
         let platform = Platform::new(catalog::xd1000());
         platform
             .execute(&self.kernel(), &self.app_run(), fclock_hz)
+            .expect("valid run by construction")
+    }
+
+    /// [`Self::simulate`] memoized through `cache`, returning the scalar
+    /// summary.
+    pub fn simulate_summary(&self, fclock_hz: f64, cache: Option<&SimCache>) -> SimSummary {
+        let platform = Platform::new(catalog::xd1000());
+        platform
+            .execute_summary(&self.kernel(), &self.app_run(), fclock_hz, cache)
             .expect("valid run by construction")
     }
 }
@@ -197,7 +216,9 @@ mod tests {
     #[test]
     fn kernel_cycles_follow_the_efficiency_derate() {
         let d = small_design();
-        let cycles = d.pipeline_spec().cycles(d.total_ops(), d.molecules() as u64);
+        let cycles = d
+            .pipeline_spec()
+            .cycles(d.total_ops(), d.molecules() as u64);
         let ideal = d.total_ops() as f64 / PEAK_OPS_PER_CYCLE as f64;
         let ratio = cycles as f64 / ideal;
         assert!(
@@ -216,7 +237,10 @@ mod tests {
         // Visible comm is the input transfer only.
         let input_s = m.comm_busy.as_secs_f64();
         let expect = 2048.0 * 36.0 / (0.9 * 500.0e6);
-        assert!((input_s - expect).abs() / expect < 0.2, "input {input_s:.3e} vs {expect:.3e}");
+        assert!(
+            (input_s - expect).abs() / expect < 0.2,
+            "input {input_s:.3e} vs {expect:.3e}"
+        );
     }
 
     #[test]

@@ -50,7 +50,11 @@ mod tests {
         for v in &mut s.velocities {
             *v = *v * 0.2;
         }
-        let p = LjParams { epsilon: 1.0e-5, sigma: 0.04, cutoff: 0.2 };
+        let p = LjParams {
+            epsilon: 1.0e-5,
+            sigma: 0.04,
+            cutoff: 0.2,
+        };
         // Initialize accelerations consistently.
         let (f, _) = crate::md::forces::compute_forces(&s, &p);
         s.accelerations = f;

@@ -21,7 +21,11 @@ pub fn rat_input(fclock_hz: f64) -> RatInput {
             elements_out: N_MOLECULES as u64,
             bytes_per_element: 36,
         },
-        comm: CommParams { ideal_bandwidth: 500.0e6, alpha_write: 0.9, alpha_read: 0.9 },
+        comm: CommParams {
+            ideal_bandwidth: 500.0e6,
+            alpha_write: 0.9,
+            alpha_read: 0.9,
+        },
         comp: CompParams {
             // Estimated from the algorithm structure; the actual value is
             // data-dependent (MdDesign::ops_per_element measures it).
@@ -30,7 +34,10 @@ pub fn rat_input(fclock_hz: f64) -> RatInput {
             throughput_proc: 50.0,
             fclock: fclock_hz,
         },
-        software: SoftwareParams { t_soft: T_SOFT, iterations: 1 },
+        software: SoftwareParams {
+            t_soft: T_SOFT,
+            iterations: 1,
+        },
         buffering: Buffering::Single,
     }
 }
@@ -62,9 +69,16 @@ mod tests {
             (150.0e6, 3.58e-1, 3.61e-1, 16.0),
         ] {
             let r = Worksheet::new(rat_input(f)).analyze().unwrap();
-            assert!((r.throughput.t_comp - tc).abs() / tc < 0.005, "t_comp at {f}");
+            assert!(
+                (r.throughput.t_comp - tc).abs() / tc < 0.005,
+                "t_comp at {f}"
+            );
             assert!((r.throughput.t_rc - trc).abs() / trc < 0.005, "t_RC at {f}");
-            assert!((r.speedup - sp).abs() < 0.06, "speedup {} vs {sp}", r.speedup);
+            assert!(
+                (r.speedup - sp).abs() < 0.06,
+                "speedup {} vs {sp}",
+                r.speedup
+            );
             // Comm is trivially small: t_comm = 2.62e-3 at all clocks.
             assert!((r.throughput.t_comm - 2.62e-3).abs() / 2.62e-3 < 0.005);
         }
@@ -83,6 +97,9 @@ mod tests {
         // Reproduce §5.2's tuning: treat throughput_proc as the unknown and
         // solve for the ~10.7x target; the answer is the Table-8 value, 50.
         let req = solve::required_throughput_proc(&rat_input(100.0e6), 10.7).unwrap();
-        assert!((req - 50.0).abs() < 0.5, "required throughput_proc {req:.2}");
+        assert!(
+            (req - 50.0).abs() < 0.5,
+            "required throughput_proc {req:.2}"
+        );
     }
 }

@@ -54,7 +54,10 @@ impl FixedParzen1d {
     /// (must be a signed sub-unity format, `Q0.f`).
     pub fn with_format(fmt: QFormat, h: f64) -> Self {
         assert!(h > 0.0, "bandwidth must be positive");
-        assert!(fmt.is_signed() && fmt.int_bits() == 0, "data format must be Q0.f");
+        assert!(
+            fmt.is_signed() && fmt.int_bits() == 0,
+            "data format must be Q0.f"
+        );
         let peak = gaussian_kernel(0.0, h);
         let cutoff2 = (CUTOFF_BW * h) * (CUTOFF_BW * h);
         let lut_size = lut_size_for(fmt.frac_bits());
@@ -67,7 +70,13 @@ impl FixedParzen1d {
                 Fx::from_f64(v, fmt, Rounding::Nearest, Overflow::Saturate)
             })
             .collect();
-        Self { fmt, h, cutoff2, lut, peak }
+        Self {
+            fmt,
+            h,
+            cutoff2,
+            lut,
+            peak,
+        }
     }
 
     /// The data format in use.
@@ -97,9 +106,7 @@ impl FixedParzen1d {
     /// kernel value in a 48-bit accumulator (exact: entries are multiples of
     /// one ULP), normalize at the end.
     pub fn estimate(&self, samples: &[f64], bins: &[f64]) -> Vec<f64> {
-        let q = |v: f64| {
-            Fx::from_f64(v, self.fmt, Rounding::Nearest, Overflow::Saturate).to_f64()
-        };
+        let q = |v: f64| Fx::from_f64(v, self.fmt, Rounding::Nearest, Overflow::Saturate).to_f64();
         let norm = self.peak / samples.len().max(1) as f64;
         bins.iter()
             .map(|&b| {
@@ -154,20 +161,23 @@ pub struct FixedParzen2d {
 impl FixedParzen2d {
     /// Build the 2-D datapath at the paper's 18-bit format.
     pub fn paper_18bit(h: f64) -> Self {
-        Self { inner: FixedParzen1d::paper_18bit(h) }
+        Self {
+            inner: FixedParzen1d::paper_18bit(h),
+        }
     }
 
     /// Build with an explicit data format.
     pub fn with_format(fmt: QFormat, h: f64) -> Self {
-        Self { inner: FixedParzen1d::with_format(fmt, h) }
+        Self {
+            inner: FixedParzen1d::with_format(fmt, h),
+        }
     }
 
     /// Run the fixed-point 2-D estimate over the `bins_x` x `bins_y` grid
     /// (x-major ordering, matching [`crate::pdf::parzen::estimate_2d`]).
     pub fn estimate(&self, samples: &[(f64, f64)], bins_x: &[f64], bins_y: &[f64]) -> Vec<f64> {
         let fmt = self.inner.fmt;
-        let q =
-            |v: f64| Fx::from_f64(v, fmt, Rounding::Nearest, Overflow::Saturate).to_f64();
+        let q = |v: f64| Fx::from_f64(v, fmt, Rounding::Nearest, Overflow::Saturate).to_f64();
         // 2-D normalization: peak of the 2-D kernel.
         let peak2 = crate::pdf::parzen::gaussian_kernel_2d(0.0, self.inner.h);
         let norm = peak2 / samples.len().max(1) as f64;
@@ -203,8 +213,7 @@ impl FixedParzen2d {
         bins_x: &[f64],
         bins_y: &[f64],
     ) -> ErrorStats {
-        let reference =
-            crate::pdf::parzen::estimate_2d(samples, bins_x, bins_y, self.inner.h);
+        let reference = crate::pdf::parzen::estimate_2d(samples, bins_x, bins_y, self.inner.h);
         let quantized = self.estimate(samples, bins_x, bins_y);
         let floor = reference.iter().cloned().fold(0.0, f64::max) * 1e-3;
         let mut stats = ErrorStats::new();
@@ -249,7 +258,10 @@ mod tests {
         let e24 = FixedParzen1d::with_format(QFormat::signed(0, 23).unwrap(), BANDWIDTH)
             .error_vs_reference(&samples, &bins)
             .max_rel_error();
-        assert!(e24 < e18, "24-bit ({e24:.2e}) should beat 18-bit ({e18:.2e})");
+        assert!(
+            e24 < e18,
+            "24-bit ({e24:.2e}) should beat 18-bit ({e18:.2e})"
+        );
     }
 
     #[test]
@@ -258,7 +270,10 @@ mod tests {
         let e10 = FixedParzen1d::with_format(QFormat::signed(0, 9).unwrap(), BANDWIDTH)
             .error_vs_reference(&samples, &bins)
             .max_rel_error();
-        assert!(e10 > 0.03, "10-bit error {e10:.3} should bust the 2-3% tolerance");
+        assert!(
+            e10 > 0.03,
+            "10-bit error {e10:.3} should bust the 2-3% tolerance"
+        );
     }
 
     #[test]
@@ -269,7 +284,11 @@ mod tests {
         let f64ref = crate::pdf::parzen::estimate_1d(&samples, &bins, BANDWIDTH);
         // Peak bin agrees.
         let argmax = |v: &[f64]| {
-            v.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).unwrap().0
+            v.iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .unwrap()
+                .0
         };
         assert_eq!(argmax(&fx), argmax(&f64ref));
     }
@@ -302,8 +321,7 @@ mod tests {
         let (samples, bins) = workload();
         let fmt = QFormat::signed(0, 17).unwrap();
         let via_hook = precision_eval(fmt, &samples, &bins, BANDWIDTH);
-        let direct = FixedParzen1d::with_format(fmt, BANDWIDTH)
-            .error_vs_reference(&samples, &bins);
+        let direct = FixedParzen1d::with_format(fmt, BANDWIDTH).error_vs_reference(&samples, &bins);
         assert_eq!(via_hook.max_rel_error(), direct.max_rel_error());
     }
 
@@ -315,7 +333,9 @@ mod tests {
 
     fn workload_2d() -> (Vec<(f64, f64)>, Vec<f64>) {
         let samples = crate::datagen::bimodal_samples_2d(512, 33);
-        let bins: Vec<f64> = (0..32).map(|i| i as f64 / 16.0 - 1.0 + 1.0 / 32.0).collect();
+        let bins: Vec<f64> = (0..32)
+            .map(|i| i as f64 / 16.0 - 1.0 + 1.0 / 32.0)
+            .collect();
         (samples, bins)
     }
 
@@ -345,11 +365,15 @@ mod tests {
     fn two_d_estimate_matches_reference_shape() {
         let (samples, bins) = workload_2d();
         let fx = FixedParzen2d::paper_18bit(BANDWIDTH).estimate(&samples, &bins, &bins);
-        let reference =
-            crate::pdf::parzen::estimate_2d(&samples, &bins, &bins, BANDWIDTH);
+        let reference = crate::pdf::parzen::estimate_2d(&samples, &bins, &bins, BANDWIDTH);
         assert_eq!(fx.len(), reference.len());
-        let argmax =
-            |v: &[f64]| v.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).unwrap().0;
+        let argmax = |v: &[f64]| {
+            v.iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .unwrap()
+                .0
+        };
         assert_eq!(argmax(&fx), argmax(&reference));
     }
 }

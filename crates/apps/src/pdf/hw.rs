@@ -12,6 +12,7 @@
 //! accumulates: six operations) and widens to twelve pipelines; the paper's
 //! worksheet again discounts the structural 72 ops/cycle to 48.
 
+use fpga_sim::cache::{SimCache, SimSummary};
 use fpga_sim::catalog;
 use fpga_sim::pipeline::{PipelineSpec, PipelinedKernel, StallModel};
 use fpga_sim::platform::{AppRun, BufferMode, Measurement, Platform};
@@ -74,7 +75,11 @@ impl Pdf1dDesign {
     ///   8 kernel LUTs (one per pipeline), 4 I/O buffers = 36 BRAMs;
     /// - ~760 slices per pipeline plus control = ~6100 slices.
     pub fn resource_estimate(&self) -> ResourceEstimate {
-        ResourceEstimate { dsp: 8, bram: 36, logic: 6100 }
+        ResourceEstimate {
+            dsp: 8,
+            bram: 36,
+            logic: 6100,
+        }
     }
 
     /// The resource test against the LX100.
@@ -88,6 +93,15 @@ impl Pdf1dDesign {
         let platform = Platform::new(catalog::nallatech_h101());
         platform
             .execute(&self.kernel(), &self.app_run(), fclock_hz)
+            .expect("valid run by construction")
+    }
+
+    /// [`Self::simulate`] memoized through `cache`, returning the scalar
+    /// summary (all any table needs).
+    pub fn simulate_summary(&self, fclock_hz: f64, cache: Option<&SimCache>) -> SimSummary {
+        let platform = Platform::new(catalog::nallatech_h101());
+        platform
+            .execute_summary(&self.kernel(), &self.app_run(), fclock_hz, cache)
             .expect("valid run by construction")
     }
 
@@ -169,7 +183,11 @@ impl Pdf2dDesign {
     /// - 24 wrapper + 12 LUT + 64 bin-partial + 4 I/O = 104 BRAMs;
     /// - ~860 slices per pipeline plus control = ~10300 slices (21%).
     pub fn resource_estimate(&self) -> ResourceEstimate {
-        ResourceEstimate { dsp: 24, bram: 104, logic: 10_300 }
+        ResourceEstimate {
+            dsp: 24,
+            bram: 104,
+            logic: 10_300,
+        }
     }
 
     /// The resource test against the LX100.
@@ -183,6 +201,15 @@ impl Pdf2dDesign {
         let platform = Platform::new(catalog::nallatech_h101());
         platform
             .execute(&self.kernel(), &self.app_run(), fclock_hz)
+            .expect("valid run by construction")
+    }
+
+    /// [`Self::simulate`] memoized through `cache`, returning the scalar
+    /// summary.
+    pub fn simulate_summary(&self, fclock_hz: f64, cache: Option<&SimCache>) -> SimSummary {
+        let platform = Platform::new(catalog::nallatech_h101());
+        platform
+            .execute_summary(&self.kernel(), &self.app_run(), fclock_hz, cache)
             .expect("valid run by construction")
     }
 }
@@ -208,7 +235,11 @@ mod tests {
     fn pdf1d_batch_cycles_match_measured_tcomp() {
         // Table 3 actual: t_comp = 1.39e-4 s at 150 MHz = 20,850 cycles.
         let k = Pdf1dDesign.kernel();
-        let cycles = k.batch_cycles(&Batch { index: 0, elements: 512, bytes: 2048 });
+        let cycles = k.batch_cycles(&Batch {
+            index: 0,
+            elements: 512,
+            bytes: 2048,
+        });
         assert!(
             (cycles as f64 - 20_850.0).abs() / 20_850.0 < 0.02,
             "got {cycles} cycles"
@@ -225,7 +256,10 @@ mod tests {
         // 1024 elements * 393216 ops... (per-element convention: the 2-D pair
         // count is per input element).
         let eff_full = spec.effective_ops_per_cycle(1024 * Pdf2dDesign::OPS_PER_ELEMENT, 1024);
-        assert!((60.0..68.0).contains(&eff_full), "effective rate {eff_full}");
+        assert!(
+            (60.0..68.0).contains(&eff_full),
+            "effective rate {eff_full}"
+        );
         assert!(eff > 0.0);
     }
 
@@ -239,7 +273,10 @@ mod tests {
         // t_RC 7.45e-2 (speedup 7.8 against t_soft 0.578).
         assert!((comm - 2.5e-5).abs() / 2.5e-5 < 0.10, "comm {comm:.3e}");
         assert!((comp - 1.39e-4).abs() / 1.39e-4 < 0.03, "comp {comp:.3e}");
-        assert!((total - 7.45e-2).abs() / 7.45e-2 < 0.05, "total {total:.3e}");
+        assert!(
+            (total - 7.45e-2).abs() / 7.45e-2 < 0.05,
+            "total {total:.3e}"
+        );
         let speedup = 0.578 / total;
         assert!((7.4..8.2).contains(&speedup), "speedup {speedup:.2}");
     }
@@ -253,10 +290,19 @@ mod tests {
         let comm = m.comm_per_iter().as_secs_f64();
         let comp = m.comp_per_iter().as_secs_f64();
         let ratio = comm / 1.65e-3;
-        assert!((5.4..6.6).contains(&ratio), "comm {comm:.3e} is {ratio:.2}x prediction");
-        assert!(comp < 5.59e-2, "comp {comp:.3e} must undercut the conservative prediction");
+        assert!(
+            (5.4..6.6).contains(&ratio),
+            "comm {comm:.3e} is {ratio:.2}x prediction"
+        );
+        assert!(
+            comp < 5.59e-2,
+            "comp {comp:.3e} must undercut the conservative prediction"
+        );
         let util_comm = comm / (comm + comp);
-        assert!((0.17..0.21).contains(&util_comm), "util_comm {util_comm:.3}");
+        assert!(
+            (0.17..0.21).contains(&util_comm),
+            "util_comm {util_comm:.3}"
+        );
         let speedup = 158.8 / m.total.as_secs_f64();
         assert!((7.0..8.0).contains(&speedup), "speedup {speedup:.2}");
     }
@@ -275,14 +321,22 @@ mod tests {
         let r1 = Pdf1dDesign.resource_report();
         assert!(r1.fits && !r1.routing_strain);
         // Table 4: BRAMs 15%.
-        assert!((r1.bram_util - 0.15).abs() < 0.01, "bram {:.3}", r1.bram_util);
+        assert!(
+            (r1.bram_util - 0.15).abs() < 0.01,
+            "bram {:.3}",
+            r1.bram_util
+        );
         // "Relatively low resource usage ... potential for further speedup".
         assert!(r1.replication_headroom() > 2.0);
 
         let r2 = Pdf2dDesign.resource_report();
         assert!(r2.fits);
         // Table 7's readable figure: 21% slices.
-        assert!((r2.logic_util - 0.21).abs() < 0.01, "slices {:.3}", r2.logic_util);
+        assert!(
+            (r2.logic_util - 0.21).abs() < 0.01,
+            "slices {:.3}",
+            r2.logic_util
+        );
         // 2-D uses more of everything than 1-D but doesn't exhaust the part.
         assert!(r2.dsp_util > r1.dsp_util && r2.dsp_util < 0.5);
     }

@@ -37,7 +37,9 @@ pub const BANDWIDTH: f64 = 0.05;
 
 /// Bin centers: `BINS` points evenly spread across `(-1, 1)`.
 pub fn bin_centers() -> Vec<f64> {
-    (0..BINS).map(|j| (2.0 * (j as f64 + 0.5) / BINS as f64) - 1.0).collect()
+    (0..BINS)
+        .map(|j| (2.0 * (j as f64 + 0.5) / BINS as f64) - 1.0)
+        .collect()
 }
 
 #[cfg(test)]

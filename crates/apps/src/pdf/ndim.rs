@@ -35,18 +35,27 @@ pub struct PdfNdDesign {
 impl PdfNdDesign {
     /// The paper's two published design points.
     pub fn paper_1d() -> Self {
-        Self { dims: 1, pipelines: 8 }
+        Self {
+            dims: 1,
+            pipelines: 8,
+        }
     }
 
     /// The 2-D design point.
     pub fn paper_2d() -> Self {
-        Self { dims: 2, pipelines: 12 }
+        Self {
+            dims: 2,
+            pipelines: 12,
+        }
     }
 
     /// A design point for `dims` dimensions with `pipelines` pipelines.
     /// Panics outside `1..=4` dimensions or with zero pipelines.
     pub fn new(dims: u32, pipelines: u32) -> Self {
-        assert!((1..=4).contains(&dims), "supported dimensionality is 1..=4, got {dims}");
+        assert!(
+            (1..=4).contains(&dims),
+            "supported dimensionality is 1..=4, got {dims}"
+        );
         assert!(pipelines > 0, "need at least one pipeline");
         Self { dims, pipelines }
     }
@@ -102,7 +111,11 @@ impl PdfNdDesign {
                 elements_out: if self.dims == 1 { 1 } else { self.total_bins() },
                 bytes_per_element: 4,
             },
-            comm: CommParams { ideal_bandwidth: 1.0e9, alpha_write: 0.37, alpha_read: 0.16 },
+            comm: CommParams {
+                ideal_bandwidth: 1.0e9,
+                alpha_write: 0.37,
+                alpha_read: 0.16,
+            },
             comp: CompParams {
                 ops_per_element: self.ops_per_element() as f64,
                 throughput_proc: self.worksheet_ops_per_cycle(),
@@ -166,13 +179,19 @@ mod tests {
         // predicted speedup drops from d=1 to d=2 — §5.1's punchline —
         // because ops grow 256x per dimension while parallelism grows ~1.5x.
         let s = |design: PdfNdDesign| {
-            Worksheet::new(design.rat_input(150.0e6)).analyze().unwrap().speedup
+            Worksheet::new(design.rat_input(150.0e6))
+                .analyze()
+                .unwrap()
+                .speedup
         };
         let s1 = s(PdfNdDesign::paper_1d());
         let s2 = s(PdfNdDesign::paper_2d());
         let s3 = s(PdfNdDesign::new(3, 16));
         assert!(s2 < s1, "2-D predicted {s2} should trail 1-D {s1}");
-        assert!(s3 < s2 * 1.2, "3-D gains nothing without massive parallelism: {s3}");
+        assert!(
+            s3 < s2 * 1.2,
+            "3-D gains nothing without massive parallelism: {s3}"
+        );
     }
 
     #[test]
@@ -190,9 +209,17 @@ mod tests {
     #[test]
     fn resource_estimates_track_the_published_tables() {
         let r1 = PdfNdDesign::paper_1d().resource_report();
-        assert!((r1.bram_util - 0.15).abs() < 0.02, "d=1 BRAM {:.3}", r1.bram_util);
+        assert!(
+            (r1.bram_util - 0.15).abs() < 0.02,
+            "d=1 BRAM {:.3}",
+            r1.bram_util
+        );
         let r2 = PdfNdDesign::paper_2d().resource_report();
-        assert!((r2.logic_util - 0.21).abs() < 0.05, "d=2 slices {:.3}", r2.logic_util);
+        assert!(
+            (r2.logic_util - 0.21).abs() < 0.05,
+            "d=2 slices {:.3}",
+            r2.logic_util
+        );
     }
 
     #[test]

@@ -29,7 +29,11 @@ pub fn estimate_1d(samples: &[f64], bins: &[f64], h: f64) -> Vec<f64> {
     let norm = 1.0 / samples.len().max(1) as f64;
     bins.iter()
         .map(|&b| {
-            samples.iter().map(|&x| gaussian_kernel((b - x) * (b - x), h)).sum::<f64>() * norm
+            samples
+                .iter()
+                .map(|&x| gaussian_kernel((b - x) * (b - x), h))
+                .sum::<f64>()
+                * norm
         })
         .collect()
 }
@@ -40,19 +44,18 @@ pub fn estimate_1d_parallel(samples: &[f64], bins: &[f64], h: f64) -> Vec<f64> {
     let norm = 1.0 / samples.len().max(1) as f64;
     bins.par_iter()
         .map(|&b| {
-            samples.iter().map(|&x| gaussian_kernel((b - x) * (b - x), h)).sum::<f64>() * norm
+            samples
+                .iter()
+                .map(|&x| gaussian_kernel((b - x) * (b - x), h))
+                .sum::<f64>()
+                * norm
         })
         .collect()
 }
 
 /// 2-D Parzen-window estimate on the `bins_x` x `bins_y` grid (row-major,
 /// x-major ordering). Sequential.
-pub fn estimate_2d(
-    samples: &[(f64, f64)],
-    bins_x: &[f64],
-    bins_y: &[f64],
-    h: f64,
-) -> Vec<f64> {
+pub fn estimate_2d(samples: &[(f64, f64)], bins_x: &[f64], bins_y: &[f64], h: f64) -> Vec<f64> {
     assert!(h > 0.0, "bandwidth must be positive");
     let norm = 1.0 / samples.len().max(1) as f64;
     let mut out = Vec::with_capacity(bins_x.len() * bins_y.len());
@@ -80,9 +83,7 @@ pub fn estimate_2d_parallel(
     let norm = 1.0 / samples.len().max(1) as f64;
     bins_x
         .par_iter()
-        .flat_map_iter(|&bx| {
-            bins_y.iter().map(move |&by| (bx, by))
-        })
+        .flat_map_iter(|&bx| bins_y.iter().map(move |&by| (bx, by)))
         .map(|(bx, by)| {
             let mut acc = 0.0;
             for &(x, y) in samples {
@@ -111,7 +112,12 @@ impl StreamingEstimator1d {
     pub fn new(bins: Vec<f64>, h: f64) -> Self {
         assert!(h > 0.0, "bandwidth must be positive");
         let acc = vec![0.0; bins.len()];
-        Self { bins, acc, h, seen: 0 }
+        Self {
+            bins,
+            acc,
+            h,
+            seen: 0,
+        }
     }
 
     /// Fold in one block of samples.
@@ -179,8 +185,7 @@ mod tests {
 
     #[test]
     fn parallel_matches_sequential_2d() {
-        let samples: Vec<(f64, f64)> =
-            crate::datagen::bimodal_samples_2d(300, 24);
+        let samples: Vec<(f64, f64)> = crate::datagen::bimodal_samples_2d(300, 24);
         let bx: Vec<f64> = (0..16).map(|i| i as f64 / 8.0 - 1.0).collect();
         let by = bx.clone();
         let seq = estimate_2d(&samples, &bx, &by, BANDWIDTH);

@@ -30,7 +30,11 @@ pub fn rat_input(fclock_hz: f64) -> RatInput {
             elements_out: 1,
             bytes_per_element: 4,
         },
-        comm: CommParams { ideal_bandwidth: 1.0e9, alpha_write: 0.37, alpha_read: 0.16 },
+        comm: CommParams {
+            ideal_bandwidth: 1.0e9,
+            alpha_write: 0.37,
+            alpha_read: 0.16,
+        },
         comp: CompParams {
             ops_per_element: Pdf1dDesign::OPS_PER_ELEMENT as f64,
             // Structural peak is 24; the worksheet "conservatively rounds down
@@ -99,7 +103,10 @@ mod tests {
         let predicted = Worksheet::new(rat_input(150.0e6)).analyze().unwrap();
         let measured = design().simulate(150.0e6);
         let measured_speedup = T_SOFT / measured.total.as_secs_f64();
-        assert!(predicted.speedup > measured_speedup, "prediction should be optimistic");
+        assert!(
+            predicted.speedup > measured_speedup,
+            "prediction should be optimistic"
+        );
         assert!(
             predicted.speedup / measured_speedup < 1.6,
             "but within ~40%: {} vs {}",
@@ -109,8 +116,14 @@ mod tests {
         // The miss is communication, not computation.
         let comm_err = measured.comm_per_iter().as_secs_f64() / predicted.throughput.t_comm;
         let comp_err = measured.comp_per_iter().as_secs_f64() / predicted.throughput.t_comp;
-        assert!(comm_err > 3.0, "comm underestimated ~4.5x, got {comm_err:.2}x");
-        assert!((0.95..1.15).contains(&comp_err), "comp accurate to ~6%, got {comp_err:.2}x");
+        assert!(
+            comm_err > 3.0,
+            "comm underestimated ~4.5x, got {comm_err:.2}x"
+        );
+        assert!(
+            (0.95..1.15).contains(&comp_err),
+            "comp accurate to ~6%, got {comp_err:.2}x"
+        );
     }
 
     #[test]

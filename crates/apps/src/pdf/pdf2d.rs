@@ -27,7 +27,11 @@ pub fn rat_input(fclock_hz: f64) -> RatInput {
             elements_out: (BINS * BINS) as u64,
             bytes_per_element: 4,
         },
-        comm: CommParams { ideal_bandwidth: 1.0e9, alpha_write: 0.37, alpha_read: 0.16 },
+        comm: CommParams {
+            ideal_bandwidth: 1.0e9,
+            alpha_write: 0.37,
+            alpha_read: 0.16,
+        },
         comp: CompParams {
             ops_per_element: Pdf2dDesign::OPS_PER_ELEMENT as f64,
             // Structural peak 72; the worksheet uses 48, "conservatively
@@ -35,7 +39,10 @@ pub fn rat_input(fclock_hz: f64) -> RatInput {
             throughput_proc: 48.0,
             fclock: fclock_hz,
         },
-        software: SoftwareParams { t_soft: T_SOFT, iterations: 400 },
+        software: SoftwareParams {
+            t_soft: T_SOFT,
+            iterations: 400,
+        },
         buffering: Buffering::Single,
     }
 }
@@ -84,16 +91,25 @@ mod tests {
         ] {
             let r = Worksheet::new(rat_input(f)).analyze().unwrap();
             assert!((r.throughput.t_comm - 1.65e-3).abs() / 1.65e-3 < 0.01);
-            assert!((r.throughput.t_comp - tc).abs() / tc < 0.01, "t_comp at {f}");
+            assert!(
+                (r.throughput.t_comp - tc).abs() / tc < 0.01,
+                "t_comp at {f}"
+            );
             assert!((r.throughput.t_rc - trc).abs() / trc < 0.01, "t_RC at {f}");
-            assert!((r.speedup - sp).abs() < 0.06, "speedup {} vs {sp}", r.speedup);
+            assert!(
+                (r.speedup - sp).abs() < 0.06,
+                "speedup {} vs {sp}",
+                r.speedup
+            );
         }
     }
 
     #[test]
     fn two_d_predicts_less_speedup_than_one_d_despite_more_parallel_work() {
         // The paper's §5.1 takeaway.
-        let one_d = Worksheet::new(crate::pdf::pdf1d::rat_input(150.0e6)).analyze().unwrap();
+        let one_d = Worksheet::new(crate::pdf::pdf1d::rat_input(150.0e6))
+            .analyze()
+            .unwrap();
         let two_d = Worksheet::new(rat_input(150.0e6)).analyze().unwrap();
         assert!(two_d.input.comp.ops_per_element > one_d.input.comp.ops_per_element * 100.0);
         assert!(two_d.speedup < one_d.speedup);

@@ -17,8 +17,11 @@ pub fn merge_sort(data: &mut [u32]) {
     let mut src_is_data = true;
     while width < n {
         {
-            let (src, dst): (&[u32], &mut [u32]) =
-                if src_is_data { (&*data, &mut buf) } else { (&buf, data) };
+            let (src, dst): (&[u32], &mut [u32]) = if src_is_data {
+                (&*data, &mut buf)
+            } else {
+                (&buf, data)
+            };
             let mut i = 0;
             while i < n {
                 let mid = (i + width).min(n);

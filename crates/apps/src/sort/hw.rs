@@ -7,6 +7,7 @@
 //! compute engine — which is exactly why the sorting case study is
 //! interesting: the computation is so cheap that the bus dominates utterly.
 
+use fpga_sim::cache::{SimCache, SimSummary};
 use fpga_sim::catalog;
 use fpga_sim::pipeline::{PipelineSpec, PipelinedKernel, StallModel};
 use fpga_sim::platform::{AppRun, BufferMode, Measurement, Platform};
@@ -58,7 +59,11 @@ impl BitonicDesign {
     /// folded in, plus block RAM for the two 16 KB ping-pong buffers. No
     /// DSPs at all (comparators don't multiply).
     pub fn resource_estimate(&self) -> ResourceEstimate {
-        ResourceEstimate { dsp: 0, bram: 24 + 16, logic: 7_800 }
+        ResourceEstimate {
+            dsp: 0,
+            bram: 24 + 16,
+            logic: 7_800,
+        }
     }
 
     /// The resource test against the LX100.
@@ -73,6 +78,15 @@ impl BitonicDesign {
             .execute(&self.kernel(), &self.app_run(), fclock_hz)
             .expect("valid run by construction")
     }
+
+    /// [`Self::simulate`] memoized through `cache`, returning the scalar
+    /// summary.
+    pub fn simulate_summary(&self, fclock_hz: f64, cache: Option<&SimCache>) -> SimSummary {
+        let platform = Platform::new(catalog::nallatech_h101());
+        platform
+            .execute_summary(&self.kernel(), &self.app_run(), fclock_hz, cache)
+            .expect("valid run by construction")
+    }
 }
 
 #[cfg(test)]
@@ -83,8 +97,11 @@ mod tests {
     #[test]
     fn block_streams_in_about_n_over_lanes_cycles() {
         let k = BitonicDesign.kernel();
-        let cycles =
-            k.batch_cycles(&Batch { index: 0, elements: 4096, bytes: 16_384 });
+        let cycles = k.batch_cycles(&Batch {
+            index: 0,
+            elements: 4096,
+            bytes: 16_384,
+        });
         // 4096 keys / 4 lanes = 1024 steady cycles + fill + drain.
         assert_eq!(cycles, 1024 + 78 + 78);
     }

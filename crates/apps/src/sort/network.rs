@@ -21,9 +21,15 @@ pub struct NetworkStats {
 /// stage/CE counts.
 pub fn bitonic_sort(data: &mut [u32]) -> NetworkStats {
     let n = data.len();
-    assert!(n.is_power_of_two(), "bitonic network needs a power-of-two size, got {n}");
+    assert!(
+        n.is_power_of_two(),
+        "bitonic network needs a power-of-two size, got {n}"
+    );
     if n < 2 {
-        return NetworkStats { stages: 0, compare_exchanges: 0 };
+        return NetworkStats {
+            stages: 0,
+            compare_exchanges: 0,
+        };
     }
     let mut stages = 0u64;
     let mut ces = 0u64;
@@ -47,7 +53,10 @@ pub fn bitonic_sort(data: &mut [u32]) -> NetworkStats {
         }
         k *= 2;
     }
-    NetworkStats { stages, compare_exchanges: ces }
+    NetworkStats {
+        stages,
+        compare_exchanges: ces,
+    }
 }
 
 /// The network depth for `n` keys: `log2(n) * (log2(n) + 1) / 2` stages.

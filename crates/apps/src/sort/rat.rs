@@ -83,7 +83,10 @@ mod tests {
     fn methodology_bounces_the_migration() {
         let report = AmenabilityTest::new(
             rat_input(150.0e6),
-            Requirements { min_speedup: 10.0, reject_routing_strain: true },
+            Requirements {
+                min_speedup: 10.0,
+                reject_routing_strain: true,
+            },
         )
         .with_resources(design().resource_report())
         .evaluate()
@@ -102,7 +105,11 @@ mod tests {
         let predicted = Worksheet::new(rat_input(150.0e6)).analyze().unwrap();
         let m = design().simulate(150.0e6);
         let measured = T_SOFT / m.total.as_secs_f64();
-        assert!(measured < predicted.speedup, "{measured} vs {}", predicted.speedup);
+        assert!(
+            measured < predicted.speedup,
+            "{measured} vs {}",
+            predicted.speedup
+        );
         assert!(measured < 5.0);
         // Same order of magnitude: the prediction is honest.
         assert!(predicted.speedup / measured < 2.0);

@@ -64,7 +64,11 @@ fn ablation_conservatism(c: &mut Criterion) {
     println!("\n=== ablation: throughput_proc conservatism (1-D PDF, 150 MHz) ===");
     let measured = pdf1d::design().simulate(150.0e6);
     let measured_speedup = pdf1d::T_SOFT / measured.total.as_secs_f64();
-    for (label, tp) in [("structural 24", 24.0), ("worksheet 20", 20.0), ("measured 18.9", 18.9)] {
+    for (label, tp) in [
+        ("structural 24", 24.0),
+        ("worksheet 20", 20.0),
+        ("measured 18.9", 18.9),
+    ] {
         let mut input = pdf1d::rat_input(150.0e6);
         input.comp.throughput_proc = tp;
         let r = Worksheet::new(input).analyze().unwrap();

@@ -67,7 +67,11 @@ fn bench_md(c: &mut Criterion) {
     g.sample_size(10);
     for &n in &[1024usize, 4096] {
         let system = System::random(n, 1.0, 3000 + n as u64);
-        let params = LjParams { epsilon: 1.0e-4, sigma: 0.05, cutoff: 0.2 };
+        let params = LjParams {
+            epsilon: 1.0e-4,
+            sigma: 0.05,
+            cutoff: 0.2,
+        };
         g.throughput(Throughput::Elements(n as u64));
         g.bench_with_input(BenchmarkId::new("sequential", n), &system, |b, s| {
             b.iter(|| black_box(compute_forces(s, &params)))
@@ -100,8 +104,8 @@ fn bench_md_neighbor_count(c: &mut Criterion) {
 }
 
 fn bench_sort(c: &mut Criterion) {
-    use rat_apps::sort::baseline::{merge_sort, merge_sort_parallel, sort_blocks};
     use rand::{Rng, SeedableRng};
+    use rat_apps::sort::baseline::{merge_sort, merge_sort_parallel, sort_blocks};
     let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(42);
     let keys: Vec<u32> = (0..262_144).map(|_| rng.gen()).collect();
     let mut g = c.benchmark_group("baseline-sort");

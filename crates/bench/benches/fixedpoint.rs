@@ -51,7 +51,8 @@ fn bench_fx_ops(c: &mut Criterion) {
             let mut acc = 0i64;
             for &v in &values {
                 acc = acc.wrapping_add(
-                    v.requantize(narrow, Rounding::Nearest, Overflow::Saturate).raw(),
+                    v.requantize(narrow, Rounding::Nearest, Overflow::Saturate)
+                        .raw(),
                 );
             }
             black_box(acc)

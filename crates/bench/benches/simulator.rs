@@ -67,7 +67,10 @@ fn bench_platform_execution(c: &mut Criterion) {
     let mut g = c.benchmark_group("sim-platform");
     for &iters in &[10u64, 400, 10_000] {
         let kernel = TabulatedKernel::uniform("k", 20_000, iters as usize);
-        for (label, mode) in [("single", BufferMode::Single), ("double", BufferMode::Double)] {
+        for (label, mode) in [
+            ("single", BufferMode::Single),
+            ("double", BufferMode::Double),
+        ] {
             let run = AppRun::builder()
                 .iterations(iters)
                 .elements_per_iter(512)

@@ -35,7 +35,10 @@ pub fn render_figure1() -> String {
     s.push('\n');
     let report = rat_core::methodology::AmenabilityTest::new(
         pdf1d::rat_input(150.0e6),
-        rat_core::methodology::Requirements { min_speedup: 10.0, reject_routing_strain: false },
+        rat_core::methodology::Requirements {
+            min_speedup: 10.0,
+            reject_routing_strain: false,
+        },
     )
     .with_resources(pdf1d::design().resource_report())
     .evaluate()
@@ -100,7 +103,10 @@ mod tests {
         for gate in ["Throughput Test", "Precision Test", "Resource Test"] {
             assert!(s.contains(gate), "missing {gate}");
         }
-        assert!(s.contains("PROCEED"), "1-D PDF at 150 MHz should proceed:\n{s}");
+        assert!(
+            s.contains("PROCEED"),
+            "1-D PDF at 150 MHz should proceed:\n{s}"
+        );
     }
 
     #[test]

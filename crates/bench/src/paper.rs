@@ -25,9 +25,30 @@ pub struct PerfColumn {
 
 /// Table 3, predicted columns (75/100/150 MHz), printed in the paper.
 pub const TABLE3_PREDICTED: [PerfColumn; 3] = [
-    PerfColumn { fclock: 75.0e6, t_comm: 5.56e-6, t_comp: 2.62e-4, util_comm: Some(0.02), t_rc: 1.07e-1, speedup: 5.4 },
-    PerfColumn { fclock: 100.0e6, t_comm: 5.56e-6, t_comp: 1.97e-4, util_comm: Some(0.03), t_rc: 8.09e-2, speedup: 7.2 },
-    PerfColumn { fclock: 150.0e6, t_comm: 5.56e-6, t_comp: 1.31e-4, util_comm: Some(0.04), t_rc: 5.46e-2, speedup: 10.6 },
+    PerfColumn {
+        fclock: 75.0e6,
+        t_comm: 5.56e-6,
+        t_comp: 2.62e-4,
+        util_comm: Some(0.02),
+        t_rc: 1.07e-1,
+        speedup: 5.4,
+    },
+    PerfColumn {
+        fclock: 100.0e6,
+        t_comm: 5.56e-6,
+        t_comp: 1.97e-4,
+        util_comm: Some(0.03),
+        t_rc: 8.09e-2,
+        speedup: 7.2,
+    },
+    PerfColumn {
+        fclock: 150.0e6,
+        t_comm: 5.56e-6,
+        t_comp: 1.31e-4,
+        util_comm: Some(0.04),
+        t_rc: 5.46e-2,
+        speedup: 10.6,
+    },
 ];
 
 /// Table 3, the measured (actual) column at 150 MHz, printed in the paper.
@@ -47,9 +68,30 @@ pub const TABLE4_BRAM_UTIL: f64 = 0.15;
 
 /// Table 6, predicted columns, printed in the paper.
 pub const TABLE6_PREDICTED: [PerfColumn; 3] = [
-    PerfColumn { fclock: 75.0e6, t_comm: 1.65e-3, t_comp: 1.12e-1, util_comm: Some(0.01), t_rc: 4.54e1, speedup: 3.5 },
-    PerfColumn { fclock: 100.0e6, t_comm: 1.65e-3, t_comp: 8.39e-2, util_comm: Some(0.02), t_rc: 3.42e1, speedup: 4.6 },
-    PerfColumn { fclock: 150.0e6, t_comm: 1.65e-3, t_comp: 5.59e-2, util_comm: Some(0.03), t_rc: 2.30e1, speedup: 6.9 },
+    PerfColumn {
+        fclock: 75.0e6,
+        t_comm: 1.65e-3,
+        t_comp: 1.12e-1,
+        util_comm: Some(0.01),
+        t_rc: 4.54e1,
+        speedup: 3.5,
+    },
+    PerfColumn {
+        fclock: 100.0e6,
+        t_comm: 1.65e-3,
+        t_comp: 8.39e-2,
+        util_comm: Some(0.02),
+        t_rc: 3.42e1,
+        speedup: 4.6,
+    },
+    PerfColumn {
+        fclock: 150.0e6,
+        t_comm: 1.65e-3,
+        t_comp: 5.59e-2,
+        util_comm: Some(0.03),
+        t_rc: 2.30e1,
+        speedup: 6.9,
+    },
 ];
 
 /// Table 6's actual column is OCR-destroyed. *Reconstructed* from §5.1 prose:
@@ -73,9 +115,30 @@ pub const TABLE7_SLICE_UTIL: f64 = 0.21;
 
 /// Table 9, predicted columns, printed in the paper.
 pub const TABLE9_PREDICTED: [PerfColumn; 3] = [
-    PerfColumn { fclock: 75.0e6, t_comm: 2.62e-3, t_comp: 7.17e-1, util_comm: Some(0.004), t_rc: 7.19e-1, speedup: 8.0 },
-    PerfColumn { fclock: 100.0e6, t_comm: 2.62e-3, t_comp: 5.37e-1, util_comm: None, t_rc: 5.40e-1, speedup: 10.7 },
-    PerfColumn { fclock: 150.0e6, t_comm: 2.62e-3, t_comp: 3.58e-1, util_comm: Some(0.007), t_rc: 3.61e-1, speedup: 16.0 },
+    PerfColumn {
+        fclock: 75.0e6,
+        t_comm: 2.62e-3,
+        t_comp: 7.17e-1,
+        util_comm: Some(0.004),
+        t_rc: 7.19e-1,
+        speedup: 8.0,
+    },
+    PerfColumn {
+        fclock: 100.0e6,
+        t_comm: 2.62e-3,
+        t_comp: 5.37e-1,
+        util_comm: None,
+        t_rc: 5.40e-1,
+        speedup: 10.7,
+    },
+    PerfColumn {
+        fclock: 150.0e6,
+        t_comm: 2.62e-3,
+        t_comp: 3.58e-1,
+        util_comm: Some(0.007),
+        t_rc: 3.61e-1,
+        speedup: 16.0,
+    },
 ];
 
 /// Table 9, the measured column at 100 MHz, printed in the paper.
@@ -131,7 +194,10 @@ mod tests {
         assert!((a.t_comm / 1.65e-3 - 6.0).abs() < 0.1, "6x communication");
         let util = a.t_comm / (a.t_comm + a.t_comp);
         assert!((util - 0.19).abs() < 0.005, "19% utilization");
-        assert!(a.t_comp < 5.59e-2, "computation overestimated by the prediction");
+        assert!(
+            a.t_comp < 5.59e-2,
+            "computation overestimated by the prediction"
+        );
         let pred_err = (6.9 - a.speedup).abs() / a.speedup;
         let pred_err_1d = (10.6 - 7.8f64).abs() / 7.8;
         assert!(pred_err < pred_err_1d, "2-D prediction closer than 1-D");

@@ -1,6 +1,6 @@
 //! Renderers for the paper's ten tables.
 
-use fpga_sim::platform::Measurement;
+use fpga_sim::cache::{SimCache, SimSummary};
 use rat_apps::md;
 use rat_apps::pdf::{pdf1d, pdf2d};
 use rat_core::params::RatInput;
@@ -38,28 +38,55 @@ pub fn render_table1() -> String {
 
 /// Render an input-parameter table (Tables 2/5/8 share the layout).
 fn input_table(title: &str, input: &RatInput, clock_note: &str) -> String {
-    let mut t = TextTable::new().title(title.to_string()).header(["Parameter", "Value"]);
+    let mut t = TextTable::new()
+        .title(title.to_string())
+        .header(["Parameter", "Value"]);
     t.section("Dataset Parameters");
-    t.row(["N_elements, input".into(), input.dataset.elements_in.to_string()]);
-    t.row(["N_elements, output".into(), input.dataset.elements_out.to_string()]);
-    t.row(["N_bytes/element".into(), input.dataset.bytes_per_element.to_string()]);
+    t.row([
+        "N_elements, input".into(),
+        input.dataset.elements_in.to_string(),
+    ]);
+    t.row([
+        "N_elements, output".into(),
+        input.dataset.elements_out.to_string(),
+    ]);
+    t.row([
+        "N_bytes/element".into(),
+        input.dataset.bytes_per_element.to_string(),
+    ]);
     t.section("Communication Parameters");
-    t.row(["throughput_ideal (MB/s)".into(), format!("{:.0}", input.comm.ideal_bandwidth / 1e6)]);
+    t.row([
+        "throughput_ideal (MB/s)".into(),
+        format!("{:.0}", input.comm.ideal_bandwidth / 1e6),
+    ]);
     t.row(["alpha_write".into(), format!("{}", input.comm.alpha_write)]);
     t.row(["alpha_read".into(), format!("{}", input.comm.alpha_read)]);
     t.section("Computation Parameters");
-    t.row(["N_ops/element".into(), format!("{}", input.comp.ops_per_element)]);
-    t.row(["throughput_proc (ops/cycle)".into(), format!("{}", input.comp.throughput_proc)]);
+    t.row([
+        "N_ops/element".into(),
+        format!("{}", input.comp.ops_per_element),
+    ]);
+    t.row([
+        "throughput_proc (ops/cycle)".into(),
+        format!("{}", input.comp.throughput_proc),
+    ]);
     t.row(["f_clock (MHz)".into(), clock_note.to_string()]);
     t.section("Software Parameters");
     t.row(["t_soft (sec)".into(), format!("{}", input.software.t_soft)]);
-    t.row(["N_iter (iterations)".into(), input.software.iterations.to_string()]);
+    t.row([
+        "N_iter (iterations)".into(),
+        input.software.iterations.to_string(),
+    ]);
     t.render()
 }
 
 /// Table 2: 1-D PDF inputs.
 pub fn render_table2() -> String {
-    input_table("Table 2: Input parameters of 1-D PDF", &pdf1d::rat_input(150.0e6), "75/100/150")
+    input_table(
+        "Table 2: Input parameters of 1-D PDF",
+        &pdf1d::rat_input(150.0e6),
+        "75/100/150",
+    )
 }
 
 /// Table 5: 2-D PDF inputs.
@@ -84,7 +111,7 @@ pub fn render_table8() -> String {
 
 /// Measured utilization computed the way the paper computes it: the
 /// single-buffered equations applied to *measured* per-iteration times.
-fn measured_util_comm(m: &Measurement) -> f64 {
+fn measured_util_comm(m: &SimSummary) -> f64 {
     utilization::util_comm_single(
         m.comm_per_iter().as_secs_f64(),
         m.comp_per_iter().as_secs_f64(),
@@ -98,7 +125,7 @@ fn measured_util_comm(m: &Measurement) -> f64 {
 fn perf_table(
     title: &str,
     input_at: impl Fn(f64) -> RatInput,
-    simulate: impl Fn(f64) -> Measurement,
+    simulate: impl Fn(f64) -> SimSummary,
     t_soft: f64,
     actual_clock: f64,
     paper_predicted: &[PerfColumn; 3],
@@ -124,22 +151,46 @@ fn perf_table(
     let sim_comp = m.comp_per_iter().as_secs_f64();
     let sim_total = m.total.as_secs_f64();
     let row = |label: &str, pred: [f64; 3], sim: f64, pap: f64| {
-        [label.to_string(), sci(pred[0]), sci(pred[1]), sci(pred[2]), sci(sim), sci(pap)]
+        [
+            label.to_string(),
+            sci(pred[0]),
+            sci(pred[1]),
+            sci(pred[2]),
+            sci(sim),
+            sci(pap),
+        ]
     };
-    let p = |f: fn(&rat_core::report::Report) -> f64| {
-        [f(&reports[0]), f(&reports[1]), f(&reports[2])]
-    };
-    t.row(row("t_comm (sec)", p(|r| r.throughput.t_comm), sim_comm, paper_actual.t_comm));
-    t.row(row("t_comp (sec)", p(|r| r.throughput.t_comp), sim_comp, paper_actual.t_comp));
+    let p =
+        |f: fn(&rat_core::report::Report) -> f64| [f(&reports[0]), f(&reports[1]), f(&reports[2])];
+    t.row(row(
+        "t_comm (sec)",
+        p(|r| r.throughput.t_comm),
+        sim_comm,
+        paper_actual.t_comm,
+    ));
+    t.row(row(
+        "t_comp (sec)",
+        p(|r| r.throughput.t_comp),
+        sim_comp,
+        paper_actual.t_comp,
+    ));
     t.row([
         "util_comm_SB".to_string(),
         pct(reports[0].throughput.util_comm),
         pct(reports[1].throughput.util_comm),
         pct(reports[2].throughput.util_comm),
         pct(measured_util_comm(&m)),
-        paper_actual.util_comm.map(pct).unwrap_or_else(|| "-".into()),
+        paper_actual
+            .util_comm
+            .map(pct)
+            .unwrap_or_else(|| "-".into()),
     ]);
-    t.row(row("t_RC_SB (sec)", p(|r| r.throughput.t_rc), sim_total, paper_actual.t_rc));
+    t.row(row(
+        "t_RC_SB (sec)",
+        p(|r| r.throughput.t_rc),
+        sim_total,
+        paper_actual.t_rc,
+    ));
     t.row([
         "speedup".to_string(),
         format!("{:.1}", reports[0].speedup),
@@ -166,7 +217,7 @@ pub fn render_table3() -> String {
     perf_table(
         "Table 3: Performance parameters of 1-D PDF",
         pdf1d::rat_input,
-        |f| pdf1d::design().simulate(f),
+        |f| pdf1d::design().simulate_summary(f, Some(SimCache::global())),
         paper::T_SOFT_PDF1D,
         150.0e6,
         &paper::TABLE3_PREDICTED,
@@ -180,7 +231,7 @@ pub fn render_table6() -> String {
     perf_table(
         "Table 6: Performance parameters of 2-D PDF",
         pdf2d::rat_input,
-        |f| pdf2d::design().simulate(f),
+        |f| pdf2d::design().simulate_summary(f, Some(SimCache::global())),
         paper::T_SOFT_PDF2D,
         150.0e6,
         &paper::TABLE6_PREDICTED,
@@ -200,7 +251,7 @@ pub fn render_table9(fast: bool) -> String {
     let mut s = perf_table(
         "Table 9: Performance parameters of MD",
         md::rat::rat_input,
-        |f| design.simulate(f),
+        |f| design.simulate_summary(f, Some(SimCache::global())),
         paper::T_SOFT_MD,
         100.0e6,
         &paper::TABLE9_PREDICTED,
@@ -256,7 +307,12 @@ mod tests {
     fn table1_lists_all_eleven_parameters() {
         let s = render_table1();
         assert_eq!(s.matches("Parameters --").count(), 4);
-        for p in ["N_elements, input", "alpha_read", "throughput_proc", "N_iter"] {
+        for p in [
+            "N_elements, input",
+            "alpha_read",
+            "throughput_proc",
+            "N_iter",
+        ] {
             assert!(s.contains(p), "missing {p}");
         }
     }

@@ -13,15 +13,29 @@
 
 use std::process::ExitCode;
 
+use rat_core::engine::{Engine, EngineConfig};
 use rat_core::params::RatInput;
 use rat_core::sweep::SweepParam;
 use rat_core::worksheet::Worksheet;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match run(&args) {
+    let (config, no_cache, rest) = match parse_global_flags(&args) {
+        Ok(v) => v,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("run `rat help` for usage");
+            return ExitCode::FAILURE;
+        }
+    };
+    if no_cache {
+        fpga_sim::SimCache::global().set_enabled(false);
+    }
+    let engine = Engine::new(config);
+    match dispatch(&engine, &rest) {
         Ok(output) => {
             println!("{output}");
+            report_engine_stats(&engine);
             ExitCode::SUCCESS
         }
         Err(msg) => {
@@ -32,7 +46,65 @@ fn main() -> ExitCode {
     }
 }
 
+/// Engine and cache counters go to stderr so stdout stays byte-identical
+/// across `--jobs` settings (wall/cpu times vary run to run).
+fn report_engine_stats(engine: &Engine) {
+    let stats = engine.stats();
+    if stats.jobs_run > 0 {
+        eprintln!("{}", stats.render());
+    }
+    let cache = fpga_sim::SimCache::global().stats();
+    if cache.hits + cache.misses > 0 {
+        eprintln!(
+            "sim cache: {} hit(s), {} miss(es) ({:.0}% hit rate)",
+            cache.hits,
+            cache.misses,
+            cache.hit_rate() * 100.0
+        );
+    }
+}
+
+/// Strip the global `--jobs N` / `--jobs=N` / `--no-cache` flags from the
+/// argument list, returning the engine configuration, whether the simulator
+/// cache should be disabled, and the remaining (command) arguments.
+fn parse_global_flags(args: &[String]) -> Result<(EngineConfig, bool, Vec<String>), String> {
+    let mut config = EngineConfig::default();
+    let mut no_cache = false;
+    let mut rest = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--jobs" {
+            let n = it.next().ok_or("--jobs needs a thread count")?;
+            config = config.with_jobs(
+                n.parse()
+                    .map_err(|e| format!("bad --jobs value '{n}': {e}"))?,
+            );
+        } else if let Some(n) = a.strip_prefix("--jobs=") {
+            config = config.with_jobs(
+                n.parse()
+                    .map_err(|e| format!("bad --jobs value '{n}': {e}"))?,
+            );
+        } else if a == "--no-cache" {
+            no_cache = true;
+            config = config.with_cache(false);
+        } else {
+            rest.push(a.clone());
+        }
+    }
+    Ok((config, no_cache, rest))
+}
+
+/// Test-facing entry point: parse global flags, build the engine, dispatch.
+#[cfg(test)]
 fn run(args: &[String]) -> Result<String, String> {
+    let (config, no_cache, rest) = parse_global_flags(args)?;
+    if no_cache {
+        fpga_sim::SimCache::global().set_enabled(false);
+    }
+    dispatch(&Engine::new(config), &rest)
+}
+
+fn dispatch(engine: &Engine, args: &[String]) -> Result<String, String> {
     let cmd = args.first().map(String::as_str).unwrap_or("help");
     match cmd {
         "help" | "--help" | "-h" => Ok(usage()),
@@ -77,13 +149,14 @@ fn run(args: &[String]) -> Result<String, String> {
             if values.is_empty() {
                 return Err("sweep needs at least one value".into());
             }
-            let result =
-                rat_core::sweep::sweep(&input, param, &values).map_err(|e| e.to_string())?;
+            let result = rat_core::sweep::sweep_with(engine, &input, param, &values)
+                .map_err(|e| e.to_string())?;
             Ok(result.render())
         }
         "sensitivity" => {
             let input = load_worksheet(args.get(1))?;
-            let report = rat_core::sensitivity::analyze(&input).map_err(|e| e.to_string())?;
+            let report =
+                rat_core::sensitivity::analyze_with(engine, &input).map_err(|e| e.to_string())?;
             Ok(report.render())
         }
         "multi-fpga" => {
@@ -93,10 +166,9 @@ fn run(args: &[String]) -> Result<String, String> {
                 .map(|v| v.parse().map_err(|e| format!("bad device count: {e}")))
                 .transpose()?
                 .unwrap_or(16);
-            let curve =
-                rat_core::multifpga::scaling_curve(&input, max).map_err(|e| e.to_string())?;
-            let sat = rat_core::multifpga::saturating_devices(&input)
+            let curve = rat_core::multifpga::scaling_curve_with(engine, &input, max)
                 .map_err(|e| e.to_string())?;
+            let sat = rat_core::multifpga::saturating_devices(&input).map_err(|e| e.to_string())?;
             Ok(format!(
                 "{}channel saturates the scaling at {sat} device(s)\n",
                 curve.render()
@@ -119,18 +191,26 @@ fn run(args: &[String]) -> Result<String, String> {
             let mut rest = &args[2..];
             while rest.len() >= 3 {
                 let param = parse_param(&rest[0])?;
-                let lo: f64 =
-                    rest[1].parse().map_err(|e| format!("bad range low '{}': {e}", rest[1]))?;
-                let hi: f64 =
-                    rest[2].parse().map_err(|e| format!("bad range high '{}': {e}", rest[2]))?;
+                let lo: f64 = rest[1]
+                    .parse()
+                    .map_err(|e| format!("bad range low '{}': {e}", rest[1]))?;
+                let hi: f64 = rest[2]
+                    .parse()
+                    .map_err(|e| format!("bad range high '{}': {e}", rest[2]))?;
                 ranges.push(rat_core::uncertainty::ParamRange::new(param, lo, hi));
                 rest = &rest[3..];
             }
             if ranges.is_empty() {
                 return Err("uncertainty needs at least one <param> <lo> <hi> triple".into());
             }
-            let report = rat_core::uncertainty::propagate(&input, &ranges, 10_000, 2007)
-                .map_err(|e| e.to_string())?;
+            let report = rat_core::uncertainty::propagate_with(
+                engine,
+                &input,
+                &ranges,
+                10_000,
+                engine.config().root_seed,
+            )
+            .map_err(|e| e.to_string())?;
             Ok(report.render())
         }
         "microbench" => {
@@ -150,7 +230,7 @@ fn run(args: &[String]) -> Result<String, String> {
             let fast = args.iter().any(|a| a == "--fast");
             if what == "all" || what == "--fast" {
                 let mut out = String::new();
-                for a in rat_bench::all_artifacts(fast) {
+                for a in rat_bench::all_artifacts_with(engine, fast) {
                     out.push_str(&format!("==== {} — {} ====\n{}\n", a.id, a.title, a.body));
                 }
                 Ok(out)
@@ -274,6 +354,14 @@ USAGE:
   rat breakeven <ws.toml> <hours> <runs/day> development-vs-savings break-even
   rat reproduce <id|all> [--fast]           regenerate paper tables/figures
   rat example-worksheet                     print a starter worksheet (Table 2)
+
+GLOBAL OPTIONS (any command):
+  --jobs N     run analysis jobs on N threads (0 = auto; results are
+               bit-identical at every thread count)
+  --no-cache   disable the memoized simulator-run cache
+
+Engine and cache counters are reported on stderr; stdout carries only the
+analysis output and is byte-identical across --jobs settings.
 "
     .to_string()
 }
@@ -318,7 +406,9 @@ fn parse_platform(name: &str) -> Result<fpga_sim::platform::PlatformSpec, String
         "nallatech" => Ok(fpga_sim::catalog::nallatech_h101()),
         "xd1000" => Ok(fpga_sim::catalog::xd1000()),
         "pcie" => Ok(fpga_sim::catalog::generic_pcie_gen2_x8()),
-        other => Err(format!("unknown platform '{other}' (nallatech|xd1000|pcie)")),
+        other => Err(format!(
+            "unknown platform '{other}' (nallatech|xd1000|pcie)"
+        )),
     }
 }
 
@@ -397,8 +487,12 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("ws2.toml");
         std::fs::write(&path, example_worksheet()).unwrap();
-        let out =
-            run(&["solve".into(), path.to_string_lossy().into_owned(), "8".into()]).unwrap();
+        let out = run(&[
+            "solve".into(),
+            path.to_string_lossy().into_owned(),
+            "8".into(),
+        ])
+        .unwrap();
         assert!(out.contains("throughput_proc"));
         assert!(out.contains("f_clock"));
         assert!(out.contains("ceiling"));
@@ -502,6 +596,79 @@ mod tests {
         .unwrap();
         assert!(out.contains("median"), "{out}");
         assert!(run(&["uncertainty".into(), ws]).is_err());
+    }
+
+    #[test]
+    fn jobs_flag_is_stripped_and_output_identical() {
+        let dir = std::env::temp_dir().join("rat-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ws5.toml");
+        std::fs::write(&path, example_worksheet()).unwrap();
+        let ws = path.to_string_lossy().into_owned();
+
+        let seq = run(&[
+            "--jobs".into(),
+            "1".into(),
+            "uncertainty".into(),
+            ws.clone(),
+            "fclock".into(),
+            "75e6".into(),
+            "150e6".into(),
+        ])
+        .unwrap();
+        let par = run(&[
+            "uncertainty".into(),
+            ws.clone(),
+            "--jobs=8".into(),
+            "fclock".into(),
+            "75e6".into(),
+            "150e6".into(),
+        ])
+        .unwrap();
+        assert_eq!(seq, par, "--jobs must not change stdout");
+
+        let seq = run(&[
+            "--jobs".into(),
+            "1".into(),
+            "sweep".into(),
+            ws.clone(),
+            "fclock".into(),
+            "75e6".into(),
+            "150e6".into(),
+        ])
+        .unwrap();
+        let par = run(&[
+            "--jobs".into(),
+            "4".into(),
+            "sweep".into(),
+            ws,
+            "fclock".into(),
+            "75e6".into(),
+            "150e6".into(),
+        ])
+        .unwrap();
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn jobs_flag_rejects_garbage() {
+        assert!(run(&["--jobs".into()]).is_err());
+        assert!(run(&["--jobs".into(), "many".into(), "help".into()]).is_err());
+        assert!(run(&["--jobs=lots".into(), "help".into()]).is_err());
+    }
+
+    #[test]
+    fn no_cache_flag_is_stripped() {
+        // --no-cache disables the global cache; re-enable afterwards so other
+        // tests in this process still exercise the memoized path.
+        let out = run(&[
+            "--no-cache".into(),
+            "reproduce".into(),
+            "table2".into(),
+            "--fast".into(),
+        ]);
+        fpga_sim::SimCache::global().set_enabled(true);
+        assert!(out.unwrap().contains("Table 2"));
     }
 
     #[test]

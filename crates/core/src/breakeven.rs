@@ -54,7 +54,11 @@ impl BreakEven {
             let runs = dev_secs / saved_per_run;
             (runs, runs / cost.runs_per_day)
         };
-        Ok(Self { saved_per_run, runs_to_break_even: runs, days_to_break_even: days })
+        Ok(Self {
+            saved_per_run,
+            runs_to_break_even: runs,
+            days_to_break_even: days,
+        })
     }
 
     /// Whether the migration pays for itself within `horizon_days`.
@@ -67,9 +71,18 @@ impl BreakEven {
         let mut t = TextTable::new()
             .title("Break-even analysis (development time vs execution time saved)")
             .header(["Metric", "Value"]);
-        t.row(["time saved per run".to_string(), format!("{:.3e} s", self.saved_per_run)]);
-        t.row(["runs to break even".to_string(), format!("{:.0}", self.runs_to_break_even)]);
-        t.row(["days to break even".to_string(), format!("{:.1}", self.days_to_break_even)]);
+        t.row([
+            "time saved per run".to_string(),
+            format!("{:.3e} s", self.saved_per_run),
+        ]);
+        t.row([
+            "runs to break even".to_string(),
+            format!("{:.0}", self.runs_to_break_even),
+        ]);
+        t.row([
+            "days to break even".to_string(),
+            format!("{:.1}", self.days_to_break_even),
+        ]);
         t.render()
     }
 }
@@ -81,7 +94,10 @@ mod tests {
 
     fn cost() -> MigrationCost {
         // Three engineer-months at ~21 workdays of 8 hours, heavy usage.
-        MigrationCost { development_hours: 500.0, runs_per_day: 10_000.0 }
+        MigrationCost {
+            development_hours: 500.0,
+            runs_per_day: 10_000.0,
+        }
     }
 
     #[test]
@@ -110,7 +126,10 @@ mod tests {
     fn higher_duty_cycle_breaks_even_sooner() {
         let lazy = BreakEven::analyze(
             &pdf1d_example(),
-            &MigrationCost { development_hours: 500.0, runs_per_day: 100.0 },
+            &MigrationCost {
+                development_hours: 500.0,
+                runs_per_day: 100.0,
+            },
         )
         .unwrap();
         let busy = BreakEven::analyze(&pdf1d_example(), &cost()).unwrap();
@@ -121,15 +140,23 @@ mod tests {
 
     #[test]
     fn invalid_costs_rejected() {
-        let bad = MigrationCost { development_hours: 0.0, runs_per_day: 1.0 };
+        let bad = MigrationCost {
+            development_hours: 0.0,
+            runs_per_day: 1.0,
+        };
         assert!(BreakEven::analyze(&pdf1d_example(), &bad).is_err());
-        let bad = MigrationCost { development_hours: 10.0, runs_per_day: -1.0 };
+        let bad = MigrationCost {
+            development_hours: 10.0,
+            runs_per_day: -1.0,
+        };
         assert!(BreakEven::analyze(&pdf1d_example(), &bad).is_err());
     }
 
     #[test]
     fn render_contains_the_three_numbers() {
-        let s = BreakEven::analyze(&pdf1d_example(), &cost()).unwrap().render();
+        let s = BreakEven::analyze(&pdf1d_example(), &cost())
+            .unwrap()
+            .render();
         assert!(s.contains("time saved per run"));
         assert!(s.contains("runs to break even"));
         assert!(s.contains("days to break even"));

@@ -27,7 +27,9 @@ impl DesignComparison {
     /// invalid or the slate is empty.
     pub fn compare(designs: &[RatInput]) -> Result<Self, RatError> {
         if designs.is_empty() {
-            return Err(RatError::param("design comparison needs at least one candidate"));
+            return Err(RatError::param(
+                "design comparison needs at least one candidate",
+            ));
         }
         let mut ranked = designs
             .iter()
@@ -53,7 +55,15 @@ impl DesignComparison {
     pub fn render(&self) -> String {
         let mut t = TextTable::new()
             .title("Candidate design comparison (ranked by predicted speedup)")
-            .header(["Design", "t_comm", "t_comp", "t_RC", "util_comm", "Speedup", "Bound"]);
+            .header([
+                "Design",
+                "t_comm",
+                "t_comp",
+                "t_RC",
+                "util_comm",
+                "Speedup",
+                "Bound",
+            ]);
         for r in &self.ranked {
             t.row([
                 r.input.name.clone(),
@@ -62,10 +72,19 @@ impl DesignComparison {
                 sci(r.throughput.t_rc),
                 pct(r.throughput.util_comm),
                 format!("{:.2}", r.speedup),
-                if r.throughput.comm_bound() { "comm" } else { "comp" }.to_string(),
+                if r.throughput.comm_bound() {
+                    "comm"
+                } else {
+                    "comp"
+                }
+                .to_string(),
             ]);
         }
-        format!("{}speedup spread across candidates: {:.1}x\n", t.render(), self.spread())
+        format!(
+            "{}speedup spread across candidates: {:.1}x\n",
+            t.render(),
+            self.spread()
+        )
     }
 }
 

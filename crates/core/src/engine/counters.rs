@@ -1,0 +1,95 @@
+//! Engine work accounting.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Thread-safe tallies of the work an engine has executed. Interior-mutable
+/// so jobs running on pool threads can record without locking.
+#[derive(Debug, Default)]
+pub struct EngineCounters {
+    jobs: AtomicU64,
+    batches: AtomicU64,
+    wall_ns: AtomicU64,
+    cpu_ns: AtomicU64,
+}
+
+impl EngineCounters {
+    /// Record one executed job taking `cpu` of worker time.
+    pub fn record_job(&self, cpu: Duration) {
+        self.jobs.fetch_add(1, Ordering::Relaxed);
+        self.cpu_ns
+            .fetch_add(cpu.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Record one completed batch (an `Engine::run` call) spanning `wall`.
+    pub fn record_batch(&self, wall: Duration) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.wall_ns
+            .fetch_add(wall.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// A snapshot of the tallies.
+    pub fn snapshot(&self) -> EngineStats {
+        EngineStats {
+            jobs_run: self.jobs.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            wall: Duration::from_nanos(self.wall_ns.load(Ordering::Relaxed)),
+            cpu: Duration::from_nanos(self.cpu_ns.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// Point-in-time engine statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Jobs executed (cache hits still count — the job ran, its simulation
+    /// didn't).
+    pub jobs_run: u64,
+    /// `Engine::run` batches completed.
+    pub batches: u64,
+    /// Wall-clock time spent inside batches.
+    pub wall: Duration,
+    /// Summed per-job worker time (exceeds `wall` when jobs overlap).
+    pub cpu: Duration,
+}
+
+impl EngineStats {
+    /// One-line human-readable form, e.g. for a CLI footer.
+    pub fn render(&self) -> String {
+        format!(
+            "engine: {} jobs in {} batches, wall {:.3}s, cpu {:.3}s",
+            self.jobs_run,
+            self.batches,
+            self.wall.as_secs_f64(),
+            self.cpu.as_secs_f64(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let c = EngineCounters::default();
+        c.record_job(Duration::from_millis(5));
+        c.record_job(Duration::from_millis(7));
+        c.record_batch(Duration::from_millis(8));
+        let s = c.snapshot();
+        assert_eq!(s.jobs_run, 2);
+        assert_eq!(s.batches, 1);
+        assert_eq!(s.cpu, Duration::from_millis(12));
+        assert_eq!(s.wall, Duration::from_millis(8));
+    }
+
+    #[test]
+    fn render_mentions_jobs_and_batches() {
+        let c = EngineCounters::default();
+        c.record_job(Duration::ZERO);
+        c.record_batch(Duration::ZERO);
+        let line = c.snapshot().render();
+        assert!(line.contains("1 jobs"));
+        assert!(line.contains("1 batches"));
+    }
+}

@@ -1,0 +1,202 @@
+//! The parallel analysis engine.
+//!
+//! Every higher-level RAT analysis — a parameter sweep, a sensitivity scan,
+//! Monte-Carlo uncertainty propagation, a multi-FPGA scaling study, a
+//! `reproduce` artifact batch — decomposes into **independent jobs**: each
+//! takes an index, computes in isolation, and yields one result. The engine
+//! runs those jobs on a fixed-size thread pool and reassembles results in job
+//! order, under two hard guarantees:
+//!
+//! 1. **Thread-count invariance.** Output is bit-identical at any `jobs`
+//!    setting, including 1. Jobs never share mutable state, results are
+//!    ordered by job index (not completion), and randomized jobs draw from
+//!    per-job RNG streams ([`job_rng`]) derived from `(root_seed, index)` —
+//!    never from a stream consumed in scheduling order.
+//! 2. **Memoized simulation.** Jobs that execute the platform simulator do so
+//!    through [`fpga_sim`-level memoization]: a content hash of the full run
+//!    spec keys a cache, so repeated sweep points and re-rendered artifacts
+//!    cost a hash lookup instead of a discrete-event simulation. The engine's
+//!    [`EngineConfig::use_cache`] flag gates this per analysis.
+//!
+//! [`fpga_sim`-level memoization]: EngineConfig::use_cache
+
+mod config;
+mod counters;
+mod stream;
+
+pub use config::EngineConfig;
+pub use counters::{EngineCounters, EngineStats};
+pub use stream::job_rng;
+
+use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
+use rayon::{ThreadPool, ThreadPoolBuilder};
+use std::time::Instant;
+
+/// A job-graph executor: runs batches of independent indexed jobs on a
+/// dedicated thread pool, deterministically.
+pub struct Engine {
+    config: EngineConfig,
+    pool: ThreadPool,
+    counters: EngineCounters,
+}
+
+impl Engine {
+    /// Build an engine with `config.jobs` worker threads (0 = one per
+    /// hardware thread).
+    pub fn new(config: EngineConfig) -> Self {
+        let pool = ThreadPoolBuilder::new()
+            .num_threads(config.jobs)
+            .build()
+            .expect("analysis thread pool construction cannot fail");
+        Engine {
+            config,
+            pool,
+            counters: EngineCounters::default(),
+        }
+    }
+
+    /// A single-threaded engine — the reference schedule every other thread
+    /// count must reproduce bit-for-bit.
+    pub fn sequential() -> Self {
+        Self::new(EngineConfig::default().with_jobs(1))
+    }
+
+    /// This engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The number of worker threads jobs actually run on.
+    pub fn threads(&self) -> usize {
+        self.pool.current_num_threads()
+    }
+
+    /// Run jobs `0..n` and collect their results in job order.
+    pub fn run<T, F>(&self, n: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let started = Instant::now();
+        let counters = &self.counters;
+        let timed = |i: usize| {
+            let job_started = Instant::now();
+            let out = f(i);
+            counters.record_job(job_started.elapsed());
+            out
+        };
+        let results = self
+            .pool
+            .install(|| (0..n).into_par_iter().map(timed).collect());
+        self.counters.record_batch(started.elapsed());
+        results
+    }
+
+    /// Run jobs `0..n`, each with its own deterministic RNG stream derived
+    /// from the engine's root seed and the job index.
+    pub fn run_seeded<T, F>(&self, n: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize, ChaCha8Rng) -> T + Sync,
+    {
+        let root = self.config.root_seed;
+        self.run(n, |i| f(i, job_rng(root, i as u64)))
+    }
+
+    /// Run fallible jobs `0..n`; all jobs execute, then the lowest-indexed
+    /// error (if any) is returned. Taking the first error *by job index* —
+    /// not by completion time — keeps error reporting as deterministic as
+    /// results.
+    pub fn try_run<T, E, F>(&self, n: usize, f: F) -> Result<Vec<T>, E>
+    where
+        T: Send,
+        E: Send,
+        F: Fn(usize) -> Result<T, E> + Sync,
+    {
+        self.run(n, f).into_iter().collect()
+    }
+
+    /// Work executed by this engine so far.
+    pub fn stats(&self) -> EngineStats {
+        self.counters.snapshot()
+    }
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Self::new(EngineConfig::default())
+    }
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("config", &self.config)
+            .field("threads", &self.threads())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn run_preserves_job_order_at_any_thread_count() {
+        let expected: Vec<usize> = (0..100).map(|i| i * i).collect();
+        for jobs in [1, 2, 8] {
+            let engine = Engine::new(EngineConfig::default().with_jobs(jobs));
+            assert_eq!(engine.run(100, |i| i * i), expected, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn seeded_jobs_are_thread_count_invariant() {
+        let reference: Vec<u64> =
+            Engine::sequential().run_seeded(64, |_, mut rng| rng.gen::<u64>());
+        for jobs in [2, 8] {
+            let engine = Engine::new(EngineConfig::default().with_jobs(jobs));
+            let draws: Vec<u64> = engine.run_seeded(64, |_, mut rng| rng.gen::<u64>());
+            assert_eq!(draws, reference, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn root_seed_changes_every_stream() {
+        let a: Vec<u64> = Engine::new(EngineConfig::default().with_root_seed(1))
+            .run_seeded(16, |_, mut rng| rng.gen());
+        let b: Vec<u64> = Engine::new(EngineConfig::default().with_root_seed(2))
+            .run_seeded(16, |_, mut rng| rng.gen());
+        assert!(a.iter().zip(&b).all(|(x, y)| x != y));
+    }
+
+    #[test]
+    fn try_run_returns_lowest_indexed_error() {
+        let engine = Engine::new(EngineConfig::default().with_jobs(8));
+        let r: Result<Vec<usize>, usize> =
+            engine.try_run(100, |i| if i % 30 == 29 { Err(i) } else { Ok(i) });
+        assert_eq!(r, Err(29));
+        let ok: Result<Vec<usize>, usize> = engine.try_run(10, Ok);
+        assert_eq!(ok, Ok((0..10).collect()));
+    }
+
+    #[test]
+    fn counters_track_jobs_and_batches() {
+        let engine = Engine::sequential();
+        engine.run(5, |i| i);
+        engine.run(3, |i| i);
+        let stats = engine.stats();
+        assert_eq!(stats.jobs_run, 8);
+        assert_eq!(stats.batches, 2);
+        assert!(stats.cpu <= stats.wall + std::time::Duration::from_millis(50));
+    }
+
+    #[test]
+    fn zero_jobs_means_hardware_parallelism() {
+        let engine = Engine::default();
+        assert!(engine.threads() >= 1);
+        assert_eq!(engine.run(4, |i| i), vec![0, 1, 2, 3]);
+    }
+}

@@ -1,0 +1,67 @@
+//! Deterministic per-job RNG streams.
+//!
+//! A parallel Monte-Carlo analysis must not let thread scheduling touch its
+//! random numbers: results have to be bit-identical whether the engine runs
+//! on one thread or sixteen, and whether a given sample executed first or
+//! last. The fix is to derive each job's RNG from `(root_seed, job_index)`
+//! alone — never from a shared stream that jobs consume in completion order.
+//!
+//! The derivation is `seed_from_u64(mix(root_seed) ^ job_index)`. The mix
+//! step (a splitmix64 finalizer) matters: with a raw `root ^ index`, two
+//! root seeds differing in low bits — 42 and 43, say — would produce the
+//! *same set* of job seeds in permuted order (`42 ^ j == 43 ^ (j ^ 1)`),
+//! making every order-insensitive statistic identical across "different"
+//! seeds. Mixing the root first puts different analyses in unrelated regions
+//! of seed space, while jobs within one analysis stay a dense, collision-free
+//! `base ^ j` family. `seed_from_u64` then expands each value through
+//! rand_core's PCG32 construction before it keys ChaCha8.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// splitmix64's finalizer: a bijective avalanche mix over `u64`.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The RNG stream for job `job_index` of an analysis rooted at `root_seed`.
+pub fn job_rng(root_seed: u64, job_index: u64) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(mix(root_seed) ^ job_index)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn streams_are_reproducible() {
+        let a: f64 = job_rng(2007, 3).gen();
+        let b: f64 = job_rng(2007, 3).gen();
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+
+    #[test]
+    fn distinct_jobs_get_distinct_streams() {
+        let draws: Vec<u64> = (0..64).map(|j| job_rng(2007, j).gen::<u64>()).collect();
+        let mut unique = draws.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), draws.len(), "adjacent job streams collided");
+    }
+
+    #[test]
+    fn adjacent_root_seeds_do_not_permute_each_other() {
+        // The failure mode mix() exists to prevent: without it, root seeds 42
+        // and 43 would generate identical job-seed sets in different order.
+        let a: Vec<u64> = (0..64).map(|j| job_rng(42, j).gen::<u64>()).collect();
+        let mut b: Vec<u64> = (0..64).map(|j| job_rng(43, j).gen::<u64>()).collect();
+        let mut a_sorted = a.clone();
+        a_sorted.sort_unstable();
+        b.sort_unstable();
+        assert_ne!(a_sorted, b, "root seeds 42/43 produced permuted streams");
+    }
+}

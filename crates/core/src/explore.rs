@@ -33,7 +33,12 @@ pub struct DesignSpace {
 impl DesignSpace {
     /// A space that only varies the clock — the paper's own exploration shape.
     pub fn clocks(base: RatInput, fclocks: Vec<f64>) -> Self {
-        Self { base, fclocks, throughput_procs: Vec::new(), bufferings: Vec::new() }
+        Self {
+            base,
+            fclocks,
+            throughput_procs: Vec::new(),
+            bufferings: Vec::new(),
+        }
     }
 
     /// Number of corners the space contains.
@@ -155,7 +160,12 @@ pub fn explore(space: &DesignSpace, min_speedup: f64) -> Result<Exploration, Rat
                 .expect("finite by validation")
         })
         .cloned();
-    Ok(Exploration { min_speedup, passing, failing, cheapest })
+    Ok(Exploration {
+        min_speedup,
+        passing,
+        failing,
+        cheapest,
+    })
 }
 
 #[cfg(test)]

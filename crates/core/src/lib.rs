@@ -18,9 +18,10 @@
 //! team needs around it: inverse solvers ([`solve`]) for "what throughput_proc
 //! do I need for 10x?", parameter sweeps ([`sweep`]), local sensitivity
 //! analysis ([`sensitivity`]), Monte-Carlo uncertainty propagation
-//! ([`uncertainty`]), multi-kernel application analysis ([`multistage`]), and
-//! the Figure-1 methodology flow as an executable state machine
-//! ([`methodology`]).
+//! ([`uncertainty`]), multi-kernel application analysis ([`multistage`]), the
+//! Figure-1 methodology flow as an executable state machine ([`methodology`]),
+//! and a deterministic parallel job executor ([`engine`]) the batch analyses
+//! run on.
 //!
 //! ## Example: the paper's §4.3 worked example
 //!
@@ -46,6 +47,7 @@
 
 pub mod breakeven;
 pub mod comparison;
+pub mod engine;
 pub mod error;
 pub mod explore;
 pub mod methodology;

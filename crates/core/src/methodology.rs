@@ -28,7 +28,10 @@ pub struct Requirements {
 
 impl Default for Requirements {
     fn default() -> Self {
-        Self { min_speedup: 10.0, reject_routing_strain: false }
+        Self {
+            min_speedup: 10.0,
+            reject_routing_strain: false,
+        }
     }
 }
 
@@ -140,7 +143,12 @@ pub struct AmenabilityTest {
 impl AmenabilityTest {
     /// Start a pass for `input` under `requirements`.
     pub fn new(input: RatInput, requirements: Requirements) -> Self {
-        Self { input, requirements, precision: None, resources: None }
+        Self {
+            input,
+            requirements,
+            precision: None,
+            resources: None,
+        }
     }
 
     /// Attach the precision-test result (run the workload evaluation with
@@ -161,22 +169,23 @@ impl AmenabilityTest {
     /// Run the gates in the paper's order and produce the verdict.
     pub fn evaluate(self) -> Result<AmenabilityReport, RatError> {
         let throughput = ThroughputPrediction::analyze(&self.input)?;
-        let verdict = if throughput.speedup < self.requirements.min_speedup {
-            Verdict::Revise(Bounce::InsufficientThroughput {
-                predicted: throughput.speedup,
-                required: self.requirements.min_speedup,
-            })
-        } else if self.precision.as_ref().is_some_and(|p| p.chosen.is_none()) {
-            Verdict::Revise(Bounce::UnrealizablePrecision)
-        } else if let Some(r) = self.resources.as_ref().filter(|r| {
-            !r.fits || (self.requirements.reject_routing_strain && r.routing_strain)
-        }) {
-            Verdict::Revise(Bounce::InsufficientResources {
-                limiting: r.limiting_resource().to_string(),
-            })
-        } else {
-            Verdict::Proceed
-        };
+        let verdict =
+            if throughput.speedup < self.requirements.min_speedup {
+                Verdict::Revise(Bounce::InsufficientThroughput {
+                    predicted: throughput.speedup,
+                    required: self.requirements.min_speedup,
+                })
+            } else if self.precision.as_ref().is_some_and(|p| p.chosen.is_none()) {
+                Verdict::Revise(Bounce::UnrealizablePrecision)
+            } else if let Some(r) = self.resources.as_ref().filter(|r| {
+                !r.fits || (self.requirements.reject_routing_strain && r.routing_strain)
+            }) {
+                Verdict::Revise(Bounce::InsufficientResources {
+                    limiting: r.limiting_resource().to_string(),
+                })
+            } else {
+                Verdict::Proceed
+            };
         Ok(AmenabilityReport {
             throughput,
             precision: self.precision,
@@ -193,12 +202,17 @@ mod tests {
     use crate::resources::{device, ResourceEstimate, ResourceReport};
 
     fn reqs(min_speedup: f64) -> Requirements {
-        Requirements { min_speedup, reject_routing_strain: false }
+        Requirements {
+            min_speedup,
+            reject_routing_strain: false,
+        }
     }
 
     #[test]
     fn pdf1d_at_150mhz_proceeds_for_10x() {
-        let report = AmenabilityTest::new(pdf1d_example(), reqs(10.0)).evaluate().unwrap();
+        let report = AmenabilityTest::new(pdf1d_example(), reqs(10.0))
+            .evaluate()
+            .unwrap();
         assert!(report.proceed());
         assert!(report.render().contains("PROCEED"));
     }
@@ -217,7 +231,11 @@ mod tests {
 
     #[test]
     fn resource_gate_bounces_oversized_design() {
-        let est = ResourceEstimate { dsp: 1000, bram: 0, logic: 0 };
+        let est = ResourceEstimate {
+            dsp: 1000,
+            bram: 0,
+            logic: 0,
+        };
         let rr = ResourceReport::analyze(device::virtex4_lx100(), est);
         let report = AmenabilityTest::new(pdf1d_example(), reqs(5.0))
             .with_resources(rr)
@@ -232,7 +250,11 @@ mod tests {
     #[test]
     fn routing_strain_bounces_only_when_rejected() {
         let dev = device::virtex4_lx100();
-        let est = ResourceEstimate { dsp: 1, bram: 1, logic: 45_000 }; // >80% logic
+        let est = ResourceEstimate {
+            dsp: 1,
+            bram: 1,
+            logic: 45_000,
+        }; // >80% logic
         let rr = ResourceReport::analyze(dev.clone(), est);
         let lenient = AmenabilityTest::new(pdf1d_example(), reqs(5.0))
             .with_resources(rr.clone())
@@ -241,7 +263,10 @@ mod tests {
         assert!(lenient.proceed());
         let strict = AmenabilityTest::new(
             pdf1d_example(),
-            Requirements { min_speedup: 5.0, reject_routing_strain: true },
+            Requirements {
+                min_speedup: 5.0,
+                reject_routing_strain: true,
+            },
         )
         .with_resources(rr)
         .evaluate()
@@ -256,12 +281,17 @@ mod tests {
             .with_precision(empty)
             .evaluate()
             .unwrap();
-        assert_eq!(report.verdict, Verdict::Revise(Bounce::UnrealizablePrecision));
+        assert_eq!(
+            report.verdict,
+            Verdict::Revise(Bounce::UnrealizablePrecision)
+        );
     }
 
     #[test]
     fn skipped_tests_render_as_not_reached() {
-        let report = AmenabilityTest::new(pdf1d_example(), reqs(5.0)).evaluate().unwrap();
+        let report = AmenabilityTest::new(pdf1d_example(), reqs(5.0))
+            .evaluate()
+            .unwrap();
         let s = report.render();
         assert!(s.matches("(not reached)").count() == 2, "{s}");
     }
@@ -270,12 +300,21 @@ mod tests {
     fn gates_run_in_paper_order() {
         // A design failing both throughput and resources reports throughput
         // first (Figure 1's first diamond).
-        let est = ResourceEstimate { dsp: 1000, bram: 0, logic: 0 };
+        let est = ResourceEstimate {
+            dsp: 1000,
+            bram: 0,
+            logic: 0,
+        };
         let rr = ResourceReport::analyze(device::virtex4_lx100(), est);
         let input = pdf1d_example().with_fclock(75.0e6);
-        let report =
-            AmenabilityTest::new(input, reqs(10.0)).with_resources(rr).evaluate().unwrap();
-        assert!(matches!(report.verdict, Verdict::Revise(Bounce::InsufficientThroughput { .. })));
+        let report = AmenabilityTest::new(input, reqs(10.0))
+            .with_resources(rr)
+            .evaluate()
+            .unwrap();
+        assert!(matches!(
+            report.verdict,
+            Verdict::Revise(Bounce::InsufficientThroughput { .. })
+        ));
     }
 
     #[test]

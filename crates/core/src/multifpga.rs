@@ -29,6 +29,7 @@
 //! assert_eq!(multifpga::saturating_devices(&input).unwrap(), 24);
 //! ```
 
+use crate::engine::Engine;
 use crate::error::RatError;
 use crate::params::RatInput;
 use crate::table::{sci, TextTable};
@@ -65,9 +66,11 @@ impl ScalingCurve {
     /// The smallest device count within `tolerance` (fractional) of the
     /// channel-bound speedup wall — adding devices past this point is waste.
     pub fn saturation_point(&self, tolerance: f64) -> Option<u32> {
-        let wall = self.points.last()?.speedup.max(
-            self.points.iter().map(|p| p.speedup).fold(0.0, f64::max),
-        );
+        let wall = self
+            .points
+            .last()?
+            .speedup
+            .max(self.points.iter().map(|p| p.speedup).fold(0.0, f64::max));
         self.points
             .iter()
             .find(|p| p.speedup >= wall * (1.0 - tolerance))
@@ -117,9 +120,18 @@ pub fn analyze(input: &RatInput, devices: u32) -> Result<MultiFpgaPrediction, Ra
 
 /// The scaling curve for device counts `1..=max_devices`.
 pub fn scaling_curve(input: &RatInput, max_devices: u32) -> Result<ScalingCurve, RatError> {
-    let points = (1..=max_devices.max(1))
-        .map(|m| analyze(input, m))
-        .collect::<Result<Vec<_>, _>>()?;
+    scaling_curve_with(&Engine::sequential(), input, max_devices)
+}
+
+/// [`scaling_curve`], with each device count analyzed as an independent job
+/// on `engine`.
+pub fn scaling_curve_with(
+    engine: &Engine,
+    input: &RatInput,
+    max_devices: u32,
+) -> Result<ScalingCurve, RatError> {
+    let n = max_devices.max(1) as usize;
+    let points = engine.try_run(n, |i| analyze(input, i as u32 + 1))?;
     Ok(ScalingCurve { points })
 }
 
@@ -155,10 +167,14 @@ mod tests {
         assert_eq!(sat, 24);
         let curve = scaling_curve(&input, 40).unwrap();
         // Near-perfect efficiency at small counts.
-        assert!(curve.points[3].efficiency > 0.99, "4 devices: {}", curve.points[3].efficiency);
+        assert!(
+            curve.points[3].efficiency > 0.99,
+            "4 devices: {}",
+            curve.points[3].efficiency
+        );
         // Past the wall, speedup is flat at the comm-bound ceiling.
-        let wall = input.software.t_soft
-            / (input.software.iterations as f64 * throughput::t_comm(&input));
+        let wall =
+            input.software.t_soft / (input.software.iterations as f64 * throughput::t_comm(&input));
         let at_40 = curve.points[39].speedup;
         assert!((at_40 - wall).abs() / wall < 1e-9, "{at_40} vs wall {wall}");
         let at_30 = curve.points[29].speedup;
@@ -170,7 +186,10 @@ mod tests {
         let curve = scaling_curve(&pdf1d_example(), 48).unwrap();
         let e24 = curve.points[23].efficiency;
         let e48 = curve.points[47].efficiency;
-        assert!(e48 < e24 * 0.6, "48-device efficiency {e48} should collapse vs {e24}");
+        assert!(
+            e48 < e24 * 0.6,
+            "48-device efficiency {e48} should collapse vs {e24}"
+        );
     }
 
     #[test]

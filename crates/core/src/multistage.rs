@@ -92,7 +92,9 @@ impl MultiStageReport {
     /// The stage consuming the largest share of accelerated time — the next
     /// migration or optimization target.
     pub fn bottleneck(&self) -> Option<&StageResult> {
-        self.stages.iter().max_by(|a, b| a.t_accel.total_cmp(&b.t_accel))
+        self.stages
+            .iter()
+            .max_by(|a, b| a.t_accel.total_cmp(&b.t_accel))
     }
 
     /// Render per-stage and composite rows.
@@ -106,7 +108,12 @@ impl MultiStageReport {
                 sci(s.t_soft),
                 sci(s.t_accel),
                 format!("{:.2}", s.speedup),
-                if s.prediction.is_some() { "FPGA" } else { "CPU" }.to_string(),
+                if s.prediction.is_some() {
+                    "FPGA"
+                } else {
+                    "CPU"
+                }
+                .to_string(),
             ]);
         }
         t.row([
@@ -116,7 +123,11 @@ impl MultiStageReport {
             format!("{:.2}", self.speedup),
             String::new(),
         ]);
-        format!("{}Amdahl ceiling: {:.1}x\n", t.render(), self.amdahl_ceiling())
+        format!(
+            "{}Amdahl ceiling: {:.1}x\n",
+            t.render(),
+            self.amdahl_ceiling()
+        )
     }
 }
 
@@ -124,7 +135,9 @@ impl MultiStageReport {
 /// software stages pass through.
 pub fn analyze(stages: &[Stage]) -> Result<MultiStageReport, RatError> {
     if stages.is_empty() {
-        return Err(RatError::param("multi-stage analysis needs at least one stage"));
+        return Err(RatError::param(
+            "multi-stage analysis needs at least one stage",
+        ));
     }
     let mut results = Vec::with_capacity(stages.len());
     for stage in stages {
@@ -168,7 +181,10 @@ mod tests {
     fn two_stage() -> Vec<Stage> {
         vec![
             Stage::Fpga(pdf1d_example()), // 0.578 s -> ~0.0546 s (10.6x)
-            Stage::Software { name: "post-processing".into(), t_soft: 0.2 },
+            Stage::Software {
+                name: "post-processing".into(),
+                t_soft: 0.2,
+            },
         ]
     }
 
@@ -177,7 +193,11 @@ mod tests {
         let r = analyze(&two_stage()).unwrap();
         assert!((r.total_soft - 0.778).abs() < 1e-9);
         // Accelerated: 0.0546 + 0.2 = 0.2546; speedup ~3.06.
-        assert!((r.speedup - 0.778 / 0.2546).abs() < 0.02, "speedup {}", r.speedup);
+        assert!(
+            (r.speedup - 0.778 / 0.2546).abs() < 0.02,
+            "speedup {}",
+            r.speedup
+        );
         // Composite sits between the stage speedups.
         assert!(r.speedup > 1.0 && r.speedup < 10.6);
     }
@@ -214,7 +234,10 @@ mod tests {
     #[test]
     fn empty_and_invalid_stages_rejected() {
         assert!(analyze(&[]).is_err());
-        let bad = vec![Stage::Software { name: "x".into(), t_soft: 0.0 }];
+        let bad = vec![Stage::Software {
+            name: "x".into(),
+            t_soft: 0.0,
+        }];
         assert!(analyze(&bad).is_err());
     }
 

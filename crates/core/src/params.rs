@@ -118,7 +118,9 @@ impl RatInput {
         }
         for (name, alpha) in [("alpha_write", c.alpha_write), ("alpha_read", c.alpha_read)] {
             if !(alpha.is_finite() && alpha > 0.0 && alpha <= 1.0) {
-                return Err(RatError::param(format!("{name} must be in (0, 1], got {alpha}")));
+                return Err(RatError::param(format!(
+                    "{name} must be in (0, 1], got {alpha}"
+                )));
             }
         }
         let p = &self.comp;
@@ -135,11 +137,17 @@ impl RatInput {
             )));
         }
         if !(p.fclock.is_finite() && p.fclock > 0.0) {
-            return Err(RatError::param(format!("fclock must be positive, got {}", p.fclock)));
+            return Err(RatError::param(format!(
+                "fclock must be positive, got {}",
+                p.fclock
+            )));
         }
         let s = &self.software;
         if !(s.t_soft.is_finite() && s.t_soft > 0.0) {
-            return Err(RatError::param(format!("t_soft must be positive, got {}", s.t_soft)));
+            return Err(RatError::param(format!(
+                "t_soft must be positive, got {}",
+                s.t_soft
+            )));
         }
         if s.iterations == 0 {
             return Err(RatError::param("iterations must be at least 1"));
@@ -178,10 +186,25 @@ pub(crate) fn pdf1d_example() -> RatInput {
     // The paper's Table 2, at 150 MHz.
     RatInput {
         name: "1-D PDF".into(),
-        dataset: DatasetParams { elements_in: 512, elements_out: 1, bytes_per_element: 4 },
-        comm: CommParams { ideal_bandwidth: 1.0e9, alpha_write: 0.37, alpha_read: 0.16 },
-        comp: CompParams { ops_per_element: 768.0, throughput_proc: 20.0, fclock: 150.0e6 },
-        software: SoftwareParams { t_soft: 0.578, iterations: 400 },
+        dataset: DatasetParams {
+            elements_in: 512,
+            elements_out: 1,
+            bytes_per_element: 4,
+        },
+        comm: CommParams {
+            ideal_bandwidth: 1.0e9,
+            alpha_write: 0.37,
+            alpha_read: 0.16,
+        },
+        comp: CompParams {
+            ops_per_element: 768.0,
+            throughput_proc: 20.0,
+            fclock: 150.0e6,
+        },
+        software: SoftwareParams {
+            t_soft: 0.578,
+            iterations: 400,
+        },
         buffering: Buffering::Single,
     }
 }
@@ -199,7 +222,9 @@ mod tests {
     fn rejects_zero_elements_in() {
         let mut i = pdf1d_example();
         i.dataset.elements_in = 0;
-        assert!(matches!(i.validate(), Err(RatError::InvalidParameter(m)) if m.contains("elements_in")));
+        assert!(
+            matches!(i.validate(), Err(RatError::InvalidParameter(m)) if m.contains("elements_in"))
+        );
     }
 
     #[test]
@@ -214,7 +239,10 @@ mod tests {
         for bad in [0.0, -0.5, 1.5, f64::NAN, f64::INFINITY] {
             let mut i = pdf1d_example();
             i.comm.alpha_read = bad;
-            assert!(i.validate().is_err(), "alpha_read = {bad} should be rejected");
+            assert!(
+                i.validate().is_err(),
+                "alpha_read = {bad} should be rejected"
+            );
         }
         let mut i = pdf1d_example();
         i.comm.alpha_write = 1.0;

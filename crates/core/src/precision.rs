@@ -93,10 +93,17 @@ impl PrecisionReport {
     /// Render as a comparison table.
     pub fn render(&self) -> String {
         let mut t = TextTable::new()
-            .title(format!("Precision test (max relative error <= {})", self.tolerance))
+            .title(format!(
+                "Precision test (max relative error <= {})",
+                self.tolerance
+            ))
             .header(["Format", "Bits", "Max rel err", "DSPs/mult", "Acceptable"]);
         for (i, c) in self.candidates.iter().enumerate() {
-            let mark = if Some(i) == self.chosen { " <= chosen" } else { "" };
+            let mark = if Some(i) == self.chosen {
+                " <= chosen"
+            } else {
+                ""
+            };
             t.row([
                 c.format.to_string(),
                 c.format.total_bits().to_string(),
@@ -125,7 +132,10 @@ pub fn precision_test<F>(
 where
     F: FnMut(QFormat) -> ErrorStats,
 {
-    assert!(tolerance >= 0.0 && tolerance.is_finite(), "tolerance must be non-negative");
+    assert!(
+        tolerance >= 0.0 && tolerance.is_finite(),
+        "tolerance must be non-negative"
+    );
     let results: Vec<CandidateResult> = candidates
         .iter()
         .map(|&format| {
@@ -144,7 +154,11 @@ where
         .filter(|(_, c)| c.acceptable)
         .min_by_key(|(_, c)| (c.format.total_bits(), c.dsps_per_mult))
         .map(|(i, _)| i);
-    PrecisionReport { tolerance, candidates: results, chosen }
+    PrecisionReport {
+        tolerance,
+        candidates: results,
+        chosen,
+    }
 }
 
 /// One mixed-format candidate's evaluation.
@@ -188,7 +202,11 @@ impl MixedPrecisionReport {
             ))
             .header(["Format", "Bits", "Max rel err", "DSPs/mult", "Acceptable"]);
         for (i, c) in self.candidates.iter().enumerate() {
-            let mark = if Some(i) == self.chosen { " <= chosen" } else { "" };
+            let mark = if Some(i) == self.chosen {
+                " <= chosen"
+            } else {
+                ""
+            };
             t.row([
                 c.format.to_string(),
                 c.format.total_bits().to_string(),
@@ -213,7 +231,10 @@ pub fn precision_test_mixed<F>(
 where
     F: FnMut(NumericFormat) -> ErrorStats,
 {
-    assert!(tolerance >= 0.0 && tolerance.is_finite(), "tolerance must be non-negative");
+    assert!(
+        tolerance >= 0.0 && tolerance.is_finite(),
+        "tolerance must be non-negative"
+    );
     let results: Vec<MixedCandidateResult> = candidates
         .iter()
         .map(|&format| {
@@ -232,7 +253,11 @@ where
         .filter(|(_, c)| c.acceptable)
         .min_by_key(|(_, c)| (c.dsps_per_mult, c.format.total_bits()))
         .map(|(i, _)| i);
-    MixedPrecisionReport { tolerance, candidates: results, chosen }
+    MixedPrecisionReport {
+        tolerance,
+        candidates: results,
+        chosen,
+    }
 }
 
 #[cfg(test)]
@@ -293,7 +318,10 @@ mod tests {
     fn render_marks_choice() {
         let r = precision_test(&candidates(), 0.01, 18, eval);
         let s = r.render();
-        assert!(s.contains("<= chosen"), "render should mark the chosen format:\n{s}");
+        assert!(
+            s.contains("<= chosen"),
+            "render should mark the chosen format:\n{s}"
+        );
         assert!(s.contains("Q0.17"));
     }
 
@@ -352,7 +380,9 @@ mod tests {
         // binary16's normal range). The fixed format clips the top decade and
         // crushes the bottom one; float keeps relative error uniform.
         let eval = |fmt: NumericFormat| {
-            let data: Vec<f64> = (0..49).map(|i| (10.0f64).powf(i as f64 / 6.0 - 4.0)).collect();
+            let data: Vec<f64> = (0..49)
+                .map(|i| (10.0f64).powf(i as f64 / 6.0 - 4.0))
+                .collect();
             let q: Vec<f64> = data
                 .iter()
                 .map(|&v| match fmt {
@@ -370,7 +400,11 @@ mod tests {
         ];
         let r = precision_test_mixed(&candidates, 0.01, 18, eval);
         let chosen = r.chosen_candidate().unwrap();
-        assert!(matches!(chosen.format, NumericFormat::Float(_)), "{}", r.render());
+        assert!(
+            matches!(chosen.format, NumericFormat::Float(_)),
+            "{}",
+            r.render()
+        );
     }
 
     #[test]

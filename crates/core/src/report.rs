@@ -30,8 +30,14 @@ impl Report {
             .title(format!("Input parameters of {}", i.name))
             .header(["Parameter", "Value"]);
         t.section("Dataset Parameters");
-        t.row(["N_elements, input (elements)".to_string(), i.dataset.elements_in.to_string()]);
-        t.row(["N_elements, output (elements)".to_string(), i.dataset.elements_out.to_string()]);
+        t.row([
+            "N_elements, input (elements)".to_string(),
+            i.dataset.elements_in.to_string(),
+        ]);
+        t.row([
+            "N_elements, output (elements)".to_string(),
+            i.dataset.elements_out.to_string(),
+        ]);
         t.row([
             "N_bytes/element (bytes/element)".to_string(),
             i.dataset.bytes_per_element.to_string(),
@@ -41,8 +47,14 @@ impl Report {
             "throughput_ideal (MB/s)".to_string(),
             format!("{:.0}", i.comm.ideal_bandwidth / 1e6),
         ]);
-        t.row(["alpha_write (0 < a <= 1)".to_string(), format!("{}", i.comm.alpha_write)]);
-        t.row(["alpha_read (0 < a <= 1)".to_string(), format!("{}", i.comm.alpha_read)]);
+        t.row([
+            "alpha_write (0 < a <= 1)".to_string(),
+            format!("{}", i.comm.alpha_write),
+        ]);
+        t.row([
+            "alpha_read (0 < a <= 1)".to_string(),
+            format!("{}", i.comm.alpha_read),
+        ]);
         t.section("Computation Parameters");
         t.row([
             "N_ops/element (ops/element)".to_string(),
@@ -52,10 +64,16 @@ impl Report {
             "throughput_proc (ops/cycle)".to_string(),
             format!("{}", i.comp.throughput_proc),
         ]);
-        t.row(["f_clock (MHz)".to_string(), format!("{:.0}", i.comp.fclock / 1e6)]);
+        t.row([
+            "f_clock (MHz)".to_string(),
+            format!("{:.0}", i.comp.fclock / 1e6),
+        ]);
         t.section("Software Parameters");
         t.row(["t_soft (sec)".to_string(), format!("{}", i.software.t_soft)]);
-        t.row(["N_iter (iterations)".to_string(), i.software.iterations.to_string()]);
+        t.row([
+            "N_iter (iterations)".to_string(),
+            i.software.iterations.to_string(),
+        ]);
         t.render()
     }
 
@@ -70,14 +88,20 @@ impl Report {
         let mut t = TextTable::new()
             .title(format!("Performance prediction for {}", self.input.name))
             .header(["Metric", "Predicted"]);
-        t.row(["f_clk (MHz)".to_string(), format!("{:.0}", self.input.comp.fclock / 1e6)]);
+        t.row([
+            "f_clk (MHz)".to_string(),
+            format!("{:.0}", self.input.comp.fclock / 1e6),
+        ]);
         t.row(["t_comm (sec)".to_string(), sci(p.t_comm)]);
         t.row(["t_comp (sec)".to_string(), sci(p.t_comp)]);
         t.row([format!("util_comm_{mode}"), pct(p.util_comm)]);
         t.row([format!("util_comp_{mode}"), pct(p.util_comp)]);
         t.row([format!("t_RC_{mode} (sec)"), sci(p.t_rc)]);
         t.row(["speedup".to_string(), format!("{:.1}", p.speedup)]);
-        t.row(["speedup ceiling (comm-bound)".to_string(), format!("{:.1}", self.max_speedup)]);
+        t.row([
+            "speedup ceiling (comm-bound)".to_string(),
+            format!("{:.1}", self.max_speedup),
+        ]);
         t.render()
     }
 
@@ -90,7 +114,11 @@ impl Report {
             Buffering::Single => "single-buffered",
             Buffering::Double => "double-buffered",
         };
-        let bound = if p.comm_bound() { "communication" } else { "computation" };
+        let bound = if p.comm_bound() {
+            "communication"
+        } else {
+            "computation"
+        };
         format!(
             "## RAT analysis: {name}\n\n\
              | Parameter | Value |\n|---|---|\n\
@@ -128,7 +156,11 @@ impl Report {
     /// Render both tables plus a one-line verdict.
     pub fn render(&self) -> String {
         let p = &self.throughput;
-        let bound = if p.comm_bound() { "communication" } else { "computation" };
+        let bound = if p.comm_bound() {
+            "communication"
+        } else {
+            "computation"
+        };
         let delta = self.alternate.speedup / p.speedup;
         format!(
             "{}\n{}\nDesign is {bound}-bound; switching buffering mode would scale speedup by {delta:.2}x.\n",
@@ -181,7 +213,10 @@ mod tests {
     #[test]
     fn full_render_names_the_bound() {
         let s = report().render();
-        assert!(s.contains("computation-bound"), "1-D PDF is compute-bound:\n{s}");
+        assert!(
+            s.contains("computation-bound"),
+            "1-D PDF is compute-bound:\n{s}"
+        );
     }
 
     #[test]

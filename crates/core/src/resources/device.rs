@@ -140,7 +140,9 @@ pub fn all_devices() -> Vec<FpgaDevice> {
 /// Find a device by (case-insensitive) substring of its name.
 pub fn find_device(needle: &str) -> Option<FpgaDevice> {
     let lower = needle.to_lowercase();
-    all_devices().into_iter().find(|d| d.name.to_lowercase().contains(&lower))
+    all_devices()
+        .into_iter()
+        .find(|d| d.name.to_lowercase().contains(&lower))
 }
 
 #[cfg(test)]

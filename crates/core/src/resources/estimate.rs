@@ -98,10 +98,32 @@ mod tests {
 
     #[test]
     fn estimates_compose() {
-        let a = ResourceEstimate { dsp: 2, bram: 3, logic: 100 };
-        let b = ResourceEstimate { dsp: 1, bram: 0, logic: 50 };
-        assert_eq!(a.plus(b), ResourceEstimate { dsp: 3, bram: 3, logic: 150 });
-        assert_eq!(a.replicate(4), ResourceEstimate { dsp: 8, bram: 12, logic: 400 });
+        let a = ResourceEstimate {
+            dsp: 2,
+            bram: 3,
+            logic: 100,
+        };
+        let b = ResourceEstimate {
+            dsp: 1,
+            bram: 0,
+            logic: 50,
+        };
+        assert_eq!(
+            a.plus(b),
+            ResourceEstimate {
+                dsp: 3,
+                bram: 3,
+                logic: 150
+            }
+        );
+        assert_eq!(
+            a.replicate(4),
+            ResourceEstimate {
+                dsp: 8,
+                bram: 12,
+                logic: 400
+            }
+        );
     }
 
     #[test]

@@ -93,7 +93,10 @@ impl ResourceReport {
             .header(["FPGA Resource", "Utilization"]);
         t.row([self.device.dsp_name.to_string(), pct(self.dsp_util)]);
         t.row(["BRAMs".to_string(), pct(self.bram_util)]);
-        t.row([self.device.logic_kind.name().to_string(), pct(self.logic_util)]);
+        t.row([
+            self.device.logic_kind.name().to_string(),
+            pct(self.logic_util),
+        ]);
         let verdict = if !self.fits {
             format!("DOES NOT FIT: limited by {}", self.limiting_resource())
         } else if self.routing_strain {
@@ -119,7 +122,11 @@ mod tests {
     #[test]
     fn small_design_fits_with_headroom() {
         let dev = device::virtex4_lx100();
-        let est = ResourceEstimate { dsp: 8, bram: 36, logic: 6000 };
+        let est = ResourceEstimate {
+            dsp: 8,
+            bram: 36,
+            logic: 6000,
+        };
         let r = ResourceReport::analyze(dev, est);
         assert!(r.fits);
         assert!(!r.routing_strain);
@@ -129,7 +136,11 @@ mod tests {
     #[test]
     fn oversized_design_does_not_fit() {
         let dev = device::virtex4_lx100();
-        let est = ResourceEstimate { dsp: 200, bram: 10, logic: 1000 };
+        let est = ResourceEstimate {
+            dsp: 200,
+            bram: 10,
+            logic: 1000,
+        };
         let r = ResourceReport::analyze(dev, est);
         assert!(!r.fits);
         assert_eq!(r.limiting_resource(), "DSP blocks");
@@ -139,7 +150,11 @@ mod tests {
     #[test]
     fn routing_strain_flagged_above_80_percent_logic() {
         let dev = device::virtex4_lx100();
-        let est = ResourceEstimate { dsp: 1, bram: 1, logic: (dev.logic_cells as f64 * 0.85) as u64 };
+        let est = ResourceEstimate {
+            dsp: 1,
+            bram: 1,
+            logic: (dev.logic_cells as f64 * 0.85) as u64,
+        };
         let r = ResourceReport::analyze(dev, est);
         assert!(r.fits);
         assert!(r.routing_strain);
@@ -149,7 +164,11 @@ mod tests {
     #[test]
     fn headroom_is_inverse_of_max_utilization() {
         let dev = device::virtex4_lx100(); // 96 DSPs
-        let est = ResourceEstimate { dsp: 48, bram: 10, logic: 1000 };
+        let est = ResourceEstimate {
+            dsp: 48,
+            bram: 10,
+            logic: 1000,
+        };
         let r = ResourceReport::analyze(dev, est);
         assert!((r.replication_headroom() - 2.0).abs() < 1e-12);
     }
@@ -164,7 +183,11 @@ mod tests {
     #[test]
     fn render_names_device_and_resources() {
         let dev = device::stratix2_ep2s180();
-        let est = ResourceEstimate { dsp: 700, bram: 300, logic: 90000 };
+        let est = ResourceEstimate {
+            dsp: 700,
+            bram: 300,
+            logic: 90000,
+        };
         let r = ResourceReport::analyze(dev, est);
         let s = r.render();
         assert!(s.contains("EP2S180"));

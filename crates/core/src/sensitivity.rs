@@ -6,6 +6,7 @@
 //! microbenchmarking/measurement effort: a parameter with elasticity near 1
 //! moves the prediction one-for-one; one near 0 can stay a guess.
 
+use crate::engine::Engine;
 use crate::error::RatError;
 use crate::params::RatInput;
 use crate::sweep::SweepParam;
@@ -48,7 +49,9 @@ pub const SCANNED_PARAMS: [SweepParam; 6] = [
 pub fn elasticity(input: &RatInput, param: SweepParam, h: f64) -> Result<f64, RatError> {
     input.validate()?;
     if !(h.is_finite() && h > 0.0 && h < 0.5) {
-        return Err(RatError::param(format!("step h must be in (0, 0.5), got {h}")));
+        return Err(RatError::param(format!(
+            "step h must be in (0, 0.5), got {h}"
+        )));
     }
     let p0 = param.read(input);
     let up = param.apply(input, p0 * (1.0 + h));
@@ -62,11 +65,23 @@ pub fn elasticity(input: &RatInput, param: SweepParam, h: f64) -> Result<f64, Ra
 
 /// Scan all of [`SCANNED_PARAMS`] and rank by absolute elasticity.
 pub fn analyze(input: &RatInput) -> Result<SensitivityReport, RatError> {
-    let mut entries = SCANNED_PARAMS
-        .iter()
-        .map(|&param| Ok(Sensitivity { param, elasticity: elasticity(input, param, 1e-4)? }))
-        .collect::<Result<Vec<_>, RatError>>()?;
-    entries.sort_by(|a, b| b.elasticity.abs().total_cmp(&a.elasticity.abs()));
+    analyze_with(&Engine::sequential(), input)
+}
+
+/// [`analyze`], with each parameter's central-difference probe run as an
+/// independent job on `engine`. The rank sort is stable over the fixed scan
+/// order, so ties break identically at every thread count.
+pub fn analyze_with(engine: &Engine, input: &RatInput) -> Result<SensitivityReport, RatError> {
+    let mut entries = engine.try_run(SCANNED_PARAMS.len(), |i| {
+        let param = SCANNED_PARAMS[i];
+        Ok(Sensitivity {
+            param,
+            elasticity: elasticity(input, param, 1e-4)?,
+        })
+    })?;
+    entries.sort_by(|a: &Sensitivity, b: &Sensitivity| {
+        b.elasticity.abs().total_cmp(&a.elasticity.abs())
+    });
     Ok(SensitivityReport { entries })
 }
 
@@ -98,9 +113,7 @@ mod tests {
         // 1-D PDF at 150 MHz is ~96% compute: elasticity to fclock ~ +0.96,
         // to ops/element ~ -0.96, to alphas ~ +0.04.
         let r = analyze(&pdf1d_example()).unwrap();
-        let get = |p: SweepParam| {
-            r.entries.iter().find(|e| e.param == p).unwrap().elasticity
-        };
+        let get = |p: SweepParam| r.entries.iter().find(|e| e.param == p).unwrap().elasticity;
         assert!((get(SweepParam::Fclock) - 0.96).abs() < 0.01);
         assert!((get(SweepParam::ThroughputProc) - 0.96).abs() < 0.01);
         assert!((get(SweepParam::OpsPerElement) + 0.96).abs() < 0.01);
@@ -122,7 +135,10 @@ mod tests {
     fn dominant_parameter_is_ranked_first() {
         let r = analyze(&pdf1d_example()).unwrap();
         let dom = r.dominant().unwrap();
-        assert!(r.entries.iter().all(|e| e.elasticity.abs() <= dom.elasticity.abs() + 1e-12));
+        assert!(r
+            .entries
+            .iter()
+            .all(|e| e.elasticity.abs() <= dom.elasticity.abs() + 1e-12));
     }
 
     #[test]
@@ -130,9 +146,15 @@ mod tests {
         // In DB with compute dominant, small alpha changes don't move t_RC at all.
         let input = pdf1d_example().with_buffering(Buffering::Double);
         let e = elasticity(&input, SweepParam::AlphaBoth, 1e-4).unwrap();
-        assert!(e.abs() < 1e-9, "alpha elasticity should vanish under DB, got {e}");
+        assert!(
+            e.abs() < 1e-9,
+            "alpha elasticity should vanish under DB, got {e}"
+        );
         let ef = elasticity(&input, SweepParam::Fclock, 1e-4).unwrap();
-        assert!((ef - 1.0).abs() < 1e-6, "clock elasticity should be 1 under DB, got {ef}");
+        assert!(
+            (ef - 1.0).abs() < 1e-6,
+            "clock elasticity should be 1 under DB, got {ef}"
+        );
     }
 
     #[test]

@@ -145,16 +145,33 @@ pub fn max_speedup(input: &RatInput) -> Result<f64, RatError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::params::{pdf1d_example, Buffering, CommParams, CompParams, DatasetParams, RatInput, SoftwareParams};
+    use crate::params::{
+        pdf1d_example, Buffering, CommParams, CompParams, DatasetParams, RatInput, SoftwareParams,
+    };
 
     /// The MD case study's Table 8 input, with `throughput_proc` as the unknown.
     fn md_input() -> RatInput {
         RatInput {
             name: "MD".into(),
-            dataset: DatasetParams { elements_in: 16384, elements_out: 16384, bytes_per_element: 36 },
-            comm: CommParams { ideal_bandwidth: 500.0e6, alpha_write: 0.9, alpha_read: 0.9 },
-            comp: CompParams { ops_per_element: 164000.0, throughput_proc: 50.0, fclock: 100.0e6 },
-            software: SoftwareParams { t_soft: 5.78, iterations: 1 },
+            dataset: DatasetParams {
+                elements_in: 16384,
+                elements_out: 16384,
+                bytes_per_element: 36,
+            },
+            comm: CommParams {
+                ideal_bandwidth: 500.0e6,
+                alpha_write: 0.9,
+                alpha_read: 0.9,
+            },
+            comp: CompParams {
+                ops_per_element: 164000.0,
+                throughput_proc: 50.0,
+                fclock: 100.0e6,
+            },
+            software: SoftwareParams {
+                t_soft: 5.78,
+                iterations: 1,
+            },
             buffering: Buffering::Single,
         }
     }
@@ -178,7 +195,10 @@ mod tests {
         let mut tuned = input.clone();
         tuned.comp.throughput_proc = req;
         let achieved = throughput::speedup(&tuned);
-        assert!((achieved - target).abs() / target < 1e-9, "achieved {achieved}, wanted {target}");
+        assert!(
+            (achieved - target).abs() / target < 1e-9,
+            "achieved {achieved}, wanted {target}"
+        );
     }
 
     #[test]
@@ -228,8 +248,7 @@ mod tests {
     fn double_buffering_gets_the_full_budget() {
         let input = pdf1d_example();
         let sb = required_throughput_proc(&input, 10.0).unwrap();
-        let db =
-            required_throughput_proc(&input.with_buffering(Buffering::Double), 10.0).unwrap();
+        let db = required_throughput_proc(&input.with_buffering(Buffering::Double), 10.0).unwrap();
         assert!(
             db < sb,
             "overlap should lower the required compute rate (db {db:.1} vs sb {sb:.1})"

@@ -95,7 +95,10 @@ impl StreamingPrediction {
         t.row(["output rate (elts/s)".to_string(), sci(self.output_rate)]);
         t.row(["channel rate (elts/s)".to_string(), sci(self.channel_rate)]);
         t.row(["compute rate (elts/s)".to_string(), sci(self.compute_rate)]);
-        t.row(["sustained rate (elts/s)".to_string(), sci(self.sustained_rate)]);
+        t.row([
+            "sustained rate (elts/s)".to_string(),
+            sci(self.sustained_rate),
+        ]);
         t.row([
             "bottleneck".to_string(),
             match self.bottleneck {
@@ -128,11 +131,17 @@ pub fn analyze(input: &RatInput, duplex: ChannelDuplex) -> Result<StreamingPredi
     };
     let channel_rate = match duplex {
         // Serialized: per-element time adds.
-        ChannelDuplex::Half => 1.0 / (1.0 / input_rate + if bytes_out == 0.0 { 0.0 } else { 1.0 / output_rate }),
+        ChannelDuplex::Half => {
+            1.0 / (1.0 / input_rate
+                + if bytes_out == 0.0 {
+                    0.0
+                } else {
+                    1.0 / output_rate
+                })
+        }
         ChannelDuplex::Full => input_rate.min(output_rate),
     };
-    let compute_rate =
-        input.comp.fclock * input.comp.throughput_proc / input.comp.ops_per_element;
+    let compute_rate = input.comp.fclock * input.comp.throughput_proc / input.comp.ops_per_element;
     let sustained_rate = channel_rate.min(compute_rate);
     let bottleneck = if channel_rate <= compute_rate {
         StreamBottleneck::Channel
@@ -179,8 +188,7 @@ mod tests {
         let input = pdf1d_example();
         let s = analyze(&input, ChannelDuplex::Half).unwrap();
         // Eq. (4) per element: ops/elt / (fclock * tp) seconds per element.
-        let per_elt = input.comp.ops_per_element
-            / (input.comp.fclock * input.comp.throughput_proc);
+        let per_elt = input.comp.ops_per_element / (input.comp.fclock * input.comp.throughput_proc);
         assert!((s.compute_rate - 1.0 / per_elt).abs() / s.compute_rate < 1e-12);
     }
 

@@ -5,6 +5,7 @@
 //! "a priori estimation of the required clock frequency is very difficult".
 //! [`sweep`] generalizes that to any single scalar parameter.
 
+use crate::engine::Engine;
 use crate::error::RatError;
 use crate::params::RatInput;
 use crate::report::Report;
@@ -67,9 +68,7 @@ impl SweepParam {
             SweepParam::ThroughputProc => next.comp.throughput_proc = value,
             SweepParam::OpsPerElement => next.comp.ops_per_element = value,
             SweepParam::ElementsIn => next.dataset.elements_in = value.round().max(1.0) as u64,
-            SweepParam::Iterations => {
-                next.software.iterations = value.round().max(1.0) as u64
-            }
+            SweepParam::Iterations => next.software.iterations = value.round().max(1.0) as u64,
         }
         next
     }
@@ -110,7 +109,10 @@ pub struct SweepResult {
 impl SweepResult {
     /// `(value, speedup)` series, ready for plotting.
     pub fn speedup_series(&self) -> Vec<(f64, f64)> {
-        self.points.iter().map(|p| (p.value, p.report.speedup)).collect()
+        self.points
+            .iter()
+            .map(|p| (p.value, p.report.speedup))
+            .collect()
     }
 
     /// The sweep point with the highest speedup, if the sweep is non-empty.
@@ -149,13 +151,23 @@ impl SweepResult {
 /// Values that make the input invalid (e.g. alpha > 1) are reported as errors
 /// rather than skipped, so a scripted exploration can't silently drop points.
 pub fn sweep(input: &RatInput, param: SweepParam, values: &[f64]) -> Result<SweepResult, RatError> {
-    let points = values
-        .iter()
-        .map(|&v| {
-            let report = Worksheet::new(param.apply(input, v)).analyze()?;
-            Ok(SweepPoint { value: v, report })
-        })
-        .collect::<Result<Vec<_>, RatError>>()?;
+    sweep_with(&Engine::sequential(), input, param, values)
+}
+
+/// [`sweep`], with each point analyzed as an independent job on `engine`.
+/// Points come back in request order and the lowest-indexed failing point
+/// wins error reporting, so output is identical at every thread count.
+pub fn sweep_with(
+    engine: &Engine,
+    input: &RatInput,
+    param: SweepParam,
+    values: &[f64],
+) -> Result<SweepResult, RatError> {
+    let points = engine.try_run(values.len(), |i| {
+        let v = values[i];
+        let report = Worksheet::new(param.apply(input, v)).analyze()?;
+        Ok(SweepPoint { value: v, report })
+    })?;
     Ok(SweepResult { param, points })
 }
 
@@ -166,7 +178,12 @@ mod tests {
 
     #[test]
     fn fclock_sweep_reproduces_table3() {
-        let r = sweep(&pdf1d_example(), SweepParam::Fclock, &[75.0e6, 100.0e6, 150.0e6]).unwrap();
+        let r = sweep(
+            &pdf1d_example(),
+            SweepParam::Fclock,
+            &[75.0e6, 100.0e6, 150.0e6],
+        )
+        .unwrap();
         let s = r.speedup_series();
         assert_eq!(s.len(), 3);
         assert!((s[0].1 - 5.4).abs() < 0.05);
@@ -221,10 +238,16 @@ mod tests {
         let values = [10.0, 100.0, 1000.0, 1e6];
         let r = sweep(&pdf1d_example(), SweepParam::ThroughputProc, &values).unwrap();
         let s = r.speedup_series();
-        assert!(s.windows(2).all(|w| w[1].1 >= w[0].1), "monotone in ops/cycle");
+        assert!(
+            s.windows(2).all(|w| w[1].1 >= w[0].1),
+            "monotone in ops/cycle"
+        );
         let wall = crate::solve::max_speedup(&pdf1d_example()).unwrap();
         assert!(s.last().unwrap().1 <= wall);
-        assert!(s.last().unwrap().1 > wall * 0.99, "should approach the wall");
+        assert!(
+            s.last().unwrap().1 > wall * 0.99,
+            "should approach the wall"
+        );
     }
 
     #[test]

@@ -242,7 +242,11 @@ mod tests {
         assert!(s.contains("pipe\\|char"), "pipes must be escaped:\n{s}");
         // Every table line has a consistent pipe count.
         for line in s.lines().filter(|l| l.starts_with('|')) {
-            assert_eq!(line.matches('|').count() - line.matches("\\|").count(), 3, "{line}");
+            assert_eq!(
+                line.matches('|').count() - line.matches("\\|").count(),
+                3,
+                "{line}"
+            );
         }
     }
 

@@ -8,14 +8,13 @@
 //! *distribution* — turning "predicted 10.6x" into "90% chance of at least
 //! 5.6x", which is the honest form of a pre-design commitment.
 
+use crate::engine::{job_rng, Engine};
 use crate::error::RatError;
 use crate::params::RatInput;
 use crate::sweep::SweepParam;
 use crate::table::TextTable;
 use crate::throughput;
 use rand::distributions::{Distribution, Uniform};
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
 /// A uniform uncertainty range on one parameter.
@@ -33,7 +32,10 @@ impl ParamRange {
     /// A range spanning `lo..=hi` for `param`. Panics if the bounds are not
     /// finite and ordered.
     pub fn new(param: SweepParam, lo: f64, hi: f64) -> Self {
-        assert!(lo.is_finite() && hi.is_finite() && lo <= hi, "need finite lo <= hi");
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo <= hi,
+            "need finite lo <= hi"
+        );
         Self { param, lo, hi }
     }
 }
@@ -96,27 +98,42 @@ pub fn propagate(
     samples: usize,
     seed: u64,
 ) -> Result<UncertaintyReport, RatError> {
+    propagate_with(&Engine::sequential(), input, ranges, samples, seed)
+}
+
+/// [`propagate`], with each Monte-Carlo sample drawn and evaluated as an
+/// independent job on `engine`. Sample `j` draws from its own RNG stream
+/// [`job_rng`]`(seed, j)`, so the joint draw for every sample — and therefore
+/// the whole distribution — is bit-identical at any thread count.
+pub fn propagate_with(
+    engine: &Engine,
+    input: &RatInput,
+    ranges: &[ParamRange],
+    samples: usize,
+    seed: u64,
+) -> Result<UncertaintyReport, RatError> {
     input.validate()?;
     if samples == 0 {
         return Err(RatError::param("need at least one Monte-Carlo sample"));
     }
     if ranges.is_empty() {
-        return Err(RatError::param("need at least one uncertain parameter range"));
+        return Err(RatError::param(
+            "need at least one uncertain parameter range",
+        ));
     }
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let dists: Vec<(SweepParam, Uniform<f64>)> = ranges
         .iter()
         .map(|r| (r.param, Uniform::new_inclusive(r.lo, r.hi)))
         .collect();
-    let mut speedups = Vec::with_capacity(samples);
-    for _ in 0..samples {
+    let mut speedups = engine.try_run(samples, |j| {
+        let mut rng = job_rng(seed, j as u64);
         let mut candidate = input.clone();
         for (param, dist) in &dists {
             candidate = param.apply(&candidate, dist.sample(&mut rng));
         }
         candidate.validate()?;
-        speedups.push(throughput::speedup(&candidate));
-    }
+        Ok(throughput::speedup(&candidate))
+    })?;
     speedups.sort_by(f64::total_cmp);
     let n = speedups.len();
     let mean = speedups.iter().sum::<f64>() / n as f64;

@@ -41,9 +41,7 @@ mod tests {
         let (comm, comp) = (2.0, 6.0);
         assert!((util_comp_single(comm, comp) - 0.75).abs() < 1e-12);
         assert!((util_comm_single(comm, comp) - 0.25).abs() < 1e-12);
-        assert!(
-            (util_comp_single(comm, comp) + util_comm_single(comm, comp) - 1.0).abs() < 1e-12
-        );
+        assert!((util_comp_single(comm, comp) + util_comm_single(comm, comp) - 1.0).abs() < 1e-12);
     }
 
     #[test]

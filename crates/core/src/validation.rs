@@ -141,9 +141,13 @@ impl ValidationReport {
 
     /// Render the comparison.
     pub fn render(&self) -> String {
-        let mut t = TextTable::new()
-            .title("Prediction vs measurement")
-            .header(["Metric", "Predicted", "Measured", "Meas/Pred", "Grade"]);
+        let mut t = TextTable::new().title("Prediction vs measurement").header([
+            "Metric",
+            "Predicted",
+            "Measured",
+            "Meas/Pred",
+            "Grade",
+        ]);
         for r in &self.rows {
             t.row([
                 r.metric.clone(),
@@ -172,7 +176,11 @@ mod tests {
     /// The paper's Table 3 as a validation report.
     fn table3_report() -> ValidationReport {
         let prediction = ThroughputPrediction::analyze(&pdf1d_example()).unwrap();
-        let measured = MeasuredPerformance { t_comm: 2.50e-5, t_comp: 1.39e-4, t_rc: 7.45e-2 };
+        let measured = MeasuredPerformance {
+            t_comm: 2.50e-5,
+            t_comp: 1.39e-4,
+            t_rc: 7.45e-2,
+        };
         ValidationReport::compare(&prediction, &measured, 0.578)
     }
 

@@ -80,7 +80,10 @@ mod tests {
         // Table 3 reports 5.4 / 7.2 / 10.6; the exact 100 MHz figure is 7.148,
         // which the paper rounds up.
         for (got, want) in speedups.iter().zip([5.4, 7.2, 10.6]) {
-            assert!((got - want).abs() < 0.06, "speedup {got} vs Table 3's {want}");
+            assert!(
+                (got - want).abs() < 0.06,
+                "speedup {got} vs Table 3's {want}"
+            );
         }
     }
 

@@ -12,17 +12,17 @@ use rat_core::{multifpga, solve, streaming, throughput, utilization};
 /// Strategy: a valid worksheet input across wide parameter ranges.
 fn worksheet() -> impl Strategy<Value = RatInput> {
     (
-        1u64..100_000,             // elements_in
-        0u64..100_000,             // elements_out
-        1u64..64,                  // bytes per element
-        1.0e8..1.0e10,             // ideal bandwidth
-        0.01f64..1.0,              // alpha_write
-        0.01f64..1.0,              // alpha_read
-        1.0f64..1.0e6,             // ops per element
-        0.1f64..1000.0,            // throughput_proc
-        1.0e7..1.0e9,              // fclock
-        1.0e-3..1.0e4,             // t_soft
-        1u64..10_000,              // iterations
+        1u64..100_000,  // elements_in
+        0u64..100_000,  // elements_out
+        1u64..64,       // bytes per element
+        1.0e8..1.0e10,  // ideal bandwidth
+        0.01f64..1.0,   // alpha_write
+        0.01f64..1.0,   // alpha_read
+        1.0f64..1.0e6,  // ops per element
+        0.1f64..1000.0, // throughput_proc
+        1.0e7..1.0e9,   // fclock
+        1.0e-3..1.0e4,  // t_soft
+        1u64..10_000,   // iterations
         prop_oneof![Just(Buffering::Single), Just(Buffering::Double)],
     )
         .prop_map(
@@ -33,9 +33,20 @@ fn worksheet() -> impl Strategy<Value = RatInput> {
                     elements_out: eout,
                     bytes_per_element: bpe,
                 },
-                comm: CommParams { ideal_bandwidth: bw, alpha_write: aw, alpha_read: ar },
-                comp: CompParams { ops_per_element: ops, throughput_proc: tp, fclock: f },
-                software: SoftwareParams { t_soft: tsoft, iterations: iters },
+                comm: CommParams {
+                    ideal_bandwidth: bw,
+                    alpha_write: aw,
+                    alpha_read: ar,
+                },
+                comp: CompParams {
+                    ops_per_element: ops,
+                    throughput_proc: tp,
+                    fclock: f,
+                },
+                software: SoftwareParams {
+                    t_soft: tsoft,
+                    iterations: iters,
+                },
                 buffering,
             },
         )

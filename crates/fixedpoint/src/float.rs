@@ -34,7 +34,10 @@ impl MiniFloat {
             (1..=52).contains(&mant_bits),
             "mant_bits must be in 1..=52, got {mant_bits}"
         );
-        Self { exp_bits, mant_bits }
+        Self {
+            exp_bits,
+            mant_bits,
+        }
     }
 
     /// IEEE-754 binary32 (the paper's "32-bit floating point" candidate).
@@ -116,7 +119,13 @@ impl MiniFloat {
 
 impl fmt::Display for MiniFloat {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "fp{}(e{}m{})", self.total_bits(), self.exp_bits, self.mant_bits)
+        write!(
+            f,
+            "fp{}(e{}m{})",
+            self.total_bits(),
+            self.exp_bits,
+            self.mant_bits
+        )
     }
 }
 
@@ -129,7 +138,10 @@ mod tests {
         let fmt = MiniFloat::binary32();
         for v in [1.0f32, -0.375, std::f32::consts::PI, 1e-20, 6.5e37] {
             let q = fmt.quantize(v as f64);
-            assert_eq!(q as f32, v, "binary32 quantization should match f32 for {v}");
+            assert_eq!(
+                q as f32, v,
+                "binary32 quantization should match f32 for {v}"
+            );
         }
     }
 
@@ -165,7 +177,10 @@ mod tests {
         // Representable as a subnormal, but with reduced resolution.
         assert!(q > 0.0);
         let rel = ((q - tiny) / tiny).abs();
-        assert!(rel <= 0.25, "subnormal error should stay bounded, got {rel}");
+        assert!(
+            rel <= 0.25,
+            "subnormal error should stay bounded, got {rel}"
+        );
     }
 
     #[test]

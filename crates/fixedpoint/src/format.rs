@@ -88,7 +88,11 @@ impl QFormat {
                 "total width {total} exceeds the supported maximum of {MAX_TOTAL_BITS} bits"
             )));
         }
-        Ok(Self { signed, int_bits, frac_bits })
+        Ok(Self {
+            signed,
+            int_bits,
+            frac_bits,
+        })
     }
 
     /// Whether the format has a sign bit.
@@ -191,10 +195,12 @@ impl std::str::FromStr for QFormat {
         let (i, f) = rest
             .split_once('.')
             .ok_or_else(|| FormatError(format!("'{s}' needs an int.frac pair")))?;
-        let int_bits: u32 =
-            i.parse().map_err(|e| FormatError(format!("bad integer bits in '{s}': {e}")))?;
-        let frac_bits: u32 =
-            f.parse().map_err(|e| FormatError(format!("bad fractional bits in '{s}': {e}")))?;
+        let int_bits: u32 = i
+            .parse()
+            .map_err(|e| FormatError(format!("bad integer bits in '{s}': {e}")))?;
+        let frac_bits: u32 = f
+            .parse()
+            .map_err(|e| FormatError(format!("bad fractional bits in '{s}': {e}")))?;
         Self::new(signed, int_bits, frac_bits)
     }
 }

@@ -18,7 +18,11 @@ pub struct RangeAnalysis {
 
 impl Default for RangeAnalysis {
     fn default() -> Self {
-        Self { min: f64::INFINITY, max: f64::NEG_INFINITY, count: 0 }
+        Self {
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            count: 0,
+        }
     }
 }
 

@@ -79,7 +79,11 @@ where
         }
     }
     sweep.sort_by_key(|&(bits, _)| std::cmp::Reverse(bits));
-    Some(SearchResult { format: best_fmt, stats: best_stats, sweep })
+    Some(SearchResult {
+        format: best_fmt,
+        stats: best_stats,
+        sweep,
+    })
 }
 
 /// Exhaustive sweep of fractional widths `lo..=hi`, returning

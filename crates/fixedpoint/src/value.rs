@@ -25,7 +25,10 @@ impl Fx {
 
     /// Construct from a raw integer, fitted to `fmt` under `policy`.
     pub fn from_raw(raw: i64, fmt: QFormat, policy: Overflow) -> Self {
-        Self { raw: fmt.fit_raw(raw, policy), fmt }
+        Self {
+            raw: fmt.fit_raw(raw, policy),
+            fmt,
+        }
     }
 
     /// Quantize an `f64` into `fmt`.
@@ -37,7 +40,11 @@ impl Fx {
             return Self::zero(fmt);
         }
         if value.is_infinite() {
-            let raw = if value > 0.0 { fmt.raw_max() } else { fmt.raw_min() };
+            let raw = if value > 0.0 {
+                fmt.raw_max()
+            } else {
+                fmt.raw_min()
+            };
             return Self { raw, fmt };
         }
         let scaled = value * (2.0f64).powi(fmt.frac_bits() as i32);
@@ -246,9 +253,18 @@ mod tests {
     #[test]
     fn quantization_floor_vs_ceil() {
         let fmt = q(3, 2);
-        assert_eq!(Fx::from_f64(1.1, fmt, Rounding::Floor, Overflow::Saturate).to_f64(), 1.0);
-        assert_eq!(Fx::from_f64(1.1, fmt, Rounding::Ceil, Overflow::Saturate).to_f64(), 1.25);
-        assert_eq!(Fx::from_f64(-1.1, fmt, Rounding::Floor, Overflow::Saturate).to_f64(), -1.25);
+        assert_eq!(
+            Fx::from_f64(1.1, fmt, Rounding::Floor, Overflow::Saturate).to_f64(),
+            1.0
+        );
+        assert_eq!(
+            Fx::from_f64(1.1, fmt, Rounding::Ceil, Overflow::Saturate).to_f64(),
+            1.25
+        );
+        assert_eq!(
+            Fx::from_f64(-1.1, fmt, Rounding::Floor, Overflow::Saturate).to_f64(),
+            -1.25
+        );
         assert_eq!(
             Fx::from_f64(-1.1, fmt, Rounding::TowardZero, Overflow::Saturate).to_f64(),
             -1.0
@@ -258,20 +274,35 @@ mod tests {
     #[test]
     fn saturation_on_conversion() {
         let fmt = q(1, 2); // range [-2, 1.75]
-        assert_eq!(Fx::from_f64(5.0, fmt, Rounding::Nearest, Overflow::Saturate).to_f64(), 1.75);
-        assert_eq!(Fx::from_f64(-5.0, fmt, Rounding::Nearest, Overflow::Saturate).to_f64(), -2.0);
+        assert_eq!(
+            Fx::from_f64(5.0, fmt, Rounding::Nearest, Overflow::Saturate).to_f64(),
+            1.75
+        );
+        assert_eq!(
+            Fx::from_f64(-5.0, fmt, Rounding::Nearest, Overflow::Saturate).to_f64(),
+            -2.0
+        );
     }
 
     #[test]
     fn nan_and_infinities() {
         let fmt = q(1, 2);
-        assert_eq!(Fx::from_f64(f64::NAN, fmt, Rounding::Nearest, Overflow::Saturate).to_f64(), 0.0);
+        assert_eq!(
+            Fx::from_f64(f64::NAN, fmt, Rounding::Nearest, Overflow::Saturate).to_f64(),
+            0.0
+        );
         assert_eq!(
             Fx::from_f64(f64::INFINITY, fmt, Rounding::Nearest, Overflow::Saturate).to_f64(),
             fmt.max_value()
         );
         assert_eq!(
-            Fx::from_f64(f64::NEG_INFINITY, fmt, Rounding::Nearest, Overflow::Saturate).to_f64(),
+            Fx::from_f64(
+                f64::NEG_INFINITY,
+                fmt,
+                Rounding::Nearest,
+                Overflow::Saturate
+            )
+            .to_f64(),
             fmt.min_value()
         );
     }
@@ -306,7 +337,10 @@ mod tests {
         let fmt = q(3, 4);
         let a = Fx::from_f64(1.5, fmt, Rounding::Nearest, Overflow::Saturate);
         let b = Fx::from_f64(2.5, fmt, Rounding::Nearest, Overflow::Saturate);
-        assert_eq!(a.mul(b, Rounding::Nearest, Overflow::Saturate).to_f64(), 3.75);
+        assert_eq!(
+            a.mul(b, Rounding::Nearest, Overflow::Saturate).to_f64(),
+            3.75
+        );
     }
 
     #[test]
@@ -326,7 +360,10 @@ mod tests {
         let a = Fx::from_f64(0.5, fmt, Rounding::Nearest, Overflow::Saturate);
         let b = Fx::from_f64(3.25, fmt, Rounding::Nearest, Overflow::Saturate);
         let via_mac = acc.mac(a, b, Rounding::Nearest, Overflow::Saturate);
-        let via_two = acc.add(a.mul(b, Rounding::Nearest, Overflow::Saturate), Overflow::Saturate);
+        let via_two = acc.add(
+            a.mul(b, Rounding::Nearest, Overflow::Saturate),
+            Overflow::Saturate,
+        );
         assert_eq!(via_mac, via_two);
     }
 

@@ -9,7 +9,6 @@ fn signed_format() -> impl Strategy<Value = QFormat> {
     (0u32..8, 1u32..30).prop_map(|(i, f)| QFormat::signed(i, f).expect("valid"))
 }
 
-
 proptest! {
     /// Round-to-nearest quantization error never exceeds half a ULP for
     /// in-range values.

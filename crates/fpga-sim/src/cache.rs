@@ -1,0 +1,441 @@
+//! Memoization of platform executions.
+//!
+//! The analysis engine re-simulates the same `(platform, kernel, workload,
+//! clock)` point constantly: a sweep and a sensitivity probe share their
+//! baseline, a Monte-Carlo draw can repeat a degenerate range, and
+//! `reproduce all` renders several tables off one case-study design. A
+//! [`SimCache`] keyed by [`crate::digest::run_key`] makes each distinct run
+//! cost one simulation.
+//!
+//! The cached value is a [`SimSummary`] — the scalar measurements every
+//! analysis consumes — not a full [`Measurement`]: the execution
+//! [`crate::trace::Trace`] is per-event and only wanted when a caller
+//! explicitly asks to see a schedule, which goes through
+//! [`crate::platform::Platform::execute`] uncached.
+//!
+//! By default the cache lives in memory only, so tests stay hermetic and a
+//! simulator change can never be masked by stale results on disk. The CLI
+//! opts into persistence with [`SimCache::persist_at`] (or the
+//! `RAT_SIM_CACHE` environment variable), which snapshots the cache to a TSV
+//! file after each insert via an atomic temp-file rename.
+
+use crate::platform::Measurement;
+use crate::time::SimTime;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// The scalar results of one platform execution — [`Measurement`] minus the
+/// per-event trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimSummary {
+    /// End-to-end execution time (makespan), the paper's measured `t_RC`.
+    pub total: SimTime,
+    /// Blocking channel occupancy (the paper's "actual" `t_comm`).
+    pub comm_busy: SimTime,
+    /// Channel occupancy of streamed (compute-overlapped) outputs.
+    pub streamed_comm: SimTime,
+    /// FPGA kernel occupancy (the paper's "actual" `t_comp`).
+    pub compute_busy: SimTime,
+    /// Host overhead not attributed to comm or comp.
+    pub host_overhead: SimTime,
+    /// Iterations executed.
+    pub iterations: u64,
+}
+
+impl SimSummary {
+    /// Mean blocking communication time per iteration.
+    pub fn comm_per_iter(&self) -> SimTime {
+        SimTime::from_ps(self.comm_busy.as_ps() / self.iterations)
+    }
+
+    /// Mean computation time per iteration.
+    pub fn comp_per_iter(&self) -> SimTime {
+        SimTime::from_ps(self.compute_busy.as_ps() / self.iterations)
+    }
+
+    /// Fraction of the makespan the channel was (blockingly) busy.
+    pub fn channel_utilization(&self) -> f64 {
+        self.comm_busy.as_secs_f64() / self.total.as_secs_f64()
+    }
+
+    /// Fraction of the makespan the compute fabric was busy.
+    pub fn compute_utilization(&self) -> f64 {
+        self.compute_busy.as_secs_f64() / self.total.as_secs_f64()
+    }
+}
+
+impl From<&Measurement> for SimSummary {
+    fn from(m: &Measurement) -> Self {
+        SimSummary {
+            total: m.total,
+            comm_busy: m.comm_busy,
+            streamed_comm: m.streamed_comm,
+            compute_busy: m.compute_busy,
+            host_overhead: m.host_overhead,
+            iterations: m.iterations,
+        }
+    }
+}
+
+/// Cache hit/miss counters at a point in time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to a simulation.
+    pub misses: u64,
+    /// Entries currently stored.
+    pub entries: u64,
+}
+
+impl CacheStats {
+    /// Hits as a fraction of all lookups (0 when no lookups happened).
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.hits + self.misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / lookups as f64
+        }
+    }
+}
+
+/// A concurrent, content-addressed store of simulation results.
+pub struct SimCache {
+    map: Mutex<HashMap<u128, SimSummary>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    enabled: AtomicBool,
+    disk: Mutex<Option<PathBuf>>,
+}
+
+impl SimCache {
+    /// An empty, enabled, in-memory cache.
+    pub fn new() -> Self {
+        SimCache {
+            map: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            enabled: AtomicBool::new(true),
+            disk: Mutex::new(None),
+        }
+    }
+
+    /// The process-wide cache.
+    ///
+    /// Honors `RAT_SIM_CACHE` on first access: `off`/`0` disables the cache,
+    /// any other non-empty value is a path to persist it at.
+    pub fn global() -> &'static SimCache {
+        static GLOBAL: OnceLock<SimCache> = OnceLock::new();
+        GLOBAL.get_or_init(|| {
+            let cache = SimCache::new();
+            match std::env::var("RAT_SIM_CACHE") {
+                Ok(v) if v == "off" || v == "0" => cache.set_enabled(false),
+                Ok(v) if !v.is_empty() => cache.persist_at(PathBuf::from(v)),
+                _ => {}
+            }
+            cache
+        })
+    }
+
+    /// Turn lookups and inserts on or off. Disabling does not drop stored
+    /// entries; re-enabling sees them again.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether the cache currently answers lookups.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Persist the cache at `path`: load any entries a previous process left
+    /// there, and snapshot the full cache back after each insert (atomic
+    /// temp-file + rename, so a concurrent reader never sees a torn file).
+    /// Unreadable or malformed existing files are ignored — the cache is an
+    /// accelerator, never a correctness dependency.
+    pub fn persist_at(&self, path: PathBuf) {
+        if let Some(loaded) = read_tsv(&path) {
+            let mut map = self.map.lock().unwrap();
+            for (k, v) in loaded {
+                map.entry(k).or_insert(v);
+            }
+        }
+        *self.disk.lock().unwrap() = Some(path);
+    }
+
+    /// Look up a run key, counting the outcome. Disabled caches miss silently
+    /// without counting.
+    pub fn lookup(&self, key: u128) -> Option<SimSummary> {
+        if !self.is_enabled() {
+            return None;
+        }
+        let found = self.map.lock().unwrap().get(&key).copied();
+        match found {
+            Some(s) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(s)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Store a result. No-op when disabled.
+    pub fn insert(&self, key: u128, summary: SimSummary) {
+        if !self.is_enabled() {
+            return;
+        }
+        let snapshot = {
+            let mut map = self.map.lock().unwrap();
+            map.insert(key, summary);
+            let disk = self.disk.lock().unwrap();
+            disk.as_ref().map(|path| {
+                let rows: Vec<(u128, SimSummary)> = map.iter().map(|(k, v)| (*k, *v)).collect();
+                (path.clone(), rows)
+            })
+        };
+        if let Some((path, rows)) = snapshot {
+            // Failure to write is a lost optimization, not an error.
+            let _ = write_tsv(&path, &rows);
+        }
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.map.lock().unwrap().len() as u64,
+        }
+    }
+
+    /// Zero the hit/miss counters (entries are kept). Lets a caller measure
+    /// one analysis pass in isolation.
+    pub fn reset_stats(&self) {
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+
+    /// Drop all stored entries and zero the counters.
+    pub fn clear(&self) {
+        self.map.lock().unwrap().clear();
+        self.reset_stats();
+    }
+}
+
+impl Default for SimCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+// Disk format: one `key_hex \t total \t comm \t streamed \t comp \t host \t
+// iters` row per entry, all times in integer picoseconds. Human-greppable and
+// trivially versioned by the schema salt already folded into every key.
+fn write_tsv(path: &Path, rows: &[(u128, SimSummary)]) -> std::io::Result<()> {
+    let mut body = String::with_capacity(rows.len() * 64);
+    for (k, s) in rows {
+        body.push_str(&format!(
+            "{:032x}\t{}\t{}\t{}\t{}\t{}\t{}\n",
+            k,
+            s.total.as_ps(),
+            s.comm_busy.as_ps(),
+            s.streamed_comm.as_ps(),
+            s.compute_busy.as_ps(),
+            s.host_overhead.as_ps(),
+            s.iterations,
+        ));
+    }
+    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+    std::fs::write(&tmp, body)?;
+    std::fs::rename(&tmp, path)
+}
+
+fn read_tsv(path: &Path) -> Option<Vec<(u128, SimSummary)>> {
+    let body = std::fs::read_to_string(path).ok()?;
+    let mut rows = Vec::new();
+    for line in body.lines() {
+        let mut f = line.split('\t');
+        let key = u128::from_str_radix(f.next()?, 16).ok()?;
+        let mut ps = || f.next()?.parse::<u64>().ok();
+        let summary = SimSummary {
+            total: SimTime::from_ps(ps()?),
+            comm_busy: SimTime::from_ps(ps()?),
+            streamed_comm: SimTime::from_ps(ps()?),
+            compute_busy: SimTime::from_ps(ps()?),
+            host_overhead: SimTime::from_ps(ps()?),
+            iterations: ps()?,
+        };
+        rows.push((key, summary));
+    }
+    Some(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+    use crate::digest::run_key;
+    use crate::kernel::TabulatedKernel;
+    use crate::platform::{AppRun, Platform};
+
+    fn sample_run() -> AppRun {
+        AppRun::builder()
+            .iterations(8)
+            .elements_per_iter(512)
+            .input_bytes_per_iter(2048)
+            .output_bytes_per_iter(1024)
+            .build()
+    }
+
+    fn sample_summary(ps: u64) -> SimSummary {
+        SimSummary {
+            total: SimTime::from_ps(ps),
+            comm_busy: SimTime::from_ps(ps / 2),
+            streamed_comm: SimTime::ZERO,
+            compute_busy: SimTime::from_ps(ps / 3),
+            host_overhead: SimTime::ZERO,
+            iterations: 4,
+        }
+    }
+
+    #[test]
+    fn identical_specs_share_a_key_and_hit() {
+        let cache = SimCache::new();
+        let kernel = TabulatedKernel::uniform("k", 100, 8);
+        let a = run_key(&catalog::nallatech_h101(), &kernel, &sample_run(), 150.0e6);
+        let b = run_key(&catalog::nallatech_h101(), &kernel, &sample_run(), 150.0e6);
+        assert_eq!(a, b);
+
+        assert_eq!(cache.lookup(a), None);
+        cache.insert(a, sample_summary(1000));
+        assert_eq!(cache.lookup(b), Some(sample_summary(1000)));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn one_calibration_constant_separates_keys() {
+        // Satellite requirement: PCI-X setup latency +1 ns must produce a
+        // different key — a stale result for a perturbed platform would
+        // silently corrupt every downstream analysis.
+        let cache = SimCache::new();
+        let kernel = TabulatedKernel::uniform("k", 100, 8);
+        let base = catalog::nallatech_h101();
+        let mut bumped = catalog::nallatech_h101();
+        bumped.interconnect.setup_write += SimTime::from_ns(1);
+
+        let kb = run_key(&base, &kernel, &sample_run(), 150.0e6);
+        let kp = run_key(&bumped, &kernel, &sample_run(), 150.0e6);
+        assert_ne!(kb, kp);
+
+        cache.insert(kb, sample_summary(1000));
+        assert_eq!(cache.lookup(kp), None, "perturbed platform must miss");
+        assert_eq!(cache.lookup(kb), Some(sample_summary(1000)));
+    }
+
+    #[test]
+    fn disabled_cache_neither_hits_nor_counts() {
+        let cache = SimCache::new();
+        cache.insert(1, sample_summary(10));
+        cache.set_enabled(false);
+        assert_eq!(cache.lookup(1), None);
+        cache.insert(2, sample_summary(20));
+        assert_eq!(cache.stats().hits + cache.stats().misses, 0);
+        // Entries survive a disable/enable cycle.
+        cache.set_enabled(true);
+        assert_eq!(cache.lookup(1), Some(sample_summary(10)));
+        assert_eq!(cache.lookup(2), None);
+    }
+
+    #[test]
+    fn cached_summary_matches_direct_execution() {
+        let platform = Platform::new(catalog::nallatech_h101());
+        let kernel = TabulatedKernel::uniform("k", 20_000, 8);
+        let run = sample_run();
+        let cache = SimCache::new();
+
+        let cold = platform
+            .execute_summary(&kernel, &run, 150.0e6, Some(&cache))
+            .unwrap();
+        let warm = platform
+            .execute_summary(&kernel, &run, 150.0e6, Some(&cache))
+            .unwrap();
+        let direct = SimSummary::from(&platform.execute(&kernel, &run, 150.0e6).unwrap());
+        assert_eq!(cold, direct);
+        assert_eq!(warm, direct);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    #[test]
+    fn persistence_round_trips_through_tsv() {
+        let dir = std::env::temp_dir().join(format!("rat-sim-cache-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.tsv");
+        let _ = std::fs::remove_file(&path);
+
+        let first = SimCache::new();
+        first.persist_at(path.clone());
+        first.insert(0xABCD, sample_summary(777));
+        first.insert(0x1234, sample_summary(888));
+
+        let second = SimCache::new();
+        second.persist_at(path.clone());
+        assert_eq!(second.lookup(0xABCD), Some(sample_summary(777)));
+        assert_eq!(second.lookup(0x1234), Some(sample_summary(888)));
+
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_dir(&dir);
+    }
+
+    #[test]
+    fn malformed_cache_file_is_ignored() {
+        let dir = std::env::temp_dir().join(format!("rat-sim-cache-bad-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.tsv");
+        std::fs::write(&path, "not\ta\tcache\n").unwrap();
+
+        let cache = SimCache::new();
+        cache.persist_at(path.clone());
+        assert_eq!(cache.stats().entries, 0);
+
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_dir(&dir);
+    }
+
+    #[test]
+    fn summary_helpers_match_measurement_semantics() {
+        let s = SimSummary {
+            total: SimTime::from_ns(450),
+            comm_busy: SimTime::from_ns(150),
+            streamed_comm: SimTime::ZERO,
+            compute_busy: SimTime::from_ns(300),
+            host_overhead: SimTime::ZERO,
+            iterations: 3,
+        };
+        assert_eq!(s.comm_per_iter(), SimTime::from_ns(50));
+        assert_eq!(s.comp_per_iter(), SimTime::from_ns(100));
+        assert!((s.channel_utilization() - 1.0 / 3.0).abs() < 1e-12);
+        assert!((s.compute_utilization() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clear_and_reset() {
+        let cache = SimCache::new();
+        cache.insert(1, sample_summary(10));
+        cache.lookup(1);
+        cache.lookup(2);
+        cache.reset_stats();
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (0, 0, 1));
+        cache.clear();
+        assert_eq!(cache.stats().entries, 0);
+    }
+}

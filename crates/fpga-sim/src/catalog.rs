@@ -136,14 +136,20 @@ mod tests {
         // Documented microbenchmark result: 2048 B write at alpha 0.37 of
         // 1 GB/s = 5.54 us end to end.
         let t = ic.transfer_time(2048, Direction::Write).as_secs_f64();
-        assert!((t - 5.54e-6).abs() / 5.54e-6 < 0.02, "write time {t:.3e} not ~5.54 us");
+        assert!(
+            (t - 5.54e-6).abs() / 5.54e-6 < 0.02,
+            "write time {t:.3e} not ~5.54 us"
+        );
     }
 
     #[test]
     fn nallatech_2kb_read_matches_measured_alpha() {
         let ic = nallatech_h101().interconnect;
         let t = ic.transfer_time(2048, Direction::Read).as_secs_f64();
-        assert!((t - 12.8e-6).abs() / 12.8e-6 < 0.02, "read time {t:.3e} not ~12.8 us");
+        assert!(
+            (t - 12.8e-6).abs() / 12.8e-6 < 0.02,
+            "read time {t:.3e} not ~12.8 us"
+        );
     }
 
     #[test]
@@ -152,15 +158,23 @@ mod tests {
         let t = ic.transfer_time(262_144, Direction::Read).as_secs_f64();
         let alpha_model = 262_144.0 / (0.16 * 1.0e9); // what RAT predicts from the 2 KB alpha
         let ratio = t / alpha_model;
-        assert!((5.0..7.0).contains(&ratio), "256 KB read ratio {ratio:.2} not ~6x");
+        assert!(
+            (5.0..7.0).contains(&ratio),
+            "256 KB read ratio {ratio:.2} not ~6x"
+        );
     }
 
     #[test]
     fn xd1000_md_input_transfer_near_paper_measurement() {
         let ic = xd1000().interconnect;
         // Table 9 actual: 1.39e-3 s for the 16384-molecule, 36 B/elt input.
-        let t = ic.transfer_time(16_384 * 36, Direction::Write).as_secs_f64();
-        assert!((t - 1.39e-3).abs() / 1.39e-3 < 0.02, "MD input transfer {t:.3e} not ~1.39 ms");
+        let t = ic
+            .transfer_time(16_384 * 36, Direction::Write)
+            .as_secs_f64();
+        assert!(
+            (t - 1.39e-3).abs() / 1.39e-3 < 0.02,
+            "MD input transfer {t:.3e} not ~1.39 ms"
+        );
     }
 
     #[test]

@@ -39,7 +39,9 @@ impl AlphaCurve {
             efficiency > 0.0 && efficiency <= 1.0,
             "efficiency must be in (0, 1], got {efficiency}"
         );
-        Self { points: vec![(1, efficiency)] }
+        Self {
+            points: vec![(1, efficiency)],
+        }
     }
 
     /// Build from `(payload_bytes, efficiency)` breakpoints.
@@ -49,13 +51,24 @@ impl AlphaCurve {
     pub fn from_points(points: Vec<(u64, f64)>) -> Self {
         assert!(!points.is_empty(), "AlphaCurve needs at least one point");
         for w in points.windows(2) {
-            assert!(w[0].0 < w[1].0, "AlphaCurve sizes must be strictly increasing");
+            assert!(
+                w[0].0 < w[1].0,
+                "AlphaCurve sizes must be strictly increasing"
+            );
         }
         for &(size, eff) in &points {
             assert!(size > 0, "AlphaCurve sizes must be positive");
-            assert!(eff > 0.0 && eff <= 1.0, "efficiency must be in (0, 1], got {eff}");
+            assert!(
+                eff > 0.0 && eff <= 1.0,
+                "efficiency must be in (0, 1], got {eff}"
+            );
         }
         Self { points }
+    }
+
+    /// The `(payload_bytes, efficiency)` breakpoints defining this curve.
+    pub fn points(&self) -> &[(u64, f64)] {
+        &self.points
     }
 
     /// Sustained efficiency for a transfer of `bytes`.

@@ -21,13 +21,21 @@ pub struct Batch {
 /// FPGA-side compute behaviour: cycles needed per batch.
 ///
 /// Implementations must be deterministic in `batch` (the platform may re-run
-/// batches when comparing buffering modes).
-pub trait HardwareKernel {
+/// batches when comparing buffering modes). The `Send + Sync` bound makes
+/// every kernel shareable across the analysis engine's worker threads, and
+/// [`HardwareKernel::spec_digest`] makes its behaviour content-addressable so
+/// simulator runs can be memoized.
+pub trait HardwareKernel: Send + Sync {
     /// Kernel name for traces and reports.
     fn name(&self) -> &str;
 
     /// Clock cycles to process `batch`, including pipeline fill/drain and stalls.
     fn batch_cycles(&self, batch: &Batch) -> u64;
+
+    /// Content digest of the kernel's full cycle behaviour: two kernels with
+    /// equal digests must return equal `batch_cycles` for every batch. Feeds
+    /// the simulator's memoization key ([`crate::digest::run_key`]).
+    fn spec_digest(&self) -> u128;
 }
 
 /// A kernel whose per-batch cycle counts were measured or precomputed.
@@ -45,8 +53,14 @@ impl TabulatedKernel {
     ///
     /// Panics on an empty table: a kernel must cost something.
     pub fn new(name: impl Into<String>, cycles: Vec<u64>) -> Self {
-        assert!(!cycles.is_empty(), "TabulatedKernel needs at least one cycle count");
-        Self { name: name.into(), cycles }
+        assert!(
+            !cycles.is_empty(),
+            "TabulatedKernel needs at least one cycle count"
+        );
+        Self {
+            name: name.into(),
+            cycles,
+        }
     }
 
     /// A kernel taking the same `cycles` on each of `batches` batches.
@@ -69,6 +83,17 @@ impl HardwareKernel for TabulatedKernel {
         let i = (batch.index as usize).min(self.cycles.len() - 1);
         self.cycles[i]
     }
+
+    fn spec_digest(&self) -> u128 {
+        let mut d = crate::digest::SpecDigest::new();
+        d.write_str("tabulated");
+        d.write_str(&self.name);
+        d.write_u64(self.cycles.len() as u64);
+        for &c in &self.cycles {
+            d.write_u64(c);
+        }
+        d.finish()
+    }
 }
 
 impl<K: HardwareKernel + ?Sized> HardwareKernel for &K {
@@ -79,6 +104,10 @@ impl<K: HardwareKernel + ?Sized> HardwareKernel for &K {
     fn batch_cycles(&self, batch: &Batch) -> u64 {
         (**self).batch_cycles(batch)
     }
+
+    fn spec_digest(&self) -> u128 {
+        (**self).spec_digest()
+    }
 }
 
 #[cfg(test)]
@@ -86,7 +115,11 @@ mod tests {
     use super::*;
 
     fn batch(index: u64) -> Batch {
-        Batch { index, elements: 512, bytes: 2048 }
+        Batch {
+            index,
+            elements: 512,
+            bytes: 2048,
+        }
     }
 
     #[test]

@@ -54,7 +54,9 @@
 
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod catalog;
+pub mod digest;
 pub mod host;
 pub mod interconnect;
 pub mod kernel;
@@ -65,6 +67,8 @@ pub mod queue;
 pub mod time;
 pub mod trace;
 
+pub use cache::{CacheStats, SimCache, SimSummary};
+pub use digest::{run_key, SpecDigest};
 pub use interconnect::{AlphaCurve, Direction, Interconnect};
 pub use kernel::{Batch, HardwareKernel, TabulatedKernel};
 pub use pipeline::{PipelineSpec, PipelinedKernel, StallModel};

@@ -117,8 +117,11 @@ mod tests {
 
     #[test]
     fn alpha_never_exceeds_one() {
-        for spec in [catalog::nallatech_h101(), catalog::xd1000(), catalog::generic_pcie_gen2_x8()]
-        {
+        for spec in [
+            catalog::nallatech_h101(),
+            catalog::xd1000(),
+            catalog::generic_pcie_gen2_x8(),
+        ] {
             for s in alpha_table(&spec.interconnect, &standard_sizes()) {
                 assert!(s.alpha_write <= 1.0 && s.alpha_write > 0.0);
                 assert!(s.alpha_read <= 1.0 && s.alpha_read > 0.0);
@@ -133,7 +136,10 @@ mod tests {
         let ic = catalog::xd1000().interconnect;
         let a1 = measure_alpha(&ic, 1024).alpha_write;
         let a2 = measure_alpha(&ic, 65536).alpha_write;
-        assert!(a2 > a1, "alpha at 64 KB ({a2:.3}) should exceed alpha at 1 KB ({a1:.3})");
+        assert!(
+            a2 > a1,
+            "alpha at 64 KB ({a2:.3}) should exceed alpha at 1 KB ({a1:.3})"
+        );
     }
 
     #[test]

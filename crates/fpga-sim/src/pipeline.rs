@@ -40,7 +40,10 @@ impl StallModel {
         match *self {
             StallModel::None => {}
             StallModel::PerElement { cycles } => {
-                assert!(cycles >= 0.0 && cycles.is_finite(), "stall cycles must be >= 0");
+                assert!(
+                    cycles >= 0.0 && cycles.is_finite(),
+                    "stall cycles must be >= 0"
+                );
             }
             StallModel::Efficiency { efficiency } => {
                 assert!(
@@ -80,16 +83,15 @@ impl PipelineSpec {
     pub fn cycles(&self, total_ops: u64, elements: u64) -> u64 {
         self.stall.validate();
         let peak = self.peak_ops_per_cycle() as u64;
-        assert!(peak > 0, "pipeline must have at least one lane and one op/cycle");
+        assert!(
+            peak > 0,
+            "pipeline must have at least one lane and one op/cycle"
+        );
         let steady = total_ops.div_ceil(peak);
         let stalled = match self.stall {
             StallModel::None => steady,
-            StallModel::PerElement { cycles } => {
-                steady + (cycles * elements as f64).round() as u64
-            }
-            StallModel::Efficiency { efficiency } => {
-                (steady as f64 / efficiency).ceil() as u64
-            }
+            StallModel::PerElement { cycles } => steady + (cycles * elements as f64).round() as u64,
+            StallModel::Efficiency { efficiency } => (steady as f64 / efficiency).ceil() as u64,
         };
         self.fill_latency + stalled + self.drain_latency
     }
@@ -122,7 +124,11 @@ impl PipelinedKernel {
     pub fn new(name: impl Into<String>, spec: PipelineSpec, ops_per_element: u64) -> Self {
         spec.stall.validate();
         assert!(ops_per_element > 0, "ops_per_element must be positive");
-        Self { name: name.into(), spec, ops_per_element }
+        Self {
+            name: name.into(),
+            spec,
+            ops_per_element,
+        }
     }
 
     /// The underlying pipeline description.
@@ -142,7 +148,31 @@ impl HardwareKernel for PipelinedKernel {
     }
 
     fn batch_cycles(&self, batch: &Batch) -> u64 {
-        self.spec.cycles(self.ops_per_element * batch.elements, batch.elements)
+        self.spec
+            .cycles(self.ops_per_element * batch.elements, batch.elements)
+    }
+
+    fn spec_digest(&self) -> u128 {
+        let mut d = crate::digest::SpecDigest::new();
+        d.write_str("pipelined");
+        d.write_str(&self.name);
+        d.write_u64(self.spec.lanes as u64);
+        d.write_u64(self.spec.ops_per_lane_cycle as u64);
+        d.write_u64(self.spec.fill_latency);
+        d.write_u64(self.spec.drain_latency);
+        match self.spec.stall {
+            StallModel::None => d.write_tag(0),
+            StallModel::PerElement { cycles } => {
+                d.write_tag(1);
+                d.write_f64(cycles);
+            }
+            StallModel::Efficiency { efficiency } => {
+                d.write_tag(2);
+                d.write_f64(efficiency);
+            }
+        }
+        d.write_u64(self.ops_per_element);
+        d.finish()
     }
 }
 
@@ -220,14 +250,25 @@ mod tests {
             "calibrated cycles {cycles} drifted from the paper's 20850"
         );
         let eff = spec.effective_ops_per_cycle(512 * 768, 512);
-        assert!(eff > 18.0 && eff < 20.0, "effective ops/cycle {eff} out of band");
+        assert!(
+            eff > 18.0 && eff < 20.0,
+            "effective ops/cycle {eff} out of band"
+        );
     }
 
     #[test]
     fn pipelined_kernel_uses_batch_elements() {
         let k = PipelinedKernel::new("k", pdf1d_spec(), 768);
-        let small = k.batch_cycles(&Batch { index: 0, elements: 256, bytes: 1024 });
-        let large = k.batch_cycles(&Batch { index: 0, elements: 512, bytes: 2048 });
+        let small = k.batch_cycles(&Batch {
+            index: 0,
+            elements: 256,
+            bytes: 1024,
+        });
+        let large = k.batch_cycles(&Batch {
+            index: 0,
+            elements: 512,
+            bytes: 2048,
+        });
         assert!(large > small);
         assert_eq!(k.ops_per_element(), 768);
         assert_eq!(k.spec().lanes, 8);

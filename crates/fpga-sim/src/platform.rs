@@ -305,6 +305,37 @@ impl Platform {
         }
         Ok(sim.finish())
     }
+
+    /// Execute `run`, memoized through `cache` when one is given: a content
+    /// hash of `(platform spec, kernel spec, run, fclock)` keys the lookup,
+    /// so a repeated point costs a hash instead of a simulation. A cache hit
+    /// skips input validation too — the hit proves an identical run already
+    /// validated and executed. Returns the scalar [`SimSummary`] (the full
+    /// trace is only produced by [`Platform::execute`]).
+    pub fn execute_summary<K: HardwareKernel + ?Sized>(
+        &self,
+        kernel: &K,
+        run: &AppRun,
+        fclock_hz: f64,
+        cache: Option<&crate::cache::SimCache>,
+    ) -> Result<crate::cache::SimSummary, ExecError> {
+        let key = cache.map(|c| {
+            (
+                c,
+                crate::digest::run_key(&self.spec, kernel, run, fclock_hz),
+            )
+        });
+        if let Some((c, k)) = key {
+            if let Some(hit) = c.lookup(k) {
+                return Ok(hit);
+            }
+        }
+        let summary = crate::cache::SimSummary::from(&self.execute(kernel, run, fclock_hz)?);
+        if let Some((c, k)) = key {
+            c.insert(k, summary);
+        }
+        Ok(summary)
+    }
 }
 
 /// Scheduler state for one execution.
@@ -419,14 +450,16 @@ impl<'a, K: HardwareKernel + ?Sized> Sim<'a, K> {
                     let dur = self.xfer(self.run.input_bytes_per_iter, Direction::Write);
                     self.channel_free = false;
                     let now = self.q.now();
-                    self.trace.record(Resource::Comm, format!("R{}", iter + 1), now, now + dur);
+                    self.trace
+                        .record(Resource::Comm, format!("R{}", iter + 1), now, now + dur);
                     self.q.schedule_after(dur, Ev::InputDone { iter, dur });
                     progressed = true;
                 } else if let Some(iter) = self.pending_outputs.pop_front() {
                     let dur = self.xfer(self.run.output_bytes_per_iter, Direction::Read);
                     self.channel_free = false;
                     let now = self.q.now();
-                    self.trace.record(Resource::Comm, format!("W{}", iter + 1), now, now + dur);
+                    self.trace
+                        .record(Resource::Comm, format!("W{}", iter + 1), now, now + dur);
                     self.q.schedule_after(dur, Ev::OutputDone { dur });
                     progressed = true;
                 } else if self.ready_for_final_read() {
@@ -462,9 +495,11 @@ impl<'a, K: HardwareKernel + ?Sized> Sim<'a, K> {
                 let cycles = self.kernel.batch_cycles(&batch);
                 let dur = SimTime::from_cycles(cycles, self.fclock);
                 let now = self.q.now();
-                self.trace.record(Resource::Comp, format!("C{}", iter + 1), now, now + dur);
+                self.trace
+                    .record(Resource::Comp, format!("C{}", iter + 1), now, now + dur);
                 self.compute_busy += dur;
-                self.q.schedule_after(dur, Ev::ComputeDone { iter, start: now });
+                self.q
+                    .schedule_after(dur, Ev::ComputeDone { iter, start: now });
                 progressed = true;
             }
 
@@ -498,7 +533,8 @@ impl<'a, K: HardwareKernel + ?Sized> Sim<'a, K> {
                 let sync = self.spec.host.kernel_sync_overhead;
                 if sync > SimTime::ZERO {
                     let now = self.q.now();
-                    self.trace.record(Resource::Host, format!("S{}", iter + 1), now, now + sync);
+                    self.trace
+                        .record(Resource::Host, format!("S{}", iter + 1), now, now + sync);
                 }
                 self.q.schedule_after(sync, Ev::SyncDone { iter, start });
             }
@@ -554,8 +590,14 @@ impl<'a, K: HardwareKernel + ?Sized> Sim<'a, K> {
     }
 
     fn finish(self) -> Measurement {
-        debug_assert_eq!(self.computes_done, self.run.iterations, "not all batches computed");
-        debug_assert_eq!(self.outputs_done, self.expected_outputs, "not all outputs drained");
+        debug_assert_eq!(
+            self.computes_done, self.run.iterations,
+            "not all batches computed"
+        );
+        debug_assert_eq!(
+            self.outputs_done, self.expected_outputs,
+            "not all outputs drained"
+        );
         Measurement {
             total: self.trace.end(),
             comm_busy: self.comm_busy,
@@ -589,7 +631,7 @@ mod tests {
                 max_dma_bytes: None,
             },
             host: HostModel::IDEAL,
-        reconfiguration: SimTime::ZERO,
+            reconfiguration: SimTime::ZERO,
         }
     }
 
@@ -639,7 +681,11 @@ mod tests {
         // Channel busy continuously after the first input; makespan ≈
         // N*(in+out) + first fill + last compute tail.
         let lower = SimTime::from_ns(10 * 350);
-        assert!(m.total >= lower, "makespan {} below channel bound {lower}", m.total);
+        assert!(
+            m.total >= lower,
+            "makespan {} below channel bound {lower}",
+            m.total
+        );
         // Within one iteration's slack of the bound.
         assert!(m.total <= lower + SimTime::from_ns(350 + 100));
         assert!(m.trace.has_overlap());
@@ -668,11 +714,7 @@ mod tests {
     #[test]
     fn no_output_means_no_write_spans() {
         let m = run_case(BufferMode::Single, 100, 0, 100, 3);
-        assert!(m
-            .trace
-            .spans()
-            .iter()
-            .all(|s| !s.label.starts_with('W')));
+        assert!(m.trace.spans().iter().all(|s| !s.label.starts_with('W')));
         assert_eq!(m.comm_busy, SimTime::from_ns(300));
     }
 
@@ -736,16 +778,28 @@ mod tests {
         let platform = Platform::new(unit_bus());
         let kernel = TabulatedKernel::uniform("k", 1, 1);
         let run = AppRun::builder().iterations(0).build();
-        assert_eq!(platform.execute(&kernel, &run, 1.0e9).unwrap_err(), ExecError::NoIterations);
+        assert_eq!(
+            platform.execute(&kernel, &run, 1.0e9).unwrap_err(),
+            ExecError::NoIterations
+        );
     }
 
     #[test]
     fn bad_clock_rejected() {
         let platform = Platform::new(unit_bus());
         let kernel = TabulatedKernel::uniform("k", 1, 1);
-        let run = AppRun::builder().iterations(1).input_bytes_per_iter(1).build();
-        assert_eq!(platform.execute(&kernel, &run, 0.0).unwrap_err(), ExecError::BadClock);
-        assert_eq!(platform.execute(&kernel, &run, f64::NAN).unwrap_err(), ExecError::BadClock);
+        let run = AppRun::builder()
+            .iterations(1)
+            .input_bytes_per_iter(1)
+            .build();
+        assert_eq!(
+            platform.execute(&kernel, &run, 0.0).unwrap_err(),
+            ExecError::BadClock
+        );
+        assert_eq!(
+            platform.execute(&kernel, &run, f64::NAN).unwrap_err(),
+            ExecError::BadClock
+        );
     }
 
     #[test]
@@ -766,12 +820,18 @@ mod tests {
     fn utilizations_sum_to_one_when_serial_and_overhead_free() {
         let m = run_case(BufferMode::Single, 100, 50, 300, 5);
         let sum = m.channel_utilization() + m.compute_utilization();
-        assert!((sum - 1.0).abs() < 1e-9, "serial schedule should split the makespan, got {sum}");
+        assert!(
+            (sum - 1.0).abs() < 1e-9,
+            "serial schedule should split the makespan, got {sum}"
+        );
     }
 
     #[test]
     fn measurement_eq_error_types() {
-        assert_eq!(ExecError::NoIterations.to_string(), "application run needs at least one iteration");
+        assert_eq!(
+            ExecError::NoIterations.to_string(),
+            "application run needs at least one iteration"
+        );
         assert!(ExecError::BadClock.to_string().contains("positive"));
     }
 
@@ -843,7 +903,11 @@ mod tests {
                 .build();
             platform.execute(&kernel, &run, 1.0e9).unwrap().total
         };
-        assert_eq!(mk(1), mk(8), "one buffer serializes regardless of kernel count");
+        assert_eq!(
+            mk(1),
+            mk(8),
+            "one buffer serializes regardless of kernel count"
+        );
     }
 
     #[test]
@@ -851,7 +915,10 @@ mod tests {
         let platform = Platform::new(unit_bus());
         let kernel = TabulatedKernel::uniform("k", 1, 1);
         let run = AppRun::builder().iterations(1).parallel_kernels(0).build();
-        assert_eq!(platform.execute(&kernel, &run, 1.0e9).unwrap_err(), ExecError::NoKernels);
+        assert_eq!(
+            platform.execute(&kernel, &run, 1.0e9).unwrap_err(),
+            ExecError::NoKernels
+        );
     }
 
     #[test]
@@ -904,14 +971,22 @@ mod tests {
         spec.reconfiguration = SimTime::from_us(100);
         let platform = Platform::new(spec.clone());
         let kernel_short = TabulatedKernel::uniform("k", 1000, 1);
-        let run_short = AppRun::builder().iterations(1).input_bytes_per_iter(100).build();
+        let run_short = AppRun::builder()
+            .iterations(1)
+            .input_bytes_per_iter(100)
+            .build();
         let short = platform.execute(&kernel_short, &run_short, 1.0e9).unwrap();
-        let cfg_share_short =
-            spec.reconfiguration.as_secs_f64() / short.total.as_secs_f64();
-        assert!(cfg_share_short > 0.9, "short run is configuration-dominated");
+        let cfg_share_short = spec.reconfiguration.as_secs_f64() / short.total.as_secs_f64();
+        assert!(
+            cfg_share_short > 0.9,
+            "short run is configuration-dominated"
+        );
 
         let kernel_long = TabulatedKernel::uniform("k", 1000, 10_000);
-        let run_long = AppRun::builder().iterations(10_000).input_bytes_per_iter(100).build();
+        let run_long = AppRun::builder()
+            .iterations(10_000)
+            .input_bytes_per_iter(100)
+            .build();
         let long = platform.execute(&kernel_long, &run_long, 1.0e9).unwrap();
         let cfg_share_long = spec.reconfiguration.as_secs_f64() / long.total.as_secs_f64();
         assert!(cfg_share_long < 0.01, "long run amortizes configuration");

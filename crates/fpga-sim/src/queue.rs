@@ -15,7 +15,10 @@ struct Scheduled<T> {
 // Ties break by insertion order (seq), making the simulation deterministic.
 impl<T> Ord for Scheduled<T> {
     fn cmp(&self, other: &Self) -> Ordering {
-        other.time.cmp(&self.time).then_with(|| other.seq.cmp(&self.seq))
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
     }
 }
 
@@ -52,7 +55,11 @@ impl<T> Default for EventQueue<T> {
 impl<T> EventQueue<T> {
     /// An empty queue at time zero.
     pub fn new() -> Self {
-        Self { heap: BinaryHeap::new(), next_seq: 0, now: SimTime::ZERO }
+        Self {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+        }
     }
 
     /// The current simulation time (the fire time of the last popped event).
@@ -72,7 +79,11 @@ impl<T> EventQueue<T> {
         );
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Scheduled { time: at, seq, payload });
+        self.heap.push(Scheduled {
+            time: at,
+            seq,
+            payload,
+        });
     }
 
     /// Schedule `payload` to fire `delay` after the current time.
@@ -83,7 +94,10 @@ impl<T> EventQueue<T> {
     /// Pop the earliest event, advancing the simulation clock to its fire time.
     pub fn pop(&mut self) -> Option<(SimTime, T)> {
         let ev = self.heap.pop()?;
-        debug_assert!(ev.time >= self.now, "event queue produced a time regression");
+        debug_assert!(
+            ev.time >= self.now,
+            "event queue produced a time regression"
+        );
         self.now = ev.time;
         Some((ev.time, ev.payload))
     }

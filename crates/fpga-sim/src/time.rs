@@ -51,7 +51,10 @@ impl SimTime {
     /// Duration of `cycles` clock cycles at `freq_hz`, rounded to the nearest
     /// picosecond.
     pub fn from_cycles(cycles: u64, freq_hz: f64) -> Self {
-        assert!(freq_hz > 0.0, "clock frequency must be positive, got {freq_hz}");
+        assert!(
+            freq_hz > 0.0,
+            "clock frequency must be positive, got {freq_hz}"
+        );
         Self::from_secs_f64(cycles as f64 / freq_hz)
     }
 
@@ -97,7 +100,11 @@ impl AddAssign for SimTime {
 impl Sub for SimTime {
     type Output = SimTime;
     fn sub(self, rhs: SimTime) -> SimTime {
-        SimTime(self.0.checked_sub(rhs.0).expect("SimTime underflow: rhs later than lhs"))
+        SimTime(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("SimTime underflow: rhs later than lhs"),
+        )
     }
 }
 

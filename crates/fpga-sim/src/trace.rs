@@ -72,7 +72,12 @@ impl Trace {
         end: SimTime,
     ) {
         assert!(end >= start, "span must not end before it starts");
-        self.spans.push(Span { resource, label: label.into(), start, end });
+        self.spans.push(Span {
+            resource,
+            label: label.into(),
+            start,
+            end,
+        });
     }
 
     /// All spans, in recording order.
@@ -93,7 +98,11 @@ impl Trace {
 
     /// The end of the latest span (the makespan), or zero for an empty trace.
     pub fn end(&self) -> SimTime {
-        self.spans.iter().map(|s| s.end).max().unwrap_or(SimTime::ZERO)
+        self.spans
+            .iter()
+            .map(|s| s.end)
+            .max()
+            .unwrap_or(SimTime::ZERO)
     }
 
     /// Whether any `Comm` span overlaps any `Comp` span — i.e. whether the
@@ -272,8 +281,14 @@ mod tests {
         let g = t.render_gantt(60);
         let comm_line = g.lines().find(|l| l.contains("Comm")).unwrap();
         // The busy run should span roughly the full width.
-        let dashes = comm_line.chars().filter(|&c| c == '-' || c == 'R' || c == '1').count();
-        assert!(dashes >= 55, "expected near-full row, got {dashes} in {comm_line:?}");
+        let dashes = comm_line
+            .chars()
+            .filter(|&c| c == '-' || c == 'R' || c == '1')
+            .count();
+        assert!(
+            dashes >= 55,
+            "expected near-full row, got {dashes} in {comm_line:?}"
+        );
     }
 
     #[test]
@@ -311,7 +326,9 @@ mod tests {
 
     #[test]
     fn utilization_profile_edge_cases() {
-        assert!(Trace::new().utilization_profile(Resource::Comp, 8).is_empty());
+        assert!(Trace::new()
+            .utilization_profile(Resource::Comp, 8)
+            .is_empty());
         let mut t = Trace::new();
         t.record(Resource::Comp, "C1", us(0), us(10));
         assert!(t.utilization_profile(Resource::Comp, 0).is_empty());
@@ -347,7 +364,10 @@ mod tests {
         t.record(Resource::Comm, "R1", us(0), us(1));
         t.record(Resource::Comp, "C1", us(1), us(2));
         t.record(Resource::Comm, "W1", us(2), us(3));
-        let labels: Vec<_> = t.spans_on(Resource::Comm).map(|s| s.label.as_str()).collect();
+        let labels: Vec<_> = t
+            .spans_on(Resource::Comm)
+            .map(|s| s.label.as_str())
+            .collect();
         assert_eq!(labels, vec!["R1", "W1"]);
     }
 }

@@ -6,8 +6,7 @@ use fpga_sim::interconnect::Direction;
 use fpga_sim::queue::EventQueue;
 use fpga_sim::trace::Resource;
 use fpga_sim::{
-    AlphaCurve, AppRun, BufferMode, Interconnect, Platform, PlatformSpec, SimTime,
-    TabulatedKernel,
+    AlphaCurve, AppRun, BufferMode, Interconnect, Platform, PlatformSpec, SimTime, TabulatedKernel,
 };
 use proptest::prelude::*;
 
@@ -169,5 +168,43 @@ proptest! {
         let small = fpga_sim::microbench::measure_alpha(&ic, 64);
         prop_assert!(small.alpha_write <= large.alpha_write * (1.0 + 1e-4),
             "setup latency must not make small transfers look faster");
+    }
+
+    /// The memoized execute path is transparent: a cold run (miss), a warm
+    /// run (hit), and an uncached direct execution all agree bit-for-bit,
+    /// over arbitrary platform/run shapes.
+    #[test]
+    fn cache_warm_equals_cold_equals_direct(
+        in_bytes in 1u64..100_000,
+        out_bytes in 0u64..100_000,
+        cycles in 1u64..1_000_000,
+        iters in 1u64..12,
+        setup_ns in 0u64..10_000,
+        mhz in 1u64..1_000,
+    ) {
+        use fpga_sim::cache::{SimCache, SimSummary};
+        let platform = Platform::new(PlatformSpec {
+            name: "prop".into(),
+            interconnect: bus(0.8, 0.6, setup_ns),
+            host: HostModel::default(),
+            reconfiguration: SimTime::ZERO,
+        });
+        let kernel = TabulatedKernel::uniform("k", cycles, iters as usize);
+        let run = AppRun::builder()
+            .iterations(iters)
+            .elements_per_iter(1)
+            .input_bytes_per_iter(in_bytes)
+            .output_bytes_per_iter(out_bytes)
+            .build();
+        let f = mhz as f64 * 1e6;
+
+        let cache = SimCache::new();
+        let cold = platform.execute_summary(&kernel, &run, f, Some(&cache)).unwrap();
+        let warm = platform.execute_summary(&kernel, &run, f, Some(&cache)).unwrap();
+        let direct = SimSummary::from(&platform.execute(&kernel, &run, f).unwrap());
+        prop_assert_eq!(cold, warm);
+        prop_assert_eq!(cold, direct);
+        let stats = cache.stats();
+        prop_assert_eq!((stats.hits, stats.misses), (1, 1));
     }
 }

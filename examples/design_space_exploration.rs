@@ -55,7 +55,9 @@ fn main() {
 
     // 5. Would double buffering help? (Compute-bound: barely.)
     let sb = Worksheet::new(input.clone()).analyze().expect("valid");
-    let db = Worksheet::new(input.with_buffering(Buffering::Double)).analyze().expect("valid");
+    let db = Worksheet::new(input.with_buffering(Buffering::Double))
+        .analyze()
+        .expect("valid");
     println!(
         "Buffering: single {:.2}x vs double {:.2}x — overlap buys {:.1}% because the \
          predicted communication share is only {:.0}%.",

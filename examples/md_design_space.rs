@@ -32,10 +32,25 @@ fn main() {
     // parallelism (25 ops/cycle at 66 MHz).
     let naive = RatInput {
         name: "naive offload (PCI, shallow)".into(),
-        dataset: DatasetParams { elements_in: n, elements_out: n, bytes_per_element: 36 },
-        comm: CommParams { ideal_bandwidth: 132.0e6, alpha_write: 0.5, alpha_read: 0.4 },
-        comp: CompParams { ops_per_element: 164_000.0, throughput_proc: 25.0, fclock: 66.0e6 },
-        software: SoftwareParams { t_soft, iterations: 10 },
+        dataset: DatasetParams {
+            elements_in: n,
+            elements_out: n,
+            bytes_per_element: 36,
+        },
+        comm: CommParams {
+            ideal_bandwidth: 132.0e6,
+            alpha_write: 0.5,
+            alpha_read: 0.4,
+        },
+        comp: CompParams {
+            ops_per_element: 164_000.0,
+            throughput_proc: 25.0,
+            fclock: 66.0e6,
+        },
+        software: SoftwareParams {
+            t_soft,
+            iterations: 10,
+        },
         buffering: Buffering::Single,
     };
 
@@ -48,10 +63,25 @@ fn main() {
     // 200 ops/cycle at 100 MHz, double buffered.
     let aggressive = RatInput {
         name: "resident systolic (200 ops/cyc)".into(),
-        dataset: DatasetParams { elements_in: n, elements_out: n, bytes_per_element: 36 },
-        comm: CommParams { ideal_bandwidth: 500.0e6, alpha_write: 0.9, alpha_read: 0.9 },
-        comp: CompParams { ops_per_element: 164_000.0, throughput_proc: 200.0, fclock: 100.0e6 },
-        software: SoftwareParams { t_soft, iterations: 1 },
+        dataset: DatasetParams {
+            elements_in: n,
+            elements_out: n,
+            bytes_per_element: 36,
+        },
+        comm: CommParams {
+            ideal_bandwidth: 500.0e6,
+            alpha_write: 0.9,
+            alpha_read: 0.9,
+        },
+        comp: CompParams {
+            ops_per_element: 164_000.0,
+            throughput_proc: 200.0,
+            fclock: 100.0e6,
+        },
+        software: SoftwareParams {
+            t_soft,
+            iterations: 1,
+        },
         buffering: Buffering::Double,
     };
 

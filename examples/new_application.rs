@@ -18,7 +18,7 @@ use rat::core::params::{
 use rat::core::resources::{estimate, FpgaDevice, LogicKind, ResourceReport};
 use rat::core::solve;
 use rat::core::worksheet::Worksheet;
-use rat::sim::{catalog, AppRun, BufferMode, Platform, PipelineSpec, PipelinedKernel, StallModel};
+use rat::sim::{catalog, AppRun, BufferMode, PipelineSpec, PipelinedKernel, Platform, StallModel};
 
 fn main() {
     // ------- 1. Design on paper -------------------------------------------
@@ -41,13 +41,22 @@ fn main() {
         // Derive alphas from the platform's microbenchmark at our block size,
         // exactly as §4.2 prescribes.
         comm: derive_comm(chars_per_block),
-        comp: CompParams { ops_per_element: 128.0, throughput_proc: 112.0, fclock: 200.0e6 },
-        software: SoftwareParams { t_soft: 6.1, iterations: total_chars / chars_per_block },
+        comp: CompParams {
+            ops_per_element: 128.0,
+            throughput_proc: 112.0,
+            fclock: 200.0e6,
+        },
+        software: SoftwareParams {
+            t_soft: 6.1,
+            iterations: total_chars / chars_per_block,
+        },
         buffering: Buffering::Double,
     };
 
     // ------- 2. Throughput test -------------------------------------------
-    let report = Worksheet::new(design.clone()).analyze().expect("valid design");
+    let report = Worksheet::new(design.clone())
+        .analyze()
+        .expect("valid design");
     println!("{}", report.render_performance());
 
     // ------- 3. Resource test on a custom device --------------------------
@@ -62,12 +71,19 @@ fn main() {
     };
     // 64 pattern units: no multipliers (comparators only), one BRAM of
     // automaton state each, ~900 LUTs each plus I/O framing.
-    let usage = estimate::ResourceEstimate { dsp: 0, bram: 64 + 12, logic: 64 * 900 + 4_000 };
+    let usage = estimate::ResourceEstimate {
+        dsp: 0,
+        bram: 64 + 12,
+        logic: 64 * 900 + 4_000,
+    };
     let resources = ResourceReport::analyze(device, usage);
     println!("{}", resources.render());
 
     // ------- 4. The Figure-1 pass, iterated --------------------------------
-    let requirements = Requirements { min_speedup: 20.0, reject_routing_strain: true };
+    let requirements = Requirements {
+        min_speedup: 20.0,
+        reject_routing_strain: true,
+    };
     let pass = AmenabilityTest::new(design.clone(), requirements)
         .with_resources(resources.clone())
         .evaluate()
@@ -78,7 +94,10 @@ fn main() {
         // The 20x goal missed. What would it take? Ask the solvers.
         println!("Revision guidance:");
         match solve::required_throughput_proc(&design, 20.0) {
-            Ok(v) => println!("  - reach {v:.0} ops/cycle (e.g. {} pattern units)", (v / 2.0).ceil()),
+            Ok(v) => println!(
+                "  - reach {v:.0} ops/cycle (e.g. {} pattern units)",
+                (v / 2.0).ceil()
+            ),
             Err(e) => println!("  - infeasible via parallelism: {e}"),
         }
         match solve::required_fclock(&design, 20.0) {
@@ -100,8 +119,11 @@ fn main() {
         println!("20x exceeds this device; revising to 96 units against a 5x goal.\n");
         let mut revised = design.clone();
         revised.comp.throughput_proc = 168.0;
-        let revised_usage =
-            estimate::ResourceEstimate { dsp: 0, bram: 96 + 12, logic: 96 * 900 + 4_000 };
+        let revised_usage = estimate::ResourceEstimate {
+            dsp: 0,
+            bram: 96 + 12,
+            logic: 96 * 900 + 4_000,
+        };
         let revised_resources = ResourceReport::analyze(
             rat::core::resources::device::FpgaDevice {
                 name: "Generic mid-range FPGA".into(),
@@ -114,7 +136,10 @@ fn main() {
             },
             revised_usage,
         );
-        let relaxed = Requirements { min_speedup: 5.0, reject_routing_strain: true };
+        let relaxed = Requirements {
+            min_speedup: 5.0,
+            reject_routing_strain: true,
+        };
         let second = AmenabilityTest::new(revised.clone(), relaxed)
             .with_resources(revised_resources)
             .evaluate()
@@ -148,7 +173,10 @@ fn main() {
              channel busy {:.0}%",
             m.total.as_secs_f64(),
             revised.software.t_soft / m.total.as_secs_f64(),
-            Worksheet::new(revised).analyze().expect("valid design").speedup,
+            Worksheet::new(revised)
+                .analyze()
+                .expect("valid design")
+                .speedup,
             m.channel_utilization() * 100.0
         );
     }

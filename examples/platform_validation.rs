@@ -20,13 +20,18 @@ fn main() {
 
     // 1. Characterize the interconnect the way the paper does.
     let table = alpha_table(&platform.interconnect, &standard_sizes());
-    println!("Microbenchmark-derived alpha(size) for {}:\n", platform.name);
+    println!(
+        "Microbenchmark-derived alpha(size) for {}:\n",
+        platform.name
+    );
     println!("{}", render_alpha_table(&table));
 
     // 2. The trap: the paper's worksheet used alpha_read = 0.16, measured at
     //    the 1-D PDF's 2 KB transfer size. The 2-D design reads 256 KB.
     let at_2k = platform.interconnect.transfer_time(2048, Direction::Read);
-    let at_256k = platform.interconnect.transfer_time(262_144, Direction::Read);
+    let at_256k = platform
+        .interconnect
+        .transfer_time(262_144, Direction::Read);
     let alpha_model = 262_144.0 / (0.16 * 1.0e9);
     println!(
         "Read 2 KB: {at_2k}   read 256 KB: {at_256k}   (2 KB-alpha model predicts {:.2e} s \
@@ -39,13 +44,17 @@ fn main() {
     for (name, predicted, measured, t_soft) in [
         (
             "1-D PDF",
-            Worksheet::new(pdf1d::rat_input(150.0e6)).analyze().expect("valid"),
+            Worksheet::new(pdf1d::rat_input(150.0e6))
+                .analyze()
+                .expect("valid"),
             pdf1d::design().simulate(150.0e6),
             pdf1d::T_SOFT,
         ),
         (
             "2-D PDF",
-            Worksheet::new(pdf2d::rat_input(150.0e6)).analyze().expect("valid"),
+            Worksheet::new(pdf2d::rat_input(150.0e6))
+                .analyze()
+                .expect("valid"),
             pdf2d::design().simulate(150.0e6),
             pdf2d::T_SOFT,
         ),
@@ -74,5 +83,8 @@ fn main() {
     let m = rat::sim::Platform::new(platform)
         .execute(&pdf1d::design().kernel(), &run, 150.0e6)
         .expect("valid run");
-    println!("\nFirst three iterations, single buffered:\n{}", m.trace.render_gantt(72));
+    println!(
+        "\nFirst three iterations, single buffered:\n{}",
+        m.trace.render_gantt(72)
+    );
 }

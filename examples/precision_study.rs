@@ -56,8 +56,7 @@ fn main() {
     println!("\nError vs width (max relative error on the estimated PDF):");
     for frac in [9u32, 11, 13, 15, 17, 19, 23] {
         let fmt = QFormat::signed(0, frac).expect("valid format");
-        let stats = FixedParzen1d::with_format(fmt, BANDWIDTH)
-            .error_vs_reference(&samples, &bins);
+        let stats = FixedParzen1d::with_format(fmt, BANDWIDTH).error_vs_reference(&samples, &bins);
         println!(
             "  {:>6} ({:>2} bits): {:>8.4}%  (SNR {:>5.1} dB)",
             fmt.to_string(),

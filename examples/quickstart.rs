@@ -17,7 +17,9 @@ fn main() {
     let input = pdf1d::rat_input(150.0e6);
 
     // 2. The throughput test: Equations (1)-(11) in one call.
-    let report = Worksheet::new(input.clone()).analyze().expect("valid worksheet");
+    let report = Worksheet::new(input.clone())
+        .analyze()
+        .expect("valid worksheet");
     println!("{}", report.render());
 
     // 3. The paper evaluates three candidate clocks because the achievable
@@ -41,7 +43,10 @@ fn main() {
     //    precision_study example).
     let pass = AmenabilityTest::new(
         input,
-        Requirements { min_speedup: 10.0, reject_routing_strain: false },
+        Requirements {
+            min_speedup: 10.0,
+            reject_routing_strain: false,
+        },
     )
     .with_resources(pdf1d::design().resource_report())
     .evaluate()

@@ -21,7 +21,9 @@ fn main() {
     let input = sort::rat::rat_input(150.0e6);
 
     // 1. The worksheet: sorting is everything the PDF kernels are not.
-    let report = Worksheet::new(input.clone()).analyze().expect("valid worksheet");
+    let report = Worksheet::new(input.clone())
+        .analyze()
+        .expect("valid worksheet");
     println!("{}", report.render_performance());
     println!(
         "Communication carries {:.0}% of every iteration — a sorting network does only \
@@ -32,9 +34,18 @@ fn main() {
     // 2. The inverse solvers: no knob reaches 10x.
     println!("Can anything reach 10x?");
     for (label, result) in [
-        ("more parallelism", solve::required_throughput_proc(&input, 10.0).map(|v| format!("{v:.0} ops/cycle"))),
-        ("faster clock    ", solve::required_fclock(&input, 10.0).map(|v| format!("{:.0} MHz", v / 1e6))),
-        ("better interconnect", solve::required_alpha_scale(&input, 10.0).map(|v| format!("{v:.1}x alpha"))),
+        (
+            "more parallelism",
+            solve::required_throughput_proc(&input, 10.0).map(|v| format!("{v:.0} ops/cycle")),
+        ),
+        (
+            "faster clock    ",
+            solve::required_fclock(&input, 10.0).map(|v| format!("{:.0} MHz", v / 1e6)),
+        ),
+        (
+            "better interconnect",
+            solve::required_alpha_scale(&input, 10.0).map(|v| format!("{v:.1}x alpha")),
+        ),
     ] {
         match result {
             Ok(v) => println!("  {label}: yes, with {v}"),
@@ -49,7 +60,10 @@ fn main() {
     // 3. The methodology gate bounces it.
     let pass = AmenabilityTest::new(
         input.clone(),
-        Requirements { min_speedup: 10.0, reject_routing_strain: true },
+        Requirements {
+            min_speedup: 10.0,
+            reject_routing_strain: true,
+        },
     )
     .with_resources(sort::rat::design().resource_report())
     .evaluate()
@@ -70,7 +84,10 @@ fn main() {
     //    were accepted, break-even on the engineering runs to years.
     let be = BreakEven::analyze(
         &input,
-        &MigrationCost { development_hours: 400.0, runs_per_day: 1_000.0 },
+        &MigrationCost {
+            development_hours: 400.0,
+            runs_per_day: 1_000.0,
+        },
     )
     .expect("valid input");
     println!("{}", be.render());

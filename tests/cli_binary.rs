@@ -35,7 +35,10 @@ fn run_rat(args: &[&str]) -> (String, String, bool) {
 fn analyze_shipped_pdf1d_worksheet() {
     let (stdout, stderr, ok) = run_rat(&["analyze", &worksheet("pdf1d")]);
     assert!(ok, "stderr: {stderr}");
-    assert!(stdout.contains("10.6"), "missing Table-3 speedup:\n{stdout}");
+    assert!(
+        stdout.contains("10.6"),
+        "missing Table-3 speedup:\n{stdout}"
+    );
     assert!(stdout.contains("computation-bound"), "{stdout}");
 }
 

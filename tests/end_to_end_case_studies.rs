@@ -24,9 +24,15 @@ fn pdf1d_prediction_vs_measurement() {
     let p150 = &reports[2];
     assert!(p150.speedup > measured);
     let comm_ratio = m.comm_per_iter().as_secs_f64() / p150.throughput.t_comm;
-    assert!((3.5..5.5).contains(&comm_ratio), "comm miss {comm_ratio:.2}x (paper: ~4.5x)");
+    assert!(
+        (3.5..5.5).contains(&comm_ratio),
+        "comm miss {comm_ratio:.2}x (paper: ~4.5x)"
+    );
     let comp_ratio = m.comp_per_iter().as_secs_f64() / p150.throughput.t_comp;
-    assert!((0.95..1.15).contains(&comp_ratio), "comp miss {comp_ratio:.2}x (paper: ~1.06x)");
+    assert!(
+        (0.95..1.15).contains(&comp_ratio),
+        "comp miss {comp_ratio:.2}x (paper: ~1.06x)"
+    );
 }
 
 /// Table 6's shape: predicted 3.5/4.6/6.9; measured communication ~6x the
@@ -41,15 +47,27 @@ fn pdf2d_prediction_vs_measurement() {
     let comm = m.comm_per_iter().as_secs_f64();
     let comp = m.comp_per_iter().as_secs_f64();
     let comm_miss = comm / predicted.throughput.t_comm;
-    assert!((5.4..6.6).contains(&comm_miss), "comm miss {comm_miss:.2}x (paper: 6x)");
-    assert!(comp < predicted.throughput.t_comp, "computation was overestimated");
+    assert!(
+        (5.4..6.6).contains(&comm_miss),
+        "comm miss {comm_miss:.2}x (paper: 6x)"
+    );
+    assert!(
+        comp < predicted.throughput.t_comp,
+        "computation was overestimated"
+    );
     let util = comm / (comm + comp);
-    assert!((0.17..0.21).contains(&util), "measured util_comm {util:.3} (paper: 19%)");
+    assert!(
+        (0.17..0.21).contains(&util),
+        "measured util_comm {util:.3} (paper: 19%)"
+    );
 
     let measured = pdf2d::T_SOFT / m.total.as_secs_f64();
     let err_2d = (predicted.speedup - measured).abs() / measured;
     let err_1d = (10.6 - 7.8f64).abs() / 7.8;
-    assert!(err_2d < err_1d, "2-D error {err_2d:.3} must beat 1-D's {err_1d:.3}");
+    assert!(
+        err_2d < err_1d,
+        "2-D error {err_2d:.3} must beat 1-D's {err_1d:.3}"
+    );
 }
 
 /// The paper's cross-study observation: 2-D is "more amenable" (1000x the
@@ -97,24 +115,36 @@ fn md_prediction_vs_measurement() {
 
     let m = design.simulate(100.0e6);
     let measured = md::rat::T_SOFT / m.total.as_secs_f64();
-    assert!((measured - 6.6).abs() < 0.2, "measured speedup {measured} (paper: 6.6)");
+    assert!(
+        (measured - 6.6).abs() < 0.2,
+        "measured speedup {measured} (paper: 6.6)"
+    );
     // Computation dominates; write-back is streamed behind it.
     let comp = m.comp_per_iter().as_secs_f64();
-    assert!((comp - 8.79e-1).abs() / 8.79e-1 < 0.03, "t_comp {comp:.3e} (paper: 8.79e-1)");
+    assert!(
+        (comp - 8.79e-1).abs() / 8.79e-1 < 0.03,
+        "t_comp {comp:.3e} (paper: 8.79e-1)"
+    );
     let comm = m.comm_per_iter().as_secs_f64();
-    assert!((comm - 1.39e-3).abs() / 1.39e-3 < 0.05, "t_comm {comm:.3e} (paper: 1.39e-3)");
+    assert!(
+        (comm - 1.39e-3).abs() / 1.39e-3 < 0.05,
+        "t_comm {comm:.3e} (paper: 1.39e-3)"
+    );
     assert!(m.streamed_comm.as_secs_f64() > 0.0);
 }
 
 /// Full paper-scale MD with real neighbor counting — release mode only (the
 /// debug-mode cost of 2.7e8 distance checks is minutes).
 #[test]
-#[cfg_attr(debug_assertions, ignore = "paper-scale neighbor count; run with --release")]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "paper-scale neighbor count; run with --release"
+)]
 fn md_paper_scale_counted_matches_analytic() {
     let counted = md::hw::MdDesign::paper_scale();
     let analytic = md::hw::MdDesign::paper_scale_analytic();
-    let rel = (counted.ops_per_element() - analytic.ops_per_element()).abs()
-        / analytic.ops_per_element();
+    let rel =
+        (counted.ops_per_element() - analytic.ops_per_element()).abs() / analytic.ops_per_element();
     assert!(rel < 0.005, "counted vs analytic ops differ by {rel:.4}");
 }
 
@@ -128,8 +158,26 @@ fn precision_choice_holds_on_real_workload() {
 
     let samples = datagen::bimodal_samples(2048, 7);
     let bins = pdf::bin_centers();
-    let e18 = precision_eval(QFormat::signed(0, 17).unwrap(), &samples, &bins, pdf::BANDWIDTH);
-    assert!(e18.within_rel_tolerance(0.03), "18-bit error {:.4}", e18.max_rel_error());
-    let e10 = precision_eval(QFormat::signed(0, 9).unwrap(), &samples, &bins, pdf::BANDWIDTH);
-    assert!(!e10.within_rel_tolerance(0.03), "10-bit error {:.4}", e10.max_rel_error());
+    let e18 = precision_eval(
+        QFormat::signed(0, 17).unwrap(),
+        &samples,
+        &bins,
+        pdf::BANDWIDTH,
+    );
+    assert!(
+        e18.within_rel_tolerance(0.03),
+        "18-bit error {:.4}",
+        e18.max_rel_error()
+    );
+    let e10 = precision_eval(
+        QFormat::signed(0, 9).unwrap(),
+        &samples,
+        &bins,
+        pdf::BANDWIDTH,
+    );
+    assert!(
+        !e10.within_rel_tolerance(0.03),
+        "10-bit error {:.4}",
+        e10.max_rel_error()
+    );
 }

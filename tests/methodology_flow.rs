@@ -9,7 +9,10 @@ use rat::core::resources::{device, ResourceEstimate, ResourceReport};
 use rat::fixed::QFormat;
 
 fn reqs(min_speedup: f64) -> Requirements {
-    Requirements { min_speedup, reject_routing_strain: true }
+    Requirements {
+        min_speedup,
+        reject_routing_strain: true,
+    }
 }
 
 fn pdf_precision(tolerance: f64) -> rat::core::precision::PrecisionReport {
@@ -34,7 +37,12 @@ fn full_three_test_pass_proceeds() {
         .evaluate()
         .unwrap();
     assert!(report.proceed(), "{}", report.render());
-    let chosen = report.precision.as_ref().unwrap().chosen_candidate().unwrap();
+    let chosen = report
+        .precision
+        .as_ref()
+        .unwrap()
+        .chosen_candidate()
+        .unwrap();
     // The tolerance admits a format at or below the paper's 18 bits, costing
     // a single MAC per multiply.
     assert!(chosen.format.total_bits() <= 18);
@@ -78,7 +86,10 @@ fn precision_gate_bounces_impossible_tolerance() {
         .with_precision(pdf_precision(1e-12))
         .evaluate()
         .unwrap();
-    assert_eq!(report.verdict, Verdict::Revise(Bounce::UnrealizablePrecision));
+    assert_eq!(
+        report.verdict,
+        Verdict::Revise(Bounce::UnrealizablePrecision)
+    );
 }
 
 /// A design that fits on a bigger part but not the LX100: the resource gate
@@ -88,7 +99,11 @@ fn resource_gate_depends_on_device() {
     // A hypothetical 60-pipeline variant of the 1-D PDF: 120 MACs. Logic kept
     // below the SX55's routing-strain threshold (its slice count is half the
     // LX100's).
-    let big = ResourceEstimate { dsp: 60 * 2, bram: 90, logic: 15_000 };
+    let big = ResourceEstimate {
+        dsp: 60 * 2,
+        bram: 90,
+        logic: 15_000,
+    };
     let on_lx100 = ResourceReport::analyze(device::virtex4_lx100(), big);
     let on_sx55 = ResourceReport::analyze(device::virtex4_sx55(), big);
     assert!(!on_lx100.fits, "120 DSPs exceed the LX100's 96");
@@ -115,13 +130,23 @@ fn resource_gate_depends_on_device() {
 fn multistage_application_analysis() {
     use rat::core::multistage::{analyze, Stage};
     let stages = vec![
-        Stage::Software { name: "ingest + windowing".into(), t_soft: 0.12 },
+        Stage::Software {
+            name: "ingest + windowing".into(),
+            t_soft: 0.12,
+        },
         Stage::Fpga(pdf1d::rat_input(150.0e6)),
-        Stage::Software { name: "report generation".into(), t_soft: 0.05 },
+        Stage::Software {
+            name: "report generation".into(),
+            t_soft: 0.05,
+        },
     ];
     let r = analyze(&stages).unwrap();
     assert!((r.total_soft - 0.748).abs() < 1e-9);
-    assert!(r.speedup > 2.5 && r.speedup < 4.0, "composite speedup {}", r.speedup);
+    assert!(
+        r.speedup > 2.5 && r.speedup < 4.0,
+        "composite speedup {}",
+        r.speedup
+    );
     assert!(r.amdahl_ceiling() < 4.5);
     assert_eq!(r.bottleneck().unwrap().name, "ingest + windowing");
 }

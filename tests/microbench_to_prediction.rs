@@ -14,8 +14,16 @@ use rat::sim::microbench::measure_alpha;
 fn derived_alphas_match_table2() {
     let ic = catalog::nallatech_h101().interconnect;
     let probe = measure_alpha(&ic, 2048);
-    assert!((probe.alpha_write - 0.37).abs() < 0.02, "alpha_write {}", probe.alpha_write);
-    assert!((probe.alpha_read - 0.16).abs() < 0.02, "alpha_read {}", probe.alpha_read);
+    assert!(
+        (probe.alpha_write - 0.37).abs() < 0.02,
+        "alpha_write {}",
+        probe.alpha_write
+    );
+    assert!(
+        (probe.alpha_read - 0.16).abs() < 0.02,
+        "alpha_read {}",
+        probe.alpha_read
+    );
 }
 
 /// Feeding the derived (rather than hard-coded) alphas through the worksheet
@@ -53,9 +61,11 @@ fn size_matched_microbenchmark_fixes_the_2d_prediction() {
     let measured_comm = m.comm_per_iter().as_secs_f64();
 
     let naive_err = (measured_comm - naive_pred.throughput.t_comm).abs() / measured_comm;
-    let corrected_err =
-        (measured_comm - corrected_pred.throughput.t_comm).abs() / measured_comm;
-    assert!(naive_err > 0.75, "2 KB-probed prediction should miss badly: {naive_err:.3}");
+    let corrected_err = (measured_comm - corrected_pred.throughput.t_comm).abs() / measured_comm;
+    assert!(
+        naive_err > 0.75,
+        "2 KB-probed prediction should miss badly: {naive_err:.3}"
+    );
     assert!(
         corrected_err < 0.05,
         "size-matched prediction should land: {corrected_err:.3}"
@@ -93,7 +103,11 @@ fn size_matched_microbenchmark_fixes_the_2d_prediction() {
 /// XD1000 (setup-dominated small transfers) monotone improving with size.
 #[test]
 fn alpha_tables_are_physical() {
-    for spec in [catalog::nallatech_h101(), catalog::xd1000(), catalog::generic_pcie_gen2_x8()] {
+    for spec in [
+        catalog::nallatech_h101(),
+        catalog::xd1000(),
+        catalog::generic_pcie_gen2_x8(),
+    ] {
         let table = rat::sim::microbench::alpha_table(
             &spec.interconnect,
             &rat::sim::microbench::standard_sizes(),

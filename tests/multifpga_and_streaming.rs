@@ -7,8 +7,7 @@ use rat::core::params::Buffering;
 use rat::core::streaming::{self, ChannelDuplex, StreamBottleneck};
 use rat::sim::host::HostModel;
 use rat::sim::{
-    AlphaCurve, AppRun, BufferMode, Interconnect, Platform, PlatformSpec, SimTime,
-    TabulatedKernel,
+    AlphaCurve, AppRun, BufferMode, Interconnect, Platform, PlatformSpec, SimTime, TabulatedKernel,
 };
 
 fn ideal_platform() -> Platform {
@@ -94,14 +93,24 @@ fn saturation_point_is_where_simulation_plateaus() {
             .buffer_mode(BufferMode::Double)
             .parallel_kernels(devices)
             .build();
-        platform.execute(&kernel, &run, input.comp.fclock).unwrap().total.as_secs_f64()
+        platform
+            .execute(&kernel, &run, input.comp.fclock)
+            .unwrap()
+            .total
+            .as_secs_f64()
     };
     let below = total_at(sat / 2);
     let at = total_at(sat);
     let above = total_at(sat * 2);
     // Meaningful gain up to saturation, negligible after.
-    assert!(below / at > 1.5, "halving devices should hurt: {below:.3e} vs {at:.3e}");
-    assert!(at / above < 1.05, "doubling past saturation buys <5%: {at:.3e} vs {above:.3e}");
+    assert!(
+        below / at > 1.5,
+        "halving devices should hurt: {below:.3e} vs {at:.3e}"
+    );
+    assert!(
+        at / above < 1.05,
+        "doubling past saturation buys <5%: {at:.3e} vs {above:.3e}"
+    );
 }
 
 /// Streaming prediction vs a simulated streamed run: a compute-bound stream's
@@ -124,7 +133,9 @@ fn streaming_model_matches_streamed_simulation() {
         .buffer_mode(BufferMode::Double)
         .streamed_output(true)
         .build();
-    let m = ideal_platform().execute(&kernel, &run, input.comp.fclock).unwrap();
+    let m = ideal_platform()
+        .execute(&kernel, &run, input.comp.fclock)
+        .unwrap();
     let sim = m.total.as_secs_f64();
     assert!(
         (sim - s.t_stream).abs() / s.t_stream < 0.01,

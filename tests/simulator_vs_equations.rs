@@ -47,14 +47,25 @@ fn matched(
 ) -> (RatInput, AppRun, TabulatedKernel) {
     let input = RatInput {
         name: "prop".into(),
-        dataset: DatasetParams { elements_in, elements_out, bytes_per_element: 4 },
-        comm: CommParams { ideal_bandwidth: BW, alpha_write: ALPHA, alpha_read: ALPHA },
+        dataset: DatasetParams {
+            elements_in,
+            elements_out,
+            bytes_per_element: 4,
+        },
+        comm: CommParams {
+            ideal_bandwidth: BW,
+            alpha_write: ALPHA,
+            alpha_read: ALPHA,
+        },
         comp: CompParams {
             ops_per_element: ops_per_element as f64,
             throughput_proc: throughput_proc as f64,
             fclock: FCLOCK,
         },
-        software: SoftwareParams { t_soft: 1.0, iterations },
+        software: SoftwareParams {
+            t_soft: 1.0,
+            iterations,
+        },
         buffering,
     };
     let run = AppRun::builder()

@@ -1,0 +1,111 @@
+//! Deterministic case runner.
+
+use rand::{RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Test configuration (`ProptestConfig` in the prelude).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+    /// Maximum rejected (`prop_assume!`) samples tolerated before erroring.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..Default::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+/// The RNG handed to strategies. ChaCha8-backed: deterministic, seedable,
+/// platform-independent.
+pub struct TestRng {
+    inner: ChaCha8Rng,
+}
+
+impl RngCore for TestRng {
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.inner.fill_bytes(dest)
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The property was violated.
+    Fail(String),
+    /// The sample was rejected by `prop_assume!` — try another.
+    Reject,
+}
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    pub fn reject() -> Self {
+        TestCaseError::Reject
+    }
+}
+
+fn fnv1a(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Run `cases` generated cases of `body`, panicking on the first failure with
+/// the case index (re-running the same binary reproduces it: seeds derive
+/// from the test name alone).
+pub fn run_cases<F>(config: &ProptestConfig, test_name: &str, body: F)
+where
+    F: Fn(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let base = fnv1a(test_name);
+    let mut rejects: u32 = 0;
+    let mut case: u64 = 0;
+    let mut passed: u32 = 0;
+    while passed < config.cases {
+        let mut rng = TestRng {
+            inner: ChaCha8Rng::seed_from_u64(base ^ case),
+        };
+        case += 1;
+        match body(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject) => {
+                rejects += 1;
+                if rejects > config.max_global_rejects {
+                    panic!("proptest `{test_name}`: too many prop_assume! rejections");
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "proptest `{test_name}` failed at case {} (seed base {base:#x}): {msg}",
+                    case - 1
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! Distribution traits and the uniform distribution family.
+
+pub mod uniform;
+
+pub use uniform::Uniform;
+
+use crate::RngCore;
+
+/// Types that produce values of `T` given a source of randomness.
+pub trait Distribution<T> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+
+    /// An iterator of samples (rarely used; provided for API parity).
+    fn sample_iter<R>(self, rng: R) -> DistIter<Self, R, T>
+    where
+        Self: Sized,
+        R: RngCore,
+    {
+        DistIter {
+            distr: self,
+            rng,
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<T, D: Distribution<T> + ?Sized> Distribution<T> for &D {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T {
+        (**self).sample(rng)
+    }
+}
+
+/// The "standard" distribution: what [`crate::Rng::gen`] samples from.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+impl<T: crate::StandardSample> Distribution<T> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T {
+        T::standard_sample(rng)
+    }
+}
+
+/// Iterator adapter returned by [`Distribution::sample_iter`].
+pub struct DistIter<D, R, T> {
+    distr: D,
+    rng: R,
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<D: Distribution<T>, R: RngCore, T> Iterator for DistIter<D, R, T> {
+    type Item = T;
+    fn next(&mut self) -> Option<T> {
+        Some(self.distr.sample(&mut self.rng))
+    }
+}

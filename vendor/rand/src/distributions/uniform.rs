@@ -1,0 +1,160 @@
+//! Uniform sampling over ranges of primitive types.
+
+use super::Distribution;
+use crate::RngCore;
+use std::ops::{Range, RangeInclusive};
+
+/// Marker + implementation trait for types that can be sampled uniformly
+/// from a range.
+pub trait SampleUniform: Sized + Copy + PartialOrd {
+    /// Sample from `[low, high)`.
+    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+    /// Sample from `[low, high]`.
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+}
+
+// Integers: Lemire's widening-multiply method with rejection, matching
+// upstream `UniformInt::sample_single` so integer draws consume the same
+// number of RNG words and produce the same values. `$w` is the working word
+// width upstream uses for the type (u32 for <=32-bit, u64 for 64-bit).
+macro_rules! impl_uniform_int {
+    ($($t:ty => $u:ty, $w:ty, $next:ident);* $(;)?) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low < high, "Uniform: low >= high");
+                let range = high.wrapping_sub(low) as $u as $w;
+                let zone = (range << range.leading_zeros()).wrapping_sub(1);
+                loop {
+                    let v = rng.$next() as $w;
+                    let m = (v as u128) * (range as u128);
+                    let hi = (m >> (<$w>::BITS)) as $w;
+                    let lo = m as $w;
+                    if lo <= zone {
+                        return low.wrapping_add(hi as $t);
+                    }
+                }
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low <= high, "Uniform: low > high");
+                let range = (high.wrapping_sub(low) as $u as $w).wrapping_add(1);
+                if range == 0 {
+                    // Full integer domain.
+                    return rng.$next() as $t;
+                }
+                let zone = (range << range.leading_zeros()).wrapping_sub(1);
+                loop {
+                    let v = rng.$next() as $w;
+                    let m = (v as u128) * (range as u128);
+                    let hi = (m >> (<$w>::BITS)) as $w;
+                    let lo = m as $w;
+                    if lo <= zone {
+                        return low.wrapping_add(hi as $t);
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(
+    u8 => u8, u32, next_u32;
+    u16 => u16, u32, next_u32;
+    u32 => u32, u32, next_u32;
+    u64 => u64, u64, next_u64;
+    usize => usize, u64, next_u64;
+    i8 => u8, u32, next_u32;
+    i16 => u16, u32, next_u32;
+    i32 => u32, u32, next_u32;
+    i64 => u64, u64, next_u64;
+    isize => usize, u64, next_u64
+);
+
+// Floats: upstream's `[1, 2)` mantissa-fill construction, kept operation-for-
+// operation identical (`value1_2 * scale + offset`, not an algebraic
+// rearrangement) so sample streams are bit-exact with rand 0.8.
+macro_rules! impl_uniform_float {
+    ($($t:ty => $u:ty, $next:ident, $bits_to_discard:expr, $exp_one:expr);* $(;)?) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low < high, "Uniform: low >= high");
+                let scale = high - low;
+                let offset = low - scale;
+                let value1_2 =
+                    <$t>::from_bits($exp_one | (rng.$next() >> $bits_to_discard));
+                value1_2 * scale + offset
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low <= high, "Uniform: low > high");
+                // Largest value0_1 can be is 1 - EPSILON; dividing by it lets
+                // the top sample land exactly on `high`.
+                let scale = (high - low) / (1.0 - <$t>::EPSILON);
+                let value1_2 =
+                    <$t>::from_bits($exp_one | (rng.$next() >> $bits_to_discard));
+                let value0_1 = value1_2 - 1.0;
+                value0_1 * scale + low
+            }
+        }
+    )*};
+}
+
+impl_uniform_float!(
+    f32 => u32, next_u32, 9, 0x3F80_0000u32;
+    f64 => u64, next_u64, 12, 0x3FF0_0000_0000_0000u64
+);
+
+/// Uniform distribution over a fixed range, reusable across samples.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Uniform<X: SampleUniform> {
+    low: X,
+    high: X,
+    inclusive: bool,
+}
+
+impl<X: SampleUniform> Uniform<X> {
+    /// Uniform over `[low, high)`.
+    pub fn new(low: X, high: X) -> Self {
+        assert!(low < high, "Uniform::new called with low >= high");
+        Uniform {
+            low,
+            high,
+            inclusive: false,
+        }
+    }
+
+    /// Uniform over `[low, high]`.
+    pub fn new_inclusive(low: X, high: X) -> Self {
+        assert!(low <= high, "Uniform::new_inclusive called with low > high");
+        Uniform {
+            low,
+            high,
+            inclusive: true,
+        }
+    }
+}
+
+impl<X: SampleUniform> Distribution<X> for Uniform<X> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> X {
+        if self.inclusive {
+            X::sample_inclusive(rng, self.low, self.high)
+        } else {
+            X::sample_half_open(rng, self.low, self.high)
+        }
+    }
+}
+
+/// Range-like arguments accepted by [`crate::Rng::gen_range`].
+pub trait SampleRange<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_inclusive(rng, *self.start(), *self.end())
+    }
+}

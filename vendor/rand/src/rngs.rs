@@ -1,0 +1,63 @@
+//! Concrete RNGs shipped with the stub: a small xoshiro-style generator that
+//! stands in for `StdRng`/`SmallRng` where only statistical quality matters.
+
+use crate::{RngCore, SeedableRng};
+
+/// xoshiro256** — small, fast, good statistical quality. Used for both
+/// `StdRng` and `SmallRng` aliases; code needing reproducible cross-crate
+/// streams uses `rand_chacha` instead.
+#[derive(Debug, Clone)]
+pub struct Xoshiro256StarStar {
+    s: [u64; 4],
+}
+
+impl RngCore for Xoshiro256StarStar {
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let b = self.next_u64().to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&b[..n]);
+        }
+    }
+}
+
+impl SeedableRng for Xoshiro256StarStar {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut s = [0u64; 4];
+        for (i, chunk) in seed.chunks(8).enumerate() {
+            s[i] = u64::from_le_bytes(chunk.try_into().unwrap());
+        }
+        if s == [0; 4] {
+            s = [
+                0x9E3779B97F4A7C15,
+                0x6A09E667F3BCC909,
+                0xBB67AE8584CAA73B,
+                0x3C6EF372FE94F82B,
+            ];
+        }
+        Xoshiro256StarStar { s }
+    }
+}
+
+/// Alias matching `rand::rngs::StdRng`.
+pub type StdRng = Xoshiro256StarStar;
+/// Alias matching `rand::rngs::SmallRng`.
+pub type SmallRng = Xoshiro256StarStar;

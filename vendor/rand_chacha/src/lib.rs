@@ -1,0 +1,190 @@
+//! ChaCha-based RNGs over the vendored `rand` traits.
+//!
+//! This is a genuine ChaCha implementation (the full quarter-round block
+//! function with a 64-bit block counter), not a placeholder: the workspace
+//! depends on ChaCha's guarantees — cheap arbitrary seeding, independent
+//! streams from nearby seeds, and platform-independent output — for its
+//! deterministic parallel RNG scheme.
+
+use rand::{RngCore, SeedableRng};
+
+const CHACHA_WORDS: usize = 16;
+const SIGMA: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; CHACHA_WORDS], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// One ChaCha block: `rounds` must be even (8, 12 or 20).
+fn chacha_block(key: &[u32; 8], counter: u64, nonce: [u32; 2], rounds: u32) -> [u32; CHACHA_WORDS] {
+    let mut state = [0u32; CHACHA_WORDS];
+    state[..4].copy_from_slice(&SIGMA);
+    state[4..12].copy_from_slice(key);
+    state[12] = counter as u32;
+    state[13] = (counter >> 32) as u32;
+    state[14] = nonce[0];
+    state[15] = nonce[1];
+
+    let initial = state;
+    for _ in 0..rounds / 2 {
+        // Column round.
+        quarter_round(&mut state, 0, 4, 8, 12);
+        quarter_round(&mut state, 1, 5, 9, 13);
+        quarter_round(&mut state, 2, 6, 10, 14);
+        quarter_round(&mut state, 3, 7, 11, 15);
+        // Diagonal round.
+        quarter_round(&mut state, 0, 5, 10, 15);
+        quarter_round(&mut state, 1, 6, 11, 12);
+        quarter_round(&mut state, 2, 7, 8, 13);
+        quarter_round(&mut state, 3, 4, 9, 14);
+    }
+    for (word, init) in state.iter_mut().zip(initial.iter()) {
+        *word = word.wrapping_add(*init);
+    }
+    state
+}
+
+macro_rules! chacha_rng {
+    ($name:ident, $rounds:expr, $doc:expr) => {
+        #[doc = $doc]
+        #[derive(Debug, Clone)]
+        pub struct $name {
+            key: [u32; 8],
+            nonce: [u32; 2],
+            counter: u64,
+            buffer: [u32; CHACHA_WORDS],
+            index: usize,
+        }
+
+        impl $name {
+            fn refill(&mut self) {
+                self.buffer = chacha_block(&self.key, self.counter, self.nonce, $rounds);
+                self.counter = self.counter.wrapping_add(1);
+                self.index = 0;
+            }
+
+            /// Set the stream number (upstream API parity; distinct streams
+            /// yield independent sequences).
+            pub fn set_stream(&mut self, stream: u64) {
+                self.nonce = [stream as u32, (stream >> 32) as u32];
+                self.counter = 0;
+                self.index = CHACHA_WORDS; // force refill
+            }
+
+            /// Current word position within the keystream (parity helper).
+            pub fn get_word_pos(&self) -> u128 {
+                (self.counter as u128) * CHACHA_WORDS as u128 + self.index as u128
+            }
+        }
+
+        impl RngCore for $name {
+            fn next_u32(&mut self) -> u32 {
+                if self.index >= CHACHA_WORDS {
+                    self.refill();
+                }
+                let word = self.buffer[self.index];
+                self.index += 1;
+                word
+            }
+
+            fn next_u64(&mut self) -> u64 {
+                let lo = self.next_u32() as u64;
+                let hi = self.next_u32() as u64;
+                lo | (hi << 32)
+            }
+
+            fn fill_bytes(&mut self, dest: &mut [u8]) {
+                for chunk in dest.chunks_mut(4) {
+                    let b = self.next_u32().to_le_bytes();
+                    let n = chunk.len();
+                    chunk.copy_from_slice(&b[..n]);
+                }
+            }
+        }
+
+        impl SeedableRng for $name {
+            type Seed = [u8; 32];
+
+            fn from_seed(seed: Self::Seed) -> Self {
+                let mut key = [0u32; 8];
+                for (word, chunk) in key.iter_mut().zip(seed.chunks(4)) {
+                    *word = u32::from_le_bytes(chunk.try_into().unwrap());
+                }
+                $name {
+                    key,
+                    nonce: [0, 0],
+                    counter: 0,
+                    buffer: [0; CHACHA_WORDS],
+                    index: CHACHA_WORDS,
+                }
+            }
+        }
+    };
+}
+
+chacha_rng!(
+    ChaCha8Rng,
+    8,
+    "ChaCha with 8 rounds: the workspace's deterministic workhorse."
+);
+chacha_rng!(ChaCha12Rng, 12, "ChaCha with 12 rounds.");
+chacha_rng!(ChaCha20Rng, 20, "ChaCha with 20 rounds.");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(2007);
+        let mut b = ChaCha8Rng::seed_from_u64(2007);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(2);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn chacha20_matches_rfc8439_block_structure() {
+        // RFC 8439 §2.3.2 test vector uses a 96-bit nonce layout; our layout is
+        // the original djb 64-bit counter / 64-bit nonce variant, so instead of
+        // the RFC vector we verify algebraic properties: the block function is
+        // a bijection-like mix (no fixed output) and counter increments change
+        // every word.
+        let key = [0u32; 8];
+        let b0 = chacha_block(&key, 0, [0, 0], 20);
+        let b1 = chacha_block(&key, 1, [0, 0], 20);
+        assert_ne!(b0, b1);
+        assert!(b0.iter().zip(b1.iter()).filter(|(x, y)| x == y).count() < 4);
+    }
+
+    #[test]
+    fn float_stream_in_unit_interval() {
+        let mut rng = ChaCha8Rng::seed_from_u64(99);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+}

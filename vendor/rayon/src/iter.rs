@@ -1,0 +1,158 @@
+//! Eager parallel iterator types.
+
+use crate::run_ordered;
+
+/// An eager "parallel iterator": items are materialized up front and the
+/// terminal operation fans them out across workers, reassembling in order.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    pub(crate) fn from_vec(items: Vec<T>) -> Self {
+        ParIter { items }
+    }
+
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Parallel map; the returned stage collects in input order.
+    pub fn map<U, F>(self, f: F) -> MappedParIter<T, U, F>
+    where
+        U: Send,
+        F: Fn(T) -> U + Sync,
+    {
+        MappedParIter {
+            items: self.items,
+            f,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Flatten each item into a sequential iterator. The expansion itself is
+    /// cheap in every call site (index/coordinate generation), so it runs on
+    /// the calling thread; downstream `map` stages are parallel.
+    pub fn flat_map_iter<U, I, F>(self, f: F) -> ParIter<U>
+    where
+        U: Send,
+        I: IntoIterator<Item = U>,
+        F: Fn(T) -> I,
+    {
+        ParIter {
+            items: self.items.into_iter().flat_map(f).collect(),
+        }
+    }
+
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        run_ordered(self.items, f);
+    }
+
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+}
+
+/// A mapped parallel stage awaiting its terminal operation.
+pub struct MappedParIter<T, U, F> {
+    items: Vec<T>,
+    f: F,
+    _marker: std::marker::PhantomData<fn() -> U>,
+}
+
+impl<T, U, F> MappedParIter<T, U, F>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    /// Run the map in parallel and collect results in input order.
+    pub fn collect<C: FromIterator<U>>(self) -> C {
+        run_ordered(self.items, self.f).into_iter().collect()
+    }
+
+    pub fn for_each<G>(self, g: G)
+    where
+        G: Fn(U) + Sync,
+    {
+        let f = self.f;
+        run_ordered(self.items, move |t| g(f(t)));
+    }
+
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<U>,
+    {
+        run_ordered(self.items, self.f).into_iter().sum()
+    }
+
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> U
+    where
+        ID: Fn() -> U,
+        OP: Fn(U, U) -> U,
+    {
+        run_ordered(self.items, self.f)
+            .into_iter()
+            .fold(identity(), op)
+    }
+}
+
+/// Conversion into a parallel iterator by value.
+pub trait IntoParallelIterator {
+    type Item: Send;
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter::from_vec(self)
+    }
+}
+
+impl<T: Send> IntoParallelIterator for ParIter<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        self
+    }
+}
+
+/// Conversion into a parallel iterator over references (`par_iter`).
+pub trait IntoParallelRefIterator<'data> {
+    type Item: Send + 'data;
+    fn par_iter(&'data self) -> ParIter<Self::Item>;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = &'data T;
+    fn par_iter(&'data self) -> ParIter<&'data T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = &'data T;
+    fn par_iter(&'data self) -> ParIter<&'data T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'data, T: Sync + 'data, const N: usize> IntoParallelRefIterator<'data> for [T; N] {
+    type Item = &'data T;
+    fn par_iter(&'data self) -> ParIter<&'data T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}

@@ -1,0 +1,249 @@
+//! Offline subset of `rayon`.
+//!
+//! Instead of a work-stealing deque runtime this shim evaluates parallel
+//! stages eagerly on `std::thread::scope` workers pulling indexed items from
+//! a shared queue, then reassembles results **in input order**. That ordering
+//! guarantee is the property the workspace's deterministic analysis engine is
+//! built on: a `.map().collect()` chain yields byte-identical output at any
+//! thread count, including 1.
+//!
+//! Supported surface: `par_iter` (slices/Vec), `into_par_iter` (Vec, integer
+//! ranges), `map`, `flat_map_iter`, `collect`, `for_each`, `sum`,
+//! `par_sort_unstable`, `ThreadPoolBuilder`/`ThreadPool::install`, and
+//! `current_num_threads`.
+
+use std::cell::Cell;
+use std::ops::Range;
+use std::sync::Mutex;
+
+pub mod iter;
+pub mod prelude;
+pub mod slice;
+
+pub use iter::{IntoParallelIterator, IntoParallelRefIterator, ParIter};
+
+thread_local! {
+    /// Thread-count override installed by [`ThreadPool::install`]. `0` means
+    /// "use hardware parallelism".
+    static POOL_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Number of worker threads parallel stages will use on this thread.
+pub fn current_num_threads() -> usize {
+    let installed = POOL_THREADS.with(|t| t.get());
+    if installed != 0 {
+        installed
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+}
+
+/// Error type for [`ThreadPoolBuilder::build`] (construction cannot actually
+/// fail in this shim, but the signature matches upstream).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder matching `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        ThreadPoolBuilder { num_threads: 0 }
+    }
+
+    /// `0` means "use hardware parallelism", as upstream.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+}
+
+/// A handle that scopes parallel stages to a fixed thread count.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Run `op` with this pool's thread count governing any parallel stages
+    /// it executes. (The shim runs `op` on the calling thread; only the
+    /// degree of parallelism is scoped, which is all the workspace needs.)
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R + Send,
+        R: Send,
+    {
+        let prev = POOL_THREADS.with(|t| t.replace(self.num_threads));
+        let result = op();
+        POOL_THREADS.with(|t| t.set(prev));
+        result
+    }
+
+    pub fn current_num_threads(&self) -> usize {
+        if self.num_threads != 0 {
+            self.num_threads
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
+}
+
+/// Evaluate `f` over `items` on up to [`current_num_threads`] workers,
+/// returning results in input order.
+pub(crate) fn run_ordered<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let workers = current_num_threads().max(1);
+    let len = items.len();
+    if workers == 1 || len <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    let queue: Mutex<Vec<(usize, T)>> = Mutex::new(items.into_iter().enumerate().rev().collect());
+    let done: Mutex<Vec<(usize, U)>> = Mutex::new(Vec::with_capacity(len));
+    let f = &f;
+    std::thread::scope(|scope| {
+        for _ in 0..workers.min(len) {
+            scope.spawn(|| loop {
+                let next = queue.lock().unwrap().pop();
+                match next {
+                    Some((idx, item)) => {
+                        let out = f(item);
+                        done.lock().unwrap().push((idx, out));
+                    }
+                    None => break,
+                }
+            });
+        }
+    });
+
+    let mut results = done.into_inner().unwrap();
+    results.sort_unstable_by_key(|(idx, _)| *idx);
+    debug_assert_eq!(results.len(), len);
+    results.into_iter().map(|(_, u)| u).collect()
+}
+
+/// `rayon::join` — run two closures, potentially in parallel.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        return (a(), b());
+    }
+    std::thread::scope(|scope| {
+        let hb = scope.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("rayon::join closure panicked"))
+    })
+}
+
+/// Integer ranges are parallel-iterable, matching upstream.
+impl IntoParallelIterator for Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter::from_vec(self.collect())
+    }
+}
+
+impl IntoParallelIterator for Range<u64> {
+    type Item = u64;
+    fn into_par_iter(self) -> ParIter<u64> {
+        ParIter::from_vec(self.collect())
+    }
+}
+
+impl IntoParallelIterator for Range<u32> {
+    type Item = u32;
+    fn into_par_iter(self) -> ParIter<u32> {
+        ParIter::from_vec(self.collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ordered_collect_matches_sequential() {
+        let xs: Vec<u64> = (0..1000).collect();
+        let seq: Vec<u64> = xs.iter().map(|&x| x * x).collect();
+        let par: Vec<u64> = xs.par_iter().map(|&x| x * x).collect();
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn install_scopes_thread_count() {
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(3)
+            .build()
+            .unwrap();
+        let inside = pool.install(crate::current_num_threads);
+        assert_eq!(inside, 3);
+        assert_ne!(crate::current_num_threads(), 0);
+    }
+
+    #[test]
+    fn single_thread_pool_still_completes() {
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap();
+        let out: Vec<usize> =
+            pool.install(|| (0..100usize).into_par_iter().map(|i| i + 1).collect());
+        assert_eq!(out.len(), 100);
+        assert_eq!(out[99], 100);
+    }
+
+    #[test]
+    fn flat_map_then_map() {
+        let rows = [0usize, 1, 2];
+        let out: Vec<usize> = rows
+            .par_iter()
+            .flat_map_iter(|&r| (0..3usize).map(move |c| r * 3 + c))
+            .map(|v| v * 10)
+            .collect();
+        assert_eq!(out, vec![0, 10, 20, 30, 40, 50, 60, 70, 80]);
+    }
+
+    #[test]
+    fn par_sort_unstable_sorts() {
+        let mut v = vec![5, 3, 9, 1, 4];
+        v.par_sort_unstable();
+        assert_eq!(v, vec![1, 3, 4, 5, 9]);
+    }
+
+    #[test]
+    fn join_runs_both() {
+        let (a, b) = crate::join(|| 2 + 2, || "ok");
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+}

@@ -1,0 +1,4 @@
+//! The traits users glob-import.
+
+pub use crate::iter::{IntoParallelIterator, IntoParallelRefIterator};
+pub use crate::slice::ParallelSliceMut;

@@ -1,0 +1,36 @@
+//! Parallel slice operations (`ParallelSliceMut` subset).
+
+/// Mutable slice extensions: parallel sorts. With the eager shim the sort is
+/// delegated to the (already highly optimized) sequential pattern-defeating
+/// quicksort; the API exists so call sites keep the upstream spelling.
+pub trait ParallelSliceMut<T: Send> {
+    fn as_parallel_slice_mut(&mut self) -> &mut [T];
+
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord,
+    {
+        self.as_parallel_slice_mut().sort_unstable();
+    }
+
+    fn par_sort(&mut self)
+    where
+        T: Ord,
+    {
+        self.as_parallel_slice_mut().sort();
+    }
+
+    fn par_sort_unstable_by_key<K, F>(&mut self, f: F)
+    where
+        K: Ord,
+        F: Fn(&T) -> K + Sync,
+    {
+        self.as_parallel_slice_mut().sort_unstable_by_key(f);
+    }
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn as_parallel_slice_mut(&mut self) -> &mut [T] {
+        self
+    }
+}

@@ -1,0 +1,491 @@
+//! Offline serde replacement built on an explicit [`Value`] tree.
+//!
+//! Upstream serde decouples data structures from formats through a visitor
+//! protocol; the workspace only ever derives `Serialize`/`Deserialize` and
+//! round-trips through TOML, so this stand-in collapses the protocol to two
+//! calls: [`Serialize::to_value`] producing a [`Value`], and
+//! [`Deserialize::from_value`] consuming one. The derive macro (in
+//! `serde_derive`) generates exactly those, using serde's standard data-model
+//! conventions:
+//!
+//! - structs → string-keyed maps in declaration order
+//! - newtype structs → the inner value, transparently
+//! - enums → externally tagged: unit variants as strings, newtype/struct
+//!   variants as single-entry maps
+//! - `Option` → value or absence (missing struct fields deserialize to
+//!   `None`, as upstream)
+//! - `#[serde(default)]` → `Default::default()` on absence
+//! - unknown struct fields are ignored, as upstream's default
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod de {
+    pub use crate::DeError as Error;
+}
+
+pub mod ser {
+    /// Serialization in the value model cannot fail; the alias keeps
+    /// `serde::ser::Error`-shaped code compiling.
+    pub type Error = std::convert::Infallible;
+}
+
+/// The serde data model, reified.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Unit / nothing (`()`, unit structs).
+    Unit,
+    Bool(bool),
+    /// All integers are carried as `i64`; the primitive impls range-check on
+    /// the way out.
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Seq(Vec<Value>),
+    /// String-keyed map preserving insertion order (struct fields, tables).
+    Map(Vec<(String, Value)>),
+    /// `Option::None`. Formats without a null (TOML) omit the entry.
+    None,
+}
+
+impl Value {
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Unit => "unit",
+            Value::Bool(_) => "bool",
+            Value::Int(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "array",
+            Value::Map(_) => "map",
+            Value::None => "none",
+        }
+    }
+
+    /// Look up a map entry by key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_map()
+            .and_then(|m| m.iter().find(|(k, _)| k == key).map(|(_, v)| v))
+    }
+}
+
+/// Deserialization error: a message plus a breadcrumb of field/variant names.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeError {
+    msg: String,
+}
+
+impl DeError {
+    pub fn custom(msg: impl std::fmt::Display) -> Self {
+        DeError {
+            msg: msg.to_string(),
+        }
+    }
+
+    pub fn expected(what: &str, got: &Value) -> Self {
+        DeError {
+            msg: format!("expected {what}, found {}", got.type_name()),
+        }
+    }
+
+    pub fn missing_field(field: &str) -> Self {
+        DeError {
+            msg: format!("missing field `{field}`"),
+        }
+    }
+
+    pub fn unknown_variant(variant: &str, ty: &str) -> Self {
+        DeError {
+            msg: format!("unknown variant `{variant}` for enum {ty}"),
+        }
+    }
+
+    /// Prefix the message with the field that failed, building a path.
+    pub fn in_field(self, field: &str) -> Self {
+        DeError {
+            msg: format!("{field}: {}", self.msg),
+        }
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Convert a value into the serde data model.
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+/// Reconstruct a value from the serde data model.
+pub trait Deserialize: Sized {
+    fn from_value(value: &Value) -> Result<Self, DeError>;
+
+    /// Called when a struct field is absent. `Option` overrides this to yield
+    /// `None`; everything else errors (mirroring upstream semantics).
+    fn from_missing(field: &str) -> Result<Self, DeError> {
+        Err(DeError::missing_field(field))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::expected("bool", other)),
+        }
+    }
+}
+
+macro_rules! impl_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                match value {
+                    Value::Int(i) => <$t>::try_from(*i)
+                        .map_err(|_| DeError::custom(format!(
+                            "integer {i} out of range for {}", stringify!($t)))),
+                    // Accept float-typed whole numbers: TOML writers often
+                    // emit `n.0` for values a struct stores integrally.
+                    Value::Float(f) if f.fract() == 0.0
+                        && *f >= i64::MIN as f64 && *f <= i64::MAX as f64 =>
+                    {
+                        <$t>::try_from(*f as i64).map_err(|_| DeError::custom(format!(
+                            "number {f} out of range for {}", stringify!($t))))
+                    }
+                    other => Err(DeError::expected("integer", other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_int!(u8, u16, u32, i8, i16, i32, i64, isize, usize);
+
+impl Serialize for u64 {
+    fn to_value(&self) -> Value {
+        // Preserve the full range by clamping through i64 bit-space only when
+        // safe; values beyond i64::MAX are stored as their decimal string.
+        if *self <= i64::MAX as u64 {
+            Value::Int(*self as i64)
+        } else {
+            Value::Str(self.to_string())
+        }
+    }
+}
+
+impl Deserialize for u64 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Int(i) if *i >= 0 => Ok(*i as u64),
+            Value::Int(i) => Err(DeError::custom(format!("negative integer {i} for u64"))),
+            Value::Float(f) if f.fract() == 0.0 && *f >= 0.0 && *f <= u64::MAX as f64 => {
+                Ok(*f as u64)
+            }
+            Value::Str(s) => s
+                .parse::<u64>()
+                .map_err(|_| DeError::custom(format!("invalid u64 `{s}`"))),
+            other => Err(DeError::expected("integer", other)),
+        }
+    }
+}
+
+impl Serialize for u128 {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for u128 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Int(i) if *i >= 0 => Ok(*i as u128),
+            Value::Str(s) => s
+                .parse::<u128>()
+                .map_err(|_| DeError::custom(format!("invalid u128 `{s}`"))),
+            other => Err(DeError::expected("integer", other)),
+        }
+    }
+}
+
+macro_rules! impl_float {
+    ($($t:ty),* $(,)?) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Float(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                match value {
+                    Value::Float(f) => Ok(*f as $t),
+                    Value::Int(i) => Ok(*i as $t),
+                    other => Err(DeError::expected("float", other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::expected("string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(DeError::expected("single-character string", other)),
+        }
+    }
+}
+
+impl Serialize for () {
+    fn to_value(&self) -> Value {
+        Value::Unit
+    }
+}
+
+impl Deserialize for () {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Unit => Ok(()),
+            other => Err(DeError::expected("unit", other)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Containers
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.to_value(),
+            None => Value::None,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::None => Ok(None),
+            other => Ok(Some(T::from_value(other)?)),
+        }
+    }
+
+    fn from_missing(_field: &str) -> Result<Self, DeError> {
+        Ok(None)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError::expected("array", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + std::fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let items: Vec<T> = Deserialize::from_value(value)?;
+        let len = items.len();
+        items
+            .try_into()
+            .map_err(|_| DeError::custom(format!("expected {N} elements, got {len}")))
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        T::from_value(value).map(Box::new)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                match value {
+                    Value::Seq(items) => {
+                        let expected = [$(stringify!($idx)),+].len();
+                        if items.len() != expected {
+                            return Err(DeError::custom(format!(
+                                "expected tuple of {expected}, got {}", items.len())));
+                        }
+                        Ok(($($name::from_value(&items[$idx])?,)+))
+                    }
+                    other => Err(DeError::expected("tuple array", other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+impl<K: Serialize + std::fmt::Display, V: Serialize> Serialize
+    for std::collections::BTreeMap<K, V>
+{
+    fn to_value(&self) -> Value {
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| (k.to_string(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Derive-support helpers (named __private to signal "derive output only")
+// ---------------------------------------------------------------------------
+
+pub mod __private {
+    use super::{DeError, Deserialize, Value};
+
+    /// Fetch and deserialize a struct field; absence defers to
+    /// [`Deserialize::from_missing`] (so `Option` yields `None`).
+    pub fn field<T: Deserialize>(map: &[(String, Value)], name: &str) -> Result<T, DeError> {
+        match map.iter().find(|(k, _)| k == name) {
+            Some((_, v)) => T::from_value(v).map_err(|e| e.in_field(name)),
+            None => T::from_missing(name),
+        }
+    }
+
+    /// `#[serde(default)]` variant: absence yields `Default::default()`.
+    pub fn field_or_default<T: Deserialize + Default>(
+        map: &[(String, Value)],
+        name: &str,
+    ) -> Result<T, DeError> {
+        match map.iter().find(|(k, _)| k == name) {
+            Some((_, v)) => T::from_value(v).map_err(|e| e.in_field(name)),
+            None => Ok(T::default()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_field_absent_is_none() {
+        let map: Vec<(String, Value)> = vec![];
+        let got: Option<u64> = __private::field(&map, "missing").unwrap();
+        assert_eq!(got, None);
+        let err: Result<u64, _> = __private::field(&map, "missing");
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn ints_round_trip_and_coerce() {
+        assert_eq!(u64::from_value(&Value::Int(42)).unwrap(), 42);
+        assert_eq!(f64::from_value(&Value::Int(42)).unwrap(), 42.0);
+        assert_eq!(u32::from_value(&Value::Float(7.0)).unwrap(), 7);
+        assert!(u32::from_value(&Value::Float(7.5)).is_err());
+        assert!(u64::from_value(&Value::Int(-1)).is_err());
+    }
+
+    #[test]
+    fn tuples_as_seqs() {
+        let v = (3u64, 0.5f64).to_value();
+        assert_eq!(v, Value::Seq(vec![Value::Int(3), Value::Float(0.5)]));
+        let back: (u64, f64) = Deserialize::from_value(&v).unwrap();
+        assert_eq!(back, (3, 0.5));
+    }
+}

@@ -1,0 +1,478 @@
+//! Derive macros for the vendored value-tree serde.
+//!
+//! Implemented directly on `proc_macro` token trees (no `syn`/`quote`, which
+//! aren't available offline): a small walker extracts the item shape —
+//! struct with named/tuple fields, or enum with unit/newtype/tuple/struct
+//! variants, plus `#[serde(default)]` markers — and the impls are emitted as
+//! source strings parsed back into a `TokenStream`. Generic types are not
+//! supported (the workspace derives only on concrete types).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::iter::Peekable;
+
+// ---------------------------------------------------------------------------
+// Item model
+// ---------------------------------------------------------------------------
+
+struct Field {
+    name: String,
+    has_default: bool,
+}
+
+enum Fields {
+    Named(Vec<Field>),
+    Unnamed(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+type Tokens = Peekable<proc_macro::token_stream::IntoIter>;
+
+fn is_punct(tt: &TokenTree, c: char) -> bool {
+    matches!(tt, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+fn is_ident(tt: &TokenTree, s: &str) -> bool {
+    matches!(tt, TokenTree::Ident(i) if i.to_string() == s)
+}
+
+/// Consume one leading attribute if present; return whether it contained
+/// `serde(default)` or bare `default` (the `#[default]` std derive marker is
+/// irrelevant but harmless to detect).
+fn eat_attribute(iter: &mut Tokens) -> Option<bool> {
+    if !matches!(iter.peek(), Some(tt) if is_punct(tt, '#')) {
+        return None;
+    }
+    iter.next(); // '#'
+    let Some(TokenTree::Group(g)) = iter.next() else {
+        panic!("serde derive: expected [...] after #");
+    };
+    let mut inner = g.stream().into_iter();
+    let mut has_serde_default = false;
+    if let Some(first) = inner.next() {
+        if is_ident(&first, "serde") {
+            if let Some(TokenTree::Group(args)) = inner.next() {
+                for tt in args.stream() {
+                    if is_ident(&tt, "default") {
+                        has_serde_default = true;
+                    } else if let TokenTree::Ident(other) = &tt {
+                        panic!(
+                            "vendored serde derive supports only #[serde(default)], found `{other}`"
+                        );
+                    }
+                }
+            }
+        }
+    }
+    Some(has_serde_default)
+}
+
+fn skip_attributes(iter: &mut Tokens) -> bool {
+    let mut default = false;
+    while let Some(d) = eat_attribute(iter) {
+        default |= d;
+    }
+    default
+}
+
+fn skip_visibility(iter: &mut Tokens) {
+    if matches!(iter.peek(), Some(tt) if is_ident(tt, "pub")) {
+        iter.next();
+        if matches!(iter.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            iter.next();
+        }
+    }
+}
+
+/// Consume tokens of a type expression until a top-level `,` (consumed) or
+/// end of stream, tracking `<...>` nesting.
+fn skip_type(iter: &mut Tokens) {
+    let mut angle = 0i32;
+    while let Some(tt) = iter.peek() {
+        if is_punct(tt, ',') && angle == 0 {
+            iter.next();
+            return;
+        }
+        if is_punct(tt, '<') {
+            angle += 1;
+        } else if is_punct(tt, '>') {
+            angle -= 1;
+        }
+        iter.next();
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut iter = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        let has_default = skip_attributes(&mut iter);
+        if iter.peek().is_none() {
+            break;
+        }
+        skip_visibility(&mut iter);
+        let name = match iter.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("serde derive: expected field name, found {other:?}"),
+        };
+        match iter.next() {
+            Some(tt) if is_punct(&tt, ':') => {}
+            other => panic!("serde derive: expected `:` after field `{name}`, found {other:?}"),
+        }
+        skip_type(&mut iter);
+        fields.push(Field { name, has_default });
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut angle = 0i32;
+    let mut count = 0usize;
+    let mut saw_tokens_since_comma = false;
+    for tt in stream {
+        if is_punct(&tt, ',') && angle == 0 {
+            if saw_tokens_since_comma {
+                count += 1;
+            }
+            saw_tokens_since_comma = false;
+            continue;
+        }
+        if is_punct(&tt, '<') {
+            angle += 1;
+        } else if is_punct(&tt, '>') {
+            angle -= 1;
+        }
+        saw_tokens_since_comma = true;
+    }
+    if saw_tokens_since_comma {
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut iter = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attributes(&mut iter);
+        if iter.peek().is_none() {
+            break;
+        }
+        let name = match iter.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("serde derive: expected variant name, found {other:?}"),
+        };
+        let fields = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let count = count_tuple_fields(g.stream());
+                iter.next();
+                Fields::Unnamed(count)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let named = parse_named_fields(g.stream());
+                iter.next();
+                Fields::Named(named)
+            }
+            _ => Fields::Unit,
+        };
+        // Consume up to and including the separating comma (covers explicit
+        // discriminants, which never appear in this workspace anyway).
+        for tt in iter.by_ref() {
+            if is_punct(&tt, ',') {
+                break;
+            }
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut iter = input.into_iter().peekable();
+    loop {
+        skip_attributes(&mut iter);
+        match iter.next() {
+            Some(tt) if is_ident(&tt, "pub") => {
+                if matches!(iter.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    iter.next();
+                }
+            }
+            Some(tt) if is_ident(&tt, "struct") => {
+                let name = match iter.next() {
+                    Some(TokenTree::Ident(i)) => i.to_string(),
+                    other => panic!("serde derive: expected struct name, found {other:?}"),
+                };
+                if matches!(iter.peek(), Some(tt) if is_punct(tt, '<')) {
+                    panic!("vendored serde derive does not support generic type `{name}`");
+                }
+                let fields = match iter.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        Fields::Named(parse_named_fields(g.stream()))
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        Fields::Unnamed(count_tuple_fields(g.stream()))
+                    }
+                    Some(tt) if is_punct(&tt, ';') => Fields::Unit,
+                    None => Fields::Unit,
+                    other => panic!("serde derive: unexpected token after struct name: {other:?}"),
+                };
+                return Item::Struct { name, fields };
+            }
+            Some(tt) if is_ident(&tt, "enum") => {
+                let name = match iter.next() {
+                    Some(TokenTree::Ident(i)) => i.to_string(),
+                    other => panic!("serde derive: expected enum name, found {other:?}"),
+                };
+                if matches!(iter.peek(), Some(tt) if is_punct(tt, '<')) {
+                    panic!("vendored serde derive does not support generic type `{name}`");
+                }
+                let variants = match iter.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        parse_variants(g.stream())
+                    }
+                    other => panic!("serde derive: expected enum body, found {other:?}"),
+                };
+                return Item::Enum { name, variants };
+            }
+            Some(_) => continue,
+            None => panic!("serde derive: no struct or enum found in input"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(fields) => {
+                    let mut entries = String::new();
+                    for f in fields {
+                        let fname = &f.name;
+                        entries.push_str(&format!(
+                            "(\"{fname}\".to_string(), ::serde::Serialize::to_value(&self.{fname})),"
+                        ));
+                    }
+                    format!("::serde::Value::Map(vec![{entries}])")
+                }
+                Fields::Unnamed(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+                Fields::Unnamed(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                        .collect();
+                    format!("::serde::Value::Seq(vec![{}])", items.join(","))
+                }
+                Fields::Unit => "::serde::Value::Unit".to_string(),
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.fields {
+                    Fields::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => ::serde::Value::Str(\"{vname}\".to_string()),"
+                    )),
+                    Fields::Unnamed(1) => arms.push_str(&format!(
+                        "{name}::{vname}(__f0) => ::serde::Value::Map(vec![(\"{vname}\".to_string(), ::serde::Serialize::to_value(__f0))]),"
+                    )),
+                    Fields::Unnamed(n) => {
+                        let pats: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Serialize::to_value(__f{i})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname}({}) => ::serde::Value::Map(vec![(\"{vname}\".to_string(), ::serde::Value::Seq(vec![{}]))]),",
+                            pats.join(","),
+                            items.join(",")
+                        ));
+                    }
+                    Fields::Named(fields) => {
+                        let pats: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let entries: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(\"{0}\".to_string(), ::serde::Serialize::to_value({0}))",
+                                    f.name
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {} }} => ::serde::Value::Map(vec![(\"{vname}\".to_string(), ::serde::Value::Map(vec![{}]))]),",
+                            pats.join(","),
+                            entries.join(",")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ match self {{ {arms} }} }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+fn gen_named_constructor(path: &str, fields: &[Field], map_expr: &str) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            let helper = if f.has_default {
+                "field_or_default"
+            } else {
+                "field"
+            };
+            format!(
+                "{0}: ::serde::__private::{helper}({map_expr}, \"{0}\")?",
+                f.name
+            )
+        })
+        .collect();
+    format!("{path} {{ {} }}", inits.join(","))
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(fields) => {
+                    let ctor = gen_named_constructor(name, fields, "__map");
+                    format!(
+                        "let __map = __value.as_map().ok_or_else(|| ::serde::DeError::expected(\"map for struct {name}\", __value))?;\n\
+                         Ok({ctor})"
+                    )
+                }
+                Fields::Unnamed(1) => {
+                    format!("Ok({name}(::serde::Deserialize::from_value(__value)?))")
+                }
+                Fields::Unnamed(n) => {
+                    let inits: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                        .collect();
+                    format!(
+                        "match __value {{\n\
+                             ::serde::Value::Seq(__items) if __items.len() == {n} => Ok({name}({inits})),\n\
+                             __other => Err(::serde::DeError::expected(\"array of {n} for {name}\", __other)),\n\
+                         }}",
+                        inits = inits.join(",")
+                    )
+                }
+                Fields::Unit => format!(
+                    "match __value {{\n\
+                         ::serde::Value::Unit => Ok({name}),\n\
+                         __other => Err(::serde::DeError::expected(\"unit\", __other)),\n\
+                     }}"
+                ),
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__value: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.fields {
+                    Fields::Unit => {
+                        unit_arms.push_str(&format!("\"{vname}\" => Ok({name}::{vname}),"));
+                    }
+                    Fields::Unnamed(1) => tagged_arms.push_str(&format!(
+                        "\"{vname}\" => Ok({name}::{vname}(::serde::Deserialize::from_value(__inner).map_err(|e| e.in_field(\"{vname}\"))?)),"
+                    )),
+                    Fields::Unnamed(n) => {
+                        let inits: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{vname}\" => match __inner {{\n\
+                                 ::serde::Value::Seq(__items) if __items.len() == {n} => Ok({name}::{vname}({inits})),\n\
+                                 __other => Err(::serde::DeError::expected(\"array of {n} for variant {vname}\", __other)),\n\
+                             }},",
+                            inits = inits.join(",")
+                        ));
+                    }
+                    Fields::Named(fields) => {
+                        let ctor =
+                            gen_named_constructor(&format!("{name}::{vname}"), fields, "__vmap");
+                        tagged_arms.push_str(&format!(
+                            "\"{vname}\" => {{\n\
+                                 let __vmap = __inner.as_map().ok_or_else(|| ::serde::DeError::expected(\"map for variant {vname}\", __inner))?;\n\
+                                 Ok({ctor})\n\
+                             }},"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__value: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         match __value {{\n\
+                             ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                                 {unit_arms}\n\
+                                 __other => Err(::serde::DeError::unknown_variant(__other, \"{name}\")),\n\
+                             }},\n\
+                             ::serde::Value::Map(__entries) if __entries.len() == 1 => {{\n\
+                                 let (__tag, __inner) = &__entries[0];\n\
+                                 match __tag.as_str() {{\n\
+                                     {tagged_arms}\n\
+                                     __other => Err(::serde::DeError::unknown_variant(__other, \"{name}\")),\n\
+                                 }}\n\
+                             }}\n\
+                             __other => Err(::serde::DeError::expected(\"string or single-entry map for enum {name}\", __other)),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde derive: generated Serialize impl failed to parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde derive: generated Deserialize impl failed to parse")
+}

@@ -1,0 +1,133 @@
+//! Offline TOML codec for the vendored value-tree serde.
+//!
+//! Supports the TOML subset the workspace's worksheets and reports use:
+//! comments, bare/quoted keys, strings with basic escapes, integers
+//! (with `_` separators), floats (including exponents and `inf`/`nan`),
+//! booleans, (possibly multi-line) arrays, inline tables, `[table]` and
+//! `[[array-of-tables]]` headers with dotted paths.
+//!
+//! Serialization follows the upstream crate's conventions that the tests
+//! depend on: scalar keys before sub-tables, nested tables as `[a.b]`
+//! headers, floats always printed with a decimal point or exponent
+//! (`150000000.0`), `None` fields omitted.
+
+pub mod de;
+pub mod ser;
+
+pub use de::from_str;
+pub use ser::{to_string, to_string_pretty};
+
+#[cfg(test)]
+mod tests {
+    use serde::Value;
+
+    #[test]
+    fn parse_basic_document() {
+        let text = r#"
+            # worksheet
+            name = "pdf-1d"   # trailing comment
+            buffering = "Single"
+
+            [dataset]
+            elements_in = 512
+            bytes_per_element = 4
+
+            [comm]
+            ideal_bandwidth = 1000000000.0
+            alpha_write = 0.37
+        "#;
+        let v = crate::de::parse_document(text).unwrap();
+        assert_eq!(v.get("name"), Some(&Value::Str("pdf-1d".into())));
+        assert_eq!(v.get("buffering"), Some(&Value::Str("Single".into())));
+        let dataset = v.get("dataset").unwrap();
+        assert_eq!(dataset.get("elements_in"), Some(&Value::Int(512)));
+        let comm = v.get("comm").unwrap();
+        assert_eq!(comm.get("ideal_bandwidth"), Some(&Value::Float(1.0e9)));
+        assert_eq!(comm.get("alpha_write"), Some(&Value::Float(0.37)));
+    }
+
+    #[test]
+    fn render_emits_scalars_before_tables() {
+        let v = Value::Map(vec![
+            ("outer".into(), Value::Int(1)),
+            (
+                "inner".into(),
+                Value::Map(vec![
+                    ("a".into(), Value::Float(150000000.0)),
+                    ("s".into(), Value::Str("x".into())),
+                ]),
+            ),
+            ("trailing".into(), Value::Bool(true)),
+        ]);
+        let text = crate::ser::render_document(&v).unwrap();
+        let reparsed = crate::de::parse_document(&text).unwrap();
+        assert_eq!(reparsed.get("outer"), Some(&Value::Int(1)));
+        assert_eq!(reparsed.get("trailing"), Some(&Value::Bool(true)));
+        assert_eq!(
+            reparsed.get("inner").unwrap().get("a"),
+            Some(&Value::Float(150000000.0))
+        );
+        assert!(
+            text.contains("150000000.0"),
+            "float must keep decimal point: {text}"
+        );
+    }
+
+    #[test]
+    fn arrays_and_inline_tables() {
+        let text = r#"
+            points = [[1, 0.9], [1024, 0.37]]
+            multi = [
+                1,
+                2,
+                3,
+            ]
+            inline = { x = 1, y = "two" }
+        "#;
+        let v = crate::de::parse_document(text).unwrap();
+        match v.get("points").unwrap() {
+            Value::Seq(items) => {
+                assert_eq!(items.len(), 2);
+                assert_eq!(items[0], Value::Seq(vec![Value::Int(1), Value::Float(0.9)]));
+            }
+            other => panic!("expected array, got {other:?}"),
+        }
+        assert_eq!(
+            v.get("multi"),
+            Some(&Value::Seq(vec![
+                Value::Int(1),
+                Value::Int(2),
+                Value::Int(3)
+            ]))
+        );
+        assert_eq!(
+            v.get("inline").unwrap().get("y"),
+            Some(&Value::Str("two".into()))
+        );
+    }
+
+    #[test]
+    fn array_of_tables() {
+        let text = "
+            [[run]]
+            id = 1
+            [[run]]
+            id = 2
+        ";
+        let v = crate::de::parse_document(text).unwrap();
+        match v.get("run").unwrap() {
+            Value::Seq(items) => {
+                assert_eq!(items.len(), 2);
+                assert_eq!(items[1].get("id"), Some(&Value::Int(2)));
+            }
+            other => panic!("expected array of tables, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unparseable_input_errors() {
+        assert!(crate::de::parse_document("key = ").is_err());
+        assert!(crate::de::parse_document("= 3").is_err());
+        assert!(crate::de::parse_document("key = \"unterminated").is_err());
+    }
+}

@@ -1,0 +1,177 @@
+//! Serialization of `serde::Value` trees to TOML text.
+
+use serde::{Serialize, Value};
+
+/// Error for unserializable shapes (non-map root, maps inside plain arrays
+/// mixed with scalars, etc.).
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "TOML serialize error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialize `value` as a TOML document.
+pub fn to_string<T: Serialize>(value: &T) -> Result<String, Error> {
+    render_document(&value.to_value())
+}
+
+/// Pretty variant — identical to [`to_string`] in this shim (the compact
+/// writer already emits one key per line).
+pub fn to_string_pretty<T: Serialize>(value: &T) -> Result<String, Error> {
+    to_string(value)
+}
+
+pub(crate) fn render_document(root: &Value) -> Result<String, Error> {
+    let entries = match root {
+        Value::Map(entries) => entries,
+        other => {
+            return Err(Error::new(format!(
+                "root must be a table, got {}",
+                other.type_name()
+            )))
+        }
+    };
+    let mut out = String::new();
+    render_table(&mut out, &[], entries)?;
+    Ok(out)
+}
+
+/// Does this value render as a sub-table (vs an inline value)?
+fn is_table(v: &Value) -> bool {
+    matches!(v, Value::Map(_))
+}
+
+/// Is this an array whose elements are all tables (rendered as `[[name]]`)?
+fn is_table_array(v: &Value) -> bool {
+    matches!(v, Value::Seq(items) if !items.is_empty() && items.iter().all(is_table))
+}
+
+fn render_table(
+    out: &mut String,
+    path: &[String],
+    entries: &[(String, Value)],
+) -> Result<(), Error> {
+    // Scalars first (a key line after a `[sub]` header would belong to the
+    // sub-table), then sub-tables in declaration order.
+    for (key, value) in entries {
+        if matches!(value, Value::None) || is_table(value) || is_table_array(value) {
+            continue;
+        }
+        out.push_str(&format!(
+            "{} = {}\n",
+            render_key(key),
+            render_inline(value)?
+        ));
+    }
+    for (key, value) in entries {
+        let mut child_path: Vec<String> = path.to_vec();
+        child_path.push(key.clone());
+        if let Value::Map(sub) = value {
+            out.push('\n');
+            out.push_str(&format!("[{}]\n", render_path(&child_path)));
+            render_table(out, &child_path, sub)?;
+        } else if is_table_array(value) {
+            if let Value::Seq(items) = value {
+                for item in items {
+                    if let Value::Map(sub) = item {
+                        out.push('\n');
+                        out.push_str(&format!("[[{}]]\n", render_path(&child_path)));
+                        render_table(out, &child_path, sub)?;
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn render_path(path: &[String]) -> String {
+    path.iter()
+        .map(|p| render_key(p))
+        .collect::<Vec<_>>()
+        .join(".")
+}
+
+fn render_key(key: &str) -> String {
+    let bare = !key.is_empty()
+        && key
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-');
+    if bare {
+        key.to_string()
+    } else {
+        render_string(key)
+    }
+}
+
+fn render_inline(value: &Value) -> Result<String, Error> {
+    match value {
+        Value::Bool(b) => Ok(b.to_string()),
+        Value::Int(i) => Ok(i.to_string()),
+        Value::Float(f) => Ok(render_float(*f)),
+        Value::Str(s) => Ok(render_string(s)),
+        Value::Seq(items) => {
+            let rendered: Result<Vec<String>, Error> = items.iter().map(render_inline).collect();
+            Ok(format!("[{}]", rendered?.join(", ")))
+        }
+        Value::Map(entries) => {
+            // Inline-table form, used for maps nested inside arrays.
+            let rendered: Result<Vec<String>, Error> = entries
+                .iter()
+                .filter(|(_, v)| !matches!(v, Value::None))
+                .map(|(k, v)| Ok(format!("{} = {}", render_key(k), render_inline(v)?)))
+                .collect();
+            Ok(format!("{{ {} }}", rendered?.join(", ")))
+        }
+        Value::Unit => Err(Error::new("unit values are not representable in TOML")),
+        Value::None => Err(Error::new("None at value position")),
+    }
+}
+
+/// Floats keep a decimal point or exponent so they re-parse as floats
+/// (`{:?}` gives `150000000.0`, `1e-12` style for extremes), matching the
+/// upstream crate's output that the CLI tests string-match against.
+fn render_float(f: f64) -> String {
+    if f.is_nan() {
+        "nan".to_string()
+    } else if f.is_infinite() {
+        if f < 0.0 {
+            "-inf".to_string()
+        } else {
+            "inf".to_string()
+        }
+    } else {
+        format!("{f:?}")
+    }
+}
+
+fn render_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04X}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
