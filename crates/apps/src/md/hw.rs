@@ -16,6 +16,7 @@ use fpga_sim::catalog;
 use fpga_sim::kernel::TabulatedKernel;
 use fpga_sim::pipeline::{PipelineSpec, StallModel};
 use fpga_sim::platform::{AppRun, BufferMode, Measurement, Platform};
+use rat_core::quantity::Freq;
 use rat_core::resources::{device, ResourceEstimate, ResourceReport};
 
 use crate::md::cell_list::neighbor_counts;
@@ -120,7 +121,7 @@ impl MdDesign {
     /// system — Table 8's `N_iter = 1`).
     pub fn kernel(&self) -> TabulatedKernel {
         let cycles = self.pipeline_spec().cycles(self.total_ops, self.n as u64);
-        TabulatedKernel::new("md-force", vec![cycles])
+        TabulatedKernel::new("md-force", vec![cycles.get()])
     }
 
     /// The platform run: one iteration, full-system transfer in, results
@@ -164,7 +165,7 @@ impl MdDesign {
     pub fn simulate(&self, fclock_hz: f64) -> Measurement {
         let platform = Platform::new(catalog::xd1000());
         platform
-            .execute(&self.kernel(), &self.app_run(), fclock_hz)
+            .execute(&self.kernel(), &self.app_run(), Freq::from_hz(fclock_hz))
             .expect("valid run by construction")
     }
 
@@ -173,7 +174,12 @@ impl MdDesign {
     pub fn simulate_summary(&self, fclock_hz: f64, cache: Option<&SimCache>) -> SimSummary {
         let platform = Platform::new(catalog::xd1000());
         platform
-            .execute_summary(&self.kernel(), &self.app_run(), fclock_hz, cache)
+            .execute_summary(
+                &self.kernel(),
+                &self.app_run(),
+                Freq::from_hz(fclock_hz),
+                cache,
+            )
             .expect("valid run by construction")
     }
 }
@@ -220,7 +226,7 @@ mod tests {
             .pipeline_spec()
             .cycles(d.total_ops(), d.molecules() as u64);
         let ideal = d.total_ops() as f64 / PEAK_OPS_PER_CYCLE as f64;
-        let ratio = cycles as f64 / ideal;
+        let ratio = cycles.as_f64() / ideal;
         assert!(
             (ratio - 1.0 / EFFICIENCY).abs() < 0.01,
             "cycle inflation {ratio:.3} should be ~{:.3}",

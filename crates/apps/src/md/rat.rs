@@ -3,6 +3,7 @@
 use rat_core::params::{
     Buffering, CommParams, CompParams, DatasetParams, RatInput, SoftwareParams,
 };
+use rat_core::quantity::{Freq, Seconds, Throughput};
 
 use crate::md::N_MOLECULES;
 
@@ -22,7 +23,7 @@ pub fn rat_input(fclock_hz: f64) -> RatInput {
             bytes_per_element: 36,
         },
         comm: CommParams {
-            ideal_bandwidth: 500.0e6,
+            ideal_bandwidth: Throughput::from_bytes_per_sec(500.0e6),
             alpha_write: 0.9,
             alpha_read: 0.9,
         },
@@ -32,10 +33,10 @@ pub fn rat_input(fclock_hz: f64) -> RatInput {
             ops_per_element: 164_000.0,
             // The tuned value: what the inverse solve says a ~10x goal needs.
             throughput_proc: 50.0,
-            fclock: fclock_hz,
+            fclock: Freq::from_hz(fclock_hz),
         },
         software: SoftwareParams {
-            t_soft: T_SOFT,
+            t_soft: Seconds::new(T_SOFT),
             iterations: 1,
         },
         buffering: Buffering::Single,
@@ -54,7 +55,10 @@ mod tests {
         assert_eq!(i.dataset.elements_in, 16_384);
         assert_eq!(i.dataset.elements_out, 16_384);
         assert_eq!(i.dataset.bytes_per_element, 36);
-        assert_eq!(i.comm.ideal_bandwidth, 500.0e6);
+        assert_eq!(
+            i.comm.ideal_bandwidth,
+            Throughput::from_bytes_per_sec(500.0e6)
+        );
         assert_eq!(i.comp.ops_per_element, 164_000.0);
         assert_eq!(i.software.iterations, 1);
     }
@@ -70,17 +74,20 @@ mod tests {
         ] {
             let r = Worksheet::new(rat_input(f)).analyze().unwrap();
             assert!(
-                (r.throughput.t_comp - tc).abs() / tc < 0.005,
+                (r.throughput.t_comp.seconds() - tc).abs() / tc < 0.005,
                 "t_comp at {f}"
             );
-            assert!((r.throughput.t_rc - trc).abs() / trc < 0.005, "t_RC at {f}");
+            assert!(
+                (r.throughput.t_rc.seconds() - trc).abs() / trc < 0.005,
+                "t_RC at {f}"
+            );
             assert!(
                 (r.speedup - sp).abs() < 0.06,
                 "speedup {} vs {sp}",
                 r.speedup
             );
             // Comm is trivially small: t_comm = 2.62e-3 at all clocks.
-            assert!((r.throughput.t_comm - 2.62e-3).abs() / 2.62e-3 < 0.005);
+            assert!((r.throughput.t_comm.seconds() - 2.62e-3).abs() / 2.62e-3 < 0.005);
         }
     }
 

@@ -16,6 +16,7 @@ use fpga_sim::cache::{SimCache, SimSummary};
 use fpga_sim::catalog;
 use fpga_sim::pipeline::{PipelineSpec, PipelinedKernel, StallModel};
 use fpga_sim::platform::{AppRun, BufferMode, Measurement, Platform};
+use rat_core::quantity::Freq;
 use rat_core::resources::{device, ResourceEstimate, ResourceReport};
 
 use crate::pdf::{BINS, BLOCK};
@@ -92,7 +93,7 @@ impl Pdf1dDesign {
     pub fn simulate(&self, fclock_hz: f64) -> Measurement {
         let platform = Platform::new(catalog::nallatech_h101());
         platform
-            .execute(&self.kernel(), &self.app_run(), fclock_hz)
+            .execute(&self.kernel(), &self.app_run(), Freq::from_hz(fclock_hz))
             .expect("valid run by construction")
     }
 
@@ -101,7 +102,12 @@ impl Pdf1dDesign {
     pub fn simulate_summary(&self, fclock_hz: f64, cache: Option<&SimCache>) -> SimSummary {
         let platform = Platform::new(catalog::nallatech_h101());
         platform
-            .execute_summary(&self.kernel(), &self.app_run(), fclock_hz, cache)
+            .execute_summary(
+                &self.kernel(),
+                &self.app_run(),
+                Freq::from_hz(fclock_hz),
+                cache,
+            )
             .expect("valid run by construction")
     }
 
@@ -200,7 +206,7 @@ impl Pdf2dDesign {
     pub fn simulate(&self, fclock_hz: f64) -> Measurement {
         let platform = Platform::new(catalog::nallatech_h101());
         platform
-            .execute(&self.kernel(), &self.app_run(), fclock_hz)
+            .execute(&self.kernel(), &self.app_run(), Freq::from_hz(fclock_hz))
             .expect("valid run by construction")
     }
 
@@ -209,7 +215,12 @@ impl Pdf2dDesign {
     pub fn simulate_summary(&self, fclock_hz: f64, cache: Option<&SimCache>) -> SimSummary {
         let platform = Platform::new(catalog::nallatech_h101());
         platform
-            .execute_summary(&self.kernel(), &self.app_run(), fclock_hz, cache)
+            .execute_summary(
+                &self.kernel(),
+                &self.app_run(),
+                Freq::from_hz(fclock_hz),
+                cache,
+            )
             .expect("valid run by construction")
     }
 }
@@ -241,7 +252,7 @@ mod tests {
             bytes: 2048,
         });
         assert!(
-            (cycles as f64 - 20_850.0).abs() / 20_850.0 < 0.02,
+            (cycles.as_f64() - 20_850.0).abs() / 20_850.0 < 0.02,
             "got {cycles} cycles"
         );
     }

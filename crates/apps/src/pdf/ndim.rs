@@ -11,6 +11,7 @@
 use rat_core::params::{
     Buffering, CommParams, CompParams, DatasetParams, RatInput, SoftwareParams,
 };
+use rat_core::quantity::{Freq, Seconds, Throughput};
 use rat_core::resources::{device, estimate, ResourceEstimate, ResourceReport};
 
 use crate::pdf::{BINS, BLOCK};
@@ -112,17 +113,17 @@ impl PdfNdDesign {
                 bytes_per_element: 4,
             },
             comm: CommParams {
-                ideal_bandwidth: 1.0e9,
+                ideal_bandwidth: Throughput::from_bytes_per_sec(1.0e9),
                 alpha_write: 0.37,
                 alpha_read: 0.16,
             },
             comp: CompParams {
                 ops_per_element: self.ops_per_element() as f64,
                 throughput_proc: self.worksheet_ops_per_cycle(),
-                fclock: fclock_hz,
+                fclock: Freq::from_hz(fclock_hz),
             },
             software: SoftwareParams {
-                t_soft: self.t_soft(),
+                t_soft: Seconds::new(self.t_soft()),
                 iterations: TOTAL_SAMPLES / BLOCK as u64,
             },
             buffering: Buffering::Single,

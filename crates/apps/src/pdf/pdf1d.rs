@@ -7,6 +7,7 @@
 use rat_core::params::{
     Buffering, CommParams, CompParams, DatasetParams, RatInput, SoftwareParams,
 };
+use rat_core::quantity::{Freq, Seconds, Throughput};
 
 use crate::datagen;
 use crate::pdf::hw::Pdf1dDesign;
@@ -31,7 +32,7 @@ pub fn rat_input(fclock_hz: f64) -> RatInput {
             bytes_per_element: 4,
         },
         comm: CommParams {
-            ideal_bandwidth: 1.0e9,
+            ideal_bandwidth: Throughput::from_bytes_per_sec(1.0e9),
             alpha_write: 0.37,
             alpha_read: 0.16,
         },
@@ -40,10 +41,10 @@ pub fn rat_input(fclock_hz: f64) -> RatInput {
             // Structural peak is 24; the worksheet "conservatively rounds down
             // to 20 to account for pipeline latency and other overheads".
             throughput_proc: 20.0,
-            fclock: fclock_hz,
+            fclock: Freq::from_hz(fclock_hz),
         },
         software: SoftwareParams {
-            t_soft: T_SOFT,
+            t_soft: Seconds::new(T_SOFT),
             iterations: (TOTAL_SAMPLES_1D / BLOCK) as u64,
         },
         buffering: Buffering::Single,
@@ -86,7 +87,7 @@ mod tests {
         assert_eq!(i.comp.ops_per_element, 768.0);
         assert_eq!(i.comp.throughput_proc, 20.0);
         assert_eq!(i.software.iterations, 400);
-        assert_eq!(i.software.t_soft, 0.578);
+        assert_eq!(i.software.t_soft, Seconds::new(0.578));
     }
 
     #[test]
@@ -114,8 +115,10 @@ mod tests {
             measured_speedup
         );
         // The miss is communication, not computation.
-        let comm_err = measured.comm_per_iter().as_secs_f64() / predicted.throughput.t_comm;
-        let comp_err = measured.comp_per_iter().as_secs_f64() / predicted.throughput.t_comp;
+        let comm_err =
+            measured.comm_per_iter().as_secs_f64() / predicted.throughput.t_comm.seconds();
+        let comp_err =
+            measured.comp_per_iter().as_secs_f64() / predicted.throughput.t_comp.seconds();
         assert!(
             comm_err > 3.0,
             "comm underestimated ~4.5x, got {comm_err:.2}x"

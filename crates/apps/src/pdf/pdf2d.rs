@@ -9,6 +9,7 @@
 use rat_core::params::{
     Buffering, CommParams, CompParams, DatasetParams, RatInput, SoftwareParams,
 };
+use rat_core::quantity::{Freq, Seconds, Throughput};
 
 use crate::datagen;
 use crate::pdf::hw::Pdf2dDesign;
@@ -28,7 +29,7 @@ pub fn rat_input(fclock_hz: f64) -> RatInput {
             bytes_per_element: 4,
         },
         comm: CommParams {
-            ideal_bandwidth: 1.0e9,
+            ideal_bandwidth: Throughput::from_bytes_per_sec(1.0e9),
             alpha_write: 0.37,
             alpha_read: 0.16,
         },
@@ -37,10 +38,10 @@ pub fn rat_input(fclock_hz: f64) -> RatInput {
             // Structural peak 72; the worksheet uses 48, "conservatively
             // estimated to account for unforeseen problems".
             throughput_proc: 48.0,
-            fclock: fclock_hz,
+            fclock: Freq::from_hz(fclock_hz),
         },
         software: SoftwareParams {
-            t_soft: T_SOFT,
+            t_soft: Seconds::new(T_SOFT),
             iterations: 400,
         },
         buffering: Buffering::Single,
@@ -76,7 +77,7 @@ mod tests {
         assert_eq!(i.dataset.elements_out, 65_536);
         assert_eq!(i.comp.ops_per_element, 393_216.0);
         assert_eq!(i.comp.throughput_proc, 48.0);
-        assert_eq!(i.software.t_soft, 158.8);
+        assert_eq!(i.software.t_soft, Seconds::new(158.8));
     }
 
     #[test]
@@ -90,12 +91,15 @@ mod tests {
             (150.0e6, 5.59e-2, 2.30e1, 6.9),
         ] {
             let r = Worksheet::new(rat_input(f)).analyze().unwrap();
-            assert!((r.throughput.t_comm - 1.65e-3).abs() / 1.65e-3 < 0.01);
+            assert!((r.throughput.t_comm.seconds() - 1.65e-3).abs() / 1.65e-3 < 0.01);
             assert!(
-                (r.throughput.t_comp - tc).abs() / tc < 0.01,
+                (r.throughput.t_comp.seconds() - tc).abs() / tc < 0.01,
                 "t_comp at {f}"
             );
-            assert!((r.throughput.t_rc - trc).abs() / trc < 0.01, "t_RC at {f}");
+            assert!(
+                (r.throughput.t_rc.seconds() - trc).abs() / trc < 0.01,
+                "t_RC at {f}"
+            );
             assert!(
                 (r.speedup - sp).abs() < 0.06,
                 "speedup {} vs {sp}",

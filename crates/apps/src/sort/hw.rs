@@ -11,6 +11,7 @@ use fpga_sim::cache::{SimCache, SimSummary};
 use fpga_sim::catalog;
 use fpga_sim::pipeline::{PipelineSpec, PipelinedKernel, StallModel};
 use fpga_sim::platform::{AppRun, BufferMode, Measurement, Platform};
+use rat_core::quantity::Freq;
 use rat_core::resources::{device, ResourceEstimate, ResourceReport};
 
 use crate::sort::{BLOCK_KEYS, CE_STAGES, TOTAL_KEYS};
@@ -75,7 +76,7 @@ impl BitonicDesign {
     pub fn simulate(&self, fclock_hz: f64) -> Measurement {
         let platform = Platform::new(catalog::nallatech_h101());
         platform
-            .execute(&self.kernel(), &self.app_run(), fclock_hz)
+            .execute(&self.kernel(), &self.app_run(), Freq::from_hz(fclock_hz))
             .expect("valid run by construction")
     }
 
@@ -84,7 +85,12 @@ impl BitonicDesign {
     pub fn simulate_summary(&self, fclock_hz: f64, cache: Option<&SimCache>) -> SimSummary {
         let platform = Platform::new(catalog::nallatech_h101());
         platform
-            .execute_summary(&self.kernel(), &self.app_run(), fclock_hz, cache)
+            .execute_summary(
+                &self.kernel(),
+                &self.app_run(),
+                Freq::from_hz(fclock_hz),
+                cache,
+            )
             .expect("valid run by construction")
     }
 }
@@ -93,6 +99,7 @@ impl BitonicDesign {
 mod tests {
     use super::*;
     use fpga_sim::kernel::{Batch, HardwareKernel};
+    use rat_core::quantity::Cycles;
 
     #[test]
     fn block_streams_in_about_n_over_lanes_cycles() {
@@ -103,7 +110,7 @@ mod tests {
             bytes: 16_384,
         });
         // 4096 keys / 4 lanes = 1024 steady cycles + fill + drain.
-        assert_eq!(cycles, 1024 + 78 + 78);
+        assert_eq!(cycles, Cycles::new(1024 + 78 + 78));
     }
 
     #[test]

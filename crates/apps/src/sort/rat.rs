@@ -9,6 +9,7 @@
 use rat_core::params::{
     Buffering, CommParams, CompParams, DatasetParams, RatInput, SoftwareParams,
 };
+use rat_core::quantity::{Freq, Seconds, Throughput};
 
 use crate::sort::hw::BitonicDesign;
 use crate::sort::{BLOCK_KEYS, CE_STAGES, TOTAL_KEYS};
@@ -31,17 +32,17 @@ pub fn rat_input(fclock_hz: f64) -> RatInput {
             bytes_per_element: 4,
         },
         comm: CommParams {
-            ideal_bandwidth: 1.0e9,
+            ideal_bandwidth: Throughput::from_bytes_per_sec(1.0e9),
             alpha_write: probe.alpha_write,
             alpha_read: probe.alpha_read,
         },
         comp: CompParams {
             ops_per_element: CE_STAGES as f64,
             throughput_proc: (BitonicDesign::LANES as u64 * CE_STAGES) as f64,
-            fclock: fclock_hz,
+            fclock: Freq::from_hz(fclock_hz),
         },
         software: SoftwareParams {
-            t_soft: T_SOFT,
+            t_soft: Seconds::new(T_SOFT),
             iterations: (TOTAL_KEYS / BLOCK_KEYS) as u64,
         },
         buffering: Buffering::Double,

@@ -12,6 +12,7 @@ use fpga_sim::kernel::TabulatedKernel;
 use fpga_sim::platform::{AppRun, BufferMode, Platform};
 use rat_apps::pdf::pdf1d;
 use rat_core::params::Buffering;
+use rat_core::quantity::Freq;
 use rat_core::sweep::{sweep, SweepParam};
 use rat_core::worksheet::Worksheet;
 
@@ -108,7 +109,9 @@ fn ablation_setup_latency(c: &mut Criterion) {
         ("no host overheads", no_host),
         ("neither (alpha only)", ideal),
     ] {
-        let m = Platform::new(spec).execute(&kernel, &run, 150.0e6).unwrap();
+        let m = Platform::new(spec)
+            .execute(&kernel, &run, Freq::from_hz(150.0e6))
+            .unwrap();
         println!(
             "  {label:<22} t_comm/iter {:>9.3e} s  total {:>9.3e} s  speedup {:>5.2}x",
             m.comm_per_iter().as_secs_f64(),
@@ -118,7 +121,13 @@ fn ablation_setup_latency(c: &mut Criterion) {
     }
     c.bench_function("ablation-setup-latency", |b| {
         let platform = Platform::new(catalog::nallatech_h101());
-        b.iter(|| black_box(platform.execute(&kernel, &run, 150.0e6).unwrap()))
+        b.iter(|| {
+            black_box(
+                platform
+                    .execute(&kernel, &run, Freq::from_hz(150.0e6))
+                    .unwrap(),
+            )
+        })
     });
 }
 
@@ -133,7 +142,7 @@ fn ablation_block_size(c: &mut Criterion) {
         let iters = total_samples / block;
         let spec = pdf1d::design().pipeline_spec();
         let cycles = spec.cycles(block * 768, block);
-        let kernel = TabulatedKernel::uniform("k", cycles, iters as usize);
+        let kernel = TabulatedKernel::uniform("k", cycles.get(), iters as usize);
         let run = AppRun::builder()
             .iterations(iters)
             .elements_per_iter(block)
@@ -141,7 +150,9 @@ fn ablation_block_size(c: &mut Criterion) {
             .output_bytes_per_iter(1024)
             .buffer_mode(BufferMode::Single)
             .build();
-        let m = platform.execute(&kernel, &run, 150.0e6).unwrap();
+        let m = platform
+            .execute(&kernel, &run, Freq::from_hz(150.0e6))
+            .unwrap();
         println!(
             "  block {block:>5} ({iters:>4} iters): total {:>9.3e} s  speedup {:>5.2}x",
             m.total.as_secs_f64(),
@@ -150,7 +161,7 @@ fn ablation_block_size(c: &mut Criterion) {
     }
     c.bench_function("ablation-block-size", |b| {
         let spec = pdf1d::design().pipeline_spec();
-        let kernel = TabulatedKernel::uniform("k", spec.cycles(2048 * 768, 2048), 100);
+        let kernel = TabulatedKernel::uniform("k", spec.cycles(2048 * 768, 2048).get(), 100);
         let run = AppRun::builder()
             .iterations(100)
             .elements_per_iter(2048)
@@ -158,7 +169,13 @@ fn ablation_block_size(c: &mut Criterion) {
             .output_bytes_per_iter(1024)
             .buffer_mode(BufferMode::Single)
             .build();
-        b.iter(|| black_box(platform.execute(&kernel, &run, 150.0e6).unwrap()))
+        b.iter(|| {
+            black_box(
+                platform
+                    .execute(&kernel, &run, Freq::from_hz(150.0e6))
+                    .unwrap(),
+            )
+        })
     });
 }
 
@@ -190,7 +207,9 @@ fn ablation_multifpga(c: &mut Criterion) {
             .buffer_mode(BufferMode::Double)
             .parallel_kernels(devices)
             .build();
-        let m = platform.execute(&kernel, &run, 150.0e6).unwrap();
+        let m = platform
+            .execute(&kernel, &run, Freq::from_hz(150.0e6))
+            .unwrap();
         println!(
             "  {devices:>2} devices: analytic {:>6.1}x  simulated {:>6.1}x  (channel busy {:>3.0}%)",
             analytic.speedup,

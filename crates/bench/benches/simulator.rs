@@ -14,6 +14,7 @@ use fpga_sim::kernel::TabulatedKernel;
 use fpga_sim::platform::{AppRun, BufferMode, Platform};
 use fpga_sim::queue::EventQueue;
 use fpga_sim::time::SimTime;
+use rat_core::quantity::Freq;
 
 fn bench_event_queue(c: &mut Criterion) {
     let mut g = c.benchmark_group("sim-event-queue");
@@ -82,7 +83,9 @@ fn bench_platform_execution(c: &mut Criterion) {
             g.bench_with_input(
                 BenchmarkId::new(label, iters),
                 &(kernel.clone(), run),
-                |b, (k, r)| b.iter(|| black_box(platform.execute(k, r, 150.0e6).unwrap())),
+                |b, (k, r)| {
+                    b.iter(|| black_box(platform.execute(k, r, Freq::from_hz(150.0e6)).unwrap()))
+                },
             );
         }
     }
@@ -99,7 +102,9 @@ fn bench_gantt_rendering(c: &mut Criterion) {
         .output_bytes_per_iter(1024)
         .buffer_mode(BufferMode::Double)
         .build();
-    let m = platform.execute(&kernel, &run, 150.0e6).unwrap();
+    let m = platform
+        .execute(&kernel, &run, Freq::from_hz(150.0e6))
+        .unwrap();
     c.bench_function("sim-gantt-render", |b| {
         b.iter(|| black_box(m.trace.render_gantt(100)))
     });

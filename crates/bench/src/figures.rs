@@ -5,6 +5,7 @@ use fpga_sim::platform::{AppRun, BufferMode, Platform};
 use fpga_sim::time::SimTime;
 use fpga_sim::trace::Trace;
 use rat_apps::pdf::pdf1d;
+use rat_core::quantity::{Freq, Throughput};
 
 /// Figure 1: the RAT methodology flow. Rendered from the executable
 /// state machine's structure plus a live pass over the 1-D PDF design.
@@ -55,7 +56,7 @@ pub fn render_figure2() -> String {
         name: "figure2".into(),
         interconnect: fpga_sim::interconnect::Interconnect {
             name: "unit bus".into(),
-            ideal_bw: 1.0e9,
+            ideal_bw: Throughput::from_bytes_per_sec(1.0e9),
             setup_write: SimTime::ZERO,
             setup_read: SimTime::ZERO,
             alpha_write: fpga_sim::interconnect::AlphaCurve::flat(1.0),
@@ -75,7 +76,10 @@ pub fn render_figure2() -> String {
             .output_bytes_per_iter(120)
             .buffer_mode(mode)
             .build();
-        platform.execute(&kernel, &app, 1.0e9).expect("valid").trace
+        platform
+            .execute(&kernel, &app, Freq::from_hz(1.0e9))
+            .expect("valid")
+            .trace
     };
     let mut s = String::from("Figure 2: Example overlap scenarios (simulated schedules)\n\n");
     s.push_str("Single Buffered\n");

@@ -57,7 +57,7 @@ fn input_table(title: &str, input: &RatInput, clock_note: &str) -> String {
     t.section("Communication Parameters");
     t.row([
         "throughput_ideal (MB/s)".into(),
-        format!("{:.0}", input.comm.ideal_bandwidth / 1e6),
+        format!("{:.0}", input.comm.ideal_bandwidth.mbytes_per_sec()),
     ]);
     t.row(["alpha_write".into(), format!("{}", input.comm.alpha_write)]);
     t.row(["alpha_read".into(), format!("{}", input.comm.alpha_read)]);
@@ -72,7 +72,10 @@ fn input_table(title: &str, input: &RatInput, clock_note: &str) -> String {
     ]);
     t.row(["f_clock (MHz)".into(), clock_note.to_string()]);
     t.section("Software Parameters");
-    t.row(["t_soft (sec)".into(), format!("{}", input.software.t_soft)]);
+    t.row([
+        "t_soft (sec)".into(),
+        format!("{}", input.software.t_soft.seconds()),
+    ]);
     t.row([
         "N_iter (iterations)".into(),
         input.software.iterations.to_string(),
@@ -113,8 +116,8 @@ pub fn render_table8() -> String {
 /// single-buffered equations applied to *measured* per-iteration times.
 fn measured_util_comm(m: &SimSummary) -> f64 {
     utilization::util_comm_single(
-        m.comm_per_iter().as_secs_f64(),
-        m.comp_per_iter().as_secs_f64(),
+        m.comm_per_iter().as_seconds(),
+        m.comp_per_iter().as_seconds(),
     )
 }
 
@@ -164,13 +167,13 @@ fn perf_table(
         |f: fn(&rat_core::report::Report) -> f64| [f(&reports[0]), f(&reports[1]), f(&reports[2])];
     t.row(row(
         "t_comm (sec)",
-        p(|r| r.throughput.t_comm),
+        p(|r| r.throughput.t_comm.seconds()),
         sim_comm,
         paper_actual.t_comm,
     ));
     t.row(row(
         "t_comp (sec)",
-        p(|r| r.throughput.t_comp),
+        p(|r| r.throughput.t_comp.seconds()),
         sim_comp,
         paper_actual.t_comp,
     ));
@@ -187,7 +190,7 @@ fn perf_table(
     ]);
     t.row(row(
         "t_RC_SB (sec)",
-        p(|r| r.throughput.t_rc),
+        p(|r| r.throughput.t_rc.seconds()),
         sim_total,
         paper_actual.t_rc,
     ));

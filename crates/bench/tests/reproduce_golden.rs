@@ -233,3 +233,44 @@ fn warm_reproduce_all_mostly_hits_the_cache_with_identical_output() {
     );
     assert_eq!(first, second, "warm run must not change any artifact");
 }
+
+/// Satellite pin for the typed-quantity refactor: the full `reproduce all`
+/// output must be byte-identical to the fixture captured before the refactor.
+/// Replicates the CLI's rendering exactly — one `==== id — title ====` banner
+/// per artifact plus the final newline `println!` appends.
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "full-scale MD workload; run with --release"
+)]
+fn reproduce_all_matches_golden_fixture() {
+    let _g = CACHE_LOCK.lock().unwrap();
+    let golden = include_str!("golden/reproduce_all.txt");
+    let mut out = String::new();
+    for a in rat_bench::all_artifacts(false) {
+        out.push_str(&format!("==== {} — {} ====\n{}\n", a.id, a.title, a.body));
+    }
+    out.push('\n');
+    if out != golden {
+        let diverge = out
+            .lines()
+            .zip(golden.lines())
+            .position(|(a, b)| a != b)
+            .map(|i| {
+                format!(
+                    "first divergence at line {}:\n  ours:   {:?}\n  golden: {:?}",
+                    i + 1,
+                    out.lines().nth(i).unwrap_or(""),
+                    golden.lines().nth(i).unwrap_or("")
+                )
+            })
+            .unwrap_or_else(|| {
+                format!(
+                    "line-identical prefix; lengths differ ({} vs {} bytes)",
+                    out.len(),
+                    golden.len()
+                )
+            });
+        panic!("reproduce all drifted from the golden fixture; {diverge}");
+    }
+}

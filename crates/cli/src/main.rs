@@ -15,17 +15,99 @@ use std::process::ExitCode;
 
 use rat_core::engine::{Engine, EngineConfig};
 use rat_core::params::RatInput;
+use rat_core::quantity::Freq;
 use rat_core::sweep::SweepParam;
 use rat_core::worksheet::Worksheet;
+use rat_core::RatError;
+
+/// A CLI failure: a command-line usage problem, a worksheet I/O or parse
+/// failure, or an error from the model pipeline — each class mapped to a
+/// distinct process exit code so scripts can tell "you typed it wrong" from
+/// "the design is infeasible" (see DESIGN.md §10):
+///
+/// | exit code | class |
+/// |-----------|-------|
+/// | 0 | success |
+/// | 2 | usage error (unknown command, bad flag, missing argument) |
+/// | 3 | invalid worksheet parameter, quantity, or TOML |
+/// | 4 | infeasible solve (no parameter value reaches the target) |
+/// | 5 | simulator failure |
+/// | 6 | I/O failure (worksheet file or simulator cache) |
+#[derive(Debug)]
+enum CliError {
+    /// The command line itself is wrong.
+    Usage(String),
+    /// A worksheet file could not be read.
+    Io {
+        /// Path as given on the command line.
+        path: String,
+        /// Underlying filesystem error, rendered via the source chain.
+        source: std::io::Error,
+    },
+    /// A worksheet file is not valid TOML for a RAT input.
+    Parse {
+        /// Path as given on the command line.
+        path: String,
+        /// The deserializer's message (already names the offending field).
+        message: String,
+    },
+    /// The model pipeline rejected the inputs or failed while running.
+    Rat(RatError),
+}
+
+impl CliError {
+    fn usage(msg: impl Into<String>) -> Self {
+        CliError::Usage(msg.into())
+    }
+
+    /// The process exit code for this error class.
+    fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Usage(_) => 2,
+            CliError::Parse { .. }
+            | CliError::Rat(RatError::InvalidParameter(_))
+            | CliError::Rat(RatError::InvalidQuantity { .. }) => 3,
+            CliError::Rat(RatError::Infeasible(_)) => 4,
+            CliError::Rat(RatError::Simulation(_)) => 5,
+            CliError::Rat(RatError::CacheIo(_)) | CliError::Io { .. } => 6,
+        }
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "{msg}"),
+            CliError::Io { path, .. } => write!(f, "reading {path}"),
+            CliError::Parse { path, message } => write!(f, "parsing {path}: {message}"),
+            CliError::Rat(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CliError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<RatError> for CliError {
+    fn from(e: RatError) -> Self {
+        CliError::Rat(e)
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (config, no_cache, rest) = match parse_global_flags(&args) {
         Ok(v) => v,
-        Err(msg) => {
-            eprintln!("error: {msg}");
+        Err(err) => {
+            eprintln!("error: {err}");
             eprintln!("run `rat help` for usage");
-            return ExitCode::FAILURE;
+            return ExitCode::from(err.exit_code());
         }
     };
     if no_cache {
@@ -38,10 +120,17 @@ fn main() -> ExitCode {
             report_engine_stats(&engine);
             ExitCode::SUCCESS
         }
-        Err(msg) => {
-            eprintln!("error: {msg}");
-            eprintln!("run `rat help` for usage");
-            ExitCode::FAILURE
+        Err(err) => {
+            eprintln!("error: {err}");
+            let mut source = std::error::Error::source(&err);
+            while let Some(cause) = source {
+                eprintln!("  caused by: {cause}");
+                source = cause.source();
+            }
+            if matches!(err, CliError::Usage(_)) {
+                eprintln!("run `rat help` for usage");
+            }
+            ExitCode::from(err.exit_code())
         }
     }
 }
@@ -67,22 +156,24 @@ fn report_engine_stats(engine: &Engine) {
 /// Strip the global `--jobs N` / `--jobs=N` / `--no-cache` flags from the
 /// argument list, returning the engine configuration, whether the simulator
 /// cache should be disabled, and the remaining (command) arguments.
-fn parse_global_flags(args: &[String]) -> Result<(EngineConfig, bool, Vec<String>), String> {
+fn parse_global_flags(args: &[String]) -> Result<(EngineConfig, bool, Vec<String>), CliError> {
     let mut config = EngineConfig::default();
     let mut no_cache = false;
     let mut rest = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         if a == "--jobs" {
-            let n = it.next().ok_or("--jobs needs a thread count")?;
+            let n = it
+                .next()
+                .ok_or_else(|| CliError::usage("--jobs needs a thread count"))?;
             config = config.with_jobs(
                 n.parse()
-                    .map_err(|e| format!("bad --jobs value '{n}': {e}"))?,
+                    .map_err(|e| CliError::usage(format!("bad --jobs value '{n}': {e}")))?,
             );
         } else if let Some(n) = a.strip_prefix("--jobs=") {
             config = config.with_jobs(
                 n.parse()
-                    .map_err(|e| format!("bad --jobs value '{n}': {e}"))?,
+                    .map_err(|e| CliError::usage(format!("bad --jobs value '{n}': {e}")))?,
             );
         } else if a == "--no-cache" {
             no_cache = true;
@@ -96,7 +187,7 @@ fn parse_global_flags(args: &[String]) -> Result<(EngineConfig, bool, Vec<String
 
 /// Test-facing entry point: parse global flags, build the engine, dispatch.
 #[cfg(test)]
-fn run(args: &[String]) -> Result<String, String> {
+fn run(args: &[String]) -> Result<String, CliError> {
     let (config, no_cache, rest) = parse_global_flags(args)?;
     if no_cache {
         fpga_sim::SimCache::global().set_enabled(false);
@@ -104,13 +195,13 @@ fn run(args: &[String]) -> Result<String, String> {
     dispatch(&Engine::new(config), &rest)
 }
 
-fn dispatch(engine: &Engine, args: &[String]) -> Result<String, String> {
+fn dispatch(engine: &Engine, args: &[String]) -> Result<String, CliError> {
     let cmd = args.first().map(String::as_str).unwrap_or("help");
     match cmd {
         "help" | "--help" | "-h" => Ok(usage()),
         "analyze" => {
             let input = load_worksheet(args.get(1))?;
-            let report = Worksheet::new(input).analyze().map_err(|e| e.to_string())?;
+            let report = Worksheet::new(input).analyze()?;
             if args.iter().any(|a| a == "--markdown") {
                 Ok(report.render_markdown())
             } else {
@@ -120,9 +211,7 @@ fn dispatch(engine: &Engine, args: &[String]) -> Result<String, String> {
         "clocks" => {
             let input = load_worksheet(args.get(1))?;
             let clocks = parse_mhz_list(&args[2..])?;
-            let reports = Worksheet::new(input)
-                .analyze_clocks(&clocks)
-                .map_err(|e| e.to_string())?;
+            let reports = Worksheet::new(input).analyze_clocks(&clocks)?;
             let mut out = String::new();
             for r in reports {
                 out.push_str(&r.render_performance());
@@ -134,9 +223,9 @@ fn dispatch(engine: &Engine, args: &[String]) -> Result<String, String> {
             let input = load_worksheet(args.get(1))?;
             let target: f64 = args
                 .get(2)
-                .ok_or("solve needs a target speedup")?
+                .ok_or_else(|| CliError::usage("solve needs a target speedup"))?
                 .parse()
-                .map_err(|e| format!("bad target speedup: {e}"))?;
+                .map_err(|e| CliError::usage(format!("bad target speedup: {e}")))?;
             Ok(render_solve(&input, target))
         }
         "sweep" => {
@@ -144,31 +233,34 @@ fn dispatch(engine: &Engine, args: &[String]) -> Result<String, String> {
             let param = parse_param(args.get(2).map(String::as_str).unwrap_or(""))?;
             let values: Vec<f64> = args[3..]
                 .iter()
-                .map(|v| v.parse().map_err(|e| format!("bad sweep value '{v}': {e}")))
+                .map(|v| {
+                    v.parse()
+                        .map_err(|e| CliError::usage(format!("bad sweep value '{v}': {e}")))
+                })
                 .collect::<Result<_, _>>()?;
             if values.is_empty() {
-                return Err("sweep needs at least one value".into());
+                return Err(CliError::usage("sweep needs at least one value"));
             }
-            let result = rat_core::sweep::sweep_with(engine, &input, param, &values)
-                .map_err(|e| e.to_string())?;
+            let result = rat_core::sweep::sweep_with(engine, &input, param, &values)?;
             Ok(result.render())
         }
         "sensitivity" => {
             let input = load_worksheet(args.get(1))?;
-            let report =
-                rat_core::sensitivity::analyze_with(engine, &input).map_err(|e| e.to_string())?;
+            let report = rat_core::sensitivity::analyze_with(engine, &input)?;
             Ok(report.render())
         }
         "multi-fpga" => {
             let input = load_worksheet(args.get(1))?;
             let max: u32 = args
                 .get(2)
-                .map(|v| v.parse().map_err(|e| format!("bad device count: {e}")))
+                .map(|v| {
+                    v.parse()
+                        .map_err(|e| CliError::usage(format!("bad device count: {e}")))
+                })
                 .transpose()?
                 .unwrap_or(16);
-            let curve = rat_core::multifpga::scaling_curve_with(engine, &input, max)
-                .map_err(|e| e.to_string())?;
-            let sat = rat_core::multifpga::saturating_devices(&input).map_err(|e| e.to_string())?;
+            let curve = rat_core::multifpga::scaling_curve_with(engine, &input, max)?;
+            let sat = rat_core::multifpga::saturating_devices(&input)?;
             Ok(format!(
                 "{}channel saturates the scaling at {sat} device(s)\n",
                 curve.render()
@@ -179,9 +271,13 @@ fn dispatch(engine: &Engine, args: &[String]) -> Result<String, String> {
             let duplex = match args.get(2).map(String::as_str) {
                 None | Some("half") => rat_core::streaming::ChannelDuplex::Half,
                 Some("full") => rat_core::streaming::ChannelDuplex::Full,
-                Some(other) => return Err(format!("unknown duplex '{other}' (half|full)")),
+                Some(other) => {
+                    return Err(CliError::usage(format!(
+                        "unknown duplex '{other}' (half|full)"
+                    )))
+                }
             };
-            let s = rat_core::streaming::analyze(&input, duplex).map_err(|e| e.to_string())?;
+            let s = rat_core::streaming::analyze(&input, duplex)?;
             Ok(s.render())
         }
         "uncertainty" => {
@@ -193,15 +289,17 @@ fn dispatch(engine: &Engine, args: &[String]) -> Result<String, String> {
                 let param = parse_param(&rest[0])?;
                 let lo: f64 = rest[1]
                     .parse()
-                    .map_err(|e| format!("bad range low '{}': {e}", rest[1]))?;
+                    .map_err(|e| CliError::usage(format!("bad range low '{}': {e}", rest[1])))?;
                 let hi: f64 = rest[2]
                     .parse()
-                    .map_err(|e| format!("bad range high '{}': {e}", rest[2]))?;
+                    .map_err(|e| CliError::usage(format!("bad range high '{}': {e}", rest[2])))?;
                 ranges.push(rat_core::uncertainty::ParamRange::new(param, lo, hi));
                 rest = &rest[3..];
             }
             if ranges.is_empty() {
-                return Err("uncertainty needs at least one <param> <lo> <hi> triple".into());
+                return Err(CliError::usage(
+                    "uncertainty needs at least one <param> <lo> <hi> triple",
+                ));
             }
             let report = rat_core::uncertainty::propagate_with(
                 engine,
@@ -209,8 +307,7 @@ fn dispatch(engine: &Engine, args: &[String]) -> Result<String, String> {
                 &ranges,
                 10_000,
                 engine.config().root_seed,
-            )
-            .map_err(|e| e.to_string())?;
+            )?;
             Ok(report.render())
         }
         "microbench" => {
@@ -238,7 +335,9 @@ fn dispatch(engine: &Engine, args: &[String]) -> Result<String, String> {
                 rat_bench::artifact(what, fast)
                     .map(|a| format!("==== {} — {} ====\n{}", a.id, a.title, a.body))
                     .ok_or_else(|| {
-                        format!("unknown artifact '{what}' (table1..table10, figure1..figure3)")
+                        CliError::usage(format!(
+                            "unknown artifact '{what}' (table1..table10, figure1..figure3)"
+                        ))
                     })
             }
         }
@@ -265,9 +364,9 @@ fn dispatch(engine: &Engine, args: &[String]) -> Result<String, String> {
                     150.0e6,
                 ),
                 other => {
-                    return Err(format!(
+                    return Err(CliError::usage(format!(
                         "trace needs a case study (pdf1d|pdf2d|md|sort), got {other:?}"
-                    ))
+                    )))
                 }
             };
             let csv = args.iter().any(|a| a == "--csv");
@@ -303,32 +402,30 @@ fn dispatch(engine: &Engine, args: &[String]) -> Result<String, String> {
                 .iter()
                 .map(|p| load_worksheet(Some(p)))
                 .collect::<Result<Vec<_>, _>>()?;
-            let cmp = rat_core::comparison::DesignComparison::compare(&designs)
-                .map_err(|e| e.to_string())?;
+            let cmp = rat_core::comparison::DesignComparison::compare(&designs)?;
             Ok(cmp.render())
         }
         "breakeven" => {
             let input = load_worksheet(args.get(1))?;
             let dev_hours: f64 = args
                 .get(2)
-                .ok_or("breakeven needs <dev-hours> <runs-per-day>")?
+                .ok_or_else(|| CliError::usage("breakeven needs <dev-hours> <runs-per-day>"))?
                 .parse()
-                .map_err(|e| format!("bad dev-hours: {e}"))?;
+                .map_err(|e| CliError::usage(format!("bad dev-hours: {e}")))?;
             let runs_per_day: f64 = args
                 .get(3)
-                .ok_or("breakeven needs <dev-hours> <runs-per-day>")?
+                .ok_or_else(|| CliError::usage("breakeven needs <dev-hours> <runs-per-day>"))?
                 .parse()
-                .map_err(|e| format!("bad runs-per-day: {e}"))?;
+                .map_err(|e| CliError::usage(format!("bad runs-per-day: {e}")))?;
             let cost = rat_core::breakeven::MigrationCost {
                 development_hours: dev_hours,
                 runs_per_day,
             };
-            let be = rat_core::breakeven::BreakEven::analyze(&input, &cost)
-                .map_err(|e| e.to_string())?;
+            let be = rat_core::breakeven::BreakEven::analyze(&input, &cost)?;
             Ok(be.render())
         }
         "example-worksheet" => Ok(example_worksheet()),
-        other => Err(format!("unknown command '{other}'")),
+        other => Err(CliError::usage(format!("unknown command '{other}'"))),
     }
 }
 
@@ -366,28 +463,36 @@ analysis output and is byte-identical across --jobs settings.
     .to_string()
 }
 
-fn load_worksheet(path: Option<&String>) -> Result<RatInput, String> {
-    let path = path.ok_or("missing worksheet path")?;
-    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-    let input: RatInput = toml::from_str(&text).map_err(|e| format!("parsing {path}: {e}"))?;
-    input.validate().map_err(|e| e.to_string())?;
+fn load_worksheet(path: Option<&String>) -> Result<RatInput, CliError> {
+    let path = path.ok_or_else(|| CliError::usage("missing worksheet path"))?;
+    let text = std::fs::read_to_string(path).map_err(|e| CliError::Io {
+        path: path.clone(),
+        source: e,
+    })?;
+    let input: RatInput = toml::from_str(&text).map_err(|e| CliError::Parse {
+        path: path.clone(),
+        message: e.to_string(),
+    })?;
+    input.validate()?;
     Ok(input)
 }
 
-fn parse_mhz_list(args: &[String]) -> Result<Vec<f64>, String> {
+fn parse_mhz_list(args: &[String]) -> Result<Vec<Freq>, CliError> {
     if args.is_empty() {
-        return Err("clocks needs at least one frequency in MHz".into());
+        return Err(CliError::usage(
+            "clocks needs at least one frequency in MHz",
+        ));
     }
     args.iter()
         .map(|a| {
             a.parse::<f64>()
-                .map(|mhz| mhz * 1e6)
-                .map_err(|e| format!("bad frequency '{a}': {e}"))
+                .map(Freq::from_mhz)
+                .map_err(|e| CliError::usage(format!("bad frequency '{a}': {e}")))
         })
         .collect()
 }
 
-fn parse_param(name: &str) -> Result<SweepParam, String> {
+fn parse_param(name: &str) -> Result<SweepParam, CliError> {
     match name {
         "fclock" => Ok(SweepParam::Fclock),
         "alpha-write" => Ok(SweepParam::AlphaWrite),
@@ -397,18 +502,20 @@ fn parse_param(name: &str) -> Result<SweepParam, String> {
         "ops-per-element" => Ok(SweepParam::OpsPerElement),
         "elements-in" => Ok(SweepParam::ElementsIn),
         "iterations" => Ok(SweepParam::Iterations),
-        other => Err(format!("unknown sweep parameter '{other}'")),
+        other => Err(CliError::usage(format!(
+            "unknown sweep parameter '{other}'"
+        ))),
     }
 }
 
-fn parse_platform(name: &str) -> Result<fpga_sim::platform::PlatformSpec, String> {
+fn parse_platform(name: &str) -> Result<fpga_sim::platform::PlatformSpec, CliError> {
     match name {
         "nallatech" => Ok(fpga_sim::catalog::nallatech_h101()),
         "xd1000" => Ok(fpga_sim::catalog::xd1000()),
         "pcie" => Ok(fpga_sim::catalog::generic_pcie_gen2_x8()),
-        other => Err(format!(
+        other => Err(CliError::usage(format!(
             "unknown platform '{other}' (nallatech|xd1000|pcie)"
-        )),
+        ))),
     }
 }
 
@@ -419,7 +526,7 @@ fn render_solve(input: &RatInput, target: f64) -> String {
         Err(e) => out.push_str(&format!("  throughput_proc: {e}\n")),
     }
     match rat_core::solve::required_fclock(input, target) {
-        Ok(v) => out.push_str(&format!("  required f_clock:         {:.1} MHz\n", v / 1e6)),
+        Ok(v) => out.push_str(&format!("  required f_clock:         {:.1} MHz\n", v.mhz())),
         Err(e) => out.push_str(&format!("  f_clock: {e}\n")),
     }
     match rat_core::solve::required_alpha_scale(input, target) {
@@ -515,6 +622,41 @@ mod tests {
     }
 
     #[test]
+    fn exit_codes_distinguish_error_classes() {
+        assert_eq!(CliError::usage("x").exit_code(), 2);
+        assert_eq!(
+            CliError::from(RatError::quantity("comp.fclock", "must be positive")).exit_code(),
+            3
+        );
+        assert_eq!(
+            CliError::from(RatError::Infeasible("wall".into())).exit_code(),
+            4
+        );
+        assert_eq!(
+            CliError::from(RatError::simulation("diverged")).exit_code(),
+            5
+        );
+        let io = CliError::Io {
+            path: "ws.toml".into(),
+            source: std::io::Error::new(std::io::ErrorKind::NotFound, "gone"),
+        };
+        assert_eq!(io.exit_code(), 6);
+        // The I/O class carries its cause on the source chain.
+        assert!(std::error::Error::source(&io).is_some());
+    }
+
+    #[test]
+    fn malformed_worksheet_names_the_field() {
+        let dir = std::env::temp_dir().join("rat-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.toml");
+        std::fs::write(&path, example_worksheet().replace("150000000.0", "-1.0")).unwrap();
+        let err = run(&["analyze".into(), path.to_string_lossy().into_owned()]).unwrap_err();
+        assert_eq!(err.exit_code(), 3, "{err}");
+        assert!(err.to_string().contains("fclock"), "{err}");
+    }
+
+    #[test]
     fn param_names_parse() {
         assert!(parse_param("fclock").is_ok());
         assert!(parse_param("alpha").is_ok());
@@ -524,7 +666,7 @@ mod tests {
     #[test]
     fn mhz_list_scales_to_hz() {
         let v = parse_mhz_list(&["75".into(), "150".into()]).unwrap();
-        assert_eq!(v, vec![75.0e6, 150.0e6]);
+        assert_eq!(v, vec![Freq::from_mhz(75.0), Freq::from_mhz(150.0)]);
         assert!(parse_mhz_list(&[]).is_err());
     }
 

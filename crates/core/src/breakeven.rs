@@ -11,6 +11,7 @@
 
 use crate::error::RatError;
 use crate::params::RatInput;
+use crate::quantity::Seconds;
 use crate::table::TextTable;
 use crate::throughput;
 use serde::{Deserialize, Serialize};
@@ -27,8 +28,8 @@ pub struct MigrationCost {
 /// The break-even verdict.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct BreakEven {
-    /// Wall-clock time saved by one accelerated run, in seconds.
-    pub saved_per_run: f64,
+    /// Wall-clock time saved by one accelerated run.
+    pub saved_per_run: Seconds,
     /// Runs needed for cumulative savings to cover the development time.
     /// `f64::INFINITY` if the design is a slowdown.
     pub runs_to_break_even: f64,
@@ -47,8 +48,8 @@ impl BreakEven {
             return Err(RatError::param("runs_per_day must be positive"));
         }
         let saved_per_run = input.software.t_soft - throughput::t_rc(input);
-        let dev_secs = cost.development_hours * 3600.0;
-        let (runs, days) = if saved_per_run <= 0.0 {
+        let dev_secs = Seconds::new(cost.development_hours * 3600.0);
+        let (runs, days) = if saved_per_run <= Seconds::ZERO {
             (f64::INFINITY, f64::INFINITY)
         } else {
             let runs = dev_secs / saved_per_run;
@@ -73,7 +74,7 @@ impl BreakEven {
             .header(["Metric", "Value"]);
         t.row([
             "time saved per run".to_string(),
-            format!("{:.3e} s", self.saved_per_run),
+            format!("{:.3e} s", self.saved_per_run.seconds()),
         ]);
         t.row([
             "runs to break even".to_string(),
@@ -105,7 +106,7 @@ mod tests {
         // Saved per run: 0.578 - 0.0546 = 0.523 s; 500 h = 1.8e6 s;
         // ~3.44 million runs, ~344 days at 10k runs/day.
         let be = BreakEven::analyze(&pdf1d_example(), &cost()).unwrap();
-        assert!((be.saved_per_run - 0.523).abs() < 0.01);
+        assert!((be.saved_per_run.seconds() - 0.523).abs() < 0.01);
         assert!((be.runs_to_break_even - 3.44e6).abs() / 3.44e6 < 0.02);
         assert!((be.days_to_break_even - 344.0).abs() < 10.0);
         assert!(!be.worth_it_within(100.0));
@@ -117,7 +118,7 @@ mod tests {
         let mut input = pdf1d_example();
         input.comp.throughput_proc = 0.1; // cripple the design: speedup < 1
         let be = BreakEven::analyze(&input, &cost()).unwrap();
-        assert!(be.saved_per_run < 0.0);
+        assert!(be.saved_per_run < Seconds::ZERO);
         assert_eq!(be.runs_to_break_even, f64::INFINITY);
         assert!(!be.worth_it_within(1e9));
     }

@@ -67,9 +67,9 @@ impl DesignComparison {
         for r in &self.ranked {
             t.row([
                 r.input.name.clone(),
-                sci(r.throughput.t_comm),
-                sci(r.throughput.t_comp),
-                sci(r.throughput.t_rc),
+                sci(r.throughput.t_comm.seconds()),
+                sci(r.throughput.t_comp.seconds()),
+                sci(r.throughput.t_rc.seconds()),
                 pct(r.throughput.util_comm),
                 format!("{:.2}", r.speedup),
                 if r.throughput.comm_bound() {
@@ -95,7 +95,7 @@ mod tests {
 
     fn slate() -> Vec<RatInput> {
         let a = pdf1d_example(); // 10.6x
-        let mut b = pdf1d_example().with_fclock(75.0e6); // 5.4x
+        let mut b = pdf1d_example().with_fclock(crate::quantity::Freq::from_mhz(75.0)); // 5.4x
         b.name = "1-D PDF @75".into();
         let mut c = pdf1d_example(); // crippled comm: comm-bound
         c.name = "1-D PDF chatty".into();
@@ -138,7 +138,7 @@ mod tests {
     #[test]
     fn invalid_candidate_propagates() {
         let mut bad = pdf1d_example();
-        bad.comp.fclock = -1.0;
+        bad.comp.fclock = crate::quantity::Freq::from_hz(-1.0);
         assert!(DesignComparison::compare(&[bad]).is_err());
     }
 }

@@ -11,6 +11,7 @@
 
 use crate::error::RatError;
 use crate::params::{Buffering, RatInput};
+use crate::quantity::Freq;
 use crate::report::Report;
 use crate::table::TextTable;
 use crate::worksheet::Worksheet;
@@ -51,7 +52,7 @@ impl DesignSpace {
     /// Enumerate every corner as a concrete worksheet input.
     pub fn corners(&self) -> Vec<RatInput> {
         let fclocks: Vec<f64> = if self.fclocks.is_empty() {
-            vec![self.base.comp.fclock]
+            vec![self.base.comp.fclock.hz()]
         } else {
             self.fclocks.clone()
         };
@@ -70,7 +71,7 @@ impl DesignSpace {
             for &tp in &tps {
                 for &b in &bufs {
                     let mut c = self.base.clone();
-                    c.comp.fclock = f;
+                    c.comp.fclock = Freq::from_hz(f);
                     c.comp.throughput_proc = tp;
                     c.buffering = b;
                     c.name = format!(
@@ -194,7 +195,7 @@ mod tests {
         let corners = s.corners();
         assert_eq!(corners.len(), 1);
         assert_eq!(corners[0].comp.throughput_proc, 20.0);
-        assert_eq!(corners[0].comp.fclock, 100.0e6);
+        assert_eq!(corners[0].comp.fclock, Freq::from_hz(100.0e6));
     }
 
     #[test]
@@ -220,7 +221,7 @@ mod tests {
         // 0.578/(400*2.62e-4) = 5.5 (fail). So cheapest is 20 ops/cyc, and
         // among those the lowest passing clock.
         assert_eq!(c.input.comp.throughput_proc, 20.0);
-        assert!(c.input.comp.fclock <= 150.0e6);
+        assert!(c.input.comp.fclock <= Freq::from_mhz(150.0));
         assert!(c.speedup >= 10.0);
     }
 

@@ -23,24 +23,39 @@
 //! and a deterministic parallel job executor ([`engine`]) the batch analyses
 //! run on.
 //!
+//! Every dimensioned model input and output is a typed quantity from
+//! [`quantity`] — [`quantity::Bytes`], [`quantity::Freq`],
+//! [`quantity::Seconds`], [`quantity::Throughput`] — so unit mistakes (MHz
+//! where Hz was meant, Mbps where MB/s was meant) are compile errors rather
+//! than silently wrong predictions. See `DESIGN.md` §10 for the conventions.
+//!
 //! ## Example: the paper's §4.3 worked example
 //!
 //! ```
 //! use rat_core::params::*;
+//! use rat_core::quantity::{Freq, Seconds, Throughput};
 //! use rat_core::worksheet::Worksheet;
 //!
 //! // Table 2: 1-D PDF estimation at fclock = 150 MHz.
 //! let input = RatInput {
 //!     name: "1-D PDF".into(),
 //!     dataset: DatasetParams { elements_in: 512, elements_out: 1, bytes_per_element: 4 },
-//!     comm: CommParams { ideal_bandwidth: 1.0e9, alpha_write: 0.37, alpha_read: 0.16 },
-//!     comp: CompParams { ops_per_element: 768.0, throughput_proc: 20.0, fclock: 150.0e6 },
-//!     software: SoftwareParams { t_soft: 0.578, iterations: 400 },
+//!     comm: CommParams {
+//!         ideal_bandwidth: Throughput::from_mbytes_per_sec(1000.0),
+//!         alpha_write: 0.37,
+//!         alpha_read: 0.16,
+//!     },
+//!     comp: CompParams {
+//!         ops_per_element: 768.0,
+//!         throughput_proc: 20.0,
+//!         fclock: Freq::from_mhz(150.0),
+//!     },
+//!     software: SoftwareParams { t_soft: Seconds::new(0.578), iterations: 400 },
 //!     buffering: Buffering::Single,
 //! };
 //! let report = Worksheet::new(input).analyze().unwrap();
-//! assert!((report.throughput.t_comp - 1.31e-4).abs() < 1e-6);   // §4.3: 1.31E-4 s
-//! assert!((report.speedup - 10.6).abs() < 0.1);                 // Table 3: 10.6
+//! assert!((report.throughput.t_comp.seconds() - 1.31e-4).abs() < 1e-6); // §4.3: 1.31E-4 s
+//! assert!((report.speedup - 10.6).abs() < 0.1);                         // Table 3: 10.6
 //! ```
 
 #![warn(missing_docs)]
@@ -55,6 +70,7 @@ pub mod multifpga;
 pub mod multistage;
 pub mod params;
 pub mod precision;
+pub mod quantity;
 pub mod report;
 pub mod resources;
 pub mod sensitivity;
@@ -70,6 +86,7 @@ pub mod worksheet;
 
 pub use error::RatError;
 pub use params::{Buffering, CommParams, CompParams, DatasetParams, RatInput, SoftwareParams};
+pub use quantity::{Bytes, Cycles, Elements, Freq, Seconds, Throughput};
 pub use report::Report;
 pub use throughput::ThroughputPrediction;
 pub use worksheet::Worksheet;

@@ -219,7 +219,7 @@ mod tests {
 
     #[test]
     fn pdf1d_at_75mhz_bounces_on_throughput() {
-        let input = pdf1d_example().with_fclock(75.0e6); // speedup 5.4
+        let input = pdf1d_example().with_fclock(crate::quantity::Freq::from_mhz(75.0)); // speedup 5.4
         let report = AmenabilityTest::new(input, reqs(10.0)).evaluate().unwrap();
         assert!(matches!(
             report.verdict,
@@ -306,7 +306,7 @@ mod tests {
             logic: 0,
         };
         let rr = ResourceReport::analyze(device::virtex4_lx100(), est);
-        let input = pdf1d_example().with_fclock(75.0e6);
+        let input = pdf1d_example().with_fclock(crate::quantity::Freq::from_mhz(75.0));
         let report = AmenabilityTest::new(input, reqs(10.0))
             .with_resources(rr)
             .evaluate()

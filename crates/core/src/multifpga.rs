@@ -13,12 +13,13 @@
 //! including additional parallel kernels").
 //!
 //! ```
+//! # use rat_core::quantity::{Freq, Seconds, Throughput};
 //! # let mut input = rat_core::params::RatInput {
 //! #     name: "demo".into(),
 //! #     dataset: rat_core::params::DatasetParams { elements_in: 512, elements_out: 1, bytes_per_element: 4 },
-//! #     comm: rat_core::params::CommParams { ideal_bandwidth: 1.0e9, alpha_write: 0.37, alpha_read: 0.16 },
-//! #     comp: rat_core::params::CompParams { ops_per_element: 768.0, throughput_proc: 20.0, fclock: 150.0e6 },
-//! #     software: rat_core::params::SoftwareParams { t_soft: 0.578, iterations: 400 },
+//! #     comm: rat_core::params::CommParams { ideal_bandwidth: Throughput::from_bytes_per_sec(1.0e9), alpha_write: 0.37, alpha_read: 0.16 },
+//! #     comp: rat_core::params::CompParams { ops_per_element: 768.0, throughput_proc: 20.0, fclock: Freq::from_mhz(150.0) },
+//! #     software: rat_core::params::SoftwareParams { t_soft: Seconds::new(0.578), iterations: 400 },
 //! #     buffering: rat_core::params::Buffering::Double,
 //! # };
 //! use rat_core::multifpga;
@@ -32,6 +33,7 @@
 use crate::engine::Engine;
 use crate::error::RatError;
 use crate::params::RatInput;
+use crate::quantity::Seconds;
 use crate::table::{sci, TextTable};
 use crate::throughput;
 use serde::{Deserialize, Serialize};
@@ -42,12 +44,12 @@ pub struct MultiFpgaPrediction {
     /// Number of devices (or replicated kernels).
     pub devices: u32,
     /// Per-iteration computation time after division across devices.
-    pub t_comp_each: f64,
+    pub t_comp_each: Seconds,
     /// Per-iteration communication time (undivided: the channel is shared).
-    pub t_comm: f64,
+    pub t_comm: Seconds,
     /// Total RC execution time at steady state (double-buffered overlap
     /// assumed — multi-device deployments exist to overlap).
-    pub t_rc: f64,
+    pub t_rc: Seconds,
     /// Speedup over the software baseline.
     pub speedup: f64,
     /// Parallel efficiency: achieved speedup relative to `devices` times the
@@ -85,8 +87,8 @@ impl ScalingCurve {
         for p in &self.points {
             t.row([
                 p.devices.to_string(),
-                sci(p.t_comp_each),
-                sci(p.t_rc),
+                sci(p.t_comp_each.seconds()),
+                sci(p.t_rc.seconds()),
                 format!("{:.2}", p.speedup),
                 format!("{:.0}%", p.efficiency * 100.0),
             ]);
@@ -104,7 +106,7 @@ pub fn analyze(input: &RatInput, devices: u32) -> Result<MultiFpgaPrediction, Ra
         return Err(RatError::param("device count must be at least 1"));
     }
     let t_comm = throughput::t_comm(input);
-    let t_comp_each = throughput::t_comp(input) / devices as f64;
+    let t_comp_each = throughput::t_comp(input) / f64::from(devices);
     let t_rc = input.software.iterations as f64 * t_comm.max(t_comp_each);
     let speedup = input.software.t_soft / t_rc;
     let single = input.software.t_soft / throughput::t_rc_double(input);
@@ -114,7 +116,7 @@ pub fn analyze(input: &RatInput, devices: u32) -> Result<MultiFpgaPrediction, Ra
         t_comm,
         t_rc,
         speedup,
-        efficiency: speedup / (devices as f64 * single),
+        efficiency: speedup / (f64::from(devices) * single),
     })
 }
 
@@ -155,7 +157,7 @@ mod tests {
         let input = pdf1d_example();
         let p = analyze(&input, 1).unwrap();
         let db = throughput::t_rc_double(&input);
-        assert!((p.t_rc - db).abs() / db < 1e-12);
+        assert!(((p.t_rc - db) / db).abs() < 1e-12);
         assert!((p.efficiency - 1.0).abs() < 1e-12);
     }
 

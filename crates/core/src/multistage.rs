@@ -9,6 +9,7 @@
 
 use crate::error::RatError;
 use crate::params::RatInput;
+use crate::quantity::Seconds;
 use crate::table::{sci, TextTable};
 use crate::throughput::{self, ThroughputPrediction};
 use serde::{Deserialize, Serialize};
@@ -19,12 +20,12 @@ pub enum Stage {
     /// A kernel migrated to the FPGA, with its own RAT worksheet. The stage's
     /// software-baseline time is the worksheet's `t_soft`.
     Fpga(RatInput),
-    /// A portion left in software: name and its execution time in seconds.
+    /// A portion left in software: name and its execution time.
     Software {
         /// Stage name.
         name: String,
-        /// Execution time in seconds.
-        t_soft: f64,
+        /// Execution time.
+        t_soft: Seconds,
     },
 }
 
@@ -36,7 +37,7 @@ impl Stage {
         }
     }
 
-    fn t_soft(&self) -> f64 {
+    fn t_soft(&self) -> Seconds {
         match self {
             Stage::Fpga(input) => input.software.t_soft,
             Stage::Software { t_soft, .. } => *t_soft,
@@ -50,9 +51,9 @@ pub struct StageResult {
     /// Stage name.
     pub name: String,
     /// The stage's software-baseline time.
-    pub t_soft: f64,
+    pub t_soft: Seconds,
     /// The stage's accelerated time (equals `t_soft` for software stages).
-    pub t_accel: f64,
+    pub t_accel: Seconds,
     /// The stage's own speedup (1.0 for software stages).
     pub speedup: f64,
     /// Throughput prediction for FPGA stages.
@@ -65,9 +66,9 @@ pub struct MultiStageReport {
     /// Per-stage results, in pipeline order.
     pub stages: Vec<StageResult>,
     /// Total software-baseline time.
-    pub total_soft: f64,
+    pub total_soft: Seconds,
     /// Total accelerated time.
-    pub total_accel: f64,
+    pub total_accel: Seconds,
     /// Composite application speedup.
     pub speedup: f64,
 }
@@ -76,13 +77,13 @@ impl MultiStageReport {
     /// Amdahl ceiling: the speedup if every FPGA stage became free, bounded by
     /// the software-resident fraction.
     pub fn amdahl_ceiling(&self) -> f64 {
-        let resident: f64 = self
+        let resident: Seconds = self
             .stages
             .iter()
             .filter(|s| s.prediction.is_none())
             .map(|s| s.t_soft)
             .sum();
-        if resident == 0.0 {
+        if resident == Seconds::ZERO {
             f64::INFINITY
         } else {
             self.total_soft / resident
@@ -94,7 +95,7 @@ impl MultiStageReport {
     pub fn bottleneck(&self) -> Option<&StageResult> {
         self.stages
             .iter()
-            .max_by(|a, b| a.t_accel.total_cmp(&b.t_accel))
+            .max_by(|a, b| a.t_accel.seconds().total_cmp(&b.t_accel.seconds()))
     }
 
     /// Render per-stage and composite rows.
@@ -105,8 +106,8 @@ impl MultiStageReport {
         for s in &self.stages {
             t.row([
                 s.name.clone(),
-                sci(s.t_soft),
-                sci(s.t_accel),
+                sci(s.t_soft.seconds()),
+                sci(s.t_accel.seconds()),
                 format!("{:.2}", s.speedup),
                 if s.prediction.is_some() {
                     "FPGA"
@@ -118,8 +119,8 @@ impl MultiStageReport {
         }
         t.row([
             "TOTAL".to_string(),
-            sci(self.total_soft),
-            sci(self.total_accel),
+            sci(self.total_soft.seconds()),
+            sci(self.total_accel.seconds()),
             format!("{:.2}", self.speedup),
             String::new(),
         ]);
@@ -147,10 +148,12 @@ pub fn analyze(stages: &[Stage]) -> Result<MultiStageReport, RatError> {
                 (throughput::t_rc(input), Some(p))
             }
             Stage::Software { t_soft, name } => {
-                if !(t_soft.is_finite() && *t_soft > 0.0) {
-                    return Err(RatError::param(format!(
-                        "software stage '{name}' needs a positive t_soft, got {t_soft}"
-                    )));
+                let t = t_soft.seconds();
+                if !(t.is_finite() && t > 0.0) {
+                    return Err(RatError::quantity(
+                        format!("stage.{name}.t_soft"),
+                        format!("software stage '{name}' needs a positive t_soft, got {t} s"),
+                    ));
                 }
                 (*t_soft, None)
             }
@@ -163,8 +166,8 @@ pub fn analyze(stages: &[Stage]) -> Result<MultiStageReport, RatError> {
             prediction,
         });
     }
-    let total_soft: f64 = results.iter().map(|s| s.t_soft).sum();
-    let total_accel: f64 = results.iter().map(|s| s.t_accel).sum();
+    let total_soft: Seconds = results.iter().map(|s| s.t_soft).sum();
+    let total_accel: Seconds = results.iter().map(|s| s.t_accel).sum();
     Ok(MultiStageReport {
         stages: results,
         total_soft,
@@ -183,7 +186,7 @@ mod tests {
             Stage::Fpga(pdf1d_example()), // 0.578 s -> ~0.0546 s (10.6x)
             Stage::Software {
                 name: "post-processing".into(),
-                t_soft: 0.2,
+                t_soft: Seconds::new(0.2),
             },
         ]
     }
@@ -191,7 +194,7 @@ mod tests {
     #[test]
     fn composite_speedup_follows_amdahl() {
         let r = analyze(&two_stage()).unwrap();
-        assert!((r.total_soft - 0.778).abs() < 1e-9);
+        assert!((r.total_soft.seconds() - 0.778).abs() < 1e-9);
         // Accelerated: 0.0546 + 0.2 = 0.2546; speedup ~3.06.
         assert!(
             (r.speedup - 0.778 / 0.2546).abs() < 0.02,
@@ -236,7 +239,7 @@ mod tests {
         assert!(analyze(&[]).is_err());
         let bad = vec![Stage::Software {
             name: "x".into(),
-            t_soft: 0.0,
+            t_soft: Seconds::ZERO,
         }];
         assert!(analyze(&bad).is_err());
     }

@@ -1,11 +1,13 @@
 //! RAT input parameters (the paper's Table 1).
 //!
 //! The worksheet groups its inputs into four categories: dataset,
-//! communication, computation, and software. All quantities are SI —
-//! bandwidth in bytes/second, clock in Hz, time in seconds — with unit
-//! conversions confined to rendering.
+//! communication, computation, and software. Dimensioned inputs use the
+//! typed quantities of [`crate::quantity`] — bandwidth as [`Throughput`],
+//! clock as [`Freq`], time as [`Seconds`] — with unit conversions confined
+//! to constructors and rendering.
 
 use crate::error::RatError;
+use crate::quantity::{Bytes, Elements, Freq, Seconds, Throughput};
 use serde::{Deserialize, Serialize};
 
 /// Dataset parameters: how big one buffered block of the problem is.
@@ -28,9 +30,10 @@ pub struct DatasetParams {
 /// Communication parameters: properties of the CPU–FPGA interconnect.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct CommParams {
-    /// Documented peak interconnect bandwidth in bytes/second
-    /// (`throughput_ideal`; the paper quotes MB/s).
-    pub ideal_bandwidth: f64,
+    /// Documented peak interconnect bandwidth (`throughput_ideal`; the paper
+    /// quotes MB/s). Worksheets may write a bare bytes/second number or a
+    /// suffixed string such as `"1000 MB/s"` or `"8 Gbps"`.
+    pub ideal_bandwidth: Throughput,
     /// Fraction of ideal throughput sustained host→FPGA (`alpha_write`),
     /// from a microbenchmark.
     pub alpha_write: f64,
@@ -50,16 +53,17 @@ pub struct CompParams {
     /// Operations completed per clock cycle (`throughput_proc`). Equals
     /// ops/element for a fully pipelined design; a fraction of it otherwise.
     pub throughput_proc: f64,
-    /// FPGA clock frequency in Hz (`f_clock`).
-    pub fclock: f64,
+    /// FPGA clock frequency (`f_clock`). Worksheets may write a bare Hz
+    /// number or a suffixed string such as `"133 MHz"`.
+    pub fclock: Freq,
 }
 
 /// Software baseline parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SoftwareParams {
-    /// Execution time of the sequential software baseline in seconds
-    /// (`t_soft`), for the *whole* problem.
-    pub t_soft: f64,
+    /// Execution time of the sequential software baseline (`t_soft`), for the
+    /// *whole* problem. Worksheets may write bare seconds or `"578 ms"`.
+    pub t_soft: Seconds,
     /// Number of communication+computation iterations needed to cover the
     /// whole problem (`N_iter`).
     pub iterations: u64,
@@ -98,7 +102,9 @@ impl RatInput {
     /// Validate every parameter, returning the first violation.
     ///
     /// Checks positivity/finiteness of rates and times, `alpha` in `(0, 1]`,
-    /// and at least one iteration. `elements_out` may be zero (results may
+    /// and at least one iteration. Dimensioned fields report a field-named
+    /// [`RatError::InvalidQuantity`]; dimensionless ones report
+    /// [`RatError::InvalidParameter`]. `elements_out` may be zero (results may
     /// accumulate on-chip), but `elements_in` must be positive — a design that
     /// consumes no data computes nothing RAT can reason about.
     pub fn validate(&self) -> Result<(), RatError> {
@@ -110,11 +116,12 @@ impl RatInput {
             return Err(RatError::param("bytes_per_element must be at least 1"));
         }
         let c = &self.comm;
-        if !(c.ideal_bandwidth.is_finite() && c.ideal_bandwidth > 0.0) {
-            return Err(RatError::param(format!(
-                "ideal_bandwidth must be positive and finite, got {}",
-                c.ideal_bandwidth
-            )));
+        let bw = c.ideal_bandwidth.bytes_per_sec();
+        if !(bw.is_finite() && bw > 0.0) {
+            return Err(RatError::quantity(
+                "comm.ideal_bandwidth",
+                format!("must be positive and finite, got {bw} B/s"),
+            ));
         }
         for (name, alpha) in [("alpha_write", c.alpha_write), ("alpha_read", c.alpha_read)] {
             if !(alpha.is_finite() && alpha > 0.0 && alpha <= 1.0) {
@@ -136,18 +143,20 @@ impl RatInput {
                 p.throughput_proc
             )));
         }
-        if !(p.fclock.is_finite() && p.fclock > 0.0) {
-            return Err(RatError::param(format!(
-                "fclock must be positive, got {}",
-                p.fclock
-            )));
+        let hz = p.fclock.hz();
+        if !(hz.is_finite() && hz > 0.0) {
+            return Err(RatError::quantity(
+                "comp.fclock",
+                format!("must be positive and finite, got {hz} Hz"),
+            ));
         }
         let s = &self.software;
-        if !(s.t_soft.is_finite() && s.t_soft > 0.0) {
-            return Err(RatError::param(format!(
-                "t_soft must be positive, got {}",
-                s.t_soft
-            )));
+        let t = s.t_soft.seconds();
+        if !(t.is_finite() && t > 0.0) {
+            return Err(RatError::quantity(
+                "software.t_soft",
+                format!("must be positive and finite, got {t} s"),
+            ));
         }
         if s.iterations == 0 {
             return Err(RatError::param("iterations must be at least 1"));
@@ -156,18 +165,18 @@ impl RatInput {
     }
 
     /// Bytes moved host→FPGA per iteration.
-    pub fn input_bytes(&self) -> u64 {
-        self.dataset.elements_in * self.dataset.bytes_per_element
+    pub fn input_bytes(&self) -> Bytes {
+        Elements::new(self.dataset.elements_in) * Bytes::new(self.dataset.bytes_per_element)
     }
 
     /// Bytes moved FPGA→host per iteration.
-    pub fn output_bytes(&self) -> u64 {
-        self.dataset.elements_out * self.dataset.bytes_per_element
+    pub fn output_bytes(&self) -> Bytes {
+        Elements::new(self.dataset.elements_out) * Bytes::new(self.dataset.bytes_per_element)
     }
 
     /// A copy of this input with a different clock frequency — the paper's
     /// Tables 3/6/9 evaluate each design at 75, 100, and 150 MHz.
-    pub fn with_fclock(&self, fclock: f64) -> Self {
+    pub fn with_fclock(&self, fclock: Freq) -> Self {
         let mut next = self.clone();
         next.comp.fclock = fclock;
         next
@@ -192,17 +201,17 @@ pub(crate) fn pdf1d_example() -> RatInput {
             bytes_per_element: 4,
         },
         comm: CommParams {
-            ideal_bandwidth: 1.0e9,
+            ideal_bandwidth: Throughput::from_bytes_per_sec(1.0e9),
             alpha_write: 0.37,
             alpha_read: 0.16,
         },
         comp: CompParams {
             ops_per_element: 768.0,
             throughput_proc: 20.0,
-            fclock: 150.0e6,
+            fclock: Freq::from_mhz(150.0),
         },
         software: SoftwareParams {
-            t_soft: 0.578,
+            t_soft: Seconds::new(0.578),
             iterations: 400,
         },
         buffering: Buffering::Single,
@@ -252,34 +261,40 @@ mod tests {
     #[test]
     fn rejects_nonpositive_rates_and_times() {
         let mut i = pdf1d_example();
-        i.comp.fclock = 0.0;
-        assert!(i.validate().is_err());
+        i.comp.fclock = Freq::from_hz(0.0);
+        assert!(
+            matches!(i.validate(), Err(RatError::InvalidQuantity { field, .. }) if field == "comp.fclock")
+        );
         let mut i = pdf1d_example();
         i.comp.throughput_proc = -3.0;
         assert!(i.validate().is_err());
         let mut i = pdf1d_example();
-        i.software.t_soft = 0.0;
-        assert!(i.validate().is_err());
+        i.software.t_soft = Seconds::ZERO;
+        assert!(
+            matches!(i.validate(), Err(RatError::InvalidQuantity { field, .. }) if field == "software.t_soft")
+        );
         let mut i = pdf1d_example();
         i.software.iterations = 0;
         assert!(i.validate().is_err());
         let mut i = pdf1d_example();
-        i.comm.ideal_bandwidth = f64::NAN;
-        assert!(i.validate().is_err());
+        i.comm.ideal_bandwidth = Throughput::from_bytes_per_sec(f64::NAN);
+        assert!(
+            matches!(i.validate(), Err(RatError::InvalidQuantity { field, .. }) if field == "comm.ideal_bandwidth")
+        );
     }
 
     #[test]
     fn byte_accessors() {
         let i = pdf1d_example();
-        assert_eq!(i.input_bytes(), 2048);
-        assert_eq!(i.output_bytes(), 4);
+        assert_eq!(i.input_bytes(), Bytes::new(2048));
+        assert_eq!(i.output_bytes(), Bytes::new(4));
     }
 
     #[test]
     fn with_fclock_changes_only_clock() {
         let i = pdf1d_example();
-        let j = i.with_fclock(75.0e6);
-        assert_eq!(j.comp.fclock, 75.0e6);
+        let j = i.with_fclock(Freq::from_mhz(75.0));
+        assert_eq!(j.comp.fclock, Freq::from_hz(75.0e6));
         assert_eq!(j.comp.ops_per_element, i.comp.ops_per_element);
         assert_eq!(j.dataset, i.dataset);
     }
@@ -290,5 +305,31 @@ mod tests {
         let text = toml::to_string(&i).unwrap();
         let back: RatInput = toml::from_str(&text).unwrap();
         assert_eq!(back, i);
+    }
+
+    #[test]
+    fn worksheet_accepts_suffixed_quantity_strings() {
+        let text = toml::to_string(&pdf1d_example()).unwrap();
+        let suffixed = text
+            .replace(
+                "ideal_bandwidth = 1000000000.0",
+                "ideal_bandwidth = \"1000 MB/s\"",
+            )
+            .replace("fclock = 150000000.0", "fclock = \"150 MHz\"")
+            .replace("t_soft = 0.578", "t_soft = \"578 ms\"");
+        assert_ne!(text, suffixed, "replacements must hit");
+        let back: RatInput = toml::from_str(&suffixed).unwrap();
+        let reference = pdf1d_example();
+        assert_eq!(back.comm.ideal_bandwidth, reference.comm.ideal_bandwidth);
+        assert_eq!(back.comp.fclock, reference.comp.fclock);
+        assert!((back.software.t_soft.seconds() - 0.578).abs() < 1e-12);
+    }
+
+    #[test]
+    fn worksheet_rejects_bad_quantity_with_field_name() {
+        let text = toml::to_string(&pdf1d_example()).unwrap();
+        let bad = text.replace("fclock = 150000000.0", "fclock = \"150 parsecs\"");
+        let err = toml::from_str::<RatInput>(&bad).unwrap_err().to_string();
+        assert!(err.contains("fclock"), "error must name the field: {err}");
     }
 }

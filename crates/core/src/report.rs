@@ -45,7 +45,7 @@ impl Report {
         t.section("Communication Parameters");
         t.row([
             "throughput_ideal (MB/s)".to_string(),
-            format!("{:.0}", i.comm.ideal_bandwidth / 1e6),
+            format!("{:.0}", i.comm.ideal_bandwidth.mbytes_per_sec()),
         ]);
         t.row([
             "alpha_write (0 < a <= 1)".to_string(),
@@ -66,10 +66,13 @@ impl Report {
         ]);
         t.row([
             "f_clock (MHz)".to_string(),
-            format!("{:.0}", i.comp.fclock / 1e6),
+            format!("{:.0}", i.comp.fclock.mhz()),
         ]);
         t.section("Software Parameters");
-        t.row(["t_soft (sec)".to_string(), format!("{}", i.software.t_soft)]);
+        t.row([
+            "t_soft (sec)".to_string(),
+            format!("{}", i.software.t_soft.seconds()),
+        ]);
         t.row([
             "N_iter (iterations)".to_string(),
             i.software.iterations.to_string(),
@@ -90,13 +93,13 @@ impl Report {
             .header(["Metric", "Predicted"]);
         t.row([
             "f_clk (MHz)".to_string(),
-            format!("{:.0}", self.input.comp.fclock / 1e6),
+            format!("{:.0}", self.input.comp.fclock.mhz()),
         ]);
-        t.row(["t_comm (sec)".to_string(), sci(p.t_comm)]);
-        t.row(["t_comp (sec)".to_string(), sci(p.t_comp)]);
+        t.row(["t_comm (sec)".to_string(), sci(p.t_comm.seconds())]);
+        t.row(["t_comp (sec)".to_string(), sci(p.t_comp.seconds())]);
         t.row([format!("util_comm_{mode}"), pct(p.util_comm)]);
         t.row([format!("util_comp_{mode}"), pct(p.util_comp)]);
-        t.row([format!("t_RC_{mode} (sec)"), sci(p.t_rc)]);
+        t.row([format!("t_RC_{mode} (sec)"), sci(p.t_rc.seconds())]);
         t.row(["speedup".to_string(), format!("{:.1}", p.speedup)]);
         t.row([
             "speedup ceiling (comm-bound)".to_string(),
@@ -137,17 +140,17 @@ impl Report {
             ein = i.dataset.elements_in,
             eout = i.dataset.elements_out,
             bpe = i.dataset.bytes_per_element,
-            bw = i.comm.ideal_bandwidth / 1e6,
+            bw = i.comm.ideal_bandwidth.mbytes_per_sec(),
             aw = i.comm.alpha_write,
             ar = i.comm.alpha_read,
             ops = i.comp.ops_per_element,
             tp = i.comp.throughput_proc,
-            clk = i.comp.fclock / 1e6,
-            tsoft = i.software.t_soft,
+            clk = i.comp.fclock.mhz(),
+            tsoft = i.software.t_soft.seconds(),
             iter = i.software.iterations,
-            tcomm = sci(p.t_comm),
-            tcomp = sci(p.t_comp),
-            trc = sci(p.t_rc),
+            tcomm = sci(p.t_comm.seconds()),
+            tcomp = sci(p.t_comp.seconds()),
+            trc = sci(p.t_rc.seconds()),
             speed = p.speedup,
             ceil = self.max_speedup,
         )

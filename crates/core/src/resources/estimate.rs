@@ -36,7 +36,7 @@ impl ResourceEstimate {
         ResourceEstimate {
             dsp: self.dsp * n,
             bram: self.bram * n,
-            logic: self.logic * n as u64,
+            logic: self.logic * u64::from(n),
         }
     }
 }

@@ -44,8 +44,8 @@ pub struct ResourceReport {
 impl ResourceReport {
     /// Run the resource test: compare `estimate` against `device`.
     pub fn analyze(device: FpgaDevice, estimate: ResourceEstimate) -> Self {
-        let dsp_util = estimate.dsp as f64 / device.dsp_blocks as f64;
-        let bram_util = estimate.bram as f64 / device.bram_blocks as f64;
+        let dsp_util = f64::from(estimate.dsp) / f64::from(device.dsp_blocks);
+        let bram_util = f64::from(estimate.bram) / f64::from(device.bram_blocks);
         let logic_util = estimate.logic as f64 / device.logic_cells as f64;
         let fits = dsp_util <= 1.0 && bram_util <= 1.0 && logic_util <= 1.0;
         Self {

@@ -13,6 +13,7 @@
 //! target (e.g. communication alone exceeds the time budget).
 //!
 //! ```
+//! use rat_core::quantity::{Freq, Seconds, Throughput};
 //! use rat_core::solve;
 //!
 //! // The MD case study's tuning: what ops/cycle does ~10x demand?
@@ -22,12 +23,13 @@
 //!         elements_in: 16384, elements_out: 16384, bytes_per_element: 36,
 //!     },
 //!     comm: rat_core::params::CommParams {
-//!         ideal_bandwidth: 500.0e6, alpha_write: 0.9, alpha_read: 0.9,
+//!         ideal_bandwidth: Throughput::from_mbytes_per_sec(500.0),
+//!         alpha_write: 0.9, alpha_read: 0.9,
 //!     },
 //!     comp: rat_core::params::CompParams {
-//!         ops_per_element: 164_000.0, throughput_proc: 1.0, fclock: 100.0e6,
+//!         ops_per_element: 164_000.0, throughput_proc: 1.0, fclock: Freq::from_mhz(100.0),
 //!     },
-//!     software: rat_core::params::SoftwareParams { t_soft: 5.78, iterations: 1 },
+//!     software: rat_core::params::SoftwareParams { t_soft: Seconds::new(5.78), iterations: 1 },
 //!     buffering: rat_core::params::Buffering::Single,
 //! };
 //! let needed = solve::required_throughput_proc(&input, 10.7).unwrap();
@@ -36,10 +38,11 @@
 
 use crate::error::RatError;
 use crate::params::{Buffering, RatInput};
+use crate::quantity::{Freq, Seconds};
 use crate::throughput;
 
 /// Per-iteration execution-time budget implied by a target speedup.
-fn iter_budget(input: &RatInput, target_speedup: f64) -> Result<f64, RatError> {
+fn iter_budget(input: &RatInput, target_speedup: f64) -> Result<Seconds, RatError> {
     if !(target_speedup.is_finite() && target_speedup > 0.0) {
         return Err(RatError::param(format!(
             "target speedup must be positive, got {target_speedup}"
@@ -50,7 +53,7 @@ fn iter_budget(input: &RatInput, target_speedup: f64) -> Result<f64, RatError> {
 
 /// The computation-time budget left after communication, under the input's
 /// buffering discipline.
-fn comp_budget(input: &RatInput, target_speedup: f64) -> Result<f64, RatError> {
+fn comp_budget(input: &RatInput, target_speedup: f64) -> Result<Seconds, RatError> {
     let budget = iter_budget(input, target_speedup)?;
     let comm = throughput::t_comm(input);
     let available = match input.buffering {
@@ -60,16 +63,18 @@ fn comp_budget(input: &RatInput, target_speedup: f64) -> Result<f64, RatError> {
         // still cover communication (the channel is the floor).
         Buffering::Double => {
             if comm > budget {
-                -1.0
+                Seconds::new(-1.0)
             } else {
                 budget
             }
         }
     };
-    if available <= 0.0 {
+    if available <= Seconds::ZERO {
         return Err(RatError::infeasible(format!(
-            "communication alone ({comm:.3e} s/iter) exceeds the per-iteration budget \
-             ({budget:.3e} s) for a {target_speedup}x speedup; no computation rate can help"
+            "communication alone ({:.3e} s/iter) exceeds the per-iteration budget \
+             ({:.3e} s) for a {target_speedup}x speedup; no computation rate can help",
+            comm.seconds(),
+            budget.seconds()
         )));
     }
     Ok(available)
@@ -84,13 +89,15 @@ pub fn required_throughput_proc(input: &RatInput, target_speedup: f64) -> Result
     Ok(total_ops / (input.comp.fclock * budget))
 }
 
-/// Solve for the clock frequency (Hz) required to reach `target_speedup`,
-/// holding everything else fixed.
-pub fn required_fclock(input: &RatInput, target_speedup: f64) -> Result<f64, RatError> {
+/// Solve for the clock frequency required to reach `target_speedup`, holding
+/// everything else fixed.
+pub fn required_fclock(input: &RatInput, target_speedup: f64) -> Result<Freq, RatError> {
     input.validate()?;
     let budget = comp_budget(input, target_speedup)?;
     let total_ops = input.dataset.elements_in as f64 * input.comp.ops_per_element;
-    Ok(total_ops / (input.comp.throughput_proc * budget))
+    Ok(Freq::from_hz(
+        total_ops / (input.comp.throughput_proc * budget.seconds()),
+    ))
 }
 
 /// Solve for the common factor by which *both* alphas must improve to reach
@@ -108,16 +115,18 @@ pub fn required_alpha_scale(input: &RatInput, target_speedup: f64) -> Result<f64
         Buffering::Single => budget - comp,
         Buffering::Double => {
             if comp > budget {
-                -1.0
+                Seconds::new(-1.0)
             } else {
                 budget
             }
         }
     };
-    if comm_budget <= 0.0 {
+    if comm_budget <= Seconds::ZERO {
         return Err(RatError::infeasible(format!(
-            "computation alone ({comp:.3e} s/iter) exceeds the per-iteration budget \
-             ({budget:.3e} s); improving the interconnect cannot reach {target_speedup}x"
+            "computation alone ({:.3e} s/iter) exceeds the per-iteration budget \
+             ({:.3e} s); improving the interconnect cannot reach {target_speedup}x",
+            comp.seconds(),
+            budget.seconds()
         )));
     }
     // t_comm scales as 1/k, so k = t_comm / budget.
@@ -148,6 +157,7 @@ mod tests {
     use crate::params::{
         pdf1d_example, Buffering, CommParams, CompParams, DatasetParams, RatInput, SoftwareParams,
     };
+    use crate::quantity::Throughput;
 
     /// The MD case study's Table 8 input, with `throughput_proc` as the unknown.
     fn md_input() -> RatInput {
@@ -159,17 +169,17 @@ mod tests {
                 bytes_per_element: 36,
             },
             comm: CommParams {
-                ideal_bandwidth: 500.0e6,
+                ideal_bandwidth: Throughput::from_mbytes_per_sec(500.0),
                 alpha_write: 0.9,
                 alpha_read: 0.9,
             },
             comp: CompParams {
                 ops_per_element: 164000.0,
                 throughput_proc: 50.0,
-                fclock: 100.0e6,
+                fclock: Freq::from_mhz(100.0),
             },
             software: SoftwareParams {
-                t_soft: 5.78,
+                t_soft: Seconds::new(5.78),
                 iterations: 1,
             },
             buffering: Buffering::Single,

@@ -9,12 +9,13 @@
 //! large N.
 //!
 //! ```
+//! # use rat_core::quantity::{Freq, Seconds, Throughput};
 //! # let input = rat_core::params::RatInput {
 //! #     name: "demo".into(),
 //! #     dataset: rat_core::params::DatasetParams { elements_in: 512, elements_out: 1, bytes_per_element: 4 },
-//! #     comm: rat_core::params::CommParams { ideal_bandwidth: 1.0e9, alpha_write: 0.37, alpha_read: 0.16 },
-//! #     comp: rat_core::params::CompParams { ops_per_element: 768.0, throughput_proc: 20.0, fclock: 150.0e6 },
-//! #     software: rat_core::params::SoftwareParams { t_soft: 0.578, iterations: 400 },
+//! #     comm: rat_core::params::CommParams { ideal_bandwidth: Throughput::from_bytes_per_sec(1.0e9), alpha_write: 0.37, alpha_read: 0.16 },
+//! #     comp: rat_core::params::CompParams { ops_per_element: 768.0, throughput_proc: 20.0, fclock: Freq::from_mhz(150.0) },
+//! #     software: rat_core::params::SoftwareParams { t_soft: Seconds::new(0.578), iterations: 400 },
 //! #     buffering: rat_core::params::Buffering::Double,
 //! # };
 //! use rat_core::streaming::{analyze, ChannelDuplex, StreamBottleneck};
@@ -25,6 +26,7 @@
 
 use crate::error::RatError;
 use crate::params::RatInput;
+use crate::quantity::Seconds;
 use crate::table::{sci, TextTable};
 use serde::{Deserialize, Serialize};
 
@@ -67,7 +69,7 @@ pub struct StreamingPrediction {
     /// Which side limits.
     pub bottleneck: StreamBottleneck,
     /// Time to stream the whole dataset (`elements_in * iterations` elements).
-    pub t_stream: f64,
+    pub t_stream: Seconds,
     /// Speedup over the software baseline.
     pub speedup: f64,
     /// Duplex assumption used.
@@ -106,7 +108,7 @@ impl StreamingPrediction {
                 StreamBottleneck::Compute => "compute".to_string(),
             },
         ]);
-        t.row(["t_stream (sec)".to_string(), sci(self.t_stream)]);
+        t.row(["t_stream (sec)".to_string(), sci(self.t_stream.seconds())]);
         t.row(["speedup".to_string(), format!("{:.2}", self.speedup)]);
         t.render()
     }
@@ -123,11 +125,12 @@ pub fn analyze(input: &RatInput, duplex: ChannelDuplex) -> Result<StreamingPredi
     let out_ratio = input.dataset.elements_out as f64 / input.dataset.elements_in as f64;
     let bytes_out = out_ratio * input.dataset.bytes_per_element as f64;
 
-    let input_rate = input.comm.alpha_write * input.comm.ideal_bandwidth / bytes_in;
+    let input_rate =
+        (input.comm.alpha_write * input.comm.ideal_bandwidth).bytes_per_sec() / bytes_in;
     let output_rate = if bytes_out == 0.0 {
         f64::INFINITY
     } else {
-        input.comm.alpha_read * input.comm.ideal_bandwidth / bytes_out
+        (input.comm.alpha_read * input.comm.ideal_bandwidth).bytes_per_sec() / bytes_out
     };
     let channel_rate = match duplex {
         // Serialized: per-element time adds.
@@ -141,7 +144,8 @@ pub fn analyze(input: &RatInput, duplex: ChannelDuplex) -> Result<StreamingPredi
         }
         ChannelDuplex::Full => input_rate.min(output_rate),
     };
-    let compute_rate = input.comp.fclock * input.comp.throughput_proc / input.comp.ops_per_element;
+    let compute_rate =
+        (input.comp.fclock * input.comp.throughput_proc).hz() / input.comp.ops_per_element;
     let sustained_rate = channel_rate.min(compute_rate);
     let bottleneck = if channel_rate <= compute_rate {
         StreamBottleneck::Channel
@@ -149,7 +153,7 @@ pub fn analyze(input: &RatInput, duplex: ChannelDuplex) -> Result<StreamingPredi
         StreamBottleneck::Compute
     };
     let total_elements = (input.dataset.elements_in * input.software.iterations) as f64;
-    let t_stream = total_elements / sustained_rate;
+    let t_stream = Seconds::new(total_elements / sustained_rate);
     Ok(StreamingPrediction {
         input_rate,
         output_rate,
@@ -188,7 +192,9 @@ mod tests {
         let input = pdf1d_example();
         let s = analyze(&input, ChannelDuplex::Half).unwrap();
         // Eq. (4) per element: ops/elt / (fclock * tp) seconds per element.
-        let per_elt = input.comp.ops_per_element / (input.comp.fclock * input.comp.throughput_proc);
+        let per_elt = (input.comp.ops_per_element
+            / (input.comp.fclock * input.comp.throughput_proc))
+            .seconds();
         assert!((s.compute_rate - 1.0 / per_elt).abs() / s.compute_rate < 1e-12);
     }
 

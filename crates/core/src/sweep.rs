@@ -8,6 +8,7 @@
 use crate::engine::Engine;
 use crate::error::RatError;
 use crate::params::RatInput;
+use crate::quantity::Freq;
 use crate::report::Report;
 use crate::table::{sci, TextTable};
 use crate::worksheet::Worksheet;
@@ -57,7 +58,7 @@ impl SweepParam {
     pub fn apply(self, input: &RatInput, value: f64) -> RatInput {
         let mut next = input.clone();
         match self {
-            SweepParam::Fclock => next.comp.fclock = value,
+            SweepParam::Fclock => next.comp.fclock = Freq::from_hz(value),
             SweepParam::AlphaWrite => next.comm.alpha_write = value,
             SweepParam::AlphaRead => next.comm.alpha_read = value,
             SweepParam::AlphaBoth => {
@@ -76,7 +77,7 @@ impl SweepParam {
     /// Read this parameter's current value from `input`.
     pub fn read(self, input: &RatInput) -> f64 {
         match self {
-            SweepParam::Fclock => input.comp.fclock,
+            SweepParam::Fclock => input.comp.fclock.hz(),
             SweepParam::AlphaWrite => input.comm.alpha_write,
             SweepParam::AlphaRead => input.comm.alpha_read,
             SweepParam::AlphaBoth => input.comm.alpha_write,
@@ -136,9 +137,9 @@ impl SweepResult {
         for p in &self.points {
             t.row([
                 format!("{:.6}", p.value),
-                sci(p.report.throughput.t_comm),
-                sci(p.report.throughput.t_comp),
-                sci(p.report.throughput.t_rc),
+                sci(p.report.throughput.t_comm.seconds()),
+                sci(p.report.throughput.t_comp.seconds()),
+                sci(p.report.throughput.t_rc.seconds()),
                 format!("{:.2}", p.report.speedup),
             ]);
         }

@@ -4,56 +4,80 @@
 //! computation time — combined per the buffering discipline, then held against
 //! the software baseline for a speedup figure. Reconfiguration and setup times
 //! are ignored, exactly as the paper specifies.
+//!
+//! Every function here returns a typed [`Seconds`] (or a dimensionless `f64`
+//! for ratios), so a caller cannot confuse a per-iteration time with a cycle
+//! count or a rate.
 
 use crate::error::RatError;
 use crate::params::{Buffering, RatInput};
+use crate::quantity::{Bytes, Seconds, Throughput};
 use crate::utilization;
 use serde::{Deserialize, Serialize};
+
+/// The transfer-time kernel shared by Equations (1)–(3):
+/// `t = bytes / (efficiency * throughput_ideal)`.
+///
+/// This is the **single** implementation of the paper's communication-time
+/// arithmetic. The analytic worksheet ([`t_write`]/[`t_read`]) and the cycle
+/// simulator's interconnect model both call it, so the two can never diverge
+/// (`tests/comm_time_dedup.rs` pins this).
+pub fn transfer_seconds(bytes: Bytes, efficiency: f64, ideal_bandwidth: Throughput) -> Seconds {
+    bytes / (efficiency * ideal_bandwidth)
+}
 
 /// Equation (2): time to write one iteration's input block host→FPGA.
 ///
 /// `t_write = N_elements,in * N_bytes/elt / (alpha_write * throughput_ideal)`
-pub fn t_write(input: &RatInput) -> f64 {
-    input.input_bytes() as f64 / (input.comm.alpha_write * input.comm.ideal_bandwidth)
+pub fn t_write(input: &RatInput) -> Seconds {
+    transfer_seconds(
+        input.input_bytes(),
+        input.comm.alpha_write,
+        input.comm.ideal_bandwidth,
+    )
 }
 
 /// Equation (3): time to read one iteration's output block FPGA→host.
-pub fn t_read(input: &RatInput) -> f64 {
-    input.output_bytes() as f64 / (input.comm.alpha_read * input.comm.ideal_bandwidth)
+pub fn t_read(input: &RatInput) -> Seconds {
+    transfer_seconds(
+        input.output_bytes(),
+        input.comm.alpha_read,
+        input.comm.ideal_bandwidth,
+    )
 }
 
 /// Equation (1): total communication time per iteration.
-pub fn t_comm(input: &RatInput) -> f64 {
+pub fn t_comm(input: &RatInput) -> Seconds {
     t_write(input) + t_read(input)
 }
 
 /// Equation (4): computation time per iteration.
 ///
 /// `t_comp = N_elements,in * N_ops/elt / (f_clock * throughput_proc)`
-pub fn t_comp(input: &RatInput) -> f64 {
+pub fn t_comp(input: &RatInput) -> Seconds {
     input.dataset.elements_in as f64 * input.comp.ops_per_element
         / (input.comp.fclock * input.comp.throughput_proc)
 }
 
 /// Equation (5): single-buffered RC execution time.
-pub fn t_rc_single(input: &RatInput) -> f64 {
+pub fn t_rc_single(input: &RatInput) -> Seconds {
     input.software.iterations as f64 * (t_comm(input) + t_comp(input))
 }
 
 /// Equation (6): double-buffered RC execution time (steady-state overlap).
-pub fn t_rc_double(input: &RatInput) -> f64 {
+pub fn t_rc_double(input: &RatInput) -> Seconds {
     input.software.iterations as f64 * t_comm(input).max(t_comp(input))
 }
 
 /// RC execution time under the input's buffering assumption.
-pub fn t_rc(input: &RatInput) -> f64 {
+pub fn t_rc(input: &RatInput) -> Seconds {
     match input.buffering {
         Buffering::Single => t_rc_single(input),
         Buffering::Double => t_rc_double(input),
     }
 }
 
-/// Equation (7): predicted speedup over the software baseline.
+/// Equation (7): predicted speedup over the software baseline (dimensionless).
 pub fn speedup(input: &RatInput) -> f64 {
     input.software.t_soft / t_rc(input)
 }
@@ -62,15 +86,15 @@ pub fn speedup(input: &RatInput) -> f64 {
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ThroughputPrediction {
     /// Per-iteration input (host→FPGA) transfer time, Eq. (2).
-    pub t_write: f64,
+    pub t_write: Seconds,
     /// Per-iteration output (FPGA→host) transfer time, Eq. (3).
-    pub t_read: f64,
+    pub t_read: Seconds,
     /// Per-iteration communication time, Eq. (1).
-    pub t_comm: f64,
+    pub t_comm: Seconds,
     /// Per-iteration computation time, Eq. (4).
-    pub t_comp: f64,
+    pub t_comp: Seconds,
     /// Total RC execution time, Eq. (5) or (6) per the buffering assumption.
-    pub t_rc: f64,
+    pub t_rc: Seconds,
     /// Speedup over software, Eq. (7).
     pub speedup: f64,
     /// Communication utilization, Eq. (9) or (11).
@@ -123,30 +147,31 @@ impl ThroughputPrediction {
 mod tests {
     use super::*;
     use crate::params::pdf1d_example;
+    use crate::quantity::Freq;
 
     /// §4.3 works the 150 MHz case end to end; Table 3 lists all three clocks.
     #[test]
     fn paper_worked_example_tcomp() {
         let input = pdf1d_example();
         // "t_comp = 512 * 768 / (150 MHz * 20 ops/cycle) = 1.31E-4 secs"
-        assert!((t_comp(&input) - 1.31072e-4).abs() < 1e-9);
+        assert!((t_comp(&input).seconds() - 1.31072e-4).abs() < 1e-9);
     }
 
     #[test]
     fn paper_worked_example_tcomm() {
         let input = pdf1d_example();
         // Write: 2048 B at 0.37 GB/s = 5.54e-6; read: 4 B at 0.16 GB/s = 2.5e-8.
-        assert!((t_write(&input) - 5.5351e-6).abs() < 1e-9);
-        assert!((t_read(&input) - 2.5e-8).abs() < 1e-10);
+        assert!((t_write(&input).seconds() - 5.5351e-6).abs() < 1e-9);
+        assert!((t_read(&input).seconds() - 2.5e-8).abs() < 1e-10);
         // Table 3: t_comm = 5.56E-6 s.
-        assert!((t_comm(&input) - 5.56e-6).abs() < 5e-9);
+        assert!((t_comm(&input).seconds() - 5.56e-6).abs() < 5e-9);
     }
 
     #[test]
     fn paper_worked_example_trc_and_speedup() {
         let input = pdf1d_example();
         // "t_RC_SB = 400 * (5.56E-6 + 1.31E-4) = 5.46E-2 secs"
-        assert!((t_rc_single(&input) - 5.46e-2).abs() < 2e-4);
+        assert!((t_rc_single(&input).seconds() - 5.46e-2).abs() < 2e-4);
         // Table 3: speedup 10.6 at 150 MHz.
         assert!((speedup(&input) - 10.6).abs() < 0.05);
     }
@@ -160,14 +185,14 @@ mod tests {
             (150.0e6, 1.31e-4, 5.46e-2, 10.6),
         ];
         for (f, tc, trc, sp) in cases {
-            let input = pdf1d_example().with_fclock(f);
+            let input = pdf1d_example().with_fclock(Freq::from_hz(f));
             assert!(
-                (t_comp(&input) - tc).abs() / tc < 0.01,
+                (t_comp(&input).seconds() - tc).abs() / tc < 0.01,
                 "t_comp at {f} Hz: {} vs paper {tc}",
                 t_comp(&input)
             );
             assert!(
-                (t_rc(&input) - trc).abs() / trc < 0.01,
+                (t_rc(&input).seconds() - trc).abs() / trc < 0.01,
                 "t_RC at {f} Hz: {} vs paper {trc}",
                 t_rc(&input)
             );
@@ -184,7 +209,7 @@ mod tests {
         let input = pdf1d_example();
         let db = t_rc_double(&input);
         // Compute-bound: DB time is iterations * t_comp.
-        assert!((db - 400.0 * t_comp(&input)).abs() < 1e-12);
+        assert!((db - 400.0 * t_comp(&input)).seconds().abs() < 1e-12);
         assert!(db < t_rc_single(&input));
     }
 
@@ -194,7 +219,8 @@ mod tests {
         let mut input = pdf1d_example();
         input.comm.alpha_write = 1.0;
         input.comm.alpha_read = 1.0;
-        input.comm.ideal_bandwidth = 1e18; // effectively free communication
+        // effectively free communication
+        input.comm.ideal_bandwidth = Throughput::from_bytes_per_sec(1e18);
         let sb = t_rc_single(&input);
         let db = t_rc_double(&input);
         assert!((sb - db) / sb < 1e-6);
@@ -225,8 +251,8 @@ mod tests {
     #[test]
     fn speedup_scales_linearly_with_fclock_when_compute_dominates() {
         let input = pdf1d_example().with_buffering(Buffering::Double);
-        let s100 = speedup(&input.with_fclock(100.0e6));
-        let s150 = speedup(&input.with_fclock(150.0e6));
+        let s100 = speedup(&input.with_fclock(Freq::from_mhz(100.0)));
+        let s150 = speedup(&input.with_fclock(Freq::from_mhz(150.0)));
         // DB + compute-bound: speedup strictly proportional to clock.
         assert!((s150 / s100 - 1.5).abs() < 1e-9);
     }

@@ -6,29 +6,34 @@
 //! overlapping communication. Communication utilization reads differently: the
 //! channel is a single serialized resource, so its utilization is the fraction
 //! of bandwidth *already spent*, bounding any additional transfers.
+//!
+//! Inputs are typed [`Seconds`]; the returned utilizations are dimensionless
+//! fractions in `[0, 1]`.
+
+use crate::quantity::Seconds;
 
 /// Equation (8): single-buffered computation utilization,
 /// `t_comp / (t_comm + t_comp)`.
-pub fn util_comp_single(t_comm: f64, t_comp: f64) -> f64 {
+pub fn util_comp_single(t_comm: Seconds, t_comp: Seconds) -> f64 {
     t_comp / (t_comm + t_comp)
 }
 
 /// Equation (9): single-buffered communication utilization,
 /// `t_comm / (t_comm + t_comp)`.
-pub fn util_comm_single(t_comm: f64, t_comp: f64) -> f64 {
+pub fn util_comm_single(t_comm: Seconds, t_comp: Seconds) -> f64 {
     t_comm / (t_comm + t_comp)
 }
 
 /// Equation (10): double-buffered computation utilization,
 /// `t_comp / max(t_comm, t_comp)`. Only meaningful once enough iterations have
 /// run for steady-state overlap.
-pub fn util_comp_double(t_comm: f64, t_comp: f64) -> f64 {
+pub fn util_comp_double(t_comm: Seconds, t_comp: Seconds) -> f64 {
     t_comp / t_comm.max(t_comp)
 }
 
 /// Equation (11): double-buffered communication utilization,
 /// `t_comm / max(t_comm, t_comp)`.
-pub fn util_comm_double(t_comm: f64, t_comp: f64) -> f64 {
+pub fn util_comm_double(t_comm: Seconds, t_comp: Seconds) -> f64 {
     t_comm / t_comm.max(t_comp)
 }
 
@@ -36,9 +41,13 @@ pub fn util_comm_double(t_comm: f64, t_comp: f64) -> f64 {
 mod tests {
     use super::*;
 
+    fn s(v: f64) -> Seconds {
+        Seconds::new(v)
+    }
+
     #[test]
     fn single_buffered_utilizations_partition_unity() {
-        let (comm, comp) = (2.0, 6.0);
+        let (comm, comp) = (s(2.0), s(6.0));
         assert!((util_comp_single(comm, comp) - 0.75).abs() < 1e-12);
         assert!((util_comm_single(comm, comp) - 0.25).abs() < 1e-12);
         assert!((util_comp_single(comm, comp) + util_comm_single(comm, comp) - 1.0).abs() < 1e-12);
@@ -47,24 +56,24 @@ mod tests {
     #[test]
     fn double_buffered_dominant_term_is_fully_utilized() {
         // Compute-bound: compute utilization is 1, comm is the ratio.
-        assert_eq!(util_comp_double(2.0, 6.0), 1.0);
-        assert!((util_comm_double(2.0, 6.0) - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(util_comp_double(s(2.0), s(6.0)), 1.0);
+        assert!((util_comm_double(s(2.0), s(6.0)) - 1.0 / 3.0).abs() < 1e-12);
         // Comm-bound: mirrored.
-        assert_eq!(util_comm_double(6.0, 2.0), 1.0);
-        assert!((util_comp_double(6.0, 2.0) - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(util_comm_double(s(6.0), s(2.0)), 1.0);
+        assert!((util_comp_double(s(6.0), s(2.0)) - 1.0 / 3.0).abs() < 1e-12);
     }
 
     #[test]
     fn balanced_double_buffering_saturates_both() {
-        assert_eq!(util_comp_double(5.0, 5.0), 1.0);
-        assert_eq!(util_comm_double(5.0, 5.0), 1.0);
+        assert_eq!(util_comp_double(s(5.0), s(5.0)), 1.0);
+        assert_eq!(util_comm_double(s(5.0), s(5.0)), 1.0);
     }
 
     #[test]
     fn md_table9_utilizations() {
         // Table 9 at 150 MHz: t_comm = 2.62e-3, t_comp = 3.58e-1 gives
         // util_comm 0.7%, util_comp 99.3% (single buffered).
-        let (comm, comp) = (2.62e-3, 3.58e-1);
+        let (comm, comp) = (s(2.62e-3), s(3.58e-1));
         assert!((util_comm_single(comm, comp) - 0.007).abs() < 0.001);
         assert!((util_comp_single(comm, comp) - 0.993).abs() < 0.001);
     }
@@ -72,6 +81,7 @@ mod tests {
     #[test]
     fn double_never_below_single_for_each_metric() {
         for (comm, comp) in [(1.0, 9.0), (9.0, 1.0), (4.0, 4.0), (1e-6, 1.0)] {
+            let (comm, comp) = (s(comm), s(comp));
             assert!(util_comp_double(comm, comp) >= util_comp_single(comm, comp) - 1e-15);
             assert!(util_comm_double(comm, comp) >= util_comm_single(comm, comp) - 1e-15);
         }

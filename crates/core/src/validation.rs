@@ -104,9 +104,9 @@ impl ValidationReport {
             grade: Grade::of(p, m),
         };
         let rows = vec![
-            row("t_comm", prediction.t_comm, measured.t_comm),
-            row("t_comp", prediction.t_comp, measured.t_comp),
-            row("t_RC", prediction.t_rc, measured.t_rc),
+            row("t_comm", prediction.t_comm.seconds(), measured.t_comm),
+            row("t_comp", prediction.t_comp.seconds(), measured.t_comp),
+            row("t_RC", prediction.t_rc.seconds(), measured.t_rc),
             row("speedup", prediction.speedup, t_soft / measured.t_rc),
         ];
         Self { rows }
@@ -216,9 +216,9 @@ mod tests {
     fn perfect_measurement_grades_accurate() {
         let prediction = ThroughputPrediction::analyze(&pdf1d_example()).unwrap();
         let measured = MeasuredPerformance {
-            t_comm: prediction.t_comm,
-            t_comp: prediction.t_comp,
-            t_rc: prediction.t_rc,
+            t_comm: prediction.t_comm.seconds(),
+            t_comp: prediction.t_comp.seconds(),
+            t_rc: prediction.t_rc.seconds(),
         };
         let r = ValidationReport::compare(&prediction, &measured, 0.578);
         assert_eq!(r.overall(), Grade::Accurate);

@@ -7,6 +7,7 @@
 
 use crate::error::RatError;
 use crate::params::{Buffering, RatInput};
+use crate::quantity::Freq;
 use crate::report::Report;
 use crate::solve;
 use crate::throughput::ThroughputPrediction;
@@ -49,7 +50,7 @@ impl Worksheet {
     /// Analyze the same design across several clock frequencies — the paper's
     /// Tables 3/6/9 columns (75/100/150 MHz). Returns one report per frequency,
     /// in order.
-    pub fn analyze_clocks(&self, fclocks: &[f64]) -> Result<Vec<Report>, RatError> {
+    pub fn analyze_clocks(&self, fclocks: &[Freq]) -> Result<Vec<Report>, RatError> {
         fclocks
             .iter()
             .map(|&f| Worksheet::new(self.input.with_fclock(f)).analyze())
@@ -75,7 +76,8 @@ mod tests {
     #[test]
     fn analyze_clocks_matches_table3_columns() {
         let ws = Worksheet::new(pdf1d_example());
-        let reports = ws.analyze_clocks(&[75.0e6, 100.0e6, 150.0e6]).unwrap();
+        let clocks = [75.0, 100.0, 150.0].map(Freq::from_mhz);
+        let reports = ws.analyze_clocks(&clocks).unwrap();
         let speedups: Vec<f64> = reports.iter().map(|r| r.speedup).collect();
         // Table 3 reports 5.4 / 7.2 / 10.6; the exact 100 MHz figure is 7.148,
         // which the paper rounds up.

@@ -13,6 +13,7 @@ use rat_core::engine::{job_rng, Engine, EngineConfig};
 use rat_core::params::{
     Buffering, CommParams, CompParams, DatasetParams, RatInput, SoftwareParams,
 };
+use rat_core::quantity::{Freq, Seconds, Throughput};
 use rat_core::sweep::SweepParam;
 use rat_core::uncertainty::ParamRange;
 use rat_core::{multifpga, sensitivity, sweep, uncertainty};
@@ -42,17 +43,17 @@ fn worksheet() -> impl Strategy<Value = RatInput> {
                     bytes_per_element: bpe,
                 },
                 comm: CommParams {
-                    ideal_bandwidth: bw,
+                    ideal_bandwidth: Throughput::from_bytes_per_sec(bw),
                     alpha_write: aw,
                     alpha_read: ar,
                 },
                 comp: CompParams {
                     ops_per_element: ops,
                     throughput_proc: tp,
-                    fclock: f,
+                    fclock: Freq::from_hz(f),
                 },
                 software: SoftwareParams {
-                    t_soft: tsoft,
+                    t_soft: Seconds::new(tsoft),
                     iterations: iters,
                 },
                 buffering,
@@ -93,8 +94,8 @@ proptest! {
         seed in any::<u64>(),
         samples in 16usize..256,
     ) {
-        let lo = input.comp.fclock * 0.5;
-        let hi = input.comp.fclock * 1.5;
+        let lo = input.comp.fclock.hz() * 0.5;
+        let hi = input.comp.fclock.hz() * 1.5;
         let ranges = [ParamRange::new(SweepParam::Fclock, lo, hi)];
         let [e1, e2, e8] = engines();
         let r1 = uncertainty::propagate_with(&e1, &input, &ranges, samples, seed).unwrap();
@@ -110,7 +111,7 @@ proptest! {
     /// aliasing that a raw `root ^ index` derivation exhibits).
     #[test]
     fn uncertainty_depends_on_the_seed(input in worksheet(), seed in any::<u64>()) {
-        let (lo, hi) = (input.comp.fclock * 0.5, input.comp.fclock * 1.5);
+        let (lo, hi) = (input.comp.fclock.hz() * 0.5, input.comp.fclock.hz() * 1.5);
         // In comm-dominated double-buffered regimes the speedup is flat in
         // fclock, so every sample (and thus every seed) legitimately yields
         // the same mean; only responsive worksheets can distinguish seeds.

@@ -6,6 +6,7 @@ use proptest::prelude::*;
 use rat_core::params::{
     Buffering, CommParams, CompParams, DatasetParams, RatInput, SoftwareParams,
 };
+use rat_core::quantity::{Freq, Seconds, Throughput};
 use rat_core::sweep::SweepParam;
 use rat_core::{multifpga, solve, streaming, throughput, utilization};
 
@@ -34,17 +35,17 @@ fn worksheet() -> impl Strategy<Value = RatInput> {
                     bytes_per_element: bpe,
                 },
                 comm: CommParams {
-                    ideal_bandwidth: bw,
+                    ideal_bandwidth: Throughput::from_bytes_per_sec(bw),
                     alpha_write: aw,
                     alpha_read: ar,
                 },
                 comp: CompParams {
                     ops_per_element: ops,
                     throughput_proc: tp,
-                    fclock: f,
+                    fclock: Freq::from_hz(f),
                 },
                 software: SoftwareParams {
-                    t_soft: tsoft,
+                    t_soft: Seconds::new(tsoft),
                     iterations: iters,
                 },
                 buffering,
@@ -59,11 +60,19 @@ proptest! {
     fn predictions_are_finite_and_positive(input in worksheet()) {
         prop_assert!(input.validate().is_ok());
         let p = rat_core::ThroughputPrediction::analyze(&input).unwrap();
-        for v in [p.t_write, p.t_read, p.t_comm, p.t_comp, p.t_rc, p.speedup] {
+        for v in [
+            p.t_write.seconds(),
+            p.t_read.seconds(),
+            p.t_comm.seconds(),
+            p.t_comp.seconds(),
+            p.t_rc.seconds(),
+            p.speedup,
+        ] {
             prop_assert!(v.is_finite());
             prop_assert!(v >= 0.0);
         }
-        prop_assert!(p.t_comm > 0.0 && p.t_comp > 0.0 && p.t_rc > 0.0 && p.speedup > 0.0);
+        prop_assert!(p.t_comm > Seconds::ZERO && p.t_comp > Seconds::ZERO);
+        prop_assert!(p.t_rc > Seconds::ZERO && p.speedup > 0.0);
     }
 
     /// Single-buffered utilizations partition unity; double-buffered
@@ -94,8 +103,8 @@ proptest! {
         prop_assert!(db <= sb * (1.0 + 1e-12));
         prop_assert!(sb <= 2.0 * db * (1.0 + 1e-12), "SB at most 2x DB");
         let s = throughput::speedup(&input);
-        prop_assert!((s * throughput::t_rc(&input) - input.software.t_soft).abs()
-            / input.software.t_soft < 1e-12);
+        prop_assert!((s * throughput::t_rc(&input).seconds() - input.software.t_soft.seconds()).abs()
+            / input.software.t_soft.seconds() < 1e-12);
     }
 
     /// All three inverse solvers round-trip for feasible targets.
@@ -202,10 +211,10 @@ proptest! {
         prop_assert!((s.sustained_rate - s.channel_rate.min(s.compute_rate)).abs()
             / s.sustained_rate < 1e-12);
         let total = (input.dataset.elements_in * input.software.iterations) as f64;
-        prop_assert!((s.t_stream * s.sustained_rate - total).abs() / total < 1e-12);
+        prop_assert!((s.t_stream.seconds() * s.sustained_rate - total).abs() / total < 1e-12);
         let db = throughput::t_rc_double(&input);
         prop_assert!(s.t_stream <= db * (1.0 + 1e-9),
-            "streaming {} should not lose to batch DB {db}", s.t_stream);
+            "streaming {} should not lose to batch DB {}", s.t_stream, db);
         // Full duplex never slower than half duplex.
         let f = streaming::analyze(&input, streaming::ChannelDuplex::Full).unwrap();
         prop_assert!(f.sustained_rate >= s.sustained_rate * (1.0 - 1e-12));

@@ -1,0 +1,157 @@
+//! Property-based tests for the typed quantity layer: unit round-trips,
+//! the megabit/megabyte factor-of-8 relation, and the Eq. (5)/(6) scaling
+//! laws that the dimensioned arithmetic must preserve.
+
+use proptest::prelude::*;
+use rat_core::params::{
+    Buffering, CommParams, CompParams, DatasetParams, RatInput, SoftwareParams,
+};
+use rat_core::quantity::{Bytes, Cycles, Freq, Seconds, Throughput};
+use rat_core::throughput;
+
+/// Strategy: a valid worksheet input across wide parameter ranges.
+fn worksheet() -> impl Strategy<Value = RatInput> {
+    (
+        1u64..100_000,  // elements_in
+        0u64..100_000,  // elements_out
+        1u64..64,       // bytes per element
+        1.0e8..1.0e10,  // ideal bandwidth
+        0.01f64..1.0,   // alpha_write
+        0.01f64..1.0,   // alpha_read
+        1.0f64..1.0e6,  // ops per element
+        0.1f64..1000.0, // throughput_proc
+        1.0e7..1.0e9,   // fclock
+        1.0e-3..1.0e4,  // t_soft
+        1u64..10_000,   // iterations
+        prop_oneof![Just(Buffering::Single), Just(Buffering::Double)],
+    )
+        .prop_map(
+            |(ein, eout, bpe, bw, aw, ar, ops, tp, f, tsoft, iters, buffering)| RatInput {
+                name: "prop".into(),
+                dataset: DatasetParams {
+                    elements_in: ein,
+                    elements_out: eout,
+                    bytes_per_element: bpe,
+                },
+                comm: CommParams {
+                    ideal_bandwidth: Throughput::from_bytes_per_sec(bw),
+                    alpha_write: aw,
+                    alpha_read: ar,
+                },
+                comp: CompParams {
+                    ops_per_element: ops,
+                    throughput_proc: tp,
+                    fclock: Freq::from_hz(f),
+                },
+                software: SoftwareParams {
+                    t_soft: Seconds::new(tsoft),
+                    iterations: iters,
+                },
+                buffering,
+            },
+        )
+}
+
+proptest! {
+    /// MHz→Hz→MHz round-trips exactly (one multiply each way), and the
+    /// Hz-level constructor is the identity on the stored value.
+    #[test]
+    fn freq_unit_round_trip(mhz in 1.0f64..10_000.0) {
+        let f = Freq::from_mhz(mhz);
+        prop_assert!((f.mhz() - mhz).abs() <= mhz * 1e-12, "{} vs {mhz}", f.mhz());
+        prop_assert_eq!(Freq::from_hz(f.hz()), f);
+    }
+
+    /// MB/s→B/s→MB/s round-trips, and the B/s constructor is the identity.
+    #[test]
+    fn throughput_unit_round_trip(mbytes in 0.1f64..100_000.0) {
+        let t = Throughput::from_mbytes_per_sec(mbytes);
+        prop_assert!(
+            (t.mbytes_per_sec() - mbytes).abs() <= mbytes * 1e-12,
+            "{} vs {mbytes}",
+            t.mbytes_per_sec()
+        );
+        prop_assert_eq!(Throughput::from_bytes_per_sec(t.bytes_per_sec()), t);
+    }
+
+    /// Megabits/s and megabytes/s of the same number differ by exactly the
+    /// factor of 8 the units imply, and each survives its own round trip.
+    #[test]
+    fn mbps_is_one_eighth_of_mbytes_per_sec(v in 1.0e-3f64..1.0e6) {
+        let bits = Throughput::from_mbps(v);
+        let bytes = Throughput::from_mbytes_per_sec(v);
+        prop_assert!((bits.mbps() - v).abs() <= v * 1e-12, "{} vs {v}", bits.mbps());
+        let ratio = bytes / bits; // dimensionless
+        prop_assert!((ratio - 8.0).abs() < 1e-12, "ratio {ratio}");
+    }
+
+    /// Bytes/Throughput and Cycles/Freq produce the seconds their definitions
+    /// promise, to f64 rounding.
+    #[test]
+    fn division_yields_the_expected_seconds(
+        bytes in 1u64..1_000_000_000,
+        bw in 1.0e6f64..1.0e10,
+        cycles in 1u64..1_000_000_000,
+        hz in 1.0e6f64..1.0e9,
+    ) {
+        let t = Bytes::new(bytes) / Throughput::from_bytes_per_sec(bw);
+        prop_assert_eq!(t, Seconds::new(bytes as f64 / bw));
+        let c = Cycles::new(cycles) / Freq::from_hz(hz);
+        prop_assert_eq!(c, Seconds::new(cycles as f64 / hz));
+    }
+
+    /// Eq. (2)/(3) scale law: multiplying the channel bandwidth by `k`
+    /// divides the communication time by `k` — the typed arithmetic must not
+    /// perturb the float expression beyond rounding.
+    #[test]
+    fn t_comm_scales_inversely_with_bandwidth(input in worksheet(), k in 1.0f64..64.0) {
+        let base = throughput::t_comm(&input);
+        let mut fast = input;
+        fast.comm.ideal_bandwidth = k * fast.comm.ideal_bandwidth;
+        let scaled = throughput::t_comm(&fast);
+        let expect = base.seconds() / k;
+        prop_assert!(
+            (scaled.seconds() - expect).abs() <= expect * 1e-12,
+            "t_comm {} vs {expect}",
+            scaled.seconds()
+        );
+    }
+
+    /// Eq. (4) scale law: multiplying the clock by `k` divides t_comp by `k`.
+    #[test]
+    fn t_comp_scales_inversely_with_clock(input in worksheet(), k in 1.0f64..64.0) {
+        let base = throughput::t_comp(&input);
+        let mut fast = input;
+        fast.comp.fclock = k * fast.comp.fclock;
+        let scaled = throughput::t_comp(&fast);
+        let expect = base.seconds() / k;
+        prop_assert!(
+            (scaled.seconds() - expect).abs() <= expect * 1e-12,
+            "t_comp {} vs {expect}",
+            scaled.seconds()
+        );
+    }
+
+    /// Eq. (5)/(6) scale invariance: scaling bandwidth AND clock by the same
+    /// `k` divides the whole RC execution time by `k` in both buffering
+    /// modes, so predicted speedup scales by exactly `k`.
+    #[test]
+    fn eq5_eq6_scale_invariance(input in worksheet(), k in 1.0f64..64.0) {
+        let base_sb = throughput::t_rc_single(&input);
+        let base_db = throughput::t_rc_double(&input);
+        let mut fast = input;
+        fast.comm.ideal_bandwidth = k * fast.comm.ideal_bandwidth;
+        fast.comp.fclock = k * fast.comp.fclock;
+        for (base, scaled) in [
+            (base_sb, throughput::t_rc_single(&fast)),
+            (base_db, throughput::t_rc_double(&fast)),
+        ] {
+            let expect = base.seconds() / k;
+            prop_assert!(
+                (scaled.seconds() - expect).abs() <= expect * 1e-9,
+                "t_rc {} vs {expect}",
+                scaled.seconds()
+            );
+        }
+    }
+}

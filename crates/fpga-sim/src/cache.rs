@@ -158,12 +158,12 @@ impl SimCache {
     /// accelerator, never a correctness dependency.
     pub fn persist_at(&self, path: PathBuf) {
         if let Some(loaded) = read_tsv(&path) {
-            let mut map = self.map.lock().unwrap();
+            let mut map = self.map.lock().expect("cache mutex poisoned");
             for (k, v) in loaded {
                 map.entry(k).or_insert(v);
             }
         }
-        *self.disk.lock().unwrap() = Some(path);
+        *self.disk.lock().expect("cache mutex poisoned") = Some(path);
     }
 
     /// Look up a run key, counting the outcome. Disabled caches miss silently
@@ -172,7 +172,12 @@ impl SimCache {
         if !self.is_enabled() {
             return None;
         }
-        let found = self.map.lock().unwrap().get(&key).copied();
+        let found = self
+            .map
+            .lock()
+            .expect("cache mutex poisoned")
+            .get(&key)
+            .copied();
         match found {
             Some(s) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -191,9 +196,9 @@ impl SimCache {
             return;
         }
         let snapshot = {
-            let mut map = self.map.lock().unwrap();
+            let mut map = self.map.lock().expect("cache mutex poisoned");
             map.insert(key, summary);
-            let disk = self.disk.lock().unwrap();
+            let disk = self.disk.lock().expect("cache mutex poisoned");
             disk.as_ref().map(|path| {
                 let rows: Vec<(u128, SimSummary)> = map.iter().map(|(k, v)| (*k, *v)).collect();
                 (path.clone(), rows)
@@ -210,7 +215,7 @@ impl SimCache {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
-            entries: self.map.lock().unwrap().len() as u64,
+            entries: self.map.lock().expect("cache mutex poisoned").len() as u64,
         }
     }
 
@@ -223,7 +228,7 @@ impl SimCache {
 
     /// Drop all stored entries and zero the counters.
     pub fn clear(&self) {
-        self.map.lock().unwrap().clear();
+        self.map.lock().expect("cache mutex poisoned").clear();
         self.reset_stats();
     }
 }
@@ -283,6 +288,9 @@ mod tests {
     use crate::digest::run_key;
     use crate::kernel::TabulatedKernel;
     use crate::platform::{AppRun, Platform};
+    use rat_core::quantity::Freq;
+
+    const F150: Freq = Freq::from_hz(150.0e6);
 
     fn sample_run() -> AppRun {
         AppRun::builder()
@@ -308,8 +316,8 @@ mod tests {
     fn identical_specs_share_a_key_and_hit() {
         let cache = SimCache::new();
         let kernel = TabulatedKernel::uniform("k", 100, 8);
-        let a = run_key(&catalog::nallatech_h101(), &kernel, &sample_run(), 150.0e6);
-        let b = run_key(&catalog::nallatech_h101(), &kernel, &sample_run(), 150.0e6);
+        let a = run_key(&catalog::nallatech_h101(), &kernel, &sample_run(), F150);
+        let b = run_key(&catalog::nallatech_h101(), &kernel, &sample_run(), F150);
         assert_eq!(a, b);
 
         assert_eq!(cache.lookup(a), None);
@@ -331,8 +339,8 @@ mod tests {
         let mut bumped = catalog::nallatech_h101();
         bumped.interconnect.setup_write += SimTime::from_ns(1);
 
-        let kb = run_key(&base, &kernel, &sample_run(), 150.0e6);
-        let kp = run_key(&bumped, &kernel, &sample_run(), 150.0e6);
+        let kb = run_key(&base, &kernel, &sample_run(), F150);
+        let kp = run_key(&bumped, &kernel, &sample_run(), F150);
         assert_ne!(kb, kp);
 
         cache.insert(kb, sample_summary(1000));
@@ -362,12 +370,12 @@ mod tests {
         let cache = SimCache::new();
 
         let cold = platform
-            .execute_summary(&kernel, &run, 150.0e6, Some(&cache))
+            .execute_summary(&kernel, &run, F150, Some(&cache))
             .unwrap();
         let warm = platform
-            .execute_summary(&kernel, &run, 150.0e6, Some(&cache))
+            .execute_summary(&kernel, &run, F150, Some(&cache))
             .unwrap();
-        let direct = SimSummary::from(&platform.execute(&kernel, &run, 150.0e6).unwrap());
+        let direct = SimSummary::from(&platform.execute(&kernel, &run, F150).unwrap());
         assert_eq!(cold, direct);
         assert_eq!(warm, direct);
         let stats = cache.stats();

@@ -22,6 +22,7 @@ use crate::host::HostModel;
 use crate::interconnect::{AlphaCurve, Interconnect};
 use crate::platform::PlatformSpec;
 use crate::time::SimTime;
+use rat_core::quantity::Throughput;
 
 /// Nallatech H101-PCIXM card (Xilinx Virtex-4 LX100) on 133 MHz 64-bit PCI-X:
 /// the platform of the 1-D and 2-D PDF case studies.
@@ -30,7 +31,7 @@ pub fn nallatech_h101() -> PlatformSpec {
         name: "Nallatech H101-PCIXM (Virtex-4 LX100, 133MHz PCI-X)".into(),
         interconnect: Interconnect {
             name: "133MHz 64-bit PCI-X via Nallatech API".into(),
-            ideal_bw: 1.0e9,
+            ideal_bw: Throughput::from_bytes_per_sec(1.0e9),
             setup_write: SimTime::from_ns(3_000),
             setup_read: SimTime::from_ns(10_000),
             // Payload efficiency (excludes setup). Write path sustains ~0.81.
@@ -67,7 +68,7 @@ pub fn xd1000() -> PlatformSpec {
         name: "XtremeData XD1000 (Stratix-II EP2S180, HyperTransport)".into(),
         interconnect: Interconnect {
             name: "HyperTransport (Opteron socket)".into(),
-            ideal_bw: 500.0e6,
+            ideal_bw: Throughput::from_bytes_per_sec(500.0e6),
             setup_write: SimTime::from_ns(1_000),
             setup_read: SimTime::from_ns(1_000),
             alpha_write: AlphaCurve::from_points(vec![
@@ -99,7 +100,7 @@ pub fn generic_pcie_gen2_x8() -> PlatformSpec {
         name: "Generic PCIe Gen2 x8 FPGA card".into(),
         interconnect: Interconnect {
             name: "PCIe Gen2 x8".into(),
-            ideal_bw: 4.0e9,
+            ideal_bw: Throughput::from_bytes_per_sec(4.0e9),
             setup_write: SimTime::from_ns(1_500),
             setup_read: SimTime::from_ns(1_500),
             alpha_write: AlphaCurve::from_points(vec![

@@ -18,6 +18,7 @@ use crate::interconnect::{AlphaCurve, Interconnect};
 use crate::kernel::HardwareKernel;
 use crate::platform::{AppRun, BufferMode, PlatformSpec};
 use crate::time::SimTime;
+use rat_core::quantity::Freq;
 
 /// Version tag folded into every run key. Bump when the simulator's semantics
 /// change in a way that invalidates previously cached measurements.
@@ -47,7 +48,7 @@ impl SpecDigest {
     /// Absorb raw bytes.
     pub fn write_bytes(&mut self, bytes: &[u8]) {
         for &b in bytes {
-            self.state ^= b as u128;
+            self.state ^= u128::from(b);
             self.state = self.state.wrapping_mul(FNV_PRIME);
         }
     }
@@ -112,7 +113,9 @@ impl Digestible for AlphaCurve {
 impl Digestible for Interconnect {
     fn digest_into(&self, d: &mut SpecDigest) {
         d.write_str(&self.name);
-        d.write_f64(self.ideal_bw);
+        // Digested as the raw bytes/second bit pattern — the same bits the
+        // pre-typed field held, so existing persisted cache keys stay valid.
+        d.write_f64(self.ideal_bw.bytes_per_sec());
         self.setup_write.digest_into(d);
         self.setup_read.digest_into(d);
         self.alpha_write.digest_into(d);
@@ -160,18 +163,18 @@ impl Digestible for AppRun {
         d.write_u64(self.output_bytes_per_iter);
         d.write_u64(self.final_output_bytes);
         self.buffer_mode.digest_into(d);
-        d.write_tag(self.streamed_output as u8);
-        d.write_u64(self.parallel_kernels as u64);
+        d.write_tag(u8::from(self.streamed_output));
+        d.write_u64(u64::from(self.parallel_kernels));
     }
 }
 
 /// The memoization key for one platform execution: platform spec + kernel
-/// spec + workload + clock, under the current [`SCHEMA`].
+/// spec + workload + clock, under the current schema-version salt.
 pub fn run_key<K: HardwareKernel + ?Sized>(
     spec: &PlatformSpec,
     kernel: &K,
     run: &AppRun,
-    fclock_hz: f64,
+    fclock: Freq,
 ) -> u128 {
     let mut d = SpecDigest::new();
     spec.digest_into(&mut d);
@@ -179,7 +182,7 @@ pub fn run_key<K: HardwareKernel + ?Sized>(
     d.write_u64(kd as u64);
     d.write_u64((kd >> 64) as u64);
     run.digest_into(&mut d);
-    d.write_f64(fclock_hz);
+    d.write_f64(fclock.hz());
     d.finish()
 }
 
@@ -188,6 +191,9 @@ mod tests {
     use super::*;
     use crate::catalog;
     use crate::kernel::TabulatedKernel;
+
+    const F150: Freq = Freq::from_hz(150.0e6);
+    const F100: Freq = Freq::from_hz(100.0e6);
 
     fn run() -> AppRun {
         AppRun::builder()
@@ -201,38 +207,32 @@ mod tests {
     #[test]
     fn equal_content_equal_key() {
         let k = TabulatedKernel::uniform("k", 100, 4);
-        let a = run_key(&catalog::nallatech_h101(), &k, &run(), 150.0e6);
-        let b = run_key(&catalog::nallatech_h101(), &k, &run(), 150.0e6);
+        let a = run_key(&catalog::nallatech_h101(), &k, &run(), F150);
+        let b = run_key(&catalog::nallatech_h101(), &k, &run(), F150);
         assert_eq!(a, b, "independently built equal specs must collide");
     }
 
     #[test]
     fn every_field_separates_keys() {
         let k = TabulatedKernel::uniform("k", 100, 4);
-        let base = run_key(&catalog::nallatech_h101(), &k, &run(), 150.0e6);
+        let base = run_key(&catalog::nallatech_h101(), &k, &run(), F150);
 
         // Platform calibration constant.
         let mut spec = catalog::nallatech_h101();
         spec.interconnect.setup_write += SimTime::from_ps(1);
-        assert_ne!(run_key(&spec, &k, &run(), 150.0e6), base);
+        assert_ne!(run_key(&spec, &k, &run(), F150), base);
 
         // Kernel spec.
         let k2 = TabulatedKernel::uniform("k", 101, 4);
-        assert_ne!(
-            run_key(&catalog::nallatech_h101(), &k2, &run(), 150.0e6),
-            base
-        );
+        assert_ne!(run_key(&catalog::nallatech_h101(), &k2, &run(), F150), base);
 
         // Workload.
         let mut r = run();
         r.iterations = 5;
-        assert_ne!(run_key(&catalog::nallatech_h101(), &k, &r, 150.0e6), base);
+        assert_ne!(run_key(&catalog::nallatech_h101(), &k, &r, F150), base);
 
         // Clock.
-        assert_ne!(
-            run_key(&catalog::nallatech_h101(), &k, &run(), 100.0e6),
-            base
-        );
+        assert_ne!(run_key(&catalog::nallatech_h101(), &k, &run(), F100), base);
     }
 
     #[test]
@@ -255,7 +255,7 @@ mod tests {
             catalog::generic_pcie_gen2_x8(),
         ]
         .iter()
-        .map(|p| run_key(p, &k, &run(), 100.0e6))
+        .map(|p| run_key(p, &k, &run(), F100))
         .collect();
         assert_ne!(keys[0], keys[1]);
         assert_ne!(keys[1], keys[2]);

@@ -9,6 +9,8 @@
 //! (the 2-D PDF case study's 6x communication underestimate).
 
 use crate::time::SimTime;
+use rat_core::quantity::{Bytes, Seconds, Throughput};
+use rat_core::throughput::transfer_seconds;
 use serde::{Deserialize, Serialize};
 
 /// Transfer direction, named from the host's perspective (matching the paper:
@@ -102,8 +104,8 @@ impl AlphaCurve {
 pub struct Interconnect {
     /// Human-readable name (e.g. "133MHz 64-bit PCI-X").
     pub name: String,
-    /// Documented peak bandwidth in bytes/second (the paper's `throughput_ideal`).
-    pub ideal_bw: f64,
+    /// Documented peak bandwidth (the paper's `throughput_ideal`).
+    pub ideal_bw: Throughput,
     /// Fixed cost to start a host→FPGA transfer (DMA descriptor setup, doorbell).
     pub setup_write: SimTime,
     /// Fixed cost to start an FPGA→host transfer.
@@ -131,37 +133,36 @@ impl Interconnect {
             Direction::Write => (self.setup_write, &self.alpha_write),
             Direction::Read => (self.setup_read, &self.alpha_read),
         };
+        // All payload durations flow through the shared Eq. (1)–(3) kernel in
+        // `rat_core::throughput` — the analytic model and this simulator can
+        // never disagree on what a byte costs on the wire.
+        let payload = |n: u64| transfer_seconds(Bytes::new(n), curve.efficiency(n), self.ideal_bw);
         match self.max_dma_bytes {
             Some(max) if bytes > max => {
                 assert!(max > 0, "max_dma_bytes must be positive");
                 let full_chunks = bytes / max;
                 let tail = bytes % max;
-                let chunk_secs = max as f64 / (curve.efficiency(max) * self.ideal_bw);
-                let mut total = SimTime::from_secs_f64(chunk_secs * full_chunks as f64);
+                let mut total = SimTime::from_seconds(payload(max) * full_chunks as f64);
                 for _ in 0..full_chunks {
                     total += setup;
                 }
                 if tail > 0 {
-                    let tail_secs = tail as f64 / (curve.efficiency(tail) * self.ideal_bw);
-                    total += setup + SimTime::from_secs_f64(tail_secs);
+                    total += setup + SimTime::from_seconds(payload(tail));
                 }
                 total
             }
-            _ => {
-                let payload_secs = bytes as f64 / (curve.efficiency(bytes) * self.ideal_bw);
-                setup + SimTime::from_secs_f64(payload_secs)
-            }
+            _ => setup + SimTime::from_seconds(payload(bytes)),
         }
     }
 
-    /// Effective end-to-end bandwidth (bytes/second) for a transfer of `bytes`,
-    /// setup latency included. This is what a microbenchmark observes.
-    pub fn effective_bandwidth(&self, bytes: u64, dir: Direction) -> f64 {
-        let t = self.transfer_time(bytes, dir).as_secs_f64();
-        if t == 0.0 {
-            0.0
+    /// Effective end-to-end bandwidth for a transfer of `bytes`, setup latency
+    /// included. This is what a microbenchmark observes.
+    pub fn effective_bandwidth(&self, bytes: u64, dir: Direction) -> Throughput {
+        let t = self.transfer_time(bytes, dir).as_seconds();
+        if t == Seconds::ZERO {
+            Throughput::from_bytes_per_sec(0.0)
         } else {
-            bytes as f64 / t
+            Bytes::new(bytes) / t
         }
     }
 }
@@ -173,7 +174,7 @@ mod tests {
     fn test_bus() -> Interconnect {
         Interconnect {
             name: "test".into(),
-            ideal_bw: 1.0e9,
+            ideal_bw: Throughput::from_bytes_per_sec(1.0e9),
             setup_write: SimTime::from_us(2),
             setup_read: SimTime::from_us(10),
             alpha_write: AlphaCurve::flat(0.8),
@@ -292,6 +293,6 @@ mod tests {
         assert!(small < large);
         assert!(large < bus.ideal_bw);
         // Large transfers approach the sustained (alpha-limited) rate.
-        assert!(large > 0.79e9);
+        assert!(large.bytes_per_sec() > 0.79e9);
     }
 }

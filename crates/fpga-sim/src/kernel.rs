@@ -7,6 +7,8 @@
 //! from per-batch workload measurements ([`TabulatedKernel`], fed by an actual
 //! dataset — how the molecular-dynamics case study is modelled).
 
+use rat_core::quantity::Cycles;
+
 /// One iteration's worth of buffered input, as seen by the kernel.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Batch {
@@ -30,7 +32,7 @@ pub trait HardwareKernel: Send + Sync {
     fn name(&self) -> &str;
 
     /// Clock cycles to process `batch`, including pipeline fill/drain and stalls.
-    fn batch_cycles(&self, batch: &Batch) -> u64;
+    fn batch_cycles(&self, batch: &Batch) -> Cycles;
 
     /// Content digest of the kernel's full cycle behaviour: two kernels with
     /// equal digests must return equal `batch_cycles` for every batch. Feeds
@@ -69,8 +71,8 @@ impl TabulatedKernel {
     }
 
     /// Total cycles across the whole table.
-    pub fn total_cycles(&self) -> u64 {
-        self.cycles.iter().sum()
+    pub fn total_cycles(&self) -> Cycles {
+        Cycles::new(self.cycles.iter().sum())
     }
 }
 
@@ -79,9 +81,9 @@ impl HardwareKernel for TabulatedKernel {
         &self.name
     }
 
-    fn batch_cycles(&self, batch: &Batch) -> u64 {
+    fn batch_cycles(&self, batch: &Batch) -> Cycles {
         let i = (batch.index as usize).min(self.cycles.len() - 1);
-        self.cycles[i]
+        Cycles::new(self.cycles[i])
     }
 
     fn spec_digest(&self) -> u128 {
@@ -101,7 +103,7 @@ impl<K: HardwareKernel + ?Sized> HardwareKernel for &K {
         (**self).name()
     }
 
-    fn batch_cycles(&self, batch: &Batch) -> u64 {
+    fn batch_cycles(&self, batch: &Batch) -> Cycles {
         (**self).batch_cycles(batch)
     }
 
@@ -125,21 +127,21 @@ mod tests {
     #[test]
     fn tabulated_kernel_indexes_by_batch() {
         let k = TabulatedKernel::new("k", vec![10, 20, 30]);
-        assert_eq!(k.batch_cycles(&batch(0)), 10);
-        assert_eq!(k.batch_cycles(&batch(2)), 30);
+        assert_eq!(k.batch_cycles(&batch(0)), Cycles::new(10));
+        assert_eq!(k.batch_cycles(&batch(2)), Cycles::new(30));
     }
 
     #[test]
     fn tabulated_kernel_clamps_past_table_end() {
         let k = TabulatedKernel::new("k", vec![10, 20]);
-        assert_eq!(k.batch_cycles(&batch(7)), 20);
+        assert_eq!(k.batch_cycles(&batch(7)), Cycles::new(20));
     }
 
     #[test]
     fn uniform_kernel() {
         let k = TabulatedKernel::uniform("k", 100, 5);
-        assert_eq!(k.total_cycles(), 500);
-        assert_eq!(k.batch_cycles(&batch(3)), 100);
+        assert_eq!(k.total_cycles(), Cycles::new(500));
+        assert_eq!(k.batch_cycles(&batch(3)), Cycles::new(100));
     }
 
     #[test]
@@ -152,7 +154,7 @@ mod tests {
     fn kernel_trait_object_via_reference() {
         let k = TabulatedKernel::uniform("k", 7, 1);
         let r: &dyn HardwareKernel = &k;
-        assert_eq!(r.batch_cycles(&batch(0)), 7);
+        assert_eq!(r.batch_cycles(&batch(0)), Cycles::new(7));
         assert_eq!((&r).name(), "k");
     }
 }

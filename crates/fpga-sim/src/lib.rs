@@ -39,6 +39,7 @@
 //! use fpga_sim::catalog;
 //! use fpga_sim::kernel::TabulatedKernel;
 //! use fpga_sim::platform::{AppRun, BufferMode, Platform};
+//! use rat_core::quantity::Freq;
 //!
 //! let platform = Platform::new(catalog::nallatech_h101());
 //! let kernel = TabulatedKernel::uniform("demo", 1000, 4); // 4 batches, 1000 cycles each
@@ -48,7 +49,7 @@
 //!     .output_bytes_per_iter(2048)
 //!     .buffer_mode(BufferMode::Double)
 //!     .build();
-//! let m = platform.execute(&kernel, &run, 100.0e6).unwrap();
+//! let m = platform.execute(&kernel, &run, Freq::from_mhz(100.0)).unwrap();
 //! assert!(m.total.as_secs_f64() > 0.0);
 //! ```
 

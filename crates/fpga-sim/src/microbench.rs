@@ -45,8 +45,8 @@ pub struct AlphaSample {
 pub fn measure_alpha(ic: &Interconnect, bytes: u64) -> AlphaSample {
     assert!(bytes > 0, "cannot microbenchmark a zero-byte transfer");
     let alpha_of = |dir| {
-        let t = ic.transfer_time(bytes, dir).as_secs_f64();
-        (bytes as f64 / t / ic.ideal_bw).min(1.0)
+        // Effective over ideal rate: a dimensionless Throughput ratio.
+        (ic.effective_bandwidth(bytes, dir) / ic.ideal_bw).min(1.0)
     };
     AlphaSample {
         bytes,

@@ -10,6 +10,7 @@
 //! gap explicitly.
 
 use crate::kernel::{Batch, HardwareKernel};
+use rat_core::quantity::Cycles;
 use serde::{Deserialize, Serialize};
 
 /// Stall behaviour of a pipelined design.
@@ -80,9 +81,9 @@ impl PipelineSpec {
 
     /// Cycles to execute `total_ops` operations over `elements` elements,
     /// including fill, drain, and stalls.
-    pub fn cycles(&self, total_ops: u64, elements: u64) -> u64 {
+    pub fn cycles(&self, total_ops: u64, elements: u64) -> Cycles {
         self.stall.validate();
-        let peak = self.peak_ops_per_cycle() as u64;
+        let peak = u64::from(self.peak_ops_per_cycle());
         assert!(
             peak > 0,
             "pipeline must have at least one lane and one op/cycle"
@@ -93,7 +94,7 @@ impl PipelineSpec {
             StallModel::PerElement { cycles } => steady + (cycles * elements as f64).round() as u64,
             StallModel::Efficiency { efficiency } => (steady as f64 / efficiency).ceil() as u64,
         };
-        self.fill_latency + stalled + self.drain_latency
+        Cycles::new(self.fill_latency + stalled + self.drain_latency)
     }
 
     /// Effective operations per cycle actually delivered for a given workload —
@@ -101,10 +102,10 @@ impl PipelineSpec {
     /// `throughput_proc` tries to predict.
     pub fn effective_ops_per_cycle(&self, total_ops: u64, elements: u64) -> f64 {
         let c = self.cycles(total_ops, elements);
-        if c == 0 {
+        if c == Cycles::ZERO {
             0.0
         } else {
-            total_ops as f64 / c as f64
+            total_ops as f64 / c.as_f64()
         }
     }
 }
@@ -147,7 +148,7 @@ impl HardwareKernel for PipelinedKernel {
         &self.name
     }
 
-    fn batch_cycles(&self, batch: &Batch) -> u64 {
+    fn batch_cycles(&self, batch: &Batch) -> Cycles {
         self.spec
             .cycles(self.ops_per_element * batch.elements, batch.elements)
     }
@@ -156,8 +157,8 @@ impl HardwareKernel for PipelinedKernel {
         let mut d = crate::digest::SpecDigest::new();
         d.write_str("pipelined");
         d.write_str(&self.name);
-        d.write_u64(self.spec.lanes as u64);
-        d.write_u64(self.spec.ops_per_lane_cycle as u64);
+        d.write_u64(u64::from(self.spec.lanes));
+        d.write_u64(u64::from(self.spec.ops_per_lane_cycle));
         d.write_u64(self.spec.fill_latency);
         d.write_u64(self.spec.drain_latency);
         match self.spec.stall {
@@ -208,9 +209,9 @@ mod tests {
             stall: StallModel::None,
         };
         // 800 ops at 8/cycle = 100 cycles + 15 latency.
-        assert_eq!(spec.cycles(800, 100), 115);
+        assert_eq!(spec.cycles(800, 100), Cycles::new(115));
         // Non-divisible op counts round up.
-        assert_eq!(spec.cycles(801, 100), 116);
+        assert_eq!(spec.cycles(801, 100), Cycles::new(116));
     }
 
     #[test]
@@ -223,7 +224,7 @@ mod tests {
             stall: StallModel::PerElement { cycles: 2.5 },
         };
         // 100 ops over 10 elements: 100 steady + 25 stall.
-        assert_eq!(spec.cycles(100, 10), 125);
+        assert_eq!(spec.cycles(100, 10), Cycles::new(125));
     }
 
     #[test]
@@ -235,7 +236,7 @@ mod tests {
             drain_latency: 0,
             stall: StallModel::Efficiency { efficiency: 0.5 },
         };
-        assert_eq!(spec.cycles(5000, 1), 200); // 100 steady / 0.5
+        assert_eq!(spec.cycles(5000, 1), Cycles::new(200)); // 100 steady / 0.5
     }
 
     #[test]
@@ -246,7 +247,7 @@ mod tests {
         let cycles = spec.cycles(512 * 768, 512);
         let measured = 20850.0;
         assert!(
-            (cycles as f64 - measured).abs() / measured < 0.02,
+            (cycles.as_f64() - measured).abs() / measured < 0.02,
             "calibrated cycles {cycles} drifted from the paper's 20850"
         );
         let eff = spec.effective_ops_per_cycle(512 * 768, 512);

@@ -14,6 +14,8 @@ use crate::kernel::{Batch, HardwareKernel};
 use crate::queue::EventQueue;
 use crate::time::SimTime;
 use crate::trace::{Resource, Trace};
+use rat_core::quantity::Freq;
+use rat_core::RatError;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use std::fmt;
@@ -186,6 +188,12 @@ impl fmt::Display for ExecError {
 
 impl std::error::Error for ExecError {}
 
+impl From<ExecError> for RatError {
+    fn from(e: ExecError) -> Self {
+        RatError::simulation(e.to_string())
+    }
+}
+
 /// What the simulated platform measured.
 #[derive(Debug, Clone)]
 pub struct Measurement {
@@ -281,24 +289,24 @@ impl Platform {
         &self.spec
     }
 
-    /// Execute `run` with `kernel` clocked at `fclock_hz`, returning the
+    /// Execute `run` with `kernel` clocked at `fclock`, returning the
     /// measurement. Deterministic: same inputs, same schedule.
     pub fn execute<K: HardwareKernel + ?Sized>(
         &self,
         kernel: &K,
         run: &AppRun,
-        fclock_hz: f64,
+        fclock: Freq,
     ) -> Result<Measurement, ExecError> {
         if run.iterations == 0 {
             return Err(ExecError::NoIterations);
         }
-        if !(fclock_hz.is_finite() && fclock_hz > 0.0) {
+        if !(fclock.hz().is_finite() && fclock.hz() > 0.0) {
             return Err(ExecError::BadClock);
         }
         if run.parallel_kernels == 0 {
             return Err(ExecError::NoKernels);
         }
-        let mut sim = Sim::new(&self.spec, kernel, run, fclock_hz);
+        let mut sim = Sim::new(&self.spec, kernel, run, fclock);
         sim.start();
         while let Some((_, ev)) = sim.q.pop() {
             sim.handle(ev);
@@ -310,27 +318,23 @@ impl Platform {
     /// hash of `(platform spec, kernel spec, run, fclock)` keys the lookup,
     /// so a repeated point costs a hash instead of a simulation. A cache hit
     /// skips input validation too — the hit proves an identical run already
-    /// validated and executed. Returns the scalar [`SimSummary`] (the full
+    /// validated and executed. Returns the scalar
+    /// [`SimSummary`](crate::cache::SimSummary) — the full
     /// trace is only produced by [`Platform::execute`]).
     pub fn execute_summary<K: HardwareKernel + ?Sized>(
         &self,
         kernel: &K,
         run: &AppRun,
-        fclock_hz: f64,
+        fclock: Freq,
         cache: Option<&crate::cache::SimCache>,
     ) -> Result<crate::cache::SimSummary, ExecError> {
-        let key = cache.map(|c| {
-            (
-                c,
-                crate::digest::run_key(&self.spec, kernel, run, fclock_hz),
-            )
-        });
+        let key = cache.map(|c| (c, crate::digest::run_key(&self.spec, kernel, run, fclock)));
         if let Some((c, k)) = key {
             if let Some(hit) = c.lookup(k) {
                 return Ok(hit);
             }
         }
-        let summary = crate::cache::SimSummary::from(&self.execute(kernel, run, fclock_hz)?);
+        let summary = crate::cache::SimSummary::from(&self.execute(kernel, run, fclock)?);
         if let Some((c, k)) = key {
             c.insert(k, summary);
         }
@@ -343,7 +347,7 @@ struct Sim<'a, K: ?Sized> {
     spec: &'a PlatformSpec,
     kernel: &'a K,
     run: &'a AppRun,
-    fclock: f64,
+    fclock: Freq,
     q: EventQueue<Ev>,
     trace: Trace,
     // Resource state.
@@ -368,7 +372,7 @@ struct Sim<'a, K: ?Sized> {
 }
 
 impl<'a, K: HardwareKernel + ?Sized> Sim<'a, K> {
-    fn new(spec: &'a PlatformSpec, kernel: &'a K, run: &'a AppRun, fclock: f64) -> Self {
+    fn new(spec: &'a PlatformSpec, kernel: &'a K, run: &'a AppRun, fclock: Freq) -> Self {
         // Single buffering serializes everything through one buffer, so extra
         // kernel instances sit idle; double buffering scales buffering with
         // the instance count to keep every instance fed.
@@ -615,6 +619,10 @@ mod tests {
     use super::*;
     use crate::interconnect::AlphaCurve;
     use crate::kernel::TabulatedKernel;
+    use rat_core::quantity::Throughput;
+
+    /// A 1 GHz kernel clock: cycle counts read directly as nanoseconds.
+    const GHZ: Freq = Freq::from_hz(1.0e9);
 
     /// A bus moving 1 byte per nanosecond with no setup cost: transfer time in
     /// ns equals the byte count, making schedules easy to reason about.
@@ -623,7 +631,7 @@ mod tests {
             name: "unit".into(),
             interconnect: Interconnect {
                 name: "unit-bus".into(),
-                ideal_bw: 1.0e9,
+                ideal_bw: Throughput::from_bytes_per_sec(1.0e9),
                 setup_write: SimTime::ZERO,
                 setup_read: SimTime::ZERO,
                 alpha_write: AlphaCurve::flat(1.0),
@@ -652,7 +660,7 @@ mod tests {
             .output_bytes_per_iter(out_bytes)
             .buffer_mode(mode)
             .build();
-        platform.execute(&kernel, &run, 1.0e9).unwrap()
+        platform.execute(&kernel, &run, GHZ).unwrap()
     }
 
     #[test]
@@ -727,7 +735,7 @@ mod tests {
             .input_bytes_per_iter(50)
             .final_output_bytes(400)
             .build();
-        let m = platform.execute(&kernel, &run, 1.0e9).unwrap();
+        let m = platform.execute(&kernel, &run, GHZ).unwrap();
         // 3*(50+100) serial + 400 final read.
         assert_eq!(m.total, SimTime::from_ns(3 * 150 + 400));
         let final_span = m.trace.spans().iter().find(|s| s.label == "WF").unwrap();
@@ -744,7 +752,7 @@ mod tests {
             .output_bytes_per_iter(500)
             .streamed_output(true)
             .build();
-        let m = platform.execute(&kernel, &run, 1.0e9).unwrap();
+        let m = platform.execute(&kernel, &run, GHZ).unwrap();
         // Output (500 ns) streams during compute (1000 ns): total = 200 + 1000.
         assert_eq!(m.total, SimTime::from_ns(1200));
         assert_eq!(m.comm_busy, SimTime::from_ns(200));
@@ -765,7 +773,7 @@ mod tests {
             .input_bytes_per_iter(50)
             .output_bytes_per_iter(30)
             .build();
-        let m = platform.execute(&kernel, &run, 1.0e9).unwrap();
+        let m = platform.execute(&kernel, &run, GHZ).unwrap();
         // Per iter: (10+50) in + 100 comp + 20 sync + (10+30) out = 220.
         assert_eq!(m.total, SimTime::from_ns(440));
         assert_eq!(m.host_overhead, SimTime::from_ns(40));
@@ -779,7 +787,7 @@ mod tests {
         let kernel = TabulatedKernel::uniform("k", 1, 1);
         let run = AppRun::builder().iterations(0).build();
         assert_eq!(
-            platform.execute(&kernel, &run, 1.0e9).unwrap_err(),
+            platform.execute(&kernel, &run, GHZ).unwrap_err(),
             ExecError::NoIterations
         );
     }
@@ -793,11 +801,15 @@ mod tests {
             .input_bytes_per_iter(1)
             .build();
         assert_eq!(
-            platform.execute(&kernel, &run, 0.0).unwrap_err(),
+            platform
+                .execute(&kernel, &run, Freq::from_hz(0.0))
+                .unwrap_err(),
             ExecError::BadClock
         );
         assert_eq!(
-            platform.execute(&kernel, &run, f64::NAN).unwrap_err(),
+            platform
+                .execute(&kernel, &run, Freq::from_hz(f64::NAN))
+                .unwrap_err(),
             ExecError::BadClock
         );
     }
@@ -857,7 +869,7 @@ mod tests {
             .buffer_mode(BufferMode::Double)
             .parallel_kernels(kernels)
             .build();
-        platform.execute(&kernel, &run, 1.0e9).unwrap()
+        platform.execute(&kernel, &run, GHZ).unwrap()
     }
 
     #[test]
@@ -901,7 +913,7 @@ mod tests {
                 .buffer_mode(BufferMode::Single)
                 .parallel_kernels(kernels)
                 .build();
-            platform.execute(&kernel, &run, 1.0e9).unwrap().total
+            platform.execute(&kernel, &run, GHZ).unwrap().total
         };
         assert_eq!(
             mk(1),
@@ -916,7 +928,7 @@ mod tests {
         let kernel = TabulatedKernel::uniform("k", 1, 1);
         let run = AppRun::builder().iterations(1).parallel_kernels(0).build();
         assert_eq!(
-            platform.execute(&kernel, &run, 1.0e9).unwrap_err(),
+            platform.execute(&kernel, &run, GHZ).unwrap_err(),
             ExecError::NoKernels
         );
     }
@@ -951,7 +963,7 @@ mod tests {
             .elements_per_iter(1)
             .input_bytes_per_iter(50)
             .build();
-        let m = platform.execute(&kernel, &run, 1.0e9).unwrap();
+        let m = platform.execute(&kernel, &run, GHZ).unwrap();
         // 100 us configuration + 3 * (50 + 100) ns of work.
         assert_eq!(m.total, SimTime::from_us(100) + SimTime::from_ns(450));
         assert_eq!(m.host_overhead, SimTime::from_us(100));
@@ -975,7 +987,7 @@ mod tests {
             .iterations(1)
             .input_bytes_per_iter(100)
             .build();
-        let short = platform.execute(&kernel_short, &run_short, 1.0e9).unwrap();
+        let short = platform.execute(&kernel_short, &run_short, GHZ).unwrap();
         let cfg_share_short = spec.reconfiguration.as_secs_f64() / short.total.as_secs_f64();
         assert!(
             cfg_share_short > 0.9,
@@ -987,7 +999,7 @@ mod tests {
             .iterations(10_000)
             .input_bytes_per_iter(100)
             .build();
-        let long = platform.execute(&kernel_long, &run_long, 1.0e9).unwrap();
+        let long = platform.execute(&kernel_long, &run_long, GHZ).unwrap();
         let cfg_share_long = spec.reconfiguration.as_secs_f64() / long.total.as_secs_f64();
         assert!(cfg_share_long < 0.01, "long run amortizes configuration");
     }

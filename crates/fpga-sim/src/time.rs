@@ -1,5 +1,6 @@
 //! Simulation time.
 
+use rat_core::quantity::{Cycles, Freq, Seconds};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::iter::Sum;
@@ -36,11 +37,12 @@ impl SimTime {
         SimTime(us * 1_000_000)
     }
 
-    /// Construct from seconds, rounding to the nearest picosecond.
+    /// Construct from a typed duration, rounding to the nearest picosecond.
     ///
     /// Panics on negative or non-finite input: durations in the simulator are
     /// always physical.
-    pub fn from_secs_f64(secs: f64) -> Self {
+    pub fn from_seconds(secs: Seconds) -> Self {
+        let secs = secs.seconds();
         assert!(
             secs.is_finite() && secs >= 0.0,
             "SimTime must be a finite non-negative duration, got {secs}"
@@ -48,14 +50,15 @@ impl SimTime {
         SimTime((secs * PS_PER_SEC).round() as u64)
     }
 
-    /// Duration of `cycles` clock cycles at `freq_hz`, rounded to the nearest
+    /// Duration of `cycles` clock cycles at `freq`, rounded to the nearest
     /// picosecond.
-    pub fn from_cycles(cycles: u64, freq_hz: f64) -> Self {
+    pub fn from_cycles(cycles: Cycles, freq: Freq) -> Self {
         assert!(
-            freq_hz > 0.0,
-            "clock frequency must be positive, got {freq_hz}"
+            freq.hz() > 0.0,
+            "clock frequency must be positive, got {} Hz",
+            freq.hz()
         );
-        Self::from_secs_f64(cycles as f64 / freq_hz)
+        Self::from_seconds(cycles / freq)
     }
 
     /// Raw picoseconds.
@@ -63,14 +66,19 @@ impl SimTime {
         self.0
     }
 
-    /// Time in seconds.
+    /// Time in seconds, as a raw float (for statistics and formatting).
     pub fn as_secs_f64(self) -> f64 {
         self.0 as f64 / PS_PER_SEC
     }
 
-    /// Number of whole clock cycles this duration spans at `freq_hz`.
-    pub fn as_cycles(self, freq_hz: f64) -> u64 {
-        (self.as_secs_f64() * freq_hz).round() as u64
+    /// Time as a typed duration.
+    pub fn as_seconds(self) -> Seconds {
+        Seconds::new(self.as_secs_f64())
+    }
+
+    /// Number of whole clock cycles this duration spans at `freq`.
+    pub fn as_cycles(self, freq: Freq) -> Cycles {
+        Cycles::new((freq * self.as_seconds()).round() as u64)
     }
 
     /// Saturating subtraction (zero if `rhs` is later than `self`).
@@ -137,19 +145,23 @@ mod tests {
     fn unit_constructors_agree() {
         assert_eq!(SimTime::from_ns(5), SimTime::from_ps(5_000));
         assert_eq!(SimTime::from_us(2), SimTime::from_ns(2_000));
-        assert_eq!(SimTime::from_secs_f64(1e-6), SimTime::from_us(1));
+        assert_eq!(
+            SimTime::from_seconds(Seconds::new(1e-6)),
+            SimTime::from_us(1)
+        );
     }
 
     #[test]
     fn cycles_round_trip() {
-        let t = SimTime::from_cycles(20850, 150.0e6);
-        assert_eq!(t.as_cycles(150.0e6), 20850);
+        let f = Freq::from_mhz(150.0);
+        let t = SimTime::from_cycles(Cycles::new(20850), f);
+        assert_eq!(t.as_cycles(f), Cycles::new(20850));
         assert!((t.as_secs_f64() - 1.39e-4).abs() < 1e-6);
     }
 
     #[test]
     fn cycle_duration_at_150mhz() {
-        let t = SimTime::from_cycles(1, 150.0e6);
+        let t = SimTime::from_cycles(Cycles::new(1), Freq::from_mhz(150.0));
         // 1/150 MHz = 6.667 ns = 6667 ps (rounded).
         assert_eq!(t.as_ps(), 6667);
     }
@@ -173,7 +185,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "non-negative")]
     fn negative_seconds_panics() {
-        let _ = SimTime::from_secs_f64(-1.0);
+        let _ = SimTime::from_seconds(Seconds::new(-1.0));
     }
 
     #[test]
@@ -184,7 +196,10 @@ mod tests {
 
     #[test]
     fn display_picks_unit() {
-        assert_eq!(SimTime::from_secs_f64(2.5).to_string(), "2.5000 s");
+        assert_eq!(
+            SimTime::from_seconds(Seconds::new(2.5)).to_string(),
+            "2.5000 s"
+        );
         assert_eq!(SimTime::from_us(1500).to_string(), "1.500 ms");
         assert_eq!(SimTime::from_ns(250).to_string(), "250.000 ns");
     }

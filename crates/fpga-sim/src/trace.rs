@@ -191,7 +191,7 @@ impl Trace {
             return String::from("(empty trace)\n");
         }
         let scale = |t: SimTime| -> usize {
-            ((t.as_ps() as u128 * width as u128) / end.as_ps() as u128) as usize
+            ((u128::from(t.as_ps()) * width as u128) / u128::from(end.as_ps())) as usize
         };
         let mut out = String::new();
         for res in [Resource::Comm, Resource::Comp, Resource::Host] {
@@ -217,9 +217,11 @@ impl Trace {
                 }
             }
             let line = String::from_utf8(row).expect("ASCII by construction");
-            writeln!(out, "{:>4} |{}|", res.row_label(), line.trim_end()).unwrap();
+            writeln!(out, "{:>4} |{}|", res.row_label(), line.trim_end())
+                .expect("writing to a String cannot fail");
         }
-        writeln!(out, "     0{:>w$}", end.to_string(), w = width - 1).unwrap();
+        writeln!(out, "     0{:>w$}", end.to_string(), w = width - 1)
+            .expect("writing to a String cannot fail");
         out
     }
 }

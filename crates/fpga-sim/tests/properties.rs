@@ -9,11 +9,12 @@ use fpga_sim::{
     AlphaCurve, AppRun, BufferMode, Interconnect, Platform, PlatformSpec, SimTime, TabulatedKernel,
 };
 use proptest::prelude::*;
+use rat_core::quantity::{Cycles, Freq, Throughput};
 
 fn bus(alpha_w: f64, alpha_r: f64, setup_ns: u64) -> Interconnect {
     Interconnect {
         name: "prop-bus".into(),
-        ideal_bw: 1.0e9,
+        ideal_bw: Throughput::from_bytes_per_sec(1.0e9),
         setup_write: SimTime::from_ns(setup_ns),
         setup_read: SimTime::from_ns(setup_ns),
         alpha_write: AlphaCurve::flat(alpha_w),
@@ -26,9 +27,9 @@ proptest! {
     /// SimTime cycle conversions round-trip.
     #[test]
     fn cycles_round_trip(cycles in 1u64..1_000_000, mhz in 1u64..2_000) {
-        let f = mhz as f64 * 1e6;
-        let t = SimTime::from_cycles(cycles, f);
-        prop_assert_eq!(t.as_cycles(f), cycles);
+        let f = Freq::from_hz(mhz as f64 * 1e6);
+        let t = SimTime::from_cycles(Cycles::new(cycles), f);
+        prop_assert_eq!(t.as_cycles(f), Cycles::new(cycles));
     }
 
     /// SimTime addition is commutative/associative and Display never panics.
@@ -129,9 +130,9 @@ proptest! {
                 .parallel_kernels(k)
                 .build()
         };
-        let sb = platform.execute(&kernel, &mk(BufferMode::Single, 1), 1.0e8).unwrap();
-        let db = platform.execute(&kernel, &mk(BufferMode::Double, 1), 1.0e8).unwrap();
-        let dbk = platform.execute(&kernel, &mk(BufferMode::Double, kernels), 1.0e8).unwrap();
+        let sb = platform.execute(&kernel, &mk(BufferMode::Single, 1), Freq::from_hz(1.0e8)).unwrap();
+        let db = platform.execute(&kernel, &mk(BufferMode::Double, 1), Freq::from_hz(1.0e8)).unwrap();
+        let dbk = platform.execute(&kernel, &mk(BufferMode::Double, kernels), Freq::from_hz(1.0e8)).unwrap();
         prop_assert!(db.total <= sb.total);
         prop_assert!(dbk.total <= db.total + SimTime::from_ns(1));
         for m in [&sb, &db] {
@@ -196,7 +197,7 @@ proptest! {
             .input_bytes_per_iter(in_bytes)
             .output_bytes_per_iter(out_bytes)
             .build();
-        let f = mhz as f64 * 1e6;
+        let f = Freq::from_hz(mhz as f64 * 1e6);
 
         let cache = SimCache::new();
         let cold = platform.execute_summary(&kernel, &run, f, Some(&cache)).unwrap();

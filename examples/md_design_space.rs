@@ -21,10 +21,11 @@ use rat::core::comparison::DesignComparison;
 use rat::core::params::{
     Buffering, CommParams, CompParams, DatasetParams, RatInput, SoftwareParams,
 };
+use rat::core::quantity::{Freq, Seconds, Throughput};
 use rat::core::solve;
 
 fn main() {
-    let t_soft = 5.78;
+    let t_soft = Seconds::new(5.78);
     let n: u64 = 16_384;
 
     // Style 1: naive offload. Every one of 10 buffered passes ships all state
@@ -38,14 +39,14 @@ fn main() {
             bytes_per_element: 36,
         },
         comm: CommParams {
-            ideal_bandwidth: 132.0e6,
+            ideal_bandwidth: Throughput::from_bytes_per_sec(132.0e6),
             alpha_write: 0.5,
             alpha_read: 0.4,
         },
         comp: CompParams {
             ops_per_element: 164_000.0,
             throughput_proc: 25.0,
-            fclock: 66.0e6,
+            fclock: Freq::from_hz(66.0e6),
         },
         software: SoftwareParams {
             t_soft,
@@ -69,14 +70,14 @@ fn main() {
             bytes_per_element: 36,
         },
         comm: CommParams {
-            ideal_bandwidth: 500.0e6,
+            ideal_bandwidth: Throughput::from_bytes_per_sec(500.0e6),
             alpha_write: 0.9,
             alpha_read: 0.9,
         },
         comp: CompParams {
             ops_per_element: 164_000.0,
             throughput_proc: 200.0,
-            fclock: 100.0e6,
+            fclock: Freq::from_hz(100.0e6),
         },
         software: SoftwareParams {
             t_soft,

@@ -38,13 +38,13 @@ fn main() {
 
     // 3. Prediction with the tuned value (Table 9's predicted columns).
     for r in Worksheet::new(input)
-        .analyze_clocks(&[75.0e6, 100.0e6, 150.0e6])
+        .analyze_clocks(&[75.0, 100.0, 150.0].map(rat::core::quantity::Freq::from_mhz))
         .expect("valid worksheet")
     {
         println!(
             "  predicted @ {:>3.0} MHz: t_comp {:.2e} s, speedup {:.1}x",
-            r.input.comp.fclock / 1e6,
-            r.throughput.t_comp,
+            r.input.comp.fclock.mhz(),
+            r.throughput.t_comp.seconds(),
             r.speedup
         );
     }

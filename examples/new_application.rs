@@ -44,10 +44,10 @@ fn main() {
         comp: CompParams {
             ops_per_element: 128.0,
             throughput_proc: 112.0,
-            fclock: 200.0e6,
+            fclock: rat::core::quantity::Freq::from_hz(200.0e6),
         },
         software: SoftwareParams {
-            t_soft: 6.1,
+            t_soft: rat::core::quantity::Seconds::new(6.1),
             iterations: total_chars / chars_per_block,
         },
         buffering: Buffering::Double,
@@ -101,7 +101,7 @@ fn main() {
             Err(e) => println!("  - infeasible via parallelism: {e}"),
         }
         match solve::required_fclock(&design, 20.0) {
-            Ok(v) => println!("  - or clock the 64-unit array at {:.0} MHz", v / 1e6),
+            Ok(v) => println!("  - or clock the 64-unit array at {:.0} MHz", v.mhz()),
             Err(e) => println!("  - infeasible via clock: {e}"),
         }
         println!(

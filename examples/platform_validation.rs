@@ -63,9 +63,9 @@ fn main() {
         println!(
             "{name}: predicted t_comm {:.2e} s vs measured {:.2e} s ({:.1}x miss); \
              predicted speedup {:.1}x vs measured {:.1}x",
-            predicted.throughput.t_comm,
+            predicted.throughput.t_comm.seconds(),
             measured.comm_per_iter().as_secs_f64(),
-            measured.comm_per_iter().as_secs_f64() / predicted.throughput.t_comm,
+            measured.comm_per_iter().as_secs_f64() / predicted.throughput.t_comm.seconds(),
             predicted.speedup,
             sim_speedup
         );
@@ -81,7 +81,11 @@ fn main() {
         .buffer_mode(rat::sim::BufferMode::Single)
         .build();
     let m = rat::sim::Platform::new(platform)
-        .execute(&pdf1d::design().kernel(), &run, 150.0e6)
+        .execute(
+            &pdf1d::design().kernel(),
+            &run,
+            rat_core::quantity::Freq::from_hz(150.0e6),
+        )
         .expect("valid run");
     println!(
         "\nFirst three iterations, single buffered:\n{}",

@@ -26,14 +26,14 @@ fn main() {
     //    frequency is unknowable before place-and-route.
     println!("Across candidate clocks (Table 3's predicted columns):");
     for r in Worksheet::new(input.clone())
-        .analyze_clocks(&[75.0e6, 100.0e6, 150.0e6])
+        .analyze_clocks(&[75.0, 100.0, 150.0].map(rat::core::quantity::Freq::from_mhz))
         .expect("valid worksheet")
     {
         println!(
             "  {:>3.0} MHz: t_comp {:.2e} s, t_RC {:.2e} s, speedup {:.1}x",
-            r.input.comp.fclock / 1e6,
-            r.throughput.t_comp,
-            r.throughput.t_rc,
+            r.input.comp.fclock.mhz(),
+            r.throughput.t_comp.seconds(),
+            r.throughput.t_rc.seconds(),
             r.speedup
         );
     }

@@ -45,7 +45,9 @@ fn main() {
             .buffer_mode(BufferMode::Double)
             .parallel_kernels(devices)
             .build();
-        let m = platform.execute(&kernel, &run, 150.0e6).expect("valid run");
+        let m = platform
+            .execute(&kernel, &run, rat::core::quantity::Freq::from_hz(150.0e6))
+            .expect("valid run");
         println!(
             "  {devices:>2} device(s): total {:.3e} s, speedup {:>5.1}x, channel busy {:>4.0}%",
             m.total.as_secs_f64(),
@@ -67,6 +69,6 @@ fn main() {
             streaming::StreamBottleneck::Compute => "compute",
         },
         (input.dataset.elements_in * input.software.iterations) as f64
-            / rat::core::throughput::t_rc_double(&input),
+            / rat::core::throughput::t_rc_double(&input).seconds(),
     );
 }

@@ -40,7 +40,7 @@ fn main() {
         ),
         (
             "faster clock    ",
-            solve::required_fclock(&input, 10.0).map(|v| format!("{:.0} MHz", v / 1e6)),
+            solve::required_fclock(&input, 10.0).map(|v| format!("{:.0} MHz", v.mhz())),
         ),
         (
             "better interconnect",

@@ -1,0 +1,111 @@
+//! Regression pin for the Eq. (1)–(3) deduplication: the analytic worksheet
+//! and the cycle simulator's interconnect share one transfer-time kernel,
+//! [`rat::core::throughput::transfer_seconds`], so their communication
+//! arithmetic can never diverge. These tests hold both callers to the shared
+//! function — the simulator to picosecond quantization, the worksheet
+//! bit-for-bit.
+
+use rat::apps::pdf1d;
+use rat::core::quantity::{Bytes, Throughput};
+use rat::core::throughput::{self, transfer_seconds};
+use rat::sim::{AlphaCurve, Direction, Interconnect, SimTime};
+
+fn flat_bus(alpha: f64, bw: f64) -> Interconnect {
+    Interconnect {
+        name: "dedup-probe".into(),
+        ideal_bw: Throughput::from_bytes_per_sec(bw),
+        setup_write: SimTime::ZERO,
+        setup_read: SimTime::ZERO,
+        alpha_write: AlphaCurve::flat(alpha),
+        alpha_read: AlphaCurve::flat(alpha),
+        max_dma_bytes: None,
+    }
+}
+
+/// With setup latency stripped, the simulator's transfer time IS the shared
+/// kernel's answer, to the picosecond quantization of `SimTime` — across
+/// sizes, efficiencies, and bandwidths.
+#[test]
+fn simulator_transfer_time_is_the_shared_kernel() {
+    for &bytes in &[1u64, 4, 512, 2048, 16_384, 262_144, 4 << 20] {
+        for &alpha in &[0.0265, 0.16, 0.37, 0.9, 1.0] {
+            for &bw in &[500.0e6, 1.0e9, 4.0e9] {
+                let ic = flat_bus(alpha, bw);
+                let expected = SimTime::from_seconds(transfer_seconds(
+                    Bytes::new(bytes),
+                    alpha,
+                    Throughput::from_bytes_per_sec(bw),
+                ));
+                for dir in [Direction::Write, Direction::Read] {
+                    assert_eq!(
+                        ic.transfer_time(bytes, dir),
+                        expected,
+                        "{bytes} B at alpha {alpha}, {bw} B/s"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Equations (2) and (3) are the shared kernel applied to the worksheet's
+/// block sizes and alphas — exactly, not approximately.
+#[test]
+fn analytic_equations_route_through_the_shared_kernel() {
+    let input = pdf1d::rat_input(150.0e6);
+    let write = transfer_seconds(
+        input.input_bytes(),
+        input.comm.alpha_write,
+        input.comm.ideal_bandwidth,
+    );
+    let read = transfer_seconds(
+        input.output_bytes(),
+        input.comm.alpha_read,
+        input.comm.ideal_bandwidth,
+    );
+    assert_eq!(throughput::t_write(&input), write);
+    assert_eq!(throughput::t_read(&input), read);
+    assert_eq!(throughput::t_comm(&input), write + read);
+}
+
+/// The shared kernel reproduces the paper's Table-3 communication pin:
+/// 2 KB in at alpha 0.37 plus 4 B out at alpha 0.16 over 1 GB/s is the
+/// printed 5.56e-6 s.
+#[test]
+fn shared_kernel_reproduces_table3_t_comm() {
+    let gbs = Throughput::from_bytes_per_sec(1.0e9);
+    let t = (transfer_seconds(Bytes::new(2048), 0.37, gbs)
+        + transfer_seconds(Bytes::new(4), 0.16, gbs))
+    .seconds();
+    assert!((t - 5.56e-6).abs() / 5.56e-6 < 1e-3, "t_comm {t:.4e}");
+}
+
+/// End to end: a zero-overhead simulated single-buffered run's communication
+/// busy time equals `N_iter` applications of the shared kernel — the
+/// worksheet's Eq. (1) — to picosecond resolution per transfer.
+#[test]
+fn simulated_comm_busy_equals_eq1_on_an_ideal_bus() {
+    use rat::sim::{AppRun, BufferMode, Platform, PlatformSpec, TabulatedKernel};
+    let iters = 7u64;
+    let spec = PlatformSpec {
+        name: "dedup-ideal".into(),
+        interconnect: flat_bus(0.37, 1.0e9),
+        host: rat::sim::host::HostModel::IDEAL,
+        reconfiguration: SimTime::ZERO,
+    };
+    let kernel = TabulatedKernel::uniform("k", 100, iters as usize);
+    let run = AppRun::builder()
+        .iterations(iters)
+        .elements_per_iter(512)
+        .input_bytes_per_iter(2048)
+        .output_bytes_per_iter(1024)
+        .buffer_mode(BufferMode::Single)
+        .build();
+    let m = Platform::new(spec)
+        .execute(&kernel, &run, rat::core::quantity::Freq::from_hz(150.0e6))
+        .unwrap();
+    let gbs = Throughput::from_bytes_per_sec(1.0e9);
+    let per_iter = SimTime::from_seconds(transfer_seconds(Bytes::new(2048), 0.37, gbs))
+        + SimTime::from_seconds(transfer_seconds(Bytes::new(1024), 0.37, gbs));
+    assert_eq!(m.comm_busy, SimTime::from_ps(per_iter.as_ps() * iters));
+}

@@ -3,6 +3,7 @@
 //! application designs (rat-apps), held to the paper's published bands.
 
 use rat::apps::{md, pdf1d, pdf2d};
+use rat::core::quantity::Freq;
 use rat::core::worksheet::Worksheet;
 
 /// Table 3's full shape: predicted 5.4/7.2/10.6 across clocks, measured 7.8 at
@@ -10,7 +11,7 @@ use rat::core::worksheet::Worksheet;
 #[test]
 fn pdf1d_prediction_vs_measurement() {
     let reports = Worksheet::new(pdf1d::rat_input(150.0e6))
-        .analyze_clocks(&[75.0e6, 100.0e6, 150.0e6])
+        .analyze_clocks(&[75.0, 100.0, 150.0].map(Freq::from_mhz))
         .unwrap();
     let speedups: Vec<f64> = reports.iter().map(|r| r.speedup).collect();
     assert!((speedups[0] - 5.4).abs() < 0.06);
@@ -23,12 +24,12 @@ fn pdf1d_prediction_vs_measurement() {
     // Who wins and why: prediction optimistic, driven by comm error.
     let p150 = &reports[2];
     assert!(p150.speedup > measured);
-    let comm_ratio = m.comm_per_iter().as_secs_f64() / p150.throughput.t_comm;
+    let comm_ratio = m.comm_per_iter().as_secs_f64() / p150.throughput.t_comm.seconds();
     assert!(
         (3.5..5.5).contains(&comm_ratio),
         "comm miss {comm_ratio:.2}x (paper: ~4.5x)"
     );
-    let comp_ratio = m.comp_per_iter().as_secs_f64() / p150.throughput.t_comp;
+    let comp_ratio = m.comp_per_iter().as_secs_f64() / p150.throughput.t_comp.seconds();
     assert!(
         (0.95..1.15).contains(&comp_ratio),
         "comp miss {comp_ratio:.2}x (paper: ~1.06x)"
@@ -46,13 +47,13 @@ fn pdf2d_prediction_vs_measurement() {
     let m = pdf2d::design().simulate(150.0e6);
     let comm = m.comm_per_iter().as_secs_f64();
     let comp = m.comp_per_iter().as_secs_f64();
-    let comm_miss = comm / predicted.throughput.t_comm;
+    let comm_miss = comm / predicted.throughput.t_comm.seconds();
     assert!(
         (5.4..6.6).contains(&comm_miss),
         "comm miss {comm_miss:.2}x (paper: 6x)"
     );
     assert!(
-        comp < predicted.throughput.t_comp,
+        comp < predicted.throughput.t_comp.seconds(),
         "computation was overestimated"
     );
     let util = comm / (comm + comp);
@@ -94,7 +95,7 @@ fn two_d_loses_to_one_d_in_practice() {
 #[test]
 fn md_prediction_vs_measurement() {
     let reports = Worksheet::new(md::rat::rat_input(100.0e6))
-        .analyze_clocks(&[75.0e6, 100.0e6, 150.0e6])
+        .analyze_clocks(&[75.0, 100.0, 150.0].map(Freq::from_mhz))
         .unwrap();
     let speedups: Vec<f64> = reports.iter().map(|r| r.speedup).collect();
     assert!((speedups[0] - 8.0).abs() < 0.06);

@@ -129,19 +129,20 @@ fn resource_gate_depends_on_device() {
 #[test]
 fn multistage_application_analysis() {
     use rat::core::multistage::{analyze, Stage};
+    use rat::core::quantity::Seconds;
     let stages = vec![
         Stage::Software {
             name: "ingest + windowing".into(),
-            t_soft: 0.12,
+            t_soft: Seconds::new(0.12),
         },
         Stage::Fpga(pdf1d::rat_input(150.0e6)),
         Stage::Software {
             name: "report generation".into(),
-            t_soft: 0.05,
+            t_soft: Seconds::new(0.05),
         },
     ];
     let r = analyze(&stages).unwrap();
-    assert!((r.total_soft - 0.748).abs() < 1e-9);
+    assert!((r.total_soft.seconds() - 0.748).abs() < 1e-9);
     assert!(
         r.speedup > 2.5 && r.speedup < 4.0,
         "composite speedup {}",

@@ -60,8 +60,9 @@ fn size_matched_microbenchmark_fixes_the_2d_prediction() {
     let m = pdf2d::design().simulate(150.0e6);
     let measured_comm = m.comm_per_iter().as_secs_f64();
 
-    let naive_err = (measured_comm - naive_pred.throughput.t_comm).abs() / measured_comm;
-    let corrected_err = (measured_comm - corrected_pred.throughput.t_comm).abs() / measured_comm;
+    let naive_err = (measured_comm - naive_pred.throughput.t_comm.seconds()).abs() / measured_comm;
+    let corrected_err =
+        (measured_comm - corrected_pred.throughput.t_comm.seconds()).abs() / measured_comm;
     assert!(
         naive_err > 0.75,
         "2 KB-probed prediction should miss badly: {naive_err:.3}"
@@ -142,7 +143,7 @@ fn md_prediction_with_measured_alpha() {
     let r = Worksheet::new(input).analyze().unwrap();
     // t_comm prediction with measured alpha ~ 2 x 1.386e-3 = 2.77e-3 (the
     // worksheet still models a blocking read-back; the design streams it).
-    assert!((r.throughput.t_comm - 2.77e-3).abs() / 2.77e-3 < 0.02);
+    assert!((r.throughput.t_comm.seconds() - 2.77e-3).abs() / 2.77e-3 < 0.02);
     // Speedup barely moves — MD is compute-dominated.
     assert!((r.speedup - 10.7).abs() < 0.1);
 }

@@ -4,6 +4,7 @@
 use rat::apps::pdf1d;
 use rat::core::multifpga;
 use rat::core::params::Buffering;
+use rat::core::quantity::Throughput;
 use rat::core::streaming::{self, ChannelDuplex, StreamBottleneck};
 use rat::sim::host::HostModel;
 use rat::sim::{
@@ -15,7 +16,7 @@ fn ideal_platform() -> Platform {
         name: "ideal".into(),
         interconnect: Interconnect {
             name: "ideal-bus".into(),
-            ideal_bw: 1.0e9,
+            ideal_bw: Throughput::from_bytes_per_sec(1.0e9),
             setup_write: SimTime::ZERO,
             setup_read: SimTime::ZERO,
             alpha_write: AlphaCurve::flat(0.37),
@@ -42,8 +43,8 @@ fn multifpga_model_matches_simulator() {
         let run = AppRun::builder()
             .iterations(iters)
             .elements_per_iter(input.dataset.elements_in)
-            .input_bytes_per_iter(input.input_bytes())
-            .output_bytes_per_iter(input.output_bytes())
+            .input_bytes_per_iter(input.input_bytes().get())
+            .output_bytes_per_iter(input.output_bytes().get())
             .buffer_mode(BufferMode::Double)
             .parallel_kernels(devices)
             .build();
@@ -51,16 +52,16 @@ fn multifpga_model_matches_simulator() {
         let predicted = multifpga::analyze(&input, devices).unwrap();
         let sim = m.total.as_secs_f64();
         // Within one iteration's startup/drain of the steady-state model.
-        let slack = (predicted.t_comm + predicted.t_comp_each) * devices as f64;
+        let slack = ((predicted.t_comm + predicted.t_comp_each) * devices as f64).seconds();
         assert!(
-            sim >= predicted.t_rc * (1.0 - 1e-9),
+            sim >= predicted.t_rc.seconds() * (1.0 - 1e-9),
             "{devices} devices: sim {sim:.4e} below model {:.4e}",
-            predicted.t_rc
+            predicted.t_rc.seconds()
         );
         assert!(
-            sim <= predicted.t_rc + slack,
+            sim <= predicted.t_rc.seconds() + slack,
             "{devices} devices: sim {sim:.4e} exceeds model {:.4e} + slack {slack:.2e}",
-            predicted.t_rc
+            predicted.t_rc.seconds()
         );
     }
 }
@@ -88,8 +89,8 @@ fn saturation_point_is_where_simulation_plateaus() {
         let run = AppRun::builder()
             .iterations(iters)
             .elements_per_iter(input.dataset.elements_in)
-            .input_bytes_per_iter(input.input_bytes())
-            .output_bytes_per_iter(input.output_bytes())
+            .input_bytes_per_iter(input.input_bytes().get())
+            .output_bytes_per_iter(input.output_bytes().get())
             .buffer_mode(BufferMode::Double)
             .parallel_kernels(devices)
             .build();
@@ -128,8 +129,8 @@ fn streaming_model_matches_streamed_simulation() {
     let run = AppRun::builder()
         .iterations(iters)
         .elements_per_iter(input.dataset.elements_in)
-        .input_bytes_per_iter(input.input_bytes())
-        .output_bytes_per_iter(input.output_bytes())
+        .input_bytes_per_iter(input.input_bytes().get())
+        .output_bytes_per_iter(input.output_bytes().get())
         .buffer_mode(BufferMode::Double)
         .streamed_output(true)
         .build();
@@ -138,9 +139,9 @@ fn streaming_model_matches_streamed_simulation() {
         .unwrap();
     let sim = m.total.as_secs_f64();
     assert!(
-        (sim - s.t_stream).abs() / s.t_stream < 0.01,
+        (sim - s.t_stream.seconds()).abs() / s.t_stream.seconds() < 0.01,
         "simulated streamed run {sim:.4e} vs streaming model {:.4e}",
-        s.t_stream
+        s.t_stream.seconds()
     );
 }
 
@@ -158,7 +159,7 @@ fn channel_wall_is_consistent_across_models() {
         "solver wall {wall_solver} vs scaling wall {wall_scaling}"
     );
     let s = streaming::analyze(&input, ChannelDuplex::Half).unwrap();
-    let wall_streaming = input.software.t_soft
+    let wall_streaming = input.software.t_soft.seconds()
         / ((input.dataset.elements_in * input.software.iterations) as f64 / s.channel_rate);
     assert!(
         (wall_solver - wall_streaming).abs() / wall_solver < 1e-9,

@@ -9,6 +9,7 @@ use proptest::prelude::*;
 use rat::core::params::{
     Buffering, CommParams, CompParams, DatasetParams, RatInput, SoftwareParams,
 };
+use rat::core::quantity::{Freq, Seconds, Throughput};
 use rat::core::throughput;
 use rat::sim::{
     AppRun, BufferMode, HardwareKernel, Interconnect, Platform, PlatformSpec, SimTime,
@@ -18,13 +19,14 @@ use rat::sim::{
 const BW: f64 = 1.0e9;
 const ALPHA: f64 = 0.5;
 const FCLOCK: f64 = 100.0e6;
+const FC: Freq = Freq::from_hz(FCLOCK);
 
 fn ideal_platform() -> Platform {
     Platform::new(PlatformSpec {
         name: "ideal".into(),
         interconnect: Interconnect {
             name: "ideal-bus".into(),
-            ideal_bw: BW,
+            ideal_bw: Throughput::from_bytes_per_sec(BW),
             setup_write: SimTime::ZERO,
             setup_read: SimTime::ZERO,
             alpha_write: rat::sim::AlphaCurve::flat(ALPHA),
@@ -53,17 +55,17 @@ fn matched(
             bytes_per_element: 4,
         },
         comm: CommParams {
-            ideal_bandwidth: BW,
+            ideal_bandwidth: Throughput::from_bytes_per_sec(BW),
             alpha_write: ALPHA,
             alpha_read: ALPHA,
         },
         comp: CompParams {
             ops_per_element: ops_per_element as f64,
             throughput_proc: throughput_proc as f64,
-            fclock: FCLOCK,
+            fclock: FC,
         },
         software: SoftwareParams {
-            t_soft: 1.0,
+            t_soft: Seconds::new(1.0),
             iterations,
         },
         buffering,
@@ -98,11 +100,11 @@ proptest! {
     ) {
         let (input, run, kernel) =
             matched(elements_in, elements_out, ops, tproc, iters, Buffering::Single);
-        let m = ideal_platform().execute(&kernel, &run, FCLOCK).unwrap();
+        let m = ideal_platform().execute(&kernel, &run, FC).unwrap();
         // Account for div_ceil rounding in the kernel's cycle count.
         let comp_cycles = (elements_in * ops).div_ceil(tproc);
         let analytic = iters as f64
-            * (throughput::t_comm(&input) + comp_cycles as f64 / FCLOCK);
+            * (throughput::t_comm(&input).seconds() + comp_cycles as f64 / FCLOCK);
         let sim = m.total.as_secs_f64();
         prop_assert!(
             (sim - analytic).abs() / analytic < 1e-6,
@@ -122,10 +124,10 @@ proptest! {
     ) {
         let (input, run, kernel) =
             matched(elements_in, elements_out, ops, tproc, iters, Buffering::Double);
-        let m = ideal_platform().execute(&kernel, &run, FCLOCK).unwrap();
+        let m = ideal_platform().execute(&kernel, &run, FC).unwrap();
         let comp_cycles = (elements_in * ops).div_ceil(tproc);
         let t_comp = comp_cycles as f64 / FCLOCK;
-        let t_comm = throughput::t_comm(&input);
+        let t_comm = throughput::t_comm(&input).seconds();
         let steady = iters as f64 * t_comm.max(t_comp);
         let sim = m.total.as_secs_f64();
         prop_assert!(sim >= steady * (1.0 - 1e-9), "sim {sim:.3e} below Eq.6 {steady:.3e}");
@@ -151,8 +153,8 @@ proptest! {
         let (_, run_db, _) =
             matched(elements_in, elements_out, ops, tproc, iters, Buffering::Double);
         let platform = ideal_platform();
-        let sb = platform.execute(&kernel, &run_sb, FCLOCK).unwrap();
-        let db = platform.execute(&kernel, &run_db, FCLOCK).unwrap();
+        let sb = platform.execute(&kernel, &run_sb, FC).unwrap();
+        let db = platform.execute(&kernel, &run_db, FC).unwrap();
         prop_assert!(db.total <= sb.total);
         for m in [&sb, &db] {
             prop_assert!(m.total >= m.comm_busy);
@@ -213,8 +215,8 @@ proptest! {
 fn simulator_is_deterministic() {
     let (_, run, kernel) = matched(512, 256, 768, 20, 40, Buffering::Double);
     let platform = ideal_platform();
-    let a = platform.execute(&kernel, &run, FCLOCK).unwrap();
-    let b = platform.execute(&kernel, &run, FCLOCK).unwrap();
+    let a = platform.execute(&kernel, &run, FC).unwrap();
+    let b = platform.execute(&kernel, &run, FC).unwrap();
     assert_eq!(a.total, b.total);
     assert_eq!(a.trace.spans().len(), b.trace.spans().len());
     assert_eq!(a.trace.spans(), b.trace.spans());
@@ -232,7 +234,7 @@ fn uneven_batches_average_out_in_sb() {
         .input_bytes_per_iter(1000)
         .buffer_mode(BufferMode::Single)
         .build();
-    let m = ideal_platform().execute(&kernel, &run, FCLOCK).unwrap();
+    let m = ideal_platform().execute(&kernel, &run, FC).unwrap();
     let total_cycles: u64 = cycles.iter().sum();
     let expect = 5.0 * (1000.0 / (ALPHA * BW)) + total_cycles as f64 / FCLOCK;
     assert!((m.total.as_secs_f64() - expect).abs() / expect < 1e-6);
