@@ -17,6 +17,7 @@
 #![warn(missing_docs)]
 
 pub mod figures;
+pub mod hotbench;
 pub mod paper;
 pub mod tables;
 

@@ -8,6 +8,7 @@
 //! rat sensitivity <worksheet.toml>         rank parameter elasticities
 //! rat microbench <platform>                derive alpha(size) tables
 //! rat reproduce <artifact|all> [--fast]    regenerate paper tables/figures
+//! rat bench [--json] [--quick]             time hot paths vs their baselines
 //! rat example-worksheet                    print a starter worksheet
 //! ```
 
@@ -424,6 +425,21 @@ fn dispatch(engine: &Engine, args: &[String]) -> Result<String, CliError> {
             let be = rat_core::breakeven::BreakEven::analyze(&input, &cost)?;
             Ok(be.render())
         }
+        "bench" => {
+            let json = args.iter().any(|a| a == "--json");
+            let quick = args.iter().any(|a| a == "--quick");
+            for a in &args[1..] {
+                if a != "--json" && a != "--quick" {
+                    return Err(CliError::usage(format!("unknown bench flag '{a}'")));
+                }
+            }
+            let report = rat_bench::hotbench::run(quick);
+            if json {
+                Ok(report.to_json())
+            } else {
+                Ok(report.render())
+            }
+        }
         "example-worksheet" => Ok(example_worksheet()),
         other => Err(CliError::usage(format!("unknown command '{other}'"))),
     }
@@ -450,6 +466,8 @@ USAGE:
   rat compare <ws1.toml> <ws2.toml>...      rank candidate designs
   rat breakeven <ws.toml> <hours> <runs/day> development-vs-savings break-even
   rat reproduce <id|all> [--fast]           regenerate paper tables/figures
+  rat bench [--json] [--quick]              time the hot paths against their
+                                            unoptimized baselines
   rat example-worksheet                     print a starter worksheet (Table 2)
 
 GLOBAL OPTIONS (any command):
@@ -811,6 +829,17 @@ mod tests {
         ]);
         fpga_sim::SimCache::global().set_enabled(true);
         assert!(out.unwrap().contains("Table 2"));
+    }
+
+    #[test]
+    fn bench_emits_scenarios_and_json() {
+        let json = run(&["bench".into(), "--json".into(), "--quick".into()]).unwrap();
+        assert!(json.contains("\"scenarios\""), "{json}");
+        assert!(json.contains("\"execute_summary_fast_forward\""), "{json}");
+        assert!(json.contains("\"speedup\""), "{json}");
+        let text = run(&["bench".into(), "--quick".into()]).unwrap();
+        assert!(text.contains("Hot-path benchmarks"), "{text}");
+        assert!(run(&["bench".into(), "--loud".into()]).is_err());
     }
 
     #[test]

@@ -13,9 +13,45 @@ use crate::error::RatError;
 use crate::params::{Buffering, RatInput};
 use crate::quantity::Freq;
 use crate::report::Report;
+use crate::solve;
 use crate::table::TextTable;
 use crate::worksheet::Worksheet;
 use serde::{Deserialize, Serialize};
+
+/// One corner's coordinates on the exploration axes — just the raw values,
+/// with no cloned input and no formatted display name attached. The name is
+/// built on demand by [`Corner::display_name`], so enumerating and gating a
+/// large space never pays for string formatting on corners nobody will see.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Corner {
+    /// Clock frequency at this corner (Hz).
+    pub fclock_hz: f64,
+    /// `throughput_proc` at this corner (ops/cycle).
+    pub throughput_proc: f64,
+    /// Buffering discipline at this corner.
+    pub buffering: Buffering,
+}
+
+impl Corner {
+    /// Overwrite `input`'s axis fields with this corner's values, leaving
+    /// everything else (including the name) untouched.
+    pub fn apply_into(&self, input: &mut RatInput) {
+        input.comp.fclock = Freq::from_hz(self.fclock_hz);
+        input.comp.throughput_proc = self.throughput_proc;
+        input.buffering = self.buffering;
+    }
+
+    /// The corner's display name, derived from the base design's name.
+    pub fn display_name(&self, base: &str) -> String {
+        format!(
+            "{} [{:.0} MHz, {} ops/cyc, {:?}]",
+            base,
+            self.fclock_hz / 1e6,
+            self.throughput_proc,
+            self.buffering
+        )
+    }
+}
 
 /// The axes of a design space around a base worksheet.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -49,8 +85,10 @@ impl DesignSpace {
             * self.bufferings.len().max(1)
     }
 
-    /// Enumerate every corner as a concrete worksheet input.
-    pub fn corners(&self) -> Vec<RatInput> {
+    /// Enumerate every corner's raw coordinates, in deterministic axis order
+    /// (clock outermost, buffering innermost). This is the cheap enumeration:
+    /// no input clones, no name formatting — a corner is three scalars.
+    pub fn corner_coords(&self) -> Vec<Corner> {
         let fclocks: Vec<f64> = if self.fclocks.is_empty() {
             vec![self.base.comp.fclock.hz()]
         } else {
@@ -70,20 +108,31 @@ impl DesignSpace {
         for &f in &fclocks {
             for &tp in &tps {
                 for &b in &bufs {
-                    let mut c = self.base.clone();
-                    c.comp.fclock = Freq::from_hz(f);
-                    c.comp.throughput_proc = tp;
-                    c.buffering = b;
-                    c.name = format!(
-                        "{} [{:.0} MHz, {tp} ops/cyc, {b:?}]",
-                        self.base.name,
-                        f / 1e6
-                    );
-                    out.push(c);
+                    out.push(Corner {
+                        fclock_hz: f,
+                        throughput_proc: tp,
+                        buffering: b,
+                    });
                 }
             }
         }
         out
+    }
+
+    /// Enumerate every corner as a concrete, named worksheet input. This is
+    /// the eager (clone + format per corner) view; hot paths should iterate
+    /// [`DesignSpace::corner_coords`] instead and only materialize names for
+    /// corners that end up in a report.
+    pub fn corners(&self) -> Vec<RatInput> {
+        self.corner_coords()
+            .into_iter()
+            .map(|corner| {
+                let mut c = self.base.clone();
+                corner.apply_into(&mut c);
+                c.name = corner.display_name(&self.base.name);
+                c
+            })
+            .collect()
     }
 }
 
@@ -136,18 +185,28 @@ impl Exploration {
 }
 
 /// Explore `space` against `min_speedup`.
+///
+/// Runs in two phases: every corner is first gated with the scalar
+/// [`solve::speedup_only`] path on a single scratch input (no clone, no name
+/// formatting per corner), and only corners that pass the gate get a full
+/// named [`Report`]. `speedup_only` is bit-identical to the report pipeline's
+/// speedup, so the partition is exactly what the one-phase version computed.
 pub fn explore(space: &DesignSpace, min_speedup: f64) -> Result<Exploration, RatError> {
     if !(min_speedup.is_finite() && min_speedup > 0.0) {
         return Err(RatError::param(format!(
             "min_speedup must be positive, got {min_speedup}"
         )));
     }
+    let mut scratch = space.base.clone();
     let mut passing = Vec::new();
     let mut failing = 0usize;
-    for corner in space.corners() {
-        let report = Worksheet::new(corner).analyze()?;
-        if report.speedup >= min_speedup {
-            passing.push(report);
+    for corner in space.corner_coords() {
+        scratch.copy_params_from(&space.base);
+        corner.apply_into(&mut scratch);
+        if solve::speedup_only(&scratch)? >= min_speedup {
+            let mut named = scratch.clone();
+            named.name = corner.display_name(&space.base.name);
+            passing.push(Worksheet::new(named).analyze()?);
         } else {
             failing += 1;
         }
@@ -239,6 +298,39 @@ mod tests {
         let corners = space().corners();
         assert!(corners[0].name.contains("MHz"));
         assert!(corners[0].name.contains("ops/cyc"));
+    }
+
+    #[test]
+    fn lazy_coords_match_the_eager_corner_view() {
+        let s = space();
+        let coords = s.corner_coords();
+        let eager = s.corners();
+        assert_eq!(coords.len(), eager.len());
+        for (corner, input) in coords.iter().zip(&eager) {
+            assert_eq!(input.comp.fclock, Freq::from_hz(corner.fclock_hz));
+            assert_eq!(input.comp.throughput_proc, corner.throughput_proc);
+            assert_eq!(input.buffering, corner.buffering);
+            assert_eq!(input.name, corner.display_name(&s.base.name));
+        }
+    }
+
+    #[test]
+    fn two_phase_explore_reports_the_same_named_corners() {
+        // Every passing report must carry exactly the name the eager
+        // enumeration would have given that corner, and its speedup must
+        // match a full analysis of the same input.
+        let s = space();
+        let eager_names: Vec<String> = s.corners().into_iter().map(|c| c.name).collect();
+        let e = explore(&s, 10.0).unwrap();
+        for r in &e.passing {
+            assert!(
+                eager_names.contains(&r.input.name),
+                "unknown corner name {:?}",
+                r.input.name
+            );
+            let full = Worksheet::new(r.input.clone()).analyze().unwrap();
+            assert_eq!(full.speedup, r.speedup);
+        }
     }
 
     #[test]

@@ -99,6 +99,19 @@ pub struct RatInput {
 }
 
 impl RatInput {
+    /// Copy every numeric parameter block from `other`, leaving `name`
+    /// untouched. The parameter blocks are all `Copy`, so this is a handful
+    /// of struct assignments — it lets hot loops (Monte-Carlo sampling,
+    /// corner enumeration) restore a scratch input from a base point without
+    /// re-allocating the name string each time.
+    pub fn copy_params_from(&mut self, other: &RatInput) {
+        self.dataset = other.dataset;
+        self.comm = other.comm;
+        self.comp = other.comp;
+        self.software = other.software;
+        self.buffering = other.buffering;
+    }
+
     /// Validate every parameter, returning the first violation.
     ///
     /// Checks positivity/finiteness of rates and times, `alpha` in `(0, 1]`,

@@ -151,6 +151,17 @@ pub fn max_speedup(input: &RatInput) -> Result<f64, RatError> {
     Ok(input.software.t_soft / (input.software.iterations as f64 * comm))
 }
 
+/// Validate `input` and return its predicted speedup — nothing else.
+///
+/// This is the scalar fast path for hot loops (Monte-Carlo sampling, corner
+/// enumeration, dense sweeps) that would otherwise build and immediately
+/// discard a full `Report` per point: the same `validate()` gate and the same
+/// Eq. (7) arithmetic as the report pipeline, with no allocation at all.
+pub fn speedup_only(input: &RatInput) -> Result<f64, RatError> {
+    input.validate()?;
+    Ok(throughput::speedup(input))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -288,6 +299,20 @@ mod tests {
         assert!(required_throughput_proc(&input, 0.0).is_err());
         assert!(required_fclock(&input, -2.0).is_err());
         assert!(required_alpha_scale(&input, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn speedup_only_matches_the_report_pipeline() {
+        let input = pdf1d_example();
+        let fast = speedup_only(&input).unwrap();
+        let full = crate::worksheet::Worksheet::new(input.clone())
+            .analyze()
+            .unwrap();
+        assert_eq!(fast, full.speedup, "scalar path must be bit-identical");
+        // And it validates: an out-of-domain alpha errors, not NaNs.
+        let mut bad = input;
+        bad.comm.alpha_write = 1.5;
+        assert!(speedup_only(&bad).is_err());
     }
 
     #[test]

@@ -57,21 +57,32 @@ impl SweepParam {
     /// A copy of `input` with this parameter set to `value`.
     pub fn apply(self, input: &RatInput, value: f64) -> RatInput {
         let mut next = input.clone();
+        self.apply_into(&mut next, value);
+        next
+    }
+
+    /// Set this parameter to `value` in place — [`SweepParam::apply`] without
+    /// the clone. Hot loops keep one scratch input per worker, restore it
+    /// from the base point with [`RatInput::copy_params_from`], and mutate it
+    /// here, so a sweep point or Monte-Carlo sample allocates nothing.
+    ///
+    /// `AlphaBoth` reads the *current* `alpha_write` as the scaling
+    /// reference, exactly as chained `apply` calls would.
+    pub fn apply_into(self, input: &mut RatInput, value: f64) {
         match self {
-            SweepParam::Fclock => next.comp.fclock = Freq::from_hz(value),
-            SweepParam::AlphaWrite => next.comm.alpha_write = value,
-            SweepParam::AlphaRead => next.comm.alpha_read = value,
+            SweepParam::Fclock => input.comp.fclock = Freq::from_hz(value),
+            SweepParam::AlphaWrite => input.comm.alpha_write = value,
+            SweepParam::AlphaRead => input.comm.alpha_read = value,
             SweepParam::AlphaBoth => {
                 let factor = value / input.comm.alpha_write;
-                next.comm.alpha_write = value;
-                next.comm.alpha_read = input.comm.alpha_read * factor;
+                input.comm.alpha_write = value;
+                input.comm.alpha_read *= factor;
             }
-            SweepParam::ThroughputProc => next.comp.throughput_proc = value,
-            SweepParam::OpsPerElement => next.comp.ops_per_element = value,
-            SweepParam::ElementsIn => next.dataset.elements_in = value.round().max(1.0) as u64,
-            SweepParam::Iterations => next.software.iterations = value.round().max(1.0) as u64,
+            SweepParam::ThroughputProc => input.comp.throughput_proc = value,
+            SweepParam::OpsPerElement => input.comp.ops_per_element = value,
+            SweepParam::ElementsIn => input.dataset.elements_in = value.round().max(1.0) as u64,
+            SweepParam::Iterations => input.software.iterations = value.round().max(1.0) as u64,
         }
-        next
     }
 
     /// Read this parameter's current value from `input`.
@@ -231,6 +242,35 @@ mod tests {
                 old * 0.5
             );
         }
+    }
+
+    #[test]
+    fn apply_into_on_a_restored_scratch_matches_apply_bit_for_bit() {
+        let base = pdf1d_example();
+        let mut scratch = base.clone();
+        let all = [
+            SweepParam::Fclock,
+            SweepParam::AlphaWrite,
+            SweepParam::AlphaRead,
+            SweepParam::AlphaBoth,
+            SweepParam::ThroughputProc,
+            SweepParam::OpsPerElement,
+            SweepParam::ElementsIn,
+            SweepParam::Iterations,
+        ];
+        for param in all {
+            let value = param.read(&base) * 0.75;
+            let cloned = param.apply(&base, value);
+            scratch.copy_params_from(&base);
+            param.apply_into(&mut scratch, value);
+            assert_eq!(scratch, cloned, "{param:?}");
+        }
+        // Chained applications agree too (AlphaBoth reads mutated state).
+        let chained = SweepParam::AlphaBoth.apply(&SweepParam::AlphaWrite.apply(&base, 0.42), 0.6);
+        scratch.copy_params_from(&base);
+        SweepParam::AlphaWrite.apply_into(&mut scratch, 0.42);
+        SweepParam::AlphaBoth.apply_into(&mut scratch, 0.6);
+        assert_eq!(scratch, chained);
     }
 
     #[test]

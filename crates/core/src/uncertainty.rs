@@ -13,7 +13,6 @@ use crate::error::RatError;
 use crate::params::RatInput;
 use crate::sweep::SweepParam;
 use crate::table::TextTable;
-use crate::throughput;
 use rand::distributions::{Distribution, Uniform};
 use serde::{Deserialize, Serialize};
 
@@ -101,10 +100,12 @@ pub fn propagate(
     propagate_with(&Engine::sequential(), input, ranges, samples, seed)
 }
 
-/// [`propagate`], with each Monte-Carlo sample drawn and evaluated as an
-/// independent job on `engine`. Sample `j` draws from its own RNG stream
-/// [`job_rng`]`(seed, j)`, so the joint draw for every sample — and therefore
-/// the whole distribution — is bit-identical at any thread count.
+/// [`propagate`], with samples evaluated in fixed-size chunks as independent
+/// jobs on `engine`. Sample `j` draws from its own RNG stream
+/// [`job_rng`]`(seed, j)` regardless of which chunk or thread evaluates it,
+/// so the joint draw for every sample — and therefore the whole
+/// distribution — is bit-identical at any thread count, and the summary
+/// statistics accumulate in sample-index order.
 pub fn propagate_with(
     engine: &Engine,
     input: &RatInput,
@@ -125,29 +126,66 @@ pub fn propagate_with(
         .iter()
         .map(|r| (r.param, Uniform::new_inclusive(r.lo, r.hi)))
         .collect();
-    let mut speedups = engine.try_run(samples, |j| {
-        let mut rng = job_rng(seed, j as u64);
-        let mut candidate = input.clone();
-        for (param, dist) in &dists {
-            candidate = param.apply(&candidate, dist.sample(&mut rng));
+    // Samples are evaluated in fixed-size chunks so per-job overhead (one
+    // scratch clone, scheduling) amortizes over many draws, and each draw runs
+    // the scalar path: restore the scratch from the base, apply the sampled
+    // parameters in place, and compute only the speedup. Sample `j` still
+    // draws from its own stream `job_rng(seed, j)`, so the joint draw — and
+    // therefore the whole distribution — is bit-identical at any thread count
+    // and independent of the chunk size.
+    const CHUNK: usize = 1024;
+    let chunks = samples.div_ceil(CHUNK);
+    let per_chunk = engine.try_run(chunks, |c| {
+        let lo = c * CHUNK;
+        let hi = (lo + CHUNK).min(samples);
+        let mut scratch = input.clone();
+        let mut out = Vec::with_capacity(hi - lo);
+        for j in lo..hi {
+            let mut rng = job_rng(seed, j as u64);
+            scratch.copy_params_from(input);
+            for (param, dist) in &dists {
+                param.apply_into(&mut scratch, dist.sample(&mut rng));
+            }
+            out.push(crate::solve::speedup_only(&scratch)?);
         }
-        candidate.validate()?;
-        Ok(throughput::speedup(&candidate))
+        Ok(out)
     })?;
-    speedups.sort_by(f64::total_cmp);
+    let mut speedups: Vec<f64> = Vec::with_capacity(samples);
+    for chunk in &per_chunk {
+        speedups.extend_from_slice(chunk);
+    }
     let n = speedups.len();
+    // Mean and variance accumulate in sample order — deterministic and
+    // thread-count invariant, since the chunks are concatenated in index
+    // order. Percentiles are order statistics, computed by O(n) selection
+    // rather than a full sort: `total_cmp` is a total order, so the k-th
+    // smallest value is the exact value a sorted array would hold at k.
     let mean = speedups.iter().sum::<f64>() / n as f64;
     let var = speedups.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n as f64;
-    let pick = |q: f64| speedups[(((n - 1) as f64) * q).round() as usize];
+    let min = speedups
+        .iter()
+        .copied()
+        .min_by(f64::total_cmp)
+        .expect("at least one sample");
+    let max = speedups
+        .iter()
+        .copied()
+        .max_by(f64::total_cmp)
+        .expect("at least one sample");
+    let mut pick = |q: f64| {
+        let k = (((n - 1) as f64) * q).round() as usize;
+        *speedups.select_nth_unstable_by(k, f64::total_cmp).1
+    };
+    let (p5, p50, p95) = (pick(0.05), pick(0.50), pick(0.95));
     Ok(UncertaintyReport {
         samples: n,
         mean,
         std_dev: var.sqrt(),
-        min: speedups[0],
-        p5: pick(0.05),
-        p50: pick(0.50),
-        p95: pick(0.95),
-        max: speedups[n - 1],
+        min,
+        p5,
+        p50,
+        p95,
+        max,
     })
 }
 

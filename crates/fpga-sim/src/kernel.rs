@@ -38,6 +38,16 @@ pub trait HardwareKernel: Send + Sync {
     /// equal digests must return equal `batch_cycles` for every batch. Feeds
     /// the simulator's memoization key ([`crate::digest::run_key`]).
     fn spec_digest(&self) -> u128;
+
+    /// If `Some(i)`, the kernel promises that `batch_cycles` no longer depends
+    /// on `batch.index` once `index >= i` (for fixed `elements`/`bytes`). This
+    /// is the precondition for steady-state fast-forward: past batch `i` the
+    /// schedule's dynamics are translation-invariant, so a repeated resource
+    /// state implies a periodic schedule. `None` (the default) means the cycle
+    /// profile is irregular and the simulator must run every batch.
+    fn uniform_from(&self) -> Option<u64> {
+        None
+    }
 }
 
 /// A kernel whose per-batch cycle counts were measured or precomputed.
@@ -96,6 +106,15 @@ impl HardwareKernel for TabulatedKernel {
         }
         d.finish()
     }
+
+    // The table clamps past its end, so the maximal constant suffix (including
+    // the implicit repetition of the last entry) starts where the entries stop
+    // varying. A fully uniform table reports batch 0.
+    fn uniform_from(&self) -> Option<u64> {
+        let last = *self.cycles.last().expect("table is never empty");
+        let varying = self.cycles.iter().rposition(|&c| c != last);
+        Some(varying.map_or(0, |i| (i + 1) as u64))
+    }
 }
 
 impl<K: HardwareKernel + ?Sized> HardwareKernel for &K {
@@ -109,6 +128,10 @@ impl<K: HardwareKernel + ?Sized> HardwareKernel for &K {
 
     fn spec_digest(&self) -> u128 {
         (**self).spec_digest()
+    }
+
+    fn uniform_from(&self) -> Option<u64> {
+        (**self).uniform_from()
     }
 }
 
@@ -148,6 +171,31 @@ mod tests {
     #[should_panic(expected = "at least one cycle count")]
     fn empty_table_panics() {
         TabulatedKernel::new("k", vec![]);
+    }
+
+    #[test]
+    fn uniform_from_finds_constant_suffix() {
+        assert_eq!(
+            TabulatedKernel::uniform("k", 9, 10_000).uniform_from(),
+            Some(0)
+        );
+        assert_eq!(TabulatedKernel::new("k", vec![5]).uniform_from(), Some(0));
+        assert_eq!(
+            TabulatedKernel::new("k", vec![10, 20, 30, 30, 30]).uniform_from(),
+            Some(2)
+        );
+        assert_eq!(
+            TabulatedKernel::new("k", vec![10, 20, 30]).uniform_from(),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn uniform_from_forwards_through_references() {
+        let k = TabulatedKernel::uniform("k", 7, 3);
+        let r: &dyn HardwareKernel = &k;
+        assert_eq!(r.uniform_from(), Some(0));
+        assert_eq!((&r).uniform_from(), Some(0));
     }
 
     #[test]

@@ -28,6 +28,12 @@
 //! - [`platform::Platform`]: a host + interconnect + FPGA assembly that executes
 //!   an [`platform::AppRun`] under single- or double-buffered scheduling and
 //!   returns a [`platform::Measurement`] with a full [`trace::Trace`].
+//! - [`trace::TraceSink`]: where spans go during execution — a materialized
+//!   [`trace::FullTrace`], a counting [`trace::SummarySink`], or a
+//!   [`trace::NullSink`] for trace-free summary runs, which additionally
+//!   unlock steady-state fast-forward ([`platform::FastForward`]): periodic
+//!   schedules are detected and skipped arithmetically, bit-identically to
+//!   exhaustive simulation.
 //! - [`microbench`]: derive the "alpha" sustained-fraction parameters the same
 //!   way the paper does — by timing simulated transfers.
 //! - [`catalog`]: the two platforms the paper evaluates, plus a generic PCIe-like
@@ -73,5 +79,6 @@ pub use digest::{run_key, SpecDigest};
 pub use interconnect::{AlphaCurve, Direction, Interconnect};
 pub use kernel::{Batch, HardwareKernel, TabulatedKernel};
 pub use pipeline::{PipelineSpec, PipelinedKernel, StallModel};
-pub use platform::{AppRun, BufferMode, Measurement, Platform, PlatformSpec};
+pub use platform::{AppRun, BufferMode, FastForward, Measurement, Platform, PlatformSpec};
 pub use time::SimTime;
+pub use trace::{FullTrace, NullSink, SummarySink, Trace, TraceSink};

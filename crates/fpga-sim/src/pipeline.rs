@@ -153,6 +153,12 @@ impl HardwareKernel for PipelinedKernel {
             .cycles(self.ops_per_element * batch.elements, batch.elements)
     }
 
+    // Cost depends only on the batch's element count, never its index, so the
+    // whole run is index-uniform from the first batch.
+    fn uniform_from(&self) -> Option<u64> {
+        Some(0)
+    }
+
     fn spec_digest(&self) -> u128 {
         let mut d = crate::digest::SpecDigest::new();
         d.write_str("pipelined");

@@ -7,13 +7,22 @@
 //! Figure-2 `R1 C1 W1 R2 C2 W2 …` schedule; double buffering provides two
 //! input buffers so transfers overlap computation, reproducing both the
 //! compute-bound and communication-bound overlap scenarios.
+//!
+//! Buffered schedules settle into a short repeating period, so trace-free
+//! runs (the analysis hot path) do not need to simulate every iteration:
+//! once the same relative resource state recurs, the simulator advances
+//! whole periods arithmetically and only plays out the warm-up and the
+//! drain event by event ([`FastForward`]). The skipped region is provably
+//! identical to what event simulation would produce, so every scalar result
+//! is bit-identical to the exhaustive path.
 
+use crate::cache::SimSummary;
 use crate::host::HostModel;
 use crate::interconnect::{Direction, Interconnect};
 use crate::kernel::{Batch, HardwareKernel};
 use crate::queue::EventQueue;
 use crate::time::SimTime;
-use crate::trace::{Resource, Trace};
+use crate::trace::{FullTrace, NullSink, Resource, Trace, TraceSink};
 use rat_core::quantity::Freq;
 use rat_core::RatError;
 use serde::{Deserialize, Serialize};
@@ -84,6 +93,14 @@ impl AppRun {
     /// Start building an [`AppRun`].
     pub fn builder() -> AppRunBuilder {
         AppRunBuilder::default()
+    }
+
+    /// Upper bound on simultaneously pending scheduler events: one in-flight
+    /// channel transfer, one compute-or-sync completion per kernel instance,
+    /// and the one-time reconfiguration event. Lets the event queue allocate
+    /// its storage once ([`crate::queue::EventQueue::with_capacity`]).
+    pub fn peak_pending_events(&self) -> usize {
+        self.parallel_kernels as usize + 2
     }
 }
 
@@ -261,10 +278,29 @@ impl Measurement {
     }
 }
 
+/// Whether the simulator may arithmetically skip steady-state periods.
+///
+/// Fast-forward only ever engages where it is invisible: on sinks that do not
+/// record spans ([`TraceSink::RECORDS`] is false) under kernels that declare
+/// an index-uniform tail ([`HardwareKernel::uniform_from`]). Skipped periods
+/// are extrapolated exactly, so the resulting
+/// [`SimSummary`] is bit-identical to an exhaustive
+/// run — `Off` exists for differential testing and for timing the exhaustive
+/// path, not because the answers differ.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FastForward {
+    /// Skip steady-state periods when provably safe (the default).
+    #[default]
+    Auto,
+    /// Simulate every event.
+    Off,
+}
+
 /// A simulated co-processor platform.
 #[derive(Debug, Clone)]
 pub struct Platform {
     spec: PlatformSpec,
+    fast_forward: FastForward,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -279,9 +315,19 @@ enum Ev {
 }
 
 impl Platform {
-    /// Create a platform from its spec.
+    /// Create a platform from its spec. Fast-forward defaults to
+    /// [`FastForward::Auto`].
     pub fn new(spec: PlatformSpec) -> Self {
-        Self { spec }
+        Self {
+            spec,
+            fast_forward: FastForward::Auto,
+        }
+    }
+
+    /// Set the fast-forward policy (builder style).
+    pub fn with_fast_forward(mut self, mode: FastForward) -> Self {
+        self.fast_forward = mode;
+        self
     }
 
     /// The platform definition.
@@ -289,14 +335,65 @@ impl Platform {
         &self.spec
     }
 
+    /// The current fast-forward policy.
+    pub fn fast_forward(&self) -> FastForward {
+        self.fast_forward
+    }
+
     /// Execute `run` with `kernel` clocked at `fclock`, returning the
-    /// measurement. Deterministic: same inputs, same schedule.
+    /// measurement. Deterministic: same inputs, same schedule. The trace is
+    /// fully materialized, so this path always simulates every event.
     pub fn execute<K: HardwareKernel + ?Sized>(
         &self,
         kernel: &K,
         run: &AppRun,
         fclock: Freq,
     ) -> Result<Measurement, ExecError> {
+        let (summary, sink) = self.execute_with(kernel, run, fclock, FullTrace::new())?;
+        let trace = sink.into_trace();
+        debug_assert_eq!(
+            summary.total,
+            trace.end(),
+            "makespan tracking diverged from the trace"
+        );
+        Ok(Measurement {
+            total: summary.total,
+            comm_busy: summary.comm_busy,
+            streamed_comm: summary.streamed_comm,
+            compute_busy: summary.compute_busy,
+            host_overhead: summary.host_overhead,
+            iterations: summary.iterations,
+            trace,
+        })
+    }
+
+    /// Execute `run`, feeding every scheduled span to `sink` and returning
+    /// the scalar [`SimSummary`] together with the
+    /// sink. This is the engine under both [`Platform::execute`] (a
+    /// [`FullTrace`] sink) and [`Platform::execute_summary`] (a
+    /// [`NullSink`]). Steady-state fast-forward engages only when the policy
+    /// is [`FastForward::Auto`], the sink does not record, and the kernel
+    /// declares an index-uniform tail; results are bit-identical either way.
+    pub fn execute_with<K: HardwareKernel + ?Sized, S: TraceSink>(
+        &self,
+        kernel: &K,
+        run: &AppRun,
+        fclock: Freq,
+        sink: S,
+    ) -> Result<(SimSummary, S), ExecError> {
+        self.execute_inner(kernel, run, fclock, sink)
+            .map(|(summary, sink, _)| (summary, sink))
+    }
+
+    /// [`Platform::execute_with`] plus the number of events actually popped —
+    /// the observable that pins fast-forward engagement in tests.
+    fn execute_inner<K: HardwareKernel + ?Sized, S: TraceSink>(
+        &self,
+        kernel: &K,
+        run: &AppRun,
+        fclock: Freq,
+        sink: S,
+    ) -> Result<(SimSummary, S, u64), ExecError> {
         if run.iterations == 0 {
             return Err(ExecError::NoIterations);
         }
@@ -306,12 +403,26 @@ impl Platform {
         if run.parallel_kernels == 0 {
             return Err(ExecError::NoKernels);
         }
-        let mut sim = Sim::new(&self.spec, kernel, run, fclock);
+        let ff_from = match self.fast_forward {
+            FastForward::Auto if !S::RECORDS => kernel.uniform_from(),
+            _ => None,
+        };
+        let mut sim = Sim::new(&self.spec, kernel, run, fclock, sink, ff_from);
         sim.start();
+        let mut events = 0u64;
         while let Some((_, ev)) = sim.q.pop() {
+            events += 1;
+            // Sync completions are the periodicity anchor: every schedule has
+            // exactly one per iteration, so probing there sees each candidate
+            // period exactly once.
+            let at_anchor = sim.ff_active() && matches!(ev, Ev::SyncDone { .. });
             sim.handle(ev);
+            if at_anchor {
+                sim.try_fast_forward();
+            }
         }
-        Ok(sim.finish())
+        let (summary, sink) = sim.finish();
+        Ok((summary, sink, events))
     }
 
     /// Execute `run`, memoized through `cache` when one is given: a content
@@ -319,7 +430,7 @@ impl Platform {
     /// so a repeated point costs a hash instead of a simulation. A cache hit
     /// skips input validation too — the hit proves an identical run already
     /// validated and executed. Returns the scalar
-    /// [`SimSummary`](crate::cache::SimSummary) — the full
+    /// [`SimSummary`] — the full
     /// trace is only produced by [`Platform::execute`]).
     pub fn execute_summary<K: HardwareKernel + ?Sized>(
         &self,
@@ -334,7 +445,7 @@ impl Platform {
                 return Ok(hit);
             }
         }
-        let summary = crate::cache::SimSummary::from(&self.execute(kernel, run, fclock)?);
+        let summary = self.execute_with(kernel, run, fclock, NullSink)?.0;
         if let Some((c, k)) = key {
             c.insert(k, summary);
         }
@@ -342,14 +453,37 @@ impl Platform {
     }
 }
 
+/// Cap on steady-state probes per run: schedules whose period exceeds this
+/// many sync anchors are simulated exhaustively rather than probed forever.
+const MAX_FF_CHECKPOINTS: usize = 64;
+
+/// One steady-state probe: the relative resource-state signature plus the
+/// absolute clock and counter values needed to extrapolate whole periods if
+/// a later probe matches.
+struct Checkpoint {
+    sig: Vec<u64>,
+    now: SimTime,
+    next_input: u64,
+    inputs_done: u64,
+    next_compute: u64,
+    computes_done: u64,
+    outputs_done: u64,
+    comm_busy: SimTime,
+    streamed_comm: SimTime,
+    compute_busy: SimTime,
+    host_overhead: SimTime,
+}
+
 /// Scheduler state for one execution.
-struct Sim<'a, K: ?Sized> {
+struct Sim<'a, K: ?Sized, S> {
     spec: &'a PlatformSpec,
     kernel: &'a K,
     run: &'a AppRun,
     fclock: Freq,
     q: EventQueue<Ev>,
-    trace: Trace,
+    sink: S,
+    /// Latest span end seen so far; equals `Trace::end()` of a full trace.
+    end_max: SimTime,
     // Resource state.
     channel_free: bool,
     compute_units_free: u32,
@@ -369,10 +503,22 @@ struct Sim<'a, K: ?Sized> {
     streamed_comm: SimTime,
     compute_busy: SimTime,
     host_overhead: SimTime,
+    // Steady-state fast-forward. `ff_from` is the batch index from which the
+    // kernel is index-uniform (`None` disables detection entirely).
+    ff_from: Option<u64>,
+    ff_done: bool,
+    ff_checkpoints: Vec<Checkpoint>,
 }
 
-impl<'a, K: HardwareKernel + ?Sized> Sim<'a, K> {
-    fn new(spec: &'a PlatformSpec, kernel: &'a K, run: &'a AppRun, fclock: Freq) -> Self {
+impl<'a, K: HardwareKernel + ?Sized, S: TraceSink> Sim<'a, K, S> {
+    fn new(
+        spec: &'a PlatformSpec,
+        kernel: &'a K,
+        run: &'a AppRun,
+        fclock: Freq,
+        sink: S,
+        ff_from: Option<u64>,
+    ) -> Self {
         // Single buffering serializes everything through one buffer, so extra
         // kernel instances sit idle; double buffering scales buffering with
         // the instance count to keep every instance fed.
@@ -390,8 +536,9 @@ impl<'a, K: HardwareKernel + ?Sized> Sim<'a, K> {
             kernel,
             run,
             fclock,
-            q: EventQueue::new(),
-            trace: Trace::new(),
+            q: EventQueue::with_capacity(run.peak_pending_events()),
+            sink,
+            end_max: SimTime::ZERO,
             channel_free: true,
             compute_units_free: run.parallel_kernels,
             input_buffers_free: buffers,
@@ -408,13 +555,29 @@ impl<'a, K: HardwareKernel + ?Sized> Sim<'a, K> {
             streamed_comm: SimTime::ZERO,
             compute_busy: SimTime::ZERO,
             host_overhead: SimTime::ZERO,
+            ff_from,
+            ff_done: false,
+            ff_checkpoints: Vec::new(),
         }
+    }
+
+    /// Record a span: track the makespan and forward to the sink. The label
+    /// is a closure so non-recording sinks never pay for `format!`.
+    fn record(
+        &mut self,
+        resource: Resource,
+        label: impl FnOnce() -> String,
+        start: SimTime,
+        end: SimTime,
+    ) {
+        self.end_max = self.end_max.max(end);
+        self.sink.record(resource, label, start, end);
     }
 
     fn start(&mut self) {
         if !self.configured {
             let cfg = self.spec.reconfiguration;
-            self.trace.record(Resource::Host, "CFG", SimTime::ZERO, cfg);
+            self.record(Resource::Host, || "CFG".into(), SimTime::ZERO, cfg);
             self.q.schedule(cfg, Ev::ReconfigDone);
             return;
         }
@@ -454,16 +617,14 @@ impl<'a, K: HardwareKernel + ?Sized> Sim<'a, K> {
                     let dur = self.xfer(self.run.input_bytes_per_iter, Direction::Write);
                     self.channel_free = false;
                     let now = self.q.now();
-                    self.trace
-                        .record(Resource::Comm, format!("R{}", iter + 1), now, now + dur);
+                    self.record(Resource::Comm, || format!("R{}", iter + 1), now, now + dur);
                     self.q.schedule_after(dur, Ev::InputDone { iter, dur });
                     progressed = true;
                 } else if let Some(iter) = self.pending_outputs.pop_front() {
                     let dur = self.xfer(self.run.output_bytes_per_iter, Direction::Read);
                     self.channel_free = false;
                     let now = self.q.now();
-                    self.trace
-                        .record(Resource::Comm, format!("W{}", iter + 1), now, now + dur);
+                    self.record(Resource::Comm, || format!("W{}", iter + 1), now, now + dur);
                     self.q.schedule_after(dur, Ev::OutputDone { dur });
                     progressed = true;
                 } else if self.ready_for_final_read() {
@@ -471,7 +632,7 @@ impl<'a, K: HardwareKernel + ?Sized> Sim<'a, K> {
                     let dur = self.xfer(self.run.final_output_bytes, Direction::Read);
                     self.channel_free = false;
                     let now = self.q.now();
-                    self.trace.record(Resource::Comm, "WF", now, now + dur);
+                    self.record(Resource::Comm, || "WF".into(), now, now + dur);
                     self.q.schedule_after(dur, Ev::FinalReadDone { dur });
                     progressed = true;
                 }
@@ -499,8 +660,7 @@ impl<'a, K: HardwareKernel + ?Sized> Sim<'a, K> {
                 let cycles = self.kernel.batch_cycles(&batch);
                 let dur = SimTime::from_cycles(cycles, self.fclock);
                 let now = self.q.now();
-                self.trace
-                    .record(Resource::Comp, format!("C{}", iter + 1), now, now + dur);
+                self.record(Resource::Comp, || format!("C{}", iter + 1), now, now + dur);
                 self.compute_busy += dur;
                 self.q
                     .schedule_after(dur, Ev::ComputeDone { iter, start: now });
@@ -537,8 +697,7 @@ impl<'a, K: HardwareKernel + ?Sized> Sim<'a, K> {
                 let sync = self.spec.host.kernel_sync_overhead;
                 if sync > SimTime::ZERO {
                     let now = self.q.now();
-                    self.trace
-                        .record(Resource::Host, format!("S{}", iter + 1), now, now + sync);
+                    self.record(Resource::Host, || format!("S{}", iter + 1), now, now + sync);
                 }
                 self.q.schedule_after(sync, Ev::SyncDone { iter, start });
             }
@@ -553,9 +712,9 @@ impl<'a, K: HardwareKernel + ?Sized> Sim<'a, K> {
                             .spec
                             .interconnect
                             .transfer_time(self.run.output_bytes_per_iter, Direction::Read);
-                        self.trace.record(
+                        self.record(
                             Resource::Comm,
-                            format!("W{}~", iter + 1),
+                            || format!("W{}~", iter + 1),
                             start,
                             start + dur,
                         );
@@ -593,7 +752,7 @@ impl<'a, K: HardwareKernel + ?Sized> Sim<'a, K> {
         self.try_issue();
     }
 
-    fn finish(self) -> Measurement {
+    fn finish(self) -> (SimSummary, S) {
         debug_assert_eq!(
             self.computes_done, self.run.iterations,
             "not all batches computed"
@@ -602,15 +761,211 @@ impl<'a, K: HardwareKernel + ?Sized> Sim<'a, K> {
             self.outputs_done, self.expected_outputs,
             "not all outputs drained"
         );
-        Measurement {
-            total: self.trace.end(),
-            comm_busy: self.comm_busy,
-            streamed_comm: self.streamed_comm,
-            compute_busy: self.compute_busy,
-            host_overhead: self.host_overhead,
-            iterations: self.run.iterations,
-            trace: self.trace,
+        (
+            SimSummary {
+                total: self.end_max,
+                comm_busy: self.comm_busy,
+                streamed_comm: self.streamed_comm,
+                compute_busy: self.compute_busy,
+                host_overhead: self.host_overhead,
+                iterations: self.run.iterations,
+            },
+            self.sink,
+        )
+    }
+
+    /// Whether fast-forward detection is still live for this run.
+    fn ff_active(&self) -> bool {
+        self.ff_from.is_some() && !self.ff_done
+    }
+
+    /// The run's relative resource-state signature: everything the
+    /// scheduler's future decisions depend on, expressed modulo batch index
+    /// (offsets to `computes_done`) and absolute time (offsets to `now`).
+    /// Counters pinned at their terminal value encode as a sentinel — their
+    /// offset to the moving base would otherwise never repeat (inputless runs
+    /// pin `next_input`/`inputs_done` at `iterations` from the start).
+    /// Equality is exact, never hashed, so a match can never be a collision.
+    fn signature(&self) -> Vec<u64> {
+        const PINNED: u64 = u64::MAX;
+        let base = self.computes_done;
+        let rel = |x: u64, limit: u64| {
+            if x >= limit {
+                PINNED
+            } else {
+                x.wrapping_sub(base)
+            }
+        };
+        let mut sig = Vec::with_capacity(10 + self.pending_outputs.len() + 4 * self.q.len());
+        sig.push(u64::from(self.channel_free));
+        sig.push(u64::from(self.configured));
+        sig.push(u64::from(self.final_read_issued));
+        sig.push(u64::from(self.compute_units_free));
+        sig.push(u64::from(self.input_buffers_free));
+        sig.push(rel(self.next_input, self.run.iterations));
+        sig.push(rel(self.inputs_done, self.run.iterations));
+        sig.push(rel(self.next_compute, self.run.iterations));
+        sig.push(rel(self.outputs_done, self.expected_outputs));
+        sig.push(self.pending_outputs.len() as u64);
+        for &o in &self.pending_outputs {
+            sig.push(o.wrapping_sub(base));
         }
+        let now = self.q.now();
+        for (t, ev) in self.q.pending_in_order() {
+            sig.push((t - now).as_ps());
+            match *ev {
+                Ev::ReconfigDone => sig.push(0),
+                Ev::InputDone { iter, dur } => {
+                    sig.push(1);
+                    sig.push(iter.wrapping_sub(base));
+                    sig.push(dur.as_ps());
+                }
+                Ev::ComputeDone { iter, start } => {
+                    sig.push(2);
+                    sig.push(iter.wrapping_sub(base));
+                    sig.push((now - start).as_ps());
+                }
+                Ev::SyncDone { iter, start } => {
+                    sig.push(3);
+                    sig.push(iter.wrapping_sub(base));
+                    sig.push((now - start).as_ps());
+                }
+                Ev::OutputDone { dur } => {
+                    sig.push(4);
+                    sig.push(dur.as_ps());
+                }
+                Ev::FinalReadDone { dur } => {
+                    sig.push(5);
+                    sig.push(dur.as_ps());
+                }
+            }
+        }
+        sig
+    }
+
+    /// Steady-state detection and jump, probed after each handled `SyncDone`.
+    ///
+    /// Two probes with equal signatures prove the schedule is periodic: every
+    /// scheduler decision depends only on the signature-visible relative
+    /// state plus run constants (the kernel being index-uniform past
+    /// `ff_from`), so from a repeated state the future replays translated in
+    /// time and batch index. We advance `k` whole periods arithmetically —
+    /// clock and pending events shifted by `k·period`, each counter by `k`
+    /// times its per-period delta — capped strictly below every counter's
+    /// terminal value so no equality guard (`next_input < iterations`,
+    /// final-read readiness) flips inside the skipped region, then resume
+    /// event simulation for the drain.
+    fn try_fast_forward(&mut self) {
+        let Some(from) = self.ff_from else { return };
+        if self.ff_done {
+            return;
+        }
+        // Wait until dispatch has reached the kernel's uniform tail; stop
+        // probing once the run is in its drain phase.
+        if self.next_compute < from || self.computes_done >= self.run.iterations {
+            return;
+        }
+        let sig = self.signature();
+        let now = self.q.now();
+        let Some(hit) = self.ff_checkpoints.iter().position(|c| c.sig == sig) else {
+            if self.ff_checkpoints.len() >= MAX_FF_CHECKPOINTS {
+                // No period inside the probe window: stop paying for probes.
+                self.ff_done = true;
+                self.ff_checkpoints.clear();
+            } else {
+                self.ff_checkpoints.push(Checkpoint {
+                    sig,
+                    now,
+                    next_input: self.next_input,
+                    inputs_done: self.inputs_done,
+                    next_compute: self.next_compute,
+                    computes_done: self.computes_done,
+                    outputs_done: self.outputs_done,
+                    comm_busy: self.comm_busy,
+                    streamed_comm: self.streamed_comm,
+                    compute_busy: self.compute_busy,
+                    host_overhead: self.host_overhead,
+                });
+            }
+            return;
+        };
+        let prev = self.ff_checkpoints.swap_remove(hit);
+
+        let dt = now - prev.now;
+        // Per-period progress. Pinned counters have delta 0; every advancing
+        // counter moves by the same base delta (their signature offsets to
+        // `computes_done` matched across the period).
+        let d_ni = self.next_input - prev.next_input;
+        let d_id = self.inputs_done - prev.inputs_done;
+        let d_nc = self.next_compute - prev.next_compute;
+        let d_cd = self.computes_done - prev.computes_done;
+        let d_od = self.outputs_done - prev.outputs_done;
+        // Whole periods to skip, strictly below every terminal value.
+        let caps = [
+            (self.next_input, d_ni, self.run.iterations),
+            (self.inputs_done, d_id, self.run.iterations),
+            (self.next_compute, d_nc, self.run.iterations),
+            (self.computes_done, d_cd, self.run.iterations),
+            (self.outputs_done, d_od, self.expected_outputs),
+        ];
+        let k = caps
+            .iter()
+            .filter(|&&(_, d, _)| d > 0)
+            .map(|&(x, d, limit)| (limit - 1 - x) / d)
+            .min()
+            .unwrap_or(0);
+        // One jump per run: after it only the drain remains.
+        self.ff_done = true;
+        self.ff_checkpoints.clear();
+        if dt == SimTime::ZERO || k == 0 {
+            return;
+        }
+        let scaled = |t: SimTime| -> Option<SimTime> {
+            u64::try_from(u128::from(t.as_ps()) * u128::from(k))
+                .ok()
+                .map(SimTime::from_ps)
+        };
+        let (Some(offset), Some(j_comm), Some(j_streamed), Some(j_compute), Some(j_host)) = (
+            scaled(dt),
+            scaled(self.comm_busy - prev.comm_busy),
+            scaled(self.streamed_comm - prev.streamed_comm),
+            scaled(self.compute_busy - prev.compute_busy),
+            scaled(self.host_overhead - prev.host_overhead),
+        ) else {
+            return; // would overflow the clock: simulate instead
+        };
+        let iter_shift = k * d_cd;
+        self.q.jump(offset, |ev| match ev {
+            Ev::InputDone { iter, dur } => Ev::InputDone {
+                iter: iter + iter_shift,
+                dur,
+            },
+            Ev::ComputeDone { iter, start } => Ev::ComputeDone {
+                iter: iter + iter_shift,
+                start: start + offset,
+            },
+            Ev::SyncDone { iter, start } => Ev::SyncDone {
+                iter: iter + iter_shift,
+                start: start + offset,
+            },
+            other => other,
+        });
+        self.next_input += k * d_ni;
+        self.inputs_done += k * d_id;
+        self.next_compute += k * d_nc;
+        self.computes_done += k * d_cd;
+        self.outputs_done += k * d_od;
+        for o in &mut self.pending_outputs {
+            *o += iter_shift;
+        }
+        self.comm_busy += j_comm;
+        self.streamed_comm += j_streamed;
+        self.compute_busy += j_compute;
+        self.host_overhead += j_host;
+        // `end_max` is deliberately not shifted: every span end in the
+        // skipped region is dominated by its final-period counterpart, which
+        // the post-jump simulation records at the same absolute time the
+        // exhaustive run would.
     }
 }
 
@@ -1002,5 +1357,257 @@ mod tests {
         let long = platform.execute(&kernel_long, &run_long, GHZ).unwrap();
         let cfg_share_long = spec.reconfiguration.as_secs_f64() / long.total.as_secs_f64();
         assert!(cfg_share_long < 0.01, "long run amortizes configuration");
+    }
+
+    use crate::cache::SimSummary;
+    use crate::trace::{FullTrace, NullSink, SummarySink};
+
+    /// Fast-forwarded and exhaustive trace-free summaries of the same run.
+    fn ff_vs_exhaustive<K: HardwareKernel>(
+        spec: &PlatformSpec,
+        kernel: &K,
+        run: &AppRun,
+    ) -> (SimSummary, SimSummary) {
+        let fast = Platform::new(spec.clone())
+            .execute_summary(kernel, run, GHZ, None)
+            .unwrap();
+        let slow = Platform::new(spec.clone())
+            .with_fast_forward(FastForward::Off)
+            .execute_summary(kernel, run, GHZ, None)
+            .unwrap();
+        (fast, slow)
+    }
+
+    #[test]
+    fn fast_forward_matches_exhaustive_matrix() {
+        for mode in [BufferMode::Single, BufferMode::Double] {
+            for (inb, outb, comp) in [
+                (100, 50, 300),
+                (200, 150, 100),
+                (64, 64, 64),
+                (10, 0, 500),
+                (0, 0, 250),
+            ] {
+                for sync_ns in [0, 20] {
+                    let mut spec = unit_bus();
+                    spec.host = HostModel {
+                        api_call_overhead: SimTime::from_ns(5),
+                        kernel_sync_overhead: SimTime::from_ns(sync_ns),
+                    };
+                    let kernel = TabulatedKernel::uniform("k", comp, 1);
+                    let run = AppRun::builder()
+                        .iterations(193)
+                        .elements_per_iter(1)
+                        .input_bytes_per_iter(inb)
+                        .output_bytes_per_iter(outb)
+                        .buffer_mode(mode)
+                        .build();
+                    let (fast, slow) = ff_vs_exhaustive(&spec, &kernel, &run);
+                    assert_eq!(
+                        fast, slow,
+                        "mode={mode:?} in={inb} out={outb} comp={comp} sync={sync_ns}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fast_forward_matches_with_streaming_and_final_read() {
+        let spec = unit_bus();
+        let kernel = TabulatedKernel::uniform("k", 400, 1);
+        let streamed = AppRun::builder()
+            .iterations(300)
+            .input_bytes_per_iter(100)
+            .output_bytes_per_iter(80)
+            .streamed_output(true)
+            .buffer_mode(BufferMode::Double)
+            .build();
+        let (fast, slow) = ff_vs_exhaustive(&spec, &kernel, &streamed);
+        assert_eq!(fast, slow);
+
+        let with_final = AppRun::builder()
+            .iterations(300)
+            .input_bytes_per_iter(100)
+            .final_output_bytes(4096)
+            .buffer_mode(BufferMode::Double)
+            .build();
+        let (fast, slow) = ff_vs_exhaustive(&spec, &kernel, &with_final);
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn fast_forward_matches_with_parallel_kernels() {
+        for kernels in [1, 2, 3, 4] {
+            let spec = unit_bus();
+            let kernel = TabulatedKernel::uniform("k", 1000, 1);
+            let run = AppRun::builder()
+                .iterations(257)
+                .input_bytes_per_iter(100)
+                .buffer_mode(BufferMode::Double)
+                .parallel_kernels(kernels)
+                .build();
+            let (fast, slow) = ff_vs_exhaustive(&spec, &kernel, &run);
+            assert_eq!(fast, slow, "parallel_kernels={kernels}");
+        }
+    }
+
+    #[test]
+    fn fast_forward_matches_inputless_run() {
+        let spec = unit_bus();
+        let kernel = TabulatedKernel::uniform("k", 500, 1);
+        let run = AppRun::builder().iterations(400).build();
+        let (fast, slow) = ff_vs_exhaustive(&spec, &kernel, &run);
+        assert_eq!(fast, slow);
+        assert_eq!(fast.total, SimTime::from_ns(400 * 500));
+    }
+
+    #[test]
+    fn fast_forward_matches_with_reconfiguration() {
+        let mut spec = unit_bus();
+        spec.reconfiguration = SimTime::from_us(100);
+        let kernel = TabulatedKernel::uniform("k", 100, 1);
+        let run = AppRun::builder()
+            .iterations(300)
+            .input_bytes_per_iter(50)
+            .build();
+        let (fast, slow) = ff_vs_exhaustive(&spec, &kernel, &run);
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn fast_forward_waits_out_a_nonuniform_prefix() {
+        // The first 20 batches vary; the tail is constant. Fast-forward may
+        // only engage once dispatch reaches the tail — and must still agree.
+        let mut cycles: Vec<u64> = (0..20).map(|i| 100 + 13 * i).collect();
+        cycles.push(300);
+        let kernel = TabulatedKernel::new("k", cycles);
+        assert_eq!(kernel.uniform_from(), Some(20));
+        let spec = unit_bus();
+        let run = AppRun::builder()
+            .iterations(300)
+            .input_bytes_per_iter(100)
+            .output_bytes_per_iter(50)
+            .buffer_mode(BufferMode::Double)
+            .build();
+        let (fast, slow) = ff_vs_exhaustive(&spec, &kernel, &run);
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn fast_forward_skips_most_events() {
+        let kernel = TabulatedKernel::uniform("k", 300, 1);
+        let run = AppRun::builder()
+            .iterations(10_000)
+            .elements_per_iter(1)
+            .input_bytes_per_iter(100)
+            .output_bytes_per_iter(50)
+            .buffer_mode(BufferMode::Double)
+            .build();
+        let (fast, _, fast_events) = Platform::new(unit_bus())
+            .execute_inner(&kernel, &run, GHZ, NullSink)
+            .unwrap();
+        let (slow, _, slow_events) = Platform::new(unit_bus())
+            .with_fast_forward(FastForward::Off)
+            .execute_inner(&kernel, &run, GHZ, NullSink)
+            .unwrap();
+        assert_eq!(fast, slow);
+        assert!(slow_events >= 40_000, "slow path popped {slow_events}");
+        assert!(
+            fast_events < 1_000,
+            "fast-forward did not engage: {fast_events} events popped"
+        );
+    }
+
+    #[test]
+    fn recording_sinks_never_fast_forward() {
+        // A full trace must show every iteration, so Auto may not skip when
+        // the sink records.
+        let kernel = TabulatedKernel::uniform("k", 300, 1);
+        let run = AppRun::builder()
+            .iterations(500)
+            .input_bytes_per_iter(100)
+            .buffer_mode(BufferMode::Double)
+            .build();
+        let (_, sink, events) = Platform::new(unit_bus())
+            .execute_inner(&kernel, &run, GHZ, FullTrace::new())
+            .unwrap();
+        assert!(events >= 1_000, "recording run popped only {events} events");
+        assert_eq!(sink.into_trace().spans_on(Resource::Comp).count(), 500);
+    }
+
+    #[test]
+    fn uniform_from_none_disables_fast_forward() {
+        struct OpaqueKernel(TabulatedKernel);
+        impl HardwareKernel for OpaqueKernel {
+            fn name(&self) -> &str {
+                self.0.name()
+            }
+            fn batch_cycles(&self, b: &Batch) -> rat_core::quantity::Cycles {
+                self.0.batch_cycles(b)
+            }
+            fn spec_digest(&self) -> u128 {
+                self.0.spec_digest()
+            }
+            // uniform_from: default None — behaviour is uniform but undeclared.
+        }
+        let kernel = OpaqueKernel(TabulatedKernel::uniform("k", 300, 1));
+        let run = AppRun::builder()
+            .iterations(500)
+            .input_bytes_per_iter(100)
+            .buffer_mode(BufferMode::Double)
+            .build();
+        let (summary, _, events) = Platform::new(unit_bus())
+            .execute_inner(&kernel, &run, GHZ, NullSink)
+            .unwrap();
+        assert!(events >= 1_000, "undeclared kernel still fast-forwarded");
+        let reference = Platform::new(unit_bus())
+            .execute_summary(&kernel.0, &run, GHZ, None)
+            .unwrap();
+        assert_eq!(summary, reference);
+    }
+
+    #[test]
+    fn null_sink_summary_matches_full_trace_scalars() {
+        let platform = Platform::new(unit_bus()).with_fast_forward(FastForward::Off);
+        let kernel = TabulatedKernel::uniform("k", 300, 1);
+        let run = AppRun::builder()
+            .iterations(50)
+            .input_bytes_per_iter(100)
+            .output_bytes_per_iter(50)
+            .buffer_mode(BufferMode::Double)
+            .build();
+        let (summary, _) = platform.execute_with(&kernel, &run, GHZ, NullSink).unwrap();
+        let m = platform.execute(&kernel, &run, GHZ).unwrap();
+        assert_eq!(summary, SimSummary::from(&m));
+    }
+
+    #[test]
+    fn summary_sink_counts_match_the_trace() {
+        let platform = Platform::new(unit_bus());
+        let kernel = TabulatedKernel::uniform("k", 300, 1);
+        let run = AppRun::builder()
+            .iterations(40)
+            .input_bytes_per_iter(100)
+            .output_bytes_per_iter(50)
+            .buffer_mode(BufferMode::Double)
+            .build();
+        let (_, counter) = platform
+            .execute_with(&kernel, &run, GHZ, SummarySink::new())
+            .unwrap();
+        let m = platform.execute(&kernel, &run, GHZ).unwrap();
+        assert_eq!(
+            counter.count(Resource::Comm) as usize,
+            m.trace.spans_on(Resource::Comm).count()
+        );
+        assert_eq!(counter.count(Resource::Comp), 40);
+        assert_eq!(counter.busy(Resource::Comp), m.compute_busy);
+        assert_eq!(counter.total_spans() as usize, m.trace.spans().len());
+    }
+
+    #[test]
+    fn peak_pending_events_bounds_the_queue() {
+        let run = AppRun::builder().parallel_kernels(4).build();
+        assert_eq!(run.peak_pending_events(), 6);
     }
 }

@@ -62,6 +62,23 @@ impl<T> EventQueue<T> {
         }
     }
 
+    /// An empty queue at time zero with storage pre-sized for `n` pending
+    /// events. A simulation that knows its peak event population (e.g.
+    /// [`crate::platform::AppRun::peak_pending_events`]) allocates once
+    /// instead of regrowing the heap mid-run.
+    pub fn with_capacity(n: usize) -> Self {
+        Self {
+            heap: BinaryHeap::with_capacity(n),
+            next_seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// Number of pending events the queue can hold without reallocating.
+    pub fn capacity(&self) -> usize {
+        self.heap.capacity()
+    }
+
     /// The current simulation time (the fire time of the last popped event).
     pub fn now(&self) -> SimTime {
         self.now
@@ -100,6 +117,57 @@ impl<T> EventQueue<T> {
         );
         self.now = ev.time;
         Some((ev.time, ev.payload))
+    }
+
+    /// Pop every event firing at or before `t`, in pop order (time, then FIFO
+    /// sequence), advancing the clock to the last popped event's fire time.
+    /// The clock does not advance past the last event: if nothing fires by
+    /// `t`, the result is empty and the clock is untouched. Draining a batch
+    /// in one call cuts per-pop heap rebalancing when many simultaneous
+    /// events land (e.g. wide parallel-kernel completion waves).
+    pub fn pop_batch_until(&mut self, t: SimTime) -> Vec<(SimTime, T)> {
+        let mut out = Vec::new();
+        while let Some(head) = self.heap.peek() {
+            if head.time > t {
+                break;
+            }
+            let ev = self.heap.pop().expect("peek proved non-empty");
+            debug_assert!(
+                ev.time >= self.now,
+                "event queue produced a time regression"
+            );
+            self.now = ev.time;
+            out.push((ev.time, ev.payload));
+        }
+        out
+    }
+
+    /// Advance the clock by `offset` and shift every pending event by the same
+    /// amount, mapping each payload through `f`. Relative fire times and the
+    /// FIFO tie-break order are preserved exactly (the shift is uniform and
+    /// sequence numbers are kept), so the future of the simulation is the
+    /// same schedule translated by `offset`. This is the primitive behind
+    /// steady-state fast-forward.
+    pub fn jump(&mut self, offset: SimTime, mut f: impl FnMut(T) -> T) {
+        self.now += offset;
+        let heap = std::mem::take(&mut self.heap);
+        self.heap = heap
+            .into_iter()
+            .map(|s| Scheduled {
+                time: s.time + offset,
+                seq: s.seq,
+                payload: f(s.payload),
+            })
+            .collect();
+    }
+
+    /// Pending events as `(fire_time, &payload)` in pop order (time, then FIFO
+    /// sequence), without disturbing the queue. O(n log n); used to fingerprint
+    /// the scheduler state when hunting a steady-state period.
+    pub fn pending_in_order(&self) -> Vec<(SimTime, &T)> {
+        let mut pending: Vec<&Scheduled<T>> = self.heap.iter().collect();
+        pending.sort_by(|a, b| a.time.cmp(&b.time).then(a.seq.cmp(&b.seq)));
+        pending.into_iter().map(|s| (s.time, &s.payload)).collect()
     }
 
     /// Whether any events remain.
@@ -164,6 +232,84 @@ mod tests {
         q.schedule(SimTime::from_ns(10), ());
         q.pop();
         q.schedule(SimTime::from_ns(5), ());
+    }
+
+    #[test]
+    fn pop_batch_until_drains_in_order_and_respects_cutoff() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_ns(30), "late");
+        q.schedule(SimTime::from_ns(10), "a");
+        q.schedule(SimTime::from_ns(10), "b");
+        q.schedule(SimTime::from_ns(20), "c");
+        let batch = q.pop_batch_until(SimTime::from_ns(20));
+        let popped: Vec<_> = batch.iter().map(|(_, p)| *p).collect();
+        assert_eq!(popped, vec!["a", "b", "c"]);
+        assert_eq!(q.now(), SimTime::from_ns(20));
+        assert_eq!(q.len(), 1);
+        assert!(q.pop_batch_until(SimTime::from_ns(25)).is_empty());
+        assert_eq!(q.now(), SimTime::from_ns(20));
+    }
+
+    #[test]
+    fn jump_shifts_times_and_preserves_fifo_ties() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_ns(5);
+        for i in 0..4 {
+            q.schedule(t, i);
+        }
+        q.schedule(SimTime::from_ns(3), 99);
+        q.jump(SimTime::from_ns(100), |p| p);
+        assert_eq!(q.now(), SimTime::from_ns(100));
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(
+            order,
+            vec![
+                (SimTime::from_ns(103), 99),
+                (SimTime::from_ns(105), 0),
+                (SimTime::from_ns(105), 1),
+                (SimTime::from_ns(105), 2),
+                (SimTime::from_ns(105), 3),
+            ]
+        );
+    }
+
+    #[test]
+    fn jump_maps_payloads() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_ns(1), 10);
+        q.schedule(SimTime::from_ns(2), 20);
+        q.jump(SimTime::from_ns(10), |p| p + 1);
+        let payloads: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, p)| p).collect();
+        assert_eq!(payloads, vec![11, 21]);
+    }
+
+    #[test]
+    fn pending_in_order_is_non_destructive_and_sorted() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_ns(9), "z");
+        q.schedule(SimTime::from_ns(4), "x");
+        q.schedule(SimTime::from_ns(4), "y");
+        let view: Vec<_> = q
+            .pending_in_order()
+            .into_iter()
+            .map(|(t, p)| (t, *p))
+            .collect();
+        assert_eq!(
+            view,
+            vec![
+                (SimTime::from_ns(4), "x"),
+                (SimTime::from_ns(4), "y"),
+                (SimTime::from_ns(9), "z"),
+            ]
+        );
+        assert_eq!(q.len(), 3);
+    }
+
+    #[test]
+    fn with_capacity_presizes_storage() {
+        let q: EventQueue<()> = EventQueue::with_capacity(64);
+        assert!(q.capacity() >= 64);
+        assert!(q.is_empty());
     }
 
     #[test]

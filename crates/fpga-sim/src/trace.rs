@@ -226,6 +226,143 @@ impl Trace {
     }
 }
 
+/// Destination for the busy intervals a simulation produces.
+///
+/// The simulator is generic over its sink so summary runs pay nothing for
+/// trace detail they will discard: [`FullTrace`] materializes every span
+/// (labels included), [`SummarySink`] counts spans and accumulates busy time
+/// without allocating, and [`NullSink`] drops everything.
+///
+/// `label` is a closure, not a string: sinks that keep no labels never invoke
+/// it, so the hot path skips the `format!` entirely.
+pub trait TraceSink {
+    /// Whether this sink needs to observe every individual span. Non-recording
+    /// sinks (`RECORDS == false`) permit steady-state fast-forward — skipped
+    /// periods record nothing — while recording sinks force the exhaustive
+    /// event-by-event schedule so their view stays complete.
+    const RECORDS: bool;
+
+    /// Record one busy interval on `resource`. Implementations that keep no
+    /// labels must not call `label`.
+    fn record(
+        &mut self,
+        resource: Resource,
+        label: impl FnOnce() -> String,
+        start: SimTime,
+        end: SimTime,
+    );
+}
+
+/// A [`TraceSink`] that materializes the full [`Trace`], labels and all.
+#[derive(Debug, Clone, Default)]
+pub struct FullTrace {
+    trace: Trace,
+}
+
+impl FullTrace {
+    /// An empty full-trace sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The recorded trace.
+    pub fn into_trace(self) -> Trace {
+        self.trace
+    }
+}
+
+impl TraceSink for FullTrace {
+    const RECORDS: bool = true;
+
+    fn record(
+        &mut self,
+        resource: Resource,
+        label: impl FnOnce() -> String,
+        start: SimTime,
+        end: SimTime,
+    ) {
+        self.trace.record(resource, label(), start, end);
+    }
+}
+
+/// A [`TraceSink`] that drops every span. The cheapest sink, and the one
+/// summary runs use: with no recording requirement, the simulator may also
+/// fast-forward through steady-state periods.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    const RECORDS: bool = false;
+
+    fn record(
+        &mut self,
+        _resource: Resource,
+        _label: impl FnOnce() -> String,
+        _start: SimTime,
+        _end: SimTime,
+    ) {
+    }
+}
+
+/// A counting [`TraceSink`]: per-resource span counts and busy totals, no
+/// labels, no allocation. Declares `RECORDS = true` because its counts must
+/// cover every span, so runs through it stay exhaustive (no fast-forward) —
+/// use it when exact event counts matter but the trace itself does not.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SummarySink {
+    /// Number of spans recorded per resource, indexed Comm/Comp/Host.
+    counts: [u64; 3],
+    /// Total busy time per resource, indexed Comm/Comp/Host.
+    busy: [SimTime; 3],
+}
+
+impl SummarySink {
+    /// An empty counting sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn slot(resource: Resource) -> usize {
+        match resource {
+            Resource::Comm => 0,
+            Resource::Comp => 1,
+            Resource::Host => 2,
+        }
+    }
+
+    /// Number of spans recorded on `resource`.
+    pub fn count(&self, resource: Resource) -> u64 {
+        self.counts[Self::slot(resource)]
+    }
+
+    /// Total spans recorded across all resources.
+    pub fn total_spans(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Accumulated busy time on `resource` (spans may overlap for streamed
+    /// output, so this is occupancy, not elapsed time).
+    pub fn busy(&self, resource: Resource) -> SimTime {
+        self.busy[Self::slot(resource)]
+    }
+}
+
+impl TraceSink for SummarySink {
+    const RECORDS: bool = true;
+
+    fn record(
+        &mut self,
+        resource: Resource,
+        _label: impl FnOnce() -> String,
+        start: SimTime,
+        end: SimTime,
+    ) {
+        let slot = Self::slot(resource);
+        self.counts[slot] += 1;
+        self.busy[slot] += end - start;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -358,6 +495,50 @@ mod tests {
         let gaps = t.comm_gaps(us(1));
         assert_eq!(gaps, vec![(us(5), us(20))]);
         assert!(t.comm_gaps(us(20)).is_empty());
+    }
+
+    #[test]
+    fn full_trace_sink_materializes_spans() {
+        let mut sink = FullTrace::new();
+        sink.record(Resource::Comm, || "R1".into(), us(0), us(5));
+        sink.record(Resource::Comp, || "C1".into(), us(5), us(9));
+        let trace = sink.into_trace();
+        assert_eq!(trace.spans().len(), 2);
+        assert_eq!(trace.spans()[0].label, "R1");
+        assert_eq!(trace.end(), us(9));
+    }
+
+    #[test]
+    fn null_sink_drops_everything_without_building_labels() {
+        let mut sink = NullSink;
+        // The label closure must never run on a label-free sink.
+        sink.record(
+            Resource::Comm,
+            || panic!("NullSink must not build labels"),
+            us(0),
+            us(5),
+        );
+        const { assert!(!NullSink::RECORDS) };
+    }
+
+    #[test]
+    fn summary_sink_counts_without_labels() {
+        let mut sink = SummarySink::new();
+        sink.record(
+            Resource::Comm,
+            || panic!("SummarySink must not build labels"),
+            us(0),
+            us(5),
+        );
+        sink.record(Resource::Comm, || unreachable!(), us(7), us(9));
+        sink.record(Resource::Comp, || unreachable!(), us(0), us(4));
+        assert_eq!(sink.count(Resource::Comm), 2);
+        assert_eq!(sink.count(Resource::Comp), 1);
+        assert_eq!(sink.count(Resource::Host), 0);
+        assert_eq!(sink.total_spans(), 3);
+        assert_eq!(sink.busy(Resource::Comm), us(7));
+        assert_eq!(sink.busy(Resource::Comp), us(4));
+        const { assert!(SummarySink::RECORDS, "counts must cover every span") };
     }
 
     #[test]

@@ -1,0 +1,236 @@
+//! Differential tests for the simulator's fast paths.
+//!
+//! The fast-forward optimizer and the trace-free sinks exist only to make the
+//! exhaustive simulation cheaper — never to change its answers. Each property
+//! here drives both the fast and the slow path over randomly generated
+//! platforms, kernels, and runs, and requires bit-identical results:
+//!
+//! * [`FastForward::Auto`] vs [`FastForward::Off`] on `execute_summary`
+//!   (the path that actually jumps) and on `execute` (where recording sinks
+//!   must keep fast-forward disabled);
+//! * [`NullSink`] summaries vs scalars derived from a [`FullTrace`] run.
+
+use fpga_sim::host::HostModel;
+use fpga_sim::pipeline::{PipelineSpec, PipelinedKernel, StallModel};
+use fpga_sim::trace::Resource;
+use fpga_sim::{
+    AlphaCurve, AppRun, BufferMode, FastForward, FullTrace, Interconnect, NullSink, Platform,
+    PlatformSpec, SimTime, TabulatedKernel,
+};
+use proptest::prelude::*;
+use rat_core::quantity::{Freq, Throughput};
+
+fn spec(alpha_w: f64, alpha_r: f64, setup_ns: u64, api_ns: u64, sync_ns: u64) -> PlatformSpec {
+    PlatformSpec {
+        name: "diff".into(),
+        interconnect: Interconnect {
+            name: "diff-bus".into(),
+            ideal_bw: Throughput::from_bytes_per_sec(1.0e9),
+            setup_write: SimTime::from_ns(setup_ns),
+            setup_read: SimTime::from_ns(setup_ns),
+            alpha_write: AlphaCurve::flat(alpha_w),
+            alpha_read: AlphaCurve::flat(alpha_r),
+            max_dma_bytes: None,
+        },
+        host: HostModel {
+            api_call_overhead: SimTime::from_ns(api_ns),
+            kernel_sync_overhead: SimTime::from_ns(sync_ns),
+        },
+        reconfiguration: SimTime::ZERO,
+    }
+}
+
+/// A run shape drawn from the full option space the scheduler supports.
+#[derive(Debug, Clone)]
+struct RunShape {
+    iters: u64,
+    in_bytes: u64,
+    out_bytes: u64,
+    final_bytes: u64,
+    mode: BufferMode,
+    streamed: bool,
+    kernels: u32,
+}
+
+impl RunShape {
+    fn build(&self) -> AppRun {
+        AppRun::builder()
+            .iterations(self.iters)
+            .elements_per_iter(8)
+            .input_bytes_per_iter(self.in_bytes)
+            .output_bytes_per_iter(self.out_bytes)
+            .final_output_bytes(self.final_bytes)
+            .buffer_mode(self.mode)
+            .streamed_output(self.streamed)
+            .parallel_kernels(self.kernels)
+            .build()
+    }
+}
+
+fn run_shape() -> impl Strategy<Value = RunShape> {
+    (
+        1u64..600,
+        0u64..50_000,
+        0u64..50_000,
+        0u64..50_000,
+        prop_oneof![Just(BufferMode::Single), Just(BufferMode::Double)],
+        any::<bool>(),
+        1u32..5,
+    )
+        .prop_map(
+            |(iters, in_bytes, out_bytes, final_bytes, mode, streamed, kernels)| RunShape {
+                iters,
+                in_bytes: in_bytes.max(1),
+                out_bytes,
+                final_bytes,
+                mode,
+                streamed,
+                kernels,
+            },
+        )
+}
+
+/// A tabulated kernel with a random varying prefix and a uniform tail — the
+/// shape `uniform_from` is built to exploit. `prefix` may be empty (a fully
+/// uniform table) and may also cover the whole table (nothing to exploit).
+fn prefixed_kernel(iters: u64) -> impl Strategy<Value = TabulatedKernel> {
+    (prop::collection::vec(1u64..200_000, 0..6), 1u64..200_000).prop_map(move |(prefix, tail)| {
+        let mut cycles = prefix;
+        cycles.truncate(iters as usize);
+        cycles.resize(iters as usize, tail);
+        TabulatedKernel::new("diff-k", cycles)
+    })
+}
+
+proptest! {
+    /// Fast-forward is invisible on the summary path: with and without it,
+    /// `execute_summary` produces the same `SimSummary`, bit for bit, over
+    /// arbitrary platform/kernel/run shapes.
+    #[test]
+    fn fast_forward_summary_matches_exhaustive(
+        shape in run_shape().prop_flat_map(|s| {
+            let iters = s.iters;
+            (Just(s), prefixed_kernel(iters))
+        }),
+        alpha_w in 0.05f64..1.0,
+        alpha_r in 0.05f64..1.0,
+        setup_ns in 0u64..10_000,
+        api_ns in 0u64..10_000,
+        sync_ns in 0u64..10_000,
+        mhz in 1u64..1_000,
+    ) {
+        let (shape, kernel) = shape;
+        let run = shape.build();
+        let fclock = Freq::from_hz(mhz as f64 * 1e6);
+        let s = spec(alpha_w, alpha_r, setup_ns, api_ns, sync_ns);
+        let fast = Platform::new(s.clone())
+            .execute_summary(&kernel, &run, fclock, None)
+            .unwrap();
+        let slow = Platform::new(s)
+            .with_fast_forward(FastForward::Off)
+            .execute_summary(&kernel, &run, fclock, None)
+            .unwrap();
+        prop_assert_eq!(fast, slow);
+    }
+
+    /// The full-trace path is identical with fast-forward enabled or not
+    /// (recording sinks keep fast-forward disabled, so `Auto` must be a
+    /// no-op there): Measurements — totals, busy accounting, and every
+    /// trace span — agree exactly.
+    #[test]
+    fn fast_forward_never_perturbs_traced_runs(
+        shape in run_shape().prop_flat_map(|s| {
+            let iters = s.iters;
+            (Just(s), prefixed_kernel(iters))
+        }),
+        alpha_w in 0.05f64..1.0,
+        alpha_r in 0.05f64..1.0,
+        setup_ns in 0u64..10_000,
+        mhz in 1u64..1_000,
+    ) {
+        let (shape, kernel) = shape;
+        let run = shape.build();
+        let fclock = Freq::from_hz(mhz as f64 * 1e6);
+        let s = spec(alpha_w, alpha_r, setup_ns, 100, 100);
+        let auto = Platform::new(s.clone()).execute(&kernel, &run, fclock).unwrap();
+        let off = Platform::new(s)
+            .with_fast_forward(FastForward::Off)
+            .execute(&kernel, &run, fclock)
+            .unwrap();
+        prop_assert_eq!(auto.total, off.total);
+        prop_assert_eq!(auto.comm_busy, off.comm_busy);
+        prop_assert_eq!(auto.compute_busy, off.compute_busy);
+        prop_assert_eq!(auto.host_overhead, off.host_overhead);
+        prop_assert_eq!(auto.trace.spans(), off.trace.spans());
+    }
+
+    /// A trace-free run reports exactly the scalars a full trace would:
+    /// the `NullSink` summary equals the `FullTrace` summary, and the
+    /// trace's own busy/end accounting confirms both.
+    #[test]
+    fn null_sink_matches_full_trace_scalars(
+        shape in run_shape().prop_flat_map(|s| {
+            let iters = s.iters;
+            (Just(s), prefixed_kernel(iters))
+        }),
+        alpha_w in 0.05f64..1.0,
+        alpha_r in 0.05f64..1.0,
+        setup_ns in 0u64..10_000,
+        mhz in 1u64..1_000,
+    ) {
+        let (shape, kernel) = shape;
+        let run = shape.build();
+        let fclock = Freq::from_hz(mhz as f64 * 1e6);
+        // Fast-forward off on both sides so this property isolates the sink:
+        // trace-free accounting vs trace-derived accounting on the very same
+        // event sequence.
+        let platform = Platform::new(spec(alpha_w, alpha_r, setup_ns, 250, 250))
+            .with_fast_forward(FastForward::Off);
+        let (bare, _) = platform.execute_with(&kernel, &run, fclock, NullSink).unwrap();
+        let (traced, sink) = platform
+            .execute_with(&kernel, &run, fclock, FullTrace::new())
+            .unwrap();
+        prop_assert_eq!(bare, traced);
+        let trace = sink.into_trace();
+        prop_assert_eq!(trace.end(), bare.total);
+        // Streamed (overlapped) output spans land on the Comm resource in the
+        // trace but are accounted separately from blocking channel time.
+        prop_assert_eq!(trace.busy(Resource::Comm), bare.comm_busy + bare.streamed_comm);
+        prop_assert_eq!(trace.busy(Resource::Comp), bare.compute_busy);
+    }
+
+    /// Pipelined kernels (index-uniform by construction) fast-forward to the
+    /// same summary the exhaustive simulation produces.
+    #[test]
+    fn pipelined_kernel_fast_forward_matches(
+        shape in run_shape(),
+        lanes in 1u32..8,
+        fill in 0u64..64,
+        drain in 0u64..64,
+        ops_per_element in 1u64..64,
+        mhz in 1u64..1_000,
+    ) {
+        let kernel = PipelinedKernel::new(
+            "diff-pipe",
+            PipelineSpec {
+                lanes,
+                ops_per_lane_cycle: 1,
+                fill_latency: fill,
+                drain_latency: drain,
+                stall: StallModel::None,
+            },
+            ops_per_element,
+        );
+        let run = shape.build();
+        let fclock = Freq::from_hz(mhz as f64 * 1e6);
+        let s = spec(0.8, 0.6, 500, 1_000, 1_000);
+        let fast = Platform::new(s.clone())
+            .execute_summary(&kernel, &run, fclock, None)
+            .unwrap();
+        let slow = Platform::new(s)
+            .with_fast_forward(FastForward::Off)
+            .execute_summary(&kernel, &run, fclock, None)
+            .unwrap();
+        prop_assert_eq!(fast, slow);
+    }
+}
