@@ -15,7 +15,7 @@ use fpga_sim::cache::{SimCache, SimSummary};
 use fpga_sim::catalog;
 use fpga_sim::kernel::TabulatedKernel;
 use fpga_sim::pipeline::{PipelineSpec, StallModel};
-use fpga_sim::platform::{AppRun, BufferMode, Measurement, Platform};
+use fpga_sim::platform::{AppRun, BufferMode, ExecError, Measurement, Platform};
 use rat_core::quantity::Freq;
 use rat_core::resources::{device, ResourceEstimate, ResourceReport};
 
@@ -163,10 +163,15 @@ impl MdDesign {
     /// Execute on the simulated XD1000 at `fclock_hz` ("actual" column of
     /// Table 9).
     pub fn simulate(&self, fclock_hz: f64) -> Measurement {
-        let platform = Platform::new(catalog::xd1000());
-        platform
-            .execute(&self.kernel(), &self.app_run(), Freq::from_hz(fclock_hz))
+        self.try_simulate(fclock_hz)
             .expect("valid run by construction")
+    }
+
+    /// [`Self::simulate`], surfacing execution errors (e.g. a non-positive
+    /// clock from a user-supplied `--mhz`) instead of panicking.
+    pub fn try_simulate(&self, fclock_hz: f64) -> Result<Measurement, ExecError> {
+        let platform = Platform::new(catalog::xd1000());
+        platform.execute(&self.kernel(), &self.app_run(), Freq::from_hz(fclock_hz))
     }
 
     /// [`Self::simulate`] memoized through `cache`, returning the scalar

@@ -51,6 +51,12 @@ pub struct BenchRatio {
     pub speedup: f64,
 }
 
+/// Version of the JSON shape emitted by [`BenchReport::to_json`]. Bump when
+/// a field is renamed, retyped, or removed — adding scenarios or ratios is
+/// not a schema change. Checked-in `BENCH_<pr>.json` evidence files carry
+/// the version they were produced with.
+pub const SCHEMA_VERSION: u64 = 1;
+
 /// The full benchmark outcome: every scenario plus the derived ratios.
 #[derive(Debug, Clone)]
 pub struct BenchReport {
@@ -91,6 +97,7 @@ impl BenchReport {
     /// static identifier, so no escaping is needed).
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
+        out.push_str(&format!("  \"schema_version\": {SCHEMA_VERSION},\n"));
         out.push_str(&format!("  \"quick\": {},\n", self.quick));
         out.push_str("  \"scenarios\": [\n");
         for (i, s) in self.scenarios.iter().enumerate() {
@@ -192,6 +199,10 @@ pub fn run(quick: bool) -> BenchReport {
     } else {
         (10_000u64, 10_000usize, 30u32, 5u32, 200u32)
     };
+    // The fast-forwarded summary finishes in microseconds, so it (and its
+    // telemetry-enabled twin) need far more repetitions than the
+    // millisecond-scale scenarios for a stable per-rep figure.
+    let reps_sim_fast = if quick { 20u32 } else { 3_000u32 };
 
     // Scenario family 1: the 10k-iteration double-buffered summary run the
     // acceptance criteria name — fast-forward + NullSink vs the exhaustive
@@ -209,7 +220,13 @@ pub fn run(quick: bool) -> BenchReport {
     let fast = Platform::new(spec.clone());
     let slow = Platform::new(spec.clone()).with_fast_forward(FastForward::Off);
 
-    let t_summary_ff = time(reps_sim, || {
+    // The summary path finishes in microseconds, so the very first timed
+    // scenario would otherwise absorb process cold-start (page faults,
+    // frequency ramp) that dwarfs the effect measured. Warm it untimed.
+    for _ in 0..5 {
+        std::hint::black_box(fast.execute_summary(&kernel, &run, fclock, None).unwrap());
+    }
+    let t_summary_ff = time(reps_sim_fast, || {
         fast.execute_summary(&kernel, &run, fclock, None).unwrap()
     });
     let t_summary_exh = time(reps_sim, || {
@@ -242,6 +259,27 @@ pub fn run(quick: bool) -> BenchReport {
         uncertainty_cloning_baseline(&parallel, &input, &ranges, samples, 7)
     });
 
+    // Scenario family 2b: the observability layer's cost on the same summary
+    // run — identical work with the collector enabled (spans and counters
+    // recorded) next to `execute_summary_fast_forward`, whose path is the
+    // disabled one (a single relaxed atomic load per run). The *disabled*
+    // path's overhead vs pre-instrumentation builds is tracked across the
+    // checked-in BENCH_*.json files on that same scenario; see DESIGN.md §12.
+    let tel = rat_core::telemetry::global();
+    let was_enabled = tel.is_enabled();
+    if !was_enabled {
+        tel.enable();
+    }
+    let t_summary_tel = time(reps_sim_fast, || {
+        fast.execute_summary(&kernel, &run, fclock, None).unwrap()
+    });
+    if !was_enabled {
+        // Discard the spans this scenario recorded so a later `--metrics`
+        // drain in the same process doesn't include bench noise.
+        tel.disable();
+        let _ = tel.drain();
+    }
+
     // Scenario family 3: design-space exploration — two-phase gating with the
     // scalar speedup vs a full named report per corner.
     let space = DesignSpace {
@@ -258,7 +296,7 @@ pub fn run(quick: bool) -> BenchReport {
         BenchScenario {
             name: "execute_summary_fast_forward",
             work: iters,
-            reps: reps_sim,
+            reps: reps_sim_fast,
             total: t_summary_ff,
         },
         BenchScenario {
@@ -296,6 +334,12 @@ pub fn run(quick: bool) -> BenchReport {
             work: samples as u64,
             reps: reps_mc,
             total: t_mc_cloning_par,
+        },
+        BenchScenario {
+            name: "execute_summary_telemetry_enabled",
+            work: iters,
+            reps: reps_sim_fast,
+            total: t_summary_tel,
         },
         BenchScenario {
             name: "explore_two_phase",
@@ -340,6 +384,13 @@ pub fn run(quick: bool) -> BenchReport {
             name: "explore_two_phase_vs_eager",
             speedup: per_rep("explore_eager") / per_rep("explore_two_phase"),
         },
+        BenchRatio {
+            // >1 means enabling collection costs wall time; near 1 means the
+            // spans around the summary run are cheap relative to the work.
+            name: "execute_summary_telemetry_enabled_vs_disabled",
+            speedup: per_rep("execute_summary_telemetry_enabled")
+                / per_rep("execute_summary_fast_forward"),
+        },
     ];
     BenchReport {
         quick,
@@ -356,8 +407,8 @@ mod tests {
     fn quick_bench_reports_every_scenario_and_ratio() {
         let r = run(true);
         assert!(r.quick);
-        assert_eq!(r.scenarios.len(), 9);
-        assert_eq!(r.ratios.len(), 5);
+        assert_eq!(r.scenarios.len(), 10);
+        assert_eq!(r.ratios.len(), 6);
         for s in &r.scenarios {
             assert!(s.reps > 0, "{}", s.name);
         }

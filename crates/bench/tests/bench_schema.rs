@@ -1,0 +1,114 @@
+//! Golden test for the `rat bench --json` shape: the live report and every
+//! checked-in `BENCH_<pr>.json` evidence file must satisfy the same schema,
+//! versioned by `schema_version`. Adding scenarios or ratios is allowed
+//! (evidence files grow PR over PR); renaming, retyping, or removing a field
+//! is what the version pin exists to catch.
+
+use rat_bench::hotbench::{self, SCHEMA_VERSION};
+use rat_core::telemetry::json::{self, Json};
+
+/// Validate one bench report document against the v1 schema; returns the
+/// scenario names for content checks.
+fn assert_bench_schema(doc: &Json, what: &str) -> Vec<String> {
+    let version = doc
+        .get("schema_version")
+        .and_then(Json::as_f64)
+        .unwrap_or_else(|| panic!("{what}: missing numeric schema_version"));
+    assert_eq!(version as u64, SCHEMA_VERSION, "{what}: schema version");
+    assert!(
+        matches!(doc.get("quick"), Some(Json::Bool(_))),
+        "{what}: quick must be a bool"
+    );
+
+    let scenarios = doc
+        .get("scenarios")
+        .and_then(Json::as_array)
+        .unwrap_or_else(|| panic!("{what}: scenarios array"));
+    assert!(!scenarios.is_empty(), "{what}: at least one scenario");
+    let mut names = Vec::new();
+    for s in scenarios {
+        let name = s
+            .get("name")
+            .and_then(Json::as_str)
+            .unwrap_or_else(|| panic!("{what}: scenario name is a string: {s:?}"));
+        for field in ["work", "reps", "total_ns", "ns_per_rep"] {
+            let v = s
+                .get(field)
+                .and_then(Json::as_f64)
+                .unwrap_or_else(|| panic!("{what}: scenario {name} missing numeric {field}"));
+            assert!(v >= 0.0, "{what}: {name}.{field} nonnegative");
+        }
+        // ns_per_rep is derived; it must agree with total_ns / reps.
+        let total = s.get("total_ns").and_then(Json::as_f64).unwrap();
+        let reps = s.get("reps").and_then(Json::as_f64).unwrap().max(1.0);
+        let per_rep = s.get("ns_per_rep").and_then(Json::as_f64).unwrap();
+        assert!(
+            (per_rep - (total / reps).trunc()).abs() <= 1.0,
+            "{what}: {name} ns_per_rep {per_rep} inconsistent with total {total} / reps {reps}"
+        );
+        names.push(name.to_string());
+    }
+
+    let ratios = doc
+        .get("ratios")
+        .and_then(Json::as_array)
+        .unwrap_or_else(|| panic!("{what}: ratios array"));
+    assert!(!ratios.is_empty(), "{what}: at least one ratio");
+    for r in ratios {
+        let name = r
+            .get("name")
+            .and_then(Json::as_str)
+            .unwrap_or_else(|| panic!("{what}: ratio name is a string: {r:?}"));
+        let speedup = r
+            .get("speedup")
+            .and_then(Json::as_f64)
+            .unwrap_or_else(|| panic!("{what}: ratio {name} missing numeric speedup"));
+        assert!(
+            speedup.is_finite() && speedup > 0.0,
+            "{what}: ratio {name} speedup {speedup} must be finite and positive"
+        );
+    }
+    names
+}
+
+#[test]
+fn live_quick_report_satisfies_the_schema() {
+    let report = hotbench::run(true);
+    let doc = json::parse(&report.to_json()).expect("to_json emits valid JSON");
+    let names = assert_bench_schema(&doc, "live quick report");
+    for required in [
+        "execute_summary_fast_forward",
+        "execute_summary_telemetry_enabled",
+        "uncertainty_scalar",
+        "explore_two_phase",
+    ] {
+        assert!(
+            names.iter().any(|n| n == required),
+            "live report missing scenario {required}"
+        );
+    }
+}
+
+/// Every `BENCH_*.json` evidence file at the repo root parses and satisfies
+/// the schema its `schema_version` declares.
+#[test]
+fn checked_in_bench_evidence_satisfies_the_schema() {
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let mut found = 0usize;
+    for entry in std::fs::read_dir(root).expect("repo root readable") {
+        let entry = entry.expect("dir entry");
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if !(name.starts_with("BENCH_") && name.ends_with(".json")) {
+            continue;
+        }
+        let text = std::fs::read_to_string(entry.path()).expect("evidence file readable");
+        let doc = json::parse(&text).unwrap_or_else(|e| panic!("{name}: bad JSON: {e}"));
+        let names = assert_bench_schema(&doc, &name);
+        assert!(
+            names.iter().any(|n| n == "execute_summary_fast_forward"),
+            "{name}: evidence must include the acceptance-criteria summary scenario"
+        );
+        found += 1;
+    }
+    assert!(found >= 1, "no BENCH_*.json evidence files found at {root}");
+}

@@ -18,6 +18,7 @@ use rat_core::engine::{Engine, EngineConfig};
 use rat_core::params::RatInput;
 use rat_core::quantity::Freq;
 use rat_core::sweep::SweepParam;
+use rat_core::telemetry;
 use rat_core::worksheet::Worksheet;
 use rat_core::RatError;
 
@@ -54,6 +55,25 @@ enum CliError {
     },
     /// The model pipeline rejected the inputs or failed while running.
     Rat(RatError),
+    /// A model-pipeline error with CLI-level context (what the CLI was doing
+    /// when it failed). The underlying [`RatError`] stays on the source chain
+    /// — and keeps determining the exit code — so `caused by:` rendering
+    /// shows both layers.
+    Context {
+        /// What the CLI was attempting.
+        context: String,
+        /// The pipeline failure underneath.
+        source: RatError,
+    },
+    /// The `RAT_SIM_CACHE` persistence path cannot be opened for writing.
+    /// Surfaced up front (before any simulation) instead of silently losing
+    /// cache writes at the end of the run.
+    CacheEnv {
+        /// The path `RAT_SIM_CACHE` named.
+        path: String,
+        /// Underlying filesystem error, rendered via the source chain.
+        source: std::io::Error,
+    },
 }
 
 impl CliError {
@@ -65,12 +85,14 @@ impl CliError {
     fn exit_code(&self) -> u8 {
         match self {
             CliError::Usage(_) => 2,
-            CliError::Parse { .. }
-            | CliError::Rat(RatError::InvalidParameter(_))
-            | CliError::Rat(RatError::InvalidQuantity { .. }) => 3,
-            CliError::Rat(RatError::Infeasible(_)) => 4,
-            CliError::Rat(RatError::Simulation(_)) => 5,
-            CliError::Rat(RatError::CacheIo(_)) | CliError::Io { .. } => 6,
+            CliError::Parse { .. } => 3,
+            CliError::Rat(e) | CliError::Context { source: e, .. } => match e {
+                RatError::InvalidParameter(_) | RatError::InvalidQuantity { .. } => 3,
+                RatError::Infeasible(_) => 4,
+                RatError::Simulation(_) => 5,
+                RatError::CacheIo(_) => 6,
+            },
+            CliError::Io { .. } | CliError::CacheEnv { .. } => 6,
         }
     }
 }
@@ -82,6 +104,10 @@ impl std::fmt::Display for CliError {
             CliError::Io { path, .. } => write!(f, "reading {path}"),
             CliError::Parse { path, message } => write!(f, "parsing {path}: {message}"),
             CliError::Rat(e) => write!(f, "{e}"),
+            CliError::Context { context, .. } => write!(f, "{context}"),
+            CliError::CacheEnv { path, .. } => {
+                write!(f, "opening simulator cache (RAT_SIM_CACHE) at {path}")
+            }
         }
     }
 }
@@ -89,7 +115,8 @@ impl std::fmt::Display for CliError {
 impl std::error::Error for CliError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            CliError::Io { source, .. } => Some(source),
+            CliError::Io { source, .. } | CliError::CacheEnv { source, .. } => Some(source),
+            CliError::Context { source, .. } => Some(source),
             _ => None,
         }
     }
@@ -103,37 +130,114 @@ impl From<RatError> for CliError {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let (config, no_cache, rest) = match parse_global_flags(&args) {
+    let flags = match parse_global_flags(&args) {
         Ok(v) => v,
         Err(err) => {
-            eprintln!("error: {err}");
-            eprintln!("run `rat help` for usage");
+            report_error(&err);
             return ExitCode::from(err.exit_code());
         }
     };
-    if no_cache {
+    if let Err(err) = preflight_cache_env() {
+        report_error(&err);
+        return ExitCode::from(err.exit_code());
+    }
+    if flags.no_cache {
         fpga_sim::SimCache::global().set_enabled(false);
     }
-    let engine = Engine::new(config);
-    match dispatch(&engine, &rest) {
+    let telemetry_on = flags.metrics || flags.profile.is_some();
+    if telemetry_on {
+        telemetry::global().enable();
+    }
+    let engine = Engine::new(flags.config);
+    let result = {
+        let command = flags
+            .rest
+            .first()
+            .cloned()
+            .unwrap_or_else(|| "help".to_string());
+        let _run_span = telemetry::span_args(
+            "rat.run",
+            vec![("command", telemetry::ArgValue::Str(command))],
+        );
+        dispatch(&engine, &flags.rest)
+    };
+    let code = match result {
         Ok(output) => {
             println!("{output}");
             report_engine_stats(&engine);
             ExitCode::SUCCESS
         }
         Err(err) => {
-            eprintln!("error: {err}");
-            let mut source = std::error::Error::source(&err);
-            while let Some(cause) = source {
-                eprintln!("  caused by: {cause}");
-                source = cause.source();
-            }
-            if matches!(err, CliError::Usage(_)) {
-                eprintln!("run `rat help` for usage");
-            }
+            report_error(&err);
             ExitCode::from(err.exit_code())
         }
+    };
+    if telemetry_on {
+        if let Err(err) = emit_telemetry(flags.metrics, flags.profile.as_deref()) {
+            report_error(&err);
+            // Preserve the dispatch failure's code if there was one;
+            // otherwise the telemetry I/O failure becomes the exit code.
+            if code == ExitCode::SUCCESS {
+                return ExitCode::from(err.exit_code());
+            }
+        }
     }
+    code
+}
+
+/// Render an error (and its full `caused by:` source chain) on stderr.
+fn report_error(err: &CliError) {
+    eprintln!("error: {err}");
+    let mut source = std::error::Error::source(err);
+    while let Some(cause) = source {
+        eprintln!("  caused by: {cause}");
+        source = cause.source();
+    }
+    if matches!(err, CliError::Usage(_)) {
+        eprintln!("run `rat help` for usage");
+    }
+}
+
+/// Fail fast if `RAT_SIM_CACHE` names a persistence path that cannot be
+/// opened for appending: `SimCache::insert` deliberately ignores write
+/// failures mid-run (losing cache persistence must never corrupt results),
+/// so an unusable path is reported here, before any simulation runs.
+fn preflight_cache_env() -> Result<(), CliError> {
+    let Ok(path) = std::env::var("RAT_SIM_CACHE") else {
+        return Ok(());
+    };
+    if path.is_empty() || path == "off" || path == "0" {
+        return Ok(());
+    }
+    std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .map(drop)
+        .map_err(|source| CliError::CacheEnv { path, source })
+}
+
+/// Drain the global telemetry collector and emit what the flags asked for:
+/// the tree summary on stderr (`--metrics`; stdout stays byte-identical to
+/// an uninstrumented run) and/or the chrome-trace JSON file (`--profile`).
+fn emit_telemetry(metrics: bool, profile: Option<&str>) -> Result<(), CliError> {
+    // Bridge simulator-cache statistics into the typed metrics at drain
+    // time: the cache keeps its own counters (it predates telemetry and is
+    // also used without it), so they are copied rather than double-counted.
+    let cache = fpga_sim::SimCache::global().stats();
+    telemetry::add(telemetry::Metric::CacheHits, cache.hits);
+    telemetry::add(telemetry::Metric::CacheMisses, cache.misses);
+    let profile_data = telemetry::global().drain();
+    if metrics {
+        eprint!("{}", profile_data.render_tree());
+    }
+    if let Some(path) = profile {
+        std::fs::write(path, profile_data.to_chrome_json()).map_err(|source| CliError::Io {
+            path: path.to_string(),
+            source,
+        })?;
+    }
+    Ok(())
 }
 
 /// Engine and cache counters go to stderr so stdout stays byte-identical
@@ -154,46 +258,80 @@ fn report_engine_stats(engine: &Engine) {
     }
 }
 
-/// Strip the global `--jobs N` / `--jobs=N` / `--no-cache` flags from the
-/// argument list, returning the engine configuration, whether the simulator
-/// cache should be disabled, and the remaining (command) arguments.
-fn parse_global_flags(args: &[String]) -> Result<(EngineConfig, bool, Vec<String>), CliError> {
-    let mut config = EngineConfig::default();
-    let mut no_cache = false;
-    let mut rest = Vec::new();
+/// The global flags every command accepts, stripped from the argument list.
+struct GlobalFlags {
+    /// Engine configuration (`--jobs`).
+    config: EngineConfig,
+    /// Disable the memoized simulator cache (`--no-cache`).
+    no_cache: bool,
+    /// Print the telemetry tree summary on stderr (`--metrics`).
+    metrics: bool,
+    /// Write a chrome-trace JSON profile to this path (`--profile <path>`).
+    profile: Option<String>,
+    /// Remaining (command) arguments.
+    rest: Vec<String>,
+}
+
+/// Strip the global `--jobs N` / `--jobs=N` / `--no-cache` / `--metrics` /
+/// `--profile <path.json>` flags from the argument list, returning them plus
+/// the remaining (command) arguments.
+fn parse_global_flags(args: &[String]) -> Result<GlobalFlags, CliError> {
+    let mut flags = GlobalFlags {
+        config: EngineConfig::default(),
+        no_cache: false,
+        metrics: false,
+        profile: None,
+        rest: Vec::new(),
+    };
     let mut it = args.iter();
     while let Some(a) = it.next() {
         if a == "--jobs" {
             let n = it
                 .next()
                 .ok_or_else(|| CliError::usage("--jobs needs a thread count"))?;
-            config = config.with_jobs(
+            flags.config = flags.config.with_jobs(
                 n.parse()
                     .map_err(|e| CliError::usage(format!("bad --jobs value '{n}': {e}")))?,
             );
         } else if let Some(n) = a.strip_prefix("--jobs=") {
-            config = config.with_jobs(
+            flags.config = flags.config.with_jobs(
                 n.parse()
                     .map_err(|e| CliError::usage(format!("bad --jobs value '{n}': {e}")))?,
             );
         } else if a == "--no-cache" {
-            no_cache = true;
-            config = config.with_cache(false);
+            flags.no_cache = true;
+            flags.config = flags.config.with_cache(false);
+        } else if a == "--metrics" {
+            flags.metrics = true;
+        } else if a == "--profile" {
+            let p = it
+                .next()
+                .ok_or_else(|| CliError::usage("--profile needs an output path"))?;
+            flags.profile = Some(p.clone());
+        } else if let Some(p) = a.strip_prefix("--profile=") {
+            if p.is_empty() {
+                return Err(CliError::usage("--profile needs an output path"));
+            }
+            flags.profile = Some(p.to_string());
         } else {
-            rest.push(a.clone());
+            flags.rest.push(a.clone());
         }
     }
-    Ok((config, no_cache, rest))
+    Ok(flags)
 }
 
 /// Test-facing entry point: parse global flags, build the engine, dispatch.
+/// Telemetry flags are parsed but not enabled here — the global collector is
+/// process-wide, and in-process tests must not leak spans into each other;
+/// the end-to-end flag behavior is covered by `tests/cli_binary.rs`.
 #[cfg(test)]
 fn run(args: &[String]) -> Result<String, CliError> {
-    let (config, no_cache, rest) = parse_global_flags(args)?;
-    if no_cache {
+    let flags = parse_global_flags(args)?;
+    preflight_cache_env()?;
+    if flags.no_cache {
         fpga_sim::SimCache::global().set_enabled(false);
     }
-    dispatch(&Engine::new(config), &rest)
+    dispatch(&Engine::new(flags.config), &flags.rest)
 }
 
 fn dispatch(engine: &Engine, args: &[String]) -> Result<String, CliError> {
@@ -221,13 +359,19 @@ fn dispatch(engine: &Engine, args: &[String]) -> Result<String, CliError> {
             Ok(out)
         }
         "solve" => {
-            let input = load_worksheet(args.get(1))?;
-            let target: f64 = args
-                .get(2)
+            let strict = args.iter().any(|a| a == "--strict");
+            let pos: Vec<&String> = args[1..].iter().filter(|a| *a != "--strict").collect();
+            let input = load_worksheet(pos.first().copied())?;
+            let target: f64 = pos
+                .get(1)
                 .ok_or_else(|| CliError::usage("solve needs a target speedup"))?
                 .parse()
                 .map_err(|e| CliError::usage(format!("bad target speedup: {e}")))?;
-            Ok(render_solve(&input, target))
+            if strict {
+                render_solve_strict(&input, target)
+            } else {
+                Ok(render_solve(&input, target))
+            }
         }
         "sweep" => {
             let input = load_worksheet(args.get(1))?;
@@ -343,33 +487,46 @@ fn dispatch(engine: &Engine, args: &[String]) -> Result<String, CliError> {
             }
         }
         "trace" => {
-            let (measurement, t_soft, fclk) = match args.get(1).map(String::as_str) {
-                Some("pdf1d") => (
-                    rat_apps::pdf::pdf1d::design().simulate(150.0e6),
-                    rat_apps::pdf::pdf1d::T_SOFT,
-                    150.0e6,
-                ),
-                Some("pdf2d") => (
-                    rat_apps::pdf::pdf2d::design().simulate(150.0e6),
-                    rat_apps::pdf::pdf2d::T_SOFT,
-                    150.0e6,
-                ),
-                Some("md") => (
-                    rat_apps::md::hw::MdDesign::paper_scale_analytic().simulate(100.0e6),
-                    rat_apps::md::rat::T_SOFT,
-                    100.0e6,
-                ),
-                Some("sort") => (
-                    rat_apps::sort::rat::design().simulate(150.0e6),
-                    rat_apps::sort::rat::T_SOFT,
-                    150.0e6,
-                ),
+            let app = args.get(1).map(String::as_str);
+            // Optional `--mhz <v>` overrides the case study's tuned clock; the
+            // override is user input, so simulator rejections (e.g. a zero or
+            // negative clock) surface as exit-code-5 errors with context
+            // rather than panics.
+            let mut mhz_override = None;
+            let mut it = args.iter().skip(2);
+            while let Some(a) = it.next() {
+                if a == "--mhz" {
+                    let v = it
+                        .next()
+                        .ok_or_else(|| CliError::usage("--mhz needs a frequency in MHz"))?;
+                    mhz_override = Some(
+                        v.parse::<f64>()
+                            .map_err(|e| CliError::usage(format!("bad --mhz value '{v}': {e}")))?,
+                    );
+                }
+            }
+            let (name, default_hz, t_soft) = match app {
+                Some("pdf1d") => ("pdf1d", 150.0e6, rat_apps::pdf::pdf1d::T_SOFT),
+                Some("pdf2d") => ("pdf2d", 150.0e6, rat_apps::pdf::pdf2d::T_SOFT),
+                Some("md") => ("md", 100.0e6, rat_apps::md::rat::T_SOFT),
+                Some("sort") => ("sort", 150.0e6, rat_apps::sort::rat::T_SOFT),
                 other => {
                     return Err(CliError::usage(format!(
                         "trace needs a case study (pdf1d|pdf2d|md|sort), got {other:?}"
                     )))
                 }
             };
+            let fclk = mhz_override.map_or(default_hz, |mhz| mhz * 1.0e6);
+            let measurement = match name {
+                "pdf1d" => rat_apps::pdf::pdf1d::design().try_simulate(fclk),
+                "pdf2d" => rat_apps::pdf::pdf2d::design().try_simulate(fclk),
+                "md" => rat_apps::md::hw::MdDesign::paper_scale_analytic().try_simulate(fclk),
+                _ => rat_apps::sort::rat::design().try_simulate(fclk),
+            }
+            .map_err(|e| CliError::Context {
+                context: format!("simulating {name} at {:.1} MHz", fclk / 1.0e6),
+                source: e.into(),
+            })?;
             let csv = args.iter().any(|a| a == "--csv");
             if csv {
                 Ok(measurement.trace.to_csv())
@@ -451,7 +608,9 @@ fn usage() -> String {
 USAGE:
   rat analyze <worksheet.toml> [--markdown] run the RAT worksheet, print the report
   rat clocks <worksheet.toml> <MHz>...      analyze the design at several clocks
-  rat solve <worksheet.toml> <speedup>      required throughput_proc / fclock / alpha
+  rat solve <worksheet.toml> <speedup> [--strict]
+                                            required throughput_proc / fclock / alpha
+                                            (--strict: infeasible targets exit 4)
   rat sweep <worksheet.toml> <param> <v>... sweep one parameter
                                             (fclock|alpha-write|alpha-read|alpha|
                                              throughput-proc|ops-per-element|
@@ -461,7 +620,8 @@ USAGE:
   rat streaming <worksheet.toml> [half|full] streaming-mode throughput analysis
   rat uncertainty <ws.toml> <p> <lo> <hi>.. Monte-Carlo speedup distribution
   rat microbench <nallatech|xd1000|pcie>    derive alpha(size) like the paper's Sec 4.2
-  rat trace <pdf1d|pdf2d|md|sort> [--csv]   simulate a case study, dump trace/Gantt
+  rat trace <pdf1d|pdf2d|md|sort> [--csv] [--mhz V]
+                                            simulate a case study, dump trace/Gantt
   rat devices                               list the FPGA device catalog
   rat compare <ws1.toml> <ws2.toml>...      rank candidate designs
   rat breakeven <ws.toml> <hours> <runs/day> development-vs-savings break-even
@@ -474,9 +634,13 @@ GLOBAL OPTIONS (any command):
   --jobs N     run analysis jobs on N threads (0 = auto; results are
                bit-identical at every thread count)
   --no-cache   disable the memoized simulator-run cache
+  --metrics    print a wall-clock span tree + typed counters on stderr
+  --profile P  write a Chrome trace_event JSON profile to P
+               (load in chrome://tracing or https://ui.perfetto.dev)
 
 Engine and cache counters are reported on stderr; stdout carries only the
-analysis output and is byte-identical across --jobs settings.
+analysis output and is byte-identical across --jobs settings and with or
+without --metrics/--profile.
 "
     .to_string()
 }
@@ -556,6 +720,31 @@ fn render_solve(input: &RatInput, target: f64) -> String {
         Err(e) => out.push_str(&format!("  ceiling: {e}\n")),
     }
     out
+}
+
+/// `rat solve --strict`: any infeasible sub-solve is a hard error (exit
+/// code 4) instead of an inline annotation, so scripts driving the inverse
+/// solver can branch on feasibility. The [`CliError::Context`] wrapper keeps
+/// the underlying [`RatError`] on the source chain for `caused by:`
+/// rendering while naming what the CLI was doing.
+fn render_solve_strict(input: &RatInput, target: f64) -> Result<String, CliError> {
+    let wrap = |source: RatError| CliError::Context {
+        context: format!("solving '{}' for {target}x speedup", input.name),
+        source,
+    };
+    let tp = rat_core::solve::required_throughput_proc(input, target).map_err(wrap)?;
+    let fclk = rat_core::solve::required_fclock(input, target).map_err(wrap)?;
+    let alpha = rat_core::solve::required_alpha_scale(input, target).map_err(wrap)?;
+    let ceiling = rat_core::solve::max_speedup(input).map_err(wrap)?;
+    Ok(format!(
+        "Inverse solve for {target}x speedup on '{}':\n\
+         \x20 required throughput_proc: {tp:.1} ops/cycle\n\
+         \x20 required f_clock:         {:.1} MHz\n\
+         \x20 required alpha scale:     {alpha:.2}x current\n\
+         \x20 speedup ceiling (comm-bound wall): {ceiling:.1}x\n",
+        input.name,
+        fclk.mhz(),
+    ))
 }
 
 fn example_worksheet() -> String {

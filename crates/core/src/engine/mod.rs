@@ -28,6 +28,7 @@ pub use config::EngineConfig;
 pub use counters::{EngineCounters, EngineStats};
 pub use stream::job_rng;
 
+use crate::telemetry::{self, ArgValue, Metric};
 use rand_chacha::ChaCha8Rng;
 use rayon::prelude::*;
 use rayon::{ThreadPool, ThreadPoolBuilder};
@@ -80,8 +81,52 @@ impl Engine {
     {
         let started = Instant::now();
         let counters = &self.counters;
+        // Capture the caller's span path once so `engine.job` spans recorded
+        // on pool worker threads nest under the phase that spawned the batch
+        // (sweep, uncertainty, ...) instead of floating at top level.
+        let collect = telemetry::enabled();
+        // The job kind is the phase that spawned the batch (sweep,
+        // uncertainty, ...) — the innermost span open *before* the batch span
+        // itself is pushed.
+        let kind = telemetry::global()
+            .current_path_prefix()
+            .trim_end_matches('/')
+            .rsplit('/')
+            .next()
+            .filter(|s| !s.is_empty())
+            .unwrap_or("adhoc")
+            .to_string();
+        let batch_span = if collect {
+            Some(telemetry::span_args(
+                "engine.batch",
+                vec![("jobs", ArgValue::U64(n as u64))],
+            ))
+        } else {
+            None
+        };
+        let parent = telemetry::global().current_path_prefix();
         let timed = |i: usize| {
             let job_started = Instant::now();
+            // Re-root only on detached pool threads: when a job runs inline
+            // on the spawning thread (jobs = 1), its span already nests
+            // under the batch span via that thread's local stack, and
+            // installing the prefix would double the path.
+            let _prefix = if collect && telemetry::global().current_path_prefix().is_empty() {
+                Some(telemetry::global().scoped_prefix(&parent))
+            } else {
+                None
+            };
+            let _span = if collect {
+                Some(telemetry::span_args(
+                    "engine.job",
+                    vec![
+                        ("job", ArgValue::U64(i as u64)),
+                        ("kind", ArgValue::Str(kind.clone())),
+                    ],
+                ))
+            } else {
+                None
+            };
             let out = f(i);
             counters.record_job(job_started.elapsed());
             out
@@ -89,6 +134,11 @@ impl Engine {
         let results = self
             .pool
             .install(|| (0..n).into_par_iter().map(timed).collect());
+        if collect {
+            telemetry::add(Metric::EngineJobs, n as u64);
+            telemetry::add(Metric::EngineBatches, 1);
+        }
+        drop(batch_span);
         self.counters.record_batch(started.elapsed());
         results
     }

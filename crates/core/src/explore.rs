@@ -192,6 +192,7 @@ impl Exploration {
 /// named [`Report`]. `speedup_only` is bit-identical to the report pipeline's
 /// speedup, so the partition is exactly what the one-phase version computed.
 pub fn explore(space: &DesignSpace, min_speedup: f64) -> Result<Exploration, RatError> {
+    let _span = crate::telemetry::span("explore");
     if !(min_speedup.is_finite() && min_speedup > 0.0) {
         return Err(RatError::param(format!(
             "min_speedup must be positive, got {min_speedup}"

@@ -78,6 +78,7 @@ pub mod solve;
 pub mod streaming;
 pub mod sweep;
 pub mod table;
+pub mod telemetry;
 pub mod throughput;
 pub mod uncertainty;
 pub mod utilization;

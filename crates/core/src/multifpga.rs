@@ -132,6 +132,7 @@ pub fn scaling_curve_with(
     input: &RatInput,
     max_devices: u32,
 ) -> Result<ScalingCurve, RatError> {
+    let _span = crate::telemetry::span("multi-fpga");
     let n = max_devices.max(1) as usize;
     let points = engine.try_run(n, |i| analyze(input, i as u32 + 1))?;
     Ok(ScalingCurve { points })

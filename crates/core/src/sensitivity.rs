@@ -72,6 +72,7 @@ pub fn analyze(input: &RatInput) -> Result<SensitivityReport, RatError> {
 /// independent job on `engine`. The rank sort is stable over the fixed scan
 /// order, so ties break identically at every thread count.
 pub fn analyze_with(engine: &Engine, input: &RatInput) -> Result<SensitivityReport, RatError> {
+    let _span = crate::telemetry::span("sensitivity");
     let mut entries = engine.try_run(SCANNED_PARAMS.len(), |i| {
         let param = SCANNED_PARAMS[i];
         Ok(Sensitivity {

@@ -83,6 +83,7 @@ fn comp_budget(input: &RatInput, target_speedup: f64) -> Result<Seconds, RatErro
 /// Solve for the `throughput_proc` (ops/cycle) required to reach
 /// `target_speedup`, holding everything else fixed.
 pub fn required_throughput_proc(input: &RatInput, target_speedup: f64) -> Result<f64, RatError> {
+    let _span = crate::telemetry::span("solve.throughput_proc");
     input.validate()?;
     let budget = comp_budget(input, target_speedup)?;
     let total_ops = input.dataset.elements_in as f64 * input.comp.ops_per_element;
@@ -92,6 +93,7 @@ pub fn required_throughput_proc(input: &RatInput, target_speedup: f64) -> Result
 /// Solve for the clock frequency required to reach `target_speedup`, holding
 /// everything else fixed.
 pub fn required_fclock(input: &RatInput, target_speedup: f64) -> Result<Freq, RatError> {
+    let _span = crate::telemetry::span("solve.fclock");
     input.validate()?;
     let budget = comp_budget(input, target_speedup)?;
     let total_ops = input.dataset.elements_in as f64 * input.comp.ops_per_element;
@@ -107,6 +109,7 @@ pub fn required_fclock(input: &RatInput, target_speedup: f64) -> Result<Freq, Ra
 /// exceeds the budget (no interconnect can help), and notes when `k > 1/alpha`
 /// would push an alpha past 1 (physically unreachable).
 pub fn required_alpha_scale(input: &RatInput, target_speedup: f64) -> Result<f64, RatError> {
+    let _span = crate::telemetry::span("solve.alpha");
     input.validate()?;
     let budget = iter_budget(input, target_speedup)?;
     let comp = throughput::t_comp(input);
@@ -146,6 +149,7 @@ pub fn required_alpha_scale(input: &RatInput, target_speedup: f64) -> Result<f64
 /// observation that the channel is "only a single resource" makes this the
 /// hard wall of any design on the platform.
 pub fn max_speedup(input: &RatInput) -> Result<f64, RatError> {
+    let _span = crate::telemetry::span("solve.ceiling");
     input.validate()?;
     let comm = throughput::t_comm(input);
     Ok(input.software.t_soft / (input.software.iterations as f64 * comm))

@@ -175,6 +175,7 @@ pub fn sweep_with(
     param: SweepParam,
     values: &[f64],
 ) -> Result<SweepResult, RatError> {
+    let _span = crate::telemetry::span("sweep");
     let points = engine.try_run(values.len(), |i| {
         let v = values[i];
         let report = Worksheet::new(param.apply(input, v)).analyze()?;

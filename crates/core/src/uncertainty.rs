@@ -113,6 +113,7 @@ pub fn propagate_with(
     samples: usize,
     seed: u64,
 ) -> Result<UncertaintyReport, RatError> {
+    let _span = crate::telemetry::span("uncertainty");
     input.validate()?;
     if samples == 0 {
         return Err(RatError::param("need at least one Monte-Carlo sample"));
@@ -150,6 +151,7 @@ pub fn propagate_with(
         }
         Ok(out)
     })?;
+    crate::telemetry::add(crate::telemetry::Metric::McSamples, samples as u64);
     let mut speedups: Vec<f64> = Vec::with_capacity(samples);
     for chunk in &per_chunk {
         speedups.extend_from_slice(chunk);

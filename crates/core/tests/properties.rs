@@ -179,27 +179,7 @@ proptest! {
     /// communication wall.
     #[test]
     fn multifpga_scaling_laws(input in worksheet(), max_m in 2u32..24) {
-        let curve = multifpga::scaling_curve(&input, max_m).unwrap();
-        for w in curve.points.windows(2) {
-            prop_assert!(w[1].speedup >= w[0].speedup * (1.0 - 1e-12));
-        }
-        for p in &curve.points {
-            prop_assert!(p.efficiency > 0.0 && p.efficiency <= 1.0 + 1e-12);
-        }
-        let wall = solve::max_speedup(&input).unwrap();
-        prop_assert!(curve.points.last().unwrap().speedup <= wall * (1.0 + 1e-12));
-        // At (and beyond) the computed saturation point, the curve sits on the
-        // wall exactly. Extremely compute-bound corners can saturate past
-        // u32::MAX devices; clamp and only assert the wall when reachable.
-        let sat = multifpga::saturating_devices(&input).unwrap();
-        if let Some(past) = sat.checked_mul(2) {
-            let at_wall = multifpga::analyze(&input, past).unwrap();
-            prop_assert!(
-                (at_wall.speedup - wall).abs() / wall < 1e-9,
-                "at {past} devices: {} vs wall {wall}",
-                at_wall.speedup
-            );
-        }
+        check_multifpga_scaling_laws(&input, max_m);
     }
 
     /// Streaming: the sustained rate is the min of channel and compute rates,
@@ -224,12 +204,131 @@ proptest! {
     /// single buffering (t_RC is 1-homogeneous in the two rates).
     #[test]
     fn elasticity_homogeneity(mut input in worksheet()) {
-        input.buffering = Buffering::Single;
-        // Keep alphas step-safe (the elasticity probe nudges by ±1e-4).
-        input.comm.alpha_write = input.comm.alpha_write.min(0.999);
-        input.comm.alpha_read = input.comm.alpha_read.min(0.999);
-        let ef = rat_core::sensitivity::elasticity(&input, SweepParam::Fclock, 1e-4).unwrap();
-        let ea = rat_core::sensitivity::elasticity(&input, SweepParam::AlphaBoth, 1e-4).unwrap();
-        prop_assert!((ef + ea - 1.0).abs() < 1e-3, "ef {ef} + ea {ea} != 1");
+        check_elasticity_homogeneity(&mut input);
     }
+}
+
+/// Body of `multifpga_scaling_laws`, shared with the named regression test so
+/// the replayed corpus case runs exactly the code the property does.
+fn check_multifpga_scaling_laws(input: &RatInput, max_m: u32) {
+    let curve = multifpga::scaling_curve(input, max_m).unwrap();
+    for w in curve.points.windows(2) {
+        assert!(w[1].speedup >= w[0].speedup * (1.0 - 1e-12));
+    }
+    for p in &curve.points {
+        assert!(p.efficiency > 0.0 && p.efficiency <= 1.0 + 1e-12);
+    }
+    let wall = solve::max_speedup(input).unwrap();
+    assert!(curve.points.last().unwrap().speedup <= wall * (1.0 + 1e-12));
+    // At (and beyond) the computed saturation point, the curve sits on the
+    // wall exactly. Extremely compute-bound corners can saturate past
+    // u32::MAX devices; clamp and only assert the wall when reachable.
+    let sat = multifpga::saturating_devices(input).unwrap();
+    if let Some(past) = sat.checked_mul(2) {
+        let at_wall = multifpga::analyze(input, past).unwrap();
+        assert!(
+            (at_wall.speedup - wall).abs() / wall < 1e-9,
+            "at {past} devices: {} vs wall {wall}",
+            at_wall.speedup
+        );
+    }
+}
+
+/// Body of `elasticity_homogeneity` (shared with the named regression test).
+fn check_elasticity_homogeneity(input: &mut RatInput) {
+    input.buffering = Buffering::Single;
+    // Keep alphas step-safe (the elasticity probe nudges by ±1e-4).
+    input.comm.alpha_write = input.comm.alpha_write.min(0.999);
+    input.comm.alpha_read = input.comm.alpha_read.min(0.999);
+    let ef = rat_core::sensitivity::elasticity(input, SweepParam::Fclock, 1e-4).unwrap();
+    let ea = rat_core::sensitivity::elasticity(input, SweepParam::AlphaBoth, 1e-4).unwrap();
+    assert!((ef + ea - 1.0).abs() < 1e-3, "ef {ef} + ea {ea} != 1");
+}
+
+/// Build the exact `RatInput` a shrunken corpus case recorded.
+#[allow(clippy::too_many_arguments)]
+fn corpus_input(
+    ein: u64,
+    eout: u64,
+    bpe: u64,
+    bw: f64,
+    aw: f64,
+    ar: f64,
+    ops: f64,
+    tp: f64,
+    fclock: f64,
+    t_soft: f64,
+    iters: u64,
+    buffering: Buffering,
+) -> RatInput {
+    RatInput {
+        name: "prop".into(),
+        dataset: DatasetParams {
+            elements_in: ein,
+            elements_out: eout,
+            bytes_per_element: bpe,
+        },
+        comm: CommParams {
+            ideal_bandwidth: Throughput::from_bytes_per_sec(bw),
+            alpha_write: aw,
+            alpha_read: ar,
+        },
+        comp: CompParams {
+            ops_per_element: ops,
+            throughput_proc: tp,
+            fclock: Freq::from_hz(fclock),
+        },
+        software: SoftwareParams {
+            t_soft: Seconds::new(t_soft),
+            iterations: iters,
+        },
+        buffering,
+    }
+}
+
+/// Replays the shrunken case formerly recorded as `properties.proptest-regressions`
+/// seed `1e9cac02…`: a one-element worksheet at the minimum alpha_write
+/// (0.01) with throughput_proc = 0.1 — the elasticity probe's ±1e-4 nudge
+/// once broke homogeneity at this corner. The corpus file is gone; this named
+/// test keeps the case reviewable.
+#[test]
+fn regression_elasticity_homogeneity_at_minimum_alpha_corner() {
+    let mut input = corpus_input(
+        1,
+        1,
+        2,
+        1.0e8,
+        0.01,
+        0.093_883_368_776_244_3,
+        1.0,
+        0.1,
+        1.0e7,
+        1.0e-3,
+        1,
+        Buffering::Single,
+    );
+    check_elasticity_homogeneity(&mut input);
+}
+
+/// Replays the shrunken case formerly recorded as `properties.proptest-regressions`
+/// seed `818d5fa6…`: an extremely compute-bound worksheet (488k ops/element
+/// at 0.1 ops/cycle) whose saturation point overflows practical device
+/// counts, with `max_m = 2` — the wall-convergence assertion once fired here.
+#[test]
+fn regression_multifpga_scaling_when_saturation_is_unreachable() {
+    let input = corpus_input(
+        15_704,
+        0,
+        1,
+        1.0e8,
+        0.682_634_285_374_654_8,
+        0.01,
+        488_635.728_456_773_33,
+        0.1,
+        1.0e7,
+        1.0e-3,
+        1,
+        Buffering::Single,
+    );
+    check_multifpga_scaling_laws(&input, 2);
 }

@@ -1,0 +1,91 @@
+//! Span-balance property of the telemetry collector under the real engine:
+//! after any instrumented workload drains, every span that opened has
+//! closed, intervals are well-formed, and child spans are bracketed by a
+//! span matching their parent path.
+//!
+//! The global collector is process-wide, so the thread-count cases run
+//! sequentially inside one `#[test]` rather than as separate tests that
+//! cargo would schedule concurrently.
+
+use rat_core::engine::{Engine, EngineConfig};
+use rat_core::telemetry::{self, SpanRecord};
+
+/// Check one drained profile for balance and nesting.
+fn assert_balanced(spans: &[SpanRecord], open_spans: usize, jobs: usize) {
+    assert_eq!(open_spans, 0, "unclosed spans at jobs={jobs}");
+    assert!(!spans.is_empty(), "no spans recorded at jobs={jobs}");
+    for s in spans {
+        assert!(
+            s.end_ns >= s.start_ns,
+            "span {} has end before start at jobs={jobs}",
+            s.path
+        );
+        // Every non-root span must sit inside some span whose path is its
+        // parent path — the interval bracketing that makes the chrome
+        // export render as a proper flame graph.
+        if let Some((parent_path, _)) = s.path.rsplit_once('/') {
+            let bracketed = spans
+                .iter()
+                .any(|p| p.path == parent_path && p.start_ns <= s.start_ns && p.end_ns >= s.end_ns);
+            assert!(
+                bracketed,
+                "span {} (tid {}) not bracketed by any '{}' span at jobs={jobs}",
+                s.path, s.tid, parent_path
+            );
+        }
+    }
+}
+
+#[test]
+fn engine_spans_balance_at_every_thread_count() {
+    let t = telemetry::global();
+    for jobs in [1usize, 2, 8] {
+        t.enable();
+        {
+            let _run = t.span("root");
+            let _phase = t.span("phase");
+            let engine = Engine::new(EngineConfig::default().with_jobs(jobs));
+            let results = engine.run(24, |i| {
+                // A tiny amount of real work so spans have nonzero extent.
+                (0..200u64).fold(i as u64, |acc, k| acc.wrapping_mul(31).wrapping_add(k))
+            });
+            assert_eq!(results.len(), 24);
+        }
+        let profile = t.drain();
+        assert_balanced(&profile.spans, profile.open_spans, jobs);
+
+        // The per-job spans really ran and were re-rooted under the phase
+        // that spawned them, whatever thread executed them.
+        let job_spans: Vec<_> = profile
+            .spans
+            .iter()
+            .filter(|s| s.name == "engine.job")
+            .collect();
+        assert_eq!(job_spans.len(), 24, "jobs={jobs}");
+        for s in &job_spans {
+            assert!(
+                s.path.starts_with("root/phase/engine.batch/"),
+                "job span path {} not rooted under the spawning phase (jobs={jobs})",
+                s.path
+            );
+        }
+    }
+
+    // Drain starts a fresh session: nothing from the runs above may leak
+    // into the next enable/drain cycle. (Same #[test] as the balance cases
+    // because the collector is process-global and cargo runs separate tests
+    // concurrently.)
+    t.enable();
+    {
+        let _s = t.span("once");
+    }
+    let first = t.drain();
+    assert!(first.spans.iter().any(|s| s.name == "once"));
+
+    t.enable();
+    let second = t.drain();
+    assert!(
+        second.spans.iter().all(|s| s.name != "once"),
+        "drain must not leak spans into the next session"
+    );
+}

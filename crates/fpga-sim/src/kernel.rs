@@ -58,6 +58,10 @@ pub trait HardwareKernel: Send + Sync {
 pub struct TabulatedKernel {
     name: String,
     cycles: Vec<u64>,
+    /// First index from which the (clamped) table is constant — computed once
+    /// here because `uniform_from` is consulted on *every* simulator run, and
+    /// an O(table) rescan per run dominated the fast-forwarded summary path.
+    uniform_from: u64,
 }
 
 impl TabulatedKernel {
@@ -69,9 +73,18 @@ impl TabulatedKernel {
             !cycles.is_empty(),
             "TabulatedKernel needs at least one cycle count"
         );
+        // The table clamps past its end, so the maximal constant suffix
+        // (including the implicit repetition of the last entry) starts where
+        // the entries stop varying. A fully uniform table reports batch 0.
+        let last = *cycles.last().expect("table is never empty");
+        let uniform_from = cycles
+            .iter()
+            .rposition(|&c| c != last)
+            .map_or(0, |i| (i + 1) as u64);
         Self {
             name: name.into(),
             cycles,
+            uniform_from,
         }
     }
 
@@ -107,13 +120,8 @@ impl HardwareKernel for TabulatedKernel {
         d.finish()
     }
 
-    // The table clamps past its end, so the maximal constant suffix (including
-    // the implicit repetition of the last entry) starts where the entries stop
-    // varying. A fully uniform table reports batch 0.
     fn uniform_from(&self) -> Option<u64> {
-        let last = *self.cycles.last().expect("table is never empty");
-        let varying = self.cycles.iter().rposition(|&c| c != last);
-        Some(varying.map_or(0, |i| (i + 1) as u64))
+        Some(self.uniform_from)
     }
 }
 

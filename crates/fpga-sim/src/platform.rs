@@ -24,6 +24,7 @@ use crate::queue::EventQueue;
 use crate::time::SimTime;
 use crate::trace::{FullTrace, NullSink, Resource, Trace, TraceSink};
 use rat_core::quantity::Freq;
+use rat_core::telemetry::{self, ArgValue, Metric};
 use rat_core::RatError;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
@@ -403,25 +404,89 @@ impl Platform {
         if run.parallel_kernels == 0 {
             return Err(ExecError::NoKernels);
         }
+        // The enabled flag is read once per run, then monomorphized away:
+        // with `TEL = false` every span guard below constant-folds to `None`,
+        // so the disabled path carries no drop glue or landing pads in the
+        // hot loop — measurably free, not just branch-predicted free.
+        if telemetry::enabled() {
+            self.execute_phases::<K, S, true>(kernel, run, fclock, sink)
+        } else {
+            self.execute_phases::<K, S, false>(kernel, run, fclock, sink)
+        }
+    }
+
+    /// The simulation body shared by the instrumented (`TEL = true`) and
+    /// bare (`TEL = false`) paths; results are bit-identical between the two.
+    fn execute_phases<K: HardwareKernel + ?Sized, S: TraceSink, const TEL: bool>(
+        &self,
+        kernel: &K,
+        run: &AppRun,
+        fclock: Freq,
+        sink: S,
+    ) -> Result<(SimSummary, S, u64), ExecError> {
+        let run_span = if TEL {
+            Some(telemetry::span_args(
+                "sim.run",
+                vec![("iterations", ArgValue::U64(run.iterations))],
+            ))
+        } else {
+            None
+        };
+        let setup_span = if TEL {
+            Some(telemetry::span("sim.setup"))
+        } else {
+            None
+        };
         let ff_from = match self.fast_forward {
             FastForward::Auto if !S::RECORDS => kernel.uniform_from(),
             _ => None,
         };
         let mut sim = Sim::new(&self.spec, kernel, run, fclock, sink, ff_from);
         sim.start();
+        drop(setup_span);
+        let loop_span = if TEL {
+            Some(telemetry::span("sim.event_loop"))
+        } else {
+            None
+        };
         let mut events = 0u64;
+        let mut queue_high_water = 0usize;
         while let Some((_, ev)) = sim.q.pop() {
             events += 1;
+            if TEL {
+                queue_high_water = queue_high_water.max(sim.q.len());
+            }
             // Sync completions are the periodicity anchor: every schedule has
             // exactly one per iteration, so probing there sees each candidate
             // period exactly once.
             let at_anchor = sim.ff_active() && matches!(ev, Ev::SyncDone { .. });
             sim.handle(ev);
             if at_anchor {
+                // Probe count is bounded (MAX_FF_CHECKPOINTS, then ff_done),
+                // so a span per probe stays cheap even on long runs.
+                let ff_span = if TEL {
+                    Some(telemetry::span("sim.fast_forward"))
+                } else {
+                    None
+                };
                 sim.try_fast_forward();
+                drop(ff_span);
             }
         }
+        drop(loop_span);
+        let teardown_span = if TEL {
+            Some(telemetry::span("sim.teardown"))
+        } else {
+            None
+        };
         let (summary, sink) = sim.finish();
+        drop(teardown_span);
+        if TEL {
+            telemetry::add(Metric::SimRuns, 1);
+            telemetry::add(Metric::SimEvents, events);
+            telemetry::gauge_max(Metric::QueueHighWater, queue_high_water as u64);
+        }
+        drop(run_span);
         Ok((summary, sink, events))
     }
 
@@ -935,6 +1000,8 @@ impl<'a, K: HardwareKernel + ?Sized, S: TraceSink> Sim<'a, K, S> {
             return; // would overflow the clock: simulate instead
         };
         let iter_shift = k * d_cd;
+        telemetry::add(Metric::FfJumps, 1);
+        telemetry::add(Metric::FfPeriodsSkipped, k);
         self.q.jump(offset, |ev| match ev {
             Ev::InputDone { iter, dur } => Ev::InputDone {
                 iter: iter + iter_shift,

@@ -160,6 +160,53 @@ impl Trace {
         out
     }
 
+    /// Export the trace as Chrome `trace_event` JSON, loadable in
+    /// `chrome://tracing` / Perfetto alongside host-side profiles: simulated
+    /// spans appear on `pid` [`rat_core::telemetry::chrome::PID_SIM`] with one `tid` lane per
+    /// resource (Comm = 1, Comp = 2, Host = 3), timestamps converted from
+    /// simulated picoseconds to the format's microseconds. Spans keep
+    /// recording order within each lane, so output is deterministic.
+    pub fn to_chrome_json(&self) -> String {
+        use rat_core::telemetry::chrome::{self, ChromeEvent};
+        use rat_core::telemetry::ArgValue;
+        let tid = |r: Resource| match r {
+            Resource::Comm => 1,
+            Resource::Comp => 2,
+            Resource::Host => 3,
+        };
+        let mut events: Vec<(u64, usize, ChromeEvent)> = self
+            .spans
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let lane = tid(s.resource);
+                (
+                    lane,
+                    i,
+                    ChromeEvent {
+                        name: if s.label.is_empty() {
+                            s.resource.row_label().to_string()
+                        } else {
+                            s.label.clone()
+                        },
+                        cat: "sim".to_string(),
+                        pid: chrome::PID_SIM,
+                        tid: lane,
+                        ts_us: s.start.as_ps() as f64 / 1e6,
+                        dur_us: s.duration().as_ps() as f64 / 1e6,
+                        args: vec![(
+                            "resource".to_string(),
+                            ArgValue::Str(s.resource.row_label().to_string()),
+                        )],
+                    },
+                )
+            })
+            .collect();
+        events.sort_by_key(|a| (a.0, a.1));
+        let events: Vec<ChromeEvent> = events.into_iter().map(|(_, _, e)| e).collect();
+        chrome::render_events(&events, &[])
+    }
+
     /// Channel-idle gaps between consecutive `Comm` spans longer than
     /// `threshold` — the "bubbles" a designer hunts when communication
     /// underperforms. Returns `(gap_start, gap_end)` pairs.
@@ -484,6 +531,24 @@ mod tests {
         assert_eq!(lines.len(), 3);
         assert_eq!(lines[1], "Comm,R1,0,5000000,5000000");
         assert!(lines[2].starts_with("Comp,C1,"));
+    }
+
+    #[test]
+    fn chrome_export_lanes_spans_by_resource() {
+        let mut t = Trace::new();
+        t.record(Resource::Comp, "C1", us(5), us(10));
+        t.record(Resource::Comm, "R1", us(0), us(5));
+        let json = t.to_chrome_json();
+        assert!(json.starts_with("{\"traceEvents\": ["));
+        assert!(json.contains("\"name\": \"R1\""), "{json}");
+        assert!(json.contains("\"name\": \"C1\""), "{json}");
+        assert!(json.contains("\"pid\": 2"), "{json}");
+        // Comm lane (tid 1) sorts before Comp lane (tid 2).
+        let r1 = json.find("\"R1\"").expect("R1");
+        let c1 = json.find("\"C1\"").expect("C1");
+        assert!(r1 < c1, "{json}");
+        // 5 us span → ts/dur in microseconds.
+        assert!(json.contains("\"ts\": 0.000, \"dur\": 5.000"), "{json}");
     }
 
     #[test]

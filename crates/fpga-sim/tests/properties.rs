@@ -23,6 +23,111 @@ fn bus(alpha_w: f64, alpha_r: f64, setup_ns: u64) -> Interconnect {
     }
 }
 
+/// Body of `schedule_invariants`, shared between the property and the named
+/// regression test so a replayed corpus case runs exactly the code the
+/// property does.
+fn check_schedule_invariants(
+    in_bytes: u64,
+    out_bytes: u64,
+    cycles: u64,
+    iters: u64,
+    kernels: u32,
+    api_ns: u64,
+    sync_ns: u64,
+) {
+    let spec = PlatformSpec {
+        name: "prop".into(),
+        interconnect: bus(0.8, 0.6, 500),
+        host: HostModel {
+            api_call_overhead: SimTime::from_ns(api_ns),
+            kernel_sync_overhead: SimTime::from_ns(sync_ns),
+        },
+        reconfiguration: SimTime::ZERO,
+    };
+    let platform = Platform::new(spec);
+    let kernel = TabulatedKernel::uniform("k", cycles, iters as usize);
+    let mk = |mode: BufferMode, k: u32| {
+        AppRun::builder()
+            .iterations(iters)
+            .elements_per_iter(1)
+            .input_bytes_per_iter(in_bytes)
+            .output_bytes_per_iter(out_bytes)
+            .buffer_mode(mode)
+            .parallel_kernels(k)
+            .build()
+    };
+    let sb = platform
+        .execute(&kernel, &mk(BufferMode::Single, 1), Freq::from_hz(1.0e8))
+        .unwrap();
+    let db = platform
+        .execute(&kernel, &mk(BufferMode::Double, 1), Freq::from_hz(1.0e8))
+        .unwrap();
+    let dbk = platform
+        .execute(
+            &kernel,
+            &mk(BufferMode::Double, kernels),
+            Freq::from_hz(1.0e8),
+        )
+        .unwrap();
+    assert!(db.total <= sb.total);
+    assert!(dbk.total <= db.total + SimTime::from_ns(1));
+    for m in [&sb, &db] {
+        assert!(m.total >= m.comm_busy);
+        assert!(m.total >= m.compute_busy);
+    }
+    for m in [&sb, &db, &dbk] {
+        assert!(m.total >= m.comm_busy);
+        assert_eq!(m.iterations, iters);
+    }
+    // With K parallel kernels the aggregate occupancy can exceed the
+    // makespan, but never by more than the unit count.
+    assert!(dbk.total.as_ps() as u128 * kernels as u128 >= dbk.compute_busy.as_ps() as u128);
+    assert_eq!(sb.comm_busy, db.comm_busy);
+    assert_eq!(sb.compute_busy, dbk.compute_busy);
+    // Trace accounting agrees with the measurement.
+    assert_eq!(sb.trace.busy(Resource::Comp), sb.compute_busy);
+    assert_eq!(sb.trace.busy(Resource::Comm), sb.comm_busy);
+}
+
+/// Body of `microbench_recovers_flat_alpha` (shared with the named
+/// regression test).
+fn check_microbench_recovers_flat_alpha(alpha: f64, setup: u64) {
+    let ic = bus(alpha, alpha, setup);
+    let large = fpga_sim::microbench::measure_alpha(&ic, 1 << 26);
+    assert!(large.alpha_write <= 1.0);
+    assert!(
+        (large.alpha_write - alpha).abs() / alpha < 0.01,
+        "derived {} vs true {alpha}",
+        large.alpha_write
+    );
+    // Picosecond rounding of tiny payload times can perturb the derived
+    // alpha by a few ppm; allow that noise.
+    let small = fpga_sim::microbench::measure_alpha(&ic, 64);
+    assert!(
+        small.alpha_write <= large.alpha_write * (1.0 + 1e-4),
+        "setup latency must not make small transfers look faster"
+    );
+}
+
+/// Replays the shrunken case formerly recorded as `properties.proptest-regressions`
+/// seed `a2ba50e2…`: a one-byte input with no output, two parallel kernels,
+/// and a zero-overhead host — the `dbk.total <= db.total + 1ns` bound once
+/// fired here. The corpus file is gone; this named test keeps the case
+/// reviewable.
+#[test]
+fn regression_schedule_invariants_two_kernels_one_byte_input() {
+    check_schedule_invariants(1, 0, 784, 6, 2, 0, 0);
+}
+
+/// Replays the shrunken case formerly recorded as `properties.proptest-regressions`
+/// seed `9dc7c729…`: a low-efficiency bus (alpha ≈ 0.134) with zero setup
+/// latency, where picosecond rounding once made a 64-byte transfer look
+/// faster than the asymptotic rate.
+#[test]
+fn regression_microbench_alpha_low_efficiency_zero_setup() {
+    check_microbench_recovers_flat_alpha(0.134_400_872_107_994_26, 0);
+}
+
 proptest! {
     /// SimTime cycle conversions round-trip.
     #[test]
@@ -109,66 +214,14 @@ proptest! {
         api_ns in 0u64..10_000,
         sync_ns in 0u64..10_000,
     ) {
-        let spec = PlatformSpec {
-            name: "prop".into(),
-            interconnect: bus(0.8, 0.6, 500),
-            host: HostModel {
-                api_call_overhead: SimTime::from_ns(api_ns),
-                kernel_sync_overhead: SimTime::from_ns(sync_ns),
-            },
-        reconfiguration: SimTime::ZERO,
-        };
-        let platform = Platform::new(spec);
-        let kernel = TabulatedKernel::uniform("k", cycles, iters as usize);
-        let mk = |mode: BufferMode, k: u32| {
-            AppRun::builder()
-                .iterations(iters)
-                .elements_per_iter(1)
-                .input_bytes_per_iter(in_bytes)
-                .output_bytes_per_iter(out_bytes)
-                .buffer_mode(mode)
-                .parallel_kernels(k)
-                .build()
-        };
-        let sb = platform.execute(&kernel, &mk(BufferMode::Single, 1), Freq::from_hz(1.0e8)).unwrap();
-        let db = platform.execute(&kernel, &mk(BufferMode::Double, 1), Freq::from_hz(1.0e8)).unwrap();
-        let dbk = platform.execute(&kernel, &mk(BufferMode::Double, kernels), Freq::from_hz(1.0e8)).unwrap();
-        prop_assert!(db.total <= sb.total);
-        prop_assert!(dbk.total <= db.total + SimTime::from_ns(1));
-        for m in [&sb, &db] {
-            prop_assert!(m.total >= m.comm_busy);
-            prop_assert!(m.total >= m.compute_busy);
-        }
-        for m in [&sb, &db, &dbk] {
-            prop_assert!(m.total >= m.comm_busy);
-            prop_assert_eq!(m.iterations, iters);
-        }
-        // With K parallel kernels the aggregate occupancy can exceed the
-        // makespan, but never by more than the unit count.
-        prop_assert!(
-            dbk.total.as_ps() as u128 * kernels as u128 >= dbk.compute_busy.as_ps() as u128
-        );
-        prop_assert_eq!(sb.comm_busy, db.comm_busy);
-        prop_assert_eq!(sb.compute_busy, dbk.compute_busy);
-        // Trace accounting agrees with the measurement.
-        prop_assert_eq!(sb.trace.busy(Resource::Comp), sb.compute_busy);
-        prop_assert_eq!(sb.trace.busy(Resource::Comm), sb.comm_busy);
+        check_schedule_invariants(in_bytes, out_bytes, cycles, iters, kernels, api_ns, sync_ns);
     }
 
     /// Microbenchmark-derived alpha reproduces a flat curve's efficiency in
     /// the large-transfer limit and never exceeds 1.
     #[test]
     fn microbench_recovers_flat_alpha(alpha in 0.05f64..1.0, setup in 0u64..10_000) {
-        let ic = bus(alpha, alpha, setup);
-        let large = fpga_sim::microbench::measure_alpha(&ic, 1 << 26);
-        prop_assert!(large.alpha_write <= 1.0);
-        prop_assert!((large.alpha_write - alpha).abs() / alpha < 0.01,
-            "derived {} vs true {alpha}", large.alpha_write);
-        // Picosecond rounding of tiny payload times can perturb the derived
-        // alpha by a few ppm; allow that noise.
-        let small = fpga_sim::microbench::measure_alpha(&ic, 64);
-        prop_assert!(small.alpha_write <= large.alpha_write * (1.0 + 1e-4),
-            "setup latency must not make small transfers look faster");
+        check_microbench_recovers_flat_alpha(alpha, setup);
     }
 
     /// The memoized execute path is transparent: a cold run (miss), a warm

@@ -20,14 +20,26 @@ fn worksheet(name: &str) -> String {
 }
 
 fn run_rat(args: &[&str]) -> (String, String, bool) {
-    let out = Command::new(rat_binary())
-        .args(args)
+    let (stdout, stderr, code) = run_rat_env(args, &[]);
+    (stdout, stderr, code == 0)
+}
+
+/// Spawn the binary with extra environment variables, returning the exact
+/// exit code (the CLI's error taxonomy maps failure classes to distinct
+/// codes; see DESIGN.md §10).
+fn run_rat_env(args: &[&str], env: &[(&str, &str)]) -> (String, String, i32) {
+    let mut cmd = Command::new(rat_binary());
+    cmd.args(args);
+    for (k, v) in env {
+        cmd.env(k, v);
+    }
+    let out = cmd
         .output()
         .expect("spawning the rat binary (build it with `cargo build -p rat-cli`)");
     (
         String::from_utf8_lossy(&out.stdout).into_owned(),
         String::from_utf8_lossy(&out.stderr).into_owned(),
-        out.status.success(),
+        out.status.code().expect("rat exited with a code"),
     )
 }
 
@@ -72,4 +84,56 @@ fn help_exits_zero() {
     let (stdout, _, ok) = run_rat(&["help"]);
     assert!(ok);
     assert!(stdout.contains("USAGE"));
+}
+
+// ---- exit-code taxonomy: one test per failure class, each asserting the
+// ---- `caused by:` source chain renders so the user sees both the CLI
+// ---- context and the underlying model error.
+
+#[test]
+fn infeasible_strict_solve_exits_4_with_cause_chain() {
+    // No design reaches a billionfold speedup: communication alone exceeds
+    // the per-iteration budget, so `solve --strict` must fail infeasible.
+    let (stdout, stderr, code) =
+        run_rat_env(&["solve", "--strict", &worksheet("pdf1d"), "1e9"], &[]);
+    assert_eq!(code, 4, "stdout: {stdout}\nstderr: {stderr}");
+    assert!(stderr.contains("error: solving"), "{stderr}");
+    assert!(stderr.contains("caused by: infeasible:"), "{stderr}");
+    // Without --strict the same target renders inline and exits 0.
+    let (stdout, _, code) = run_rat_env(&["solve", &worksheet("pdf1d"), "1e9"], &[]);
+    assert_eq!(code, 0);
+    assert!(stdout.contains("infeasible"), "{stdout}");
+}
+
+#[test]
+fn simulation_failure_exits_5_with_cause_chain() {
+    // A zero clock is user input the simulator rejects; the CLI must report
+    // what it was doing (context) plus the simulator's reason (cause).
+    let (_, stderr, code) = run_rat_env(&["trace", "pdf1d", "--mhz", "0"], &[]);
+    assert_eq!(code, 5, "stderr: {stderr}");
+    assert!(stderr.contains("error: simulating pdf1d"), "{stderr}");
+    assert!(stderr.contains("caused by: simulation failed:"), "{stderr}");
+}
+
+#[test]
+fn unwritable_cache_path_exits_6_with_cause_chain() {
+    // RAT_SIM_CACHE pointing into a nonexistent directory must fail up
+    // front (exit 6), not silently lose cache writes at the end of the run.
+    let (_, stderr, code) = run_rat_env(
+        &["analyze", &worksheet("pdf1d")],
+        &[("RAT_SIM_CACHE", "/nonexistent-rat-dir/cache.tsv")],
+    );
+    assert_eq!(code, 6, "stderr: {stderr}");
+    assert!(
+        stderr.contains("error: opening simulator cache (RAT_SIM_CACHE)"),
+        "{stderr}"
+    );
+    assert!(stderr.contains("caused by:"), "{stderr}");
+}
+
+#[test]
+fn trace_mhz_override_is_reflected_in_output() {
+    let (stdout, _, code) = run_rat_env(&["trace", "pdf1d", "--mhz", "100"], &[]);
+    assert_eq!(code, 0);
+    assert!(stdout.contains("simulated at 100 MHz"), "{stdout}");
 }

@@ -86,6 +86,103 @@ fn matched(
     (input, run, kernel)
 }
 
+/// Body of `single_buffered_makespan_matches_eq5`, shared between the
+/// property and the named regression tests so a replayed corpus case runs
+/// exactly the code the property does.
+fn check_sb_matches_eq5(elements_in: u64, elements_out: u64, ops: u64, tproc: u64, iters: u64) {
+    let (input, run, kernel) = matched(
+        elements_in,
+        elements_out,
+        ops,
+        tproc,
+        iters,
+        Buffering::Single,
+    );
+    let m = ideal_platform().execute(&kernel, &run, FC).unwrap();
+    // Account for div_ceil rounding in the kernel's cycle count.
+    let comp_cycles = (elements_in * ops).div_ceil(tproc);
+    let analytic =
+        iters as f64 * (throughput::t_comm(&input).seconds() + comp_cycles as f64 / FCLOCK);
+    let sim = m.total.as_secs_f64();
+    assert!(
+        (sim - analytic).abs() / analytic < 1e-6,
+        "sim {sim:.6e} vs Eq.5 {analytic:.6e}"
+    );
+}
+
+/// Body of `double_buffered_makespan_brackets_eq6` (shared with the named
+/// regression tests). Requires `iters >= 2`.
+fn check_db_brackets_eq6(elements_in: u64, elements_out: u64, ops: u64, tproc: u64, iters: u64) {
+    let (input, run, kernel) = matched(
+        elements_in,
+        elements_out,
+        ops,
+        tproc,
+        iters,
+        Buffering::Double,
+    );
+    let m = ideal_platform().execute(&kernel, &run, FC).unwrap();
+    let comp_cycles = (elements_in * ops).div_ceil(tproc);
+    let t_comp = comp_cycles as f64 / FCLOCK;
+    let t_comm = throughput::t_comm(&input).seconds();
+    let steady = iters as f64 * t_comm.max(t_comp);
+    let sim = m.total.as_secs_f64();
+    assert!(
+        sim >= steady * (1.0 - 1e-9),
+        "sim {sim:.3e} below Eq.6 {steady:.3e}"
+    );
+    let slack = t_comm + t_comp; // startup + drain allowance
+    assert!(
+        sim <= steady + slack + 1e-12,
+        "sim {sim:.3e} exceeds Eq.6 {steady:.3e} + startup {slack:.3e}"
+    );
+}
+
+/// Body of `buffering_and_resource_bounds` (shared with the named regression
+/// tests).
+fn check_buffering_bounds(elements_in: u64, elements_out: u64, ops: u64, tproc: u64, iters: u64) {
+    let (_, run_sb, kernel) = matched(
+        elements_in,
+        elements_out,
+        ops,
+        tproc,
+        iters,
+        Buffering::Single,
+    );
+    let (_, run_db, _) = matched(
+        elements_in,
+        elements_out,
+        ops,
+        tproc,
+        iters,
+        Buffering::Double,
+    );
+    let platform = ideal_platform();
+    let sb = platform.execute(&kernel, &run_sb, FC).unwrap();
+    let db = platform.execute(&kernel, &run_db, FC).unwrap();
+    assert!(db.total <= sb.total);
+    for m in [&sb, &db] {
+        assert!(m.total >= m.comm_busy);
+        assert!(m.total >= m.compute_busy);
+    }
+    // Busy totals are schedule-independent.
+    assert_eq!(sb.comm_busy, db.comm_busy);
+    assert_eq!(sb.compute_busy, db.compute_busy);
+}
+
+/// Replays the shrunken case proptest once found (formerly the
+/// `simulator_vs_equations.proptest-regressions` seed `0e2668c7…`:
+/// `elements_in = 13, elements_out = 382, ops = 129, tproc = 6, iters = 5` —
+/// an output-dominated transfer with a tiny compute kernel). The corpus file
+/// is gone; this named test keeps the case reviewable and permanently red on
+/// regression. The shape fits all three schedule properties, so it runs each.
+#[test]
+fn regression_output_dominated_tiny_kernel_13_382_129_6_5() {
+    check_sb_matches_eq5(13, 382, 129, 6, 5);
+    check_db_brackets_eq6(13, 382, 129, 6, 5);
+    check_buffering_bounds(13, 382, 129, 6, 5);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -98,18 +195,7 @@ proptest! {
         tproc in 1u64..64,
         iters in 1u64..20,
     ) {
-        let (input, run, kernel) =
-            matched(elements_in, elements_out, ops, tproc, iters, Buffering::Single);
-        let m = ideal_platform().execute(&kernel, &run, FC).unwrap();
-        // Account for div_ceil rounding in the kernel's cycle count.
-        let comp_cycles = (elements_in * ops).div_ceil(tproc);
-        let analytic = iters as f64
-            * (throughput::t_comm(&input).seconds() + comp_cycles as f64 / FCLOCK);
-        let sim = m.total.as_secs_f64();
-        prop_assert!(
-            (sim - analytic).abs() / analytic < 1e-6,
-            "sim {sim:.6e} vs Eq.5 {analytic:.6e}"
-        );
+        check_sb_matches_eq5(elements_in, elements_out, ops, tproc, iters);
     }
 
     /// Double-buffered: Eq. (6) bounds the makespan from below, and the bound
@@ -122,20 +208,7 @@ proptest! {
         tproc in 1u64..64,
         iters in 2u64..20,
     ) {
-        let (input, run, kernel) =
-            matched(elements_in, elements_out, ops, tproc, iters, Buffering::Double);
-        let m = ideal_platform().execute(&kernel, &run, FC).unwrap();
-        let comp_cycles = (elements_in * ops).div_ceil(tproc);
-        let t_comp = comp_cycles as f64 / FCLOCK;
-        let t_comm = throughput::t_comm(&input).seconds();
-        let steady = iters as f64 * t_comm.max(t_comp);
-        let sim = m.total.as_secs_f64();
-        prop_assert!(sim >= steady * (1.0 - 1e-9), "sim {sim:.3e} below Eq.6 {steady:.3e}");
-        let slack = t_comm + t_comp; // startup + drain allowance
-        prop_assert!(
-            sim <= steady + slack + 1e-12,
-            "sim {sim:.3e} exceeds Eq.6 {steady:.3e} + startup {slack:.3e}"
-        );
+        check_db_brackets_eq6(elements_in, elements_out, ops, tproc, iters);
     }
 
     /// Double buffering never loses to single buffering, and both dominate
@@ -148,21 +221,7 @@ proptest! {
         tproc in 1u64..32,
         iters in 1u64..12,
     ) {
-        let (_, run_sb, kernel) =
-            matched(elements_in, elements_out, ops, tproc, iters, Buffering::Single);
-        let (_, run_db, _) =
-            matched(elements_in, elements_out, ops, tproc, iters, Buffering::Double);
-        let platform = ideal_platform();
-        let sb = platform.execute(&kernel, &run_sb, FC).unwrap();
-        let db = platform.execute(&kernel, &run_db, FC).unwrap();
-        prop_assert!(db.total <= sb.total);
-        for m in [&sb, &db] {
-            prop_assert!(m.total >= m.comm_busy);
-            prop_assert!(m.total >= m.compute_busy);
-        }
-        // Busy totals are schedule-independent.
-        prop_assert_eq!(sb.comm_busy, db.comm_busy);
-        prop_assert_eq!(sb.compute_busy, db.compute_busy);
+        check_buffering_bounds(elements_in, elements_out, ops, tproc, iters);
     }
 
     /// The worksheet's speedup is monotone: more ops/cycle never hurts, higher
