@@ -1,13 +1,16 @@
 //! Hot-path benchmarks: the fast paths this workspace ships against the
 //! baselines they replaced.
 //!
-//! Three families, mirroring `rat bench`:
+//! Five families, mirroring `rat bench`:
 //!
 //! * steady-state fast-forward + trace-free sinks on `execute_summary`,
 //!   against the exhaustive event-by-event simulation and the full-trace
 //!   measurement;
-//! * the chunked scalar Monte-Carlo loop in `uncertainty::propagate`,
-//!   against a clone-per-sample baseline;
+//! * the batched Monte-Carlo pipeline in `uncertainty::propagate`, against
+//!   a clone-per-sample baseline;
+//! * the SoA `speedup_batch` kernel against a reuse-one-scratch scalar loop
+//!   over the same points;
+//! * `propagate_with` across 1/2/4/8-job engines (thread-scaling curve);
 //! * two-phase design-space exploration, against eager per-corner reports.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
@@ -16,11 +19,13 @@ use std::hint::black_box;
 use fpga_sim::catalog;
 use fpga_sim::kernel::TabulatedKernel;
 use fpga_sim::platform::{AppRun, BufferMode, FastForward, Platform};
+use rat_core::engine::{Engine, EngineConfig};
 use rat_core::explore::{explore, DesignSpace};
 use rat_core::params::Buffering;
 use rat_core::quantity::Freq;
+use rat_core::solve::batch::{speedup_batch, BatchPoints};
 use rat_core::sweep::SweepParam;
-use rat_core::uncertainty::{propagate, ParamRange};
+use rat_core::uncertainty::{propagate, propagate_with, ParamRange};
 use rat_core::worksheet::Worksheet;
 
 fn bench_summary_paths(c: &mut Criterion) {
@@ -98,6 +103,57 @@ fn bench_uncertainty_paths(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_batch_kernel(c: &mut Criterion) {
+    let input = rat_apps::pdf::pdf1d::rat_input(150.0e6);
+    let mut g = c.benchmark_group("hotpath-batch-kernel");
+    for &n in &[256usize, 1024] {
+        let values: Vec<f64> = (0..n)
+            .map(|i| 75.0e6 + (150.0e6 - 75.0e6) * (i as f64 / n as f64))
+            .collect();
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("batch", n), &n, |b, _| {
+            b.iter(|| {
+                let mut points = BatchPoints::new(&input, values.len());
+                points.push_column(SweepParam::Fclock, values.clone());
+                black_box(speedup_batch(&points).unwrap())
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("scalar", n), &n, |b, _| {
+            b.iter(|| {
+                let mut scratch = input.clone();
+                let out: Vec<f64> = values
+                    .iter()
+                    .map(|&v| {
+                        scratch.copy_params_from(&input);
+                        SweepParam::Fclock.apply_into(&mut scratch, v);
+                        rat_core::solve::speedup_only(&scratch).unwrap()
+                    })
+                    .collect();
+                black_box(out)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_uncertainty_scaling(c: &mut Criterion) {
+    let input = rat_apps::pdf::pdf1d::rat_input(150.0e6);
+    let ranges = [
+        ParamRange::new(SweepParam::Fclock, 75.0e6, 150.0e6),
+        ParamRange::new(SweepParam::ThroughputProc, 16.0, 24.0),
+    ];
+    let samples = 10_000usize;
+    let mut g = c.benchmark_group("hotpath-uncertainty-scaling");
+    g.throughput(Throughput::Elements(samples as u64));
+    for &jobs in &[1usize, 2, 4, 8] {
+        let engine = Engine::new(EngineConfig::default().with_jobs(jobs));
+        g.bench_with_input(BenchmarkId::new("jobs", jobs), &jobs, |b, _| {
+            b.iter(|| black_box(propagate_with(&engine, &input, &ranges, samples, 7).unwrap()))
+        });
+    }
+    g.finish();
+}
+
 fn bench_explore_paths(c: &mut Criterion) {
     let space = DesignSpace {
         base: rat_apps::pdf::pdf1d::rat_input(150.0e6),
@@ -128,6 +184,8 @@ criterion_group!(
     benches,
     bench_summary_paths,
     bench_uncertainty_paths,
+    bench_batch_kernel,
+    bench_uncertainty_scaling,
     bench_explore_paths
 );
 criterion_main!(benches);

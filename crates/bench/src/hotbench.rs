@@ -1,9 +1,9 @@
 //! Hot-path micro-benchmarks behind `rat bench`.
 //!
 //! Each scenario times one of the hot paths this workspace optimizes —
-//! fast-forwarded summary simulation, trace-free sinks, and the scalar
-//! sweep/Monte-Carlo kernels — next to the exhaustive or cloning baseline it
-//! replaced. The baselines reproduce the unoptimized code paths exactly
+//! fast-forwarded summary simulation, trace-free sinks, and the batched SoA
+//! sweep/Monte-Carlo kernels — next to the exhaustive, scalar, or cloning
+//! baseline it replaced. The baselines reproduce the unoptimized code paths exactly
 //! (full event-by-event simulation, one input clone per sample, one full
 //! report per corner), so the reported ratios are the real win, not a straw
 //! man. `rat bench --json` emits the machine-readable form checked in as
@@ -13,10 +13,11 @@ use std::time::{Duration, Instant};
 
 use fpga_sim::{catalog, AppRun, BufferMode, FastForward, Platform, TabulatedKernel};
 use rand::distributions::{Distribution, Uniform};
-use rat_core::engine::{job_rng, Engine};
+use rat_core::engine::{job_rng, Engine, EngineConfig};
 use rat_core::explore::{explore, DesignSpace};
 use rat_core::params::{Buffering, RatInput};
 use rat_core::quantity::Freq;
+use rat_core::solve::batch::{speedup_batch, BatchPoints, CHUNK as BATCH_CHUNK};
 use rat_core::sweep::SweepParam;
 use rat_core::table::TextTable;
 use rat_core::uncertainty::{propagate, propagate_with, ParamRange};
@@ -144,6 +145,58 @@ fn time<R>(reps: u32, mut f: impl FnMut() -> R) -> Duration {
     best.expect("at least one round")
 }
 
+/// The pre-batching Monte-Carlo pipeline, preserved in full as the scalar
+/// baseline: samples evaluated in 1024-sample chunks, each drawing from its
+/// own `job_rng(seed, j)` stream, restoring a scratch input, applying the
+/// sampled parameters in place, and computing the speedup per point — then
+/// the same mean/variance/order-statistic summary `propagate` computes. Its
+/// output is bit-identical to `propagate`'s; only the per-point evaluation
+/// strategy (scalar loop vs SoA batch kernel) differs.
+fn uncertainty_scalar_chunked_baseline(
+    engine: &Engine,
+    input: &RatInput,
+    ranges: &[ParamRange],
+    samples: usize,
+    seed: u64,
+) -> (f64, f64) {
+    const CHUNK: usize = 1024;
+    let dists: Vec<(SweepParam, Uniform<f64>)> = ranges
+        .iter()
+        .map(|r| (r.param, Uniform::new_inclusive(r.lo, r.hi)))
+        .collect();
+    let chunks = samples.div_ceil(CHUNK);
+    let per_chunk = engine
+        .try_run(chunks, |c| {
+            let lo = c * CHUNK;
+            let hi = (lo + CHUNK).min(samples);
+            let mut scratch = input.clone();
+            let mut out = Vec::with_capacity(hi - lo);
+            for j in lo..hi {
+                let mut rng = job_rng(seed, j as u64);
+                scratch.copy_params_from(input);
+                for (param, dist) in &dists {
+                    param.apply_into(&mut scratch, dist.sample(&mut rng));
+                }
+                out.push(rat_core::solve::speedup_only(&scratch)?);
+            }
+            Ok::<_, rat_core::RatError>(out)
+        })
+        .expect("bench ranges are valid");
+    let mut speedups: Vec<f64> = Vec::with_capacity(samples);
+    for chunk in &per_chunk {
+        speedups.extend_from_slice(chunk);
+    }
+    let n = speedups.len();
+    let mean = speedups.iter().sum::<f64>() / n as f64;
+    let var = speedups.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n as f64;
+    let mut pick = |q: f64| {
+        let k = (((n - 1) as f64) * q).round() as usize;
+        *speedups.select_nth_unstable_by(k, f64::total_cmp).1
+    };
+    let (_p5, _p50, _p95) = (pick(0.05), pick(0.50), pick(0.95));
+    (mean, var.sqrt())
+}
+
 /// The unoptimized Monte-Carlo pipeline, preserved in full as a baseline:
 /// one engine job per sample, one input clone per parameter application,
 /// full validation per draw, then the same sort and summary statistics
@@ -236,27 +289,57 @@ pub fn run(quick: bool) -> BenchReport {
         fast.execute(&kernel, &run, fclock).unwrap()
     });
 
-    // Scenario family 2: the 10k-sample Monte-Carlo run — the chunked scalar
-    // path inside `propagate` vs the clone-per-sample baseline, on the same
-    // sequential engine, and again on the default (parallel) engine the CLI
-    // uses, where chunking also amortizes per-job scheduling and counter
-    // traffic across 512 samples.
+    // Scenario family 2: the 10k-sample Monte-Carlo run — the batched SoA
+    // path inside `propagate` vs the pre-batching chunked scalar loop and
+    // the clone-per-sample baseline, all on the sequential engine, then the
+    // batched path again across a 1/2/4/8-worker ladder. All variants
+    // produce bit-identical reports; only the evaluation strategy differs.
     let input = rat_apps::pdf::pdf1d::rat_input(150.0e6);
     let ranges = [
         ParamRange::new(SweepParam::Fclock, 75.0e6, 150.0e6),
         ParamRange::new(SweepParam::ThroughputProc, 16.0, 24.0),
     ];
-    let t_mc_scalar = time(reps_mc, || propagate(&input, &ranges, samples, 7).unwrap());
     let sequential = Engine::sequential();
+    let t_mc_scalar = time(reps_mc, || {
+        uncertainty_scalar_chunked_baseline(&sequential, &input, &ranges, samples, 7)
+    });
     let t_mc_cloning = time(reps_mc, || {
         uncertainty_cloning_baseline(&sequential, &input, &ranges, samples, 7)
     });
-    let parallel = Engine::default();
-    let t_mc_scalar_par = time(reps_mc, || {
-        propagate_with(&parallel, &input, &ranges, samples, 7).unwrap()
+    let t_mc_batch = time(reps_mc, || propagate(&input, &ranges, samples, 7).unwrap());
+    let jobs_ladder = [1usize, 2, 4, 8];
+    let t_mc_batch_jobs: Vec<Duration> = jobs_ladder
+        .iter()
+        .map(|&jobs| {
+            let engine = Engine::new(EngineConfig::default().with_jobs(jobs));
+            time(reps_mc, || {
+                propagate_with(&engine, &input, &ranges, samples, 7).unwrap()
+            })
+        })
+        .collect();
+
+    // Scenario family 2a: the SoA kernel in isolation — one CHUNK-point
+    // batch through `speedup_batch` vs the same points through the scalar
+    // scratch-and-apply loop. This is the pure per-point win, free of RNG
+    // draws and statistics.
+    let kernel_points: Vec<f64> = (0..BATCH_CHUNK)
+        .map(|i| 75.0e6 + 75.0e6 * (i as f64 / BATCH_CHUNK as f64))
+        .collect();
+    let reps_kernel = if quick { 20u32 } else { 2_000u32 };
+    let t_kernel_batch = time(reps_kernel, || {
+        let mut batch = BatchPoints::new(&input, kernel_points.len());
+        batch.push_column(SweepParam::Fclock, kernel_points.clone());
+        speedup_batch(&batch).unwrap()
     });
-    let t_mc_cloning_par = time(reps_mc, || {
-        uncertainty_cloning_baseline(&parallel, &input, &ranges, samples, 7)
+    let t_kernel_scalar = time(reps_kernel, || {
+        let mut scratch = input.clone();
+        let mut acc = 0.0;
+        for &v in &kernel_points {
+            scratch.copy_params_from(&input);
+            SweepParam::Fclock.apply_into(&mut scratch, v);
+            acc += rat_core::solve::speedup_only(&scratch).unwrap();
+        }
+        acc
     });
 
     // Scenario family 2b: the observability layer's cost on the same summary
@@ -324,16 +407,46 @@ pub fn run(quick: bool) -> BenchReport {
             total: t_mc_cloning,
         },
         BenchScenario {
-            name: "uncertainty_scalar_parallel",
+            name: "uncertainty_batch",
             work: samples as u64,
             reps: reps_mc,
-            total: t_mc_scalar_par,
+            total: t_mc_batch,
         },
         BenchScenario {
-            name: "uncertainty_clone_per_sample_parallel",
+            name: "uncertainty_batch_jobs1",
             work: samples as u64,
             reps: reps_mc,
-            total: t_mc_cloning_par,
+            total: t_mc_batch_jobs[0],
+        },
+        BenchScenario {
+            name: "uncertainty_batch_jobs2",
+            work: samples as u64,
+            reps: reps_mc,
+            total: t_mc_batch_jobs[1],
+        },
+        BenchScenario {
+            name: "uncertainty_batch_jobs4",
+            work: samples as u64,
+            reps: reps_mc,
+            total: t_mc_batch_jobs[2],
+        },
+        BenchScenario {
+            name: "uncertainty_batch_jobs8",
+            work: samples as u64,
+            reps: reps_mc,
+            total: t_mc_batch_jobs[3],
+        },
+        BenchScenario {
+            name: "speedup_kernel_batch",
+            work: BATCH_CHUNK as u64,
+            reps: reps_kernel,
+            total: t_kernel_batch,
+        },
+        BenchScenario {
+            name: "speedup_kernel_scalar",
+            work: BATCH_CHUNK as u64,
+            reps: reps_kernel,
+            total: t_kernel_scalar,
         },
         BenchScenario {
             name: "execute_summary_telemetry_enabled",
@@ -372,13 +485,32 @@ pub fn run(quick: bool) -> BenchReport {
             speedup: per_rep("execute_full_trace") / per_rep("execute_summary_fast_forward"),
         },
         BenchRatio {
-            name: "uncertainty_scalar_vs_clone_per_sample",
-            speedup: per_rep("uncertainty_clone_per_sample") / per_rep("uncertainty_scalar"),
+            // The batched SoA path vs the pre-batching chunked scalar loop,
+            // both serial: the per-point win from bulk RNG draws and the
+            // columnar kernel.
+            name: "uncertainty_batch_vs_scalar",
+            speedup: per_rep("uncertainty_scalar") / per_rep("uncertainty_batch"),
         },
         BenchRatio {
-            name: "uncertainty_scalar_vs_clone_per_sample_parallel",
-            speedup: per_rep("uncertainty_clone_per_sample_parallel")
-                / per_rep("uncertainty_scalar_parallel"),
+            name: "uncertainty_batch_vs_clone_per_sample",
+            speedup: per_rep("uncertainty_clone_per_sample") / per_rep("uncertainty_batch"),
+        },
+        BenchRatio {
+            // The acceptance ratio: the live 8-worker batched path vs the
+            // old serial scalar pipeline — what a CLI user on the default
+            // engine gains over the pre-batching release.
+            name: "uncertainty_parallel_vs_serial_8_jobs",
+            speedup: per_rep("uncertainty_scalar") / per_rep("uncertainty_batch_jobs8"),
+        },
+        BenchRatio {
+            // Pure thread scaling of the batched path on this host (bounded
+            // by the machine's core count; 1.0 on a single-core runner).
+            name: "uncertainty_batch_scaling_8_vs_1",
+            speedup: per_rep("uncertainty_batch_jobs1") / per_rep("uncertainty_batch_jobs8"),
+        },
+        BenchRatio {
+            name: "speedup_kernel_batch_vs_scalar",
+            speedup: per_rep("speedup_kernel_scalar") / per_rep("speedup_kernel_batch"),
         },
         BenchRatio {
             name: "explore_two_phase_vs_eager",
@@ -407,8 +539,8 @@ mod tests {
     fn quick_bench_reports_every_scenario_and_ratio() {
         let r = run(true);
         assert!(r.quick);
-        assert_eq!(r.scenarios.len(), 10);
-        assert_eq!(r.ratios.len(), 6);
+        assert_eq!(r.scenarios.len(), 15);
+        assert_eq!(r.ratios.len(), 9);
         for s in &r.scenarios {
             assert!(s.reps > 0, "{}", s.name);
         }

@@ -1,0 +1,122 @@
+//! Performance-regression gate over the checked-in bench evidence.
+//!
+//! CI's release job runs this (`cargo test --release -p rat-bench --test
+//! perf_gate -- --ignored`): it produces a live `rat bench --quick --json`
+//! report in-process and fails if any ratio that the newest `BENCH_<pr>.json`
+//! evidence file also records has collapsed. The gate is deliberately loose —
+//! quick sizes on shared CI runners are noisy — so it only catches a fast
+//! path actually dying, not ordinary jitter:
+//!
+//! * size-stable ratios (the scalar-vs-batch uncertainty, kernel, explore,
+//!   and telemetry families) must stay above **0.5×** their checked-in value;
+//! * size-dependent ratios (listed in [`ABSOLUTE_FLOORS`] with the reason)
+//!   sit below their full-size evidence at quick sizes by construction, so
+//!   each is gated against an absolute floor chosen between its quick-size
+//!   value and what a dead fast path would produce.
+
+use rat_bench::hotbench;
+use rat_core::telemetry::json::{self, Json};
+
+/// Ratios whose value scales with problem size, gated by an absolute floor
+/// rather than relative to the full-size evidence: fast-forward wins grow
+/// with simulated iteration count (quick ~50×, full ~600×; a dead fast path
+/// ~1×), and the clone-per-sample comparison amortizes the batch pipeline's
+/// fixed cost over the sample count (quick ~2–4×, full ~5×; a dead batch
+/// path ~0.3×).
+const ABSOLUTE_FLOORS: [(&str, f64); 3] = [
+    ("execute_summary_fast_forward_vs_exhaustive", 10.0),
+    ("execute_summary_fast_forward_vs_full_trace", 10.0),
+    ("uncertainty_batch_vs_clone_per_sample", 1.1),
+];
+
+const RELATIVE_FLOOR: f64 = 0.5;
+
+/// The newest `BENCH_<pr>.json` at the repo root (highest PR number), parsed.
+fn newest_evidence() -> (String, Json) {
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let mut newest: Option<(u64, String)> = None;
+    for entry in std::fs::read_dir(root).expect("repo root readable") {
+        let name = entry
+            .expect("dir entry")
+            .file_name()
+            .to_string_lossy()
+            .into_owned();
+        let Some(pr) = name
+            .strip_prefix("BENCH_")
+            .and_then(|s| s.strip_suffix(".json"))
+            .and_then(|s| s.parse::<u64>().ok())
+        else {
+            continue;
+        };
+        if newest.as_ref().is_none_or(|(best, _)| pr > *best) {
+            newest = Some((pr, name));
+        }
+    }
+    let (_, name) = newest.expect("at least one BENCH_<pr>.json evidence file");
+    let text = std::fs::read_to_string(format!("{root}/{name}")).expect("evidence readable");
+    let doc = json::parse(&text).unwrap_or_else(|e| panic!("{name}: bad JSON: {e}"));
+    (name, doc)
+}
+
+/// Ratio name → speedup from a bench report document.
+fn ratios_of(doc: &Json) -> Vec<(String, f64)> {
+    doc.get("ratios")
+        .and_then(Json::as_array)
+        .expect("ratios array")
+        .iter()
+        .map(|r| {
+            let name = r.get("name").and_then(Json::as_str).expect("ratio name");
+            let speedup = r
+                .get("speedup")
+                .and_then(Json::as_f64)
+                .expect("ratio speedup");
+            (name.to_string(), speedup)
+        })
+        .collect()
+}
+
+#[test]
+#[ignore = "perf gate: timing-sensitive; CI's release job runs it with --ignored"]
+fn live_ratios_have_not_collapsed_against_checked_in_evidence() {
+    let (evidence_name, evidence) = newest_evidence();
+    let reference = ratios_of(&evidence);
+    let live_report = hotbench::run(true);
+    let live = json::parse(&live_report.to_json()).expect("live report JSON");
+    let live = ratios_of(&live);
+
+    let mut failures = Vec::new();
+    let mut gated = 0usize;
+    for (name, want) in &reference {
+        let Some((_, got)) = live.iter().find(|(n, _)| n == name) else {
+            // Evidence from an older PR may record ratios the current bench
+            // no longer derives; renames are caught by the schema test.
+            continue;
+        };
+        gated += 1;
+        let floor = ABSOLUTE_FLOORS
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, f)| *f);
+        if let Some(floor) = floor {
+            if *got < floor {
+                failures.push(format!(
+                    "{name}: live {got:.2}x below absolute floor {floor}x"
+                ));
+            }
+        } else if *got < RELATIVE_FLOOR * want {
+            failures.push(format!(
+                "{name}: live {got:.2}x below {RELATIVE_FLOOR} x checked-in {want:.2}x \
+                 ({evidence_name})"
+            ));
+        }
+    }
+    assert!(
+        gated >= 5,
+        "gate compared only {gated} ratios — evidence or bench changed shape"
+    );
+    assert!(
+        failures.is_empty(),
+        "performance regression(s) detected:\n{}",
+        failures.join("\n")
+    );
+}

@@ -178,11 +178,20 @@ fn main() -> ExitCode {
             // Preserve the dispatch failure's code if there was one;
             // otherwise the telemetry I/O failure becomes the exit code.
             if code == ExitCode::SUCCESS {
+                flush_global_cache();
                 return ExitCode::from(err.exit_code());
             }
         }
     }
+    flush_global_cache();
     code
+}
+
+/// Write the global simulator cache's batched inserts to disk. The global
+/// cache lives in a `OnceLock` and is never dropped, so the write-behind
+/// persistence needs this explicit flush before the process exits.
+fn flush_global_cache() {
+    fpga_sim::SimCache::global().flush();
 }
 
 /// Render an error (and its full `caused by:` source chain) on stderr.
@@ -227,6 +236,7 @@ fn emit_telemetry(metrics: bool, profile: Option<&str>) -> Result<(), CliError> 
     let cache = fpga_sim::SimCache::global().stats();
     telemetry::add(telemetry::Metric::CacheHits, cache.hits);
     telemetry::add(telemetry::Metric::CacheMisses, cache.misses);
+    telemetry::add(telemetry::Metric::ShardContention, cache.shard_contention);
     let profile_data = telemetry::global().drain();
     if metrics {
         eprint!("{}", profile_data.render_tree());
@@ -997,6 +1007,53 @@ mod tests {
         ])
         .unwrap();
         assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn batched_stdout_is_byte_identical_to_the_golden_fixture() {
+        // The checked-in fixtures are the pre-batching scalar pipeline's
+        // stdout (plus the trailing newline `main` prints). The batched
+        // kernels must reproduce them byte-for-byte at every thread count —
+        // this is the acceptance gate for the SoA rewrite.
+        let dir = std::env::temp_dir().join("rat-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ws6.toml");
+        std::fs::write(&path, example_worksheet()).unwrap();
+        let ws = path.to_string_lossy().into_owned();
+
+        for jobs in ["1", "2", "8"] {
+            let out = run(&[
+                format!("--jobs={jobs}"),
+                "uncertainty".into(),
+                ws.clone(),
+                "fclock".into(),
+                "75e6".into(),
+                "150e6".into(),
+            ])
+            .unwrap();
+            assert_eq!(
+                format!("{out}\n"),
+                include_str!("../testdata/golden_uncertainty.txt"),
+                "uncertainty stdout drifted at --jobs={jobs}"
+            );
+
+            let out = run(&[
+                format!("--jobs={jobs}"),
+                "sweep".into(),
+                ws.clone(),
+                "fclock".into(),
+                "75e6".into(),
+                "100e6".into(),
+                "125e6".into(),
+                "150e6".into(),
+            ])
+            .unwrap();
+            assert_eq!(
+                format!("{out}\n"),
+                include_str!("../testdata/golden_sweep.txt"),
+                "sweep stdout drifted at --jobs={jobs}"
+            );
+        }
     }
 
     #[test]

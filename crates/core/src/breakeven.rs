@@ -9,10 +9,13 @@
 //! and how much calendar time at a given duty cycle — until the migration
 //! pays for itself?
 
+use crate::engine::Engine;
 use crate::error::RatError;
 use crate::params::RatInput;
 use crate::quantity::Seconds;
-use crate::table::TextTable;
+use crate::solve::batch::{solve_batch, BatchPoints, CHUNK};
+use crate::sweep::SweepParam;
+use crate::table::{sci, TextTable};
 use crate::throughput;
 use serde::{Deserialize, Serialize};
 
@@ -37,17 +40,35 @@ pub struct BreakEven {
     pub days_to_break_even: f64,
 }
 
+impl MigrationCost {
+    /// Reject non-finite or non-positive cost parameters.
+    pub fn validate(&self) -> Result<(), RatError> {
+        if !(self.development_hours.is_finite() && self.development_hours > 0.0) {
+            return Err(RatError::param("development_hours must be positive"));
+        }
+        if !(self.runs_per_day.is_finite() && self.runs_per_day > 0.0) {
+            return Err(RatError::param("runs_per_day must be positive"));
+        }
+        Ok(())
+    }
+}
+
 impl BreakEven {
     /// Compute the break-even point for a design under a cost model.
     pub fn analyze(input: &RatInput, cost: &MigrationCost) -> Result<Self, RatError> {
         input.validate()?;
-        if !(cost.development_hours.is_finite() && cost.development_hours > 0.0) {
-            return Err(RatError::param("development_hours must be positive"));
-        }
-        if !(cost.runs_per_day.is_finite() && cost.runs_per_day > 0.0) {
-            return Err(RatError::param("runs_per_day must be positive"));
-        }
-        let saved_per_run = input.software.t_soft - throughput::t_rc(input);
+        cost.validate()?;
+        Ok(Self::from_times(
+            input.software.t_soft,
+            throughput::t_rc(input),
+            cost,
+        ))
+    }
+
+    /// The break-even arithmetic given an already-predicted RC execution time.
+    /// `cost` must already be validated.
+    fn from_times(t_soft: Seconds, t_rc: Seconds, cost: &MigrationCost) -> Self {
+        let saved_per_run = t_soft - t_rc;
         let dev_secs = Seconds::new(cost.development_hours * 3600.0);
         let (runs, days) = if saved_per_run <= Seconds::ZERO {
             (f64::INFINITY, f64::INFINITY)
@@ -55,11 +76,11 @@ impl BreakEven {
             let runs = dev_secs / saved_per_run;
             (runs, runs / cost.runs_per_day)
         };
-        Ok(Self {
+        Self {
             saved_per_run,
             runs_to_break_even: runs,
             days_to_break_even: days,
-        })
+        }
     }
 
     /// Whether the migration pays for itself within `horizon_days`.
@@ -86,6 +107,99 @@ impl BreakEven {
         ]);
         t.render()
     }
+}
+
+/// One point of a break-even sweep: the parameter value and its verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BreakEvenSweepPoint {
+    /// The swept parameter's value at this point.
+    pub value: f64,
+    /// The break-even verdict at this point.
+    pub verdict: BreakEven,
+}
+
+/// A break-even sweep across one design parameter.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BreakEvenSweep {
+    /// The parameter varied.
+    pub param: SweepParam,
+    /// One verdict per swept value, in input order.
+    pub points: Vec<BreakEvenSweepPoint>,
+}
+
+impl BreakEvenSweep {
+    /// The smallest swept value whose migration pays off within
+    /// `horizon_days`, if any (assumes the sweep is ordered by preference).
+    pub fn first_worth_it(&self, horizon_days: f64) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|p| p.verdict.worth_it_within(horizon_days))
+            .map(|p| p.value)
+    }
+
+    /// Render as a table, one row per swept value.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new()
+            .title(format!("Break-even sweep over {}", self.param.label()))
+            .header([self.param.label(), "Saved/run", "Runs", "Days"]);
+        for p in &self.points {
+            t.row([
+                sci(p.value),
+                format!("{:.3e} s", p.verdict.saved_per_run.seconds()),
+                format!("{:.0}", p.verdict.runs_to_break_even),
+                format!("{:.1}", p.verdict.days_to_break_even),
+            ]);
+        }
+        t.render()
+    }
+}
+
+/// Break-even verdicts across a sweep of `param`, sequentially.
+pub fn analyze_sweep(
+    input: &RatInput,
+    param: SweepParam,
+    values: &[f64],
+    cost: &MigrationCost,
+) -> Result<BreakEvenSweep, RatError> {
+    analyze_sweep_with(&Engine::sequential(), input, param, values, cost)
+}
+
+/// [`analyze_sweep`], with the swept values evaluated in [`CHUNK`]-sized
+/// batches as independent jobs on `engine`. Each chunk is one
+/// [`solve_batch`] call, so the per-point arithmetic is the batched kernel's
+/// — bit-identical to [`BreakEven::analyze`] on the materialized input.
+pub fn analyze_sweep_with(
+    engine: &Engine,
+    input: &RatInput,
+    param: SweepParam,
+    values: &[f64],
+    cost: &MigrationCost,
+) -> Result<BreakEvenSweep, RatError> {
+    let _span = crate::telemetry::span("breakeven-sweep");
+    cost.validate()?;
+    let chunks = values.len().div_ceil(CHUNK);
+    let per_chunk = engine.try_run(chunks, |c| {
+        let lo = c * CHUNK;
+        let hi = (lo + CHUNK).min(values.len());
+        let slice = &values[lo..hi];
+        let mut batch = BatchPoints::new(input, slice.len());
+        batch.push_column(param, slice.to_vec());
+        solve_batch(&batch)
+    })?;
+    let points = per_chunk
+        .into_iter()
+        .flatten()
+        .zip(values)
+        .map(|(report, &value)| BreakEvenSweepPoint {
+            value,
+            verdict: BreakEven::from_times(
+                report.input.software.t_soft,
+                report.throughput.t_rc,
+                cost,
+            ),
+        })
+        .collect();
+    Ok(BreakEvenSweep { param, points })
 }
 
 #[cfg(test)]
@@ -151,6 +265,48 @@ mod tests {
             runs_per_day: -1.0,
         };
         assert!(BreakEven::analyze(&pdf1d_example(), &bad).is_err());
+    }
+
+    #[test]
+    fn sweep_matches_per_point_analyze_bitwise() {
+        use crate::sweep::SweepParam;
+        let input = pdf1d_example();
+        let values: Vec<f64> = (1..=8).map(|i| f64::from(i) * 25.0e6).collect();
+        let sweep = analyze_sweep(&input, SweepParam::Fclock, &values, &cost()).unwrap();
+        assert_eq!(sweep.points.len(), values.len());
+        for (p, &v) in sweep.points.iter().zip(&values) {
+            let scalar = BreakEven::analyze(&SweepParam::Fclock.apply(&input, v), &cost()).unwrap();
+            assert_eq!(p.value, v);
+            assert_eq!(p.verdict, scalar, "at fclock {v}");
+        }
+    }
+
+    #[test]
+    fn sweep_surfaces_the_first_invalid_value() {
+        use crate::sweep::SweepParam;
+        let input = pdf1d_example();
+        let err =
+            analyze_sweep(&input, SweepParam::AlphaWrite, &[0.5, 2.0, 3.0], &cost()).unwrap_err();
+        let scalar = SweepParam::AlphaWrite
+            .apply(&input, 2.0)
+            .validate()
+            .unwrap_err();
+        assert_eq!(err.to_string(), scalar.to_string());
+    }
+
+    #[test]
+    fn sweep_finds_the_break_even_frontier() {
+        use crate::sweep::SweepParam;
+        let input = pdf1d_example();
+        let values: Vec<f64> = (1..=12).map(|i| f64::from(i) * 25.0e6).collect();
+        let sweep = analyze_sweep(&input, SweepParam::Fclock, &values, &cost()).unwrap();
+        // Fast clocks break even sooner, so a generous horizon admits a
+        // slower (cheaper) clock than a tight one.
+        let tight = sweep.first_worth_it(360.0).unwrap();
+        let loose = sweep.first_worth_it(400.0).unwrap();
+        assert!(loose <= tight, "loose {loose} vs tight {tight}");
+        assert!(sweep.first_worth_it(0.001).is_none());
+        assert!(sweep.render().lines().count() == 3 + values.len());
     }
 
     #[test]

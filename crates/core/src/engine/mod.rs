@@ -26,7 +26,7 @@ mod stream;
 
 pub use config::EngineConfig;
 pub use counters::{EngineCounters, EngineStats};
-pub use stream::job_rng;
+pub use stream::{job_rng, job_rng_first_draws, FIRST_BLOCK_DRAWS};
 
 use crate::telemetry::{self, ArgValue, Metric};
 use rand_chacha::ChaCha8Rng;

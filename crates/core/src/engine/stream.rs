@@ -32,6 +32,36 @@ pub fn job_rng(root_seed: u64, job_index: u64) -> ChaCha8Rng {
     ChaCha8Rng::seed_from_u64(mix(root_seed) ^ job_index)
 }
 
+/// The number of `u64` draws [`job_rng_first_draws`] yields per stream: one
+/// ChaCha block is 16 `u32` words, i.e. eight `next_u64` results.
+pub const FIRST_BLOCK_DRAWS: usize = 8;
+
+/// The first eight `u64` draws of every job stream in `lo..hi`, computed in
+/// bulk: entry `i` holds what `job_rng(root_seed, lo + i).next_u64()` would
+/// return on its first eight calls, bit for bit. Internally the ChaCha keys
+/// for all streams are derived up front (the same PCG32 expansion
+/// `seed_from_u64` uses) and the first keystream blocks are produced eight
+/// streams at a time through the AVX2 multi-buffer block function — this is
+/// the draw phase of batched Monte-Carlo, where per-sample RNG construction
+/// would otherwise dominate.
+pub fn job_rng_first_draws(root_seed: u64, lo: u64, hi: u64) -> Vec<[u64; FIRST_BLOCK_DRAWS]> {
+    let mixed = mix(root_seed);
+    let n = (hi - lo) as usize;
+    let mut keys: Vec<[u32; 8]> = Vec::with_capacity(n);
+    let mut j = lo;
+    while j + 4 <= hi {
+        keys.extend(rand::seed_words_from_u64_x4([
+            mixed ^ j,
+            mixed ^ (j + 1),
+            mixed ^ (j + 2),
+            mixed ^ (j + 3),
+        ]));
+        j += 4;
+    }
+    keys.extend((j..hi).map(|j| rand::seed_words_from_u64(mixed ^ j)));
+    rand_chacha::chacha8_first_draws(&keys)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -51,6 +81,23 @@ mod tests {
         unique.sort_unstable();
         unique.dedup();
         assert_eq!(unique.len(), draws.len(), "adjacent job streams collided");
+    }
+
+    #[test]
+    fn bulk_first_draws_match_per_job_rng_streams() {
+        use rand::RngCore;
+        // 0..21 covers two full AVX2 groups plus a scalar tail, and a nonzero
+        // `lo` checks the offset arithmetic.
+        for (lo, hi) in [(0u64, 21u64), (1000, 1013)] {
+            let bulk = job_rng_first_draws(2007, lo, hi);
+            assert_eq!(bulk.len(), (hi - lo) as usize);
+            for (i, draws) in bulk.iter().enumerate() {
+                let mut rng = job_rng(2007, lo + i as u64);
+                for (d, &got) in draws.iter().enumerate() {
+                    assert_eq!(got, rng.next_u64(), "job {} draw {d}", lo + i as u64);
+                }
+            }
+        }
     }
 
     #[test]

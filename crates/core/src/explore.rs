@@ -13,7 +13,8 @@ use crate::error::RatError;
 use crate::params::{Buffering, RatInput};
 use crate::quantity::Freq;
 use crate::report::Report;
-use crate::solve;
+use crate::solve::{self, batch::BatchPoints};
+use crate::sweep::SweepParam;
 use crate::table::TextTable;
 use crate::worksheet::Worksheet;
 use serde::{Deserialize, Serialize};
@@ -186,11 +187,16 @@ impl Exploration {
 
 /// Explore `space` against `min_speedup`.
 ///
-/// Runs in two phases: every corner is first gated with the scalar
-/// [`solve::speedup_only`] path on a single scratch input (no clone, no name
-/// formatting per corner), and only corners that pass the gate get a full
-/// named [`Report`]. `speedup_only` is bit-identical to the report pipeline's
-/// speedup, so the partition is exactly what the one-phase version computed.
+/// Runs in two phases: the whole space is first gated through the batched
+/// SoA kernel — corners partition by buffering discipline (a base-level
+/// property of a batch), and each partition is one
+/// [`solve::batch::speedup_batch_indexed`] call with `f_clock` and
+/// `throughput_proc` columns — and only corners that pass the gate get a
+/// full named [`Report`]. The batch kernel is bit-identical to the scalar
+/// [`solve::speedup_only`] gate it replaced, so the partition is exactly
+/// what the per-corner version computed; on an invalid corner, the
+/// lowest-indexed corner in enumeration order wins error reporting, as
+/// before.
 pub fn explore(space: &DesignSpace, min_speedup: f64) -> Result<Exploration, RatError> {
     let _span = crate::telemetry::span("explore");
     if !(min_speedup.is_finite() && min_speedup > 0.0) {
@@ -198,13 +204,53 @@ pub fn explore(space: &DesignSpace, min_speedup: f64) -> Result<Exploration, Rat
             "min_speedup must be positive, got {min_speedup}"
         )));
     }
+    let corners = space.corner_coords();
+    let mut speedups = vec![0.0_f64; corners.len()];
+    let mut first_err: Option<(usize, RatError)> = None;
+    for buffering in [Buffering::Single, Buffering::Double] {
+        let idx: Vec<usize> = (0..corners.len())
+            .filter(|&i| corners[i].buffering == buffering)
+            .collect();
+        if idx.is_empty() {
+            continue;
+        }
+        let base = space.base.with_buffering(buffering);
+        let mut batch = BatchPoints::new(&base, idx.len());
+        batch.push_column(
+            SweepParam::Fclock,
+            idx.iter().map(|&i| corners[i].fclock_hz).collect(),
+        );
+        batch.push_column(
+            SweepParam::ThroughputProc,
+            idx.iter().map(|&i| corners[i].throughput_proc).collect(),
+        );
+        match solve::batch::speedup_batch_indexed(&batch) {
+            Ok(s) => {
+                for (k, &i) in idx.iter().enumerate() {
+                    speedups[i] = s[k];
+                }
+            }
+            // `idx` ascends, so the kernel's lowest in-partition failure maps
+            // to the partition's lowest corner; the min across partitions is
+            // the globally lowest failing corner.
+            Err((k, e)) => {
+                let global = idx[k];
+                if first_err.as_ref().is_none_or(|(j, _)| global < *j) {
+                    first_err = Some((global, e));
+                }
+            }
+        }
+    }
+    if let Some((_, e)) = first_err {
+        return Err(e);
+    }
     let mut scratch = space.base.clone();
     let mut passing = Vec::new();
     let mut failing = 0usize;
-    for corner in space.corner_coords() {
-        scratch.copy_params_from(&space.base);
-        corner.apply_into(&mut scratch);
-        if solve::speedup_only(&scratch)? >= min_speedup {
+    for (corner, &speedup) in corners.iter().zip(&speedups) {
+        if speedup >= min_speedup {
+            scratch.copy_params_from(&space.base);
+            corner.apply_into(&mut scratch);
             let mut named = scratch.clone();
             named.name = corner.display_name(&space.base.name);
             passing.push(Worksheet::new(named).analyze()?);

@@ -125,8 +125,15 @@ pub fn scaling_curve(input: &RatInput, max_devices: u32) -> Result<ScalingCurve,
     scaling_curve_with(&Engine::sequential(), input, max_devices)
 }
 
-/// [`scaling_curve`], with each device count analyzed as an independent job
-/// on `engine`.
+/// Device counts evaluated per engine job in [`scaling_curve_with`]. Each
+/// analysis is a handful of flops, so per-count jobs would be dominated by
+/// dispatch overhead; chunking keeps jobs coarse enough to amortize it while
+/// still splitting large curves across workers.
+pub const DEVICES_PER_JOB: usize = 64;
+
+/// [`scaling_curve`], with device counts analyzed in [`DEVICES_PER_JOB`]-sized
+/// chunks as independent jobs on `engine`. Chunks fail with the
+/// lowest-device-count error, matching the sequential order.
 pub fn scaling_curve_with(
     engine: &Engine,
     input: &RatInput,
@@ -134,7 +141,15 @@ pub fn scaling_curve_with(
 ) -> Result<ScalingCurve, RatError> {
     let _span = crate::telemetry::span("multi-fpga");
     let n = max_devices.max(1) as usize;
-    let points = engine.try_run(n, |i| analyze(input, i as u32 + 1))?;
+    let chunks = n.div_ceil(DEVICES_PER_JOB);
+    let per_chunk = engine.try_run(chunks, |c| {
+        let lo = c * DEVICES_PER_JOB;
+        let hi = (lo + DEVICES_PER_JOB).min(n);
+        (lo..hi)
+            .map(|i| analyze(input, i as u32 + 1))
+            .collect::<Result<Vec<_>, _>>()
+    })?;
+    let points = per_chunk.into_iter().flatten().collect();
     Ok(ScalingCurve { points })
 }
 
@@ -215,6 +230,17 @@ mod tests {
     #[test]
     fn zero_devices_rejected() {
         assert!(analyze(&pdf1d_example(), 0).is_err());
+    }
+
+    #[test]
+    fn chunked_curve_matches_per_count_analysis() {
+        // 130 counts spans three chunks, exercising the chunk seams.
+        let input = pdf1d_example();
+        let curve = scaling_curve(&input, 130).unwrap();
+        assert_eq!(curve.points.len(), 130);
+        for (i, p) in curve.points.iter().enumerate() {
+            assert_eq!(*p, analyze(&input, i as u32 + 1).unwrap());
+        }
     }
 
     #[test]

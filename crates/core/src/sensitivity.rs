@@ -9,6 +9,7 @@
 use crate::engine::Engine;
 use crate::error::RatError;
 use crate::params::RatInput;
+use crate::solve::batch::{speedup_batch, BatchPoints};
 use crate::sweep::SweepParam;
 use crate::table::TextTable;
 use crate::throughput;
@@ -54,12 +55,14 @@ pub fn elasticity(input: &RatInput, param: SweepParam, h: f64) -> Result<f64, Ra
         )));
     }
     let p0 = param.read(input);
-    let up = param.apply(input, p0 * (1.0 + h));
-    let down = param.apply(input, p0 * (1.0 - h));
-    up.validate()?;
-    down.validate()?;
+    // The up/down probe pair is a 2-point batch: same float chain as the old
+    // per-point path (bit-identical), and the batch kernel's lowest-index
+    // error contract preserves the up-before-down validation order.
+    let mut points = BatchPoints::new(input, 2);
+    points.push_column(param, vec![p0 * (1.0 + h), p0 * (1.0 - h)]);
+    let probes = speedup_batch(&points)?;
     let s0 = throughput::speedup(input);
-    let ds = throughput::speedup(&up) - throughput::speedup(&down);
+    let ds = probes[0] - probes[1];
     Ok((ds / s0) / (2.0 * h))
 }
 
@@ -170,6 +173,21 @@ mod tests {
         input.comm.alpha_write = 1.0; // 1.0 * (1+h) exceeds the bound
         let err = elasticity(&input, SweepParam::AlphaWrite, 1e-4);
         assert!(err.is_err());
+    }
+
+    #[test]
+    fn batched_probes_match_the_scalar_chain_bitwise() {
+        let input = pdf1d_example();
+        let h = 1e-4;
+        for param in SCANNED_PARAMS {
+            let p0 = param.read(&input);
+            let up = param.apply(&input, p0 * (1.0 + h));
+            let down = param.apply(&input, p0 * (1.0 - h));
+            let s0 = throughput::speedup(&input);
+            let expect = ((throughput::speedup(&up) - throughput::speedup(&down)) / s0) / (2.0 * h);
+            let got = elasticity(&input, param, h).unwrap();
+            assert_eq!(got.to_bits(), expect.to_bits(), "{param:?}");
+        }
     }
 
     #[test]

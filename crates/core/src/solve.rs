@@ -36,6 +36,8 @@
 //! assert!((needed - 50.0).abs() < 0.5); // the paper's Table-8 value
 //! ```
 
+pub mod batch;
+
 use crate::error::RatError;
 use crate::params::{Buffering, RatInput};
 use crate::quantity::{Freq, Seconds};

@@ -1,0 +1,485 @@
+//! Batched structure-of-arrays evaluation of the analytic pipeline.
+//!
+//! Every hot analysis — a dense sweep, a Monte-Carlo uncertainty run, corner
+//! enumeration — evaluates Eqs. (1)–(11) at thousands of design points that
+//! differ from a shared base input in only a few scalar parameters. The
+//! scalar fast path ([`crate::solve::speedup_only`]) already strips the
+//! per-point cost to a validate + a handful of float ops, but it still pays
+//! per-point call overhead and gives the compiler a single point at a time.
+//! [`BatchPoints`] stores the *varied* parameters as columns
+//! (structure-of-arrays) over one base [`RatInput`], and [`speedup_batch`] /
+//! [`solve_batch`] evaluate all points in tight loops over those columns.
+//!
+//! ## Bit-identity contract
+//!
+//! The kernels replicate the scalar expression chain operation for
+//! operation — `bytes as f64 / (alpha * bw)`, `t_write + t_read`,
+//! `elements as f64 * ops / (hz * tp)`, `iters as f64 * (t_comm + t_comp)`
+//! (or `.max`), `t_soft / t_rc` — in the exact order the typed-quantity
+//! operators execute them, so `speedup_batch(&points)[i]` is bit-identical
+//! to `speedup_only(&points.materialize(i))` (pinned by the differential
+//! suite in `tests/batch_differential.rs`). Rust never reassociates float
+//! arithmetic, so a straight-line transcription is sufficient; what batching
+//! buys is amortized validation, hoisted constants (the buffering `match`,
+//! `bytes_per_element`, bandwidth, `t_soft`), and loops the autovectorizer
+//! can work with.
+//!
+//! ## Error contract
+//!
+//! Invalid points error exactly as the scalar path does: the lowest-indexed
+//! invalid point wins, and its error is produced by running the real
+//! [`RatInput::validate`] on that materialized point, so messages and field
+//! ordering are byte-identical to the per-point pipeline.
+
+use crate::error::RatError;
+use crate::params::{Buffering, RatInput};
+use crate::quantity::Seconds;
+use crate::report::Report;
+use crate::sweep::SweepParam;
+use crate::telemetry::{self, Metric};
+use crate::throughput::ThroughputPrediction;
+
+/// Points per engine job in batched analyses. Chunking bounds per-job memory
+/// (a few columns of `CHUNK` floats) while keeping the batch long enough to
+/// amortize dispatch and feed the vector units.
+pub const CHUNK: usize = 1024;
+
+/// A set of design points in structure-of-arrays form: one shared base input
+/// plus a column of values per varied parameter.
+///
+/// Columns are applied **in push order**, with [`SweepParam::apply_into`]
+/// semantics per point — order matters for [`SweepParam::AlphaBoth`], which
+/// reads the current `alpha_write` as its scaling reference, exactly as
+/// chained scalar applies would.
+#[derive(Debug, Clone)]
+pub struct BatchPoints<'a> {
+    base: &'a RatInput,
+    len: usize,
+    columns: Vec<(SweepParam, Vec<f64>)>,
+}
+
+impl<'a> BatchPoints<'a> {
+    /// A batch of `len` points, all initially equal to `base`.
+    pub fn new(base: &'a RatInput, len: usize) -> Self {
+        BatchPoints {
+            base,
+            len,
+            columns: Vec::new(),
+        }
+    }
+
+    /// The shared base input.
+    pub fn base(&self) -> &RatInput {
+        self.base
+    }
+
+    /// Number of design points in the batch.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the batch holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Add a varied parameter: point `i` applies `values[i]`. Panics if the
+    /// column length does not match the batch length.
+    pub fn push_column(&mut self, param: SweepParam, values: Vec<f64>) -> &mut Self {
+        assert_eq!(
+            values.len(),
+            self.len,
+            "column for {param:?} has {} values, batch has {} points",
+            values.len(),
+            self.len
+        );
+        self.columns.push((param, values));
+        self
+    }
+
+    /// The columns in application order.
+    pub fn columns(&self) -> &[(SweepParam, Vec<f64>)] {
+        &self.columns
+    }
+
+    /// Materialize point `i` as a standalone input: the base, cloned, with
+    /// every column applied in order. This is the reference the kernels must
+    /// match bit for bit.
+    pub fn materialize(&self, i: usize) -> RatInput {
+        let mut point = self.base.clone();
+        for (param, values) in &self.columns {
+            param.apply_into(&mut point, values[i]);
+        }
+        point
+    }
+}
+
+/// The mutable parameter fields, decoded to one dense vector each. Fields no
+/// column touches stay at the base value for every point, which keeps the
+/// kernels branch-free; for `CHUNK`-sized batches the broadcast cost is a few
+/// KiB of sequential writes.
+struct Decoded {
+    elements_in: Vec<u64>,
+    alpha_write: Vec<f64>,
+    alpha_read: Vec<f64>,
+    ops_per_element: Vec<f64>,
+    throughput_proc: Vec<f64>,
+    fclock_hz: Vec<f64>,
+    iterations: Vec<u64>,
+}
+
+fn decode(points: &BatchPoints) -> Decoded {
+    let base = points.base;
+    let n = points.len;
+    let mut d = Decoded {
+        elements_in: vec![base.dataset.elements_in; n],
+        alpha_write: vec![base.comm.alpha_write; n],
+        alpha_read: vec![base.comm.alpha_read; n],
+        ops_per_element: vec![base.comp.ops_per_element; n],
+        throughput_proc: vec![base.comp.throughput_proc; n],
+        fclock_hz: vec![base.comp.fclock.hz(); n],
+        iterations: vec![base.software.iterations; n],
+    };
+    for (param, col) in &points.columns {
+        match param {
+            SweepParam::Fclock => {
+                for (dst, &v) in d.fclock_hz.iter_mut().zip(col) {
+                    *dst = v;
+                }
+            }
+            SweepParam::AlphaWrite => {
+                for (dst, &v) in d.alpha_write.iter_mut().zip(col) {
+                    *dst = v;
+                }
+            }
+            SweepParam::AlphaRead => {
+                for (dst, &v) in d.alpha_read.iter_mut().zip(col) {
+                    *dst = v;
+                }
+            }
+            SweepParam::AlphaBoth => {
+                // Same chained semantics as apply_into: the factor reads the
+                // *current* per-point alpha_write.
+                for (i, &v) in col.iter().enumerate() {
+                    let factor = v / d.alpha_write[i];
+                    d.alpha_write[i] = v;
+                    d.alpha_read[i] *= factor;
+                }
+            }
+            SweepParam::ThroughputProc => {
+                for (dst, &v) in d.throughput_proc.iter_mut().zip(col) {
+                    *dst = v;
+                }
+            }
+            SweepParam::OpsPerElement => {
+                for (dst, &v) in d.ops_per_element.iter_mut().zip(col) {
+                    *dst = v;
+                }
+            }
+            SweepParam::ElementsIn => {
+                for (dst, &v) in d.elements_in.iter_mut().zip(col) {
+                    *dst = v.round().max(1.0) as u64;
+                }
+            }
+            SweepParam::Iterations => {
+                for (dst, &v) in d.iterations.iter_mut().zip(col) {
+                    *dst = v.round().max(1.0) as u64;
+                }
+            }
+        }
+    }
+    d
+}
+
+/// Find the lowest-indexed point the scalar `validate()` would reject, and
+/// return its exact error. The cheap predicate below is the *conjunction* of
+/// every validate() check over the decoded fields (fields no sweep parameter
+/// can vary are checked once, outside the loop); any flagged point is then
+/// re-validated through the real `RatInput::validate` so the error message is
+/// byte-identical to the scalar path's.
+fn first_error(points: &BatchPoints, d: &Decoded) -> Option<(usize, RatError)> {
+    let base = points.base;
+    let bw = base.comm.ideal_bandwidth.bytes_per_sec();
+    let t_soft = base.software.t_soft.seconds();
+    let consts_ok = base.dataset.bytes_per_element >= 1
+        && bw.is_finite()
+        && bw > 0.0
+        && t_soft.is_finite()
+        && t_soft > 0.0;
+    let alpha_ok = |a: f64| a.is_finite() && a > 0.0 && a <= 1.0;
+    let rate_ok = |r: f64| r.is_finite() && r > 0.0;
+    for i in 0..points.len {
+        let ok = consts_ok
+            && d.elements_in[i] >= 1
+            && alpha_ok(d.alpha_write[i])
+            && alpha_ok(d.alpha_read[i])
+            && rate_ok(d.ops_per_element[i])
+            && rate_ok(d.throughput_proc[i])
+            && rate_ok(d.fclock_hz[i])
+            && d.iterations[i] >= 1;
+        if !ok {
+            if let Err(e) = points.materialize(i).validate() {
+                return Some((i, e));
+            }
+        }
+    }
+    None
+}
+
+/// The per-point per-iteration time terms, in scalar expression order.
+#[inline(always)]
+fn point_terms(base: &RatInput, d: &Decoded, i: usize, bw: f64, bytes_out: u64) -> (f64, f64, f64) {
+    let bytes_in = d.elements_in[i] * base.dataset.bytes_per_element;
+    let t_write = bytes_in as f64 / (d.alpha_write[i] * bw);
+    let t_read = bytes_out as f64 / (d.alpha_read[i] * bw);
+    let t_comp =
+        d.elements_in[i] as f64 * d.ops_per_element[i] / (d.fclock_hz[i] * d.throughput_proc[i]);
+    (t_write, t_read, t_comp)
+}
+
+fn eval_speedups(base: &RatInput, d: &Decoded) -> Vec<f64> {
+    let bw = base.comm.ideal_bandwidth.bytes_per_sec();
+    let bytes_out = base.dataset.elements_out * base.dataset.bytes_per_element;
+    let t_soft = base.software.t_soft.seconds();
+    let mut out = vec![0.0_f64; d.elements_in.len()];
+    // The buffering discipline is a base property (no SweepParam varies it),
+    // so the Eq. (5) / Eq. (6) choice hoists out of the loop entirely.
+    match base.buffering {
+        Buffering::Single => {
+            for (i, s) in out.iter_mut().enumerate() {
+                let (t_write, t_read, t_comp) = point_terms(base, d, i, bw, bytes_out);
+                let t_comm = t_write + t_read;
+                let t_rc = d.iterations[i] as f64 * (t_comm + t_comp);
+                *s = t_soft / t_rc;
+            }
+        }
+        Buffering::Double => {
+            for (i, s) in out.iter_mut().enumerate() {
+                let (t_write, t_read, t_comp) = point_terms(base, d, i, bw, bytes_out);
+                let t_comm = t_write + t_read;
+                let t_rc = d.iterations[i] as f64 * t_comm.max(t_comp);
+                *s = t_soft / t_rc;
+            }
+        }
+    }
+    out
+}
+
+/// Evaluate Eq. (7) for every point: `out[i]` is bit-identical to
+/// `speedup_only(&points.materialize(i))`. On an invalid point, the
+/// lowest-indexed point's exact scalar error is returned.
+pub fn speedup_batch(points: &BatchPoints) -> Result<Vec<f64>, RatError> {
+    speedup_batch_indexed(points).map_err(|(_, e)| e)
+}
+
+/// [`speedup_batch`], reporting *which* point failed — callers that map batch
+/// indices back to their own domain (corner numbers, sample indices) need the
+/// index to keep error attribution deterministic.
+pub fn speedup_batch_indexed(points: &BatchPoints) -> Result<Vec<f64>, (usize, RatError)> {
+    let d = decode(points);
+    if let Some(bad) = first_error(points, &d) {
+        return Err(bad);
+    }
+    telemetry::add(Metric::BatchPoints, points.len as u64);
+    Ok(eval_speedups(points.base, &d))
+}
+
+/// Evaluate the **full worksheet** for every point: `out[i]` is bit-identical
+/// to `Worksheet::new(points.materialize(i)).analyze()` — the prediction at
+/// the point's buffering, the alternate-buffering prediction, and the
+/// communication-bound ceiling. The numeric pipeline runs as column loops;
+/// only the final `Report` assembly materializes per-point inputs.
+pub fn solve_batch(points: &BatchPoints) -> Result<Vec<Report>, RatError> {
+    let d = decode(points);
+    if let Some((_, e)) = first_error(points, &d) {
+        return Err(e);
+    }
+    telemetry::add(Metric::BatchPoints, points.len as u64);
+    let base = points.base;
+    let bw = base.comm.ideal_bandwidth.bytes_per_sec();
+    let bytes_out = base.dataset.elements_out * base.dataset.bytes_per_element;
+    let t_soft = base.software.t_soft.seconds();
+    let mut reports = Vec::with_capacity(points.len);
+    for i in 0..points.len {
+        let (t_write, t_read, t_comp) = point_terms(base, &d, i, bw, bytes_out);
+        let t_comm = t_write + t_read;
+        let iters = d.iterations[i] as f64;
+        let single = prediction(
+            Buffering::Single,
+            t_write,
+            t_read,
+            t_comm,
+            t_comp,
+            iters,
+            t_soft,
+        );
+        let double = prediction(
+            Buffering::Double,
+            t_write,
+            t_read,
+            t_comm,
+            t_comp,
+            iters,
+            t_soft,
+        );
+        let (throughput, alternate) = match base.buffering {
+            Buffering::Single => (single, double),
+            Buffering::Double => (double, single),
+        };
+        let max_speedup = t_soft / (iters * t_comm);
+        reports.push(Report {
+            speedup: throughput.speedup,
+            throughput,
+            alternate,
+            max_speedup,
+            input: points.materialize(i),
+        });
+    }
+    Ok(reports)
+}
+
+/// Assemble one [`ThroughputPrediction`] from the shared per-iteration terms,
+/// in the exact expression order of `ThroughputPrediction::analyze`.
+fn prediction(
+    buffering: Buffering,
+    t_write: f64,
+    t_read: f64,
+    t_comm: f64,
+    t_comp: f64,
+    iters: f64,
+    t_soft: f64,
+) -> ThroughputPrediction {
+    let (t_rc, util_comp, util_comm) = match buffering {
+        Buffering::Single => (
+            iters * (t_comm + t_comp),
+            t_comp / (t_comm + t_comp),
+            t_comm / (t_comm + t_comp),
+        ),
+        Buffering::Double => (
+            iters * t_comm.max(t_comp),
+            t_comp / t_comm.max(t_comp),
+            t_comm / t_comm.max(t_comp),
+        ),
+    };
+    ThroughputPrediction {
+        t_write: Seconds::new(t_write),
+        t_read: Seconds::new(t_read),
+        t_comm: Seconds::new(t_comm),
+        t_comp: Seconds::new(t_comp),
+        t_rc: Seconds::new(t_rc),
+        speedup: t_soft / t_rc,
+        util_comm,
+        util_comp,
+        buffering,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::pdf1d_example;
+    use crate::solve::speedup_only;
+    use crate::worksheet::Worksheet;
+
+    const ALL_PARAMS: [SweepParam; 8] = [
+        SweepParam::Fclock,
+        SweepParam::AlphaWrite,
+        SweepParam::AlphaRead,
+        SweepParam::AlphaBoth,
+        SweepParam::ThroughputProc,
+        SweepParam::OpsPerElement,
+        SweepParam::ElementsIn,
+        SweepParam::Iterations,
+    ];
+
+    #[test]
+    fn single_column_batches_match_scalar_bit_for_bit() {
+        for buffering in [Buffering::Single, Buffering::Double] {
+            let base = pdf1d_example().with_buffering(buffering);
+            for param in ALL_PARAMS {
+                let center = param.read(&base);
+                let values: Vec<f64> = (0..97).map(|k| center * (0.5 + 0.02 * k as f64)).collect();
+                let mut points = BatchPoints::new(&base, values.len());
+                points.push_column(param, values);
+                let batch = speedup_batch(&points).expect("all points valid");
+                for (i, &got) in batch.iter().enumerate() {
+                    let want = speedup_only(&points.materialize(i)).expect("scalar path agrees");
+                    assert_eq!(
+                        got.to_bits(),
+                        want.to_bits(),
+                        "{param:?}/{buffering:?} point {i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chained_alpha_columns_match_chained_scalar_applies() {
+        let base = pdf1d_example();
+        let n = 33;
+        let mut points = BatchPoints::new(&base, n);
+        points.push_column(
+            SweepParam::AlphaWrite,
+            (0..n).map(|k| 0.2 + 0.02 * k as f64).collect(),
+        );
+        points.push_column(
+            SweepParam::AlphaBoth,
+            (0..n).map(|k| 0.3 + 0.01 * k as f64).collect(),
+        );
+        let batch = speedup_batch(&points).expect("valid");
+        for (i, &got) in batch.iter().enumerate() {
+            let want = speedup_only(&points.materialize(i)).expect("valid");
+            assert_eq!(got.to_bits(), want.to_bits(), "point {i}");
+        }
+    }
+
+    #[test]
+    fn lowest_indexed_invalid_point_wins_with_the_scalar_error() {
+        let base = pdf1d_example();
+        let mut points = BatchPoints::new(&base, 5);
+        // Points 2 and 4 push alpha_write out of (0, 1].
+        points.push_column(SweepParam::AlphaWrite, vec![0.5, 0.6, 1.5, 0.7, -1.0]);
+        let (index, err) = speedup_batch_indexed(&points).expect_err("point 2 invalid");
+        assert_eq!(index, 2);
+        let scalar_err = speedup_only(&points.materialize(2)).expect_err("scalar rejects too");
+        assert_eq!(err.to_string(), scalar_err.to_string());
+    }
+
+    #[test]
+    fn solve_batch_matches_the_worksheet_pipeline() {
+        for buffering in [Buffering::Single, Buffering::Double] {
+            let base = pdf1d_example().with_buffering(buffering);
+            let values = vec![75.0e6, 100.0e6, 150.0e6];
+            let mut points = BatchPoints::new(&base, values.len());
+            points.push_column(SweepParam::Fclock, values);
+            let reports = solve_batch(&points).expect("valid");
+            for (i, got) in reports.iter().enumerate() {
+                let want = Worksheet::new(points.materialize(i))
+                    .analyze()
+                    .expect("worksheet agrees");
+                assert_eq!(got, &want, "{buffering:?} point {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_legal() {
+        let base = pdf1d_example();
+        let points = BatchPoints::new(&base, 0);
+        assert!(points.is_empty());
+        assert_eq!(speedup_batch(&points).expect("empty ok"), Vec::<f64>::new());
+        assert!(solve_batch(&points).expect("empty ok").is_empty());
+    }
+
+    #[test]
+    fn invalid_base_constant_reports_point_zero() {
+        let mut base = pdf1d_example();
+        base.dataset.bytes_per_element = 0;
+        let mut points = BatchPoints::new(&base, 3);
+        points.push_column(SweepParam::Fclock, vec![1.0e8; 3]);
+        let (index, err) = speedup_batch_indexed(&points).expect_err("base invalid");
+        assert_eq!(index, 0);
+        assert!(err.to_string().contains("bytes_per_element"), "{err}");
+    }
+}

@@ -10,8 +10,8 @@ use crate::error::RatError;
 use crate::params::RatInput;
 use crate::quantity::Freq;
 use crate::report::Report;
+use crate::solve::batch::{solve_batch, BatchPoints, CHUNK};
 use crate::table::{sci, TextTable};
-use crate::worksheet::Worksheet;
 use serde::{Deserialize, Serialize};
 
 /// Which scalar input parameter a sweep varies.
@@ -166,9 +166,14 @@ pub fn sweep(input: &RatInput, param: SweepParam, values: &[f64]) -> Result<Swee
     sweep_with(&Engine::sequential(), input, param, values)
 }
 
-/// [`sweep`], with each point analyzed as an independent job on `engine`.
-/// Points come back in request order and the lowest-indexed failing point
-/// wins error reporting, so output is identical at every thread count.
+/// [`sweep`], with the points analyzed in fixed-size chunks on `engine`:
+/// each job is one [`solve_batch`] call over a contiguous slice of `values`,
+/// so the Eq. (1)–(11) arithmetic runs as columnar loops instead of
+/// per-point worksheet calls. Points come back in request order and the
+/// lowest-indexed failing point wins error reporting (the engine picks the
+/// lowest failing chunk, the batch kernel the lowest failing point within
+/// it), so output is identical at every thread count — and bit-identical to
+/// the per-point pipeline it replaced.
 pub fn sweep_with(
     engine: &Engine,
     input: &RatInput,
@@ -176,11 +181,21 @@ pub fn sweep_with(
     values: &[f64],
 ) -> Result<SweepResult, RatError> {
     let _span = crate::telemetry::span("sweep");
-    let points = engine.try_run(values.len(), |i| {
-        let v = values[i];
-        let report = Worksheet::new(param.apply(input, v)).analyze()?;
-        Ok(SweepPoint { value: v, report })
+    let chunks = values.len().div_ceil(CHUNK);
+    let per_chunk = engine.try_run(chunks, |c| {
+        let lo = c * CHUNK;
+        let hi = (lo + CHUNK).min(values.len());
+        let slice = &values[lo..hi];
+        let mut batch = BatchPoints::new(input, slice.len());
+        batch.push_column(param, slice.to_vec());
+        solve_batch(&batch)
     })?;
+    let points = per_chunk
+        .into_iter()
+        .flatten()
+        .zip(values)
+        .map(|(report, &value)| SweepPoint { value, report })
+        .collect();
     Ok(SweepResult { param, points })
 }
 

@@ -107,17 +107,22 @@ pub enum Metric {
     QueueHighWater,
     /// Monte-Carlo samples evaluated.
     McSamples,
+    /// Design points evaluated through the batched SoA kernels
+    /// (`solve::batch`).
+    BatchPoints,
     /// Simulator-cache hits (bridged from [`CacheStats`] at drain).
     ///
     /// [`CacheStats`]: https://docs.rs/fpga-sim
     CacheHits,
     /// Simulator-cache misses (bridged at drain).
     CacheMisses,
+    /// Times a simulator-cache shard lock was contended (bridged at drain).
+    ShardContention,
 }
 
 impl Metric {
     /// Every metric, in rendering order.
-    pub const ALL: [Metric; 10] = [
+    pub const ALL: [Metric; 12] = [
         Metric::EngineJobs,
         Metric::EngineBatches,
         Metric::SimRuns,
@@ -126,8 +131,10 @@ impl Metric {
         Metric::FfPeriodsSkipped,
         Metric::QueueHighWater,
         Metric::McSamples,
+        Metric::BatchPoints,
         Metric::CacheHits,
         Metric::CacheMisses,
+        Metric::ShardContention,
     ];
 
     /// Stable dotted name used by both exporters.
@@ -141,8 +148,10 @@ impl Metric {
             Metric::FfPeriodsSkipped => "sim.ff_periods_skipped",
             Metric::QueueHighWater => "sim.queue_high_water",
             Metric::McSamples => "mc.samples",
+            Metric::BatchPoints => "batch.points",
             Metric::CacheHits => "cache.hits",
             Metric::CacheMisses => "cache.misses",
+            Metric::ShardContention => "cache.shard_contention",
         }
     }
 

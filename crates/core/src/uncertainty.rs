@@ -8,9 +8,10 @@
 //! *distribution* — turning "predicted 10.6x" into "90% chance of at least
 //! 5.6x", which is the honest form of a pre-design commitment.
 
-use crate::engine::{job_rng, Engine};
+use crate::engine::{job_rng, job_rng_first_draws, Engine, FIRST_BLOCK_DRAWS};
 use crate::error::RatError;
 use crate::params::RatInput;
+use crate::solve::batch::{speedup_batch, BatchPoints, CHUNK};
 use crate::sweep::SweepParam;
 use crate::table::TextTable;
 use rand::distributions::{Distribution, Uniform};
@@ -61,11 +62,53 @@ pub struct UncertaintyReport {
 }
 
 impl UncertaintyReport {
-    /// Probability (fraction of samples) that speedup meets `target`.
-    /// Recomputable only if samples were kept; this report stores the
-    /// percentile summary, so the answer is interpolated from it.
+    /// Probability that the speedup is at least `target`, interpolated from
+    /// the stored percentile summary. The report keeps five order statistics
+    /// — `(min, 0)`, `(p5, 0.05)`, `(p50, 0.5)`, `(p95, 0.95)`, `(max, 1)` —
+    /// and this treats them as knots of a piecewise-linear CDF `F`, returning
+    /// `1 - F(target)`. Boundary conventions: any target at or below `min`
+    /// is certain (`1.0`); any target above `max` is impossible (`0.0`); a
+    /// target exactly at `max` returns `0.0`, the continuous-summary reading
+    /// of "strictly better outcomes have measure zero". Degenerate segments
+    /// (equal adjacent percentiles, e.g. a collapsed distribution) resolve to
+    /// the upper knot's probability rather than dividing by zero.
+    pub fn prob_at_least(&self, target: f64) -> f64 {
+        if target <= self.min {
+            return 1.0;
+        }
+        if target > self.max {
+            return 0.0;
+        }
+        let knots = [
+            (self.min, 0.0),
+            (self.p5, 0.05),
+            (self.p50, 0.5),
+            (self.p95, 0.95),
+            (self.max, 1.0),
+        ];
+        for w in knots.windows(2) {
+            let (x0, f0) = w[0];
+            let (x1, f1) = w[1];
+            if target <= x1 {
+                let f = if x1 == x0 {
+                    f1
+                } else {
+                    f0 + (f1 - f0) * (target - x0) / (x1 - x0)
+                };
+                return 1.0 - f;
+            }
+        }
+        0.0
+    }
+
+    /// Whether the design meets `target` with at least 95% interpolated
+    /// probability — i.e. [`Self::prob_at_least`]`(target) >= 0.95`. At the
+    /// boundary this agrees with the old `p5 >= target` rule (a target
+    /// exactly at `p5` interpolates to probability 0.95 and passes), but
+    /// between percentiles the answer now follows the interpolated CDF
+    /// instead of snapping to the nearest stored statistic.
     pub fn likely_meets(&self, target: f64) -> bool {
-        self.p5 >= target
+        self.prob_at_least(target) >= 0.95
     }
 
     /// Render a summary table.
@@ -127,29 +170,44 @@ pub fn propagate_with(
         .iter()
         .map(|r| (r.param, Uniform::new_inclusive(r.lo, r.hi)))
         .collect();
-    // Samples are evaluated in fixed-size chunks so per-job overhead (one
-    // scratch clone, scheduling) amortizes over many draws, and each draw runs
-    // the scalar path: restore the scratch from the base, apply the sampled
-    // parameters in place, and compute only the speedup. Sample `j` still
-    // draws from its own stream `job_rng(seed, j)`, so the joint draw — and
-    // therefore the whole distribution — is bit-identical at any thread count
-    // and independent of the chunk size.
-    const CHUNK: usize = 1024;
+    // Samples are evaluated in fixed-size chunks as independent engine jobs,
+    // and each job is **one batch call**, not a per-sample loop: first a draw
+    // phase fills one SoA column per uncertain parameter (sample `j` still
+    // owns the stream `job_rng(seed, j)`, so the joint draw is bit-identical
+    // at any thread count and chunk size), then `speedup_batch` evaluates the
+    // whole chunk in a tight columnar loop. With at most eight uncertain
+    // parameters the draw phase needs only each stream's first keystream
+    // block, which `job_rng_first_draws` produces eight streams at a time
+    // through the AVX2 multi-buffer ChaCha kernel; more parameters than that
+    // fall back to per-sample RNGs for the draws (identical values, since
+    // both paths consume the same words of the same streams) while keeping
+    // the batched evaluation.
     let chunks = samples.div_ceil(CHUNK);
     let per_chunk = engine.try_run(chunks, |c| {
         let lo = c * CHUNK;
         let hi = (lo + CHUNK).min(samples);
-        let mut scratch = input.clone();
-        let mut out = Vec::with_capacity(hi - lo);
-        for j in lo..hi {
-            let mut rng = job_rng(seed, j as u64);
-            scratch.copy_params_from(input);
-            for (param, dist) in &dists {
-                param.apply_into(&mut scratch, dist.sample(&mut rng));
+        let n = hi - lo;
+        let mut columns: Vec<Vec<f64>> = dists.iter().map(|_| Vec::with_capacity(n)).collect();
+        if dists.len() <= FIRST_BLOCK_DRAWS {
+            let draws = job_rng_first_draws(seed, lo as u64, hi as u64);
+            for draw in &draws {
+                for (column, ((_, dist), &word)) in columns.iter_mut().zip(dists.iter().zip(draw)) {
+                    column.push(dist.sample_from_u64_word(word));
+                }
             }
-            out.push(crate::solve::speedup_only(&scratch)?);
+        } else {
+            for j in lo..hi {
+                let mut rng = job_rng(seed, j as u64);
+                for (column, (_, dist)) in columns.iter_mut().zip(&dists) {
+                    column.push(dist.sample(&mut rng));
+                }
+            }
         }
-        Ok(out)
+        let mut points = BatchPoints::new(input, n);
+        for ((param, _), column) in dists.iter().zip(columns) {
+            points.push_column(*param, column);
+        }
+        speedup_batch(&points)
     })?;
     crate::telemetry::add(crate::telemetry::Metric::McSamples, samples as u64);
     let mut speedups: Vec<f64> = Vec::with_capacity(samples);
@@ -265,5 +323,58 @@ mod tests {
     #[should_panic(expected = "finite lo <= hi")]
     fn reversed_range_panics() {
         ParamRange::new(SweepParam::Fclock, 2.0, 1.0);
+    }
+
+    fn summary() -> UncertaintyReport {
+        UncertaintyReport {
+            samples: 1000,
+            mean: 7.5,
+            std_dev: 1.5,
+            min: 5.0,
+            p5: 5.5,
+            p50: 7.5,
+            p95: 10.0,
+            max: 10.6,
+        }
+    }
+
+    #[test]
+    fn prob_at_least_pins_the_boundaries() {
+        let r = summary();
+        // At or below the minimum: certain.
+        assert_eq!(r.prob_at_least(4.0), 1.0);
+        assert_eq!(r.prob_at_least(r.min), 1.0);
+        // Exactly at each stored percentile: the stored mass.
+        assert!((r.prob_at_least(r.p5) - 0.95).abs() < 1e-12);
+        assert!((r.prob_at_least(r.p50) - 0.50).abs() < 1e-12);
+        assert!((r.prob_at_least(r.p95) - 0.05).abs() < 1e-12);
+        // At or above the maximum: impossible under the continuous summary.
+        assert_eq!(r.prob_at_least(r.max), 0.0);
+        assert_eq!(r.prob_at_least(r.max + 1.0), 0.0);
+        // Strictly between knots: linear, strictly decreasing.
+        let mid = r.prob_at_least((r.p50 + r.p95) / 2.0);
+        assert!((0.05..0.50).contains(&mid), "mid-segment prob {mid}");
+        assert!((mid - 0.275).abs() < 1e-12, "linear midpoint, got {mid}");
+    }
+
+    #[test]
+    fn likely_meets_agrees_with_the_old_rule_at_p5() {
+        let r = summary();
+        // Boundary compatibility: exactly p5 passes, just above fails.
+        assert!(r.likely_meets(r.p5));
+        assert!(!r.likely_meets(r.p5 + 1e-9));
+        // Below p5 it interpolates toward certainty.
+        assert!(r.likely_meets(r.min));
+        assert!(r.likely_meets(5.2));
+    }
+
+    #[test]
+    fn prob_at_least_handles_collapsed_distributions() {
+        let mut r = summary();
+        (r.min, r.p5, r.p50, r.p95, r.max) = (7.0, 7.0, 7.0, 7.0, 7.0);
+        assert_eq!(r.prob_at_least(6.9), 1.0);
+        assert_eq!(r.prob_at_least(7.0), 1.0, "target == min is certain");
+        assert_eq!(r.prob_at_least(7.1), 0.0);
+        assert!(r.likely_meets(7.0));
     }
 }

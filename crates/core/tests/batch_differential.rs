@@ -1,0 +1,274 @@
+//! Differential tests pinning the batched SoA kernels to the scalar path.
+//!
+//! The batch kernels exist purely for throughput; their contract is
+//! **bit-identity** with the per-point path at every chunk size and thread
+//! count. These tests are the contract's enforcement: property tests drive
+//! random (input, parameter, values) triples through both paths and compare
+//! `f64::to_bits`, and deterministic tests walk the chunk-boundary sizes
+//! (1, CHUNK-1, CHUNK, CHUNK+1) across 1/2/8-thread engines.
+
+use proptest::prelude::*;
+use rat_core::engine::{Engine, EngineConfig};
+use rat_core::params::{
+    Buffering, CommParams, CompParams, DatasetParams, RatInput, SoftwareParams,
+};
+use rat_core::quantity::{Freq, Seconds, Throughput};
+use rat_core::solve::batch::{solve_batch, speedup_batch, BatchPoints, CHUNK};
+use rat_core::sweep::{sweep_with, SweepParam};
+use rat_core::uncertainty::{propagate_with, ParamRange};
+use rat_core::{solve, Worksheet};
+
+/// Strategy: a valid worksheet input across wide parameter ranges.
+fn worksheet() -> impl Strategy<Value = RatInput> {
+    (
+        1u64..100_000,  // elements_in
+        0u64..100_000,  // elements_out
+        1u64..64,       // bytes per element
+        1.0e8..1.0e10,  // ideal bandwidth
+        0.01f64..1.0,   // alpha_write
+        0.01f64..1.0,   // alpha_read
+        1.0f64..1.0e6,  // ops per element
+        0.1f64..1000.0, // throughput_proc
+        1.0e7..1.0e9,   // fclock
+        1.0e-3..1.0e4,  // t_soft
+        1u64..10_000,   // iterations
+        prop_oneof![Just(Buffering::Single), Just(Buffering::Double)],
+    )
+        .prop_map(
+            |(ein, eout, bpe, bw, aw, ar, ops, tp, f, tsoft, iters, buffering)| RatInput {
+                name: "prop".into(),
+                dataset: DatasetParams {
+                    elements_in: ein,
+                    elements_out: eout,
+                    bytes_per_element: bpe,
+                },
+                comm: CommParams {
+                    ideal_bandwidth: Throughput::from_bytes_per_sec(bw),
+                    alpha_write: aw,
+                    alpha_read: ar,
+                },
+                comp: CompParams {
+                    ops_per_element: ops,
+                    throughput_proc: tp,
+                    fclock: Freq::from_hz(f),
+                },
+                software: SoftwareParams {
+                    t_soft: Seconds::new(tsoft),
+                    iterations: iters,
+                },
+                buffering,
+            },
+        )
+}
+
+/// `param` paired with a vector of values that keep the varied input valid.
+fn values_for(
+    param: SweepParam,
+    range: std::ops::Range<f64>,
+    len: std::ops::Range<usize>,
+) -> impl Strategy<Value = (SweepParam, Vec<f64>)> {
+    proptest::collection::vec(range, len).prop_map(move |v| (param, v))
+}
+
+/// Every `SweepParam` variant, paired with a strategy for values that keep
+/// the varied input valid.
+fn param_and_values(len: std::ops::Range<usize>) -> impl Strategy<Value = (SweepParam, Vec<f64>)> {
+    prop_oneof![
+        values_for(SweepParam::Fclock, 1.0e7..1.0e9, len.clone()),
+        values_for(SweepParam::AlphaWrite, 0.01..1.0, len.clone()),
+        values_for(SweepParam::AlphaRead, 0.01..1.0, len.clone()),
+        values_for(SweepParam::AlphaBoth, 0.01..1.0, len.clone()),
+        values_for(SweepParam::ThroughputProc, 0.1..1000.0, len.clone()),
+        values_for(SweepParam::OpsPerElement, 1.0..1.0e6, len.clone()),
+        values_for(SweepParam::ElementsIn, 1.0..1.0e5, len.clone()),
+        values_for(SweepParam::Iterations, 1.0..1.0e4, len),
+    ]
+}
+
+/// `AlphaBoth` applies its value to `alpha_write` and scales `alpha_read` by
+/// the same factor, so an arbitrary value in (0, 1] can push `alpha_read`
+/// past 1 when the base write alpha is small. Rescale the generated values
+/// into the jointly valid range `(0, min(1, alpha_write/alpha_read)]`; other
+/// parameters pass through untouched.
+fn clamp_for(param: SweepParam, input: &RatInput, values: Vec<f64>) -> Vec<f64> {
+    if param == SweepParam::AlphaBoth {
+        let cap = (input.comm.alpha_write / input.comm.alpha_read).min(1.0);
+        values.into_iter().map(|f| f * cap).collect()
+    } else {
+        values
+    }
+}
+
+proptest! {
+    /// `speedup_batch` returns exactly the bits `speedup_only` produces on
+    /// the materialized per-point inputs, for every parameter variant.
+    #[test]
+    fn batch_speedups_are_bit_identical_to_scalar(
+        input in worksheet(),
+        (param, values) in param_and_values(1..48usize),
+    ) {
+        let values = clamp_for(param, &input, values);
+        let mut batch = BatchPoints::new(&input, values.len());
+        batch.push_column(param, values.clone());
+        let batched = speedup_batch(&batch).unwrap();
+        for (i, &v) in values.iter().enumerate() {
+            let scalar = solve::speedup_only(&param.apply(&input, v)).unwrap();
+            prop_assert_eq!(
+                batched[i].to_bits(), scalar.to_bits(),
+                "{:?} at value {} (index {})", param, v, i
+            );
+        }
+    }
+
+    /// Two stacked columns (the Monte-Carlo shape) apply in order and stay
+    /// bit-identical to the chained scalar applies.
+    #[test]
+    fn stacked_columns_match_chained_scalar_applies(
+        input in worksheet(),
+        (pa, va) in param_and_values(1..16usize),
+        (pb, _) in param_and_values(1usize..2),
+    ) {
+        let va = clamp_for(pa, &input, va);
+        // pb's values shrink each point's current value by 0.6–0.9x, which
+        // preserves validity for every variant (alphas stay in (0, 1],
+        // counts round to >= 1, rates stay positive).
+        let vb: Vec<f64> = va
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| {
+                pb.read(&pa.apply(&input, v)) * (0.6 + 0.3 * (i as f64 / va.len() as f64))
+            })
+            .collect();
+        let mut batch = BatchPoints::new(&input, va.len());
+        batch.push_column(pa, va.clone());
+        batch.push_column(pb, vb.clone());
+        let batched = speedup_batch(&batch).unwrap();
+        for i in 0..va.len() {
+            let stepped = pb.apply(&pa.apply(&input, va[i]), vb[i]);
+            let scalar = solve::speedup_only(&stepped).unwrap();
+            prop_assert_eq!(
+                batched[i].to_bits(), scalar.to_bits(),
+                "{:?}+{:?} at index {}", pa, pb, i
+            );
+        }
+    }
+
+    /// The full `solve_batch` report equals the Worksheet pipeline's report.
+    #[test]
+    fn batch_reports_equal_worksheet_reports(
+        input in worksheet(),
+        (param, values) in param_and_values(1..12usize),
+    ) {
+        let values = clamp_for(param, &input, values);
+        let mut batch = BatchPoints::new(&input, values.len());
+        batch.push_column(param, values.clone());
+        let reports = solve_batch(&batch).unwrap();
+        for (i, &v) in values.iter().enumerate() {
+            let scalar = Worksheet::new(param.apply(&input, v)).analyze().unwrap();
+            prop_assert_eq!(&reports[i], &scalar, "{:?} at index {}", param, i);
+        }
+    }
+
+    /// An invalid point surfaces the same error message the scalar path
+    /// produces, and the *first* (lowest-index) invalid point wins.
+    #[test]
+    fn batch_errors_match_scalar_errors_at_the_first_bad_point(
+        input in worksheet(),
+        prefix in 0usize..8,
+        bad_alpha in 1.5f64..10.0,
+    ) {
+        let mut values: Vec<f64> = vec![0.5; prefix];
+        values.push(bad_alpha); // out of (0, 1]
+        values.push(7.0);       // also invalid, but later: must not win
+        let mut batch = BatchPoints::new(&input, values.len());
+        batch.push_column(SweepParam::AlphaWrite, values.clone());
+        let got = speedup_batch(&batch).unwrap_err();
+        let want = SweepParam::AlphaWrite
+            .apply(&input, bad_alpha)
+            .validate()
+            .unwrap_err();
+        prop_assert_eq!(got.to_string(), want.to_string());
+    }
+}
+
+/// The engines the thread-count sweeps run on: serial, 2-way, 8-way.
+fn engines() -> Vec<Engine> {
+    [1usize, 2, 8]
+        .into_iter()
+        .map(|j| Engine::new(EngineConfig::default().with_jobs(j)))
+        .collect()
+}
+
+/// One representative design (the paper's 1-D PDF, Table 2).
+fn pdf1d() -> RatInput {
+    RatInput {
+        name: "pdf1d".into(),
+        dataset: DatasetParams {
+            elements_in: 512,
+            elements_out: 1,
+            bytes_per_element: 4,
+        },
+        comm: CommParams {
+            ideal_bandwidth: Throughput::from_bytes_per_sec(1.0e9),
+            alpha_write: 0.37,
+            alpha_read: 0.16,
+        },
+        comp: CompParams {
+            ops_per_element: 768.0,
+            throughput_proc: 20.0,
+            fclock: Freq::from_mhz(150.0),
+        },
+        software: SoftwareParams {
+            t_soft: Seconds::new(0.578),
+            iterations: 400,
+        },
+        buffering: Buffering::Single,
+    }
+}
+
+#[test]
+fn sweep_is_bitwise_stable_across_chunk_seams_and_threads() {
+    let input = pdf1d();
+    for n in [1usize, CHUNK - 1, CHUNK, CHUNK + 1] {
+        let values: Vec<f64> = (0..n)
+            .map(|i| 5.0e7 + 2.0e8 * (i as f64 / n.max(2) as f64))
+            .collect();
+        let baseline = sweep_with(&Engine::sequential(), &input, SweepParam::Fclock, &values)
+            .unwrap_or_else(|e| panic!("n={n}: {e}"));
+        assert_eq!(baseline.points.len(), n);
+        // Scalar ground truth at the seam indices and a mid point.
+        for &i in &[0, n / 2, n - 1] {
+            let scalar = solve::speedup_only(&SweepParam::Fclock.apply(&input, values[i])).unwrap();
+            assert_eq!(
+                baseline.points[i].report.speedup.to_bits(),
+                scalar.to_bits(),
+                "n={n} index {i}"
+            );
+        }
+        for engine in engines() {
+            let swept = sweep_with(&engine, &input, SweepParam::Fclock, &values).unwrap();
+            assert_eq!(baseline, swept, "n={n} at {} jobs", engine.config().jobs);
+        }
+    }
+}
+
+#[test]
+fn uncertainty_is_bitwise_stable_across_chunk_seams_and_threads() {
+    let input = pdf1d();
+    let ranges = [
+        ParamRange::new(SweepParam::Fclock, 7.5e7, 1.5e8),
+        ParamRange::new(SweepParam::ThroughputProc, 16.0, 24.0),
+    ];
+    for samples in [1usize, CHUNK - 1, CHUNK, CHUNK + 1] {
+        let baseline = propagate_with(&Engine::sequential(), &input, &ranges, samples, 7).unwrap();
+        for engine in engines() {
+            let report = propagate_with(&engine, &input, &ranges, samples, 7).unwrap();
+            assert_eq!(
+                baseline,
+                report,
+                "samples={samples} at {} jobs",
+                engine.config().jobs
+            );
+        }
+    }
+}

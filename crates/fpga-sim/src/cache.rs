@@ -13,18 +13,28 @@
 //! explicitly asks to see a schedule, which goes through
 //! [`crate::platform::Platform::execute`] uncached.
 //!
+//! The store is sharded [`SHARD_COUNT`] ways: a key selects its shard from
+//! the low bits of the 128-bit run key (uniform by construction — the key is
+//! a BLAKE-style digest), and each shard has its own `RwLock`. Concurrent
+//! lookups of distinct keys proceed without serializing on one global mutex,
+//! and the [`CacheStats::shard_contention`] counter records how often a
+//! try-lock still collided.
+//!
 //! By default the cache lives in memory only, so tests stay hermetic and a
 //! simulator change can never be masked by stale results on disk. The CLI
 //! opts into persistence with [`SimCache::persist_at`] (or the
-//! `RAT_SIM_CACHE` environment variable), which snapshots the cache to a TSV
-//! file after each insert via an atomic temp-file rename.
+//! `RAT_SIM_CACHE` environment variable). Persistence is write-behind: a
+//! dirty counter batches inserts and snapshots the cache to a TSV file every
+//! [`FLUSH_INTERVAL`] inserts, on [`SimCache::flush`], and on drop — always
+//! via an atomic temp-file rename, so a concurrent reader never sees a torn
+//! file.
 
 use crate::platform::Measurement;
 use crate::time::SimTime;
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Mutex, OnceLock, RwLock};
 
 /// The scalar results of one platform execution — [`Measurement`] minus the
 /// per-event trace.
@@ -88,6 +98,9 @@ pub struct CacheStats {
     pub misses: u64,
     /// Entries currently stored.
     pub entries: u64,
+    /// Times a shard try-lock collided with a concurrent holder and had to
+    /// fall back to a blocking acquire.
+    pub shard_contention: u64,
 }
 
 impl CacheStats {
@@ -102,11 +115,35 @@ impl CacheStats {
     }
 }
 
-/// A concurrent, content-addressed store of simulation results.
+/// Number of independently locked shards in a [`SimCache`]. Sixteen is wide
+/// enough that even an 8-worker engine rarely collides on a shard (the
+/// birthday bound at 8 simultaneous lookups over 16 shards is ~87% of *some*
+/// collision, but each is transient), while keeping the per-cache footprint
+/// at 16 empty `HashMap`s. Must be a power of two so the shard index is a
+/// mask of the key's low bits.
+pub const SHARD_COUNT: usize = 16;
+
+/// Inserts between write-behind snapshots of a persistent cache. A large
+/// sweep previously rewrote the whole TSV once per insert — O(n²) bytes for n
+/// entries; batching bounds the rewrite count at `n / FLUSH_INTERVAL` plus
+/// the final flush on drop.
+pub const FLUSH_INTERVAL: u64 = 64;
+
+/// The shard a key belongs to: low bits of the 128-bit digest, which are
+/// uniformly distributed by construction.
+fn shard_of(key: u128) -> usize {
+    (key as usize) & (SHARD_COUNT - 1)
+}
+
+/// A concurrent, content-addressed store of simulation results, sharded
+/// [`SHARD_COUNT`] ways.
 pub struct SimCache {
-    map: Mutex<HashMap<u128, SimSummary>>,
+    shards: [RwLock<HashMap<u128, SimSummary>>; SHARD_COUNT],
     hits: AtomicU64,
     misses: AtomicU64,
+    shard_contention: AtomicU64,
+    /// Inserts not yet reflected in the on-disk snapshot.
+    dirty: AtomicU64,
     enabled: AtomicBool,
     disk: Mutex<Option<PathBuf>>,
 }
@@ -115,9 +152,11 @@ impl SimCache {
     /// An empty, enabled, in-memory cache.
     pub fn new() -> Self {
         SimCache {
-            map: Mutex::new(HashMap::new()),
+            shards: std::array::from_fn(|_| RwLock::new(HashMap::new())),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            shard_contention: AtomicU64::new(0),
+            dirty: AtomicU64::new(0),
             enabled: AtomicBool::new(true),
             disk: Mutex::new(None),
         }
@@ -152,18 +191,44 @@ impl SimCache {
     }
 
     /// Persist the cache at `path`: load any entries a previous process left
-    /// there, and snapshot the full cache back after each insert (atomic
+    /// there, and write-behind snapshot the cache back every
+    /// [`FLUSH_INTERVAL`] inserts and on [`flush`](Self::flush)/drop (atomic
     /// temp-file + rename, so a concurrent reader never sees a torn file).
     /// Unreadable or malformed existing files are ignored — the cache is an
     /// accelerator, never a correctness dependency.
     pub fn persist_at(&self, path: PathBuf) {
         if let Some(loaded) = read_tsv(&path) {
-            let mut map = self.map.lock().expect("cache mutex poisoned");
             for (k, v) in loaded {
-                map.entry(k).or_insert(v);
+                self.write_shard(k).entry(k).or_insert(v);
             }
         }
         *self.disk.lock().expect("cache mutex poisoned") = Some(path);
+    }
+
+    /// Read-lock a key's shard, counting a contended try-lock.
+    fn read_shard(&self, key: u128) -> std::sync::RwLockReadGuard<'_, HashMap<u128, SimSummary>> {
+        let shard = &self.shards[shard_of(key)];
+        match shard.try_read() {
+            Ok(guard) => guard,
+            Err(std::sync::TryLockError::WouldBlock) => {
+                self.shard_contention.fetch_add(1, Ordering::Relaxed);
+                shard.read().expect("cache shard poisoned")
+            }
+            Err(std::sync::TryLockError::Poisoned(_)) => panic!("cache shard poisoned"),
+        }
+    }
+
+    /// Write-lock a key's shard, counting a contended try-lock.
+    fn write_shard(&self, key: u128) -> std::sync::RwLockWriteGuard<'_, HashMap<u128, SimSummary>> {
+        let shard = &self.shards[shard_of(key)];
+        match shard.try_write() {
+            Ok(guard) => guard,
+            Err(std::sync::TryLockError::WouldBlock) => {
+                self.shard_contention.fetch_add(1, Ordering::Relaxed);
+                shard.write().expect("cache shard poisoned")
+            }
+            Err(std::sync::TryLockError::Poisoned(_)) => panic!("cache shard poisoned"),
+        }
     }
 
     /// Look up a run key, counting the outcome. Disabled caches miss silently
@@ -172,12 +237,7 @@ impl SimCache {
         if !self.is_enabled() {
             return None;
         }
-        let found = self
-            .map
-            .lock()
-            .expect("cache mutex poisoned")
-            .get(&key)
-            .copied();
+        let found = self.read_shard(key).get(&key).copied();
         match found {
             Some(s) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -190,45 +250,72 @@ impl SimCache {
         }
     }
 
-    /// Store a result. No-op when disabled.
+    /// Store a result. No-op when disabled. Persistent caches batch the disk
+    /// write: the snapshot happens every [`FLUSH_INTERVAL`] inserts, not per
+    /// insert.
     pub fn insert(&self, key: u128, summary: SimSummary) {
         if !self.is_enabled() {
             return;
         }
-        let snapshot = {
-            let mut map = self.map.lock().expect("cache mutex poisoned");
-            map.insert(key, summary);
-            let disk = self.disk.lock().expect("cache mutex poisoned");
-            disk.as_ref().map(|path| {
-                let rows: Vec<(u128, SimSummary)> = map.iter().map(|(k, v)| (*k, *v)).collect();
-                (path.clone(), rows)
-            })
-        };
-        if let Some((path, rows)) = snapshot {
-            // Failure to write is a lost optimization, not an error.
-            let _ = write_tsv(&path, &rows);
+        self.write_shard(key).insert(key, summary);
+        // One increment per insert; the flusher swaps the counter back to
+        // zero, so racing inserts at most flush once each past the threshold.
+        if self.dirty.fetch_add(1, Ordering::Relaxed) + 1 >= FLUSH_INTERVAL {
+            self.flush();
         }
+    }
+
+    /// Write any batched inserts of a persistent cache to disk now. A no-op
+    /// for in-memory caches or when nothing is dirty. Failure to write is a
+    /// lost optimization, not an error.
+    pub fn flush(&self) {
+        // The disk mutex serializes concurrent flushers; dirty is swapped to
+        // zero under it so each batch is written exactly once.
+        let disk = self.disk.lock().expect("cache mutex poisoned");
+        let Some(path) = disk.as_ref() else {
+            return;
+        };
+        if self.dirty.swap(0, Ordering::Relaxed) == 0 {
+            return;
+        }
+        let mut rows: Vec<(u128, SimSummary)> = Vec::new();
+        for shard in &self.shards {
+            let map = shard.read().expect("cache shard poisoned");
+            rows.extend(map.iter().map(|(k, v)| (*k, *v)));
+        }
+        let _ = write_tsv(path, &rows);
     }
 
     /// Current counters.
     pub fn stats(&self) -> CacheStats {
+        let entries = self
+            .shards
+            .iter()
+            .map(|s| s.read().expect("cache shard poisoned").len() as u64)
+            .sum();
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
-            entries: self.map.lock().expect("cache mutex poisoned").len() as u64,
+            entries,
+            shard_contention: self.shard_contention.load(Ordering::Relaxed),
         }
     }
 
-    /// Zero the hit/miss counters (entries are kept). Lets a caller measure
-    /// one analysis pass in isolation.
+    /// Zero the hit/miss/contention counters (entries are kept). Lets a
+    /// caller measure one analysis pass in isolation.
     pub fn reset_stats(&self) {
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
+        self.shard_contention.store(0, Ordering::Relaxed);
     }
 
-    /// Drop all stored entries and zero the counters.
+    /// Drop all stored entries and zero the counters. Pending (unflushed)
+    /// inserts are discarded along with the entries.
     pub fn clear(&self) {
-        self.map.lock().expect("cache mutex poisoned").clear();
+        for shard in &self.shards {
+            shard.write().expect("cache shard poisoned").clear();
+        }
+        self.dirty.store(0, Ordering::Relaxed);
         self.reset_stats();
     }
 }
@@ -236,6 +323,15 @@ impl SimCache {
 impl Default for SimCache {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+impl Drop for SimCache {
+    /// Flush batched inserts so a persistent cache never loses the tail of a
+    /// run. The process-global cache is never dropped — the CLI flushes it
+    /// explicitly before exit.
+    fn drop(&mut self) {
+        self.flush();
     }
 }
 
@@ -393,6 +489,9 @@ mod tests {
         first.persist_at(path.clone());
         first.insert(0xABCD, sample_summary(777));
         first.insert(0x1234, sample_summary(888));
+        // Writes are batched now: nothing reaches disk until a flush.
+        assert!(!path.exists(), "write-behind must not write per insert");
+        first.flush();
 
         let second = SimCache::new();
         second.persist_at(path.clone());
@@ -401,6 +500,98 @@ mod tests {
 
         let _ = std::fs::remove_file(&path);
         let _ = std::fs::remove_dir(&dir);
+    }
+
+    #[test]
+    fn drop_flushes_pending_inserts() {
+        let dir = std::env::temp_dir().join(format!("rat-sim-cache-drop-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.tsv");
+        let _ = std::fs::remove_file(&path);
+
+        {
+            let cache = SimCache::new();
+            cache.persist_at(path.clone());
+            cache.insert(0xFEED, sample_summary(111));
+            assert!(!path.exists());
+        } // drop flushes
+
+        let reader = SimCache::new();
+        reader.persist_at(path.clone());
+        assert_eq!(reader.lookup(0xFEED), Some(sample_summary(111)));
+
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_dir(&dir);
+    }
+
+    #[test]
+    fn interval_flush_bounds_write_amplification() {
+        let dir = std::env::temp_dir().join(format!("rat-sim-cache-amp-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.tsv");
+        let _ = std::fs::remove_file(&path);
+
+        let cache = SimCache::new();
+        cache.persist_at(path.clone());
+        for k in 0..FLUSH_INTERVAL - 1 {
+            cache.insert(u128::from(k), sample_summary(k + 1));
+        }
+        assert!(!path.exists(), "below the interval nothing is written");
+        cache.insert(
+            u128::from(FLUSH_INTERVAL - 1),
+            sample_summary(FLUSH_INTERVAL),
+        );
+        assert!(
+            path.exists(),
+            "the interval-th insert triggers the snapshot"
+        );
+        let rows = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(rows.lines().count() as u64, FLUSH_INTERVAL);
+
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_dir(&dir);
+    }
+
+    #[test]
+    fn keys_spread_across_shards_and_uncontended_locks_count_nothing() {
+        let cache = SimCache::new();
+        for k in 0..(SHARD_COUNT as u128 * 4) {
+            cache.insert(k, sample_summary(1 + k as u64));
+            assert_eq!(cache.lookup(k), Some(sample_summary(1 + k as u64)));
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.entries, SHARD_COUNT as u64 * 4);
+        assert_eq!(stats.shard_contention, 0, "single-thread never contends");
+        // Consecutive digests land in consecutive shards (low-bit mask), so
+        // every shard holds exactly 4 of the 64 keys.
+        for s in 0..SHARD_COUNT {
+            let held = (0..SHARD_COUNT as u128 * 4)
+                .filter(|k| super::shard_of(*k) == s)
+                .count();
+            assert_eq!(held, 4);
+        }
+    }
+
+    #[test]
+    fn sharded_cache_survives_concurrent_hammering() {
+        let cache = std::sync::Arc::new(SimCache::new());
+        let threads: Vec<_> = (0..8u64)
+            .map(|t| {
+                let cache = std::sync::Arc::clone(&cache);
+                std::thread::spawn(move || {
+                    for i in 0..200u64 {
+                        let key = u128::from(t * 1000 + i);
+                        cache.insert(key, sample_summary(i + 1));
+                        assert_eq!(cache.lookup(key), Some(sample_summary(i + 1)));
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(cache.stats().entries, 8 * 200);
+        assert_eq!(cache.stats().hits, 8 * 200);
     }
 
     #[test]

@@ -75,7 +75,9 @@ fn scrub(tree: &str) -> String {
 
 /// The `--metrics` tree for a fixed three-point sweep is deterministic in
 /// content once durations are scrubbed: same spans, same counts, same metric
-/// values, at any thread count.
+/// values, at any thread count. The batched sweep dispatches one engine job
+/// per 1024-point chunk, so three points are a single job whose kernel
+/// reports its point count through the `batch.points` metric.
 #[test]
 fn metrics_tree_snapshot_on_fixed_sweep() {
     let expected = "\
@@ -83,11 +85,11 @@ wall-clock profile:
 rat.run count=1 total=_ self=_
 sweep count=1 total=_ self=_
 engine.batch count=1 total=_ self=_
-engine.job count=3 total=_ self=_
-solve.ceiling count=3 total=_ self=_
+engine.job count=1 total=_ self=_
 metrics:
-engine.jobs 3
+engine.jobs 1
 engine.batches 1
+batch.points 3
 ";
     for jobs in ["1", "2", "8"] {
         let (_, stderr) = run_rat(&[

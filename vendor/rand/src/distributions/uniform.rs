@@ -132,6 +132,30 @@ impl<X: SampleUniform> Uniform<X> {
     }
 }
 
+impl Uniform<f64> {
+    /// Compute the sample this distribution would produce from one raw
+    /// `next_u64` word, without an RNG. The expressions are kept
+    /// operation-for-operation identical to [`SampleUniform::sample_half_open`]
+    /// / [`SampleUniform::sample_inclusive`] for `f64`, so
+    /// `dist.sample_from_u64_word(w)` is bit-identical to `dist.sample(rng)`
+    /// when `rng.next_u64()` would have returned `w`. This is the primitive
+    /// batched Monte-Carlo paths build on: draw all words up front, then map
+    /// them through the distribution in a tight loop.
+    #[inline]
+    pub fn sample_from_u64_word(&self, word: u64) -> f64 {
+        let value1_2 = f64::from_bits(0x3FF0_0000_0000_0000u64 | (word >> 12));
+        if self.inclusive {
+            let scale = (self.high - self.low) / (1.0 - f64::EPSILON);
+            let value0_1 = value1_2 - 1.0;
+            value0_1 * scale + self.low
+        } else {
+            let scale = self.high - self.low;
+            let offset = self.low - scale;
+            value1_2 * scale + offset
+        }
+    }
+}
+
 impl<X: SampleUniform> Distribution<X> for Uniform<X> {
     fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> X {
         if self.inclusive {
@@ -156,5 +180,49 @@ impl<T: SampleUniform> SampleRange<T> for Range<T> {
 impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
     fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
         T::sample_inclusive(rng, *self.start(), *self.end())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// An "RNG" that replays a fixed word — lets the raw-word sampler be
+    /// checked bit-for-bit against the RNG-driven path.
+    struct FixedWord(u64);
+    impl RngCore for FixedWord {
+        fn next_u32(&mut self) -> u32 {
+            self.0 as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for b in dest.iter_mut() {
+                *b = 0;
+            }
+        }
+    }
+
+    #[test]
+    fn raw_word_sampler_is_bit_identical_to_rng_path() {
+        let words = [0u64, 1, u64::MAX, 0x9E37_79B9_7F4A_7C15, 1 << 63, 0xFFF];
+        let ranges = [(0.0, 1.0), (-3.5, 7.25), (75.0e6, 150.0e6), (1e-12, 2e-12)];
+        for &(lo, hi) in &ranges {
+            for &w in &words {
+                let inc = Uniform::new_inclusive(lo, hi);
+                let half = Uniform::new(lo, hi);
+                assert_eq!(
+                    inc.sample_from_u64_word(w).to_bits(),
+                    inc.sample(&mut FixedWord(w)).to_bits(),
+                    "inclusive [{lo}, {hi}] word {w:#x}"
+                );
+                assert_eq!(
+                    half.sample_from_u64_word(w).to_bits(),
+                    half.sample(&mut FixedWord(w)).to_bits(),
+                    "half-open [{lo}, {hi}) word {w:#x}"
+                );
+            }
+        }
     }
 }

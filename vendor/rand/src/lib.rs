@@ -105,6 +105,66 @@ pub trait Rng: RngCore {
 
 impl<R: RngCore + ?Sized> Rng for R {}
 
+/// Expand a `u64` into seed bytes with a PCG32 stream, bit-identical to
+/// `rand_core` 0.6's `seed_from_u64` default. Public so bulk seeding paths
+/// (e.g. batched ChaCha key derivation) can reproduce the exact byte stream
+/// `seed_from_u64` would produce without constructing an RNG per seed.
+#[inline]
+pub fn fill_seed_bytes_from_u64(mut state: u64, out: &mut [u8]) {
+    const MUL: u64 = 6364136223846793005;
+    const INC: u64 = 11634580027462260723;
+    for chunk in out.chunks_mut(4) {
+        state = state.wrapping_mul(MUL).wrapping_add(INC);
+        let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+        let rot = (state >> 59) as u32;
+        let x = xorshifted.rotate_right(rot);
+        let n = chunk.len();
+        chunk.copy_from_slice(&x.to_le_bytes()[..n]);
+    }
+}
+
+/// [`fill_seed_bytes_from_u64`] specialized to the 32-byte / 8-word seed
+/// every ChaCha RNG uses: each PCG32 output *is* one little-endian seed
+/// word, so the byte round-trip can be skipped entirely. Bit-identical to
+/// reading the 32 bytes back as LE `u32`s.
+#[inline]
+pub fn seed_words_from_u64(mut state: u64) -> [u32; 8] {
+    const MUL: u64 = 6364136223846793005;
+    const INC: u64 = 11634580027462260723;
+    let mut words = [0u32; 8];
+    for w in &mut words {
+        state = state.wrapping_mul(MUL).wrapping_add(INC);
+        let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+        let rot = (state >> 59) as u32;
+        *w = xorshifted.rotate_right(rot);
+    }
+    words
+}
+
+/// Four seeds expanded at once, interleaving the four independent PCG32
+/// chains so the multiply-add latency of one chain overlaps the others'.
+/// [`seed_words_from_u64`] is a strict dependency chain — eight serial
+/// multiply-adds — so expanding keys one at a time leaves the multiplier
+/// idle most of the time; interleaving recovers roughly the issue width.
+/// Each output is bit-identical to `seed_words_from_u64` on that seed.
+#[inline]
+pub fn seed_words_from_u64_x4(mut states: [u64; 4]) -> [[u32; 8]; 4] {
+    const MUL: u64 = 6364136223846793005;
+    const INC: u64 = 11634580027462260723;
+    let mut words = [[0u32; 8]; 4];
+    // Word-major iteration order IS the interleave — don't "simplify" this
+    // into four independent per-seed loops.
+    for w in 0..8 {
+        for (lane, state) in words.iter_mut().zip(states.iter_mut()) {
+            *state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let xorshifted = (((*state >> 18) ^ *state) >> 27) as u32;
+            let rot = (*state >> 59) as u32;
+            lane[w] = xorshifted.rotate_right(rot);
+        }
+    }
+    words
+}
+
 /// RNGs constructible from a fixed-size seed.
 pub trait SeedableRng: Sized {
     type Seed: Sized + Default + AsMut<[u8]>;
@@ -115,18 +175,9 @@ pub trait SeedableRng: Sized {
     /// `rand_core` 0.6 — seeds like `ChaCha8Rng::seed_from_u64(2007)` must
     /// reproduce the exact upstream keystream the seed tests were written
     /// against.
-    fn seed_from_u64(mut state: u64) -> Self {
-        const MUL: u64 = 6364136223846793005;
-        const INC: u64 = 11634580027462260723;
+    fn seed_from_u64(state: u64) -> Self {
         let mut seed = Self::Seed::default();
-        for chunk in seed.as_mut().chunks_mut(4) {
-            state = state.wrapping_mul(MUL).wrapping_add(INC);
-            let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
-            let rot = (state >> 59) as u32;
-            let x = xorshifted.rotate_right(rot);
-            let n = chunk.len();
-            chunk.copy_from_slice(&x.to_le_bytes()[..n]);
-        }
+        fill_seed_bytes_from_u64(state, seed.as_mut());
         Self::from_seed(seed)
     }
 
@@ -169,6 +220,32 @@ mod tests {
         for _ in 0..1000 {
             let x: f64 = rng.gen();
             assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn seed_words_match_seed_bytes() {
+        for state in [0u64, 1, 2007, 0xDEAD_BEEF, u64::MAX] {
+            let mut bytes = [0u8; 32];
+            fill_seed_bytes_from_u64(state, &mut bytes);
+            let via_bytes: Vec<u32> = bytes
+                .chunks_exact(4)
+                .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+                .collect();
+            assert_eq!(
+                seed_words_from_u64(state).to_vec(),
+                via_bytes,
+                "state {state}"
+            );
+        }
+    }
+
+    #[test]
+    fn interleaved_seed_expansion_matches_single() {
+        let states = [0u64, 2007, 0xDEAD_BEEF, u64::MAX];
+        let bulk = seed_words_from_u64_x4(states);
+        for (k, &s) in states.iter().enumerate() {
+            assert_eq!(bulk[k], seed_words_from_u64(s), "lane {k}");
         }
     }
 

@@ -52,6 +52,234 @@ fn chacha_block(key: &[u32; 8], counter: u64, nonce: [u32; 2], rounds: u32) -> [
     state
 }
 
+/// Compute the first keystream block (counter 0, nonce `[0, 0]`, 8 rounds)
+/// for each key: entry `i` equals the 16 words `ChaCha8Rng::from_seed(key_i)`
+/// buffers on its first refill, so the first eight `next_u64` draws of that
+/// RNG are `words[2d] | words[2d+1] << 32` for `d in 0..8`.
+///
+/// On x86-64 with AVX2 the keys are processed eight at a time in a vertical
+/// multi-buffer layout (each of the 16 state words is one 256-bit vector
+/// holding that word for eight keys), which is where batched Monte-Carlo
+/// sampling gets its per-sample win; everywhere else — and for the tail of a
+/// non-multiple-of-eight batch — the scalar block function is used. Both
+/// paths are exact integer arithmetic, so the output is identical.
+pub fn chacha8_first_blocks(keys: &[[u32; 8]]) -> Vec<[u32; CHACHA_WORDS]> {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if is_x86_feature_detected!("avx2") {
+            return unsafe { avx2::chacha8_first_blocks(keys) };
+        }
+    }
+    keys.iter()
+        .map(|key| chacha_block(key, 0, [0, 0], 8))
+        .collect()
+}
+
+/// Pack one first block into the eight `u64` draws it yields: draw `d` is
+/// `words[2d] | words[2d+1] << 32`, matching `next_u64`'s low-then-high
+/// word order.
+#[inline]
+fn pack_draws(block: &[u32; CHACHA_WORDS]) -> [u64; 8] {
+    std::array::from_fn(|d| block[2 * d] as u64 | (block[2 * d + 1] as u64) << 32)
+}
+
+/// [`chacha8_first_blocks`] already packed into `u64` draws: entry `i` holds
+/// the first eight `next_u64` results of `ChaCha8Rng::from_seed(key_i)`.
+///
+/// This is the form batched Monte-Carlo actually consumes, and producing it
+/// directly matters: on the AVX2 path the transposed keystream rows are
+/// little-endian `u32` pairs in exactly `u64` draw order, so they store
+/// straight into the draw vector — no intermediate block vector, no
+/// word-by-word repacking pass over the whole batch.
+pub fn chacha8_first_draws(keys: &[[u32; 8]]) -> Vec<[u64; 8]> {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if is_x86_feature_detected!("avx2") {
+            return unsafe { avx2::chacha8_first_draws(keys) };
+        }
+    }
+    keys.iter()
+        .map(|key| pack_draws(&chacha_block(key, 0, [0, 0], 8)))
+        .collect()
+}
+
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use super::{chacha_block, CHACHA_WORDS, SIGMA};
+    use std::arch::x86_64::{
+        __m256i, _mm256_add_epi32, _mm256_loadu_si256, _mm256_or_si256, _mm256_permute2x128_si256,
+        _mm256_set1_epi32, _mm256_setr_epi8, _mm256_setzero_si256, _mm256_shuffle_epi8,
+        _mm256_slli_epi32, _mm256_srli_epi32, _mm256_storeu_si256, _mm256_unpackhi_epi32,
+        _mm256_unpackhi_epi64, _mm256_unpacklo_epi32, _mm256_unpacklo_epi64, _mm256_xor_si256,
+    };
+
+    /// Rotations by 16 and 8 are byte-granular, so a single `vpshufb` does
+    /// each — one shuffle instead of the shift/shift/or triple the odd
+    /// rotations need.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn rotl16(x: __m256i) -> __m256i {
+        let idx = _mm256_setr_epi8(
+            2, 3, 0, 1, 6, 7, 4, 5, 10, 11, 8, 9, 14, 15, 12, 13, //
+            2, 3, 0, 1, 6, 7, 4, 5, 10, 11, 8, 9, 14, 15, 12, 13,
+        );
+        _mm256_shuffle_epi8(x, idx)
+    }
+
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn rotl12(x: __m256i) -> __m256i {
+        _mm256_or_si256(_mm256_slli_epi32::<12>(x), _mm256_srli_epi32::<20>(x))
+    }
+
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn rotl8(x: __m256i) -> __m256i {
+        let idx = _mm256_setr_epi8(
+            3, 0, 1, 2, 7, 4, 5, 6, 11, 8, 9, 10, 15, 12, 13, 14, //
+            3, 0, 1, 2, 7, 4, 5, 6, 11, 8, 9, 10, 15, 12, 13, 14,
+        );
+        _mm256_shuffle_epi8(x, idx)
+    }
+
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn rotl7(x: __m256i) -> __m256i {
+        _mm256_or_si256(_mm256_slli_epi32::<7>(x), _mm256_srli_epi32::<25>(x))
+    }
+
+    macro_rules! qr {
+        ($s:ident, $a:expr, $b:expr, $c:expr, $d:expr) => {{
+            $s[$a] = _mm256_add_epi32($s[$a], $s[$b]);
+            $s[$d] = rotl16(_mm256_xor_si256($s[$d], $s[$a]));
+            $s[$c] = _mm256_add_epi32($s[$c], $s[$d]);
+            $s[$b] = rotl12(_mm256_xor_si256($s[$b], $s[$c]));
+            $s[$a] = _mm256_add_epi32($s[$a], $s[$b]);
+            $s[$d] = rotl8(_mm256_xor_si256($s[$d], $s[$a]));
+            $s[$c] = _mm256_add_epi32($s[$c], $s[$d]);
+            $s[$b] = rotl7(_mm256_xor_si256($s[$b], $s[$c]));
+        }};
+    }
+
+    /// 8x8 `u32` transpose in registers: `r[i]` holding row `i` becomes
+    /// `t[w]` holding column `w`. Three shuffle layers (32-bit unpack, 64-bit
+    /// unpack, 128-bit lane permute), no memory traffic.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn transpose8(r: [__m256i; 8]) -> [__m256i; 8] {
+        let t0 = _mm256_unpacklo_epi32(r[0], r[1]);
+        let t1 = _mm256_unpackhi_epi32(r[0], r[1]);
+        let t2 = _mm256_unpacklo_epi32(r[2], r[3]);
+        let t3 = _mm256_unpackhi_epi32(r[2], r[3]);
+        let t4 = _mm256_unpacklo_epi32(r[4], r[5]);
+        let t5 = _mm256_unpackhi_epi32(r[4], r[5]);
+        let t6 = _mm256_unpacklo_epi32(r[6], r[7]);
+        let t7 = _mm256_unpackhi_epi32(r[6], r[7]);
+        let u0 = _mm256_unpacklo_epi64(t0, t2);
+        let u1 = _mm256_unpackhi_epi64(t0, t2);
+        let u2 = _mm256_unpacklo_epi64(t1, t3);
+        let u3 = _mm256_unpackhi_epi64(t1, t3);
+        let u4 = _mm256_unpacklo_epi64(t4, t6);
+        let u5 = _mm256_unpackhi_epi64(t4, t6);
+        let u6 = _mm256_unpacklo_epi64(t5, t7);
+        let u7 = _mm256_unpackhi_epi64(t5, t7);
+        [
+            _mm256_permute2x128_si256::<0x20>(u0, u4),
+            _mm256_permute2x128_si256::<0x20>(u1, u5),
+            _mm256_permute2x128_si256::<0x20>(u2, u6),
+            _mm256_permute2x128_si256::<0x20>(u3, u7),
+            _mm256_permute2x128_si256::<0x31>(u0, u4),
+            _mm256_permute2x128_si256::<0x31>(u1, u5),
+            _mm256_permute2x128_si256::<0x31>(u2, u6),
+            _mm256_permute2x128_si256::<0x31>(u3, u7),
+        ]
+    }
+
+    /// One group of eight first blocks, transposed back to row layout:
+    /// `lo[j]` holds words 0..8 and `hi[j]` words 8..16 of key `base + j`'s
+    /// block. Keys enter and blocks leave through [`transpose8`]: eight
+    /// contiguous 32-byte key rows are loaded and transposed into the
+    /// vertical layout, and the finished state is transposed back so each
+    /// output row is two contiguous 32-byte stores. The earlier
+    /// lane-at-a-time gather/scatter was the hot path's single largest cost —
+    /// 128 bounds-checked scalar writes per 8-key group.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn first_blocks8(keys: &[[u32; 8]]) -> ([__m256i; 8], [__m256i; 8]) {
+        let rows: [__m256i; 8] =
+            std::array::from_fn(|j| _mm256_loadu_si256(keys[j].as_ptr().cast::<__m256i>()));
+        let key_cols = transpose8(rows);
+        let mut s = [_mm256_setzero_si256(); CHACHA_WORDS];
+        for (w, sig) in SIGMA.iter().enumerate() {
+            s[w] = _mm256_set1_epi32(*sig as i32);
+        }
+        s[4..12].copy_from_slice(&key_cols);
+        // Words 12..16 (counter, nonce) stay zero for the first block.
+        let initial = s;
+        for _ in 0..4 {
+            // Column round.
+            qr!(s, 0, 4, 8, 12);
+            qr!(s, 1, 5, 9, 13);
+            qr!(s, 2, 6, 10, 14);
+            qr!(s, 3, 7, 11, 15);
+            // Diagonal round.
+            qr!(s, 0, 5, 10, 15);
+            qr!(s, 1, 6, 11, 12);
+            qr!(s, 2, 7, 8, 13);
+            qr!(s, 3, 4, 9, 14);
+        }
+        for w in 0..CHACHA_WORDS {
+            s[w] = _mm256_add_epi32(s[w], initial[w]);
+        }
+        let lo = transpose8([s[0], s[1], s[2], s[3], s[4], s[5], s[6], s[7]]);
+        let hi = transpose8([s[8], s[9], s[10], s[11], s[12], s[13], s[14], s[15]]);
+        (lo, hi)
+    }
+
+    /// Eight first blocks per iteration; scalar tail for the remainder.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn chacha8_first_blocks(keys: &[[u32; 8]]) -> Vec<[u32; CHACHA_WORDS]> {
+        let mut out = vec![[0u32; CHACHA_WORDS]; keys.len()];
+        let mut base = 0;
+        while base + 8 <= keys.len() {
+            let (lo, hi) = first_blocks8(&keys[base..base + 8]);
+            for j in 0..8 {
+                let row = out[base + j].as_mut_ptr();
+                _mm256_storeu_si256(row.cast::<__m256i>(), lo[j]);
+                _mm256_storeu_si256(row.add(8).cast::<__m256i>(), hi[j]);
+            }
+            base += 8;
+        }
+        for (i, key) in keys.iter().enumerate().skip(base) {
+            out[i] = chacha_block(key, 0, [0, 0], 8);
+        }
+        out
+    }
+
+    /// As [`chacha8_first_blocks`], but stored directly as `u64` draws.
+    /// x86-64 is little-endian, so a row of sixteen LE `u32` keystream words
+    /// already has the exact byte layout of the eight `lo | hi << 32` draws —
+    /// the same two 32-byte stores land the packed form with no extra pass.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn chacha8_first_draws(keys: &[[u32; 8]]) -> Vec<[u64; 8]> {
+        let mut out = vec![[0u64; 8]; keys.len()];
+        let mut base = 0;
+        while base + 8 <= keys.len() {
+            let (lo, hi) = first_blocks8(&keys[base..base + 8]);
+            for j in 0..8 {
+                let row = out[base + j].as_mut_ptr().cast::<u32>();
+                _mm256_storeu_si256(row.cast::<__m256i>(), lo[j]);
+                _mm256_storeu_si256(row.add(8).cast::<__m256i>(), hi[j]);
+            }
+            base += 8;
+        }
+        for (i, key) in keys.iter().enumerate().skip(base) {
+            out[i] = super::pack_draws(&chacha_block(key, 0, [0, 0], 8));
+        }
+        out
+    }
+}
+
 macro_rules! chacha_rng {
     ($name:ident, $rounds:expr, $doc:expr) => {
         #[doc = $doc]
@@ -173,6 +401,58 @@ mod tests {
         let b1 = chacha_block(&key, 1, [0, 0], 20);
         assert_ne!(b0, b1);
         assert!(b0.iter().zip(b1.iter()).filter(|(x, y)| x == y).count() < 4);
+    }
+
+    #[test]
+    fn first_blocks_match_scalar_block_function() {
+        // 13 keys: one full AVX2 group of 8 plus a 5-key scalar tail.
+        let keys: Vec<[u32; 8]> = (0u32..13)
+            .map(|i| std::array::from_fn(|w| i.wrapping_mul(0x9E37_79B9).wrapping_add(w as u32)))
+            .collect();
+        let batched = chacha8_first_blocks(&keys);
+        for (key, block) in keys.iter().zip(&batched) {
+            assert_eq!(*block, chacha_block(key, 0, [0, 0], 8));
+        }
+    }
+
+    #[test]
+    fn first_blocks_match_rng_word_stream() {
+        // The first eight u64 draws of ChaCha8Rng must be reconstructible
+        // from the batched first block: draw d = words[2d] | words[2d+1]<<32.
+        let seeds = [0u64, 1, 42, 2007, u64::MAX, 0x1234_5678_9ABC_DEF0];
+        let keys: Vec<[u32; 8]> = seeds
+            .iter()
+            .map(|&s| {
+                let mut bytes = [0u8; 32];
+                rand::fill_seed_bytes_from_u64(s, &mut bytes);
+                std::array::from_fn(|w| {
+                    u32::from_le_bytes(bytes[4 * w..4 * w + 4].try_into().unwrap())
+                })
+            })
+            .collect();
+        let blocks = chacha8_first_blocks(&keys);
+        for (&seed, block) in seeds.iter().zip(&blocks) {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            for d in 0..8 {
+                let expect = rng.next_u64();
+                let got = block[2 * d] as u64 | (block[2 * d + 1] as u64) << 32;
+                assert_eq!(got, expect, "seed {seed} draw {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn first_draws_match_first_blocks_packing() {
+        // 13 keys: one full AVX2 group of 8 plus a 5-key scalar tail.
+        let keys: Vec<[u32; 8]> = (0u32..13)
+            .map(|i| std::array::from_fn(|w| i.wrapping_mul(0x85EB_CA6B).wrapping_add(w as u32)))
+            .collect();
+        let blocks = chacha8_first_blocks(&keys);
+        let draws = chacha8_first_draws(&keys);
+        assert_eq!(draws.len(), keys.len());
+        for (i, block) in blocks.iter().enumerate() {
+            assert_eq!(draws[i], pack_draws(block), "key {i}");
+        }
     }
 
     #[test]

@@ -109,7 +109,20 @@ impl ThreadPool {
     }
 }
 
-/// Evaluate `f` over `items` on up to [`current_num_threads`] workers,
+/// Worker threads actually worth spawning for a CPU-bound stage: the
+/// installed count, capped at hardware parallelism. Upstream rayon keeps a
+/// persistent pool so oversubscription only costs context switches; this
+/// shim spawns scoped threads per stage, so every thread beyond the core
+/// count is pure spawn-and-contend overhead with zero added throughput.
+/// Results are input-ordered either way, so the cap cannot change output.
+pub(crate) fn effective_workers() -> usize {
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    current_num_threads().clamp(1, hw)
+}
+
+/// Evaluate `f` over `items` on up to [`effective_workers`] workers,
 /// returning results in input order.
 pub(crate) fn run_ordered<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
 where
@@ -117,7 +130,7 @@ where
     U: Send,
     F: Fn(T) -> U + Sync,
 {
-    let workers = current_num_threads().max(1);
+    let workers = effective_workers();
     let len = items.len();
     if workers == 1 || len <= 1 {
         return items.into_iter().map(f).collect();
@@ -155,7 +168,7 @@ where
     RA: Send,
     RB: Send,
 {
-    if current_num_threads() <= 1 {
+    if effective_workers() <= 1 {
         return (a(), b());
     }
     std::thread::scope(|scope| {
