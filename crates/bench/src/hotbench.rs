@@ -53,10 +53,36 @@ pub struct BenchRatio {
 }
 
 /// Version of the JSON shape emitted by [`BenchReport::to_json`]. Bump when
-/// a field is renamed, retyped, or removed — adding scenarios or ratios is
-/// not a schema change. Checked-in `BENCH_<pr>.json` evidence files carry
-/// the version they were produced with.
+/// a field is renamed, retyped, or removed — adding scenarios, ratios, or
+/// the optional `serve` block is not a schema change. Checked-in
+/// `BENCH_<pr>.json` evidence files carry the version they were produced
+/// with.
 pub const SCHEMA_VERSION: u64 = 1;
+
+/// Server-side load-generation results, attached by `rat bench --serve`.
+/// Plain data here (the measuring code lives in `rat-serve`, which depends
+/// on nothing in this crate) so the report can serialize it without a
+/// dependency cycle. All latencies in microseconds.
+#[derive(Debug, Clone)]
+pub struct ServeBench {
+    /// Mixed-mode requests completed against the warm server.
+    pub requests: u64,
+    /// Mixed-mode throughput, requests per second.
+    pub rps: f64,
+    /// Mixed-mode median latency.
+    pub p50_us: f64,
+    /// Mixed-mode 99th-percentile latency.
+    pub p99_us: f64,
+    /// Mixed-mode 99.9th-percentile latency.
+    pub p999_us: f64,
+    /// p50 of a cached `solve` against the warm server.
+    pub warm_solve_p50_us: f64,
+    /// p50 of a cold `rat solve` process invocation.
+    pub cold_cli_solve_p50_us: f64,
+    /// Cold-CLI p50 over warm-server p50 — the resident-service speedup the
+    /// perf gate pins at ≥ 10x.
+    pub warm_vs_cold: f64,
+}
 
 /// The full benchmark outcome: every scenario plus the derived ratios.
 #[derive(Debug, Clone)]
@@ -67,6 +93,8 @@ pub struct BenchReport {
     pub scenarios: Vec<BenchScenario>,
     /// Fast-vs-baseline ratios, in presentation order.
     pub ratios: Vec<BenchRatio>,
+    /// Server load-generation results when `--serve` ran, else `None`.
+    pub serve: Option<ServeBench>,
 }
 
 impl BenchReport {
@@ -90,6 +118,20 @@ impl BenchReport {
         let mut out = t.render();
         for r in &self.ratios {
             out.push_str(&format!("{}: {:.2}x\n", r.name, r.speedup));
+        }
+        if let Some(s) = &self.serve {
+            out.push_str(&format!(
+                "serve: {} requests at {:.0} req/s; p50 {:.0} us | p99 {:.0} us | p999 {:.0} us\n\
+                 serve_warm_solve_vs_cold_cli: {:.1}x ({:.0} us warm vs {:.0} us cold)\n",
+                s.requests,
+                s.rps,
+                s.p50_us,
+                s.p99_us,
+                s.p999_us,
+                s.warm_vs_cold,
+                s.warm_solve_p50_us,
+                s.cold_cli_solve_p50_us,
+            ));
         }
         out
     }
@@ -124,7 +166,24 @@ impl BenchReport {
                 r.name, r.speedup
             ));
         }
-        out.push_str("  ]\n}\n");
+        out.push_str("  ]");
+        if let Some(s) = &self.serve {
+            out.push_str(&format!(
+                ",\n  \"serve\": {{\n    \"requests\": {}, \"rps\": {:.1},\n    \
+                 \"p50_us\": {:.1}, \"p99_us\": {:.1}, \"p999_us\": {:.1},\n    \
+                 \"warm_solve_p50_us\": {:.1}, \"cold_cli_solve_p50_us\": {:.1},\n    \
+                 \"warm_vs_cold\": {:.2}\n  }}",
+                s.requests,
+                s.rps,
+                s.p50_us,
+                s.p99_us,
+                s.p999_us,
+                s.warm_solve_p50_us,
+                s.cold_cli_solve_p50_us,
+                s.warm_vs_cold,
+            ));
+        }
+        out.push_str("\n}\n");
         out
     }
 }
@@ -528,6 +587,7 @@ pub fn run(quick: bool) -> BenchReport {
         quick,
         scenarios,
         ratios,
+        serve: None,
     }
 }
 
@@ -550,5 +610,31 @@ mod tests {
         assert!(json.contains("\"speedup\""), "{json}");
         let text = r.render();
         assert!(text.contains("uncertainty_scalar"), "{text}");
+        // Without --serve the optional block is absent entirely.
+        assert!(!json.contains("\"serve\""), "{json}");
+    }
+
+    #[test]
+    fn serve_block_serializes_when_attached() {
+        let mut r = run(true);
+        r.serve = Some(ServeBench {
+            requests: 1000,
+            rps: 12_000.0,
+            p50_us: 80.0,
+            p99_us: 400.0,
+            p999_us: 900.0,
+            warm_solve_p50_us: 60.0,
+            cold_cli_solve_p50_us: 9_000.0,
+            warm_vs_cold: 150.0,
+        });
+        let json = r.to_json();
+        assert!(json.contains("\"serve\": {"), "{json}");
+        assert!(json.contains("\"warm_vs_cold\": 150.00"), "{json}");
+        assert!(json.contains("\"p999_us\": 900.0"), "{json}");
+        let text = r.render();
+        assert!(
+            text.contains("serve_warm_solve_vs_cold_cli: 150.0x"),
+            "{text}"
+        );
     }
 }

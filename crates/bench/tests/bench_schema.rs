@@ -68,6 +68,45 @@ fn assert_bench_schema(doc: &Json, what: &str) -> Vec<String> {
             "{what}: ratio {name} speedup {speedup} must be finite and positive"
         );
     }
+    // The optional serve block (present once `rat bench --serve` evidence is
+    // recorded): all-numeric, with the derived warm-vs-cold ratio agreeing
+    // with its operands.
+    if let Some(serve) = doc.get("serve") {
+        for field in [
+            "requests",
+            "rps",
+            "p50_us",
+            "p99_us",
+            "p999_us",
+            "warm_solve_p50_us",
+            "cold_cli_solve_p50_us",
+            "warm_vs_cold",
+        ] {
+            let v = serve
+                .get(field)
+                .and_then(Json::as_f64)
+                .unwrap_or_else(|| panic!("{what}: serve block missing numeric {field}"));
+            assert!(
+                v.is_finite() && v >= 0.0,
+                "{what}: serve.{field} = {v} must be finite and nonnegative"
+            );
+        }
+        let warm = serve
+            .get("warm_solve_p50_us")
+            .and_then(Json::as_f64)
+            .unwrap();
+        let cold = serve
+            .get("cold_cli_solve_p50_us")
+            .and_then(Json::as_f64)
+            .unwrap();
+        let ratio = serve.get("warm_vs_cold").and_then(Json::as_f64).unwrap();
+        let derived = cold / warm.max(1.0);
+        assert!(
+            (ratio - derived).abs() <= 0.01 * derived.max(1.0),
+            "{what}: serve.warm_vs_cold {ratio} inconsistent with cold {cold} / warm {warm}"
+        );
+    }
+
     names
 }
 
@@ -108,6 +147,15 @@ fn checked_in_bench_evidence_satisfies_the_schema() {
             names.iter().any(|n| n == "execute_summary_fast_forward"),
             "{name}: evidence must include the acceptance-criteria summary scenario"
         );
+        // Serve evidence starts at PR 6; from there every evidence file must
+        // carry the serve block (the fields are validated above).
+        let pr: u64 = name[6..name.len() - 5].parse().unwrap_or(0);
+        if pr >= 6 {
+            assert!(
+                doc.get("serve").is_some(),
+                "{name}: evidence from PR {pr} must include the serve block"
+            );
+        }
         found += 1;
     }
     assert!(found >= 1, "no BENCH_*.json evidence files found at {root}");

@@ -75,6 +75,26 @@ fn ratios_of(doc: &Json) -> Vec<(String, f64)> {
         .collect()
 }
 
+/// The serve acceptance criterion, pinned against the *checked-in* evidence
+/// (no live timing, so this one is not `--ignored`): the newest evidence
+/// file that records a serve block must show the warm server answering a
+/// cached solve at least 10× faster at p50 than a cold CLI invocation.
+#[test]
+fn serve_evidence_shows_warm_server_at_least_10x_cold_cli() {
+    let (name, doc) = newest_evidence();
+    let serve = doc.get("serve").unwrap_or_else(|| {
+        panic!("{name}: newest evidence has no serve block — run `rat bench --serve --json`")
+    });
+    let ratio = serve
+        .get("warm_vs_cold")
+        .and_then(Json::as_f64)
+        .unwrap_or_else(|| panic!("{name}: serve block missing warm_vs_cold"));
+    assert!(
+        ratio >= 10.0,
+        "{name}: warm-server cached solve is only {ratio:.1}x a cold CLI run (need >= 10x)"
+    );
+}
+
 #[test]
 #[ignore = "perf gate: timing-sensitive; CI's release job runs it with --ignored"]
 fn live_ratios_have_not_collapsed_against_checked_in_evidence() {

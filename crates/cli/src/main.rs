@@ -6,11 +6,17 @@
 //! rat solve <worksheet.toml> <speedup>     inverse-solve for the target
 //! rat sweep <worksheet.toml> <param> <v>.. sweep one parameter
 //! rat sensitivity <worksheet.toml>         rank parameter elasticities
+//! rat explore <worksheet.toml> <speedup>   throughput-gate a design space
 //! rat microbench <platform>                derive alpha(size) tables
 //! rat reproduce <artifact|all> [--fast]    regenerate paper tables/figures
-//! rat bench [--json] [--quick]             time hot paths vs their baselines
+//! rat bench [--json] [--quick] [--serve]   time hot paths vs their baselines
+//! rat serve [--port N] [--workers N]       resident analysis daemon
 //! rat example-worksheet                    print a starter worksheet
 //! ```
+//!
+//! The analysis renderers live in `rat_serve::api` and are shared with the
+//! `rat serve` daemon, so a server response body is byte-identical to this
+//! CLI's stdout for the same request (see DESIGN.md §14).
 
 use std::process::ExitCode;
 
@@ -125,6 +131,21 @@ impl std::error::Error for CliError {
 impl From<RatError> for CliError {
     fn from(e: RatError) -> Self {
         CliError::Rat(e)
+    }
+}
+
+/// Map a shared-API mode error onto the CLI taxonomy: the context line (if
+/// any) becomes the `error:` line and the [`RatError`] stays on the source
+/// chain, exactly as [`CliError::Context`] renders it.
+impl From<rat_serve::api::ModeError> for CliError {
+    fn from(e: rat_serve::api::ModeError) -> Self {
+        match e.context {
+            Some(context) => CliError::Context {
+                context,
+                source: e.source,
+            },
+            None => CliError::Rat(e.source),
+        }
     }
 }
 
@@ -378,9 +399,9 @@ fn dispatch(engine: &Engine, args: &[String]) -> Result<String, CliError> {
                 .parse()
                 .map_err(|e| CliError::usage(format!("bad target speedup: {e}")))?;
             if strict {
-                render_solve_strict(&input, target)
+                Ok(rat_serve::api::solve_report_strict(&input, target)?)
             } else {
-                Ok(render_solve(&input, target))
+                Ok(rat_serve::api::solve_report(&input, target))
             }
         }
         "sweep" => {
@@ -396,13 +417,58 @@ fn dispatch(engine: &Engine, args: &[String]) -> Result<String, CliError> {
             if values.is_empty() {
                 return Err(CliError::usage("sweep needs at least one value"));
             }
-            let result = rat_core::sweep::sweep_with(engine, &input, param, &values)?;
-            Ok(result.render())
+            Ok(rat_serve::api::sweep_report(
+                engine, &input, param, &values,
+            )?)
         }
         "sensitivity" => {
             let input = load_worksheet(args.get(1))?;
-            let report = rat_core::sensitivity::analyze_with(engine, &input)?;
-            Ok(report.render())
+            Ok(rat_serve::api::sensitivity_report(engine, &input)?)
+        }
+        "explore" => {
+            let input = load_worksheet(args.get(1))?;
+            let min_speedup: f64 = args
+                .get(2)
+                .ok_or_else(|| CliError::usage("explore needs a minimum speedup"))?
+                .parse()
+                .map_err(|e| CliError::usage(format!("bad minimum speedup: {e}")))?;
+            let mut fclocks = None;
+            let mut throughput_procs = None;
+            let mut bufferings = None;
+            let mut it = args.iter().skip(3);
+            while let Some(a) = it.next() {
+                let mut take = |flag: &str| {
+                    it.next()
+                        .ok_or_else(|| CliError::usage(format!("{flag} needs a value list")))
+                };
+                match a.as_str() {
+                    "--fclocks" => fclocks = Some(parse_f64_csv(take("--fclocks")?)?),
+                    "--throughput-procs" => {
+                        throughput_procs = Some(parse_f64_csv(take("--throughput-procs")?)?)
+                    }
+                    "--bufferings" => {
+                        bufferings = Some(
+                            take("--bufferings")?
+                                .split(',')
+                                .map(|b| {
+                                    rat_serve::api::parse_buffering(b.trim())
+                                        .map_err(CliError::usage)
+                                })
+                                .collect::<Result<Vec<_>, _>>()?,
+                        )
+                    }
+                    other => {
+                        return Err(CliError::usage(format!("unknown explore flag '{other}'")))
+                    }
+                }
+            }
+            Ok(rat_serve::api::explore_report(
+                &input,
+                min_speedup,
+                fclocks,
+                throughput_procs,
+                bufferings,
+            )?)
         }
         "multi-fpga" => {
             let input = load_worksheet(args.get(1))?;
@@ -456,14 +522,13 @@ fn dispatch(engine: &Engine, args: &[String]) -> Result<String, CliError> {
                     "uncertainty needs at least one <param> <lo> <hi> triple",
                 ));
             }
-            let report = rat_core::uncertainty::propagate_with(
+            Ok(rat_serve::api::uncertainty_report(
                 engine,
                 &input,
                 &ranges,
-                10_000,
+                rat_serve::api::DEFAULT_MC_SAMPLES,
                 engine.config().root_seed,
-            )?;
-            Ok(report.render())
+            )?)
         }
         "microbench" => {
             let spec = parse_platform(args.get(1).map(String::as_str).unwrap_or(""))?;
@@ -595,17 +660,102 @@ fn dispatch(engine: &Engine, args: &[String]) -> Result<String, CliError> {
         "bench" => {
             let json = args.iter().any(|a| a == "--json");
             let quick = args.iter().any(|a| a == "--quick");
+            let serve = args.iter().any(|a| a == "--serve");
             for a in &args[1..] {
-                if a != "--json" && a != "--quick" {
+                if a != "--json" && a != "--quick" && a != "--serve" {
                     return Err(CliError::usage(format!("unknown bench flag '{a}'")));
                 }
             }
-            let report = rat_bench::hotbench::run(quick);
+            let mut report = rat_bench::hotbench::run(quick);
+            if serve {
+                // The cold-CLI comparison spawns this very binary.
+                let rat = std::env::current_exe().map_err(|source| CliError::Io {
+                    path: "<current executable>".into(),
+                    source,
+                })?;
+                let load = rat_serve::loadgen::run(&rat, quick).map_err(|source| CliError::Io {
+                    path: "serve load generator".into(),
+                    source,
+                })?;
+                report.serve = Some(rat_bench::hotbench::ServeBench {
+                    requests: load.requests,
+                    rps: load.rps,
+                    p50_us: load.p50_us,
+                    p99_us: load.p99_us,
+                    p999_us: load.p999_us,
+                    warm_solve_p50_us: load.warm_solve_p50_us,
+                    cold_cli_solve_p50_us: load.cold_cli_solve_p50_us,
+                    warm_vs_cold: load.warm_vs_cold,
+                });
+            }
             if json {
                 Ok(report.to_json())
             } else {
                 Ok(report.render())
             }
+        }
+        "serve" => {
+            let mut config = rat_serve::ServeConfig {
+                workers: 0,
+                engine_jobs: engine.config().jobs,
+                ..rat_serve::ServeConfig::default()
+            };
+            let mut it = args.iter().skip(1);
+            while let Some(a) = it.next() {
+                let mut take = |flag: &str| {
+                    it.next()
+                        .ok_or_else(|| CliError::usage(format!("{flag} needs a value")))
+                };
+                match a.as_str() {
+                    "--port" => {
+                        let v = take("--port")?;
+                        config.port = v
+                            .parse()
+                            .map_err(|e| CliError::usage(format!("bad --port value '{v}': {e}")))?;
+                    }
+                    "--addr" => config.addr = take("--addr")?.clone(),
+                    "--workers" => {
+                        let v = take("--workers")?;
+                        config.workers = v.parse().map_err(|e| {
+                            CliError::usage(format!("bad --workers value '{v}': {e}"))
+                        })?;
+                    }
+                    "--queue" => {
+                        let v = take("--queue")?;
+                        let cap: usize = v.parse().map_err(|e| {
+                            CliError::usage(format!("bad --queue value '{v}': {e}"))
+                        })?;
+                        if cap == 0 {
+                            return Err(CliError::usage("--queue needs a capacity of at least 1"));
+                        }
+                        config.queue_capacity = cap;
+                    }
+                    other => return Err(CliError::usage(format!("unknown serve flag '{other}'"))),
+                }
+            }
+            let workers = config.workers;
+            let handle = rat_serve::Server::start(config).map_err(|source| CliError::Io {
+                path: "binding serve listener".into(),
+                source,
+            })?;
+            rat_serve::server::install_signal_shutdown(handle.stop_trigger());
+            // The readiness line goes to stderr immediately (stdout carries
+            // only the final summary, printed after the drain completes).
+            eprintln!(
+                "rat serve: listening on http://{} ({} worker(s); POST /shutdown or SIGINT to drain)",
+                handle.addr(),
+                if workers == 0 {
+                    std::thread::available_parallelism().map_or(2, |n| n.get())
+                } else {
+                    workers
+                }
+            );
+            let summary = handle.join();
+            Ok(format!(
+                "serve: drained cleanly after {} accepted connection(s) \
+                 ({} ok, {} errored, {} rejected busy)\n",
+                summary.accepted, summary.ok, summary.errored, summary.rejected_busy
+            ))
         }
         "example-worksheet" => Ok(example_worksheet()),
         other => Err(CliError::usage(format!("unknown command '{other}'"))),
@@ -626,6 +776,10 @@ USAGE:
                                              throughput-proc|ops-per-element|
                                              elements-in|iterations)
   rat sensitivity <worksheet.toml>          rank speedup elasticity per parameter
+  rat explore <ws.toml> <min-speedup> [--fclocks v,v..] [--throughput-procs v,v..]
+              [--bufferings single,double]  throughput-gate a design space around
+                                            the worksheet (defaults: base values,
+                                            both buffering disciplines)
   rat multi-fpga <worksheet.toml> [max]     scaling curve across devices (default 16)
   rat streaming <worksheet.toml> [half|full] streaming-mode throughput analysis
   rat uncertainty <ws.toml> <p> <lo> <hi>.. Monte-Carlo speedup distribution
@@ -636,8 +790,15 @@ USAGE:
   rat compare <ws1.toml> <ws2.toml>...      rank candidate designs
   rat breakeven <ws.toml> <hours> <runs/day> development-vs-savings break-even
   rat reproduce <id|all> [--fast]           regenerate paper tables/figures
-  rat bench [--json] [--quick]              time the hot paths against their
-                                            unoptimized baselines
+  rat bench [--json] [--quick] [--serve]    time the hot paths against their
+                                            unoptimized baselines (--serve adds
+                                            resident-server load generation)
+  rat serve [--addr A] [--port N] [--workers N] [--queue N]
+                                            resident analysis daemon: HTTP/1.1+JSON
+                                            on POST /v1/{solve,sweep,uncertainty,
+                                            explore,sensitivity,simulate}, plus
+                                            GET /healthz, GET /metrics, and
+                                            POST /shutdown (graceful drain)
   rat example-worksheet                     print a starter worksheet (Table 2)
 
 GLOBAL OPTIONS (any command):
@@ -684,20 +845,21 @@ fn parse_mhz_list(args: &[String]) -> Result<Vec<Freq>, CliError> {
         .collect()
 }
 
+/// A comma-separated list of numbers (`100e6,150e6`), for explore's axes.
+fn parse_f64_csv(text: &str) -> Result<Vec<f64>, CliError> {
+    text.split(',')
+        .map(|v| {
+            v.trim()
+                .parse()
+                .map_err(|e| CliError::usage(format!("bad value '{v}': {e}")))
+        })
+        .collect()
+}
+
+/// Parameter names are owned by the shared API layer so the CLI and the
+/// server accept (and reject) exactly the same spellings.
 fn parse_param(name: &str) -> Result<SweepParam, CliError> {
-    match name {
-        "fclock" => Ok(SweepParam::Fclock),
-        "alpha-write" => Ok(SweepParam::AlphaWrite),
-        "alpha-read" => Ok(SweepParam::AlphaRead),
-        "alpha" => Ok(SweepParam::AlphaBoth),
-        "throughput-proc" => Ok(SweepParam::ThroughputProc),
-        "ops-per-element" => Ok(SweepParam::OpsPerElement),
-        "elements-in" => Ok(SweepParam::ElementsIn),
-        "iterations" => Ok(SweepParam::Iterations),
-        other => Err(CliError::usage(format!(
-            "unknown sweep parameter '{other}'"
-        ))),
-    }
+    rat_serve::api::parse_param(name).map_err(CliError::usage)
 }
 
 fn parse_platform(name: &str) -> Result<fpga_sim::platform::PlatformSpec, CliError> {
@@ -709,52 +871,6 @@ fn parse_platform(name: &str) -> Result<fpga_sim::platform::PlatformSpec, CliErr
             "unknown platform '{other}' (nallatech|xd1000|pcie)"
         ))),
     }
-}
-
-fn render_solve(input: &RatInput, target: f64) -> String {
-    let mut out = format!("Inverse solve for {target}x speedup on '{}':\n", input.name);
-    match rat_core::solve::required_throughput_proc(input, target) {
-        Ok(v) => out.push_str(&format!("  required throughput_proc: {v:.1} ops/cycle\n")),
-        Err(e) => out.push_str(&format!("  throughput_proc: {e}\n")),
-    }
-    match rat_core::solve::required_fclock(input, target) {
-        Ok(v) => out.push_str(&format!("  required f_clock:         {:.1} MHz\n", v.mhz())),
-        Err(e) => out.push_str(&format!("  f_clock: {e}\n")),
-    }
-    match rat_core::solve::required_alpha_scale(input, target) {
-        Ok(v) => out.push_str(&format!("  required alpha scale:     {v:.2}x current\n")),
-        Err(e) => out.push_str(&format!("  alpha: {e}\n")),
-    }
-    match rat_core::solve::max_speedup(input) {
-        Ok(v) => out.push_str(&format!("  speedup ceiling (comm-bound wall): {v:.1}x\n")),
-        Err(e) => out.push_str(&format!("  ceiling: {e}\n")),
-    }
-    out
-}
-
-/// `rat solve --strict`: any infeasible sub-solve is a hard error (exit
-/// code 4) instead of an inline annotation, so scripts driving the inverse
-/// solver can branch on feasibility. The [`CliError::Context`] wrapper keeps
-/// the underlying [`RatError`] on the source chain for `caused by:`
-/// rendering while naming what the CLI was doing.
-fn render_solve_strict(input: &RatInput, target: f64) -> Result<String, CliError> {
-    let wrap = |source: RatError| CliError::Context {
-        context: format!("solving '{}' for {target}x speedup", input.name),
-        source,
-    };
-    let tp = rat_core::solve::required_throughput_proc(input, target).map_err(wrap)?;
-    let fclk = rat_core::solve::required_fclock(input, target).map_err(wrap)?;
-    let alpha = rat_core::solve::required_alpha_scale(input, target).map_err(wrap)?;
-    let ceiling = rat_core::solve::max_speedup(input).map_err(wrap)?;
-    Ok(format!(
-        "Inverse solve for {target}x speedup on '{}':\n\
-         \x20 required throughput_proc: {tp:.1} ops/cycle\n\
-         \x20 required f_clock:         {:.1} MHz\n\
-         \x20 required alpha scale:     {alpha:.2}x current\n\
-         \x20 speedup ceiling (comm-bound wall): {ceiling:.1}x\n",
-        input.name,
-        fclk.mhz(),
-    ))
 }
 
 fn example_worksheet() -> String {

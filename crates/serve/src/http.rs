@@ -1,0 +1,242 @@
+//! Minimal, strict HTTP/1.1 framing over a [`TcpStream`].
+//!
+//! One request per connection (`Connection: close`): read a request line,
+//! headers, and a `Content-Length` body; write a status line, headers, and a
+//! body; close. On loopback that costs microseconds per request and keeps
+//! the parser a straight-line function — no chunked encoding, no keep-alive
+//! state machine, no pipelining to get wrong. The reader is deliberately
+//! paranoid: it enforces per-request read deadlines, a header-size cap, and
+//! a body-size cap, mapping each failure onto the [`ApiError`] protocol
+//! statuses (408/413/400) so a misbehaving client gets a diagnosis instead
+//! of killing a worker.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use crate::api::ApiError;
+
+/// Cap on the request line + headers, generous for hand-written clients.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// Default cap on request bodies. Worksheets are a few hundred bytes; a
+/// megabyte leaves room for large sweep-value lists without letting a
+/// client buffer gigabytes into a resident service.
+pub const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// A parsed request: method, path, and (possibly empty) body.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// The HTTP method, uppercased as received (`GET`, `POST`, ...).
+    pub method: String,
+    /// The request path (`/v1/solve`, `/metrics`, ...), query string stripped.
+    pub path: String,
+    /// The request body, UTF-8 decoded.
+    pub body: String,
+}
+
+/// Read one request from `stream`, enforcing `deadline` for the whole read
+/// and `max_body` for the declared body length.
+pub fn read_request(
+    stream: &mut TcpStream,
+    deadline: Duration,
+    max_body: usize,
+) -> Result<Request, ApiError> {
+    stream
+        .set_read_timeout(Some(deadline))
+        .map_err(|e| ApiError::bad_request("configuring connection", e.to_string()))?;
+
+    // Read until the blank line that ends the headers.
+    let mut head = Vec::with_capacity(512);
+    let mut byte = [0u8; 1];
+    loop {
+        match stream.read(&mut byte) {
+            Ok(0) => {
+                return Err(ApiError::bad_request(
+                    "reading request",
+                    "connection closed before headers completed",
+                ))
+            }
+            Ok(_) => head.push(byte[0]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                return Err(ApiError::Timeout)
+            }
+            Err(e) => {
+                return Err(ApiError::bad_request("reading request", e.to_string()));
+            }
+        }
+        if head.ends_with(b"\r\n\r\n") || head.ends_with(b"\n\n") {
+            break;
+        }
+        if head.len() > MAX_HEAD_BYTES {
+            return Err(ApiError::TooLarge {
+                limit: MAX_HEAD_BYTES,
+            });
+        }
+    }
+
+    let head = String::from_utf8_lossy(&head);
+    let mut lines = head.split("\r\n").flat_map(|l| l.split('\n'));
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| ApiError::bad_request("reading request", "empty request line"))?
+        .to_ascii_uppercase();
+    let target = parts
+        .next()
+        .ok_or_else(|| ApiError::bad_request("reading request", "request line has no path"))?;
+    let path = target.split('?').next().unwrap_or(target).to_string();
+
+    let mut content_length = 0usize;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().map_err(|_| {
+                    ApiError::bad_request(
+                        "reading request",
+                        format!("unparsable Content-Length '{}'", value.trim()),
+                    )
+                })?;
+            }
+        }
+    }
+    if content_length > max_body {
+        return Err(ApiError::TooLarge { limit: max_body });
+    }
+
+    let mut body = vec![0u8; content_length];
+    let mut read = 0usize;
+    while read < content_length {
+        match stream.read(&mut body[read..]) {
+            Ok(0) => {
+                return Err(ApiError::bad_request(
+                    "reading request body",
+                    format!("client disconnected after {read} of {content_length} bytes"),
+                ))
+            }
+            Ok(n) => read += n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                return Err(ApiError::Timeout)
+            }
+            Err(e) => {
+                return Err(ApiError::bad_request("reading request body", e.to_string()));
+            }
+        }
+    }
+    let body = String::from_utf8(body)
+        .map_err(|_| ApiError::bad_request("reading request body", "body is not valid UTF-8"))?;
+
+    Ok(Request { method, path, body })
+}
+
+/// The standard reason phrase for the status codes this server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        507 => "Insufficient Storage",
+        _ => "Unknown",
+    }
+}
+
+/// Write a complete response and flush. Errors are returned so the caller
+/// can count them, but a failed write to a gone client is not fatal.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        reason(status),
+        body.len(),
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Write a JSON response (`application/json`).
+pub fn write_json(stream: &mut TcpStream, status: u16, body: &str) -> std::io::Result<()> {
+    write_response(stream, status, "application/json", body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    fn round_trip(raw: &[u8]) -> Result<Request, ApiError> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let raw = raw.to_vec();
+        let client = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(&raw).unwrap();
+            // Hold the socket open so the server side sees a timeout (not
+            // EOF) if it expects more bytes than were sent.
+            std::thread::sleep(Duration::from_millis(300));
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        let req = read_request(&mut stream, Duration::from_millis(150), MAX_BODY_BYTES);
+        client.join().unwrap();
+        req
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let req = round_trip(b"POST /v1/solve HTTP/1.1\r\nContent-Length: 4\r\n\r\nabcd").unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/solve");
+        assert_eq!(req.body, "abcd");
+    }
+
+    #[test]
+    fn parses_a_get_without_body_and_strips_query() {
+        let req = round_trip(b"GET /metrics?x=1 HTTP/1.1\r\nHost: localhost\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/metrics");
+        assert_eq!(req.body, "");
+    }
+
+    #[test]
+    fn short_body_times_out_instead_of_hanging() {
+        let err = round_trip(b"POST /v1/solve HTTP/1.1\r\nContent-Length: 100\r\n\r\nonly-some")
+            .unwrap_err();
+        assert_eq!(err.status(), 408, "{err:?}");
+    }
+
+    #[test]
+    fn oversized_declared_body_is_413() {
+        let err = round_trip(b"POST /x HTTP/1.1\r\nContent-Length: 99999999\r\n\r\n").unwrap_err();
+        assert_eq!(err.status(), 413);
+    }
+
+    #[test]
+    fn garbage_content_length_is_400() {
+        let err = round_trip(b"POST /x HTTP/1.1\r\nContent-Length: ten\r\n\r\n").unwrap_err();
+        assert_eq!(err.status(), 400);
+    }
+
+    #[test]
+    fn reason_phrases_cover_the_status_table() {
+        for s in [200, 400, 404, 405, 408, 413, 422, 500, 503, 507] {
+            assert_ne!(reason(s), "Unknown", "status {s}");
+        }
+    }
+}

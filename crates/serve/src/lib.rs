@@ -1,0 +1,47 @@
+//! `rat serve` — a resident analysis service for the RAT model pipeline.
+//!
+//! Every CLI invocation is a cold process: it re-parses TOML, rebuilds the
+//! platform catalog, and starts with an empty simulator cache. This crate
+//! keeps all of that warm in a long-running daemon and serves the five
+//! analysis modes (`solve`, `sweep`, `uncertainty`, `explore`,
+//! `sensitivity`) plus cached case-study simulation over a deliberately
+//! tiny, hand-rolled HTTP/1.1 + JSON protocol on `std::net::TcpListener` —
+//! no framework, no async runtime, no new dependencies.
+//!
+//! The architecture is four small layers:
+//!
+//! * [`http`] — request framing: a strict HTTP/1.1 reader (request line,
+//!   headers, `Content-Length` body) and response writer. One request per
+//!   connection (`Connection: close`), which on loopback costs microseconds
+//!   and keeps the state machine trivial.
+//! * [`api`] — the analysis surface: request JSON in, the **same rendered
+//!   report text the CLI prints** out, wrapped in JSON. Both the CLI and the
+//!   server call the same `*_report` functions here, which is what makes the
+//!   differential parity suite's byte-identity contract hold by
+//!   construction rather than by luck. The [`RatError`] taxonomy maps onto
+//!   HTTP status codes exactly the way it maps onto CLI exit codes; see
+//!   [`api::http_status`].
+//! * [`server`] — the daemon: an acceptor thread feeding a bounded
+//!   connection queue (backpressure → `503`), N worker threads each owning
+//!   a warm [`rat_core::engine::Engine`], graceful drain on `POST
+//!   /shutdown` or SIGINT/SIGTERM (in-flight requests complete, the
+//!   write-behind simulator cache is flushed to disk), and a plaintext
+//!   `GET /metrics` endpoint with per-request latency histograms.
+//! * [`loadgen`] — the `rat bench --serve` load generator: fires warm
+//!   requests at an in-process server, records requests/sec and
+//!   p50/p99/p999 tail latency, and times cold CLI process invocations of
+//!   the same analysis for the warm-vs-cold ratio checked into
+//!   `BENCH_6.json`.
+//!
+//! [`RatError`]: rat_core::RatError
+
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod http;
+pub mod loadgen;
+pub mod metrics;
+mod queue;
+pub mod server;
+
+pub use server::{ServeConfig, ServeSummary, Server, ServerHandle};

@@ -1,0 +1,247 @@
+//! The `rat bench --serve` load generator.
+//!
+//! Boots an in-process server, fires concurrent mixed-mode requests at it
+//! recording exact per-request latencies (requests/sec, p50/p99/p999), then
+//! measures the headline warm-vs-cold ratio: the p50 of a cached `solve`
+//! against a warm server versus the p50 of spawning a cold `rat solve`
+//! process for the same worksheet. The ratio is checked into `BENCH_6.json`
+//! and enforced by the CI perf gate.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+use crate::api::escape_json;
+use crate::server::{ServeConfig, Server};
+
+/// Results of one load-generation run. All latencies in microseconds.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Whether this was the reduced-size quick run.
+    pub quick: bool,
+    /// Mixed-load requests completed (all 200s).
+    pub requests: u64,
+    /// Wall time for the mixed-load phase, milliseconds.
+    pub wall_ms: f64,
+    /// Mixed-load throughput, requests per second.
+    pub rps: f64,
+    /// Mixed-load median latency.
+    pub p50_us: f64,
+    /// Mixed-load 99th percentile latency.
+    pub p99_us: f64,
+    /// Mixed-load 99.9th percentile latency.
+    pub p999_us: f64,
+    /// p50 of a cached `solve` against the warm server.
+    pub warm_solve_p50_us: f64,
+    /// p50 of a cold `rat solve` process invocation (fork+exec+parse+solve).
+    pub cold_cli_solve_p50_us: f64,
+    /// `cold_cli_solve_p50_us / warm_solve_p50_us` — the resident-service
+    /// speedup the ISSUE's acceptance criteria pin at ≥ 10x.
+    pub warm_vs_cold: f64,
+}
+
+/// Exact percentile of a latency sample (nearest-rank), in microseconds.
+pub fn percentile_us(samples: &mut [u64], q: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.sort_unstable();
+    let rank = ((q.clamp(0.0, 1.0) * samples.len() as f64).ceil() as usize).max(1);
+    samples[rank.min(samples.len()) - 1] as f64
+}
+
+fn post(addr: SocketAddr, path: &str, body: &str) -> std::io::Result<(u16, String)> {
+    let mut s = TcpStream::connect(addr)?;
+    s.set_read_timeout(Some(Duration::from_secs(30)))?;
+    s.write_all(
+        format!(
+            "POST {path} HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .as_bytes(),
+    )?;
+    let mut out = String::new();
+    s.read_to_string(&mut out)?;
+    let status = out
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    Ok((status, out))
+}
+
+fn solve_body(ws_toml: &str) -> String {
+    format!(
+        "{{\"worksheet_toml\": \"{}\", \"target\": 8.0}}",
+        escape_json(ws_toml)
+    )
+}
+
+/// The mixed-mode request set: one body per analysis mode, all on the
+/// shipped pdf1d worksheet, plus a cached simulation point.
+fn mixed_bodies(ws_toml: &str) -> Vec<(&'static str, String)> {
+    let ws = escape_json(ws_toml);
+    vec![
+        ("/v1/solve", solve_body(ws_toml)),
+        (
+            "/v1/sweep",
+            format!(
+                "{{\"worksheet_toml\": \"{ws}\", \"param\": \"fclock\", \
+                 \"values\": [100e6, 150e6, 200e6, 250e6]}}"
+            ),
+        ),
+        (
+            "/v1/sensitivity",
+            format!("{{\"worksheet_toml\": \"{ws}\"}}"),
+        ),
+        (
+            "/v1/uncertainty",
+            format!(
+                "{{\"worksheet_toml\": \"{ws}\", \"samples\": 256, \
+                 \"ranges\": [{{\"param\": \"alpha\", \"lo\": 0.5, \"hi\": 1.0}}]}}"
+            ),
+        ),
+        (
+            "/v1/explore",
+            format!(
+                "{{\"worksheet_toml\": \"{ws}\", \"min_speedup\": 5.0, \
+                 \"fclocks\": [100e6, 150e6, 200e6]}}"
+            ),
+        ),
+        (
+            "/v1/simulate",
+            "{\"app\": \"pdf1d\", \"mhz\": 150.0}".into(),
+        ),
+    ]
+}
+
+/// Run the load generator. `rat_binary` is the compiled CLI used for the
+/// cold-process comparison (the CLI passes its own `current_exe`). `quick`
+/// shrinks every phase for CI smoke tests.
+pub fn run(rat_binary: &Path, quick: bool) -> std::io::Result<LoadReport> {
+    let ws_toml =
+        toml::to_string(&rat_apps::pdf::pdf1d::rat_input(150.0e6)).expect("worksheet serializes");
+
+    // A worksheet file for the cold CLI runs.
+    let ws_path = std::env::temp_dir().join(format!("rat-serve-bench-{}.toml", std::process::id()));
+    std::fs::write(&ws_path, &ws_toml)?;
+
+    let (clients, per_client, warm_n, cold_n) = if quick {
+        (2usize, 30usize, 30usize, 3usize)
+    } else {
+        (4, 250, 200, 9)
+    };
+
+    let handle = Server::start(ServeConfig {
+        workers: 4,
+        ..ServeConfig::default()
+    })?;
+    let addr = handle.addr();
+    let bodies = mixed_bodies(&ws_toml);
+
+    // Phase 1: concurrent mixed-mode load.
+    let started = Instant::now();
+    let threads: Vec<_> = (0..clients)
+        .map(|c| {
+            let bodies = bodies.clone();
+            std::thread::spawn(move || -> std::io::Result<Vec<u64>> {
+                let mut lat = Vec::with_capacity(per_client);
+                for i in 0..per_client {
+                    let (path, body) = &bodies[(c + i) % bodies.len()];
+                    let t = Instant::now();
+                    let (status, resp) = post(addr, path, body)?;
+                    assert_eq!(status, 200, "load request failed: {resp}");
+                    lat.push(u64::try_from(t.elapsed().as_micros()).unwrap_or(u64::MAX));
+                }
+                Ok(lat)
+            })
+        })
+        .collect();
+    let mut mixed: Vec<u64> = Vec::new();
+    for t in threads {
+        mixed.extend(t.join().expect("load client panicked")?);
+    }
+    let wall = started.elapsed();
+
+    // Phase 2: warm cached solve, sequential, exact latencies.
+    let warm_body = solve_body(&ws_toml);
+    let mut warm = Vec::with_capacity(warm_n);
+    for _ in 0..warm_n {
+        let t = Instant::now();
+        let (status, resp) = post(addr, "/v1/solve", &warm_body)?;
+        assert_eq!(status, 200, "warm solve failed: {resp}");
+        warm.push(u64::try_from(t.elapsed().as_micros()).unwrap_or(u64::MAX));
+    }
+
+    handle.shutdown();
+
+    // Phase 3: cold CLI process invocations of the same solve.
+    let mut cold = Vec::with_capacity(cold_n);
+    for _ in 0..cold_n {
+        let t = Instant::now();
+        let out = std::process::Command::new(rat_binary)
+            .arg("solve")
+            .arg(&ws_path)
+            .arg("8")
+            .output()?;
+        assert!(
+            out.status.success(),
+            "cold `rat solve` failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        cold.push(u64::try_from(t.elapsed().as_micros()).unwrap_or(u64::MAX));
+    }
+    let _ = std::fs::remove_file(&ws_path);
+
+    let requests = mixed.len() as u64;
+    let warm_solve_p50_us = percentile_us(&mut warm, 0.50);
+    let cold_cli_solve_p50_us = percentile_us(&mut cold, 0.50);
+    Ok(LoadReport {
+        quick,
+        requests,
+        wall_ms: wall.as_secs_f64() * 1e3,
+        rps: requests as f64 / wall.as_secs_f64().max(1e-9),
+        p50_us: percentile_us(&mut mixed, 0.50),
+        p99_us: percentile_us(&mut mixed, 0.99),
+        p999_us: percentile_us(&mut mixed, 0.999),
+        warm_solve_p50_us,
+        cold_cli_solve_p50_us,
+        warm_vs_cold: cold_cli_solve_p50_us / warm_solve_p50_us.max(1.0),
+    })
+}
+
+impl LoadReport {
+    /// Human-readable rendering for `rat bench --serve` without `--json`.
+    pub fn render(&self) -> String {
+        format!(
+            "serve load{}: {} requests in {:.1} ms ({:.0} req/s)\n\
+             \x20 mixed-mode latency: p50 {:.0} us | p99 {:.0} us | p999 {:.0} us\n\
+             \x20 cached solve p50: warm server {:.0} us vs cold CLI {:.0} us ({:.1}x)\n",
+            if self.quick { " (quick)" } else { "" },
+            self.requests,
+            self.wall_ms,
+            self.rps,
+            self.p50_us,
+            self.p99_us,
+            self.p999_us,
+            self.warm_solve_p50_us,
+            self.cold_cli_solve_p50_us,
+            self.warm_vs_cold,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let mut v = vec![50, 10, 30, 20, 40];
+        assert_eq!(percentile_us(&mut v, 0.50), 30.0);
+        assert_eq!(percentile_us(&mut v, 0.99), 50.0);
+        assert_eq!(percentile_us(&mut v, 0.0), 10.0);
+        assert_eq!(percentile_us(&mut [], 0.5), 0.0);
+    }
+}

@@ -1,0 +1,531 @@
+//! The resident daemon: acceptor, bounded queue, worker pool, shutdown.
+//!
+//! Threading model: one acceptor thread pushes accepted connections into a
+//! bounded queue; N worker threads pop, each owning a **warm
+//! [`Engine`]** reused across requests, and run the full
+//! read-route-handle-respond cycle per connection. The queue is the only
+//! coordination point, and its bound is the backpressure contract — when
+//! it fills, the acceptor answers `503` inline instead of letting latency
+//! grow without bound.
+//!
+//! Shutdown is a drain, not an abort: `POST /shutdown` (or SIGINT/SIGTERM
+//! via [`install_signal_shutdown`]) sets the stop flag and wakes the
+//! acceptor with a loopback connection; the acceptor stops accepting and
+//! closes the queue; workers finish every connection already queued and
+//! exit; [`ServerHandle::join`] then flushes the write-behind simulator
+//! cache to disk and returns a [`ServeSummary`]. No thread is detached, so
+//! a joined server has provably leaked nothing.
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use fpga_sim::SimCache;
+use rat_core::engine::{Engine, EngineConfig};
+use rat_core::telemetry;
+
+use crate::api::{self, ApiError};
+use crate::http::{self, Request};
+use crate::metrics::ServerMetrics;
+use crate::queue::BoundedQueue;
+
+/// Worker threads drain the global telemetry collector into the cumulative
+/// `/metrics` totals every this-many requests, bounding span-buffer growth.
+const TELEMETRY_DRAIN_INTERVAL: u64 = 64;
+
+/// Server configuration, all fields defaulted for tests (`port: 0` binds an
+/// ephemeral port).
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Address to bind (default loopback).
+    pub addr: String,
+    /// TCP port; `0` picks an ephemeral port (the bound address is on the
+    /// returned handle).
+    pub port: u16,
+    /// Worker threads, each with a warm engine. `0` = available parallelism.
+    pub workers: usize,
+    /// Bound on queued connections before the acceptor answers 503.
+    pub queue_capacity: usize,
+    /// `jobs` for each worker's engine (0 = engine default). Workers already
+    /// provide request-level parallelism, so per-request engine fan-out
+    /// defaults to sequential.
+    pub engine_jobs: usize,
+    /// Per-request read deadline; a client that stalls mid-request gets 408.
+    pub request_timeout: Duration,
+    /// Cap on request-body bytes (413 beyond it).
+    pub max_body_bytes: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1".into(),
+            port: 0,
+            workers: 2,
+            queue_capacity: 128,
+            engine_jobs: 1,
+            request_timeout: Duration::from_secs(10),
+            max_body_bytes: http::MAX_BODY_BYTES,
+        }
+    }
+}
+
+struct Shared {
+    stop: AtomicBool,
+    queue: BoundedQueue<(TcpStream, Instant)>,
+    metrics: ServerMetrics,
+    config: ServeConfig,
+    addr: SocketAddr,
+}
+
+impl Shared {
+    /// Request a drain: future accepts stop, queued work still completes.
+    fn request_stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the acceptor out of its blocking accept(). The no-op
+        // connection is accepted (or fails — either way accept returns) and
+        // immediately closed once the stop flag is observed.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+/// A cloneable trigger that initiates graceful shutdown — handed to the
+/// signal watcher and available to tests.
+#[derive(Clone)]
+pub struct StopTrigger {
+    shared: Arc<Shared>,
+}
+
+impl StopTrigger {
+    /// Initiate the drain (idempotent).
+    pub fn trigger(&self) {
+        self.shared.request_stop();
+    }
+}
+
+/// Final accounting returned by [`ServerHandle::join`].
+#[derive(Debug, Clone)]
+pub struct ServeSummary {
+    /// Connections accepted over the server's lifetime.
+    pub accepted: u64,
+    /// Requests answered 200.
+    pub ok: u64,
+    /// Requests answered with any non-200 status.
+    pub errored: u64,
+    /// Connections bounced with 503 by the full-queue backpressure path.
+    pub rejected_busy: u64,
+}
+
+/// A running server. Dropping the handle without calling [`join`] aborts
+/// the process's threads unjoined — call [`ServerHandle::shutdown`] (or
+/// `join` after an external trigger) for a clean drain.
+///
+/// [`join`]: ServerHandle::join
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    acceptor: JoinHandle<()>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// The cumulative server metrics.
+    pub fn metrics(&self) -> &ServerMetrics {
+        &self.shared.metrics
+    }
+
+    /// A trigger that initiates graceful shutdown from another thread.
+    pub fn stop_trigger(&self) -> StopTrigger {
+        StopTrigger {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Block until the server has fully drained (after `POST /shutdown`, a
+    /// signal, or [`StopTrigger::trigger`]), then flush the write-behind
+    /// simulator cache and return the final accounting. Joins every thread
+    /// the server started.
+    pub fn join(self) -> ServeSummary {
+        self.acceptor.join().expect("acceptor thread panicked");
+        // No more pushes are possible; close so workers drain and exit.
+        self.shared.queue.close();
+        for w in self.workers {
+            w.join().expect("worker thread panicked");
+        }
+        // Final telemetry drain (workers drain periodically, not at exit).
+        self.shared
+            .metrics
+            .merge_profile(&telemetry::global().drain());
+        // Durable shutdown: push the write-behind cache to disk.
+        SimCache::global().flush();
+        let m = &self.shared.metrics;
+        let ok = m.status_count(200);
+        let total: u64 = crate::metrics::STATUSES
+            .iter()
+            .map(|s| m.status_count(*s))
+            .sum();
+        ServeSummary {
+            accepted: m.accepted.load(Ordering::Relaxed),
+            ok,
+            errored: total - ok,
+            rejected_busy: m.rejected_busy.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Trigger shutdown and [`join`](ServerHandle::join) — the programmatic
+    /// equivalent of `POST /shutdown`.
+    pub fn shutdown(self) -> ServeSummary {
+        self.shared.request_stop();
+        self.join()
+    }
+}
+
+/// The server type; [`Server::start`] is the entry point.
+pub struct Server;
+
+impl Server {
+    /// Bind and start: spawns the acceptor and `config.workers` workers,
+    /// returns immediately with a handle.
+    pub fn start(config: ServeConfig) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind((config.addr.as_str(), config.port))?;
+        let addr = listener.local_addr()?;
+        let workers = if config.workers == 0 {
+            std::thread::available_parallelism().map_or(2, |n| n.get())
+        } else {
+            config.workers
+        };
+        // Pipeline counters for /metrics come from the global telemetry
+        // collector; a resident service keeps it on for its lifetime.
+        telemetry::global().enable();
+        let shared = Arc::new(Shared {
+            stop: AtomicBool::new(false),
+            queue: BoundedQueue::new(config.queue_capacity),
+            metrics: ServerMetrics::new(),
+            config,
+            addr,
+        });
+
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("serve-accept".into())
+                .spawn(move || accept_loop(listener, &shared))?
+        };
+        let worker_handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+            })
+            .collect::<std::io::Result<Vec<_>>>()?;
+
+        Ok(ServerHandle {
+            shared,
+            acceptor,
+            workers: worker_handles,
+        })
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: &Shared) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if shared.stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                continue;
+            }
+        };
+        if shared.stop.load(Ordering::SeqCst) {
+            // The wake-up connection (or a straggler past the drain point).
+            break;
+        }
+        shared.metrics.accepted.fetch_add(1, Ordering::Relaxed);
+        if let Err((mut stream, queued_at)) = shared.queue.try_push((stream, Instant::now())) {
+            // Backpressure: answer inline rather than queueing unboundedly.
+            shared.metrics.rejected_busy.fetch_add(1, Ordering::Relaxed);
+            let err = ApiError::Busy;
+            let _ = http::write_json(&mut stream, err.status(), &err.to_json());
+            // Drain whatever request bytes the client already sent before
+            // dropping the socket: closing with unread data pending makes
+            // the kernel send RST, which can discard the 503 the client
+            // has not read yet.
+            let _ = stream.shutdown(std::net::Shutdown::Write);
+            let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+            let _ = std::io::copy(&mut stream, &mut std::io::sink());
+            shared.metrics.observe(err.status(), queued_at.elapsed());
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    let engine = Engine::new(EngineConfig::default().with_jobs(shared.config.engine_jobs));
+    let mut served = 0u64;
+    while let Some((mut stream, queued_at)) = shared.queue.pop() {
+        let status = serve_connection(shared, &engine, &mut stream);
+        shared.metrics.observe(status, queued_at.elapsed());
+        served += 1;
+        if served.is_multiple_of(TELEMETRY_DRAIN_INTERVAL) {
+            shared.metrics.merge_profile(&telemetry::global().drain());
+        }
+    }
+}
+
+/// Handle one connection end to end; returns the status written (for the
+/// latency histogram). Never panics on client input — every failure maps to
+/// a status + JSON error body, and a client that vanished mid-write is
+/// simply logged as the status we tried to send.
+fn serve_connection(shared: &Shared, engine: &Engine, stream: &mut TcpStream) -> u16 {
+    let _ = stream.set_write_timeout(Some(shared.config.request_timeout));
+    let req = match http::read_request(
+        stream,
+        shared.config.request_timeout,
+        shared.config.max_body_bytes,
+    ) {
+        Ok(req) => req,
+        Err(e) => {
+            let _ = http::write_json(stream, e.status(), &e.to_json());
+            return e.status();
+        }
+    };
+    match route(shared, engine, &req) {
+        Ok(Response::Json(body)) => {
+            let _ = http::write_json(stream, 200, &body);
+            200
+        }
+        Ok(Response::Text(body)) => {
+            let _ = http::write_response(stream, 200, "text/plain; charset=utf-8", &body);
+            200
+        }
+        Err(e) => {
+            let _ = http::write_json(stream, e.status(), &e.to_json());
+            e.status()
+        }
+    }
+}
+
+enum Response {
+    Json(String),
+    Text(String),
+}
+
+fn route(shared: &Shared, engine: &Engine, req: &Request) -> Result<Response, ApiError> {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => Ok(Response::Text("ok\n".into())),
+        ("GET", "/metrics") => Ok(Response::Text(shared.metrics.render(
+            &SimCache::global().stats(),
+            shared.queue.len(),
+            shared.config.workers,
+        ))),
+        ("POST", "/shutdown") => {
+            shared.request_stop();
+            Ok(Response::Json("{\"status\": \"draining\"}".into()))
+        }
+        (_, "/healthz") | (_, "/metrics") => Err(ApiError::WrongMethod {
+            path: req.path.clone(),
+            allowed: "GET",
+        }),
+        (_, "/shutdown") => Err(ApiError::WrongMethod {
+            path: req.path.clone(),
+            allowed: "POST",
+        }),
+        (method, path) => {
+            let Some(mode) = path.strip_prefix("/v1/") else {
+                return Err(ApiError::UnknownRoute(path.into()));
+            };
+            if !api::MODES.contains(&mode) {
+                return Err(ApiError::UnknownRoute(path.into()));
+            }
+            if method != "POST" {
+                return Err(ApiError::WrongMethod {
+                    path: path.into(),
+                    allowed: "POST",
+                });
+            }
+            let parsed = api::parse_mode_request(mode, &req.body)?;
+            let ok = api::handle(engine, &parsed, Some(SimCache::global()))?;
+            Ok(Response::Json(ok.to_json()))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Signal handling: SIGINT/SIGTERM → graceful drain, via a self-pipe. The
+// handler itself only writes one byte (async-signal-safe); a watcher thread
+// does the actual shutdown. Hand-declared libc externs — the workspace has
+// no libc crate and does not take new dependencies.
+// ---------------------------------------------------------------------------
+
+/// Install SIGINT + SIGTERM handlers that trigger a graceful drain of the
+/// server behind `trigger`. Returns `false` (and installs nothing) on
+/// non-Unix platforms or if the self-pipe cannot be created. Call at most
+/// once per process.
+pub fn install_signal_shutdown(trigger: StopTrigger) -> bool {
+    #[cfg(unix)]
+    {
+        unix_signal::install(trigger)
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = trigger;
+        false
+    }
+}
+
+#[cfg(unix)]
+mod unix_signal {
+    use super::StopTrigger;
+    use std::sync::atomic::{AtomicI32, Ordering};
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+        fn pipe(fds: *mut i32) -> i32;
+        fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+        fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+    }
+
+    static WRITE_FD: AtomicI32 = AtomicI32::new(-1);
+
+    extern "C" fn on_signal(_signum: i32) {
+        // Only async-signal-safe work here: one write to the self-pipe.
+        let fd = WRITE_FD.load(Ordering::SeqCst);
+        if fd >= 0 {
+            let byte = 1u8;
+            unsafe {
+                let _ = write(fd, &byte, 1);
+            }
+        }
+    }
+
+    pub(super) fn install(trigger: StopTrigger) -> bool {
+        let mut fds = [-1i32; 2];
+        // SAFETY: pipe(2) with a valid two-element array.
+        if unsafe { pipe(fds.as_mut_ptr()) } != 0 {
+            return false;
+        }
+        let (read_fd, write_fd) = (fds[0], fds[1]);
+        WRITE_FD.store(write_fd, Ordering::SeqCst);
+        // SAFETY: installing an async-signal-safe handler for SIGINT/SIGTERM.
+        unsafe {
+            signal(SIGINT, on_signal as *const () as usize);
+            signal(SIGTERM, on_signal as *const () as usize);
+        }
+        std::thread::Builder::new()
+            .name("serve-signal".into())
+            .spawn(move || {
+                let mut buf = [0u8; 1];
+                // SAFETY: blocking read on our own pipe's read end.
+                let n = unsafe { read(read_fd, buf.as_mut_ptr(), 1) };
+                if n > 0 {
+                    trigger.trigger();
+                }
+            })
+            .is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+
+    fn send_raw(addr: SocketAddr, raw: &str) -> String {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(raw.as_bytes()).unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    fn post(addr: SocketAddr, path: &str, body: &str) -> String {
+        send_raw(
+            addr,
+            &format!(
+                "POST {path} HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}",
+                body.len()
+            ),
+        )
+    }
+
+    #[test]
+    fn healthz_metrics_and_shutdown_round_trip() {
+        let handle = Server::start(ServeConfig::default()).unwrap();
+        let addr = handle.addr();
+
+        let health = send_raw(addr, "GET /healthz HTTP/1.1\r\n\r\n");
+        assert!(health.starts_with("HTTP/1.1 200 OK"), "{health}");
+        assert!(health.ends_with("ok\n"), "{health}");
+
+        let ws = toml::to_string(&rat_apps::pdf::pdf1d::rat_input(150.0e6)).unwrap();
+        let body = format!(
+            "{{\"worksheet_toml\": \"{}\", \"target\": 8.0}}",
+            crate::api::escape_json(&ws)
+        );
+        let resp = post(addr, "/v1/solve", &body);
+        assert!(resp.starts_with("HTTP/1.1 200 OK"), "{resp}");
+        assert!(resp.contains("\"mode\": \"solve\""), "{resp}");
+        assert!(resp.contains("Inverse solve"), "{resp}");
+
+        let metrics = send_raw(addr, "GET /metrics HTTP/1.1\r\n\r\n");
+        assert!(metrics.contains("serve_accepted_total"), "{metrics}");
+        assert!(metrics.contains("latency_us_count"), "{metrics}");
+
+        let bye = post(addr, "/shutdown", "");
+        assert!(bye.contains("draining"), "{bye}");
+        let summary = handle.join();
+        assert!(summary.accepted >= 4, "{summary:?}");
+        assert!(summary.ok >= 4, "{summary:?}");
+    }
+
+    #[test]
+    fn protocol_errors_map_to_their_statuses_and_daemon_survives() {
+        let handle = Server::start(ServeConfig {
+            workers: 1,
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let addr = handle.addr();
+
+        let resp = send_raw(addr, "GET /nope HTTP/1.1\r\n\r\n");
+        assert!(resp.starts_with("HTTP/1.1 404"), "{resp}");
+        let resp = send_raw(addr, "GET /v1/solve HTTP/1.1\r\n\r\n");
+        assert!(resp.starts_with("HTTP/1.1 405"), "{resp}");
+        let resp = send_raw(addr, "POST /metrics HTTP/1.1\r\n\r\n");
+        assert!(resp.starts_with("HTTP/1.1 405"), "{resp}");
+        let resp = post(addr, "/v1/solve", "this is not json");
+        assert!(resp.starts_with("HTTP/1.1 400"), "{resp}");
+        assert!(resp.contains("caused_by"), "{resp}");
+
+        // After all that abuse, a good request still works.
+        let ws = toml::to_string(&rat_apps::pdf::pdf1d::rat_input(150.0e6)).unwrap();
+        let body = format!(
+            "{{\"worksheet_toml\": \"{}\", \"target\": 2.0}}",
+            crate::api::escape_json(&ws)
+        );
+        let resp = post(addr, "/v1/solve", &body);
+        assert!(resp.starts_with("HTTP/1.1 200"), "{resp}");
+
+        handle.shutdown();
+    }
+
+    #[test]
+    fn stop_trigger_drains_without_a_shutdown_request() {
+        let handle = Server::start(ServeConfig::default()).unwrap();
+        let trigger = handle.stop_trigger();
+        trigger.trigger();
+        let summary = handle.join();
+        assert_eq!(summary.ok, 0);
+    }
+}

@@ -1,0 +1,99 @@
+//! Shared helpers for the serve integration suites: a tiny HTTP client,
+//! response splitting, and the path to the compiled `rat` binary.
+
+// Each integration-test binary includes this module and uses a subset of it.
+#![allow(dead_code)]
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::time::Duration;
+
+use rat_core::telemetry::json::{self, Json};
+
+/// Send one raw HTTP request and return the full response text.
+pub fn send_raw(addr: SocketAddr, raw: &str) -> String {
+    let mut s = TcpStream::connect(addr).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(60))).unwrap();
+    s.write_all(raw.as_bytes()).expect("write request");
+    let mut out = String::new();
+    s.read_to_string(&mut out).expect("read response");
+    out
+}
+
+/// POST `body` to `path`, returning `(status, body)` with headers stripped.
+pub fn post(addr: SocketAddr, path: &str, body: &str) -> (u16, String) {
+    split_response(&send_raw(
+        addr,
+        &format!(
+            "POST {path} HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        ),
+    ))
+}
+
+/// GET `path`, returning `(status, body)`.
+pub fn get(addr: SocketAddr, path: &str) -> (u16, String) {
+    split_response(&send_raw(addr, &format!("GET {path} HTTP/1.1\r\n\r\n")))
+}
+
+/// Split a raw HTTP response into status code and body.
+pub fn split_response(raw: &str) -> (u16, String) {
+    let status = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("unparsable response: {raw:?}"));
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+/// Parse a success envelope and return its `report` field.
+pub fn report_of(body: &str) -> String {
+    let doc = json::parse(body).unwrap_or_else(|e| panic!("bad JSON {e}: {body}"));
+    doc.get("report")
+        .and_then(Json::as_str)
+        .unwrap_or_else(|| panic!("no report field: {body}"))
+        .to_string()
+}
+
+/// Parse an error envelope and return `(error, caused_by)`.
+pub fn error_of(body: &str) -> (String, Vec<String>) {
+    let doc = json::parse(body).unwrap_or_else(|e| panic!("bad JSON {e}: {body}"));
+    let error = doc
+        .get("error")
+        .and_then(Json::as_str)
+        .unwrap_or_else(|| panic!("no error field: {body}"))
+        .to_string();
+    let causes = doc
+        .get("caused_by")
+        .and_then(Json::as_array)
+        .map(|a| {
+            a.iter()
+                .map(|c| c.as_str().expect("string cause").to_string())
+                .collect()
+        })
+        .unwrap_or_default();
+    (error, causes)
+}
+
+/// One metric's value out of the plaintext `/metrics` body.
+pub fn metric_value(metrics_body: &str, name: &str) -> Option<u64> {
+    metrics_body.lines().find_map(|l| {
+        l.strip_prefix(name)
+            .and_then(|rest| rest.trim().parse().ok())
+    })
+}
+
+/// The compiled `rat` binary, relative to this test binary
+/// (`target/<profile>/deps/...`).
+pub fn rat_binary() -> PathBuf {
+    let mut p = std::env::current_exe().expect("test binary path");
+    p.pop(); // deps/
+    p.pop(); // <profile>/
+    p.push(format!("rat{}", std::env::consts::EXE_SUFFIX));
+    p
+}

@@ -1,0 +1,430 @@
+//! The differential CLI↔serve parity suite — the correctness contract of
+//! `rat serve`.
+//!
+//! For every analysis mode, the JSON body a **warm** server returns must be
+//! byte-identical to what the **cold** path computes for the same inputs:
+//! the in-process scalar pipeline (the same `rat_serve::api` renderers the
+//! CLI calls) and the spawned `rat` binary itself. Parity is asserted at
+//! 1, 2, and 8 server workers, on cache-cold and cache-warm requests, and
+//! for the seeded Monte-Carlo path (same seed → same quantiles through the
+//! server).
+
+mod common;
+
+use std::process::Command;
+
+use common::{get, metric_value, post, rat_binary, report_of};
+use proptest::prelude::*;
+use rat_core::engine::{Engine, EngineConfig};
+use rat_core::params::{
+    Buffering, CommParams, CompParams, DatasetParams, RatInput, SoftwareParams,
+};
+use rat_core::quantity::{Freq, Seconds, Throughput};
+use rat_core::sweep::SweepParam;
+use rat_core::uncertainty::ParamRange;
+use rat_serve::api::{self, escape_json};
+use rat_serve::{ServeConfig, Server, ServerHandle};
+
+/// The worker counts the acceptance criteria pin.
+const WORKER_COUNTS: [usize; 3] = [1, 2, 8];
+
+fn start(workers: usize) -> ServerHandle {
+    Server::start(ServeConfig {
+        workers,
+        ..ServeConfig::default()
+    })
+    .expect("server starts")
+}
+
+/// A reference engine configured exactly like a server worker's.
+fn reference_engine() -> Engine {
+    Engine::new(EngineConfig::default().with_jobs(1))
+}
+
+fn pdf1d() -> RatInput {
+    rat_apps::pdf::pdf1d::rat_input(150.0e6)
+}
+
+fn ws_toml(input: &RatInput) -> String {
+    toml::to_string(input).expect("worksheet serializes")
+}
+
+/// Request bodies for the five analysis modes on `input`, paired with the
+/// in-process reference report each must match byte-for-byte.
+fn mode_cases(input: &RatInput) -> Vec<(&'static str, String, String)> {
+    let engine = reference_engine();
+    let ws = escape_json(&ws_toml(input));
+    let ranges = [ParamRange::new(SweepParam::Fclock, 75.0e6, 150.0e6)];
+    vec![
+        (
+            "/v1/solve",
+            format!("{{\"worksheet_toml\": \"{ws}\", \"target\": 8.0}}"),
+            api::solve_report(input, 8.0),
+        ),
+        (
+            "/v1/sweep",
+            format!(
+                "{{\"worksheet_toml\": \"{ws}\", \"param\": \"fclock\", \
+                 \"values\": [75e6, 100e6, 150e6]}}"
+            ),
+            api::sweep_report(
+                &engine,
+                input,
+                SweepParam::Fclock,
+                &[75.0e6, 100.0e6, 150.0e6],
+            )
+            .expect("sweep reference"),
+        ),
+        (
+            "/v1/uncertainty",
+            format!(
+                "{{\"worksheet_toml\": \"{ws}\", \
+                 \"ranges\": [{{\"param\": \"fclock\", \"lo\": 75e6, \"hi\": 150e6}}]}}"
+            ),
+            api::uncertainty_report(
+                &engine,
+                input,
+                &ranges,
+                api::DEFAULT_MC_SAMPLES,
+                engine.config().root_seed,
+            )
+            .expect("uncertainty reference"),
+        ),
+        (
+            "/v1/explore",
+            format!(
+                "{{\"worksheet_toml\": \"{ws}\", \"min_speedup\": 5.0, \
+                 \"fclocks\": [100e6, 150e6]}}"
+            ),
+            api::explore_report(input, 5.0, Some(vec![100.0e6, 150.0e6]), None, None)
+                .expect("explore reference"),
+        ),
+        (
+            "/v1/sensitivity",
+            format!("{{\"worksheet_toml\": \"{ws}\"}}"),
+            api::sensitivity_report(&engine, input).expect("sensitivity reference"),
+        ),
+    ]
+}
+
+#[test]
+fn five_modes_byte_identical_at_1_2_8_workers_cold_and_warm() {
+    let input = pdf1d();
+    let cases = mode_cases(&input);
+    for workers in WORKER_COUNTS {
+        let handle = start(workers);
+        let addr = handle.addr();
+        for (path, body, reference) in &cases {
+            // Cache-cold (first request of this mode on this server) ...
+            let (status, cold) = post(addr, path, body);
+            assert_eq!(status, 200, "{path} at {workers} workers: {cold}");
+            assert_eq!(
+                report_of(&cold),
+                *reference,
+                "{path} cold parity at {workers} workers"
+            );
+            // ... and cache-warm (every structure already resident) must be
+            // byte-identical to each other and to the reference.
+            let (status, warm) = post(addr, path, body);
+            assert_eq!(status, 200);
+            assert_eq!(
+                cold, warm,
+                "{path} warm response drifted at {workers} workers"
+            );
+        }
+        handle.shutdown();
+    }
+}
+
+#[test]
+fn server_reports_match_cold_cli_stdout_for_every_mode() {
+    // Spawn the real binary per mode and compare its stdout to the warm
+    // server's report — the end-to-end version of the shared-renderer
+    // argument. The CLI prints `{report}\n`, so stdout = report + newline.
+    let input = pdf1d();
+    let dir = std::env::temp_dir().join(format!("rat-serve-parity-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let ws_path = dir.join("ws.toml");
+    std::fs::write(&ws_path, ws_toml(&input)).unwrap();
+    let ws = ws_path.to_string_lossy().into_owned();
+
+    let cli = |args: &[&str]| -> String {
+        let out = Command::new(rat_binary())
+            .args(args)
+            .output()
+            .expect("spawning the rat binary (build it with `cargo build -p rat-cli`)");
+        assert!(
+            out.status.success(),
+            "rat {args:?} failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8(out.stdout).expect("utf8 stdout")
+    };
+
+    let handle = start(2);
+    let addr = handle.addr();
+    let serve = |path: &str, body: &str| -> String {
+        let (status, resp) = post(addr, path, body);
+        assert_eq!(status, 200, "{path}: {resp}");
+        report_of(&resp)
+    };
+    let ws_json = escape_json(&ws_toml(&input));
+
+    let pairs = [
+        (
+            cli(&["solve", &ws, "8"]),
+            serve(
+                "/v1/solve",
+                &format!("{{\"worksheet_toml\": \"{ws_json}\", \"target\": 8.0}}"),
+            ),
+        ),
+        (
+            cli(&["solve", "--strict", &ws, "4"]),
+            serve(
+                "/v1/solve",
+                &format!(
+                    "{{\"worksheet_toml\": \"{ws_json}\", \"target\": 4.0, \"strict\": true}}"
+                ),
+            ),
+        ),
+        (
+            cli(&["sweep", &ws, "fclock", "75e6", "100e6", "150e6"]),
+            serve(
+                "/v1/sweep",
+                &format!(
+                    "{{\"worksheet_toml\": \"{ws_json}\", \"param\": \"fclock\", \
+                     \"values\": [75e6, 100e6, 150e6]}}"
+                ),
+            ),
+        ),
+        (
+            cli(&["uncertainty", &ws, "fclock", "75e6", "150e6"]),
+            serve(
+                "/v1/uncertainty",
+                &format!(
+                    "{{\"worksheet_toml\": \"{ws_json}\", \
+                     \"ranges\": [{{\"param\": \"fclock\", \"lo\": 75e6, \"hi\": 150e6}}]}}"
+                ),
+            ),
+        ),
+        (
+            cli(&["explore", &ws, "5", "--fclocks", "100e6,150e6"]),
+            serve(
+                "/v1/explore",
+                &format!(
+                    "{{\"worksheet_toml\": \"{ws_json}\", \"min_speedup\": 5.0, \
+                     \"fclocks\": [100e6, 150e6]}}"
+                ),
+            ),
+        ),
+        (
+            cli(&["sensitivity", &ws]),
+            serve(
+                "/v1/sensitivity",
+                &format!("{{\"worksheet_toml\": \"{ws_json}\"}}"),
+            ),
+        ),
+    ];
+    handle.shutdown();
+    for (i, (cli_stdout, server_report)) in pairs.iter().enumerate() {
+        assert_eq!(
+            *cli_stdout,
+            format!("{server_report}\n"),
+            "CLI stdout vs server report diverged for pair {i}"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn seeded_mc_is_deterministic_through_the_server() {
+    let input = pdf1d();
+    let ws = escape_json(&ws_toml(&input));
+    let body = format!(
+        "{{\"worksheet_toml\": \"{ws}\", \"samples\": 2000, \"seed\": 42, \
+         \"ranges\": [{{\"param\": \"alpha\", \"lo\": 0.5, \"hi\": 1.0}}]}}"
+    );
+    // Two different servers, different worker counts: the seed alone pins
+    // the quantiles.
+    let h1 = start(1);
+    let (s1, r1) = post(h1.addr(), "/v1/uncertainty", &body);
+    h1.shutdown();
+    let h8 = start(8);
+    let (s8, r8) = post(h8.addr(), "/v1/uncertainty", &body);
+    let (s8b, r8b) = post(h8.addr(), "/v1/uncertainty", &body);
+    h8.shutdown();
+    assert_eq!((s1, s8, s8b), (200, 200, 200));
+    assert_eq!(r1, r8, "seeded MC differs across server worker counts");
+    assert_eq!(r8, r8b, "seeded MC differs across repeated requests");
+
+    // And matches the in-process pipeline with the same seed.
+    let engine = reference_engine();
+    let ranges = [ParamRange::new(SweepParam::AlphaBoth, 0.5, 1.0)];
+    let reference = api::uncertainty_report(&engine, &input, &ranges, 2000, 42).unwrap();
+    assert_eq!(report_of(&r1), reference);
+}
+
+#[test]
+fn simulate_parity_cold_vs_warm_with_cache_hits() {
+    // /v1/simulate is the one endpoint that runs the cycle simulator; the
+    // first request at a clock point misses the shared cache, later ones
+    // hit it — and the report must not change by a byte either way.
+    let handle = start(2);
+    let addr = handle.addr();
+    let body = "{\"app\": \"sort\", \"mhz\": 147.0}";
+    let (_, metrics0) = get(addr, "/metrics");
+    let hits0 = metric_value(&metrics0, "cache_hits ").unwrap();
+    let (s1, cold) = post(addr, "/v1/simulate", body);
+    let (s2, warm) = post(addr, "/v1/simulate", body);
+    assert_eq!((s1, s2), (200, 200), "{cold}");
+    assert_eq!(cold, warm, "cached simulation drifted");
+    let (_, metrics1) = get(addr, "/metrics");
+    let hits1 = metric_value(&metrics1, "cache_hits ").unwrap();
+    assert!(
+        hits1 > hits0,
+        "warm request did not hit the cache: {hits0} -> {hits1}"
+    );
+    // The report matches the in-process cached path.
+    assert_eq!(
+        report_of(&cold),
+        api::simulate_report("sort", 147.0, Some(fpga_sim::SimCache::global())).unwrap()
+    );
+    handle.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Property tests: random worksheets through the server vs the in-process
+// scalar pipeline, bit for bit. Case counts are modest because every case
+// boots requests against a live server; the deterministic tests above cover
+// the worker-count matrix densely.
+// ---------------------------------------------------------------------------
+
+/// Strategy: a valid worksheet input across wide parameter ranges (the same
+/// envelope the batch-differential suite uses).
+fn worksheet() -> impl Strategy<Value = RatInput> {
+    (
+        1u64..100_000,  // elements_in
+        0u64..100_000,  // elements_out
+        1u64..64,       // bytes per element
+        1.0e8..1.0e10,  // ideal bandwidth
+        0.01f64..1.0,   // alpha_write
+        0.01f64..1.0,   // alpha_read
+        1.0f64..1.0e6,  // ops per element
+        0.1f64..1000.0, // throughput_proc
+        1.0e7..1.0e9,   // fclock
+        1.0e-3..1.0e4,  // t_soft
+        1u64..10_000,   // iterations
+        prop_oneof![Just(Buffering::Single), Just(Buffering::Double)],
+    )
+        .prop_map(
+            |(ein, eout, bpe, bw, aw, ar, ops, tp, f, tsoft, iters, buffering)| RatInput {
+                name: "prop".into(),
+                dataset: DatasetParams {
+                    elements_in: ein,
+                    elements_out: eout,
+                    bytes_per_element: bpe,
+                },
+                comm: CommParams {
+                    ideal_bandwidth: Throughput::from_bytes_per_sec(bw),
+                    alpha_write: aw,
+                    alpha_read: ar,
+                },
+                comp: CompParams {
+                    ops_per_element: ops,
+                    throughput_proc: tp,
+                    fclock: Freq::from_hz(f),
+                },
+                software: SoftwareParams {
+                    t_soft: Seconds::new(tsoft),
+                    iterations: iters,
+                },
+                buffering,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Every mode's server report equals the in-process report for random
+    /// worksheets, at a randomly drawn worker count.
+    #[test]
+    fn random_worksheets_round_trip_bit_for_bit(
+        input in worksheet(),
+        target in 1.0f64..100.0,
+        mc_seed in 0u64..1_000_000,
+        workers in prop_oneof![Just(1usize), Just(2usize), Just(8usize)],
+    ) {
+        let engine = reference_engine();
+        let ws = escape_json(&ws_toml(&input));
+        let handle = start(workers);
+        let addr = handle.addr();
+
+        let (status, resp) = post(
+            addr,
+            "/v1/solve",
+            &format!("{{\"worksheet_toml\": \"{ws}\", \"target\": {target}}}"),
+        );
+        prop_assert_eq!(status, 200, "{}", resp);
+        prop_assert_eq!(report_of(&resp), api::solve_report(&input, target));
+
+        let (status, resp) = post(
+            addr,
+            "/v1/sweep",
+            &format!(
+                "{{\"worksheet_toml\": \"{ws}\", \"param\": \"throughput-proc\", \
+                 \"values\": [0.5, 5.0, 50.0]}}"
+            ),
+        );
+        prop_assert_eq!(status, 200, "{}", resp);
+        prop_assert_eq!(
+            report_of(&resp),
+            api::sweep_report(
+                &engine,
+                &input,
+                SweepParam::ThroughputProc,
+                &[0.5, 5.0, 50.0]
+            )
+            .unwrap()
+        );
+
+        let (status, resp) = post(
+            addr,
+            "/v1/sensitivity",
+            &format!("{{\"worksheet_toml\": \"{ws}\"}}"),
+        );
+        prop_assert_eq!(status, 200, "{}", resp);
+        prop_assert_eq!(
+            report_of(&resp),
+            api::sensitivity_report(&engine, &input).unwrap()
+        );
+
+        let (status, resp) = post(
+            addr,
+            "/v1/uncertainty",
+            &format!(
+                "{{\"worksheet_toml\": \"{ws}\", \"samples\": 64, \"seed\": {mc_seed}, \
+                 \"ranges\": [{{\"param\": \"fclock\", \"lo\": 1e7, \"hi\": 1e9}}]}}"
+            ),
+        );
+        prop_assert_eq!(status, 200, "{}", resp);
+        let ranges = [ParamRange::new(SweepParam::Fclock, 1.0e7, 1.0e9)];
+        prop_assert_eq!(
+            report_of(&resp),
+            api::uncertainty_report(&engine, &input, &ranges, 64, mc_seed).unwrap()
+        );
+
+        let (status, resp) = post(
+            addr,
+            "/v1/explore",
+            &format!("{{\"worksheet_toml\": \"{ws}\", \"min_speedup\": {target}}}"),
+        );
+        prop_assert_eq!(status, 200, "{}", resp);
+        prop_assert_eq!(
+            report_of(&resp),
+            api::explore_report(&input, target, None, None, None).unwrap()
+        );
+
+        handle.shutdown();
+    }
+}

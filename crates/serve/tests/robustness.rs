@@ -1,0 +1,194 @@
+//! Protocol robustness: hostile and malformed traffic must map to the
+//! documented status codes with a `caused by:`-style chain in the error
+//! body, and the daemon must survive all of it — after every abuse case a
+//! well-formed request still answers 200.
+
+mod common;
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, TcpStream};
+use std::time::Duration;
+
+use common::{error_of, get, post, send_raw, split_response};
+use rat_serve::api::escape_json;
+use rat_serve::{ServeConfig, Server, ServerHandle};
+
+fn start() -> ServerHandle {
+    Server::start(ServeConfig {
+        workers: 2,
+        ..ServeConfig::default()
+    })
+    .expect("server starts")
+}
+
+fn good_body() -> String {
+    let ws = escape_json(&toml::to_string(&rat_apps::pdf::pdf1d::rat_input(150.0e6)).unwrap());
+    format!("{{\"worksheet_toml\": \"{ws}\", \"target\": 8.0}}")
+}
+
+/// Assert the daemon still answers a well-formed request after an abuse.
+fn still_alive(handle: &ServerHandle, after: &str) {
+    let (status, resp) = post(handle.addr(), "/v1/solve", &good_body());
+    assert_eq!(status, 200, "daemon unhealthy after {after}: {resp}");
+}
+
+#[test]
+fn hostile_requests_map_to_documented_statuses_and_daemon_survives() {
+    let handle = start();
+    let addr = handle.addr();
+
+    // Malformed JSON → 400 with the parse failure in the cause chain.
+    let (status, body) = post(addr, "/v1/solve", "{\"worksheet_toml\": ");
+    assert_eq!(status, 400, "{body}");
+    let (error, causes) = error_of(&body);
+    assert!(
+        !error.is_empty() && !causes.is_empty(),
+        "400 body lost its caused-by chain: {body}"
+    );
+    still_alive(&handle, "malformed JSON");
+
+    // A body the request is not allowed to have: declared oversized → 413
+    // from the headers alone, before any body bytes are read.
+    let raw = format!(
+        "POST /v1/solve HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+        2 * 1024 * 1024
+    );
+    let (status, body) = split_response(&send_raw(addr, &raw));
+    assert_eq!(status, 413, "{body}");
+    let (error, _) = error_of(&body);
+    assert!(
+        error.contains("exceeds") && error.contains("limit"),
+        "413 error should name the body limit: {error}"
+    );
+    still_alive(&handle, "oversized body");
+
+    // Unknown route → 404; wrong method on known routes → 405.
+    let (status, body) = post(addr, "/v1/frobnicate", "{}");
+    assert_eq!(status, 404, "{body}");
+    let (status, body) = split_response(&send_raw(addr, "GET /v1/solve HTTP/1.1\r\n\r\n"));
+    assert_eq!(status, 405, "{body}");
+    let (status, body) = split_response(&send_raw(
+        addr,
+        "POST /metrics HTTP/1.1\r\nContent-Length: 0\r\n\r\n",
+    ));
+    assert_eq!(status, 405, "{body}");
+    still_alive(&handle, "bad routes");
+
+    // Infeasible design under --strict semantics → 422 (the HTTP face of
+    // CLI exit code 4), with the infeasibility in the cause chain.
+    let ws = escape_json(&toml::to_string(&rat_apps::pdf::pdf1d::rat_input(150.0e6)).unwrap());
+    let (status, body) = post(
+        addr,
+        "/v1/solve",
+        &format!("{{\"worksheet_toml\": \"{ws}\", \"target\": 1e9, \"strict\": true}}"),
+    );
+    assert_eq!(status, 422, "{body}");
+    let (_, causes) = error_of(&body);
+    assert!(
+        causes.iter().any(|c| c.contains("infeasible")),
+        "422 causes should name the infeasibility: {body}"
+    );
+    still_alive(&handle, "infeasible strict solve");
+
+    // A simulation-layer failure → 500 (the HTTP face of exit code 5).
+    let (status, body) = post(addr, "/v1/simulate", "{\"app\": \"sort\", \"mhz\": 0.0}");
+    assert_eq!(status, 500, "{body}");
+    still_alive(&handle, "simulate at 0 MHz");
+
+    // A worksheet that parses as TOML but fails quantity validation → 400.
+    let bad_ws = escape_json(
+        &toml::to_string(&{
+            let mut input = rat_apps::pdf::pdf1d::rat_input(150.0e6);
+            input.comm.alpha_write = -0.5;
+            input
+        })
+        .unwrap(),
+    );
+    let (status, body) = post(
+        addr,
+        "/v1/solve",
+        &format!("{{\"worksheet_toml\": \"{bad_ws}\", \"target\": 2.0}}"),
+    );
+    assert_eq!(status, 400, "{body}");
+    still_alive(&handle, "invalid worksheet quantities");
+
+    // Mid-body disconnect: declare 100 bytes, send 10, hang up the write
+    // half. The server must answer 400 (naming the short read), not die.
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    s.write_all(b"POST /v1/solve HTTP/1.1\r\nContent-Length: 100\r\n\r\n0123456789")
+        .unwrap();
+    s.shutdown(Shutdown::Write).unwrap();
+    let mut resp = String::new();
+    s.read_to_string(&mut resp).unwrap();
+    let (status, body) = split_response(&resp);
+    assert_eq!(status, 400, "{body}");
+    let (error, causes) = error_of(&body);
+    assert!(
+        causes.iter().any(|c| c.contains("disconnected")),
+        "mid-body disconnect should be named: {error} / {causes:?}"
+    );
+    still_alive(&handle, "mid-body disconnect");
+
+    // Garbage that is not even HTTP.
+    let (status, _) = split_response(&send_raw(addr, "\x01\x02\x03 nonsense\r\n\r\n"));
+    assert_ne!(status, 200);
+    still_alive(&handle, "non-HTTP garbage");
+
+    let summary = handle.shutdown();
+    assert!(
+        summary.ok >= 8,
+        "expected the still-alive probes among {summary:?}"
+    );
+}
+
+#[test]
+fn full_queue_answers_503_busy_and_recovers() {
+    // One worker, one queue slot, short request timeout: occupy the worker
+    // with a connection that sends nothing, fill the single slot with a
+    // second idle connection, and a third (complete) request must bounce
+    // with 503 from the backpressure path — then, once the stalled
+    // connections time out, service resumes.
+    let handle = Server::start(ServeConfig {
+        workers: 1,
+        queue_capacity: 1,
+        request_timeout: Duration::from_millis(300),
+        ..ServeConfig::default()
+    })
+    .expect("server starts");
+    let addr = handle.addr();
+
+    let hog_worker = TcpStream::connect(addr).unwrap(); // popped by the worker, stalls it
+    std::thread::sleep(Duration::from_millis(60));
+    let hog_queue = TcpStream::connect(addr).unwrap(); // sits in the only queue slot
+    std::thread::sleep(Duration::from_millis(60));
+
+    let (status, body) = post(addr, "/v1/solve", &good_body());
+    assert_eq!(status, 503, "expected busy rejection: {body}");
+    let (error, _) = error_of(&body);
+    assert!(
+        error.contains("capacity"),
+        "503 should say the server is at capacity: {error}"
+    );
+
+    // The stalled connections are answered 408 when their deadline passes.
+    for (name, mut hog) in [("worker hog", hog_worker), ("queue hog", hog_queue)] {
+        hog.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+        let mut resp = String::new();
+        hog.read_to_string(&mut resp).unwrap();
+        let (status, _) = split_response(&resp);
+        assert_eq!(status, 408, "{name} should time out with 408");
+    }
+
+    // Backpressure released: the same request now succeeds, and the
+    // rejection is visible in both /metrics and the drain summary.
+    let (status, _) = post(addr, "/v1/solve", &good_body());
+    assert_eq!(status, 200);
+    let (_, metrics) = get(addr, "/metrics");
+    assert!(
+        metrics.contains("serve_rejected_busy_total 1"),
+        "busy rejection not counted:\n{metrics}"
+    );
+    let summary = handle.shutdown();
+    assert_eq!(summary.rejected_busy, 1);
+}

@@ -1,0 +1,185 @@
+//! Concurrency stress: N client threads hammer a warm server with mixed
+//! analysis modes. Every response must be well-formed (no torn writes),
+//! `cache.hits` must be monotonically non-decreasing across `/metrics`
+//! samples, shard contention must be reported, and shutdown must drain
+//! cleanly — in-flight requests complete and the write-behind simulator
+//! cache is flushed to disk (verified by reading the TSV back).
+//!
+//! This file is a single `#[test]` on purpose: it owns the process-global
+//! simulator cache (pointed at a temp path via `RAT_SIM_CACHE` before the
+//! first touch), which integration tests in other files must not share.
+
+mod common;
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use common::{get, metric_value, post};
+use rat_core::telemetry::json::{self, Json};
+use rat_serve::api::escape_json;
+use rat_serve::{ServeConfig, Server};
+
+const CLIENT_THREADS: usize = 8;
+const REQUESTS_PER_CLIENT: usize = 12;
+
+/// `(path, body, expected mode)` for a representative mixed workload:
+/// every analytic mode plus the simulator endpoint (the only one that
+/// exercises the shared cache). Simulation points repeat across clients so
+/// the cache sees concurrent hits on the same shards.
+fn workload() -> Vec<(String, String, &'static str)> {
+    let ws = escape_json(&toml::to_string(&rat_apps::pdf::pdf1d::rat_input(150.0e6)).unwrap());
+    vec![
+        (
+            "/v1/solve".into(),
+            format!("{{\"worksheet_toml\": \"{ws}\", \"target\": 8.0}}"),
+            "solve",
+        ),
+        (
+            "/v1/sweep".into(),
+            format!(
+                "{{\"worksheet_toml\": \"{ws}\", \"param\": \"fclock\", \
+                 \"values\": [75e6, 100e6, 150e6]}}"
+            ),
+            "sweep",
+        ),
+        (
+            "/v1/sensitivity".into(),
+            format!("{{\"worksheet_toml\": \"{ws}\"}}"),
+            "sensitivity",
+        ),
+        (
+            "/v1/uncertainty".into(),
+            format!(
+                "{{\"worksheet_toml\": \"{ws}\", \"samples\": 128, \"seed\": 7, \
+                 \"ranges\": [{{\"param\": \"fclock\", \"lo\": 75e6, \"hi\": 150e6}}]}}"
+            ),
+            "uncertainty",
+        ),
+        (
+            "/v1/explore".into(),
+            format!(
+                "{{\"worksheet_toml\": \"{ws}\", \"min_speedup\": 4.0, \
+                 \"fclocks\": [100e6, 150e6]}}"
+            ),
+            "explore",
+        ),
+        (
+            "/v1/simulate".into(),
+            "{\"app\": \"sort\", \"mhz\": 150.0}".into(),
+            "simulate",
+        ),
+        (
+            "/v1/simulate".into(),
+            "{\"app\": \"pdf1d\", \"mhz\": 100.0}".into(),
+            "simulate",
+        ),
+    ]
+}
+
+#[test]
+fn mixed_load_is_torn_free_and_drains_with_cache_flush() {
+    // Point the process-global cache at a fresh TSV *before* anything can
+    // touch it, so shutdown's flush is observable on disk.
+    let tsv = std::env::temp_dir().join(format!("rat-serve-stress-{}.tsv", std::process::id()));
+    let _ = std::fs::remove_file(&tsv);
+    std::env::set_var("RAT_SIM_CACHE", &tsv);
+
+    let handle = Server::start(ServeConfig {
+        workers: 4,
+        ..ServeConfig::default()
+    })
+    .expect("server starts");
+    let addr = handle.addr();
+    let bodies = Arc::new(workload());
+    let completed = Arc::new(AtomicU64::new(0));
+
+    let clients: Vec<_> = (0..CLIENT_THREADS)
+        .map(|t| {
+            let bodies = Arc::clone(&bodies);
+            let completed = Arc::clone(&completed);
+            std::thread::spawn(move || {
+                for i in 0..REQUESTS_PER_CLIENT {
+                    let (path, body, mode) = &bodies[(t + i) % bodies.len()];
+                    let (status, resp) = post(addr, path, body);
+                    // A torn or interleaved response would fail one of
+                    // these three ways: wrong status, unparsable JSON, or
+                    // a mode that doesn't match the request.
+                    assert_eq!(status, 200, "client {t} req {i} ({path}): {resp}");
+                    let doc = json::parse(&resp)
+                        .unwrap_or_else(|e| panic!("client {t} torn response ({e}): {resp}"));
+                    assert_eq!(
+                        doc.get("mode").and_then(Json::as_str),
+                        Some(*mode),
+                        "client {t} req {i} answered with the wrong mode: {resp}"
+                    );
+                    assert!(
+                        doc.get("report").and_then(Json::as_str).is_some(),
+                        "client {t} req {i} missing report: {resp}"
+                    );
+                    completed.fetch_add(1, Ordering::Relaxed);
+                }
+            })
+        })
+        .collect();
+
+    // While the load runs, sample /metrics: cache.hits must never go
+    // backwards, and shard contention must be reported (the counter may
+    // legitimately stay 0 on an uncontended run — presence is the contract).
+    let mut last_hits = 0u64;
+    let mut contention_seen = false;
+    let total = (CLIENT_THREADS * REQUESTS_PER_CLIENT) as u64;
+    while completed.load(Ordering::Relaxed) < total {
+        let (status, body) = get(addr, "/metrics");
+        assert_eq!(status, 200);
+        let hits = metric_value(&body, "cache_hits ").expect("cache_hits exported");
+        assert!(
+            hits >= last_hits,
+            "cache.hits went backwards: {last_hits} -> {hits}"
+        );
+        last_hits = hits;
+        contention_seen |= metric_value(&body, "cache_shard_contention ").is_some();
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert!(
+        contention_seen,
+        "cache_shard_contention missing from /metrics"
+    );
+    for c in clients {
+        c.join().expect("client thread panicked");
+    }
+
+    // The repeated simulate points must have produced real cache hits.
+    let (_, body) = get(addr, "/metrics");
+    let hits = metric_value(&body, "cache_hits ").unwrap();
+    assert!(hits > 0, "repeated simulate points never hit the cache");
+
+    // Clean drain: every accepted connection was answered, nothing was
+    // dropped mid-flight, and the worker/acceptor threads are all joined by
+    // the time shutdown() returns.
+    let summary = handle.shutdown();
+    assert!(
+        summary.accepted >= total,
+        "accepted {} < {total} issued",
+        summary.accepted
+    );
+    assert_eq!(
+        summary.ok + summary.errored + summary.rejected_busy,
+        summary.accepted
+    );
+    assert!(
+        summary.ok >= total,
+        "some stress requests were not answered ok"
+    );
+
+    // The write-behind cache was flushed on drain: the TSV exists and
+    // holds at least the distinct simulation points we drove.
+    let flushed = std::fs::read_to_string(&tsv)
+        .unwrap_or_else(|e| panic!("cache TSV not flushed to {}: {e}", tsv.display()));
+    let entries = flushed.lines().filter(|l| !l.trim().is_empty()).count();
+    assert!(
+        entries >= 2,
+        "flushed cache has {entries} entries, expected >= 2:\n{flushed}"
+    );
+    let _ = std::fs::remove_file(&tsv);
+}
