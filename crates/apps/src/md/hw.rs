@@ -157,7 +157,10 @@ impl MdDesign {
 
     /// The resource test against the EP2S180.
     pub fn resource_report(&self) -> ResourceReport {
-        ResourceReport::analyze(device::stratix2_ep2s180(), self.resource_estimate())
+        rat_core::solve::stages::resource_report(
+            &device::stratix2_ep2s180(),
+            self.resource_estimate(),
+        )
     }
 
     /// Execute on the simulated XD1000 at `fclock_hz` ("actual" column of

@@ -401,6 +401,31 @@ pub fn run(quick: bool) -> BenchReport {
         acc
     });
 
+    // Scenario family 2c: the staged sweep kernel. A single-axis fclock
+    // sweep's stage plan proves the communication terms uniform, so the
+    // kernel hoists both comm divides out of the point loop (the batched
+    // face of the comm-stage skip). The baseline is the pre-stage-graph
+    // eager kernel — forced here by adding a broadcast `alpha_write` column
+    // at the base value, which marks the comm stage varied and sends the
+    // same `speedup_batch` call down the general per-point loop exactly as
+    // every sweep ran before the stage plan existed. Outputs are
+    // bit-identical; only the per-point arithmetic differs.
+    let sweep_points: Vec<f64> = (0..BATCH_CHUNK)
+        .map(|i| 75.0e6 + 75.0e6 * (i as f64 / BATCH_CHUNK as f64))
+        .collect();
+    let alpha_broadcast = vec![input.comm.alpha_write; BATCH_CHUNK];
+    let t_sweep_staged = time(reps_kernel, || {
+        let mut batch = BatchPoints::new(&input, sweep_points.len());
+        batch.push_column(SweepParam::Fclock, sweep_points.as_slice());
+        speedup_batch(&batch).unwrap()
+    });
+    let t_sweep_eager = time(reps_kernel, || {
+        let mut batch = BatchPoints::new(&input, sweep_points.len());
+        batch.push_column(SweepParam::Fclock, sweep_points.as_slice());
+        batch.push_column(SweepParam::AlphaWrite, alpha_broadcast.as_slice());
+        speedup_batch(&batch).unwrap()
+    });
+
     // Scenario family 2b: the observability layer's cost on the same summary
     // run — identical work with the collector enabled (spans and counters
     // recorded) next to `execute_summary_fast_forward`, whose path is the
@@ -508,6 +533,18 @@ pub fn run(quick: bool) -> BenchReport {
             total: t_kernel_scalar,
         },
         BenchScenario {
+            name: "sweep_kernel_staged",
+            work: BATCH_CHUNK as u64,
+            reps: reps_kernel,
+            total: t_sweep_staged,
+        },
+        BenchScenario {
+            name: "sweep_kernel_eager_comm",
+            work: BATCH_CHUNK as u64,
+            reps: reps_kernel,
+            total: t_sweep_eager,
+        },
+        BenchScenario {
             name: "execute_summary_telemetry_enabled",
             work: iters,
             reps: reps_sim_fast,
@@ -572,6 +609,13 @@ pub fn run(quick: bool) -> BenchReport {
             speedup: per_rep("speedup_kernel_scalar") / per_rep("speedup_kernel_batch"),
         },
         BenchRatio {
+            // The stage-graph acceptance ratio: a single-axis sweep through
+            // the staged kernel vs the eager per-point comm recomputation it
+            // replaced. The perf gate pins this at >= 1.5x.
+            name: "sweep_staged_vs_eager",
+            speedup: per_rep("sweep_kernel_eager_comm") / per_rep("sweep_kernel_staged"),
+        },
+        BenchRatio {
             name: "explore_two_phase_vs_eager",
             speedup: per_rep("explore_eager") / per_rep("explore_two_phase"),
         },
@@ -599,8 +643,8 @@ mod tests {
     fn quick_bench_reports_every_scenario_and_ratio() {
         let r = run(true);
         assert!(r.quick);
-        assert_eq!(r.scenarios.len(), 15);
-        assert_eq!(r.ratios.len(), 9);
+        assert_eq!(r.scenarios.len(), 17);
+        assert_eq!(r.ratios.len(), 10);
         for s in &r.scenarios {
             assert!(s.reps > 0, "{}", s.name);
         }

@@ -95,6 +95,29 @@ fn serve_evidence_shows_warm_server_at_least_10x_cold_cli() {
     );
 }
 
+/// The stage-graph acceptance criterion, pinned against the checked-in
+/// evidence: a single-axis sweep through the staged kernel (comm terms
+/// hoisted by the stage plan) must run at least 1.5x the eager per-point
+/// comm recomputation it replaced.
+#[test]
+fn staged_sweep_evidence_shows_at_least_1_5x_over_eager() {
+    let (name, doc) = newest_evidence();
+    let ratios = ratios_of(&doc);
+    let (_, speedup) = ratios
+        .iter()
+        .find(|(n, _)| n == "sweep_staged_vs_eager")
+        .unwrap_or_else(|| {
+            panic!(
+                "{name}: evidence records no sweep_staged_vs_eager ratio — \
+                 regenerate with `rat bench --serve --json`"
+            )
+        });
+    assert!(
+        *speedup >= 1.5,
+        "{name}: staged sweep kernel is only {speedup:.2}x the eager baseline (need >= 1.5x)"
+    );
+}
+
 #[test]
 #[ignore = "perf gate: timing-sensitive; CI's release job runs it with --ignored"]
 fn live_ratios_have_not_collapsed_against_checked_in_evidence() {

@@ -757,9 +757,133 @@ fn dispatch(engine: &Engine, args: &[String]) -> Result<String, CliError> {
                 summary.accepted, summary.ok, summary.errored, summary.rejected_busy
             ))
         }
+        "watch" => {
+            let mut path: Option<&String> = None;
+            let mut poll_ms: u64 = 250;
+            let mut max_renders: u64 = 0;
+            let mut it = args[1..].iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--poll-ms" => {
+                        poll_ms = it
+                            .next()
+                            .ok_or_else(|| CliError::usage("--poll-ms needs a value"))?
+                            .parse()
+                            .map_err(|e| CliError::usage(format!("bad --poll-ms value: {e}")))?;
+                    }
+                    "--max-renders" => {
+                        max_renders = it
+                            .next()
+                            .ok_or_else(|| CliError::usage("--max-renders needs a value"))?
+                            .parse()
+                            .map_err(|e| {
+                                CliError::usage(format!("bad --max-renders value: {e}"))
+                            })?;
+                    }
+                    other if other.starts_with("--") => {
+                        return Err(CliError::usage(format!("unknown watch flag '{other}'")));
+                    }
+                    _ => {
+                        if path.replace(a).is_some() {
+                            return Err(CliError::usage("watch takes exactly one worksheet"));
+                        }
+                    }
+                }
+            }
+            watch(path, poll_ms, max_renders)
+        }
         "example-worksheet" => Ok(example_worksheet()),
         other => Err(CliError::usage(format!("unknown command '{other}'"))),
     }
+}
+
+/// `rat watch`: poll the worksheet file and re-run the analysis whenever its
+/// contents change. Renders go through the staged solve path, so only the
+/// stages whose inputs actually changed recompute; the per-render stderr line
+/// reports each stage's hit/miss so the skipping is visible.
+///
+/// The first render happens immediately and its errors are fatal (a watch on
+/// an unreadable or invalid worksheet is a mistake worth stopping for).
+/// Later renders report errors on stderr and keep watching — a half-saved
+/// edit shouldn't kill the session. With `--max-renders N` (N > 0) the final
+/// render is returned as the command output; otherwise the loop runs until
+/// interrupted and every render is printed as it happens.
+fn watch(path: Option<&String>, poll_ms: u64, max_renders: u64) -> Result<String, CliError> {
+    let path = path.ok_or_else(|| CliError::usage("missing worksheet path"))?;
+    let mut digest = watch_digest(path)?;
+    let first = watch_render(path, 1)?;
+    let mut renders: u64 = 1;
+    if max_renders == 1 {
+        return Ok(first);
+    }
+    println!("{first}");
+    loop {
+        std::thread::sleep(std::time::Duration::from_millis(poll_ms));
+        let next = match watch_digest(path) {
+            Ok(d) => d,
+            Err(err) => {
+                report_error(&err);
+                continue;
+            }
+        };
+        if next == digest {
+            continue;
+        }
+        digest = next;
+        match watch_render(path, renders + 1) {
+            Ok(out) => {
+                renders += 1;
+                if max_renders != 0 && renders >= max_renders {
+                    return Ok(out);
+                }
+                println!("{out}");
+            }
+            Err(err) => report_error(&err),
+        }
+    }
+}
+
+/// FNV-1a digest of the worksheet's bytes. Content-keyed rather than
+/// mtime-keyed: editors that rewrite identical bytes don't trigger renders,
+/// and rapid successive writes within one mtime granule still do.
+fn watch_digest(path: &String) -> Result<u64, CliError> {
+    let bytes = std::fs::read(path).map_err(|e| CliError::Io {
+        path: path.clone(),
+        source: e,
+    })?;
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0100_0000_01b3);
+    }
+    Ok(hash)
+}
+
+/// One watch render: re-parse the worksheet, run the staged analysis, and
+/// report per-stage cache hit/miss on stderr from the session-counter delta.
+/// A stage counts as "hit" only if it recorded no misses this render.
+fn watch_render(path: &String, k: u64) -> Result<String, CliError> {
+    use rat_core::solve::stages::{self, Stage};
+    let before = stages::session_counters();
+    let input = load_worksheet(Some(path))?;
+    let report = Worksheet::new(input).analyze()?;
+    let delta = stages::session_counters().since(&before);
+    let mut status = format!("watch[{k}]: stages");
+    for stage in [Stage::Comm, Stage::Comp, Stage::Overlap, Stage::Speedup] {
+        let verdict = if delta.misses_for(stage) == 0 && delta.hits_for(stage) > 0 {
+            "hit"
+        } else {
+            "miss"
+        };
+        status.push_str(&format!(" {}={verdict}", stage.name()));
+    }
+    status.push_str(&format!(
+        " (hits {}, misses {})",
+        delta.total_hits(),
+        delta.total_misses()
+    ));
+    eprintln!("{status}");
+    Ok(report.render())
 }
 
 fn usage() -> String {
@@ -767,6 +891,10 @@ fn usage() -> String {
 
 USAGE:
   rat analyze <worksheet.toml> [--markdown] run the RAT worksheet, print the report
+  rat watch <worksheet.toml> [--poll-ms N] [--max-renders N]
+                                            re-render on worksheet change; the
+                                            stage cache recomputes only dirtied
+                                            stages (hit/miss shown on stderr)
   rat clocks <worksheet.toml> <MHz>...      analyze the design at several clocks
   rat solve <worksheet.toml> <speedup> [--strict]
                                             required throughput_proc / fclock / alpha

@@ -11,12 +11,12 @@
 
 use crate::engine::Engine;
 use crate::error::RatError;
-use crate::params::RatInput;
+use crate::params::{Buffering, RatInput};
 use crate::quantity::Seconds;
 use crate::solve::batch::{solve_batch, BatchPoints, CHUNK};
+use crate::solve::stages;
 use crate::sweep::SweepParam;
 use crate::table::{sci, TextTable};
-use crate::throughput;
 use serde::{Deserialize, Serialize};
 
 /// The development investment and usage profile of a migration project.
@@ -54,15 +54,20 @@ impl MigrationCost {
 }
 
 impl BreakEven {
-    /// Compute the break-even point for a design under a cost model.
+    /// Compute the break-even point for a design under a cost model. The RC
+    /// execution time comes through the memoized stage graph
+    /// ([`crate::solve::stages`]), bit-identical to `throughput::t_rc`.
     pub fn analyze(input: &RatInput, cost: &MigrationCost) -> Result<Self, RatError> {
         input.validate()?;
         cost.validate()?;
-        Ok(Self::from_times(
-            input.software.t_soft,
-            throughput::t_rc(input),
-            cost,
-        ))
+        let comm = stages::comm_stage(input);
+        let comp = stages::comp_stage(input);
+        let overlap = stages::overlap_stage(input, comm.t_comm, comp);
+        let t_rc = match input.buffering {
+            Buffering::Single => overlap.t_rc_single,
+            Buffering::Double => overlap.t_rc_double,
+        };
+        Ok(Self::from_times(input.software.t_soft, t_rc, cost))
     }
 
     /// The break-even arithmetic given an already-predicted RC execution time.
@@ -183,7 +188,7 @@ pub fn analyze_sweep_with(
         let hi = (lo + CHUNK).min(values.len());
         let slice = &values[lo..hi];
         let mut batch = BatchPoints::new(input, slice.len());
-        batch.push_column(param, slice.to_vec());
+        batch.push_column(param, slice);
         solve_batch(&batch)
     })?;
     let points = per_chunk

@@ -218,11 +218,15 @@ pub fn explore(space: &DesignSpace, min_speedup: f64) -> Result<Exploration, Rat
         let mut batch = BatchPoints::new(&base, idx.len());
         batch.push_column(
             SweepParam::Fclock,
-            idx.iter().map(|&i| corners[i].fclock_hz).collect(),
+            idx.iter()
+                .map(|&i| corners[i].fclock_hz)
+                .collect::<Vec<f64>>(),
         );
         batch.push_column(
             SweepParam::ThroughputProc,
-            idx.iter().map(|&i| corners[i].throughput_proc).collect(),
+            idx.iter()
+                .map(|&i| corners[i].throughput_proc)
+                .collect::<Vec<f64>>(),
         );
         match solve::batch::speedup_batch_indexed(&batch) {
             Ok(s) => {

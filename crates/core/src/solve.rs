@@ -37,6 +37,7 @@
 //! ```
 
 pub mod batch;
+pub mod stages;
 
 use crate::error::RatError;
 use crate::params::{Buffering, RatInput};

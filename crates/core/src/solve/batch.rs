@@ -31,10 +31,13 @@
 //! [`RatInput::validate`] on that materialized point, so messages and field
 //! ordering are byte-identical to the per-point pipeline.
 
+use std::borrow::Cow;
+
 use crate::error::RatError;
 use crate::params::{Buffering, RatInput};
 use crate::quantity::Seconds;
 use crate::report::Report;
+use crate::solve::stages::{self, BatchStagePlan};
 use crate::sweep::SweepParam;
 use crate::telemetry::{self, Metric};
 use crate::throughput::ThroughputPrediction;
@@ -55,7 +58,7 @@ pub const CHUNK: usize = 1024;
 pub struct BatchPoints<'a> {
     base: &'a RatInput,
     len: usize,
-    columns: Vec<(SweepParam, Vec<f64>)>,
+    columns: Vec<(SweepParam, Cow<'a, [f64]>)>,
 }
 
 impl<'a> BatchPoints<'a> {
@@ -83,9 +86,16 @@ impl<'a> BatchPoints<'a> {
         self.len == 0
     }
 
-    /// Add a varied parameter: point `i` applies `values[i]`. Panics if the
-    /// column length does not match the batch length.
-    pub fn push_column(&mut self, param: SweepParam, values: Vec<f64>) -> &mut Self {
+    /// Add a varied parameter: point `i` applies `values[i]`. Accepts an
+    /// owned `Vec<f64>` or a borrowed `&[f64]` — chunked drivers hand the
+    /// kernel a sub-slice of their value array directly, with no per-chunk
+    /// copy. Panics if the column length does not match the batch length.
+    pub fn push_column(
+        &mut self,
+        param: SweepParam,
+        values: impl Into<Cow<'a, [f64]>>,
+    ) -> &mut Self {
+        let values = values.into();
         assert_eq!(
             values.len(),
             self.len,
@@ -98,7 +108,7 @@ impl<'a> BatchPoints<'a> {
     }
 
     /// The columns in application order.
-    pub fn columns(&self) -> &[(SweepParam, Vec<f64>)] {
+    pub fn columns(&self) -> &[(SweepParam, Cow<'a, [f64]>)] {
         &self.columns
     }
 
@@ -112,115 +122,269 @@ impl<'a> BatchPoints<'a> {
         }
         point
     }
+
+    /// [`BatchPoints::materialize`] into a caller-owned scratch input:
+    /// restores the scratch to the base point (reusing its allocations) and
+    /// applies every column in order. Bit-identical to `materialize(i)` for
+    /// every parameter field; only the `name` string is left as-is.
+    pub fn materialize_into(&self, i: usize, scratch: &mut RatInput) {
+        scratch.copy_params_from(self.base);
+        for (param, values) in &self.columns {
+            param.apply_into(scratch, values[i]);
+        }
+    }
+
+    /// Which analytic stages vary across this batch, derived structurally
+    /// from which fields the columns write (see
+    /// [`stages::BatchStagePlan`]). A stage counts as varying when *any*
+    /// column writes a field it reads, independent of the column's values.
+    pub fn stage_plan(&self) -> BatchStagePlan {
+        let mut comm = false;
+        let mut comp = false;
+        let mut iters = false;
+        for (param, _) in &self.columns {
+            match param {
+                SweepParam::AlphaWrite | SweepParam::AlphaRead | SweepParam::AlphaBoth => {
+                    comm = true;
+                }
+                SweepParam::Fclock | SweepParam::ThroughputProc | SweepParam::OpsPerElement => {
+                    comp = true;
+                }
+                // elements_in feeds both the byte count and the op count.
+                SweepParam::ElementsIn => {
+                    comm = true;
+                    comp = true;
+                }
+                SweepParam::Iterations => iters = true,
+            }
+        }
+        let overlap = comm || comp || iters;
+        BatchStagePlan {
+            comm_varies: comm,
+            comp_varies: comp,
+            overlap_varies: overlap,
+            // t_soft is a base constant, so speedup varies exactly when the
+            // execution-time terms do.
+            speedup_varies: overlap,
+        }
+    }
 }
 
-/// The mutable parameter fields, decoded to one dense vector each. Fields no
-/// column touches stay at the base value for every point, which keeps the
-/// kernels branch-free; for `CHUNK`-sized batches the broadcast cost is a few
-/// KiB of sequential writes.
-struct Decoded {
+/// The mutable parameter fields, decoded to one dense view each.
+///
+/// A field written by exactly the direct-copy columns **borrows** the last
+/// such column — a single-axis sweep's swept field costs no copy at all.
+/// Fields no column touches broadcast the base value, but only when a kernel
+/// will actually index them: the comm-side fields (`elements_in` and the
+/// alphas) are skipped outright when the caller's stage plan proves the comm
+/// terms uniform, because the comm-uniform kernel hoists them as scalars and
+/// the error scan checks unwritten fields once against the base.
+struct Decoded<'p> {
     elements_in: Vec<u64>,
-    alpha_write: Vec<f64>,
-    alpha_read: Vec<f64>,
-    ops_per_element: Vec<f64>,
-    throughput_proc: Vec<f64>,
-    fclock_hz: Vec<f64>,
+    alpha_write: Cow<'p, [f64]>,
+    alpha_read: Cow<'p, [f64]>,
+    ops_per_element: Cow<'p, [f64]>,
+    throughput_proc: Cow<'p, [f64]>,
+    fclock_hz: Cow<'p, [f64]>,
     iterations: Vec<u64>,
 }
 
-fn decode(points: &BatchPoints) -> Decoded {
+/// Decode the columns. `materialize_comm` must be true whenever a consumer
+/// indexes the comm-side fields per point (`solve_batch` always does; the
+/// speedup kernel only when the stage plan marks the comm stage varied).
+fn decode<'p>(points: &'p BatchPoints<'_>, materialize_comm: bool) -> Decoded<'p> {
     let base = points.base;
     let n = points.len;
-    let mut d = Decoded {
-        elements_in: vec![base.dataset.elements_in; n],
-        alpha_write: vec![base.comm.alpha_write; n],
-        alpha_read: vec![base.comm.alpha_read; n],
-        ops_per_element: vec![base.comp.ops_per_element; n],
-        throughput_proc: vec![base.comp.throughput_proc; n],
-        fclock_hz: vec![base.comp.fclock.hz(); n],
-        iterations: vec![base.software.iterations; n],
+    let last_direct = |want: SweepParam| -> Option<&'p [f64]> {
+        points
+            .columns
+            .iter()
+            .rev()
+            .find(|(p, _)| *p == want)
+            .map(|(_, c)| &c[..])
     };
-    for (param, col) in &points.columns {
-        match param {
-            SweepParam::Fclock => {
-                for (dst, &v) in d.fclock_hz.iter_mut().zip(col) {
-                    *dst = v;
+    // A direct-copy column overwrites its field at every point, so the last
+    // one *is* the decoded field, borrowed with no copy.
+    let direct = |want: SweepParam, base_val: f64| -> Cow<'p, [f64]> {
+        match last_direct(want) {
+            Some(col) => Cow::Borrowed(col),
+            None => Cow::Owned(vec![base_val; n]),
+        }
+    };
+    let fclock_hz = direct(SweepParam::Fclock, base.comp.fclock.hz());
+    let ops_per_element = direct(SweepParam::OpsPerElement, base.comp.ops_per_element);
+    let throughput_proc = direct(SweepParam::ThroughputProc, base.comp.throughput_proc);
+    // `AlphaBoth` chains on the *current* per-point alphas (same semantics
+    // as apply_into), so its presence forces a sequential replay of the
+    // alpha-writing columns; otherwise the alphas are direct like the comp
+    // fields — or skipped entirely when no consumer indexes them.
+    let chained = points
+        .columns
+        .iter()
+        .any(|(p, _)| *p == SweepParam::AlphaBoth);
+    let (alpha_write, alpha_read) = if chained {
+        let mut aw = vec![base.comm.alpha_write; n];
+        let mut ar = vec![base.comm.alpha_read; n];
+        for (param, col) in &points.columns {
+            let col: &[f64] = col;
+            match param {
+                SweepParam::AlphaWrite => aw.copy_from_slice(col),
+                SweepParam::AlphaRead => ar.copy_from_slice(col),
+                SweepParam::AlphaBoth => {
+                    for (i, &v) in col.iter().enumerate() {
+                        let factor = v / aw[i];
+                        aw[i] = v;
+                        ar[i] *= factor;
+                    }
                 }
+                _ => {}
             }
-            SweepParam::AlphaWrite => {
-                for (dst, &v) in d.alpha_write.iter_mut().zip(col) {
-                    *dst = v;
-                }
-            }
-            SweepParam::AlphaRead => {
-                for (dst, &v) in d.alpha_read.iter_mut().zip(col) {
-                    *dst = v;
-                }
-            }
-            SweepParam::AlphaBoth => {
-                // Same chained semantics as apply_into: the factor reads the
-                // *current* per-point alpha_write.
-                for (i, &v) in col.iter().enumerate() {
-                    let factor = v / d.alpha_write[i];
-                    d.alpha_write[i] = v;
-                    d.alpha_read[i] *= factor;
-                }
-            }
-            SweepParam::ThroughputProc => {
-                for (dst, &v) in d.throughput_proc.iter_mut().zip(col) {
-                    *dst = v;
-                }
-            }
-            SweepParam::OpsPerElement => {
-                for (dst, &v) in d.ops_per_element.iter_mut().zip(col) {
-                    *dst = v;
-                }
-            }
-            SweepParam::ElementsIn => {
-                for (dst, &v) in d.elements_in.iter_mut().zip(col) {
-                    *dst = v.round().max(1.0) as u64;
-                }
-            }
-            SweepParam::Iterations => {
-                for (dst, &v) in d.iterations.iter_mut().zip(col) {
+        }
+        (Cow::Owned(aw), Cow::Owned(ar))
+    } else if materialize_comm {
+        (
+            direct(SweepParam::AlphaWrite, base.comm.alpha_write),
+            direct(SweepParam::AlphaRead, base.comm.alpha_read),
+        )
+    } else {
+        (Cow::Borrowed(&[][..]), Cow::Borrowed(&[][..]))
+    };
+    // The u64 fields transform their column values (round, clamp to >= 1),
+    // so they materialize whenever written. `elements_in` is comm-side: an
+    // ElementsIn column marks the comm stage varied, so when
+    // `materialize_comm` is false it is necessarily unwritten and no kernel
+    // indexes it.
+    let elements_in = if materialize_comm {
+        let mut e = vec![base.dataset.elements_in; n];
+        for (param, col) in &points.columns {
+            if *param == SweepParam::ElementsIn {
+                for (dst, &v) in e.iter_mut().zip(&col[..]) {
                     *dst = v.round().max(1.0) as u64;
                 }
             }
         }
+        e
+    } else {
+        Vec::new()
+    };
+    let mut iterations = vec![base.software.iterations; n];
+    for (param, col) in &points.columns {
+        if *param == SweepParam::Iterations {
+            for (dst, &v) in iterations.iter_mut().zip(&col[..]) {
+                *dst = v.round().max(1.0) as u64;
+            }
+        }
     }
-    d
+    Decoded {
+        elements_in,
+        alpha_write,
+        alpha_read,
+        ops_per_element,
+        throughput_proc,
+        fclock_hz,
+        iterations,
+    }
 }
 
 /// Find the lowest-indexed point the scalar `validate()` would reject, and
-/// return its exact error. The cheap predicate below is the *conjunction* of
-/// every validate() check over the decoded fields (fields no sweep parameter
-/// can vary are checked once, outside the loop); any flagged point is then
-/// re-validated through the real `RatInput::validate` so the error message is
+/// return its exact error. The cheap predicates below are the *conjunction*
+/// of every validate() check: fields no column writes hold the base value at
+/// every point and are checked once, and each written field is scanned as a
+/// column — so a clean batch costs one pass over the varied columns instead
+/// of a seven-way conjunction per point. Any flagged point is re-validated
+/// through the real `RatInput::validate` so the error message is
 /// byte-identical to the scalar path's.
 fn first_error(points: &BatchPoints, d: &Decoded) -> Option<(usize, RatError)> {
     let base = points.base;
     let bw = base.comm.ideal_bandwidth.bytes_per_sec();
     let t_soft = base.software.t_soft.seconds();
-    let consts_ok = base.dataset.bytes_per_element >= 1
+    let alpha_ok = |a: f64| a.is_finite() && a > 0.0 && a <= 1.0;
+    let rate_ok = |r: f64| r.is_finite() && r > 0.0;
+    let (mut w_ein, mut w_aw, mut w_ar, mut w_ops, mut w_tp, mut w_f, mut w_it) =
+        (false, false, false, false, false, false, false);
+    for (param, _) in &points.columns {
+        match param {
+            SweepParam::Fclock => w_f = true,
+            SweepParam::AlphaWrite => w_aw = true,
+            SweepParam::AlphaRead => w_ar = true,
+            SweepParam::AlphaBoth => {
+                w_aw = true;
+                w_ar = true;
+            }
+            SweepParam::ThroughputProc => w_tp = true,
+            SweepParam::OpsPerElement => w_ops = true,
+            SweepParam::ElementsIn => w_ein = true,
+            SweepParam::Iterations => w_it = true,
+        }
+    }
+    let uniform_ok = base.dataset.bytes_per_element >= 1
         && bw.is_finite()
         && bw > 0.0
         && t_soft.is_finite()
-        && t_soft > 0.0;
-    let alpha_ok = |a: f64| a.is_finite() && a > 0.0 && a <= 1.0;
-    let rate_ok = |r: f64| r.is_finite() && r > 0.0;
-    for i in 0..points.len {
-        let ok = consts_ok
-            && d.elements_in[i] >= 1
-            && alpha_ok(d.alpha_write[i])
-            && alpha_ok(d.alpha_read[i])
-            && rate_ok(d.ops_per_element[i])
-            && rate_ok(d.throughput_proc[i])
-            && rate_ok(d.fclock_hz[i])
-            && d.iterations[i] >= 1;
-        if !ok {
-            if let Err(e) = points.materialize(i).validate() {
-                return Some((i, e));
-            }
+        && t_soft > 0.0
+        && (w_ein || base.dataset.elements_in >= 1)
+        && (w_aw || alpha_ok(base.comm.alpha_write))
+        && (w_ar || alpha_ok(base.comm.alpha_read))
+        && (w_ops || rate_ok(base.comp.ops_per_element))
+        && (w_tp || rate_ok(base.comp.throughput_proc))
+        && (w_f || rate_ok(base.comp.fclock.hz()))
+        && (w_it || base.software.iterations >= 1);
+    // The first index where any column's check fails is exactly the first
+    // index the per-point conjunction would flag.
+    let mut first_bad = if uniform_ok { usize::MAX } else { 0 };
+    let note = |idx: Option<usize>, first_bad: &mut usize| {
+        if let Some(i) = idx {
+            *first_bad = (*first_bad).min(i);
+        }
+    };
+    if w_ein {
+        note(d.elements_in.iter().position(|&e| e < 1), &mut first_bad);
+    }
+    if w_aw {
+        note(
+            d.alpha_write.iter().position(|&a| !alpha_ok(a)),
+            &mut first_bad,
+        );
+    }
+    if w_ar {
+        note(
+            d.alpha_read.iter().position(|&a| !alpha_ok(a)),
+            &mut first_bad,
+        );
+    }
+    if w_ops {
+        note(
+            d.ops_per_element.iter().position(|&r| !rate_ok(r)),
+            &mut first_bad,
+        );
+    }
+    if w_tp {
+        note(
+            d.throughput_proc.iter().position(|&r| !rate_ok(r)),
+            &mut first_bad,
+        );
+    }
+    if w_f {
+        note(
+            d.fclock_hz.iter().position(|&r| !rate_ok(r)),
+            &mut first_bad,
+        );
+    }
+    if w_it {
+        note(d.iterations.iter().position(|&it| it < 1), &mut first_bad);
+    }
+    if first_bad == usize::MAX {
+        return None;
+    }
+    // Every point before `first_bad` passes all checks, hence validates.
+    // Walk forward from the flag with the real validate() so the error (and
+    // the winning index) is byte-identical to the scalar path's, reusing one
+    // scratch input across the walk.
+    let mut scratch = base.clone();
+    for i in first_bad..points.len {
+        points.materialize_into(i, &mut scratch);
+        if let Err(e) = scratch.validate() {
+            return Some((i, e));
         }
     }
     None
@@ -237,11 +401,46 @@ fn point_terms(base: &RatInput, d: &Decoded, i: usize, bw: f64, bytes_out: u64) 
     (t_write, t_read, t_comp)
 }
 
-fn eval_speedups(base: &RatInput, d: &Decoded) -> Vec<f64> {
+fn eval_speedups(base: &RatInput, d: &Decoded, plan: &BatchStagePlan) -> Vec<f64> {
     let bw = base.comm.ideal_bandwidth.bytes_per_sec();
     let bytes_out = base.dataset.elements_out * base.dataset.bytes_per_element;
     let t_soft = base.software.t_soft.seconds();
-    let mut out = vec![0.0_f64; d.elements_in.len()];
+    // `iterations` is materialized for every plan; `elements_in` is not.
+    let mut out = vec![0.0_f64; d.iterations.len()];
+    // When no column writes a communication-stage input, the comm terms are
+    // the same at every point: compute them once from the base (the decoded
+    // columns hold exactly the broadcast base values, so this is
+    // bit-identical to the per-point expressions) and drop two divides from
+    // the inner loop. This is the batched face of the comm-stage skip.
+    if !plan.comm_varies {
+        let bytes_in = base.dataset.elements_in * base.dataset.bytes_per_element;
+        let t_write = bytes_in as f64 / (base.comm.alpha_write * bw);
+        let t_read = bytes_out as f64 / (base.comm.alpha_read * bw);
+        let t_comm = t_write + t_read;
+        // A comm-uniform plan means no column writes `elements_in` (it is a
+        // comm-stage input), so the per-point factor is one hoisted scalar —
+        // bit-identical to indexing the broadcast column.
+        let elems = base.dataset.elements_in as f64;
+        match base.buffering {
+            Buffering::Single => {
+                for (i, s) in out.iter_mut().enumerate() {
+                    let t_comp =
+                        elems * d.ops_per_element[i] / (d.fclock_hz[i] * d.throughput_proc[i]);
+                    let t_rc = d.iterations[i] as f64 * (t_comm + t_comp);
+                    *s = t_soft / t_rc;
+                }
+            }
+            Buffering::Double => {
+                for (i, s) in out.iter_mut().enumerate() {
+                    let t_comp =
+                        elems * d.ops_per_element[i] / (d.fclock_hz[i] * d.throughput_proc[i]);
+                    let t_rc = d.iterations[i] as f64 * t_comm.max(t_comp);
+                    *s = t_soft / t_rc;
+                }
+            }
+        }
+        return out;
+    }
     // The buffering discipline is a base property (no SweepParam varies it),
     // so the Eq. (5) / Eq. (6) choice hoists out of the loop entirely.
     match base.buffering {
@@ -276,12 +475,14 @@ pub fn speedup_batch(points: &BatchPoints) -> Result<Vec<f64>, RatError> {
 /// indices back to their own domain (corner numbers, sample indices) need the
 /// index to keep error attribution deterministic.
 pub fn speedup_batch_indexed(points: &BatchPoints) -> Result<Vec<f64>, (usize, RatError)> {
-    let d = decode(points);
+    let plan = points.stage_plan();
+    let d = decode(points, plan.comm_varies);
     if let Some(bad) = first_error(points, &d) {
         return Err(bad);
     }
     telemetry::add(Metric::BatchPoints, points.len as u64);
-    Ok(eval_speedups(points.base, &d))
+    stages::record_batch(&plan, points.len as u64);
+    Ok(eval_speedups(points.base, &d, &plan))
 }
 
 /// Evaluate the **full worksheet** for every point: `out[i]` is bit-identical
@@ -290,11 +491,14 @@ pub fn speedup_batch_indexed(points: &BatchPoints) -> Result<Vec<f64>, (usize, R
 /// communication-bound ceiling. The numeric pipeline runs as column loops;
 /// only the final `Report` assembly materializes per-point inputs.
 pub fn solve_batch(points: &BatchPoints) -> Result<Vec<Report>, RatError> {
-    let d = decode(points);
+    // The report loop indexes every field through `point_terms`, so the
+    // comm-side columns always materialize here.
+    let d = decode(points, true);
     if let Some((_, e)) = first_error(points, &d) {
         return Err(e);
     }
     telemetry::add(Metric::BatchPoints, points.len as u64);
+    stages::record_batch(&points.stage_plan(), points.len as u64);
     let base = points.base;
     let bw = base.comm.ideal_bandwidth.bytes_per_sec();
     let bytes_out = base.dataset.elements_out * base.dataset.bytes_per_element;
@@ -421,11 +625,11 @@ mod tests {
         let mut points = BatchPoints::new(&base, n);
         points.push_column(
             SweepParam::AlphaWrite,
-            (0..n).map(|k| 0.2 + 0.02 * k as f64).collect(),
+            (0..n).map(|k| 0.2 + 0.02 * k as f64).collect::<Vec<f64>>(),
         );
         points.push_column(
             SweepParam::AlphaBoth,
-            (0..n).map(|k| 0.3 + 0.01 * k as f64).collect(),
+            (0..n).map(|k| 0.3 + 0.01 * k as f64).collect::<Vec<f64>>(),
         );
         let batch = speedup_batch(&points).expect("valid");
         for (i, &got) in batch.iter().enumerate() {
@@ -470,6 +674,70 @@ mod tests {
         assert!(points.is_empty());
         assert_eq!(speedup_batch(&points).expect("empty ok"), Vec::<f64>::new());
         assert!(solve_batch(&points).expect("empty ok").is_empty());
+    }
+
+    #[test]
+    fn stage_plan_marks_exactly_the_written_stages() {
+        let base = pdf1d_example();
+        let mut points = BatchPoints::new(&base, 3);
+        points.push_column(SweepParam::Fclock, vec![75.0e6, 100.0e6, 150.0e6]);
+        assert_eq!(
+            points.stage_plan(),
+            BatchStagePlan {
+                comm_varies: false,
+                comp_varies: true,
+                overlap_varies: true,
+                speedup_varies: true,
+            }
+        );
+        let mut points = BatchPoints::new(&base, 2);
+        points.push_column(SweepParam::AlphaRead, vec![0.5, 0.6]);
+        let plan = points.stage_plan();
+        assert!(plan.comm_varies && !plan.comp_varies && plan.overlap_varies);
+        // elements_in feeds both sides of the model.
+        let mut points = BatchPoints::new(&base, 2);
+        points.push_column(SweepParam::ElementsIn, vec![256.0, 512.0]);
+        let plan = points.stage_plan();
+        assert!(plan.comm_varies && plan.comp_varies);
+        // iterations alone leaves both per-iteration stages uniform.
+        let mut points = BatchPoints::new(&base, 2);
+        points.push_column(SweepParam::Iterations, vec![100.0, 200.0]);
+        let plan = points.stage_plan();
+        assert!(!plan.comm_varies && !plan.comp_varies && plan.overlap_varies);
+        // No columns at all: everything uniform.
+        let plan = BatchPoints::new(&base, 4).stage_plan();
+        assert!(!plan.overlap_varies && !plan.speedup_varies);
+    }
+
+    #[test]
+    fn borrowed_columns_match_owned_columns() {
+        let base = pdf1d_example();
+        let values: Vec<f64> = (0..40).map(|k| 60.0e6 + 2.0e6 * k as f64).collect();
+        let mut owned = BatchPoints::new(&base, values.len());
+        owned.push_column(SweepParam::Fclock, values.clone());
+        let mut borrowed = BatchPoints::new(&base, values.len());
+        borrowed.push_column(SweepParam::Fclock, &values[..]);
+        assert_eq!(
+            speedup_batch(&owned).expect("valid"),
+            speedup_batch(&borrowed).expect("valid")
+        );
+        assert_eq!(
+            solve_batch(&owned).expect("valid"),
+            solve_batch(&borrowed).expect("valid")
+        );
+    }
+
+    #[test]
+    fn materialize_into_matches_materialize() {
+        let base = pdf1d_example();
+        let mut points = BatchPoints::new(&base, 4);
+        points.push_column(SweepParam::AlphaWrite, vec![0.3, 0.5, 0.7, 0.9]);
+        points.push_column(SweepParam::AlphaBoth, vec![0.4, 0.5, 0.6, 0.7]);
+        let mut scratch = base.clone();
+        for i in 0..4 {
+            points.materialize_into(i, &mut scratch);
+            assert_eq!(scratch, points.materialize(i), "point {i}");
+        }
     }
 
     #[test]

@@ -187,7 +187,7 @@ pub fn sweep_with(
         let hi = (lo + CHUNK).min(values.len());
         let slice = &values[lo..hi];
         let mut batch = BatchPoints::new(input, slice.len());
-        batch.push_column(param, slice.to_vec());
+        batch.push_column(param, slice);
         solve_batch(&batch)
     })?;
     let points = per_chunk

@@ -118,11 +118,36 @@ pub enum Metric {
     CacheMisses,
     /// Times a simulator-cache shard lock was contended (bridged at drain).
     ShardContention,
+    /// Analytic-stage cache hits, summed over every stage
+    /// (`solve::stages`).
+    StageHits,
+    /// Analytic-stage cache misses, summed over every stage.
+    StageMisses,
+    /// Communication-stage (Eqs. 1–3) cache hits.
+    StageCommHits,
+    /// Communication-stage cache misses.
+    StageCommMisses,
+    /// Computation-stage (Eq. 4) cache hits.
+    StageCompHits,
+    /// Computation-stage cache misses.
+    StageCompMisses,
+    /// Overlap/buffering-stage (Eqs. 5–6, 8–11) cache hits.
+    StageOverlapHits,
+    /// Overlap/buffering-stage cache misses.
+    StageOverlapMisses,
+    /// Speedup/ceiling-stage (Eq. 7) cache hits.
+    StageSpeedupHits,
+    /// Speedup/ceiling-stage cache misses.
+    StageSpeedupMisses,
+    /// Resource-test-stage (§3.3) cache hits.
+    StageResourceHits,
+    /// Resource-test-stage cache misses.
+    StageResourceMisses,
 }
 
 impl Metric {
     /// Every metric, in rendering order.
-    pub const ALL: [Metric; 12] = [
+    pub const ALL: [Metric; 24] = [
         Metric::EngineJobs,
         Metric::EngineBatches,
         Metric::SimRuns,
@@ -135,6 +160,18 @@ impl Metric {
         Metric::CacheHits,
         Metric::CacheMisses,
         Metric::ShardContention,
+        Metric::StageHits,
+        Metric::StageMisses,
+        Metric::StageCommHits,
+        Metric::StageCommMisses,
+        Metric::StageCompHits,
+        Metric::StageCompMisses,
+        Metric::StageOverlapHits,
+        Metric::StageOverlapMisses,
+        Metric::StageSpeedupHits,
+        Metric::StageSpeedupMisses,
+        Metric::StageResourceHits,
+        Metric::StageResourceMisses,
     ];
 
     /// Stable dotted name used by both exporters.
@@ -152,6 +189,18 @@ impl Metric {
             Metric::CacheHits => "cache.hits",
             Metric::CacheMisses => "cache.misses",
             Metric::ShardContention => "cache.shard_contention",
+            Metric::StageHits => "stage.hits",
+            Metric::StageMisses => "stage.misses",
+            Metric::StageCommHits => "stage.comm.hits",
+            Metric::StageCommMisses => "stage.comm.misses",
+            Metric::StageCompHits => "stage.comp.hits",
+            Metric::StageCompMisses => "stage.comp.misses",
+            Metric::StageOverlapHits => "stage.overlap.hits",
+            Metric::StageOverlapMisses => "stage.overlap.misses",
+            Metric::StageSpeedupHits => "stage.speedup.hits",
+            Metric::StageSpeedupMisses => "stage.speedup.misses",
+            Metric::StageResourceHits => "stage.resource.hits",
+            Metric::StageResourceMisses => "stage.resource.misses",
         }
     }
 

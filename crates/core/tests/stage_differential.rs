@@ -1,0 +1,263 @@
+//! Differential tests pinning the staged solve path to the monolithic chain.
+//!
+//! The stage graph ([`rat_core::solve::stages`]) exists to *skip* work when
+//! only some inputs change; its contract is **bit-identity** with the
+//! original monolithic chain at every job count and chunk size. These tests
+//! enforce the contract: property tests drive random worksheets through both
+//! `Worksheet::analyze` (staged) and `Worksheet::analyze_monolithic`
+//! (reference) and compare `f64::to_bits`; deterministic tests walk chunk
+//! seams across 1/2/8-thread engines; and counter tests pin the acceptance
+//! claim that a single-axis `fclock` sweep recomputes the comm stage exactly
+//! once.
+
+use proptest::prelude::*;
+use rat_core::engine::{Engine, EngineConfig};
+use rat_core::params::{
+    Buffering, CommParams, CompParams, DatasetParams, RatInput, SoftwareParams,
+};
+use rat_core::quantity::{Freq, Seconds, Throughput};
+use rat_core::solve::batch::{solve_batch, BatchPoints, CHUNK};
+use rat_core::solve::stages::{self, Stage};
+use rat_core::sweep::{sweep_with, SweepParam};
+use rat_core::Worksheet;
+
+/// Strategy: a valid worksheet input across wide parameter ranges.
+fn worksheet() -> impl Strategy<Value = RatInput> {
+    (
+        1u64..100_000,  // elements_in
+        0u64..100_000,  // elements_out
+        1u64..64,       // bytes per element
+        1.0e8..1.0e10,  // ideal bandwidth
+        0.01f64..1.0,   // alpha_write
+        0.01f64..1.0,   // alpha_read
+        1.0f64..1.0e6,  // ops per element
+        0.1f64..1000.0, // throughput_proc
+        1.0e7..1.0e9,   // fclock
+        1.0e-3..1.0e4,  // t_soft
+        1u64..10_000,   // iterations
+        prop_oneof![Just(Buffering::Single), Just(Buffering::Double)],
+    )
+        .prop_map(
+            |(ein, eout, bpe, bw, aw, ar, ops, tp, f, tsoft, iters, buffering)| RatInput {
+                name: "prop".into(),
+                dataset: DatasetParams {
+                    elements_in: ein,
+                    elements_out: eout,
+                    bytes_per_element: bpe,
+                },
+                comm: CommParams {
+                    ideal_bandwidth: Throughput::from_bytes_per_sec(bw),
+                    alpha_write: aw,
+                    alpha_read: ar,
+                },
+                comp: CompParams {
+                    ops_per_element: ops,
+                    throughput_proc: tp,
+                    fclock: Freq::from_hz(f),
+                },
+                software: SoftwareParams {
+                    t_soft: Seconds::new(tsoft),
+                    iterations: iters,
+                },
+                buffering,
+            },
+        )
+}
+
+proptest! {
+    /// The staged `analyze` returns exactly the bits the monolithic chain
+    /// produces, on both the cold (miss) and warm (hit) paths.
+    #[test]
+    fn staged_analyze_is_bit_identical_to_monolithic(input in worksheet()) {
+        let ws = Worksheet::new(input);
+        let reference = ws.analyze_monolithic().unwrap();
+        stages::clear_session_cache();
+        let cold = ws.analyze().unwrap();
+        let warm = ws.analyze().unwrap();
+        for (label, staged) in [("cold", &cold), ("warm", &warm)] {
+            prop_assert_eq!(
+                staged.throughput.t_rc.seconds().to_bits(),
+                reference.throughput.t_rc.seconds().to_bits(),
+                "t_rc ({})", label
+            );
+            prop_assert_eq!(
+                staged.speedup.to_bits(),
+                reference.speedup.to_bits(),
+                "speedup ({})", label
+            );
+            prop_assert_eq!(
+                staged.max_speedup.to_bits(),
+                reference.max_speedup.to_bits(),
+                "max_speedup ({})", label
+            );
+            prop_assert_eq!(staged, &reference, "full report ({})", label);
+        }
+    }
+
+    /// The staged batch kernels (including the comm-uniform fast path taken
+    /// by single-axis compute sweeps) match the monolithic chain per point.
+    #[test]
+    fn staged_batch_is_bit_identical_to_monolithic(
+        input in worksheet(),
+        fclocks in proptest::collection::vec(1.0e7..1.0e9f64, 1..24),
+    ) {
+        let mut batch = BatchPoints::new(&input, fclocks.len());
+        batch.push_column(SweepParam::Fclock, fclocks.as_slice());
+        let reports = solve_batch(&batch).unwrap();
+        for (i, &f) in fclocks.iter().enumerate() {
+            let scalar = Worksheet::new(SweepParam::Fclock.apply(&input, f))
+                .analyze_monolithic()
+                .unwrap();
+            prop_assert_eq!(&reports[i], &scalar, "fclock {} (index {})", f, i);
+        }
+    }
+
+    /// A varied-comm column disables the comm-uniform fast path; the general
+    /// kernel must also match the monolithic chain bit for bit.
+    #[test]
+    fn staged_batch_with_varied_comm_matches_monolithic(
+        input in worksheet(),
+        alphas in proptest::collection::vec(0.01..1.0f64, 1..24),
+    ) {
+        let mut batch = BatchPoints::new(&input, alphas.len());
+        batch.push_column(SweepParam::AlphaWrite, alphas.as_slice());
+        let reports = solve_batch(&batch).unwrap();
+        for (i, &a) in alphas.iter().enumerate() {
+            let scalar = Worksheet::new(SweepParam::AlphaWrite.apply(&input, a))
+                .analyze_monolithic()
+                .unwrap();
+            prop_assert_eq!(&reports[i], &scalar, "alpha_write {} (index {})", a, i);
+        }
+    }
+}
+
+/// The engines the thread-count sweeps run on: serial, 2-way, 8-way.
+fn engines() -> Vec<Engine> {
+    [1usize, 2, 8]
+        .into_iter()
+        .map(|j| Engine::new(EngineConfig::default().with_jobs(j)))
+        .collect()
+}
+
+/// One representative design (the paper's 1-D PDF, Table 2).
+fn pdf1d() -> RatInput {
+    RatInput {
+        name: "pdf1d".into(),
+        dataset: DatasetParams {
+            elements_in: 512,
+            elements_out: 1,
+            bytes_per_element: 4,
+        },
+        comm: CommParams {
+            ideal_bandwidth: Throughput::from_bytes_per_sec(1.0e9),
+            alpha_write: 0.37,
+            alpha_read: 0.16,
+        },
+        comp: CompParams {
+            ops_per_element: 768.0,
+            throughput_proc: 20.0,
+            fclock: Freq::from_mhz(150.0),
+        },
+        software: SoftwareParams {
+            t_soft: Seconds::new(0.578),
+            iterations: 400,
+        },
+        buffering: Buffering::Single,
+    }
+}
+
+/// Staged sweeps stay bit-identical to the per-point monolithic chain at
+/// every chunk seam and thread count.
+#[test]
+fn staged_sweep_matches_monolithic_across_seams_and_threads() {
+    let input = pdf1d();
+    for n in [1usize, CHUNK - 1, CHUNK, CHUNK + 1] {
+        let values: Vec<f64> = (0..n)
+            .map(|i| 5.0e7 + 2.0e8 * (i as f64 / n.max(2) as f64))
+            .collect();
+        for engine in engines() {
+            let swept = sweep_with(&engine, &input, SweepParam::Fclock, &values).unwrap();
+            assert_eq!(swept.points.len(), n);
+            for (i, p) in swept.points.iter().enumerate() {
+                let scalar = Worksheet::new(SweepParam::Fclock.apply(&input, values[i]))
+                    .analyze_monolithic()
+                    .unwrap();
+                assert_eq!(
+                    p.report,
+                    scalar,
+                    "n={n} index {i} at {} jobs",
+                    engine.config().jobs
+                );
+            }
+        }
+    }
+}
+
+/// The acceptance pin: a single-axis `fclock` sweep computes the comm stage
+/// once and *hits* for every further point — the comp/overlap/speedup stages
+/// recompute per point, the comm stage does not.
+#[test]
+fn fclock_sweep_skips_comm_stage_recomputation() {
+    let input = pdf1d();
+    let values = [75.0e6, 100.0e6, 150.0e6];
+    let mut batch = BatchPoints::new(&input, values.len());
+    batch.push_column(SweepParam::Fclock, values.as_slice());
+
+    // Structurally: an fclock column leaves the comm stage clean.
+    let plan = batch.stage_plan();
+    assert!(!plan.comm_varies, "fclock must not dirty the comm stage");
+    assert!(plan.comp_varies && plan.overlap_varies && plan.speedup_varies);
+
+    // Observed counters: comm = 1 miss + 2 hits, the rest = 3 misses each.
+    let before = stages::session_counters();
+    solve_batch(&batch).unwrap();
+    let d = stages::session_counters().since(&before);
+    assert_eq!(d.hits_for(Stage::Comm), 2, "comm hits");
+    assert_eq!(d.misses_for(Stage::Comm), 1, "comm misses");
+    assert_eq!(d.misses_for(Stage::Comp), 3, "comp misses");
+    assert_eq!(d.misses_for(Stage::Overlap), 3, "overlap misses");
+    assert_eq!(d.misses_for(Stage::Speedup), 3, "speedup misses");
+    assert_eq!(d.total_hits(), 2);
+    assert_eq!(d.total_misses(), 10);
+}
+
+/// The scalar path shows the same fine-grained invalidation: changing only
+/// the clock leaves the comm stage cached and dirties the compute-dependent
+/// stages.
+#[test]
+fn scalar_fclock_change_reuses_the_comm_stage() {
+    stages::clear_session_cache();
+    let base = pdf1d();
+    Worksheet::new(base.clone()).analyze().unwrap();
+
+    let mut faster = base;
+    faster.comp.fclock = Freq::from_mhz(200.0);
+    let before = stages::session_counters();
+    Worksheet::new(faster).analyze().unwrap();
+    let d = stages::session_counters().since(&before);
+    assert_eq!(d.hits_for(Stage::Comm), 1, "comm must hit");
+    assert_eq!(d.misses_for(Stage::Comm), 0);
+    assert_eq!(d.misses_for(Stage::Comp), 1, "comp must recompute");
+    assert_eq!(d.misses_for(Stage::Overlap), 1);
+    assert_eq!(d.misses_for(Stage::Speedup), 1);
+}
+
+/// And the complement: changing only a comm parameter dirties comm (and the
+/// downstream overlap/speedup stages) while the comp stage stays cached.
+#[test]
+fn scalar_alpha_change_reuses_the_comp_stage() {
+    stages::clear_session_cache();
+    let base = pdf1d();
+    Worksheet::new(base.clone()).analyze().unwrap();
+
+    let mut tuned = base;
+    tuned.comm.alpha_write = 0.8;
+    let before = stages::session_counters();
+    Worksheet::new(tuned).analyze().unwrap();
+    let d = stages::session_counters().since(&before);
+    assert_eq!(d.misses_for(Stage::Comm), 1, "comm must recompute");
+    assert_eq!(d.hits_for(Stage::Comp), 1, "comp must hit");
+    assert_eq!(d.misses_for(Stage::Comp), 0);
+    assert_eq!(d.misses_for(Stage::Overlap), 1, "overlap depends on t_comm");
+    assert_eq!(d.misses_for(Stage::Speedup), 1);
+}

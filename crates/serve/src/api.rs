@@ -298,7 +298,7 @@ pub fn solve_report(input: &RatInput, target: f64) -> String {
         Ok(v) => out.push_str(&format!("  required alpha scale:     {v:.2}x current\n")),
         Err(e) => out.push_str(&format!("  alpha: {e}\n")),
     }
-    match rat_core::solve::max_speedup(input) {
+    match rat_core::solve::stages::ceiling(input) {
         Ok(v) => out.push_str(&format!("  speedup ceiling (comm-bound wall): {v:.1}x\n")),
         Err(e) => out.push_str(&format!("  ceiling: {e}\n")),
     }
@@ -317,7 +317,7 @@ pub fn solve_report_strict(input: &RatInput, target: f64) -> Result<String, Mode
     let tp = rat_core::solve::required_throughput_proc(input, target).map_err(wrap)?;
     let fclk = rat_core::solve::required_fclock(input, target).map_err(wrap)?;
     let alpha = rat_core::solve::required_alpha_scale(input, target).map_err(wrap)?;
-    let ceiling = rat_core::solve::max_speedup(input).map_err(wrap)?;
+    let ceiling = rat_core::solve::stages::ceiling(input).map_err(wrap)?;
     Ok(format!(
         "Inverse solve for {target}x speedup on '{}':\n\
          \x20 required throughput_proc: {tp:.1} ops/cycle\n\

@@ -77,7 +77,10 @@ fn scrub(tree: &str) -> String {
 /// content once durations are scrubbed: same spans, same counts, same metric
 /// values, at any thread count. The batched sweep dispatches one engine job
 /// per 1024-point chunk, so three points are a single job whose kernel
-/// reports its point count through the `batch.points` metric.
+/// reports its point count through the `batch.points` metric and its stage
+/// hit/miss profile through the `stage.*` counters: an fclock-only sweep
+/// computes the comm stage once (1 miss, 2 hits) while the clock-dependent
+/// comp/overlap/speedup stages recompute at each of the three points.
 #[test]
 fn metrics_tree_snapshot_on_fixed_sweep() {
     let expected = "\
@@ -90,6 +93,13 @@ metrics:
 engine.jobs 1
 engine.batches 1
 batch.points 3
+stage.hits 2
+stage.misses 10
+stage.comm.hits 2
+stage.comm.misses 1
+stage.comp.misses 3
+stage.overlap.misses 3
+stage.speedup.misses 3
 ";
     for jobs in ["1", "2", "8"] {
         let (_, stderr) = run_rat(&[
