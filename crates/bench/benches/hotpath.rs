@@ -1,7 +1,7 @@
 //! Hot-path benchmarks: the fast paths this workspace ships against the
 //! baselines they replaced.
 //!
-//! Five families, mirroring `rat bench`:
+//! Six families, mirroring `rat bench`:
 //!
 //! * steady-state fast-forward + trace-free sinks on `execute_summary`,
 //!   against the exhaustive event-by-event simulation and the full-trace
@@ -11,6 +11,8 @@
 //! * the SoA `speedup_batch` kernel against a reuse-one-scratch scalar loop
 //!   over the same points;
 //! * `propagate_with` across 1/2/4/8-job engines (thread-scaling curve);
+//! * pure engine dispatch overhead: 64 empty jobs across the same job
+//!   ladder, isolating pool wake/claim/collect cost from kernel work;
 //! * two-phase design-space exploration, against eager per-corner reports.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
@@ -154,6 +156,22 @@ fn bench_uncertainty_scaling(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_dispatch_overhead(c: &mut Criterion) {
+    // Pure engine dispatch cost, isolated from kernel work: 64 empty jobs
+    // through a warm pool at each job count. With barrier-free indexed
+    // collection this should stay flat-ish in the job count; a per-batch
+    // spawn or an ordered collection barrier shows up here immediately.
+    let mut g = c.benchmark_group("hotpath-dispatch-overhead");
+    g.throughput(Throughput::Elements(64));
+    for &jobs in &[1usize, 2, 4, 8] {
+        let engine = Engine::new(EngineConfig::default().with_jobs(jobs));
+        g.bench_with_input(BenchmarkId::new("jobs", jobs), &jobs, |b, _| {
+            b.iter(|| black_box(engine.run(64, |i| i)))
+        });
+    }
+    g.finish();
+}
+
 fn bench_explore_paths(c: &mut Criterion) {
     let space = DesignSpace {
         base: rat_apps::pdf::pdf1d::rat_input(150.0e6),
@@ -186,6 +204,7 @@ criterion_group!(
     bench_uncertainty_paths,
     bench_batch_kernel,
     bench_uncertainty_scaling,
+    bench_dispatch_overhead,
     bench_explore_paths
 );
 criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Capture the compiler's version string at build time so `rat bench --json`
+//! can record it as benchmark provenance alongside the host CPU features.
+
+use std::process::Command;
+
+fn main() {
+    let rustc = std::env::var("RUSTC").unwrap_or_else(|_| "rustc".into());
+    let version = Command::new(&rustc)
+        .arg("--version")
+        .output()
+        .ok()
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".into());
+    println!("cargo:rustc-env=RAT_BENCH_RUSTC={version}");
+    println!("cargo:rerun-if-changed=build.rs");
+}

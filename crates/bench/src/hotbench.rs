@@ -53,11 +53,54 @@ pub struct BenchRatio {
 }
 
 /// Version of the JSON shape emitted by [`BenchReport::to_json`]. Bump when
-/// a field is renamed, retyped, or removed — adding scenarios, ratios, or
-/// the optional `serve` block is not a schema change. Checked-in
-/// `BENCH_<pr>.json` evidence files carry the version they were produced
-/// with.
-pub const SCHEMA_VERSION: u64 = 1;
+/// a field is renamed, retyped, or removed, or a required top-level block is
+/// added — adding scenarios, ratios, or the optional `serve` block is not a
+/// schema change. Checked-in `BENCH_<pr>.json` evidence files carry the
+/// version they were produced with and are validated against *that* shape.
+///
+/// - **v1**: `schema_version`, `quick`, `scenarios[]`, `ratios[]`, optional
+///   `serve{}`.
+/// - **v2**: adds the required `host{}` provenance block (logical cores,
+///   avx2/fma feature flags, rustc version) so perf gates can scale their
+///   floors to the machine that produced the evidence.
+pub const SCHEMA_VERSION: u64 = 2;
+
+/// Provenance of a benchmark run: the hardware capabilities and compiler
+/// that produced the numbers. Evidence without this context is ambiguous —
+/// a flat `uncertainty_batch_scaling_8_vs_1` means a regression on an
+/// 8-core host and is expected on a 1-core one, and kernel ratios depend on
+/// whether the AVX2 path could run at all.
+#[derive(Debug, Clone)]
+pub struct HostInfo {
+    /// Logical CPU count visible to the process.
+    pub logical_cores: u64,
+    /// Whether AVX2 was detected (the batch kernels' SIMD path).
+    pub avx2: bool,
+    /// Whether FMA was detected (recorded for provenance; the kernels avoid
+    /// FMA contraction for bit-identity, see DESIGN.md §16).
+    pub fma: bool,
+    /// `rustc --version` of the compiler that built this binary.
+    pub rustc: String,
+}
+
+impl HostInfo {
+    /// Detect the current host.
+    pub fn detect() -> Self {
+        #[cfg(target_arch = "x86_64")]
+        let (avx2, fma) = (
+            std::arch::is_x86_feature_detected!("avx2"),
+            std::arch::is_x86_feature_detected!("fma"),
+        );
+        #[cfg(not(target_arch = "x86_64"))]
+        let (avx2, fma) = (false, false);
+        HostInfo {
+            logical_cores: std::thread::available_parallelism().map_or(1, |n| n.get() as u64),
+            avx2,
+            fma,
+            rustc: env!("RAT_BENCH_RUSTC").to_string(),
+        }
+    }
+}
 
 /// Server-side load-generation results, attached by `rat bench --serve`.
 /// Plain data here (the measuring code lives in `rat-serve`, which depends
@@ -89,6 +132,8 @@ pub struct ServeBench {
 pub struct BenchReport {
     /// Whether the reduced `--quick` problem sizes were used.
     pub quick: bool,
+    /// The machine and compiler that produced these numbers.
+    pub host: HostInfo,
     /// All timed scenarios, in execution order.
     pub scenarios: Vec<BenchScenario>,
     /// Fast-vs-baseline ratios, in presentation order.
@@ -119,6 +164,10 @@ impl BenchReport {
         for r in &self.ratios {
             out.push_str(&format!("{}: {:.2}x\n", r.name, r.speedup));
         }
+        out.push_str(&format!(
+            "host: {} logical cores, avx2={}, fma={}, {}\n",
+            self.host.logical_cores, self.host.avx2, self.host.fma, self.host.rustc
+        ));
         if let Some(s) = &self.serve {
             out.push_str(&format!(
                 "serve: {} requests at {:.0} req/s; p50 {:.0} us | p99 {:.0} us | p999 {:.0} us\n\
@@ -136,12 +185,23 @@ impl BenchReport {
         out
     }
 
-    /// Render as JSON (hand-rolled; every field is numeric or a known-safe
-    /// static identifier, so no escaping is needed).
+    /// Render as JSON (hand-rolled; every field is numeric, boolean, or a
+    /// known-safe identifier — the one free-form string, the rustc version,
+    /// is sanitized of quotes and backslashes).
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
         out.push_str(&format!("  \"schema_version\": {SCHEMA_VERSION},\n"));
         out.push_str(&format!("  \"quick\": {},\n", self.quick));
+        let rustc: String = self
+            .host
+            .rustc
+            .chars()
+            .filter(|c| *c != '"' && *c != '\\')
+            .collect();
+        out.push_str(&format!(
+            "  \"host\": {{\"logical_cores\": {}, \"avx2\": {}, \"fma\": {}, \"rustc\": \"{}\"}},\n",
+            self.host.logical_cores, self.host.avx2, self.host.fma, rustc
+        ));
         out.push_str("  \"scenarios\": [\n");
         for (i, s) in self.scenarios.iter().enumerate() {
             let comma = if i + 1 < self.scenarios.len() {
@@ -386,8 +446,11 @@ pub fn run(quick: bool) -> BenchReport {
         .collect();
     let reps_kernel = if quick { 20u32 } else { 2_000u32 };
     let t_kernel_batch = time(reps_kernel, || {
+        // Borrow the column, as every chunked driver does — cloning here
+        // would charge an 8 KiB alloc+memcpy to a kernel that no caller
+        // pays for.
         let mut batch = BatchPoints::new(&input, kernel_points.len());
-        batch.push_column(SweepParam::Fclock, kernel_points.clone());
+        batch.push_column(SweepParam::Fclock, kernel_points.as_slice());
         speedup_batch(&batch).unwrap()
     });
     let t_kernel_scalar = time(reps_kernel, || {
@@ -629,6 +692,7 @@ pub fn run(quick: bool) -> BenchReport {
     ];
     BenchReport {
         quick,
+        host: HostInfo::detect(),
         scenarios,
         ratios,
         serve: None,
@@ -652,8 +716,15 @@ mod tests {
         assert!(json.contains("\"execute_summary_fast_forward\""), "{json}");
         assert!(json.contains("\"ns_per_rep\""), "{json}");
         assert!(json.contains("\"speedup\""), "{json}");
+        // The v2 host provenance block is always present and well-formed.
+        assert!(json.contains("\"host\": {\"logical_cores\": "), "{json}");
+        assert!(json.contains("\"avx2\": "), "{json}");
+        assert!(json.contains("\"fma\": "), "{json}");
+        assert!(json.contains("\"rustc\": \"rustc "), "{json}");
+        assert!(r.host.logical_cores >= 1);
         let text = r.render();
         assert!(text.contains("uncertainty_scalar"), "{text}");
+        assert!(text.contains("logical cores"), "{text}");
         // Without --serve the optional block is absent entirely.
         assert!(!json.contains("\"serve\""), "{json}");
     }

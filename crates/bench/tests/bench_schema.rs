@@ -7,18 +7,49 @@
 use rat_bench::hotbench::{self, SCHEMA_VERSION};
 use rat_core::telemetry::json::{self, Json};
 
-/// Validate one bench report document against the v1 schema; returns the
-/// scenario names for content checks.
+/// Validate one bench report document against the schema its declared
+/// `schema_version` names; returns the scenario names for content checks.
+/// v1 evidence (PRs 1..=7) has no `host` block; v2 requires one, recording
+/// the CPU features and toolchain the numbers were measured with.
 fn assert_bench_schema(doc: &Json, what: &str) -> Vec<String> {
-    let version = doc
-        .get("schema_version")
-        .and_then(Json::as_f64)
-        .unwrap_or_else(|| panic!("{what}: missing numeric schema_version"));
-    assert_eq!(version as u64, SCHEMA_VERSION, "{what}: schema version");
+    let version =
+        doc.get("schema_version")
+            .and_then(Json::as_f64)
+            .unwrap_or_else(|| panic!("{what}: missing numeric schema_version")) as u64;
+    assert!(
+        (1..=SCHEMA_VERSION).contains(&version),
+        "{what}: schema version {version} unknown (current is {SCHEMA_VERSION})"
+    );
     assert!(
         matches!(doc.get("quick"), Some(Json::Bool(_))),
         "{what}: quick must be a bool"
     );
+    if version >= 2 {
+        let host = doc
+            .get("host")
+            .unwrap_or_else(|| panic!("{what}: v2 requires a host block"));
+        let cores = host
+            .get("logical_cores")
+            .and_then(Json::as_f64)
+            .unwrap_or_else(|| panic!("{what}: host.logical_cores numeric"));
+        assert!(cores >= 1.0, "{what}: host.logical_cores >= 1");
+        for flag in ["avx2", "fma"] {
+            assert!(
+                matches!(host.get(flag), Some(Json::Bool(_))),
+                "{what}: host.{flag} must be a bool"
+            );
+        }
+        let rustc = host
+            .get("rustc")
+            .and_then(Json::as_str)
+            .unwrap_or_else(|| panic!("{what}: host.rustc is a string"));
+        assert!(!rustc.is_empty(), "{what}: host.rustc nonempty");
+    } else {
+        assert!(
+            doc.get("host").is_none(),
+            "{what}: v1 evidence predates the host block; bump schema_version"
+        );
+    }
 
     let scenarios = doc
         .get("scenarios")
@@ -114,6 +145,13 @@ fn assert_bench_schema(doc: &Json, what: &str) -> Vec<String> {
 fn live_quick_report_satisfies_the_schema() {
     let report = hotbench::run(true);
     let doc = json::parse(&report.to_json()).expect("to_json emits valid JSON");
+    // A freshly generated report always carries the *current* schema version
+    // (and therefore, per the validator, the host provenance block).
+    assert_eq!(
+        doc.get("schema_version").and_then(Json::as_f64),
+        Some(SCHEMA_VERSION as f64),
+        "live report must declare the current schema version"
+    );
     let names = assert_bench_schema(&doc, "live quick report");
     for required in [
         "execute_summary_fast_forward",

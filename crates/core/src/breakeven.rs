@@ -9,11 +9,11 @@
 //! and how much calendar time at a given duty cycle — until the migration
 //! pays for itself?
 
-use crate::engine::Engine;
+use crate::engine::{Engine, PointCost};
 use crate::error::RatError;
 use crate::params::{Buffering, RatInput};
 use crate::quantity::Seconds;
-use crate::solve::batch::{solve_batch, BatchPoints, CHUNK};
+use crate::solve::batch::{solve_batch, BatchPoints};
 use crate::solve::stages;
 use crate::sweep::SweepParam;
 use crate::table::{sci, TextTable};
@@ -169,8 +169,9 @@ pub fn analyze_sweep(
     analyze_sweep_with(&Engine::sequential(), input, param, values, cost)
 }
 
-/// [`analyze_sweep`], with the swept values evaluated in [`CHUNK`]-sized
-/// batches as independent jobs on `engine`. Each chunk is one
+/// [`analyze_sweep`], with the swept values evaluated in adaptively-sized
+/// batches as independent jobs on `engine` (see [`Engine::chunk_len`]).
+/// Each chunk is one
 /// [`solve_batch`] call, so the per-point arithmetic is the batched kernel's
 /// — bit-identical to [`BreakEven::analyze`] on the materialized input.
 pub fn analyze_sweep_with(
@@ -182,10 +183,11 @@ pub fn analyze_sweep_with(
 ) -> Result<BreakEvenSweep, RatError> {
     let _span = crate::telemetry::span("breakeven-sweep");
     cost.validate()?;
-    let chunks = values.len().div_ceil(CHUNK);
+    let chunk = engine.chunk_len(values.len(), PointCost::FullReport);
+    let chunks = values.len().div_ceil(chunk);
     let per_chunk = engine.try_run(chunks, |c| {
-        let lo = c * CHUNK;
-        let hi = (lo + CHUNK).min(values.len());
+        let lo = c * chunk;
+        let hi = (lo + chunk).min(values.len());
         let slice = &values[lo..hi];
         let mut batch = BatchPoints::new(input, slice.len());
         batch.push_column(param, slice);

@@ -22,6 +22,7 @@
 
 mod config;
 mod counters;
+mod pool;
 mod stream;
 
 pub use config::EngineConfig;
@@ -29,16 +30,66 @@ pub use counters::{EngineCounters, EngineStats};
 pub use stream::{job_rng, job_rng_first_draws, FIRST_BLOCK_DRAWS};
 
 use crate::telemetry::{self, ArgValue, Metric};
+use pool::WorkerPool;
 use rand_chacha::ChaCha8Rng;
-use rayon::prelude::*;
-use rayon::{ThreadPool, ThreadPoolBuilder};
 use std::time::Instant;
 
+/// Upper bound on resident worker threads, whatever `jobs` says: beyond this
+/// the batch drivers are bound by memory bandwidth, not thread count, and a
+/// runaway `--jobs` must not exhaust the process's thread quota.
+const MAX_THREADS: usize = 256;
+
+/// Minimum estimated work per dispatched job, in nanoseconds. Calibrated
+/// against the dispatch-overhead Criterion ladder (`hotpath.rs`): one empty
+/// job costs on the order of a microsecond of claim/wake/telemetry overhead,
+/// so a ~25 µs floor keeps that under a few percent.
+pub const MIN_JOB_NANOS: u64 = 25_000;
+
+/// Upper bound on points per chunk, whatever the division says: bounds
+/// per-chunk scratch (decoded columns, RNG draw blocks) and keeps the claim
+/// loop granular enough to balance uneven progress.
+pub const MAX_CHUNK_POINTS: usize = 16_384;
+
+/// How many chunks each worker should see on average; a little
+/// oversubscription lets the atomic claim loop absorb scheduling jitter.
+const CHUNKS_PER_WORKER: usize = 4;
+
+/// Calibrated per-point evaluation cost classes for [`Engine::chunk_len`].
+///
+/// The values are coarse nanosecond estimates measured on the `rat bench`
+/// scenarios (see BENCH_8.json); they only need to be right within a factor
+/// of a few, since they feed a clamp, not a schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PointCost {
+    /// One Monte-Carlo sample on the batched uncertainty path: a handful of
+    /// RNG draws plus one lane of the speedup kernel (~tens of ns).
+    McSample,
+    /// One full solve/report materialization on the sweep and break-even
+    /// paths: validation, both bufferings, report assembly (~hundreds of ns).
+    FullReport,
+}
+
+impl PointCost {
+    fn nanos(self) -> u64 {
+        match self {
+            PointCost::McSample => 50,
+            PointCost::FullReport => 300,
+        }
+    }
+}
+
 /// A job-graph executor: runs batches of independent indexed jobs on a
-/// dedicated thread pool, deterministically.
+/// resident worker pool, deterministically.
+///
+/// The pool is spawned lazily on the first parallel batch and stays warm for
+/// the engine's lifetime, so long-lived holders (`rat serve` workers, the
+/// `rat watch` re-render loop) pay thread startup once, not once per
+/// analysis phase. Results are written into a pre-sized buffer by job index
+/// — order is a property of the layout, so collection needs no ordered
+/// barrier (see [`engine::pool`](self)).
 pub struct Engine {
     config: EngineConfig,
-    pool: ThreadPool,
+    pool: WorkerPool,
     counters: EngineCounters,
 }
 
@@ -46,13 +97,13 @@ impl Engine {
     /// Build an engine with `config.jobs` worker threads (0 = one per
     /// hardware thread).
     pub fn new(config: EngineConfig) -> Self {
-        let pool = ThreadPoolBuilder::new()
-            .num_threads(config.jobs)
-            .build()
-            .expect("analysis thread pool construction cannot fail");
+        let threads = match config.jobs {
+            0 => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+            n => n.min(MAX_THREADS),
+        };
         Engine {
             config,
-            pool,
+            pool: WorkerPool::new(threads),
             counters: EngineCounters::default(),
         }
     }
@@ -68,9 +119,38 @@ impl Engine {
         &self.config
     }
 
-    /// The number of worker threads jobs actually run on.
+    /// The number of worker threads jobs actually run on (the submitting
+    /// thread included — it participates in every batch).
     pub fn threads(&self) -> usize {
-        self.pool.current_num_threads()
+        self.pool.threads()
+    }
+
+    /// The number of points one job should cover when an analysis splits
+    /// `total` points into indexed chunks for this engine.
+    ///
+    /// Replaces the old fixed 1024-point chunk: the size adapts so that each
+    /// job carries at least [`MIN_JOB_NANOS`] of estimated work (from the
+    /// calibrated per-point `cost`) — below that quantum, dispatch overhead
+    /// eats the parallel win — while still cutting the batch into a few
+    /// chunks per thread so the claim loop can balance load. The result
+    /// depends only on `total`, the configured thread count, and compile-time
+    /// constants, never on runtime timing, so chunk seams are deterministic;
+    /// and since every batch kernel is bit-identical across chunk seams
+    /// (pinned by the differential suites), outputs do not depend on the
+    /// chunk size at all.
+    pub fn chunk_len(&self, total: usize, cost: PointCost) -> usize {
+        let workers = self.threads();
+        if total == 0 {
+            return 1;
+        }
+        if workers <= 1 {
+            return total.min(MAX_CHUNK_POINTS);
+        }
+        // A few chunks per worker keeps the tail short without shrinking
+        // jobs below the dispatch-amortizing quantum.
+        let target = total.div_ceil(workers * CHUNKS_PER_WORKER);
+        let min_points = (MIN_JOB_NANOS / cost.nanos()).max(1) as usize;
+        target.clamp(min_points.min(total), MAX_CHUNK_POINTS).max(1)
     }
 
     /// Run jobs `0..n` and collect their results in job order.
@@ -131,9 +211,7 @@ impl Engine {
             counters.record_job(job_started.elapsed());
             out
         };
-        let results = self
-            .pool
-            .install(|| (0..n).into_par_iter().map(timed).collect());
+        let results = self.pool.run_indexed(n, timed);
         if collect {
             telemetry::add(Metric::EngineJobs, n as u64);
             telemetry::add(Metric::EngineBatches, 1);
@@ -248,5 +326,40 @@ mod tests {
         let engine = Engine::default();
         assert!(engine.threads() >= 1);
         assert_eq!(engine.run(4, |i| i), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn pool_stays_warm_across_batches() {
+        // Many consecutive batches on one engine must all succeed on the
+        // same resident pool (spawned once, reused, joined on drop).
+        let engine = Engine::new(EngineConfig::default().with_jobs(4));
+        for round in 0..20 {
+            let out = engine.run(33, move |i| i * round);
+            assert_eq!(out, (0..33).map(|i| i * round).collect::<Vec<_>>());
+        }
+        assert_eq!(engine.stats().batches, 20);
+    }
+
+    #[test]
+    fn chunk_len_adapts_to_thread_count_and_cost() {
+        let seq = Engine::sequential();
+        // Sequential engines take one chunk (up to the scratch cap): there
+        // is nobody to balance against.
+        assert_eq!(seq.chunk_len(10_000, PointCost::McSample), 10_000);
+        assert_eq!(
+            seq.chunk_len(100_000, PointCost::McSample),
+            MAX_CHUNK_POINTS
+        );
+
+        let par = Engine::new(EngineConfig::default().with_jobs(8));
+        let mc = par.chunk_len(10_000, PointCost::McSample);
+        // At least the dispatch-amortizing quantum, at most the cap.
+        assert!(mc >= (MIN_JOB_NANOS / 50) as usize, "chunk {mc} too small");
+        assert!(mc <= MAX_CHUNK_POINTS);
+        // Costlier points justify smaller chunks.
+        assert!(par.chunk_len(10_000, PointCost::FullReport) <= mc);
+        // Degenerate totals stay well-formed.
+        assert_eq!(par.chunk_len(0, PointCost::McSample), 1);
+        assert_eq!(par.chunk_len(3, PointCost::McSample), 3);
     }
 }

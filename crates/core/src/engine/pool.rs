@@ -1,0 +1,392 @@
+//! A resident worker pool with barrier-free, index-addressed collection.
+//!
+//! The engine used to re-enter a Rayon-style scope for every batch: each
+//! analysis phase spawned fresh OS threads, pushed results through a shared
+//! queue, and paid an ordered-collection barrier (a final sort by job index)
+//! before returning. With the batch kernels down to microseconds per chunk,
+//! that per-phase setup dominated wall time and job counts beyond one bought
+//! nothing.
+//!
+//! [`WorkerPool`] fixes both costs structurally:
+//!
+//! - **Warm threads.** Workers are spawned once, on the first parallel batch,
+//!   and stay parked on a condvar between batches for the life of the engine.
+//!   `rat serve` workers and `rat watch` re-renders hold one engine for the
+//!   process lifetime, so every phase after the first reuses hot threads.
+//! - **Barrier-free collection.** The caller pre-sizes one output buffer and
+//!   every job writes its result at its own index (`slot[i] = f(i)`). Order
+//!   is a property of the buffer layout, not of completion time, so no
+//!   reordering pass or ordered channel exists at all — the determinism
+//!   guarantee costs nothing.
+//! - **Caller participation.** The submitting thread claims indices alongside
+//!   the workers instead of blocking, so a pool of `t` threads applies `t`
+//!   streams of work to the batch, not `t - 1` plus a sleeping coordinator.
+//!
+//! Indices are claimed from a single atomic counter, which makes the schedule
+//! nondeterministic — but jobs are independent and land at fixed indices, so
+//! outputs are bit-identical at every thread count regardless of who ran
+//! what. Panics in a job are caught, the batch is cancelled cooperatively,
+//! and the first payload (by arrival) is re-thrown on the submitting thread
+//! after every worker has left the batch.
+
+use std::cell::Cell;
+use std::mem::{ManuallyDrop, MaybeUninit};
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+thread_local! {
+    /// True while this thread is executing a pool job. A nested `run_indexed`
+    /// from inside a job must run inline: the outer batch holds the submit
+    /// lock, so queueing would deadlock, and the nested work is already on a
+    /// worker thread anyway.
+    static IN_POOL_JOB: Cell<bool> = const { Cell::new(false) };
+}
+
+/// A type-erased pointer to the current batch's claim loop. The referent
+/// lives on the submitting thread's stack; the publish/retire protocol in
+/// [`WorkerPool::run_indexed`] guarantees no worker touches it after the
+/// submitter returns.
+#[derive(Clone, Copy)]
+struct TaskPtr(*const (dyn Fn() + Sync));
+
+// SAFETY: the pointee is `Sync` (required at construction) and the pool's
+// entered-count protocol bounds every dereference within the referent's
+// lifetime on the submitting thread's stack.
+unsafe impl Send for TaskPtr {}
+
+struct PoolState {
+    /// Bumped once per published batch; workers use it to tell a fresh batch
+    /// from a spurious wakeup or a batch they already finished.
+    epoch: u64,
+    /// The claim loop of the batch currently accepting workers, if any.
+    task: Option<TaskPtr>,
+    /// Workers currently inside the batch (between picking up `task` and
+    /// returning from it). The submitter waits for this to reach zero before
+    /// releasing the batch's stack frame.
+    entered: usize,
+    shutdown: bool,
+}
+
+struct PoolInner {
+    state: Mutex<PoolState>,
+    /// Signalled when a batch is published or shutdown begins.
+    work_ready: Condvar,
+    /// Signalled when the last worker leaves a batch.
+    batch_done: Condvar,
+}
+
+fn lock(inner: &PoolInner) -> std::sync::MutexGuard<'_, PoolState> {
+    // A worker can only poison this mutex by panicking between lock and
+    // unlock, and no user code runs there; recover the guard rather than
+    // aborting the whole analysis on a theoretical poison.
+    inner
+        .state
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// A fixed-size pool of resident worker threads executing indexed job
+/// batches. See the module docs for the design.
+pub(super) struct WorkerPool {
+    /// Total parallelism, including the submitting thread.
+    threads: usize,
+    inner: Arc<PoolInner>,
+    /// Serializes whole batches: two threads sharing one engine queue behind
+    /// each other instead of corrupting the published-batch slot. Nested
+    /// submissions from inside a job never reach this lock (they run
+    /// inline), so it cannot self-deadlock.
+    submit: Mutex<()>,
+    /// Spawned lazily on the first batch that can use them.
+    handles: OnceLock<Vec<JoinHandle<()>>>,
+}
+
+impl WorkerPool {
+    /// A pool applying `threads` total threads to each batch (the submitting
+    /// thread plus `threads - 1` resident workers). `threads <= 1` never
+    /// spawns and runs every batch inline.
+    pub(super) fn new(threads: usize) -> Self {
+        WorkerPool {
+            threads: threads.max(1),
+            inner: Arc::new(PoolInner {
+                state: Mutex::new(PoolState {
+                    epoch: 0,
+                    task: None,
+                    entered: 0,
+                    shutdown: false,
+                }),
+                work_ready: Condvar::new(),
+                batch_done: Condvar::new(),
+            }),
+            submit: Mutex::new(()),
+            handles: OnceLock::new(),
+        }
+    }
+
+    /// Total threads a batch runs on (submitter included).
+    pub(super) fn threads(&self) -> usize {
+        self.threads
+    }
+
+    fn ensure_spawned(&self) {
+        self.handles.get_or_init(|| {
+            (0..self.threads - 1)
+                .map(|w| {
+                    let inner = Arc::clone(&self.inner);
+                    std::thread::Builder::new()
+                        .name(format!("rat-engine-{w}"))
+                        .spawn(move || worker_loop(&inner))
+                        .expect("engine worker thread spawn cannot fail")
+                })
+                .collect()
+        });
+    }
+
+    /// Run jobs `0..n`, writing each result at its own index in a pre-sized
+    /// buffer, and return the buffer. Results are in job order by
+    /// construction; no ordering barrier exists.
+    pub(super) fn run_indexed<T, F>(&self, n: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let nested = IN_POOL_JOB.with(Cell::get);
+        if self.threads <= 1 || n <= 1 || nested {
+            // The reference schedule: strictly sequential, in index order.
+            return (0..n).map(f).collect();
+        }
+        self.ensure_spawned();
+        let _submission = self
+            .submit
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+
+        let mut out: Vec<MaybeUninit<T>> = Vec::with_capacity(n);
+        // SAFETY: MaybeUninit needs no initialization; elements are written
+        // exactly once each (disjoint indices from the claim counter) before
+        // the buffer is read.
+        unsafe { out.set_len(n) };
+        let slots = SlotPtr(out.as_mut_ptr());
+
+        let next = AtomicUsize::new(0);
+        let cancelled = AtomicBool::new(false);
+        let panic_payload: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+
+        let claim = || {
+            IN_POOL_JOB.with(|flag| flag.set(true));
+            let slots = &slots;
+            while !cancelled.load(Ordering::Acquire) {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                match panic::catch_unwind(AssertUnwindSafe(|| f(i))) {
+                    // SAFETY: `i` was claimed by exactly this thread and is
+                    // in bounds; the buffer outlives the batch (submitter
+                    // waits for all workers to leave before touching it).
+                    Ok(v) => unsafe { (*slots.0.add(i)).write(v) },
+                    Err(payload) => {
+                        let mut slot = panic_payload
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner);
+                        slot.get_or_insert(payload);
+                        drop(slot);
+                        cancelled.store(true, Ordering::Release);
+                        break;
+                    }
+                };
+            }
+            IN_POOL_JOB.with(|flag| flag.set(false));
+        };
+
+        // Publish the batch. The raw pointer erases `claim`'s stack lifetime;
+        // the retire step below re-establishes it by refusing to return while
+        // any worker is still inside the batch.
+        let task_ref: &(dyn Fn() + Sync) = &claim;
+        // SAFETY: the transmute only erases the stack lifetime from the fat
+        // pointer's type; the retire step re-establishes it dynamically.
+        let task_ptr: *const (dyn Fn() + Sync) = unsafe {
+            std::mem::transmute::<&(dyn Fn() + Sync), &'static (dyn Fn() + Sync)>(task_ref)
+        };
+        {
+            let mut st = lock(&self.inner);
+            debug_assert!(st.task.is_none(), "engine batches are serialized");
+            st.epoch += 1;
+            st.task = Some(TaskPtr(task_ptr));
+            self.inner.work_ready.notify_all();
+        }
+
+        // The submitting thread is a full participant.
+        claim();
+
+        // Retire the batch: unpublish so no further worker can enter, then
+        // wait until every worker that did enter has left. Only after that is
+        // it safe to release `claim`, `out`, `next`, ... on this stack frame.
+        {
+            let mut st = lock(&self.inner);
+            st.task = None;
+            while st.entered > 0 {
+                st = self
+                    .inner
+                    .batch_done
+                    .wait(st)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+        }
+
+        let payload = panic_payload
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(payload) = payload {
+            // Completed slots are intentionally leaked: MaybeUninit never
+            // drops, and we cannot know which indices were written after a
+            // cancellation. Matches scoped-thread panic semantics closely
+            // enough for an abortive path.
+            drop(out);
+            panic::resume_unwind(payload);
+        }
+
+        // Every index in 0..n was claimed (the loop only exits with
+        // `next >= n` when not cancelled) and every claimant finished, so the
+        // buffer is fully initialized: reinterpret in place.
+        let mut out = ManuallyDrop::new(out);
+        let (ptr, len, cap) = (out.as_mut_ptr(), out.len(), out.capacity());
+        // SAFETY: all `len` elements are initialized, and `MaybeUninit<T>`
+        // has the same layout as `T`.
+        unsafe { Vec::from_raw_parts(ptr.cast::<T>(), len, cap) }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut st = lock(&self.inner);
+            st.shutdown = true;
+            self.inner.work_ready.notify_all();
+        }
+        if let Some(handles) = self.handles.take() {
+            for handle in handles {
+                // A worker that panicked outside a job (impossible today —
+                // jobs are the only user code) still must not break drop.
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+/// Shares the output buffer's base pointer with the claim loop.
+struct SlotPtr<T>(*mut MaybeUninit<T>);
+
+// SAFETY: workers write disjoint indices of a buffer that outlives the
+// batch; `T: Send` results may be produced on any thread.
+unsafe impl<T: Send> Send for SlotPtr<T> {}
+unsafe impl<T: Send> Sync for SlotPtr<T> {}
+
+fn worker_loop(inner: &PoolInner) {
+    let mut seen_epoch = 0u64;
+    loop {
+        let task = {
+            let mut st = lock(inner);
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.epoch != seen_epoch {
+                    seen_epoch = st.epoch;
+                    if let Some(TaskPtr(ptr)) = st.task {
+                        st.entered += 1;
+                        break ptr;
+                    }
+                    // Missed the whole batch (it retired before this worker
+                    // woke); note the epoch and keep waiting.
+                }
+                st = inner
+                    .work_ready
+                    .wait(st)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+        };
+        // SAFETY: `entered` was incremented under the lock while the batch
+        // was published, so the submitter cannot release the referent until
+        // this worker decrements it below.
+        let claim = unsafe { &*task };
+        claim();
+        let mut st = lock(inner);
+        st.entered -= 1;
+        if st.entered == 0 {
+            inner.batch_done.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn results_land_at_their_own_index() {
+        let pool = WorkerPool::new(4);
+        for n in [0, 1, 2, 3, 64, 1000] {
+            assert_eq!(
+                pool.run_indexed(n, |i| i * 3),
+                (0..n).map(|i| i * 3).collect::<Vec<_>>(),
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn pool_is_reused_across_batches() {
+        let pool = WorkerPool::new(3);
+        for _ in 0..50 {
+            assert_eq!(pool.run_indexed(17, |i| i), (0..17).collect::<Vec<_>>());
+        }
+        assert_eq!(pool.handles.get().map(Vec::len), Some(2));
+    }
+
+    #[test]
+    fn single_thread_runs_inline_without_spawning() {
+        let pool = WorkerPool::new(1);
+        assert_eq!(pool.run_indexed(8, |i| i + 1), (1..9).collect::<Vec<_>>());
+        assert!(pool.handles.get().is_none());
+    }
+
+    #[test]
+    fn nested_batches_run_inline_instead_of_deadlocking() {
+        let pool = Arc::new(WorkerPool::new(4));
+        let inner_pool = Arc::clone(&pool);
+        let sums = pool.run_indexed(8, move |i| {
+            inner_pool
+                .run_indexed(4, |j| i * 10 + j)
+                .into_iter()
+                .sum::<usize>()
+        });
+        let expected: Vec<usize> = (0..8).map(|i| 4 * (i * 10) + 6).collect();
+        assert_eq!(sums, expected);
+    }
+
+    #[test]
+    fn panicking_job_propagates_to_the_submitter() {
+        let pool = WorkerPool::new(4);
+        let attempted = AtomicU64::new(0);
+        let caught = panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run_indexed(100, |i| {
+                attempted.fetch_add(1, Ordering::Relaxed);
+                assert_ne!(i, 37, "job 37 exploded");
+                i
+            })
+        }));
+        assert!(caught.is_err());
+        // The pool survives a panicked batch and keeps serving.
+        assert_eq!(pool.run_indexed(5, |i| i), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn drop_joins_all_workers() {
+        let pool = WorkerPool::new(8);
+        pool.run_indexed(64, |i| i);
+        drop(pool); // must not hang or leak threads
+    }
+}

@@ -74,6 +74,7 @@ pub mod quantity;
 pub mod report;
 pub mod resources;
 pub mod sensitivity;
+pub mod simd;
 pub mod solve;
 pub mod streaming;
 pub mod sweep;

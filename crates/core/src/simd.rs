@@ -1,0 +1,58 @@
+//! Runtime SIMD dispatch control.
+//!
+//! Hot kernels (the batch analytic kernels in [`crate::solve`], the bulk
+//! ChaCha8 draws behind [`crate::engine::job_rng_first_draws`]) carry an
+//! explicit AVX2 path selected by runtime feature detection, with the scalar
+//! code always compiled as the fallback. Both paths are bit-identical by
+//! construction — the vector code performs the same IEEE-754 operations in
+//! the same order per lane — so dispatch is purely a performance decision.
+//!
+//! Setting `RAT_FORCE_SCALAR=1` in the environment disables every
+//! runtime-dispatched SIMD path (kernels and RNG alike). This is the escape
+//! hatch for debugging codegen issues and the lever CI uses to run the
+//! differential suites against the scalar fallback; it is read once and
+//! cached for the life of the process.
+
+use std::sync::OnceLock;
+
+/// True when `RAT_FORCE_SCALAR` is set to a non-empty value other than `0`:
+/// every runtime-dispatched SIMD path must take its scalar fallback.
+///
+/// Read once and cached; changing the variable after the first kernel
+/// dispatch has no effect.
+pub fn force_scalar() -> bool {
+    static FORCE: OnceLock<bool> = OnceLock::new();
+    *FORCE.get_or_init(|| match std::env::var("RAT_FORCE_SCALAR") {
+        Ok(v) => !v.is_empty() && v != "0",
+        Err(_) => false,
+    })
+}
+
+/// True when the AVX2 kernel paths should run: the CPU supports AVX2 and the
+/// [`force_scalar`] escape hatch is off. On non-x86_64 targets this is
+/// always false and only the scalar code exists.
+pub fn avx2_enabled() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        static ENABLED: OnceLock<bool> = OnceLock::new();
+        *ENABLED.get_or_init(|| !force_scalar() && std::arch::is_x86_feature_detected!("avx2"))
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn force_scalar_wins_over_feature_detection() {
+        // The cached values must be consistent with each other regardless of
+        // environment: forcing scalar implies the AVX2 path is off.
+        if force_scalar() {
+            assert!(!avx2_enabled());
+        }
+    }
+}

@@ -21,8 +21,11 @@
 //! suite in `tests/batch_differential.rs`). Rust never reassociates float
 //! arithmetic, so a straight-line transcription is sufficient; what batching
 //! buys is amortized validation, hoisted constants (the buffering `match`,
-//! `bytes_per_element`, bandwidth, `t_soft`), and loops the autovectorizer
-//! can work with.
+//! `bytes_per_element`, bandwidth, `t_soft`), and loops wide enough for the
+//! explicit AVX2 lanes in `batch/simd.rs`, which perform the same IEEE-754
+//! operations per lane and are therefore covered by the same contract (the
+//! differential suite runs with SIMD forced on and off; `RAT_FORCE_SCALAR=1`
+//! pins the scalar fallback at runtime).
 //!
 //! ## Error contract
 //!
@@ -33,6 +36,9 @@
 
 use std::borrow::Cow;
 
+#[cfg(target_arch = "x86_64")]
+mod simd;
+
 use crate::error::RatError;
 use crate::params::{Buffering, RatInput};
 use crate::quantity::Seconds;
@@ -42,9 +48,12 @@ use crate::sweep::SweepParam;
 use crate::telemetry::{self, Metric};
 use crate::throughput::ThroughputPrediction;
 
-/// Points per engine job in batched analyses. Chunking bounds per-job memory
-/// (a few columns of `CHUNK` floats) while keeping the batch long enough to
-/// amortize dispatch and feed the vector units.
+/// The historical fixed chunk size, kept as the canonical *seam unit*: the
+/// differential suites pin bit-identity across `CHUNK`-aligned boundaries,
+/// and single-threaded callers that want a fixed granularity still use it.
+/// The batch drivers themselves now size chunks adaptively per engine — see
+/// [`crate::engine::Engine::chunk_len`] — so a job always carries enough
+/// points to amortize dispatch, whatever the point cost.
 pub const CHUNK: usize = 1024;
 
 /// A set of design points in structure-of-arrays form: one shared base input
@@ -170,29 +179,81 @@ impl<'a> BatchPoints<'a> {
     }
 }
 
-/// The mutable parameter fields, decoded to one dense view each.
+/// One decoded parameter field: either **uniform** across the batch (no
+/// column writes it — the base value stands at every point) or **varied**
+/// (a dense column of per-point values).
 ///
-/// A field written by exactly the direct-copy columns **borrows** the last
-/// such column — a single-axis sweep's swept field costs no copy at all.
-/// Fields no column touches broadcast the base value, but only when a kernel
-/// will actually index them: the comm-side fields (`elements_in` and the
-/// alphas) are skipped outright when the caller's stage plan proves the comm
-/// terms uniform, because the comm-uniform kernel hoists them as scalars and
-/// the error scan checks unwritten fields once against the base.
-struct Decoded<'p> {
-    elements_in: Vec<u64>,
-    alpha_write: Cow<'p, [f64]>,
-    alpha_read: Cow<'p, [f64]>,
-    ops_per_element: Cow<'p, [f64]>,
-    throughput_proc: Cow<'p, [f64]>,
-    fclock_hz: Cow<'p, [f64]>,
-    iterations: Vec<u64>,
+/// The split is what lets both kernels skip broadcast work entirely: the old
+/// decoder materialized `vec![base; n]` for every untouched field, and at
+/// SIMD speeds those allocations cost more than the math. A uniform field is
+/// one scalar (one splat register on the AVX2 path); a varied field written
+/// by direct-copy columns **borrows** the last such column with no copy.
+enum ColF<'p> {
+    Uniform(f64),
+    Varied(Cow<'p, [f64]>),
 }
 
-/// Decode the columns. `materialize_comm` must be true whenever a consumer
-/// indexes the comm-side fields per point (`solve_batch` always does; the
-/// speedup kernel only when the stage plan marks the comm stage varied).
-fn decode<'p>(points: &'p BatchPoints<'_>, materialize_comm: bool) -> Decoded<'p> {
+impl ColF<'_> {
+    /// The value at point `i` — bit-identical to indexing the broadcast
+    /// column the old decoder built, since a uniform field held the same
+    /// base value at every index.
+    #[inline(always)]
+    fn at(&self, i: usize) -> f64 {
+        match self {
+            ColF::Uniform(v) => *v,
+            ColF::Varied(vals) => vals[i],
+        }
+    }
+
+    /// The dense column when the field varies.
+    fn varied(&self) -> Option<&[f64]> {
+        match self {
+            ColF::Uniform(_) => None,
+            ColF::Varied(vals) => Some(vals),
+        }
+    }
+}
+
+/// [`ColF`] for the integer fields (`elements_in`, `iterations`), which
+/// transform their column values (round, clamp to `>= 1`) and so always own
+/// their storage when varied.
+enum ColU {
+    Uniform(u64),
+    Varied(Vec<u64>),
+}
+
+impl ColU {
+    #[inline(always)]
+    fn at(&self, i: usize) -> u64 {
+        match self {
+            ColU::Uniform(v) => *v,
+            ColU::Varied(vals) => vals[i],
+        }
+    }
+
+    fn varied(&self) -> Option<&[u64]> {
+        match self {
+            ColU::Uniform(_) => None,
+            ColU::Varied(vals) => Some(vals),
+        }
+    }
+}
+
+/// The mutable parameter fields, decoded to one [`ColF`]/[`ColU`] view each.
+struct Decoded<'p> {
+    n: usize,
+    elements_in: ColU,
+    alpha_write: ColF<'p>,
+    alpha_read: ColF<'p>,
+    ops_per_element: ColF<'p>,
+    throughput_proc: ColF<'p>,
+    fclock_hz: ColF<'p>,
+    iterations: ColU,
+}
+
+/// Decode the columns: a field is `Varied` exactly when some column writes
+/// it, and then holds the fully-applied per-point values.
+fn decode<'p>(points: &'p BatchPoints<'_>) -> Decoded<'p> {
     let base = points.base;
     let n = points.len;
     let last_direct = |want: SweepParam| -> Option<&'p [f64]> {
@@ -205,10 +266,10 @@ fn decode<'p>(points: &'p BatchPoints<'_>, materialize_comm: bool) -> Decoded<'p
     };
     // A direct-copy column overwrites its field at every point, so the last
     // one *is* the decoded field, borrowed with no copy.
-    let direct = |want: SweepParam, base_val: f64| -> Cow<'p, [f64]> {
+    let direct = |want: SweepParam, base_val: f64| -> ColF<'p> {
         match last_direct(want) {
-            Some(col) => Cow::Borrowed(col),
-            None => Cow::Owned(vec![base_val; n]),
+            Some(col) => ColF::Varied(Cow::Borrowed(col)),
+            None => ColF::Uniform(base_val),
         }
     };
     let fclock_hz = direct(SweepParam::Fclock, base.comp.fclock.hz());
@@ -217,7 +278,7 @@ fn decode<'p>(points: &'p BatchPoints<'_>, materialize_comm: bool) -> Decoded<'p
     // `AlphaBoth` chains on the *current* per-point alphas (same semantics
     // as apply_into), so its presence forces a sequential replay of the
     // alpha-writing columns; otherwise the alphas are direct like the comp
-    // fields — or skipped entirely when no consumer indexes them.
+    // fields.
     let chained = points
         .columns
         .iter()
@@ -240,42 +301,32 @@ fn decode<'p>(points: &'p BatchPoints<'_>, materialize_comm: bool) -> Decoded<'p
                 _ => {}
             }
         }
-        (Cow::Owned(aw), Cow::Owned(ar))
-    } else if materialize_comm {
+        (ColF::Varied(Cow::Owned(aw)), ColF::Varied(Cow::Owned(ar)))
+    } else {
         (
             direct(SweepParam::AlphaWrite, base.comm.alpha_write),
             direct(SweepParam::AlphaRead, base.comm.alpha_read),
         )
-    } else {
-        (Cow::Borrowed(&[][..]), Cow::Borrowed(&[][..]))
     };
-    // The u64 fields transform their column values (round, clamp to >= 1),
-    // so they materialize whenever written. `elements_in` is comm-side: an
-    // ElementsIn column marks the comm stage varied, so when
-    // `materialize_comm` is false it is necessarily unwritten and no kernel
-    // indexes it.
-    let elements_in = if materialize_comm {
-        let mut e = vec![base.dataset.elements_in; n];
+    let decode_u64 = |want: SweepParam, base_val: u64| -> ColU {
+        let written = points.columns.iter().any(|(p, _)| *p == want);
+        if !written {
+            return ColU::Uniform(base_val);
+        }
+        let mut vals = vec![base_val; n];
         for (param, col) in &points.columns {
-            if *param == SweepParam::ElementsIn {
-                for (dst, &v) in e.iter_mut().zip(&col[..]) {
+            if *param == want {
+                for (dst, &v) in vals.iter_mut().zip(&col[..]) {
                     *dst = v.round().max(1.0) as u64;
                 }
             }
         }
-        e
-    } else {
-        Vec::new()
+        ColU::Varied(vals)
     };
-    let mut iterations = vec![base.software.iterations; n];
-    for (param, col) in &points.columns {
-        if *param == SweepParam::Iterations {
-            for (dst, &v) in iterations.iter_mut().zip(&col[..]) {
-                *dst = v.round().max(1.0) as u64;
-            }
-        }
-    }
+    let elements_in = decode_u64(SweepParam::ElementsIn, base.dataset.elements_in);
+    let iterations = decode_u64(SweepParam::Iterations, base.software.iterations);
     Decoded {
+        n,
         elements_in,
         alpha_write,
         alpha_read,
@@ -286,92 +337,124 @@ fn decode<'p>(points: &'p BatchPoints<'_>, materialize_comm: bool) -> Decoded<'p
     }
 }
 
+/// Validity-scan block width. The inner pass over a block accumulates a
+/// single `bad` flag branchlessly, which the autovectorizer turns into wide
+/// compares; only a flagged block pays the exact index scan. 64 points keeps
+/// the re-scan negligible while staying several vectors wide.
+const SCAN_BLOCK: usize = 64;
+
+/// The lowest index in `vals` where `ok` fails, block-wise: branch-free
+/// accumulation per block, exact scan only inside the first bad block.
+/// Equivalent to `vals.iter().position(|&v| !ok(v))`.
+#[inline]
+fn first_invalid<T: Copy>(vals: &[T], ok: impl Fn(T) -> bool) -> Option<usize> {
+    for (b, block) in vals.chunks(SCAN_BLOCK).enumerate() {
+        let mut any_bad = false;
+        for &v in block {
+            any_bad |= !ok(v);
+        }
+        if any_bad {
+            for (j, &v) in block.iter().enumerate() {
+                if !ok(v) {
+                    return Some(b * SCAN_BLOCK + j);
+                }
+            }
+        }
+    }
+    None
+}
+
+/// [`first_invalid`] for a rate column (`is_finite & > 0`), routed through
+/// the AVX2 scan when the vector kernels are enabled — validation is on the
+/// same hot path as the kernel itself, and the predicate is four ordered
+/// compares per vector there.
+fn first_invalid_rate(vals: &[f64]) -> Option<usize> {
+    #[cfg(target_arch = "x86_64")]
+    if crate::simd::avx2_enabled() {
+        // SAFETY: avx2_enabled() checked the feature at runtime.
+        return unsafe { simd::first_invalid_rate(vals) };
+    }
+    first_invalid(vals, |r| r.is_finite() & (r > 0.0))
+}
+
+/// [`first_invalid`] for an alpha column (`is_finite & > 0 & <= 1`), with
+/// the same AVX2 routing as [`first_invalid_rate`].
+fn first_invalid_alpha(vals: &[f64]) -> Option<usize> {
+    #[cfg(target_arch = "x86_64")]
+    if crate::simd::avx2_enabled() {
+        // SAFETY: avx2_enabled() checked the feature at runtime.
+        return unsafe { simd::first_invalid_alpha(vals) };
+    }
+    first_invalid(vals, |a| a.is_finite() & (a > 0.0) & (a <= 1.0))
+}
+
 /// Find the lowest-indexed point the scalar `validate()` would reject, and
 /// return its exact error. The cheap predicates below are the *conjunction*
-/// of every validate() check: fields no column writes hold the base value at
-/// every point and are checked once, and each written field is scanned as a
-/// column — so a clean batch costs one pass over the varied columns instead
-/// of a seven-way conjunction per point. Any flagged point is re-validated
-/// through the real `RatInput::validate` so the error message is
-/// byte-identical to the scalar path's.
+/// of every validate() check: uniform fields hold the base value at every
+/// point and are checked once, and each varied field is scanned as a column
+/// ([`first_invalid`]) — so a clean batch costs one pass over the varied
+/// columns instead of a seven-way conjunction per point. Any flagged point
+/// is re-validated through the real `RatInput::validate` so the error
+/// message is byte-identical to the scalar path's.
 fn first_error(points: &BatchPoints, d: &Decoded) -> Option<(usize, RatError)> {
     let base = points.base;
     let bw = base.comm.ideal_bandwidth.bytes_per_sec();
     let t_soft = base.software.t_soft.seconds();
-    let alpha_ok = |a: f64| a.is_finite() && a > 0.0 && a <= 1.0;
-    let rate_ok = |r: f64| r.is_finite() && r > 0.0;
-    let (mut w_ein, mut w_aw, mut w_ar, mut w_ops, mut w_tp, mut w_f, mut w_it) =
-        (false, false, false, false, false, false, false);
-    for (param, _) in &points.columns {
-        match param {
-            SweepParam::Fclock => w_f = true,
-            SweepParam::AlphaWrite => w_aw = true,
-            SweepParam::AlphaRead => w_ar = true,
-            SweepParam::AlphaBoth => {
-                w_aw = true;
-                w_ar = true;
-            }
-            SweepParam::ThroughputProc => w_tp = true,
-            SweepParam::OpsPerElement => w_ops = true,
-            SweepParam::ElementsIn => w_ein = true,
-            SweepParam::Iterations => w_it = true,
-        }
-    }
+    // Non-short-circuiting `&` so the column scans compile branch-free: the
+    // autovectorizer turns the three compares into wide predicates, where
+    // `&&` would force a branch per point and serialize the scan.
+    let alpha_ok = |a: f64| a.is_finite() & (a > 0.0) & (a <= 1.0);
+    let rate_ok = |r: f64| r.is_finite() & (r > 0.0);
+    let uniform_f = |col: &ColF, ok: &dyn Fn(f64) -> bool| match col {
+        ColF::Uniform(v) => ok(*v),
+        ColF::Varied(_) => true, // scanned below
+    };
     let uniform_ok = base.dataset.bytes_per_element >= 1
         && bw.is_finite()
         && bw > 0.0
         && t_soft.is_finite()
         && t_soft > 0.0
-        && (w_ein || base.dataset.elements_in >= 1)
-        && (w_aw || alpha_ok(base.comm.alpha_write))
-        && (w_ar || alpha_ok(base.comm.alpha_read))
-        && (w_ops || rate_ok(base.comp.ops_per_element))
-        && (w_tp || rate_ok(base.comp.throughput_proc))
-        && (w_f || rate_ok(base.comp.fclock.hz()))
-        && (w_it || base.software.iterations >= 1);
+        && match &d.elements_in {
+            ColU::Uniform(e) => *e >= 1,
+            ColU::Varied(_) => true,
+        }
+        && uniform_f(&d.alpha_write, &alpha_ok)
+        && uniform_f(&d.alpha_read, &alpha_ok)
+        && uniform_f(&d.ops_per_element, &rate_ok)
+        && uniform_f(&d.throughput_proc, &rate_ok)
+        && uniform_f(&d.fclock_hz, &rate_ok)
+        && match &d.iterations {
+            ColU::Uniform(it) => *it >= 1,
+            ColU::Varied(_) => true,
+        };
     // The first index where any column's check fails is exactly the first
     // index the per-point conjunction would flag.
     let mut first_bad = if uniform_ok { usize::MAX } else { 0 };
-    let note = |idx: Option<usize>, first_bad: &mut usize| {
+    let mut note = |idx: Option<usize>| {
         if let Some(i) = idx {
-            *first_bad = (*first_bad).min(i);
+            first_bad = first_bad.min(i);
         }
     };
-    if w_ein {
-        note(d.elements_in.iter().position(|&e| e < 1), &mut first_bad);
+    if let Some(e) = d.elements_in.varied() {
+        note(first_invalid(e, |e| e >= 1));
     }
-    if w_aw {
-        note(
-            d.alpha_write.iter().position(|&a| !alpha_ok(a)),
-            &mut first_bad,
-        );
+    if let Some(a) = d.alpha_write.varied() {
+        note(first_invalid_alpha(a));
     }
-    if w_ar {
-        note(
-            d.alpha_read.iter().position(|&a| !alpha_ok(a)),
-            &mut first_bad,
-        );
+    if let Some(a) = d.alpha_read.varied() {
+        note(first_invalid_alpha(a));
     }
-    if w_ops {
-        note(
-            d.ops_per_element.iter().position(|&r| !rate_ok(r)),
-            &mut first_bad,
-        );
+    if let Some(r) = d.ops_per_element.varied() {
+        note(first_invalid_rate(r));
     }
-    if w_tp {
-        note(
-            d.throughput_proc.iter().position(|&r| !rate_ok(r)),
-            &mut first_bad,
-        );
+    if let Some(r) = d.throughput_proc.varied() {
+        note(first_invalid_rate(r));
     }
-    if w_f {
-        note(
-            d.fclock_hz.iter().position(|&r| !rate_ok(r)),
-            &mut first_bad,
-        );
+    if let Some(r) = d.fclock_hz.varied() {
+        note(first_invalid_rate(r));
     }
-    if w_it {
-        note(d.iterations.iter().position(|&it| it < 1), &mut first_bad);
+    if let Some(it) = d.iterations.varied() {
+        note(first_invalid(it, |it| it >= 1));
     }
     if first_bad == usize::MAX {
         return None;
@@ -393,75 +476,99 @@ fn first_error(points: &BatchPoints, d: &Decoded) -> Option<(usize, RatError)> {
 /// The per-point per-iteration time terms, in scalar expression order.
 #[inline(always)]
 fn point_terms(base: &RatInput, d: &Decoded, i: usize, bw: f64, bytes_out: u64) -> (f64, f64, f64) {
-    let bytes_in = d.elements_in[i] * base.dataset.bytes_per_element;
-    let t_write = bytes_in as f64 / (d.alpha_write[i] * bw);
-    let t_read = bytes_out as f64 / (d.alpha_read[i] * bw);
-    let t_comp =
-        d.elements_in[i] as f64 * d.ops_per_element[i] / (d.fclock_hz[i] * d.throughput_proc[i]);
+    let bytes_in = d.elements_in.at(i) * base.dataset.bytes_per_element;
+    let t_write = bytes_in as f64 / (d.alpha_write.at(i) * bw);
+    let t_read = bytes_out as f64 / (d.alpha_read.at(i) * bw);
+    let t_comp = d.elements_in.at(i) as f64 * d.ops_per_element.at(i)
+        / (d.fclock_hz.at(i) * d.throughput_proc.at(i));
     (t_write, t_read, t_comp)
 }
 
 fn eval_speedups(base: &RatInput, d: &Decoded, plan: &BatchStagePlan) -> Vec<f64> {
+    let mut out = vec![0.0_f64; d.n];
+    // Runtime dispatch, mirroring the ChaCha8 bulk-draw pattern: the AVX2
+    // kernel evaluates four lanes per iteration with per-lane IEEE-identical
+    // operations (see `batch/simd.rs` for the bit-identity argument), the
+    // scalar loop below is the always-compiled fallback and handles the
+    // sub-vector tail. `RAT_FORCE_SCALAR=1` pins everything to the scalar
+    // path.
+    #[cfg(target_arch = "x86_64")]
+    if crate::simd::avx2_enabled() && d.n >= 4 {
+        // SAFETY: AVX2 support was verified at runtime by `avx2_enabled`.
+        let done = unsafe { simd::eval_speedups_avx2(base, d, plan, &mut out) };
+        eval_speedups_scalar(base, d, plan, done, &mut out);
+        return out;
+    }
+    eval_speedups_scalar(base, d, plan, 0, &mut out);
+    out
+}
+
+/// The scalar speedup kernel over points `lo..out.len()`, writing each
+/// result at its own index. This is the reference the SIMD lanes must match
+/// bit for bit, and the tail loop behind them.
+fn eval_speedups_scalar(
+    base: &RatInput,
+    d: &Decoded,
+    plan: &BatchStagePlan,
+    lo: usize,
+    out: &mut [f64],
+) {
     let bw = base.comm.ideal_bandwidth.bytes_per_sec();
     let bytes_out = base.dataset.elements_out * base.dataset.bytes_per_element;
     let t_soft = base.software.t_soft.seconds();
-    // `iterations` is materialized for every plan; `elements_in` is not.
-    let mut out = vec![0.0_f64; d.iterations.len()];
     // When no column writes a communication-stage input, the comm terms are
-    // the same at every point: compute them once from the base (the decoded
-    // columns hold exactly the broadcast base values, so this is
-    // bit-identical to the per-point expressions) and drop two divides from
-    // the inner loop. This is the batched face of the comm-stage skip.
+    // the same at every point: compute them once from the base (a uniform
+    // field holds exactly the base value, so this is bit-identical to the
+    // per-point expressions) and drop two divides from the inner loop. This
+    // is the batched face of the comm-stage skip.
     if !plan.comm_varies {
         let bytes_in = base.dataset.elements_in * base.dataset.bytes_per_element;
         let t_write = bytes_in as f64 / (base.comm.alpha_write * bw);
         let t_read = bytes_out as f64 / (base.comm.alpha_read * bw);
         let t_comm = t_write + t_read;
         // A comm-uniform plan means no column writes `elements_in` (it is a
-        // comm-stage input), so the per-point factor is one hoisted scalar —
-        // bit-identical to indexing the broadcast column.
+        // comm-stage input), so the per-point factor is one hoisted scalar.
         let elems = base.dataset.elements_in as f64;
         match base.buffering {
             Buffering::Single => {
-                for (i, s) in out.iter_mut().enumerate() {
-                    let t_comp =
-                        elems * d.ops_per_element[i] / (d.fclock_hz[i] * d.throughput_proc[i]);
-                    let t_rc = d.iterations[i] as f64 * (t_comm + t_comp);
+                for (i, s) in out.iter_mut().enumerate().skip(lo) {
+                    let t_comp = elems * d.ops_per_element.at(i)
+                        / (d.fclock_hz.at(i) * d.throughput_proc.at(i));
+                    let t_rc = d.iterations.at(i) as f64 * (t_comm + t_comp);
                     *s = t_soft / t_rc;
                 }
             }
             Buffering::Double => {
-                for (i, s) in out.iter_mut().enumerate() {
-                    let t_comp =
-                        elems * d.ops_per_element[i] / (d.fclock_hz[i] * d.throughput_proc[i]);
-                    let t_rc = d.iterations[i] as f64 * t_comm.max(t_comp);
+                for (i, s) in out.iter_mut().enumerate().skip(lo) {
+                    let t_comp = elems * d.ops_per_element.at(i)
+                        / (d.fclock_hz.at(i) * d.throughput_proc.at(i));
+                    let t_rc = d.iterations.at(i) as f64 * t_comm.max(t_comp);
                     *s = t_soft / t_rc;
                 }
             }
         }
-        return out;
+        return;
     }
     // The buffering discipline is a base property (no SweepParam varies it),
     // so the Eq. (5) / Eq. (6) choice hoists out of the loop entirely.
     match base.buffering {
         Buffering::Single => {
-            for (i, s) in out.iter_mut().enumerate() {
+            for (i, s) in out.iter_mut().enumerate().skip(lo) {
                 let (t_write, t_read, t_comp) = point_terms(base, d, i, bw, bytes_out);
                 let t_comm = t_write + t_read;
-                let t_rc = d.iterations[i] as f64 * (t_comm + t_comp);
+                let t_rc = d.iterations.at(i) as f64 * (t_comm + t_comp);
                 *s = t_soft / t_rc;
             }
         }
         Buffering::Double => {
-            for (i, s) in out.iter_mut().enumerate() {
+            for (i, s) in out.iter_mut().enumerate().skip(lo) {
                 let (t_write, t_read, t_comp) = point_terms(base, d, i, bw, bytes_out);
                 let t_comm = t_write + t_read;
-                let t_rc = d.iterations[i] as f64 * t_comm.max(t_comp);
+                let t_rc = d.iterations.at(i) as f64 * t_comm.max(t_comp);
                 *s = t_soft / t_rc;
             }
         }
     }
-    out
 }
 
 /// Evaluate Eq. (7) for every point: `out[i]` is bit-identical to
@@ -476,7 +583,7 @@ pub fn speedup_batch(points: &BatchPoints) -> Result<Vec<f64>, RatError> {
 /// index to keep error attribution deterministic.
 pub fn speedup_batch_indexed(points: &BatchPoints) -> Result<Vec<f64>, (usize, RatError)> {
     let plan = points.stage_plan();
-    let d = decode(points, plan.comm_varies);
+    let d = decode(points);
     if let Some(bad) = first_error(points, &d) {
         return Err(bad);
     }
@@ -491,9 +598,7 @@ pub fn speedup_batch_indexed(points: &BatchPoints) -> Result<Vec<f64>, (usize, R
 /// communication-bound ceiling. The numeric pipeline runs as column loops;
 /// only the final `Report` assembly materializes per-point inputs.
 pub fn solve_batch(points: &BatchPoints) -> Result<Vec<Report>, RatError> {
-    // The report loop indexes every field through `point_terms`, so the
-    // comm-side columns always materialize here.
-    let d = decode(points, true);
+    let d = decode(points);
     if let Some((_, e)) = first_error(points, &d) {
         return Err(e);
     }
@@ -507,7 +612,7 @@ pub fn solve_batch(points: &BatchPoints) -> Result<Vec<Report>, RatError> {
     for i in 0..points.len {
         let (t_write, t_read, t_comp) = point_terms(base, &d, i, bw, bytes_out);
         let t_comm = t_write + t_read;
-        let iters = d.iterations[i] as f64;
+        let iters = d.iterations.at(i) as f64;
         let single = prediction(
             Buffering::Single,
             t_write,

@@ -5,12 +5,12 @@
 //! "a priori estimation of the required clock frequency is very difficult".
 //! [`sweep`] generalizes that to any single scalar parameter.
 
-use crate::engine::Engine;
+use crate::engine::{Engine, PointCost};
 use crate::error::RatError;
 use crate::params::RatInput;
 use crate::quantity::Freq;
 use crate::report::Report;
-use crate::solve::batch::{solve_batch, BatchPoints, CHUNK};
+use crate::solve::batch::{solve_batch, BatchPoints};
 use crate::table::{sci, TextTable};
 use serde::{Deserialize, Serialize};
 
@@ -166,7 +166,8 @@ pub fn sweep(input: &RatInput, param: SweepParam, values: &[f64]) -> Result<Swee
     sweep_with(&Engine::sequential(), input, param, values)
 }
 
-/// [`sweep`], with the points analyzed in fixed-size chunks on `engine`:
+/// [`sweep`], with the points analyzed in adaptively-sized chunks on
+/// `engine` (see [`Engine::chunk_len`]):
 /// each job is one [`solve_batch`] call over a contiguous slice of `values`,
 /// so the Eq. (1)–(11) arithmetic runs as columnar loops instead of
 /// per-point worksheet calls. Points come back in request order and the
@@ -181,10 +182,11 @@ pub fn sweep_with(
     values: &[f64],
 ) -> Result<SweepResult, RatError> {
     let _span = crate::telemetry::span("sweep");
-    let chunks = values.len().div_ceil(CHUNK);
+    let chunk = engine.chunk_len(values.len(), PointCost::FullReport);
+    let chunks = values.len().div_ceil(chunk);
     let per_chunk = engine.try_run(chunks, |c| {
-        let lo = c * CHUNK;
-        let hi = (lo + CHUNK).min(values.len());
+        let lo = c * chunk;
+        let hi = (lo + chunk).min(values.len());
         let slice = &values[lo..hi];
         let mut batch = BatchPoints::new(input, slice.len());
         batch.push_column(param, slice);

@@ -8,10 +8,10 @@
 //! *distribution* — turning "predicted 10.6x" into "90% chance of at least
 //! 5.6x", which is the honest form of a pre-design commitment.
 
-use crate::engine::{job_rng, job_rng_first_draws, Engine, FIRST_BLOCK_DRAWS};
+use crate::engine::{job_rng, job_rng_first_draws, Engine, PointCost, FIRST_BLOCK_DRAWS};
 use crate::error::RatError;
 use crate::params::RatInput;
-use crate::solve::batch::{speedup_batch, BatchPoints, CHUNK};
+use crate::solve::batch::{speedup_batch, BatchPoints};
 use crate::sweep::SweepParam;
 use crate::table::TextTable;
 use rand::distributions::{Distribution, Uniform};
@@ -170,7 +170,10 @@ pub fn propagate_with(
         .iter()
         .map(|r| (r.param, Uniform::new_inclusive(r.lo, r.hi)))
         .collect();
-    // Samples are evaluated in fixed-size chunks as independent engine jobs,
+    // Samples are evaluated in adaptively-sized chunks as independent engine
+    // jobs (enough samples per job to amortize dispatch, a few chunks per
+    // worker for balance — see `Engine::chunk_len`; sizing is a pure function
+    // of the sample count and thread count, so seams stay deterministic),
     // and each job is **one batch call**, not a per-sample loop: first a draw
     // phase fills one SoA column per uncertain parameter (sample `j` still
     // owns the stream `job_rng(seed, j)`, so the joint draw is bit-identical
@@ -182,10 +185,11 @@ pub fn propagate_with(
     // fall back to per-sample RNGs for the draws (identical values, since
     // both paths consume the same words of the same streams) while keeping
     // the batched evaluation.
-    let chunks = samples.div_ceil(CHUNK);
+    let chunk = engine.chunk_len(samples, PointCost::McSample);
+    let chunks = samples.div_ceil(chunk);
     let per_chunk = engine.try_run(chunks, |c| {
-        let lo = c * CHUNK;
-        let hi = (lo + CHUNK).min(samples);
+        let lo = c * chunk;
+        let hi = (lo + chunk).min(samples);
         let n = hi - lo;
         let mut columns: Vec<Vec<f64>> = dists.iter().map(|_| Vec::with_capacity(n)).collect();
         if dists.len() <= FIRST_BLOCK_DRAWS {

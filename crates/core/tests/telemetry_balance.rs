@@ -8,7 +8,7 @@
 //! cargo would schedule concurrently.
 
 use rat_core::engine::{Engine, EngineConfig};
-use rat_core::telemetry::{self, SpanRecord};
+use rat_core::telemetry::{self, Metric, SpanRecord};
 
 /// Check one drained profile for balance and nesting.
 fn assert_balanced(spans: &[SpanRecord], open_spans: usize, jobs: usize) {
@@ -70,6 +70,60 @@ fn engine_spans_balance_at_every_thread_count() {
             );
         }
     }
+
+    // The pool is persistent: the same engine serves several analysis
+    // phases, and spans recorded by *reused* workers must re-root under
+    // whichever phase submitted the batch — `scoped_prefix` is installed per
+    // job, not per thread lifetime, so a warm worker cannot keep stamping
+    // the first phase's path. Counters likewise accumulate across phases,
+    // whichever thread bumped them, and gauges merge by max.
+    t.enable();
+    let engine = Engine::new(EngineConfig::default().with_jobs(4));
+    {
+        let _run = t.span("root");
+        {
+            let _phase = t.span("phase_a");
+            let out = engine.run(8, |i| {
+                telemetry::gauge_max(Metric::QueueHighWater, (i as u64) + 1);
+                i
+            });
+            assert_eq!(out.len(), 8);
+        }
+        {
+            let _phase = t.span("phase_b");
+            let out = engine.run(16, |i| {
+                telemetry::gauge_max(Metric::QueueHighWater, 3);
+                i
+            });
+            assert_eq!(out.len(), 16);
+        }
+    }
+    let profile = t.drain();
+    assert_balanced(&profile.spans, profile.open_spans, 4);
+    for (phase, expected) in [("phase_a", 8), ("phase_b", 16)] {
+        let prefix = format!("root/{phase}/engine.batch/");
+        let count = profile
+            .spans
+            .iter()
+            .filter(|s| s.name == "engine.job" && s.path.starts_with(&prefix))
+            .count();
+        assert_eq!(
+            count, expected,
+            "warm-pool job spans must re-root under {phase}"
+        );
+    }
+    assert_eq!(
+        profile.metric(Metric::EngineJobs),
+        24,
+        "engine.jobs must accumulate across phases on one pool"
+    );
+    assert_eq!(profile.metric(Metric::EngineBatches), 2);
+    assert_eq!(
+        profile.metric(Metric::QueueHighWater),
+        8,
+        "queue.high_water merges by max across phases and worker threads"
+    );
+    drop(engine);
 
     // Drain starts a fresh session: nothing from the runs above may leak
     // into the next enable/drain cycle. (Same #[test] as the balance cases

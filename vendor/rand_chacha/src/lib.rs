@@ -9,6 +9,20 @@
 use rand::{RngCore, SeedableRng};
 
 const CHACHA_WORDS: usize = 16;
+
+/// `RAT_FORCE_SCALAR=1` disables the runtime-dispatched AVX2 batch paths so
+/// every draw goes through the scalar block function. Duplicated from
+/// `rat_core::simd` (this crate sits below `rat-core` in the dependency
+/// graph) with the same semantics: set and non-`0` means scalar, read once.
+#[cfg(target_arch = "x86_64")]
+fn force_scalar() -> bool {
+    use std::sync::OnceLock;
+    static FORCE: OnceLock<bool> = OnceLock::new();
+    *FORCE.get_or_init(|| match std::env::var("RAT_FORCE_SCALAR") {
+        Ok(v) => !v.is_empty() && v != "0",
+        Err(_) => false,
+    })
+}
 const SIGMA: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
 
 #[inline(always)]
@@ -66,7 +80,7 @@ fn chacha_block(key: &[u32; 8], counter: u64, nonce: [u32; 2], rounds: u32) -> [
 pub fn chacha8_first_blocks(keys: &[[u32; 8]]) -> Vec<[u32; CHACHA_WORDS]> {
     #[cfg(target_arch = "x86_64")]
     {
-        if is_x86_feature_detected!("avx2") {
+        if !force_scalar() && is_x86_feature_detected!("avx2") {
             return unsafe { avx2::chacha8_first_blocks(keys) };
         }
     }
@@ -94,7 +108,7 @@ fn pack_draws(block: &[u32; CHACHA_WORDS]) -> [u64; 8] {
 pub fn chacha8_first_draws(keys: &[[u32; 8]]) -> Vec<[u64; 8]> {
     #[cfg(target_arch = "x86_64")]
     {
-        if is_x86_feature_detected!("avx2") {
+        if !force_scalar() && is_x86_feature_detected!("avx2") {
             return unsafe { avx2::chacha8_first_draws(keys) };
         }
     }
