@@ -187,6 +187,47 @@ fn kernel_evidence_meets_the_simd_floor() {
     );
 }
 
+/// The guided-search acceptance criterion, pinned against the checked-in
+/// evidence (counts and model outputs, not wall time, so this one is not
+/// `--ignored`): the cross-entropy `rat optimize` search must land within
+/// 1% of the optimum an exhaustive `explore` grid finds over the same axes,
+/// while spending at most a tenth of the evaluations.
+#[test]
+fn guided_search_evidence_matches_exhaustive_within_1pct_at_a_tenth_of_the_evals() {
+    let (name, doc) = newest_evidence();
+    let ratios = ratios_of(&doc);
+    let (_, quality) = ratios
+        .iter()
+        .find(|(n, _)| n == "optimize_guided_quality_vs_exhaustive")
+        .unwrap_or_else(|| {
+            panic!(
+                "{name}: evidence records no optimize_guided_quality_vs_exhaustive ratio — \
+                 regenerate with `rat bench --serve --json`"
+            )
+        });
+    assert!(
+        *quality >= 0.99,
+        "{name}: guided search reaches only {quality:.4}x the exhaustive optimum (need >= 0.99)"
+    );
+    // A quality ratio meaningfully above 1 would mean the \"exhaustive\"
+    // grid missed the optimum — the baseline itself would be broken.
+    assert!(
+        *quality <= 1.0 + 1e-9,
+        "{name}: guided search beat the exhaustive grid ({quality:.4}x) — grid too coarse"
+    );
+    let (_, budget) = ratios
+        .iter()
+        .find(|(n, _)| n == "optimize_eval_budget_exhaustive_vs_guided")
+        .unwrap_or_else(|| {
+            panic!("{name}: evidence records no optimize_eval_budget_exhaustive_vs_guided ratio")
+        });
+    assert!(
+        *budget >= 10.0,
+        "{name}: guided search used more than a tenth of the exhaustive budget \
+         ({budget:.2} grid evals per guided eval, need >= 10)"
+    );
+}
+
 #[test]
 #[ignore = "perf gate: timing-sensitive; CI's release job runs it with --ignored"]
 fn live_ratios_have_not_collapsed_against_checked_in_evidence() {

@@ -470,6 +470,101 @@ fn dispatch(engine: &Engine, args: &[String]) -> Result<String, CliError> {
                 bufferings,
             )?)
         }
+        "optimize" => {
+            let input = load_worksheet(args.get(1))?;
+            let mut spec = rat_serve::api::OptimizeSpec::default();
+            let mut it = args.iter().skip(2);
+            while let Some(a) = it.next() {
+                let mut take = |flag: &str| {
+                    it.next()
+                        .ok_or_else(|| CliError::usage(format!("{flag} needs a value")))
+                };
+                let parse_range = |flag: &str, text: &str| -> Result<(f64, f64), CliError> {
+                    let v = parse_f64_csv(text)?;
+                    if v.len() != 2 {
+                        return Err(CliError::usage(format!(
+                            "{flag} needs a lo,hi pair, got {} value(s)",
+                            v.len()
+                        )));
+                    }
+                    Ok((v[0], v[1]))
+                };
+                match a.as_str() {
+                    "--seed" => {
+                        spec.seed = Some(
+                            take("--seed")?
+                                .parse()
+                                .map_err(|e| CliError::usage(format!("bad --seed value: {e}")))?,
+                        )
+                    }
+                    "--generations" => {
+                        spec.generations = Some(take("--generations")?.parse().map_err(|e| {
+                            CliError::usage(format!("bad --generations value: {e}"))
+                        })?)
+                    }
+                    "--population" => {
+                        spec.population =
+                            Some(take("--population")?.parse().map_err(|e| {
+                                CliError::usage(format!("bad --population value: {e}"))
+                            })?)
+                    }
+                    "--fclock-range" => {
+                        spec.fclock_range =
+                            Some(parse_range("--fclock-range", take("--fclock-range")?)?)
+                    }
+                    "--throughput-range" => {
+                        spec.throughput_range = Some(parse_range(
+                            "--throughput-range",
+                            take("--throughput-range")?,
+                        )?)
+                    }
+                    "--bufferings" => {
+                        spec.bufferings = Some(
+                            take("--bufferings")?
+                                .split(',')
+                                .map(|b| {
+                                    rat_serve::api::parse_buffering(b.trim())
+                                        .map_err(CliError::usage)
+                                })
+                                .collect::<Result<Vec<_>, _>>()?,
+                        )
+                    }
+                    "--devices" => {
+                        spec.devices = Some(
+                            take("--devices")?
+                                .split(',')
+                                .map(|d| d.trim().to_string())
+                                .collect(),
+                        )
+                    }
+                    "--precision-bits" => {
+                        spec.precision_bits = Some(
+                            take("--precision-bits")?
+                                .split(',')
+                                .map(|b| {
+                                    b.trim().parse().map_err(|e| {
+                                        CliError::usage(format!(
+                                            "bad --precision-bits value '{b}': {e}"
+                                        ))
+                                    })
+                                })
+                                .collect::<Result<Vec<u32>, _>>()?,
+                        )
+                    }
+                    other => {
+                        return Err(CliError::usage(format!("unknown optimize flag '{other}'")))
+                    }
+                }
+            }
+            Ok(
+                rat_serve::api::optimize_report(engine, &input, &spec).map_err(|e| {
+                    rat_serve::api::ModeError::with_context(
+                        format!("running optimize for worksheet '{}'", input.name),
+                        e,
+                    )
+                })?,
+            )
+        }
         "multi-fpga" => {
             let input = load_worksheet(args.get(1))?;
             let max: u32 = args
@@ -908,6 +1003,14 @@ USAGE:
               [--bufferings single,double]  throughput-gate a design space around
                                             the worksheet (defaults: base values,
                                             both buffering disciplines)
+  rat optimize <ws.toml> [--seed N] [--generations N] [--population N]
+               [--fclock-range lo,hi] [--throughput-range lo,hi]
+               [--bufferings single,double] [--devices lx100,sx55]
+               [--precision-bits 18,32]     guided search over the design space:
+                                            seeded population search on the batch
+                                            kernels, Pareto front of speedup vs
+                                            utilization vs resources (same seed →
+                                            byte-identical front at every --jobs)
   rat multi-fpga <worksheet.toml> [max]     scaling curve across devices (default 16)
   rat streaming <worksheet.toml> [half|full] streaming-mode throughput analysis
   rat uncertainty <ws.toml> <p> <lo> <hi>.. Monte-Carlo speedup distribution
@@ -924,7 +1027,8 @@ USAGE:
   rat serve [--addr A] [--port N] [--workers N] [--queue N]
                                             resident analysis daemon: HTTP/1.1+JSON
                                             on POST /v1/{solve,sweep,uncertainty,
-                                            explore,sensitivity,simulate}, plus
+                                            explore,optimize,sensitivity,
+                                            simulate}, plus
                                             GET /healthz, GET /metrics, and
                                             POST /shutdown (graceful drain)
   rat example-worksheet                     print a starter worksheet (Table 2)
@@ -1347,5 +1451,120 @@ mod tests {
         ])
         .unwrap();
         assert!(out.contains("Sweep of f_clock"));
+    }
+
+    /// Build an argv for `run` from string literals.
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| (*s).to_string()).collect()
+    }
+
+    #[test]
+    fn optimize_via_cli_is_seed_deterministic() {
+        let dir = std::env::temp_dir().join("rat-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ws-opt.toml");
+        std::fs::write(&path, example_worksheet()).unwrap();
+        let ws = path.to_string_lossy().into_owned();
+        let args = argv(&[
+            "optimize",
+            &ws,
+            "--seed",
+            "7",
+            "--generations",
+            "4",
+            "--population",
+            "48",
+        ]);
+        let a = run(&args).unwrap();
+        let b = run(&args).unwrap();
+        assert_eq!(a, b, "same seed must render the same front");
+        assert!(a.contains("Guided design-space search (seed 7"), "{a}");
+        assert!(a.contains("best speedup:"), "{a}");
+    }
+
+    /// The robustness contract for `rat optimize` inputs: degenerate
+    /// ranges are exit 3 naming the field, all-infeasible spaces are
+    /// exit 4 with the resource test on the `caused by:` chain, a legal
+    /// single-candidate space still answers, and unknown flags are usage
+    /// errors.
+    #[test]
+    fn optimize_edge_spaces_hit_the_documented_exit_codes() {
+        let dir = std::env::temp_dir().join("rat-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ws-opt-edge.toml");
+        std::fs::write(&path, example_worksheet()).unwrap();
+        let ws = path.to_string_lossy().into_owned();
+
+        // Inverted (empty) range → exit 3, field named on the chain.
+        let err = run(&argv(&["optimize", &ws, "--fclock-range", "2e8,1e8"])).unwrap_err();
+        assert_eq!(err.exit_code(), 3, "{err}");
+        let cause = std::error::Error::source(&err)
+            .expect("context chain")
+            .to_string();
+        assert!(cause.contains("fclock_range"), "{cause}");
+
+        // Unknown device → exit 3 naming `devices`.
+        let err = run(&argv(&["optimize", &ws, "--devices", "asic9000"])).unwrap_err();
+        assert_eq!(err.exit_code(), 3, "{err}");
+        let cause = std::error::Error::source(&err)
+            .expect("context chain")
+            .to_string();
+        assert!(cause.contains("devices"), "{cause}");
+
+        // All-infeasible space (32-bit lanes need 2 of the LX25's 48 DSPs
+        // each, so 30–40 lanes never fit) → exit 4, context line plus the
+        // resource-test infeasibility on the chain.
+        let err = run(&argv(&[
+            "optimize",
+            &ws,
+            "--seed",
+            "3",
+            "--generations",
+            "2",
+            "--population",
+            "32",
+            "--devices",
+            "lx25",
+            "--precision-bits",
+            "32",
+            "--throughput-range",
+            "30,40",
+        ]))
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 4, "{err}");
+        assert!(err.to_string().contains("running optimize"), "{err}");
+        let cause = std::error::Error::source(&err)
+            .expect("context chain")
+            .to_string();
+        assert!(
+            cause.contains("infeasible") && cause.contains("resource test"),
+            "{cause}"
+        );
+
+        // A single-candidate space is legal and yields a one-point front.
+        let out = run(&argv(&[
+            "optimize",
+            &ws,
+            "--generations",
+            "1",
+            "--population",
+            "1",
+            "--fclock-range",
+            "1.5e8,1.5e8",
+            "--throughput-range",
+            "20,20",
+            "--bufferings",
+            "single",
+            "--devices",
+            "ep2s180",
+            "--precision-bits",
+            "18",
+        ]))
+        .unwrap();
+        assert!(out.contains("front 1)"), "{out}");
+
+        // Unknown flags are usage errors.
+        let err = run(&argv(&["optimize", &ws, "--frobnicate", "1"])).unwrap_err();
+        assert_eq!(err.exit_code(), 2, "{err}");
     }
 }

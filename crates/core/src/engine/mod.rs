@@ -362,4 +362,59 @@ mod tests {
         assert_eq!(par.chunk_len(0, PointCost::McSample), 1);
         assert_eq!(par.chunk_len(3, PointCost::McSample), 3);
     }
+
+    /// The exact clamp arithmetic of [`Engine::chunk_len`], pinned per cost
+    /// class: `target = ceil(total / (threads × 4))` clamped between the
+    /// ≥25 µs dispatch quantum (`MIN_JOB_NANOS / cost`) and the scratch cap.
+    #[test]
+    fn chunk_len_floors_chunks_at_the_dispatch_quantum() {
+        let par = Engine::new(EngineConfig::default().with_jobs(8));
+
+        // Cost-class floors: 25 µs buys 500 MC samples (50 ns each) but
+        // only 83 full reports (300 ns each).
+        assert_eq!((MIN_JOB_NANOS / PointCost::McSample.nanos()) as usize, 500);
+        assert_eq!((MIN_JOB_NANOS / PointCost::FullReport.nanos()) as usize, 83);
+
+        // 10 000 points on 8 threads: the raw target ceil(10000/32) = 313
+        // is below the MC floor (500) but above the full-report floor (83).
+        assert_eq!(par.chunk_len(10_000, PointCost::McSample), 500);
+        assert_eq!(par.chunk_len(10_000, PointCost::FullReport), 313);
+
+        // Enough points that the raw target clears the floor untouched...
+        assert_eq!(par.chunk_len(100_000, PointCost::McSample), 3125);
+        // ...and so many that the scratch cap takes over.
+        assert_eq!(
+            par.chunk_len(1_000_000, PointCost::McSample),
+            MAX_CHUNK_POINTS
+        );
+        assert_eq!(
+            par.chunk_len(1_000_000, PointCost::FullReport),
+            MAX_CHUNK_POINTS
+        );
+
+        // A batch smaller than the floor is one chunk, not zero: the floor
+        // relaxes to `total` so tiny batches stay a single dispatch.
+        assert_eq!(par.chunk_len(400, PointCost::McSample), 400);
+        assert_eq!(par.chunk_len(82, PointCost::FullReport), 82);
+        // Just past the floor it splits: 84 points go as 83 + 1.
+        assert_eq!(par.chunk_len(84, PointCost::FullReport), 83);
+
+        // One-point batches are one one-point chunk at every cost class
+        // and thread count.
+        for engine in [
+            Engine::sequential(),
+            Engine::new(EngineConfig::default().with_jobs(2)),
+            Engine::new(EngineConfig::default().with_jobs(8)),
+        ] {
+            for cost in [PointCost::McSample, PointCost::FullReport] {
+                assert_eq!(engine.chunk_len(1, cost), 1);
+            }
+        }
+
+        // Fewer threads → proportionally larger chunks (2 threads × 4
+        // chunks each): ceil(10000/8) = 1250 clears both floors.
+        let two = Engine::new(EngineConfig::default().with_jobs(2));
+        assert_eq!(two.chunk_len(10_000, PointCost::McSample), 1250);
+        assert_eq!(two.chunk_len(10_000, PointCost::FullReport), 1250);
+    }
 }

@@ -68,6 +68,7 @@ pub mod explore;
 pub mod methodology;
 pub mod multifpga;
 pub mod multistage;
+pub mod optimize;
 pub mod params;
 pub mod precision;
 pub mod quantity;

@@ -143,11 +143,17 @@ pub enum Metric {
     StageResourceHits,
     /// Resource-test-stage cache misses.
     StageResourceMisses,
+    /// Guided-search generations run (`optimize`).
+    OptimizeGenerations,
+    /// Candidate design points evaluated by guided search.
+    OptimizeEvals,
+    /// Size of the final Pareto front reported by guided search.
+    OptimizeFrontSize,
 }
 
 impl Metric {
     /// Every metric, in rendering order.
-    pub const ALL: [Metric; 24] = [
+    pub const ALL: [Metric; 27] = [
         Metric::EngineJobs,
         Metric::EngineBatches,
         Metric::SimRuns,
@@ -172,6 +178,9 @@ impl Metric {
         Metric::StageSpeedupMisses,
         Metric::StageResourceHits,
         Metric::StageResourceMisses,
+        Metric::OptimizeGenerations,
+        Metric::OptimizeEvals,
+        Metric::OptimizeFrontSize,
     ];
 
     /// Stable dotted name used by both exporters.
@@ -201,6 +210,9 @@ impl Metric {
             Metric::StageSpeedupMisses => "stage.speedup.misses",
             Metric::StageResourceHits => "stage.resource.hits",
             Metric::StageResourceMisses => "stage.resource.misses",
+            Metric::OptimizeGenerations => "optimize.generations",
+            Metric::OptimizeEvals => "optimize.evals",
+            Metric::OptimizeFrontSize => "optimize.front_size",
         }
     }
 

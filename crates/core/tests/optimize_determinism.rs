@@ -1,0 +1,260 @@
+//! The test wall for `rat optimize`: the guided search's determinism,
+//! differential, and dominance contracts, plus golden front fixtures for
+//! the paper's worksheets.
+//!
+//! * **Determinism** — the same seed produces a structurally *and*
+//!   textually identical outcome at 1, 2, and 8 engine jobs. All random
+//!   draws happen on the coordinator thread from `job_rng(seed, gen)`;
+//!   candidate evaluation rides the chunk-seam-invariant batch kernels, so
+//!   job count can only change scheduling, never arithmetic. CI runs this
+//!   whole suite twice — default SIMD dispatch and `RAT_FORCE_SCALAR=1` —
+//!   which extends the same byte-identity across the kernel axis (dispatch
+//!   is resolved once per process, so the axis needs two processes).
+//! * **Differential** — every front member's stored report is bit-identical
+//!   to a scalar `Worksheet::analyze` of the same design point, and carries
+//!   a passing Eq. (9)–(11) resource verdict.
+//! * **Dominance** — the front is mutually non-dominated and covers every
+//!   feasible point the search visited.
+//! * **Golden fronts** — the rendered Pareto front for the paper's 1-D PDF,
+//!   2-D PDF, and MD worksheets (Tables 2–10) is pinned byte-for-byte.
+
+use proptest::prelude::*;
+use rat_core::engine::{Engine, EngineConfig};
+use rat_core::optimize::{optimize, OptimizeConfig, OptimizeSpace};
+use rat_core::params::{
+    Buffering, CommParams, CompParams, DatasetParams, RatInput, SoftwareParams,
+};
+use rat_core::quantity::{Freq, Seconds, Throughput};
+use rat_core::worksheet::Worksheet;
+
+/// Strategy: a valid worksheet across wide ranges. `throughput_proc` is
+/// kept moderate so the derived search spaces mix feasible and infeasible
+/// candidates instead of saturating one side.
+fn worksheet() -> impl Strategy<Value = RatInput> {
+    (
+        1u64..100_000, // elements_in
+        0u64..100_000, // elements_out
+        1u64..64,      // bytes per element
+        1.0e8..1.0e10, // ideal bandwidth
+        0.01f64..1.0,  // alpha_write
+        0.01f64..1.0,  // alpha_read
+        1.0f64..1.0e6, // ops per element
+        0.5f64..96.0,  // throughput_proc
+        1.0e7..1.0e9,  // fclock
+        1.0e-3..1.0e4, // t_soft
+        1u64..10_000,  // iterations
+        prop_oneof![Just(Buffering::Single), Just(Buffering::Double)],
+    )
+        .prop_map(
+            |(ein, eout, bpe, bw, aw, ar, ops, tp, f, tsoft, iters, buffering)| RatInput {
+                name: "prop".into(),
+                dataset: DatasetParams {
+                    elements_in: ein,
+                    elements_out: eout,
+                    bytes_per_element: bpe,
+                },
+                comm: CommParams {
+                    ideal_bandwidth: Throughput::from_bytes_per_sec(bw),
+                    alpha_write: aw,
+                    alpha_read: ar,
+                },
+                comp: CompParams {
+                    ops_per_element: ops,
+                    throughput_proc: tp,
+                    fclock: Freq::from_hz(f),
+                },
+                software: SoftwareParams {
+                    t_soft: Seconds::new(tsoft),
+                    iterations: iters,
+                },
+                buffering,
+            },
+        )
+}
+
+/// The job counts the acceptance criteria pin.
+fn engines() -> [Engine; 3] {
+    [
+        Engine::new(EngineConfig::default().with_jobs(1)),
+        Engine::new(EngineConfig::default().with_jobs(2)),
+        Engine::new(EngineConfig::default().with_jobs(8)),
+    ]
+}
+
+/// A search budget small enough for property-test case counts but large
+/// enough that chunking differs across the three job counts.
+fn quick(seed: u64) -> OptimizeConfig {
+    OptimizeConfig {
+        seed,
+        generations: 4,
+        population: 48,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Same seed → structurally and textually identical outcome at 1, 2,
+    /// and 8 jobs. Infeasible spaces must fail identically too.
+    #[test]
+    fn guided_search_is_job_count_invariant(
+        input in worksheet(),
+        seed in any::<u64>(),
+    ) {
+        let space = OptimizeSpace::around(input);
+        let config = quick(seed);
+        let [e1, e2, e8] = engines();
+        let r1 = optimize(&e1, &space, &config);
+        let r2 = optimize(&e2, &space, &config);
+        let r8 = optimize(&e8, &space, &config);
+        match (&r1, &r2, &r8) {
+            (Ok(o1), Ok(o2), Ok(o8)) => {
+                prop_assert_eq!(o1, o2, "outcome differs between 1 and 2 jobs");
+                prop_assert_eq!(o2, o8, "outcome differs between 2 and 8 jobs");
+                prop_assert_eq!(o1.render(), o8.render(), "rendered front drifted");
+            }
+            (Err(e1), Err(e2), Err(e8)) => {
+                prop_assert_eq!(e1.to_string(), e2.to_string());
+                prop_assert_eq!(e2.to_string(), e8.to_string());
+            }
+            _ => prop_assert!(
+                false,
+                "feasibility verdict differs across job counts: {:?} / {:?} / {:?}",
+                r1.as_ref().map(|o| o.front.len()),
+                r2.as_ref().map(|o| o.front.len()),
+                r8.as_ref().map(|o| o.front.len()),
+            ),
+        }
+    }
+
+    /// Every front member replays bit-identically through the scalar
+    /// worksheet pipeline and carries a passing resource verdict.
+    #[test]
+    fn front_members_replay_scalar_and_pass_the_resource_test(
+        input in worksheet(),
+        seed in any::<u64>(),
+    ) {
+        let engine = Engine::new(EngineConfig::default().with_jobs(2));
+        let space = OptimizeSpace::around(input);
+        let Ok(out) = optimize(&engine, &space, &quick(seed)) else {
+            return Ok(()); // all-infeasible space: nothing to replay
+        };
+        for p in &out.front {
+            let scalar = Worksheet::new(p.report.input.clone()).analyze().unwrap();
+            prop_assert_eq!(
+                &scalar, &p.report,
+                "front member diverged from scalar analyze"
+            );
+            prop_assert!(p.resources.fits, "infeasible point on the front");
+            prop_assert_eq!(p.objectives.speedup, p.report.speedup);
+        }
+    }
+
+    /// The front is mutually non-dominated, and every feasible point the
+    /// search visited is dominated by (or ties) some front member.
+    #[test]
+    fn front_is_non_dominated_and_covers_every_visited_point(
+        input in worksheet(),
+        seed in any::<u64>(),
+    ) {
+        let engine = Engine::new(EngineConfig::default().with_jobs(2));
+        let space = OptimizeSpace::around(input);
+        let Ok(out) = optimize(&engine, &space, &quick(seed)) else {
+            return Ok(());
+        };
+        for (i, a) in out.front.iter().enumerate() {
+            for (j, b) in out.front.iter().enumerate() {
+                if i != j {
+                    prop_assert!(
+                        !a.objectives.dominates(&b.objectives),
+                        "front member {} dominates front member {}", i, j
+                    );
+                }
+            }
+        }
+        for (k, v) in out.visited.iter().enumerate() {
+            prop_assert!(
+                !out.front.iter().any(|p| v.dominates(&p.objectives)),
+                "visited point {} dominates a front member", k
+            );
+            prop_assert!(
+                out.front
+                    .iter()
+                    .any(|p| p.objectives.dominates(v) || p.objectives.ties(v)),
+                "visited point {} escaped the front's coverage", k
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Golden fronts for the paper's worksheets (Tables 2–10). The fixtures were
+// produced by this very pipeline and pin the full rendered report: any
+// change to the sampler, the kernels, the resource model, or the renderer
+// shows up as a byte diff here. They must hold under `RAT_FORCE_SCALAR=1`
+// as well — CI runs this suite under both dispatch modes.
+// ---------------------------------------------------------------------------
+
+fn golden(worksheet_toml: &str, fixture: &str) {
+    let input: RatInput = toml::from_str(worksheet_toml).expect("worksheet parses");
+    let engine = Engine::new(EngineConfig::default().with_jobs(2));
+    let space = OptimizeSpace::around(input);
+    let config = OptimizeConfig {
+        seed: 2007,
+        generations: 12,
+        population: 128,
+    };
+    let out = optimize(&engine, &space, &config).expect("paper worksheet has a front");
+    assert_eq!(
+        out.render().trim_end_matches('\n'),
+        fixture.trim_end_matches('\n')
+    );
+}
+
+#[test]
+fn golden_front_pdf1d() {
+    golden(
+        include_str!(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../worksheets/pdf1d.toml"
+        )),
+        include_str!("fixtures/optimize_front_pdf1d.txt"),
+    );
+}
+
+#[test]
+fn golden_front_pdf2d() {
+    golden(
+        include_str!(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../worksheets/pdf2d.toml"
+        )),
+        include_str!("fixtures/optimize_front_pdf2d.txt"),
+    );
+}
+
+/// The MD worksheet's golden outcome is the *infeasible* verdict: its
+/// full-dataset buffer (16384 × 36 B ≈ 576 KB each way) exceeds every
+/// catalog device's block RAM under Eq. (10)'s whole-buffer model, so no
+/// axis setting can rescue it — and the error message (pinned here byte
+/// for byte) must say which knobs to widen.
+#[test]
+fn golden_front_md() {
+    let toml_src = include_str!(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../worksheets/md.toml"
+    ));
+    let input: RatInput = toml::from_str(toml_src).expect("worksheet parses");
+    let engine = Engine::new(EngineConfig::default().with_jobs(2));
+    let space = OptimizeSpace::around(input);
+    let config = OptimizeConfig {
+        seed: 2007,
+        generations: 12,
+        population: 128,
+    };
+    let err = optimize(&engine, &space, &config).unwrap_err();
+    assert_eq!(
+        err.to_string(),
+        include_str!("fixtures/optimize_front_md.txt").trim_end_matches('\n')
+    );
+}

@@ -23,9 +23,11 @@
 //! 405 wrong method, 408 request timeout, 413 oversized body, 503 queue
 //! full / draining.
 
+use fixedpoint::QFormat;
 use fpga_sim::SimCache;
 use rat_core::engine::Engine;
 use rat_core::explore::{explore, DesignSpace};
+use rat_core::optimize::{optimize, OptimizeConfig, OptimizeSpace};
 use rat_core::params::{Buffering, RatInput};
 use rat_core::quantity::Freq;
 use rat_core::sweep::SweepParam;
@@ -46,6 +48,10 @@ pub const MAX_SWEEP_VALUES: usize = 100_000;
 
 /// Upper bound on design-space corners per explore request.
 pub const MAX_EXPLORE_CORNERS: usize = 1_000_000;
+
+/// Upper bound on guided-search evaluations (generations × population) per
+/// optimize request.
+pub const MAX_OPTIMIZE_EVALS: u64 = 1_000_000;
 
 /// A model-pipeline failure plus the context line describing what the
 /// service (or CLI) was doing — rendered as `error: <context>` /
@@ -375,6 +381,90 @@ pub fn explore_report(
     Ok(explore(&space, min_speedup)?.render())
 }
 
+/// Axis overrides for a guided search, shared by the CLI flags and the JSON
+/// body — `None` means "use the [`OptimizeSpace::around`] default".
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct OptimizeSpec {
+    /// Search seed; `None` uses the engine's root seed (the CLI default), so
+    /// an unseeded request matches the CLI byte-for-byte.
+    pub seed: Option<u64>,
+    /// Generations to run; `None` = [`OptimizeConfig::default`].
+    pub generations: Option<u32>,
+    /// Candidates per generation; `None` = [`OptimizeConfig::default`].
+    pub population: Option<usize>,
+    /// Clock range in Hz, inclusive.
+    pub fclock_range: Option<(f64, f64)>,
+    /// `throughput_proc` range in ops/cycle, inclusive.
+    pub throughput_range: Option<(f64, f64)>,
+    /// Buffering candidates.
+    pub bufferings: Option<Vec<Buffering>>,
+    /// Device candidates, as case-insensitive catalog-name substrings.
+    pub devices: Option<Vec<String>>,
+    /// Fixed-point precision candidates, as total bit widths.
+    pub precision_bits: Option<Vec<u32>>,
+}
+
+impl OptimizeSpec {
+    /// Resolve the spec against a base worksheet into a concrete space and
+    /// config, naming the offending field on failure.
+    pub fn resolve(
+        &self,
+        input: &RatInput,
+        default_seed: u64,
+    ) -> Result<(OptimizeSpace, OptimizeConfig), RatError> {
+        let mut space = OptimizeSpace::around(input.clone());
+        if let Some(r) = self.fclock_range {
+            space.fclock_hz = r;
+        }
+        if let Some(r) = self.throughput_range {
+            space.throughput_proc = r;
+        }
+        if let Some(b) = &self.bufferings {
+            space.bufferings = b.clone();
+        }
+        if let Some(names) = &self.devices {
+            let mut devices = Vec::with_capacity(names.len());
+            for n in names {
+                devices.push(rat_core::resources::device::find_device(n).ok_or_else(|| {
+                    RatError::quantity("devices", format!("no catalog device matches '{n}'"))
+                })?);
+            }
+            space.devices = devices;
+        }
+        if let Some(bits) = &self.precision_bits {
+            let mut precisions = Vec::with_capacity(bits.len());
+            for &b in bits {
+                let total = b.checked_sub(1).ok_or_else(|| {
+                    RatError::quantity("precision_bits", "width must be at least 1 bit".to_string())
+                })?;
+                precisions.push(QFormat::signed(0, total).map_err(|e| {
+                    RatError::quantity("precision_bits", format!("{b}-bit format: {e}"))
+                })?);
+            }
+            space.precisions = precisions;
+        }
+        let defaults = OptimizeConfig::default();
+        let config = OptimizeConfig {
+            seed: self.seed.unwrap_or(default_seed),
+            generations: self.generations.unwrap_or(defaults.generations),
+            population: self.population.unwrap_or(defaults.population),
+        };
+        Ok((space, config))
+    }
+}
+
+/// `rat optimize`: deterministic guided search over the design space around
+/// a base worksheet, on `engine`. Same seed → byte-identical front at every
+/// worker and thread count.
+pub fn optimize_report(
+    engine: &Engine,
+    input: &RatInput,
+    spec: &OptimizeSpec,
+) -> Result<String, RatError> {
+    let (space, config) = spec.resolve(input, engine.config().root_seed)?;
+    Ok(optimize(engine, &space, &config)?.render())
+}
+
 /// Cached case-study simulation: run one of the four shipped hardware
 /// designs on its simulated platform at `mhz`, memoized through `cache` so
 /// repeated points cost a hash lookup instead of a simulation. This is the
@@ -471,6 +561,13 @@ pub enum ApiRequest {
         /// Buffering axis; defaults to both disciplines.
         bufferings: Option<Vec<Buffering>>,
     },
+    /// `POST /v1/optimize`
+    Optimize {
+        /// The validated worksheet (the base design).
+        input: RatInput,
+        /// Search axes and knobs.
+        spec: OptimizeSpec,
+    },
     /// `POST /v1/sensitivity`
     Sensitivity {
         /// The validated worksheet.
@@ -493,6 +590,7 @@ impl ApiRequest {
             ApiRequest::Sweep { .. } => "sweep",
             ApiRequest::Uncertainty { .. } => "uncertainty",
             ApiRequest::Explore { .. } => "explore",
+            ApiRequest::Optimize { .. } => "optimize",
             ApiRequest::Sensitivity { .. } => "sensitivity",
             ApiRequest::Simulate { .. } => "simulate",
         }
@@ -500,11 +598,12 @@ impl ApiRequest {
 }
 
 /// All mode route suffixes under `/v1/`, in documentation order.
-pub const MODES: [&str; 6] = [
+pub const MODES: [&str; 7] = [
     "solve",
     "sweep",
     "uncertainty",
     "explore",
+    "optimize",
     "sensitivity",
     "simulate",
 ];
@@ -567,6 +666,50 @@ fn optional_f64_list(doc: &Json, key: &str) -> Result<Option<Vec<f64>>, ApiError
     match doc.get(key) {
         None | Some(Json::Null) => Ok(None),
         Some(v) => f64_list(v, key).map(Some),
+    }
+}
+
+fn optional_str_list(doc: &Json, key: &str) -> Result<Option<Vec<String>>, ApiError> {
+    match doc.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => {
+            let arr = v.as_array().ok_or_else(|| {
+                ApiError::bad_request(
+                    "reading request body",
+                    format!("'{key}' must be an array of strings"),
+                )
+            })?;
+            let mut out = Vec::with_capacity(arr.len());
+            for s in arr {
+                out.push(
+                    s.as_str()
+                        .ok_or_else(|| {
+                            ApiError::bad_request(
+                                "reading request body",
+                                format!("'{key}' must be an array of strings"),
+                            )
+                        })?
+                        .to_string(),
+                );
+            }
+            Ok(Some(out))
+        }
+    }
+}
+
+fn parse_buffering_list(doc: &Json) -> Result<Option<Vec<Buffering>>, ApiError> {
+    match optional_str_list(doc, "bufferings")? {
+        None => Ok(None),
+        Some(names) => {
+            let mut out = Vec::with_capacity(names.len());
+            for n in &names {
+                out.push(
+                    parse_buffering(n)
+                        .map_err(|e| ApiError::bad_request("reading request body", e))?,
+                );
+            }
+            Ok(Some(out))
+        }
     }
 }
 
@@ -665,31 +808,7 @@ pub fn parse_mode_request(mode: &str, body: &str) -> Result<ApiRequest, ApiError
             let min_speedup = require_f64(&doc, "min_speedup")?;
             let fclocks = optional_f64_list(&doc, "fclocks")?;
             let throughput_procs = optional_f64_list(&doc, "throughput_procs")?;
-            let bufferings = match doc.get("bufferings") {
-                None | Some(Json::Null) => None,
-                Some(v) => {
-                    let names = v.as_array().ok_or_else(|| {
-                        ApiError::bad_request(
-                            "reading request body",
-                            "'bufferings' must be an array of strings",
-                        )
-                    })?;
-                    let mut out = Vec::with_capacity(names.len());
-                    for n in names {
-                        let s = n.as_str().ok_or_else(|| {
-                            ApiError::bad_request(
-                                "reading request body",
-                                "'bufferings' must be an array of strings",
-                            )
-                        })?;
-                        out.push(
-                            parse_buffering(s)
-                                .map_err(|e| ApiError::bad_request("reading request body", e))?,
-                        );
-                    }
-                    Some(out)
-                }
-            };
+            let bufferings = parse_buffering_list(&doc)?;
             let corners = fclocks.as_ref().map_or(1, Vec::len)
                 * throughput_procs.as_ref().map_or(1, Vec::len)
                 * bufferings.as_ref().map_or(2, Vec::len);
@@ -705,6 +824,87 @@ pub fn parse_mode_request(mode: &str, body: &str) -> Result<ApiRequest, ApiError
                 fclocks,
                 throughput_procs,
                 bufferings,
+            })
+        }
+        "optimize" => {
+            let input = parse_worksheet(require_str(&doc, "worksheet_toml")?)?;
+            let seed = match optional_f64(&doc, "seed")? {
+                None => None,
+                Some(s) if s.fract() == 0.0 && (0.0..9.0e15).contains(&s) => Some(s as u64),
+                Some(s) => {
+                    return Err(ApiError::bad_request(
+                        "reading request body",
+                        format!("'seed' must be a non-negative integer below 2^53, got {s}"),
+                    ))
+                }
+            };
+            let small_int = |key: &str, max: f64| -> Result<Option<f64>, ApiError> {
+                match optional_f64(&doc, key)? {
+                    None => Ok(None),
+                    Some(v) if v.fract() == 0.0 && v >= 1.0 && v <= max => Ok(Some(v)),
+                    Some(v) => Err(ApiError::bad_request(
+                        "reading request body",
+                        format!("'{key}' must be an integer in 1..={max}, got {v}"),
+                    )),
+                }
+            };
+            let generations = small_int("generations", 1.0e6)?.map(|v| v as u32);
+            let population =
+                small_int("population", MAX_OPTIMIZE_EVALS as f64)?.map(|v| v as usize);
+            let defaults = OptimizeConfig::default();
+            let evals = u64::from(generations.unwrap_or(defaults.generations))
+                .saturating_mul(population.unwrap_or(defaults.population) as u64);
+            if evals > MAX_OPTIMIZE_EVALS {
+                return Err(ApiError::bad_request(
+                    "reading request body",
+                    format!(
+                        "generations x population is {evals} evaluations; \
+                         at most {MAX_OPTIMIZE_EVALS}"
+                    ),
+                ));
+            }
+            let pair = |key: &str| -> Result<Option<(f64, f64)>, ApiError> {
+                match optional_f64_list(&doc, key)? {
+                    None => Ok(None),
+                    Some(v) if v.len() == 2 => Ok(Some((v[0], v[1]))),
+                    Some(v) => Err(ApiError::bad_request(
+                        "reading request body",
+                        format!("'{key}' must be a [lo, hi] pair, got {} values", v.len()),
+                    )),
+                }
+            };
+            let fclock_range = pair("fclock_range")?;
+            let throughput_range = pair("throughput_range")?;
+            let bufferings = parse_buffering_list(&doc)?;
+            let devices = optional_str_list(&doc, "devices")?;
+            let precision_bits = match optional_f64_list(&doc, "precision_bits")? {
+                None => None,
+                Some(v) => {
+                    let mut bits = Vec::with_capacity(v.len());
+                    for b in v {
+                        if b.fract() != 0.0 || !(1.0..=63.0).contains(&b) {
+                            return Err(ApiError::bad_request(
+                                "reading request body",
+                                format!("'precision_bits' must be integers in 1..=63, got {b}"),
+                            ));
+                        }
+                        bits.push(b as u32);
+                    }
+                    Some(bits)
+                }
+            };
+            Ok(ApiRequest::Optimize {
+                input,
+                spec: OptimizeSpec {
+                    seed,
+                    generations,
+                    population,
+                    fclock_range,
+                    throughput_range,
+                    bufferings,
+                    devices,
+                    precision_bits,
+                },
             })
         }
         "sensitivity" => {
@@ -775,6 +975,9 @@ pub fn handle(
             bufferings.clone(),
         )
         .map_err(|e| wrap(input, e))?,
+        ApiRequest::Optimize { input, spec } => {
+            optimize_report(engine, input, spec).map_err(|e| wrap(input, e))?
+        }
         ApiRequest::Sensitivity { input } => {
             sensitivity_report(engine, input).map_err(|e| wrap(input, e))?
         }

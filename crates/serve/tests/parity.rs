@@ -22,7 +22,7 @@ use rat_core::params::{
 use rat_core::quantity::{Freq, Seconds, Throughput};
 use rat_core::sweep::SweepParam;
 use rat_core::uncertainty::ParamRange;
-use rat_serve::api::{self, escape_json};
+use rat_serve::api::{self, escape_json, OptimizeSpec};
 use rat_serve::{ServeConfig, Server, ServerHandle};
 
 /// The worker counts the acceptance criteria pin.
@@ -49,7 +49,18 @@ fn ws_toml(input: &RatInput) -> String {
     toml::to_string(input).expect("worksheet serializes")
 }
 
-/// Request bodies for the five analysis modes on `input`, paired with the
+/// The optimize request this suite pins: tiny but non-trivial — enough
+/// generations for the sampler to adapt, small enough to stay fast.
+fn optimize_spec() -> OptimizeSpec {
+    OptimizeSpec {
+        seed: Some(7),
+        generations: Some(4),
+        population: Some(48),
+        ..OptimizeSpec::default()
+    }
+}
+
+/// Request bodies for the six analysis modes on `input`, paired with the
 /// in-process reference report each must match byte-for-byte.
 fn mode_cases(input: &RatInput) -> Vec<(&'static str, String, String)> {
     let engine = reference_engine();
@@ -104,11 +115,19 @@ fn mode_cases(input: &RatInput) -> Vec<(&'static str, String, String)> {
             format!("{{\"worksheet_toml\": \"{ws}\"}}"),
             api::sensitivity_report(&engine, input).expect("sensitivity reference"),
         ),
+        (
+            "/v1/optimize",
+            format!(
+                "{{\"worksheet_toml\": \"{ws}\", \"seed\": 7, \
+                 \"generations\": 4, \"population\": 48}}"
+            ),
+            api::optimize_report(&engine, input, &optimize_spec()).expect("optimize reference"),
+        ),
     ]
 }
 
 #[test]
-fn five_modes_byte_identical_at_1_2_8_workers_cold_and_warm() {
+fn six_modes_byte_identical_at_1_2_8_workers_cold_and_warm() {
     let input = pdf1d();
     let cases = mode_cases(&input);
     for workers in WORKER_COUNTS {
@@ -222,6 +241,25 @@ fn server_reports_match_cold_cli_stdout_for_every_mode() {
             serve(
                 "/v1/sensitivity",
                 &format!("{{\"worksheet_toml\": \"{ws_json}\"}}"),
+            ),
+        ),
+        (
+            cli(&[
+                "optimize",
+                &ws,
+                "--seed",
+                "7",
+                "--generations",
+                "4",
+                "--population",
+                "48",
+            ]),
+            serve(
+                "/v1/optimize",
+                &format!(
+                    "{{\"worksheet_toml\": \"{ws_json}\", \"seed\": 7, \
+                     \"generations\": 4, \"population\": 48}}"
+                ),
             ),
         ),
     ];

@@ -142,6 +142,100 @@ fn hostile_requests_map_to_documented_statuses_and_daemon_survives() {
     );
 }
 
+/// `/v1/optimize` edge shapes: degenerate ranges and bogus axis values are
+/// 400s naming the field, an all-infeasible space is a 422 whose cause
+/// chain names the resource test, and a legal single-candidate space still
+/// answers 200 — all without hurting the daemon.
+#[test]
+fn optimize_spaces_map_to_the_documented_statuses() {
+    let handle = start();
+    let addr = handle.addr();
+    let ws = escape_json(&toml::to_string(&rat_apps::pdf::pdf1d::rat_input(150.0e6)).unwrap());
+
+    // Inverted (empty) range → 400 naming the field.
+    let (status, body) = post(
+        addr,
+        "/v1/optimize",
+        &format!("{{\"worksheet_toml\": \"{ws}\", \"fclock_range\": [2e8, 1e8]}}"),
+    );
+    assert_eq!(status, 400, "{body}");
+    let (_, causes) = error_of(&body);
+    assert!(
+        causes.iter().any(|c| c.contains("fclock_range")),
+        "empty range should name its field: {body}"
+    );
+    still_alive(&handle, "inverted fclock_range");
+
+    // A device name outside the catalog → 400 naming `devices`.
+    let (status, body) = post(
+        addr,
+        "/v1/optimize",
+        &format!("{{\"worksheet_toml\": \"{ws}\", \"devices\": [\"asic9000\"]}}"),
+    );
+    assert_eq!(status, 400, "{body}");
+    let (_, causes) = error_of(&body);
+    assert!(
+        causes.iter().any(|c| c.contains("devices")),
+        "unknown device should name the `devices` field: {body}"
+    );
+    still_alive(&handle, "unknown device");
+
+    // An evaluation budget beyond the documented cap → 400.
+    let (status, body) = post(
+        addr,
+        "/v1/optimize",
+        &format!(
+            "{{\"worksheet_toml\": \"{ws}\", \
+             \"generations\": 1000000, \"population\": 1000000}}"
+        ),
+    );
+    assert_eq!(status, 400, "{body}");
+    still_alive(&handle, "oversized eval budget");
+
+    // All-infeasible space (32-bit lanes on an LX25 need 2 DSPs each, so
+    // 30–40 lanes always exceed its 48 DSP blocks) → 422, the HTTP face of
+    // CLI exit code 4, with the resource test in the cause chain.
+    let (status, body) = post(
+        addr,
+        "/v1/optimize",
+        &format!(
+            "{{\"worksheet_toml\": \"{ws}\", \"seed\": 3, \
+             \"generations\": 2, \"population\": 32, \
+             \"devices\": [\"lx25\"], \"precision_bits\": [32], \
+             \"throughput_range\": [30.0, 40.0]}}"
+        ),
+    );
+    assert_eq!(status, 422, "{body}");
+    let (_, causes) = error_of(&body);
+    assert!(
+        causes
+            .iter()
+            .any(|c| c.contains("infeasible") && c.contains("resource test")),
+        "422 causes should name the failed resource test: {body}"
+    );
+    still_alive(&handle, "all-infeasible optimize space");
+
+    // A legal single-candidate space answers 200.
+    let (status, body) = post(
+        addr,
+        "/v1/optimize",
+        &format!(
+            "{{\"worksheet_toml\": \"{ws}\", \"seed\": 3, \
+             \"generations\": 1, \"population\": 1, \
+             \"fclock_range\": [1.5e8, 1.5e8], \"throughput_range\": [20.0, 20.0], \
+             \"bufferings\": [\"single\"], \"devices\": [\"ep2s180\"], \
+             \"precision_bits\": [18]}}"
+        ),
+    );
+    assert_eq!(status, 200, "{body}");
+
+    let summary = handle.shutdown();
+    assert!(
+        summary.ok >= 5,
+        "expected the still-alive probes: {summary:?}"
+    );
+}
+
 #[test]
 fn full_queue_answers_503_busy_and_recovers() {
     // One worker, one queue slot, short request timeout: occupy the worker
