@@ -65,7 +65,11 @@ pub struct BenchRatio {
 /// - **v2**: adds the required `host{}` provenance block (logical cores,
 ///   avx2/fma feature flags, rustc version) so perf gates can scale their
 ///   floors to the machine that produced the evidence.
-pub const SCHEMA_VERSION: u64 = 2;
+/// - **v3**: the `serve{}` block grows the keep-alive transport and response
+///   cache evidence: `close_requests`, `close_rps`,
+///   `keepalive_vs_close_rps`, `reuse_ratio`, `connect_p50_us`,
+///   `warm_uncached_p50_us`, `warm_cached_p50_us`, `warm_cached_speedup`.
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// Provenance of a benchmark run: the hardware capabilities and compiler
 /// that produced the numbers. Evidence without this context is ambiguous —
@@ -110,16 +114,33 @@ impl HostInfo {
 /// dependency cycle. All latencies in microseconds.
 #[derive(Debug, Clone)]
 pub struct ServeBench {
-    /// Mixed-mode requests completed against the warm server.
+    /// Mixed-mode keep-alive requests completed against the warm server.
     pub requests: u64,
-    /// Mixed-mode throughput, requests per second.
+    /// Mixed-mode keep-alive throughput, requests per second.
     pub rps: f64,
+    /// Close-per-request baseline requests (response cache disabled).
+    pub close_requests: u64,
+    /// Close-per-request baseline throughput, requests per second.
+    pub close_rps: f64,
+    /// `rps / close_rps` — the serving-path overhaul's throughput ratio,
+    /// gated ≥ 3x by the perf gate.
+    pub keepalive_vs_close_rps: f64,
+    /// Fraction of keep-alive requests that reused an existing connection.
+    pub reuse_ratio: f64,
+    /// Median `connect()` time across the load phases.
+    pub connect_p50_us: f64,
     /// Mixed-mode median latency.
     pub p50_us: f64,
     /// Mixed-mode 99th-percentile latency.
     pub p99_us: f64,
     /// Mixed-mode 99.9th-percentile latency.
     pub p999_us: f64,
+    /// p50 of one identical request repeated against the uncached server.
+    pub warm_uncached_p50_us: f64,
+    /// p50 of the same repeated request served from the response cache.
+    pub warm_cached_p50_us: f64,
+    /// `warm_uncached_p50_us / warm_cached_p50_us` — gated ≥ 5x.
+    pub warm_cached_speedup: f64,
     /// p50 of a cached `solve` against the warm server.
     pub warm_solve_p50_us: f64,
     /// p50 of a cold `rat solve` process invocation.
@@ -172,13 +193,23 @@ impl BenchReport {
         ));
         if let Some(s) = &self.serve {
             out.push_str(&format!(
-                "serve: {} requests at {:.0} req/s; p50 {:.0} us | p99 {:.0} us | p999 {:.0} us\n\
+                "serve: {} keep-alive requests at {:.0} req/s; p50 {:.0} us | p99 {:.0} us | p999 {:.0} us\n\
+                 serve_keepalive_vs_close_rps: {:.1}x ({:.0} req/s keep-alive vs {:.0} req/s close, reuse {:.3}, connect p50 {:.0} us)\n\
+                 serve_warm_cached_speedup: {:.1}x ({:.0} us uncached vs {:.0} us cached)\n\
                  serve_warm_solve_vs_cold_cli: {:.1}x ({:.0} us warm vs {:.0} us cold)\n",
                 s.requests,
                 s.rps,
                 s.p50_us,
                 s.p99_us,
                 s.p999_us,
+                s.keepalive_vs_close_rps,
+                s.rps,
+                s.close_rps,
+                s.reuse_ratio,
+                s.connect_p50_us,
+                s.warm_cached_speedup,
+                s.warm_uncached_p50_us,
+                s.warm_cached_p50_us,
                 s.warm_vs_cold,
                 s.warm_solve_p50_us,
                 s.cold_cli_solve_p50_us,
@@ -232,14 +263,27 @@ impl BenchReport {
         if let Some(s) = &self.serve {
             out.push_str(&format!(
                 ",\n  \"serve\": {{\n    \"requests\": {}, \"rps\": {:.1},\n    \
+                 \"close_requests\": {}, \"close_rps\": {:.1},\n    \
+                 \"keepalive_vs_close_rps\": {:.2},\n    \
+                 \"reuse_ratio\": {:.4}, \"connect_p50_us\": {:.1},\n    \
                  \"p50_us\": {:.1}, \"p99_us\": {:.1}, \"p999_us\": {:.1},\n    \
+                 \"warm_uncached_p50_us\": {:.1}, \"warm_cached_p50_us\": {:.1},\n    \
+                 \"warm_cached_speedup\": {:.2},\n    \
                  \"warm_solve_p50_us\": {:.1}, \"cold_cli_solve_p50_us\": {:.1},\n    \
                  \"warm_vs_cold\": {:.2}\n  }}",
                 s.requests,
                 s.rps,
+                s.close_requests,
+                s.close_rps,
+                s.keepalive_vs_close_rps,
+                s.reuse_ratio,
+                s.connect_p50_us,
                 s.p50_us,
                 s.p99_us,
                 s.p999_us,
+                s.warm_uncached_p50_us,
+                s.warm_cached_p50_us,
+                s.warm_cached_speedup,
                 s.warm_solve_p50_us,
                 s.cold_cli_solve_p50_us,
                 s.warm_vs_cold,
@@ -821,9 +865,17 @@ mod tests {
         r.serve = Some(ServeBench {
             requests: 1000,
             rps: 12_000.0,
+            close_requests: 1000,
+            close_rps: 3_000.0,
+            keepalive_vs_close_rps: 4.0,
+            reuse_ratio: 0.996,
+            connect_p50_us: 45.0,
             p50_us: 80.0,
             p99_us: 400.0,
             p999_us: 900.0,
+            warm_uncached_p50_us: 700.0,
+            warm_cached_p50_us: 70.0,
+            warm_cached_speedup: 10.0,
             warm_solve_p50_us: 60.0,
             cold_cli_solve_p50_us: 9_000.0,
             warm_vs_cold: 150.0,
@@ -832,10 +884,19 @@ mod tests {
         assert!(json.contains("\"serve\": {"), "{json}");
         assert!(json.contains("\"warm_vs_cold\": 150.00"), "{json}");
         assert!(json.contains("\"p999_us\": 900.0"), "{json}");
+        assert!(json.contains("\"keepalive_vs_close_rps\": 4.00"), "{json}");
+        assert!(json.contains("\"reuse_ratio\": 0.9960"), "{json}");
+        assert!(json.contains("\"connect_p50_us\": 45.0"), "{json}");
+        assert!(json.contains("\"warm_cached_speedup\": 10.00"), "{json}");
         let text = r.render();
         assert!(
             text.contains("serve_warm_solve_vs_cold_cli: 150.0x"),
             "{text}"
         );
+        assert!(
+            text.contains("serve_keepalive_vs_close_rps: 4.0x"),
+            "{text}"
+        );
+        assert!(text.contains("serve_warm_cached_speedup: 10.0x"), "{text}");
     }
 }

@@ -101,9 +101,10 @@ fn assert_bench_schema(doc: &Json, what: &str) -> Vec<String> {
     }
     // The optional serve block (present once `rat bench --serve` evidence is
     // recorded): all-numeric, with the derived warm-vs-cold ratio agreeing
-    // with its operands.
+    // with its operands. v3 grows the block with the keep-alive transport
+    // and response-cache evidence; older evidence predates those fields.
     if let Some(serve) = doc.get("serve") {
-        for field in [
+        let mut fields = vec![
             "requests",
             "rps",
             "p50_us",
@@ -112,7 +113,20 @@ fn assert_bench_schema(doc: &Json, what: &str) -> Vec<String> {
             "warm_solve_p50_us",
             "cold_cli_solve_p50_us",
             "warm_vs_cold",
-        ] {
+        ];
+        if version >= 3 {
+            fields.extend([
+                "close_requests",
+                "close_rps",
+                "keepalive_vs_close_rps",
+                "reuse_ratio",
+                "connect_p50_us",
+                "warm_uncached_p50_us",
+                "warm_cached_p50_us",
+                "warm_cached_speedup",
+            ]);
+        }
+        for field in fields {
             let v = serve
                 .get(field)
                 .and_then(Json::as_f64)
@@ -136,6 +150,45 @@ fn assert_bench_schema(doc: &Json, what: &str) -> Vec<String> {
             (ratio - derived).abs() <= 0.01 * derived.max(1.0),
             "{what}: serve.warm_vs_cold {ratio} inconsistent with cold {cold} / warm {warm}"
         );
+        if version >= 3 {
+            // The two new derived ratios must agree with their operands, and
+            // the reuse ratio is a fraction by definition.
+            let rps = serve.get("rps").and_then(Json::as_f64).unwrap();
+            let close_rps = serve.get("close_rps").and_then(Json::as_f64).unwrap();
+            let ka = serve
+                .get("keepalive_vs_close_rps")
+                .and_then(Json::as_f64)
+                .unwrap();
+            let derived = rps / close_rps.max(1e-9);
+            assert!(
+                (ka - derived).abs() <= 0.01 * derived.max(1.0),
+                "{what}: serve.keepalive_vs_close_rps {ka} inconsistent with \
+                 rps {rps} / close_rps {close_rps}"
+            );
+            let uncached = serve
+                .get("warm_uncached_p50_us")
+                .and_then(Json::as_f64)
+                .unwrap();
+            let cached = serve
+                .get("warm_cached_p50_us")
+                .and_then(Json::as_f64)
+                .unwrap();
+            let speedup = serve
+                .get("warm_cached_speedup")
+                .and_then(Json::as_f64)
+                .unwrap();
+            let derived = uncached / cached.max(1.0);
+            assert!(
+                (speedup - derived).abs() <= 0.01 * derived.max(1.0),
+                "{what}: serve.warm_cached_speedup {speedup} inconsistent with \
+                 uncached {uncached} / cached {cached}"
+            );
+            let reuse = serve.get("reuse_ratio").and_then(Json::as_f64).unwrap();
+            assert!(
+                (0.0..=1.0).contains(&reuse),
+                "{what}: serve.reuse_ratio {reuse} must be a fraction"
+            );
+        }
     }
 
     names

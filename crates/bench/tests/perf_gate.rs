@@ -95,6 +95,63 @@ fn serve_evidence_shows_warm_server_at_least_10x_cold_cli() {
     );
 }
 
+/// The keep-alive transport acceptance criterion, pinned against the
+/// checked-in evidence: the full serving path (persistent connections +
+/// response cache + coalescing) must sustain at least 3x the throughput of
+/// the close-per-request, cache-disabled baseline on the same mixed
+/// duplicate-heavy workload.
+#[test]
+fn serve_evidence_shows_keepalive_at_least_3x_close_per_request() {
+    let (name, doc) = newest_evidence();
+    let Some(serve) = doc.get("serve") else {
+        panic!("{name}: newest evidence has no serve block — run `rat bench --serve --json`")
+    };
+    let Some(ratio) = serve.get("keepalive_vs_close_rps").and_then(Json::as_f64) else {
+        panic!(
+            "{name}: serve block predates keepalive_vs_close_rps (schema v3) — \
+             regenerate with `rat bench --serve --json`"
+        )
+    };
+    assert!(
+        ratio >= 3.0,
+        "{name}: keep-alive serving is only {ratio:.2}x the close-per-request \
+         baseline (need >= 3x)"
+    );
+    // The transport claim is only meaningful if connections were actually
+    // reused; a broken keep-alive loop shows up here as a near-zero ratio.
+    let reuse = serve
+        .get("reuse_ratio")
+        .and_then(Json::as_f64)
+        .unwrap_or_else(|| panic!("{name}: serve block missing reuse_ratio"));
+    assert!(
+        reuse >= 0.9,
+        "{name}: keep-alive phase reused only {reuse:.3} of its requests' connections"
+    );
+}
+
+/// The response-cache acceptance criterion, pinned against the checked-in
+/// evidence: a repeated identical request on a warm connection must answer
+/// at least 5x faster at p50 from the response cache than the uncached
+/// recompute-every-time path.
+#[test]
+fn serve_evidence_shows_cached_repeats_at_least_5x_uncached() {
+    let (name, doc) = newest_evidence();
+    let Some(serve) = doc.get("serve") else {
+        panic!("{name}: newest evidence has no serve block — run `rat bench --serve --json`")
+    };
+    let Some(ratio) = serve.get("warm_cached_speedup").and_then(Json::as_f64) else {
+        panic!(
+            "{name}: serve block predates warm_cached_speedup (schema v3) — \
+             regenerate with `rat bench --serve --json`"
+        )
+    };
+    assert!(
+        ratio >= 5.0,
+        "{name}: cached repeated requests are only {ratio:.2}x the uncached \
+         path at p50 (need >= 5x)"
+    );
+}
+
 /// The stage-graph acceptance criterion, pinned against the checked-in
 /// evidence: a single-axis sweep through the staged kernel (comm terms
 /// hoisted by the stage plan) must run at least 1.5x the eager per-point

@@ -775,9 +775,17 @@ fn dispatch(engine: &Engine, args: &[String]) -> Result<String, CliError> {
                 report.serve = Some(rat_bench::hotbench::ServeBench {
                     requests: load.requests,
                     rps: load.rps,
+                    close_requests: load.close_requests,
+                    close_rps: load.close_rps,
+                    keepalive_vs_close_rps: load.keepalive_vs_close_rps,
+                    reuse_ratio: load.reuse_ratio,
+                    connect_p50_us: load.connect_p50_us,
                     p50_us: load.p50_us,
                     p99_us: load.p99_us,
                     p999_us: load.p999_us,
+                    warm_uncached_p50_us: load.warm_uncached_p50_us,
+                    warm_cached_p50_us: load.warm_cached_p50_us,
+                    warm_cached_speedup: load.warm_cached_speedup,
                     warm_solve_p50_us: load.warm_solve_p50_us,
                     cold_cli_solve_p50_us: load.cold_cli_solve_p50_us,
                     warm_vs_cold: load.warm_vs_cold,
@@ -825,6 +833,7 @@ fn dispatch(engine: &Engine, args: &[String]) -> Result<String, CliError> {
                         }
                         config.queue_capacity = cap;
                     }
+                    "--no-response-cache" => config.response_cache_bytes = 0,
                     other => return Err(CliError::usage(format!("unknown serve flag '{other}'"))),
                 }
             }
@@ -1024,11 +1033,11 @@ USAGE:
   rat bench [--json] [--quick] [--serve]    time the hot paths against their
                                             unoptimized baselines (--serve adds
                                             resident-server load generation)
-  rat serve [--addr A] [--port N] [--workers N] [--queue N]
+  rat serve [--addr A] [--port N] [--workers N] [--queue N] [--no-response-cache]
                                             resident analysis daemon: HTTP/1.1+JSON
-                                            on POST /v1/{solve,sweep,uncertainty,
-                                            explore,optimize,sensitivity,
-                                            simulate}, plus
+                                            (keep-alive) on POST /v1/{solve,sweep,
+                                            uncertainty,explore,optimize,
+                                            sensitivity,simulate}, plus
                                             GET /healthz, GET /metrics, and
                                             POST /shutdown (graceful drain)
   rat example-worksheet                     print a starter worksheet (Table 2)

@@ -56,9 +56,17 @@ fn iter_budget(input: &RatInput, target_speedup: f64) -> Result<Seconds, RatErro
 
 /// The computation-time budget left after communication, under the input's
 /// buffering discipline.
-fn comp_budget(input: &RatInput, target_speedup: f64) -> Result<Seconds, RatError> {
+///
+/// `comm` is the per-iteration communication time; the caller supplies it so
+/// a batched solve can hoist the one `t_comm` evaluation shared by every
+/// target. The arithmetic is pure, so passing a precomputed value is
+/// bit-identical to recomputing it inline.
+fn comp_budget_with(
+    input: &RatInput,
+    target_speedup: f64,
+    comm: Seconds,
+) -> Result<Seconds, RatError> {
     let budget = iter_budget(input, target_speedup)?;
-    let comm = throughput::t_comm(input);
     let available = match input.buffering {
         // Serial: computation gets what communication leaves over.
         Buffering::Single => budget - comm,
@@ -83,14 +91,34 @@ fn comp_budget(input: &RatInput, target_speedup: f64) -> Result<Seconds, RatErro
     Ok(available)
 }
 
+fn required_throughput_proc_with(
+    input: &RatInput,
+    target_speedup: f64,
+    comm: Seconds,
+) -> Result<f64, RatError> {
+    let budget = comp_budget_with(input, target_speedup, comm)?;
+    let total_ops = input.dataset.elements_in as f64 * input.comp.ops_per_element;
+    Ok(total_ops / (input.comp.fclock * budget))
+}
+
+fn required_fclock_with(
+    input: &RatInput,
+    target_speedup: f64,
+    comm: Seconds,
+) -> Result<Freq, RatError> {
+    let budget = comp_budget_with(input, target_speedup, comm)?;
+    let total_ops = input.dataset.elements_in as f64 * input.comp.ops_per_element;
+    Ok(Freq::from_hz(
+        total_ops / (input.comp.throughput_proc * budget.seconds()),
+    ))
+}
+
 /// Solve for the `throughput_proc` (ops/cycle) required to reach
 /// `target_speedup`, holding everything else fixed.
 pub fn required_throughput_proc(input: &RatInput, target_speedup: f64) -> Result<f64, RatError> {
     let _span = crate::telemetry::span("solve.throughput_proc");
     input.validate()?;
-    let budget = comp_budget(input, target_speedup)?;
-    let total_ops = input.dataset.elements_in as f64 * input.comp.ops_per_element;
-    Ok(total_ops / (input.comp.fclock * budget))
+    required_throughput_proc_with(input, target_speedup, throughput::t_comm(input))
 }
 
 /// Solve for the clock frequency required to reach `target_speedup`, holding
@@ -98,11 +126,7 @@ pub fn required_throughput_proc(input: &RatInput, target_speedup: f64) -> Result
 pub fn required_fclock(input: &RatInput, target_speedup: f64) -> Result<Freq, RatError> {
     let _span = crate::telemetry::span("solve.fclock");
     input.validate()?;
-    let budget = comp_budget(input, target_speedup)?;
-    let total_ops = input.dataset.elements_in as f64 * input.comp.ops_per_element;
-    Ok(Freq::from_hz(
-        total_ops / (input.comp.throughput_proc * budget.seconds()),
-    ))
+    required_fclock_with(input, target_speedup, throughput::t_comm(input))
 }
 
 /// Solve for the common factor by which *both* alphas must improve to reach
@@ -114,9 +138,21 @@ pub fn required_fclock(input: &RatInput, target_speedup: f64) -> Result<Freq, Ra
 pub fn required_alpha_scale(input: &RatInput, target_speedup: f64) -> Result<f64, RatError> {
     let _span = crate::telemetry::span("solve.alpha");
     input.validate()?;
+    required_alpha_scale_with(
+        input,
+        target_speedup,
+        throughput::t_comm(input),
+        throughput::t_comp(input),
+    )
+}
+
+fn required_alpha_scale_with(
+    input: &RatInput,
+    target_speedup: f64,
+    comm: Seconds,
+    comp: Seconds,
+) -> Result<f64, RatError> {
     let budget = iter_budget(input, target_speedup)?;
-    let comp = throughput::t_comp(input);
-    let comm = throughput::t_comm(input);
     let comm_budget = match input.buffering {
         Buffering::Single => budget - comp,
         Buffering::Double => {
@@ -167,6 +203,63 @@ pub fn max_speedup(input: &RatInput) -> Result<f64, RatError> {
 pub fn speedup_only(input: &RatInput) -> Result<f64, RatError> {
     input.validate()?;
     Ok(throughput::speedup(input))
+}
+
+/// The four inverse answers a `solve` request renders: required
+/// `throughput_proc`, required `f_clock`, required alpha scale, and the
+/// communication-bound speedup ceiling. Each sub-solve carries its own
+/// feasibility verdict so a renderer can show partial infeasibility inline.
+#[derive(Debug, Clone)]
+pub struct InverseQuad {
+    /// `required_throughput_proc` for the target.
+    pub throughput_proc: Result<f64, RatError>,
+    /// `required_fclock` for the target.
+    pub fclock: Result<Freq, RatError>,
+    /// `required_alpha_scale` for the target.
+    pub alpha_scale: Result<f64, RatError>,
+    /// `stages::ceiling` — target-independent, but carried per quad so one
+    /// struct is the complete answer.
+    pub ceiling: Result<f64, RatError>,
+}
+
+/// Evaluate all four inverse solves for one `(input, target)` pair by the
+/// scalar public solvers. This is the reference path; [`inverse_quad_batch`]
+/// must agree with it bit-for-bit on values and verbatim on error text.
+pub fn inverse_quad(input: &RatInput, target_speedup: f64) -> InverseQuad {
+    InverseQuad {
+        throughput_proc: required_throughput_proc(input, target_speedup),
+        fclock: required_fclock(input, target_speedup),
+        alpha_scale: required_alpha_scale(input, target_speedup),
+        ceiling: stages::ceiling(input),
+    }
+}
+
+/// Evaluate the inverse quad for many targets against one worksheet,
+/// hoisting the work every target shares: one `validate()`, one `t_comm`,
+/// one `t_comp`, one memoized ceiling. The per-target arithmetic is the
+/// same pure expressions the scalar solvers run, with identical operand
+/// order, so each element is bit-identical to `inverse_quad` on the same
+/// pair — the contract the serving layer's request coalescer relies on.
+pub fn inverse_quad_batch(input: &RatInput, targets: &[f64]) -> Vec<InverseQuad> {
+    let _span = crate::telemetry::span("solve.quad_batch");
+    crate::telemetry::add(crate::telemetry::Metric::BatchPoints, targets.len() as u64);
+    if input.validate().is_err() {
+        // Validation failure dominates every sub-solve; fall back to the
+        // scalar path per target so error text stays verbatim.
+        return targets.iter().map(|t| inverse_quad(input, *t)).collect();
+    }
+    let comm = throughput::t_comm(input);
+    let comp = throughput::t_comp(input);
+    let ceiling = stages::ceiling(input);
+    targets
+        .iter()
+        .map(|&t| InverseQuad {
+            throughput_proc: required_throughput_proc_with(input, t, comm),
+            fclock: required_fclock_with(input, t, comm),
+            alpha_scale: required_alpha_scale_with(input, t, comm, comp),
+            ceiling: ceiling.clone(),
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -320,6 +413,59 @@ mod tests {
         let mut bad = input;
         bad.comm.alpha_write = 1.5;
         assert!(speedup_only(&bad).is_err());
+    }
+
+    /// Assert a batched quad equals the scalar quad bit-for-bit on values
+    /// and verbatim on error display text.
+    fn assert_quads_identical(scalar: &InverseQuad, batched: &InverseQuad, ctx: &str) {
+        match (&scalar.throughput_proc, &batched.throughput_proc) {
+            (Ok(a), Ok(b)) => assert_eq!(a.to_bits(), b.to_bits(), "throughput_proc bits {ctx}"),
+            (Err(a), Err(b)) => assert_eq!(a.to_string(), b.to_string(), "throughput_proc {ctx}"),
+            (a, b) => panic!("throughput_proc verdicts diverge {ctx}: {a:?} vs {b:?}"),
+        }
+        match (&scalar.fclock, &batched.fclock) {
+            (Ok(a), Ok(b)) => assert_eq!(a.hz().to_bits(), b.hz().to_bits(), "fclock bits {ctx}"),
+            (Err(a), Err(b)) => assert_eq!(a.to_string(), b.to_string(), "fclock {ctx}"),
+            (a, b) => panic!("fclock verdicts diverge {ctx}: {a:?} vs {b:?}"),
+        }
+        match (&scalar.alpha_scale, &batched.alpha_scale) {
+            (Ok(a), Ok(b)) => assert_eq!(a.to_bits(), b.to_bits(), "alpha bits {ctx}"),
+            (Err(a), Err(b)) => assert_eq!(a.to_string(), b.to_string(), "alpha {ctx}"),
+            (a, b) => panic!("alpha verdicts diverge {ctx}: {a:?} vs {b:?}"),
+        }
+        match (&scalar.ceiling, &batched.ceiling) {
+            (Ok(a), Ok(b)) => assert_eq!(a.to_bits(), b.to_bits(), "ceiling bits {ctx}"),
+            (Err(a), Err(b)) => assert_eq!(a.to_string(), b.to_string(), "ceiling {ctx}"),
+            (a, b) => panic!("ceiling verdicts diverge {ctx}: {a:?} vs {b:?}"),
+        }
+    }
+
+    #[test]
+    fn quad_batch_matches_scalar_quads_bit_for_bit() {
+        // Feasible, comm-bound-infeasible, nonpositive, and NaN targets in
+        // one batch: every element must match its solo evaluation exactly.
+        for input in [pdf1d_example(), md_input()] {
+            let targets = [1.0, 8.0, 10.7, 300.0, 1e9, 0.0, -2.0, f64::NAN, 0.5];
+            let batched = inverse_quad_batch(&input, &targets);
+            assert_eq!(batched.len(), targets.len());
+            for (t, b) in targets.iter().zip(&batched) {
+                let solo = inverse_quad(&input, *t);
+                assert_quads_identical(&solo, b, &format!("('{}', {t})", input.name));
+            }
+        }
+    }
+
+    #[test]
+    fn quad_batch_invalid_worksheet_falls_back_verbatim() {
+        let mut input = pdf1d_example();
+        input.comm.alpha_write = -0.5; // fails validate()
+        let targets = [2.0, 8.0, f64::NAN];
+        let batched = inverse_quad_batch(&input, &targets);
+        for (t, b) in targets.iter().zip(&batched) {
+            let solo = inverse_quad(&input, *t);
+            assert_quads_identical(&solo, b, &format!("invalid input, target {t}"));
+            assert!(b.throughput_proc.is_err(), "validate error must dominate");
+        }
     }
 
     #[test]

@@ -149,11 +149,25 @@ pub enum Metric {
     OptimizeEvals,
     /// Size of the final Pareto front reported by guided search.
     OptimizeFrontSize,
+    /// Rendered-response cache hits (the serving layer's content-addressed
+    /// cache; includes raw-body fast-path hits and single-flight waiters
+    /// that received the leader's body).
+    ResponseCacheHits,
+    /// Rendered-response cache misses (each one is a leader computation).
+    ResponseCacheMisses,
+    /// Requests that blocked on another request's in-flight computation of
+    /// the same response instead of recomputing it.
+    ResponseCacheInflightWaits,
+    /// Cross-request solve batches evaluated by the coalescer (only groups
+    /// of two or more requests count — solo evaluations are the normal path).
+    CoalesceBatches,
+    /// Requests whose solve was evaluated inside a coalesced batch.
+    CoalesceRequests,
 }
 
 impl Metric {
     /// Every metric, in rendering order.
-    pub const ALL: [Metric; 27] = [
+    pub const ALL: [Metric; 32] = [
         Metric::EngineJobs,
         Metric::EngineBatches,
         Metric::SimRuns,
@@ -181,6 +195,11 @@ impl Metric {
         Metric::OptimizeGenerations,
         Metric::OptimizeEvals,
         Metric::OptimizeFrontSize,
+        Metric::ResponseCacheHits,
+        Metric::ResponseCacheMisses,
+        Metric::ResponseCacheInflightWaits,
+        Metric::CoalesceBatches,
+        Metric::CoalesceRequests,
     ];
 
     /// Stable dotted name used by both exporters.
@@ -213,6 +232,11 @@ impl Metric {
             Metric::OptimizeGenerations => "optimize.generations",
             Metric::OptimizeEvals => "optimize.evals",
             Metric::OptimizeFrontSize => "optimize.front_size",
+            Metric::ResponseCacheHits => "cache.response.hits",
+            Metric::ResponseCacheMisses => "cache.response.misses",
+            Metric::ResponseCacheInflightWaits => "cache.response.inflight_waits",
+            Metric::CoalesceBatches => "coalesce.batches",
+            Metric::CoalesceRequests => "coalesce.requests",
         }
     }
 

@@ -291,20 +291,32 @@ pub fn parse_worksheet(toml_text: &str) -> Result<RatInput, ApiError> {
 /// `rat solve` without `--strict`: every sub-solve renders inline, feasible
 /// or not, and the report always succeeds.
 pub fn solve_report(input: &RatInput, target: f64) -> String {
+    solve_report_from_quad(input, target, &rat_core::solve::inverse_quad(input, target))
+}
+
+/// Render the non-strict solve report from an already-evaluated quad. The
+/// coalesced server path evaluates quads in cross-request batches and feeds
+/// them here, so solo and batched responses share one renderer — the only
+/// way the byte-identity contract can hold by construction.
+pub fn solve_report_from_quad(
+    input: &RatInput,
+    target: f64,
+    quad: &rat_core::solve::InverseQuad,
+) -> String {
     let mut out = format!("Inverse solve for {target}x speedup on '{}':\n", input.name);
-    match rat_core::solve::required_throughput_proc(input, target) {
+    match &quad.throughput_proc {
         Ok(v) => out.push_str(&format!("  required throughput_proc: {v:.1} ops/cycle\n")),
         Err(e) => out.push_str(&format!("  throughput_proc: {e}\n")),
     }
-    match rat_core::solve::required_fclock(input, target) {
+    match &quad.fclock {
         Ok(v) => out.push_str(&format!("  required f_clock:         {:.1} MHz\n", v.mhz())),
         Err(e) => out.push_str(&format!("  f_clock: {e}\n")),
     }
-    match rat_core::solve::required_alpha_scale(input, target) {
+    match &quad.alpha_scale {
         Ok(v) => out.push_str(&format!("  required alpha scale:     {v:.2}x current\n")),
         Err(e) => out.push_str(&format!("  alpha: {e}\n")),
     }
-    match rat_core::solve::stages::ceiling(input) {
+    match &quad.ceiling {
         Ok(v) => out.push_str(&format!("  speedup ceiling (comm-bound wall): {v:.1}x\n")),
         Err(e) => out.push_str(&format!("  ceiling: {e}\n")),
     }
@@ -314,16 +326,26 @@ pub fn solve_report(input: &RatInput, target: f64) -> String {
 /// `rat solve --strict`: any infeasible sub-solve is a hard error (CLI exit
 /// code 4, HTTP 422) instead of an inline annotation.
 pub fn solve_report_strict(input: &RatInput, target: f64) -> Result<String, ModeError> {
-    let wrap = |source: RatError| {
+    solve_report_strict_from_quad(input, target, &rat_core::solve::inverse_quad(input, target))
+}
+
+/// Strict renderer over an already-evaluated quad; same error precedence as
+/// the sequential path (throughput_proc, then f_clock, alpha, ceiling).
+pub fn solve_report_strict_from_quad(
+    input: &RatInput,
+    target: f64,
+    quad: &rat_core::solve::InverseQuad,
+) -> Result<String, ModeError> {
+    let wrap = |source: &RatError| {
         ModeError::with_context(
             format!("solving '{}' for {target}x speedup", input.name),
-            source,
+            source.clone(),
         )
     };
-    let tp = rat_core::solve::required_throughput_proc(input, target).map_err(wrap)?;
-    let fclk = rat_core::solve::required_fclock(input, target).map_err(wrap)?;
-    let alpha = rat_core::solve::required_alpha_scale(input, target).map_err(wrap)?;
-    let ceiling = rat_core::solve::stages::ceiling(input).map_err(wrap)?;
+    let tp = quad.throughput_proc.as_ref().map_err(wrap)?;
+    let fclk = quad.fclock.as_ref().map_err(wrap)?;
+    let alpha = quad.alpha_scale.as_ref().map_err(wrap)?;
+    let ceiling = quad.ceiling.as_ref().map_err(wrap)?;
     Ok(format!(
         "Inverse solve for {target}x speedup on '{}':\n\
          \x20 required throughput_proc: {tp:.1} ops/cycle\n\

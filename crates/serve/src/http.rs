@@ -1,18 +1,19 @@
-//! Minimal, strict HTTP/1.1 framing over a [`TcpStream`].
+//! Minimal, strict HTTP/1.1 framing over a [`TcpStream`], with persistent
+//! connections.
 //!
-//! One request per connection (`Connection: close`): read a request line,
-//! headers, and a `Content-Length` body; write a status line, headers, and a
-//! body; close. On loopback that costs microseconds per request and keeps
-//! the parser a straight-line function — no chunked encoding, no keep-alive
-//! state machine, no pipelining to get wrong. The reader is deliberately
-//! paranoid: it enforces per-request read deadlines, a header-size cap, and
+//! A [`Connection`] wraps the socket plus a carry-over read buffer, so bytes
+//! a client pipelined behind one request are the prefix of the next instead
+//! of being lost. Requests default to keep-alive under HTTP/1.1 (honoring a
+//! `Connection: close`/`keep-alive` override, case-insensitively) and to
+//! close for HTTP/1.0 or unrecognizable version tokens. The reader stays
+//! deliberately paranoid: per-request read deadlines, a header-size cap, and
 //! a body-size cap, mapping each failure onto the [`ApiError`] protocol
 //! statuses (408/413/400) so a misbehaving client gets a diagnosis instead
-//! of killing a worker.
+//! of killing a worker. No chunked encoding — `Content-Length` framing only.
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::api::ApiError;
 
@@ -24,7 +25,8 @@ pub const MAX_HEAD_BYTES: usize = 16 * 1024;
 /// client buffer gigabytes into a resident service.
 pub const MAX_BODY_BYTES: usize = 1024 * 1024;
 
-/// A parsed request: method, path, and (possibly empty) body.
+/// A parsed request: method, path, (possibly empty) body, and whether the
+/// client wants the connection kept open afterwards.
 #[derive(Debug, Clone)]
 pub struct Request {
     /// The HTTP method, uppercased as received (`GET`, `POST`, ...).
@@ -33,107 +35,218 @@ pub struct Request {
     pub path: String,
     /// The request body, UTF-8 decoded.
     pub body: String,
+    /// Whether the connection should persist after this request: HTTP/1.1
+    /// defaults to yes, HTTP/1.0 (or garbage versions) to no, and a
+    /// `Connection:` header overrides either way.
+    pub keep_alive: bool,
 }
 
-/// Read one request from `stream`, enforcing `deadline` for the whole read
-/// and `max_body` for the declared body length.
-pub fn read_request(
-    stream: &mut TcpStream,
-    deadline: Duration,
-    max_body: usize,
-) -> Result<Request, ApiError> {
-    stream
-        .set_read_timeout(Some(deadline))
-        .map_err(|e| ApiError::bad_request("configuring connection", e.to_string()))?;
+/// Why a read produced no request.
+#[derive(Debug)]
+pub enum ReadError {
+    /// The connection went quiet between requests — the client closed it or
+    /// the idle deadline passed before a first byte arrived. Close silently;
+    /// nothing was promised and nothing is owed.
+    Idle,
+    /// A request was underway (or required) and went wrong; answer with the
+    /// mapped status, then close.
+    Protocol(ApiError),
+}
 
-    // Read until the blank line that ends the headers.
-    let mut head = Vec::with_capacity(512);
-    let mut byte = [0u8; 1];
-    loop {
-        match stream.read(&mut byte) {
-            Ok(0) => {
-                return Err(ApiError::bad_request(
-                    "reading request",
-                    "connection closed before headers completed",
-                ))
-            }
-            Ok(_) => head.push(byte[0]),
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                return Err(ApiError::Timeout)
-            }
-            Err(e) => {
-                return Err(ApiError::bad_request("reading request", e.to_string()));
-            }
-        }
-        if head.ends_with(b"\r\n\r\n") || head.ends_with(b"\n\n") {
-            break;
-        }
-        if head.len() > MAX_HEAD_BYTES {
-            return Err(ApiError::TooLarge {
-                limit: MAX_HEAD_BYTES,
-            });
+/// A socket plus the bytes read past the end of the previous request.
+pub struct Connection {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl Connection {
+    /// Wrap an accepted stream.
+    pub fn new(stream: TcpStream) -> Self {
+        Connection {
+            stream,
+            buf: Vec::new(),
         }
     }
 
-    let head = String::from_utf8_lossy(&head);
-    let mut lines = head.split("\r\n").flat_map(|l| l.split('\n'));
-    let request_line = lines.next().unwrap_or("");
-    let mut parts = request_line.split_whitespace();
-    let method = parts
-        .next()
-        .ok_or_else(|| ApiError::bad_request("reading request", "empty request line"))?
-        .to_ascii_uppercase();
-    let target = parts
-        .next()
-        .ok_or_else(|| ApiError::bad_request("reading request", "request line has no path"))?;
-    let path = target.split('?').next().unwrap_or(target).to_string();
+    /// The underlying stream, for writing responses.
+    pub fn stream(&mut self) -> &mut TcpStream {
+        &mut self.stream
+    }
 
-    let mut content_length = 0usize;
-    for line in lines {
-        if let Some((name, value)) = line.split_once(':') {
-            if name.trim().eq_ignore_ascii_case("content-length") {
-                content_length = value.trim().parse().map_err(|_| {
-                    ApiError::bad_request(
+    /// Read one request. `wait` bounds how long to sit for the *first* byte
+    /// (when no pipelined bytes are already buffered); `request_timeout`
+    /// bounds each subsequent read of the same request. With `idle_wait`
+    /// set (a kept-alive connection between requests), first-byte timeout
+    /// or clean EOF is [`ReadError::Idle`]; without it (a fresh connection
+    /// that owes us a request), the same conditions are protocol errors —
+    /// 408 and 400 respectively — exactly as the one-shot parser behaved.
+    ///
+    /// On success, the returned [`Instant`] is when the request's first
+    /// byte was seen, the honest start point for latency accounting on a
+    /// connection that may have idled between requests.
+    pub fn read_request(
+        &mut self,
+        wait: Duration,
+        request_timeout: Duration,
+        max_body: usize,
+        idle_wait: bool,
+    ) -> Result<(Request, Instant), ReadError> {
+        let bad = |what: &str, why: String| ReadError::Protocol(ApiError::bad_request(what, why));
+
+        // Phase A: acquire at least one byte of this request.
+        if self.buf.is_empty() {
+            self.set_timeout(wait)?;
+            let mut chunk = [0u8; 4096];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    return Err(if idle_wait {
+                        ReadError::Idle
+                    } else {
+                        bad(
+                            "reading request",
+                            "connection closed before headers completed".into(),
+                        )
+                    })
+                }
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) if is_timeout(&e) => {
+                    return Err(if idle_wait {
+                        ReadError::Idle
+                    } else {
+                        ReadError::Protocol(ApiError::Timeout)
+                    })
+                }
+                Err(e) => return Err(bad("reading request", e.to_string())),
+            }
+        }
+        let started = Instant::now();
+
+        // Phase B: the request is underway; the per-request deadline governs.
+        self.set_timeout(request_timeout)?;
+
+        // Scan (and grow) the buffer until the blank line ending the headers.
+        let head_end = loop {
+            if let Some(end) = find_head_end(&self.buf) {
+                break end;
+            }
+            if self.buf.len() > MAX_HEAD_BYTES {
+                return Err(ReadError::Protocol(ApiError::TooLarge {
+                    limit: MAX_HEAD_BYTES,
+                }));
+            }
+            let mut chunk = [0u8; 4096];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    return Err(bad(
                         "reading request",
-                        format!("unparsable Content-Length '{}'", value.trim()),
-                    )
-                })?;
+                        "connection closed before headers completed".into(),
+                    ))
+                }
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) if is_timeout(&e) => return Err(ReadError::Protocol(ApiError::Timeout)),
+                Err(e) => return Err(bad("reading request", e.to_string())),
+            }
+        };
+
+        let head = String::from_utf8_lossy(&self.buf[..head_end]).into_owned();
+        self.buf.drain(..head_end);
+
+        let mut lines = head.split("\r\n").flat_map(|l| l.split('\n'));
+        let request_line = lines.next().unwrap_or("");
+        let mut parts = request_line.split_whitespace();
+        let method = parts
+            .next()
+            .ok_or_else(|| bad("reading request", "empty request line".into()))?
+            .to_ascii_uppercase();
+        let target = parts
+            .next()
+            .ok_or_else(|| bad("reading request", "request line has no path".into()))?;
+        let path = target.split('?').next().unwrap_or(target).to_string();
+        // HTTP/1.1 persists by default; 1.0 and unrecognizable versions do
+        // not (a client that can't speak 1.1 can't be assumed to frame
+        // responses without EOF).
+        let mut keep_alive = parts.next() == Some("HTTP/1.1");
+
+        let mut content_length = 0usize;
+        for line in lines {
+            if let Some((name, value)) = line.split_once(':') {
+                let name = name.trim();
+                if name.eq_ignore_ascii_case("content-length") {
+                    content_length = value.trim().parse().map_err(|_| {
+                        bad(
+                            "reading request",
+                            format!("unparsable Content-Length '{}'", value.trim()),
+                        )
+                    })?;
+                } else if name.eq_ignore_ascii_case("connection") {
+                    let value = value.trim();
+                    if value.eq_ignore_ascii_case("close") {
+                        keep_alive = false;
+                    } else if value.eq_ignore_ascii_case("keep-alive") {
+                        keep_alive = true;
+                    }
+                }
             }
         }
-    }
-    if content_length > max_body {
-        return Err(ApiError::TooLarge { limit: max_body });
-    }
+        if content_length > max_body {
+            return Err(ReadError::Protocol(ApiError::TooLarge { limit: max_body }));
+        }
 
-    let mut body = vec![0u8; content_length];
-    let mut read = 0usize;
-    while read < content_length {
-        match stream.read(&mut body[read..]) {
-            Ok(0) => {
-                return Err(ApiError::bad_request(
-                    "reading request body",
-                    format!("client disconnected after {read} of {content_length} bytes"),
-                ))
-            }
-            Ok(n) => read += n,
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                return Err(ApiError::Timeout)
-            }
-            Err(e) => {
-                return Err(ApiError::bad_request("reading request body", e.to_string()));
+        // Body: drain buffered bytes first, then the socket.
+        let take = content_length.min(self.buf.len());
+        let mut body = Vec::with_capacity(content_length);
+        body.extend_from_slice(&self.buf[..take]);
+        self.buf.drain(..take);
+        let mut read = body.len();
+        body.resize(content_length, 0);
+        while read < content_length {
+            match self.stream.read(&mut body[read..]) {
+                Ok(0) => {
+                    return Err(bad(
+                        "reading request body",
+                        format!("client disconnected after {read} of {content_length} bytes"),
+                    ))
+                }
+                Ok(n) => read += n,
+                Err(e) if is_timeout(&e) => return Err(ReadError::Protocol(ApiError::Timeout)),
+                Err(e) => return Err(bad("reading request body", e.to_string())),
             }
         }
-    }
-    let body = String::from_utf8(body)
-        .map_err(|_| ApiError::bad_request("reading request body", "body is not valid UTF-8"))?;
+        let body = String::from_utf8(body).map_err(|_| {
+            bad(
+                "reading request body",
+                "body is not valid UTF-8".to_string(),
+            )
+        })?;
 
-    Ok(Request { method, path, body })
+        Ok((
+            Request {
+                method,
+                path,
+                body,
+                keep_alive,
+            },
+            started,
+        ))
+    }
+
+    fn set_timeout(&mut self, t: Duration) -> Result<(), ReadError> {
+        self.stream.set_read_timeout(Some(t)).map_err(|e| {
+            ReadError::Protocol(ApiError::bad_request(
+                "configuring connection",
+                e.to_string(),
+            ))
+        })
+    }
+}
+
+fn is_timeout(e: &std::io::Error) -> bool {
+    e.kind() == std::io::ErrorKind::WouldBlock || e.kind() == std::io::ErrorKind::TimedOut
+}
+
+/// Index one past the blank line ending the headers, if present.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    (1..=buf.len()).find(|&end| buf[..end].ends_with(b"\r\n\r\n") || buf[..end].ends_with(b"\n\n"))
 }
 
 /// The standard reason phrase for the status codes this server emits.
@@ -153,16 +266,19 @@ pub fn reason(status: u16) -> &'static str {
     }
 }
 
-/// Write a complete response and flush. Errors are returned so the caller
-/// can count them, but a failed write to a gone client is not fatal.
+/// Write a complete response and flush, advertising whether the connection
+/// stays open. Errors are returned so the caller can count them, but a
+/// failed write to a gone client is not fatal.
 pub fn write_response(
     stream: &mut TcpStream,
     status: u16,
     content_type: &str,
     body: &str,
+    keep_alive: bool,
 ) -> std::io::Result<()> {
+    let connection = if keep_alive { "keep-alive" } else { "close" };
     let head = format!(
-        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n",
         reason(status),
         body.len(),
     );
@@ -172,8 +288,13 @@ pub fn write_response(
 }
 
 /// Write a JSON response (`application/json`).
-pub fn write_json(stream: &mut TcpStream, status: u16, body: &str) -> std::io::Result<()> {
-    write_response(stream, status, "application/json", body)
+pub fn write_json(
+    stream: &mut TcpStream,
+    status: u16,
+    body: &str,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    write_response(stream, status, "application/json", body, keep_alive)
 }
 
 #[cfg(test)]
@@ -181,7 +302,9 @@ mod tests {
     use super::*;
     use std::net::TcpListener;
 
-    fn round_trip(raw: &[u8]) -> Result<Request, ApiError> {
+    /// Feed `raw` to a fresh connection and read the first request with
+    /// first-request semantics (no idle grace).
+    fn round_trip(raw: &[u8]) -> Result<Request, ReadError> {
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();
         let raw = raw.to_vec();
@@ -192,10 +315,25 @@ mod tests {
             // EOF) if it expects more bytes than were sent.
             std::thread::sleep(Duration::from_millis(300));
         });
-        let (mut stream, _) = listener.accept().unwrap();
-        let req = read_request(&mut stream, Duration::from_millis(150), MAX_BODY_BYTES);
+        let (stream, _) = listener.accept().unwrap();
+        let mut conn = Connection::new(stream);
+        let req = conn
+            .read_request(
+                Duration::from_millis(150),
+                Duration::from_millis(150),
+                MAX_BODY_BYTES,
+                false,
+            )
+            .map(|(req, _)| req);
         client.join().unwrap();
         req
+    }
+
+    fn status_of(err: ReadError) -> u16 {
+        match err {
+            ReadError::Idle => panic!("expected a protocol error, got Idle"),
+            ReadError::Protocol(e) => e.status(),
+        }
     }
 
     #[test]
@@ -204,6 +342,7 @@ mod tests {
         assert_eq!(req.method, "POST");
         assert_eq!(req.path, "/v1/solve");
         assert_eq!(req.body, "abcd");
+        assert!(req.keep_alive, "HTTP/1.1 defaults to keep-alive");
     }
 
     #[test]
@@ -215,22 +354,85 @@ mod tests {
     }
 
     #[test]
+    fn connection_header_overrides_the_version_default() {
+        let req = round_trip(b"GET / HTTP/1.1\r\nConnection: Close\r\n\r\n").unwrap();
+        assert!(!req.keep_alive, "Connection: close wins over HTTP/1.1");
+        let req = round_trip(b"GET / HTTP/1.0\r\nConnection: Keep-Alive\r\n\r\n").unwrap();
+        assert!(req.keep_alive, "Connection: keep-alive wins over HTTP/1.0");
+        let req = round_trip(b"GET / HTTP/1.0\r\n\r\n").unwrap();
+        assert!(!req.keep_alive, "HTTP/1.0 defaults to close");
+        let req = round_trip(b"GET /\r\n\r\n").unwrap();
+        assert!(
+            !req.keep_alive,
+            "versionless request lines default to close"
+        );
+    }
+
+    #[test]
+    fn pipelined_bytes_become_the_next_request() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            // Two complete requests in one write.
+            s.write_all(
+                b"POST /a HTTP/1.1\r\nContent-Length: 3\r\n\r\nonePOST /b HTTP/1.1\r\nContent-Length: 3\r\n\r\ntwo",
+            )
+            .unwrap();
+            std::thread::sleep(Duration::from_millis(200));
+        });
+        let (stream, _) = listener.accept().unwrap();
+        let mut conn = Connection::new(stream);
+        let wait = Duration::from_millis(150);
+        let (first, _) = conn
+            .read_request(wait, wait, MAX_BODY_BYTES, false)
+            .unwrap();
+        assert_eq!((first.path.as_str(), first.body.as_str()), ("/a", "one"));
+        let (second, _) = conn.read_request(wait, wait, MAX_BODY_BYTES, true).unwrap();
+        assert_eq!((second.path.as_str(), second.body.as_str()), ("/b", "two"));
+        client.join().unwrap();
+    }
+
+    #[test]
+    fn idle_wait_timeout_is_idle_not_408() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = std::thread::spawn(move || {
+            let _s = TcpStream::connect(addr).unwrap();
+            std::thread::sleep(Duration::from_millis(250));
+        });
+        let (stream, _) = listener.accept().unwrap();
+        let mut conn = Connection::new(stream);
+        let wait = Duration::from_millis(60);
+        match conn.read_request(wait, wait, MAX_BODY_BYTES, true) {
+            Err(ReadError::Idle) => {}
+            other => panic!("idle keep-alive wait should be Idle, got {other:?}"),
+        }
+        // The same silence on a fresh connection is a 408.
+        match conn.read_request(wait, wait, MAX_BODY_BYTES, false) {
+            Err(ReadError::Protocol(e)) => assert_eq!(e.status(), 408),
+            other => panic!("fresh-connection silence should be 408, got {other:?}"),
+        }
+        client.join().unwrap();
+    }
+
+    #[test]
     fn short_body_times_out_instead_of_hanging() {
         let err = round_trip(b"POST /v1/solve HTTP/1.1\r\nContent-Length: 100\r\n\r\nonly-some")
             .unwrap_err();
-        assert_eq!(err.status(), 408, "{err:?}");
+        assert_eq!(status_of(err), 408);
     }
 
     #[test]
     fn oversized_declared_body_is_413() {
         let err = round_trip(b"POST /x HTTP/1.1\r\nContent-Length: 99999999\r\n\r\n").unwrap_err();
-        assert_eq!(err.status(), 413);
+        assert_eq!(status_of(err), 413);
     }
 
     #[test]
     fn garbage_content_length_is_400() {
         let err = round_trip(b"POST /x HTTP/1.1\r\nContent-Length: ten\r\n\r\n").unwrap_err();
-        assert_eq!(err.status(), 400);
+        assert_eq!(status_of(err), 400);
     }
 
     #[test]

@@ -181,12 +181,23 @@ impl ServerMetrics {
     }
 
     /// Render the plaintext `/metrics` body: serve-layer counters, the
-    /// latency histogram, cumulative pipeline counters, and the live
-    /// simulator-cache statistics.
-    pub fn render(&self, cache: &CacheStats, queue_depth: usize, workers: usize) -> String {
+    /// latency histogram, cumulative pipeline counters, the live
+    /// simulator-cache statistics, and (when the response cache is on) the
+    /// rendered-response cache occupancy.
+    pub fn render(
+        &self,
+        cache: &CacheStats,
+        queue_depth: usize,
+        queue_high_water: usize,
+        workers: usize,
+        responses: Option<crate::respcache::ResponseCacheStats>,
+    ) -> String {
         let mut out = String::with_capacity(1024);
         out.push_str(&format!("serve_workers {workers}\n"));
         out.push_str(&format!("serve_queue_depth {queue_depth}\n"));
+        out.push_str(&format!(
+            "serve_queue_depth_high_water {queue_high_water}\n"
+        ));
         out.push_str(&format!(
             "serve_accepted_total {}\n",
             self.accepted.load(Ordering::Relaxed)
@@ -219,6 +230,10 @@ impl ServerMetrics {
             "cache_shard_contention {}\n",
             cache.shard_contention
         ));
+        if let Some(r) = responses {
+            out.push_str(&format!("response_cache_entries {}\n", r.entries));
+            out.push_str(&format!("response_cache_bytes {}\n", r.bytes));
+        }
         out
     }
 
@@ -275,9 +290,19 @@ mod tests {
             entries: 2,
             shard_contention: 1,
         };
-        let text = m.render(&stats, 4, 2);
+        let text = m.render(
+            &stats,
+            4,
+            9,
+            2,
+            Some(crate::respcache::ResponseCacheStats {
+                entries: 3,
+                bytes: 1234,
+            }),
+        );
         assert!(text.contains("serve_workers 2"), "{text}");
         assert!(text.contains("serve_queue_depth 4"), "{text}");
+        assert!(text.contains("serve_queue_depth_high_water 9"), "{text}");
         assert!(text.contains("serve_accepted_total 3"), "{text}");
         assert!(
             text.contains("serve_responses_total{status=\"200\"} 1"),
@@ -297,6 +322,18 @@ mod tests {
         assert!(text.contains("pipeline_stage_misses 0"), "{text}");
         assert!(text.contains("pipeline_stage_comm_hits 0"), "{text}");
         assert!(text.contains("pipeline_stage_comm_misses 0"), "{text}");
+        // The serving-layer counters added with the response cache and the
+        // solve coalescer are likewise always present.
+        assert!(text.contains("pipeline_cache_response_hits 0"), "{text}");
+        assert!(text.contains("pipeline_cache_response_misses 0"), "{text}");
+        assert!(
+            text.contains("pipeline_cache_response_inflight_waits 0"),
+            "{text}"
+        );
+        assert!(text.contains("pipeline_coalesce_batches 0"), "{text}");
+        assert!(text.contains("pipeline_coalesce_requests 0"), "{text}");
+        assert!(text.contains("response_cache_entries 3"), "{text}");
+        assert!(text.contains("response_cache_bytes 1234"), "{text}");
     }
 
     #[test]

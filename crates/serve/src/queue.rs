@@ -9,6 +9,7 @@
 //! it.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
 
 struct State<T> {
@@ -21,6 +22,9 @@ pub struct BoundedQueue<T> {
     state: Mutex<State<T>>,
     available: Condvar,
     capacity: usize,
+    /// Deepest the queue has ever been — the headroom gauge that tells an
+    /// operator how close a load pattern came to the 503 bound.
+    high_water: AtomicUsize,
 }
 
 impl<T> BoundedQueue<T> {
@@ -33,6 +37,7 @@ impl<T> BoundedQueue<T> {
             }),
             available: Condvar::new(),
             capacity: capacity.max(1),
+            high_water: AtomicUsize::new(0),
         }
     }
 
@@ -44,7 +49,9 @@ impl<T> BoundedQueue<T> {
             return Err(item);
         }
         s.items.push_back(item);
+        let depth = s.items.len();
         drop(s);
+        self.high_water.fetch_max(depth, Ordering::Relaxed);
         self.available.notify_one();
         Ok(())
     }
@@ -76,6 +83,11 @@ impl<T> BoundedQueue<T> {
     pub fn len(&self) -> usize {
         self.state.lock().expect("queue lock").items.len()
     }
+
+    /// Deepest the queue has ever been.
+    pub fn high_water(&self) -> usize {
+        self.high_water.load(Ordering::Relaxed)
+    }
 }
 
 #[cfg(test)]
@@ -89,6 +101,7 @@ mod tests {
         assert!(q.try_push(1).is_ok());
         assert!(q.try_push(2).is_ok());
         assert_eq!(q.try_push(3), Err(3));
+        assert_eq!(q.high_water(), 2, "rejected pushes don't raise the mark");
         q.close();
         assert_eq!(q.try_push(4), Err(4));
         // Close drains remaining items before reporting exhaustion.

@@ -3,18 +3,33 @@
 //! Threading model: one acceptor thread pushes accepted connections into a
 //! bounded queue; N worker threads pop, each owning a **warm
 //! [`Engine`]** reused across requests, and run the full
-//! read-route-handle-respond cycle per connection. The queue is the only
+//! read-route-handle-respond cycle per *connection* — which, since
+//! connections are persistent, may be many requests. The queue is the only
 //! coordination point, and its bound is the backpressure contract — when
 //! it fills, the acceptor answers `503` inline instead of letting latency
 //! grow without bound.
 //!
+//! Three serving-path accelerations live here (all with escape hatches):
+//!
+//! - **Keep-alive**: a worker loops requests on its connection until the
+//!   client closes, asks to close, idles past [`ServeConfig::keepalive_idle`],
+//!   or hits [`ServeConfig::max_requests_per_conn`].
+//! - **Response cache**: deterministic `/v1/*` responses are cached by
+//!   content-addressed digest with single-flight dedup
+//!   (see [`crate::respcache`]); disable with `response_cache_bytes: 0`
+//!   (the CLI's `--no-response-cache`).
+//! - **Solve coalescing**: concurrent `/v1/solve` computations are drained
+//!   into cross-request batches (see [`crate::coalesce`]) whose per-request
+//!   answers are bit-identical to the solo path.
+//!
 //! Shutdown is a drain, not an abort: `POST /shutdown` (or SIGINT/SIGTERM
 //! via [`install_signal_shutdown`]) sets the stop flag and wakes the
 //! acceptor with a loopback connection; the acceptor stops accepting and
-//! closes the queue; workers finish every connection already queued and
-//! exit; [`ServerHandle::join`] then flushes the write-behind simulator
-//! cache to disk and returns a [`ServeSummary`]. No thread is detached, so
-//! a joined server has provably leaked nothing.
+//! closes the queue; workers finish every connection already queued (their
+//! final responses advertise `Connection: close`) and exit;
+//! [`ServerHandle::join`] then flushes the write-behind simulator cache to
+//! disk and returns a [`ServeSummary`]. No thread is detached, so a joined
+//! server has provably leaked nothing.
 
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -26,10 +41,13 @@ use fpga_sim::SimCache;
 use rat_core::engine::{Engine, EngineConfig};
 use rat_core::telemetry;
 
-use crate::api::{self, ApiError};
-use crate::http::{self, Request};
+use crate::api::{self, ApiError, ApiRequest};
+use crate::coalesce::Coalescer;
+use crate::http::{self, Connection, ReadError, Request};
+use crate::keys;
 use crate::metrics::ServerMetrics;
 use crate::queue::BoundedQueue;
+use crate::respcache::{Lookup, ResponseCache};
 
 /// Worker threads drain the global telemetry collector into the cumulative
 /// `/metrics` totals every this-many requests, bounding span-buffer growth.
@@ -56,6 +74,16 @@ pub struct ServeConfig {
     pub request_timeout: Duration,
     /// Cap on request-body bytes (413 beyond it).
     pub max_body_bytes: usize,
+    /// How long a kept-alive connection may sit idle between requests
+    /// before the server closes it silently.
+    pub keepalive_idle: Duration,
+    /// Requests served on one connection before the server answers the
+    /// last with `Connection: close` — bounds per-connection resource
+    /// pinning under a client that never lets go.
+    pub max_requests_per_conn: u64,
+    /// Byte budget for the rendered-response cache; `0` disables it
+    /// (every request recomputes, as `--no-response-cache`).
+    pub response_cache_bytes: usize,
 }
 
 impl Default for ServeConfig {
@@ -68,6 +96,9 @@ impl Default for ServeConfig {
             engine_jobs: 1,
             request_timeout: Duration::from_secs(10),
             max_body_bytes: http::MAX_BODY_BYTES,
+            keepalive_idle: Duration::from_secs(5),
+            max_requests_per_conn: 1000,
+            response_cache_bytes: 16 * 1024 * 1024,
         }
     }
 }
@@ -78,6 +109,9 @@ struct Shared {
     metrics: ServerMetrics,
     config: ServeConfig,
     addr: SocketAddr,
+    /// `None` when the cache is disabled (`response_cache_bytes: 0`).
+    respcache: Option<Arc<ResponseCache>>,
+    coalescer: Coalescer,
 }
 
 impl Shared {
@@ -108,7 +142,9 @@ impl StopTrigger {
 /// Final accounting returned by [`ServerHandle::join`].
 #[derive(Debug, Clone)]
 pub struct ServeSummary {
-    /// Connections accepted over the server's lifetime.
+    /// Connections accepted over the server's lifetime. With keep-alive,
+    /// one connection can account for many requests, so `ok + errored`
+    /// may exceed this.
     pub accepted: u64,
     /// Requests answered 200.
     pub ok: u64,
@@ -203,12 +239,19 @@ impl Server {
         // Pipeline counters for /metrics come from the global telemetry
         // collector; a resident service keeps it on for its lifetime.
         telemetry::global().enable();
+        let respcache = if config.response_cache_bytes > 0 {
+            Some(ResponseCache::new(config.response_cache_bytes))
+        } else {
+            None
+        };
         let shared = Arc::new(Shared {
             stop: AtomicBool::new(false),
             queue: BoundedQueue::new(config.queue_capacity),
             metrics: ServerMetrics::new(),
             config,
             addr,
+            respcache,
+            coalescer: Coalescer::default(),
         });
 
         let acceptor = {
@@ -249,12 +292,16 @@ fn accept_loop(listener: TcpListener, shared: &Shared) {
             // The wake-up connection (or a straggler past the drain point).
             break;
         }
+        // Responses are written whole, so Nagle buys nothing — and on a
+        // kept-alive connection it interacts with delayed ACK to stall
+        // every second response by tens of milliseconds.
+        let _ = stream.set_nodelay(true);
         shared.metrics.accepted.fetch_add(1, Ordering::Relaxed);
         if let Err((mut stream, queued_at)) = shared.queue.try_push((stream, Instant::now())) {
             // Backpressure: answer inline rather than queueing unboundedly.
             shared.metrics.rejected_busy.fetch_add(1, Ordering::Relaxed);
             let err = ApiError::Busy;
-            let _ = http::write_json(&mut stream, err.status(), &err.to_json());
+            let _ = http::write_json(&mut stream, err.status(), &err.to_json(), false);
             // Drain whatever request bytes the client already sent before
             // dropping the socket: closing with unread data pending makes
             // the kernel send RST, which can discard the 503 the client
@@ -270,65 +317,126 @@ fn accept_loop(listener: TcpListener, shared: &Shared) {
 fn worker_loop(shared: &Shared) {
     let engine = Engine::new(EngineConfig::default().with_jobs(shared.config.engine_jobs));
     let mut served = 0u64;
-    while let Some((mut stream, queued_at)) = shared.queue.pop() {
-        let status = serve_connection(shared, &engine, &mut stream);
-        shared.metrics.observe(status, queued_at.elapsed());
-        served += 1;
-        if served.is_multiple_of(TELEMETRY_DRAIN_INTERVAL) {
+    while let Some((stream, queued_at)) = shared.queue.pop() {
+        served += serve_connection(shared, &engine, stream, queued_at);
+        if served >= TELEMETRY_DRAIN_INTERVAL {
             shared.metrics.merge_profile(&telemetry::global().drain());
+            served = 0;
         }
     }
 }
 
-/// Handle one connection end to end; returns the status written (for the
-/// latency histogram). Never panics on client input — every failure maps to
-/// a status + JSON error body, and a client that vanished mid-write is
-/// simply logged as the status we tried to send.
-fn serve_connection(shared: &Shared, engine: &Engine, stream: &mut TcpStream) -> u16 {
+/// Handle one connection end to end — possibly many requests under
+/// keep-alive — and return how many requests were answered. Never panics on
+/// client input: every failure maps to a status + JSON error body, and a
+/// client that vanished mid-write is simply logged as the status we tried
+/// to send.
+fn serve_connection(
+    shared: &Shared,
+    engine: &Engine,
+    stream: TcpStream,
+    queued_at: Instant,
+) -> u64 {
     let _ = stream.set_write_timeout(Some(shared.config.request_timeout));
-    let req = match http::read_request(
-        stream,
-        shared.config.request_timeout,
-        shared.config.max_body_bytes,
-    ) {
-        Ok(req) => req,
-        Err(e) => {
-            let _ = http::write_json(stream, e.status(), &e.to_json());
-            return e.status();
-        }
-    };
-    match route(shared, engine, &req) {
-        Ok(Response::Json(body)) => {
-            let _ = http::write_json(stream, 200, &body);
-            200
-        }
-        Ok(Response::Text(body)) => {
-            let _ = http::write_response(stream, 200, "text/plain; charset=utf-8", &body);
-            200
-        }
-        Err(e) => {
-            let _ = http::write_json(stream, e.status(), &e.to_json());
-            e.status()
+    let mut conn = Connection::new(stream);
+    let mut served = 0u64;
+    loop {
+        // The first request owes us bytes (the client connected for a
+        // reason); later ones may simply never come, which is an idle
+        // close, not an error.
+        let between_requests = served > 0;
+        let wait = if between_requests {
+            shared.config.keepalive_idle
+        } else {
+            shared.config.request_timeout
+        };
+        let fallback_start = Instant::now();
+        let (req, first_byte) = match conn.read_request(
+            wait,
+            shared.config.request_timeout,
+            shared.config.max_body_bytes,
+            between_requests,
+        ) {
+            Ok(ok) => ok,
+            Err(ReadError::Idle) => break,
+            Err(ReadError::Protocol(e)) => {
+                // Framing is unsynchronized after a protocol error, so the
+                // answer always closes the connection.
+                let _ = http::write_json(conn.stream(), e.status(), &e.to_json(), false);
+                let start = if between_requests {
+                    fallback_start
+                } else {
+                    queued_at
+                };
+                shared.metrics.observe(e.status(), start.elapsed());
+                served += 1;
+                break;
+            }
+        };
+        // Queue time counts against the first request only; later requests
+        // are measured from their first byte.
+        let start = if between_requests {
+            first_byte
+        } else {
+            queued_at
+        };
+        let keep = req.keep_alive
+            && served + 1 < shared.config.max_requests_per_conn
+            && !shared.stop.load(Ordering::SeqCst);
+        let status = match route(shared, engine, &req) {
+            Ok(Response::Json(body)) => {
+                let _ = http::write_json(conn.stream(), 200, &body, keep);
+                200
+            }
+            Ok(Response::Text(body)) => {
+                let _ = http::write_response(
+                    conn.stream(),
+                    200,
+                    "text/plain; charset=utf-8",
+                    &body,
+                    keep,
+                );
+                200
+            }
+            Err(e) => {
+                let _ = http::write_json(conn.stream(), e.status(), &e.to_json(), keep);
+                e.status()
+            }
+        };
+        shared.metrics.observe(status, start.elapsed());
+        served += 1;
+        if !keep {
+            break;
         }
     }
+    served
 }
 
 enum Response {
-    Json(String),
+    Json(Arc<String>),
     Text(String),
 }
 
 fn route(shared: &Shared, engine: &Engine, req: &Request) -> Result<Response, ApiError> {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => Ok(Response::Text("ok\n".into())),
-        ("GET", "/metrics") => Ok(Response::Text(shared.metrics.render(
-            &SimCache::global().stats(),
-            shared.queue.len(),
-            shared.config.workers,
-        ))),
+        ("GET", "/metrics") => {
+            // Pull whatever the workers have recorded since the last
+            // periodic drain, so counters are current at read time.
+            shared.metrics.merge_profile(&telemetry::global().drain());
+            Ok(Response::Text(shared.metrics.render(
+                &SimCache::global().stats(),
+                shared.queue.len(),
+                shared.queue.high_water(),
+                shared.config.workers,
+                shared.respcache.as_deref().map(|c| c.stats()),
+            )))
+        }
         ("POST", "/shutdown") => {
             shared.request_stop();
-            Ok(Response::Json("{\"status\": \"draining\"}".into()))
+            Ok(Response::Json(Arc::new(
+                "{\"status\": \"draining\"}".into(),
+            )))
         }
         (_, "/healthz") | (_, "/metrics") => Err(ApiError::WrongMethod {
             path: req.path.clone(),
@@ -351,10 +459,70 @@ fn route(shared: &Shared, engine: &Engine, req: &Request) -> Result<Response, Ap
                     allowed: "POST",
                 });
             }
+            let Some(cache) = &shared.respcache else {
+                let parsed = api::parse_mode_request(mode, &req.body)?;
+                return Ok(Response::Json(Arc::new(
+                    run_mode(shared, engine, &parsed)?.to_json(),
+                )));
+            };
+
+            // Tier 1: byte-exact repeat — skip parsing entirely. Every
+            // `/v1/*` mode is deterministic given (payload, engine knobs):
+            // seeds resolve against the engine's root seed and the
+            // simulator is a deterministic event machine, so replaying
+            // cached bytes is indistinguishable from recomputing.
+            let raw = keys::raw_key(path, &req.body);
+            if let Some(body) = cache.lookup_raw(raw) {
+                return Ok(Response::Json(body));
+            }
+
             let parsed = api::parse_mode_request(mode, &req.body)?;
-            let ok = api::handle(engine, &parsed, Some(SimCache::global()))?;
-            Ok(Response::Json(ok.to_json()))
+            let key = keys::request_key(
+                &parsed,
+                engine.config().root_seed,
+                shared.config.engine_jobs,
+            );
+            match cache.begin(key) {
+                Lookup::Hit(body) => {
+                    cache.alias_raw(raw, &body);
+                    Ok(Response::Json(body))
+                }
+                Lookup::Miss(guard) => {
+                    // Errors are not cached: on `?`, the guard's Drop marks
+                    // the flight failed and waiters retry for themselves.
+                    let ok = run_mode(shared, engine, &parsed)?;
+                    let body = Arc::new(ok.to_json());
+                    guard.complete(Arc::clone(&body));
+                    cache.alias_raw(raw, &body);
+                    Ok(Response::Json(body))
+                }
+            }
         }
+    }
+}
+
+/// Evaluate one parsed request. Solve goes through the coalescer so
+/// concurrent solves share batched evaluation; everything else is the
+/// engine path the CLI also uses.
+fn run_mode(shared: &Shared, engine: &Engine, parsed: &ApiRequest) -> Result<api::ApiOk, ApiError> {
+    match parsed {
+        ApiRequest::Solve {
+            input,
+            target,
+            strict,
+        } => {
+            let quad = shared.coalescer.solve(input, *target);
+            let report = if *strict {
+                api::solve_report_strict_from_quad(input, *target, &quad).map_err(ApiError::Mode)?
+            } else {
+                api::solve_report_from_quad(input, *target, &quad)
+            };
+            Ok(api::ApiOk {
+                mode: "solve",
+                report,
+            })
+        }
+        _ => api::handle(engine, parsed, Some(SimCache::global())),
     }
 }
 
@@ -441,6 +609,8 @@ mod tests {
     use super::*;
     use std::io::{Read, Write};
 
+    /// One request on its own connection (`Connection: close`, so
+    /// `read_to_string` terminates under keep-alive defaults).
     fn send_raw(addr: SocketAddr, raw: &str) -> String {
         let mut s = TcpStream::connect(addr).unwrap();
         s.write_all(raw.as_bytes()).unwrap();
@@ -449,11 +619,18 @@ mod tests {
         out
     }
 
+    fn get_close(addr: SocketAddr, path: &str) -> String {
+        send_raw(
+            addr,
+            &format!("GET {path} HTTP/1.1\r\nConnection: close\r\n\r\n"),
+        )
+    }
+
     fn post(addr: SocketAddr, path: &str, body: &str) -> String {
         send_raw(
             addr,
             &format!(
-                "POST {path} HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}",
+                "POST {path} HTTP/1.1\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
                 body.len()
             ),
         )
@@ -464,7 +641,7 @@ mod tests {
         let handle = Server::start(ServeConfig::default()).unwrap();
         let addr = handle.addr();
 
-        let health = send_raw(addr, "GET /healthz HTTP/1.1\r\n\r\n");
+        let health = get_close(addr, "/healthz");
         assert!(health.starts_with("HTTP/1.1 200 OK"), "{health}");
         assert!(health.ends_with("ok\n"), "{health}");
 
@@ -478,7 +655,7 @@ mod tests {
         assert!(resp.contains("\"mode\": \"solve\""), "{resp}");
         assert!(resp.contains("Inverse solve"), "{resp}");
 
-        let metrics = send_raw(addr, "GET /metrics HTTP/1.1\r\n\r\n");
+        let metrics = get_close(addr, "/metrics");
         assert!(metrics.contains("serve_accepted_total"), "{metrics}");
         assert!(metrics.contains("latency_us_count"), "{metrics}");
 
@@ -490,6 +667,32 @@ mod tests {
     }
 
     #[test]
+    fn a_kept_alive_connection_serves_many_requests() {
+        let handle = Server::start(ServeConfig::default()).unwrap();
+        let addr = handle.addr();
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+        for i in 0..3 {
+            s.write_all(b"GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+            // Frame the response by its Content-Length trailer ("ok\n").
+            let mut buf = Vec::new();
+            let mut byte = [0u8; 1];
+            while !buf.ends_with(b"\r\n\r\nok\n") {
+                assert!(s.read(&mut byte).unwrap() > 0, "server closed early at {i}");
+                buf.push(byte[0]);
+            }
+            let text = String::from_utf8_lossy(&buf);
+            assert!(text.starts_with("HTTP/1.1 200 OK"), "{text}");
+            assert!(text.contains("Connection: keep-alive"), "{text}");
+        }
+        drop(s);
+        let summary = handle.shutdown();
+        assert!(summary.ok >= 3, "{summary:?}");
+        // Three requests, one connection (plus none others).
+        assert_eq!(summary.accepted, 1, "{summary:?}");
+    }
+
+    #[test]
     fn protocol_errors_map_to_their_statuses_and_daemon_survives() {
         let handle = Server::start(ServeConfig {
             workers: 1,
@@ -498,11 +701,11 @@ mod tests {
         .unwrap();
         let addr = handle.addr();
 
-        let resp = send_raw(addr, "GET /nope HTTP/1.1\r\n\r\n");
+        let resp = get_close(addr, "/nope");
         assert!(resp.starts_with("HTTP/1.1 404"), "{resp}");
-        let resp = send_raw(addr, "GET /v1/solve HTTP/1.1\r\n\r\n");
+        let resp = get_close(addr, "/v1/solve");
         assert!(resp.starts_with("HTTP/1.1 405"), "{resp}");
-        let resp = send_raw(addr, "POST /metrics HTTP/1.1\r\n\r\n");
+        let resp = send_raw(addr, "POST /metrics HTTP/1.1\r\nConnection: close\r\n\r\n");
         assert!(resp.starts_with("HTTP/1.1 405"), "{resp}");
         let resp = post(addr, "/v1/solve", "this is not json");
         assert!(resp.starts_with("HTTP/1.1 400"), "{resp}");

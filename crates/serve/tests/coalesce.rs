@@ -1,0 +1,128 @@
+//! Server-level coalescing differentials: concurrent `/v1/solve` requests
+//! that get batched into one column-set evaluation must answer with bodies
+//! byte-identical to what each request gets alone — at 1, 2, and 8 workers,
+//! for feasible, infeasible, and strict-rejected targets alike.
+//!
+//! The response cache is disabled here so every request actually reaches
+//! the coalescer instead of being deduplicated by single-flight.
+
+mod common;
+
+use std::sync::{Arc, Barrier};
+
+use common::post;
+use rat_core::params::RatInput;
+use rat_serve::api::escape_json;
+use rat_serve::{ServeConfig, Server, ServerHandle};
+
+fn start(workers: usize) -> ServerHandle {
+    Server::start(ServeConfig {
+        workers,
+        response_cache_bytes: 0,
+        ..ServeConfig::default()
+    })
+    .expect("server starts")
+}
+
+fn worksheet(bump: bool) -> RatInput {
+    let mut input = rat_apps::pdf::pdf1d::rat_input(150.0e6);
+    if bump {
+        input.comp.throughput_proc += 1.0;
+    }
+    input
+}
+
+fn solve_body(input: &RatInput, target: f64, strict: bool) -> String {
+    let ws = escape_json(&toml::to_string(input).unwrap());
+    format!("{{\"worksheet_toml\": \"{ws}\", \"target\": {target}, \"strict\": {strict}}}")
+}
+
+#[test]
+fn concurrent_solves_match_their_solo_bodies_at_1_2_8_workers() {
+    // The case matrix mixes duplicate and distinct worksheets and targets,
+    // including an infeasible target (1e9) and a rejected one (-2.0), and
+    // both strict flavors — so coalesced groups carry mixed verdicts.
+    let cases: Vec<(RatInput, f64, bool)> = (0..12)
+        .map(|i| {
+            let target = match i % 4 {
+                0 => 8.0,
+                1 => 1e9,
+                2 => -2.0,
+                _ => 2.5,
+            };
+            (worksheet(i % 2 == 0), target, i % 3 == 0)
+        })
+        .collect();
+
+    // Solo references from a quiet server: one request at a time, nothing
+    // to coalesce with.
+    let reference = start(1);
+    let solo: Vec<(u16, String)> = cases
+        .iter()
+        .map(|(input, target, strict)| {
+            post(
+                reference.addr(),
+                "/v1/solve",
+                &solve_body(input, *target, *strict),
+            )
+        })
+        .collect();
+    reference.shutdown();
+
+    for workers in [1usize, 2, 8] {
+        let handle = start(workers);
+        let addr = handle.addr();
+        let barrier = Arc::new(Barrier::new(cases.len()));
+        let threads: Vec<_> = cases
+            .iter()
+            .map(|(input, target, strict)| {
+                let body = solve_body(input, *target, *strict);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    post(addr, "/v1/solve", &body)
+                })
+            })
+            .collect();
+        for (i, t) in threads.into_iter().enumerate() {
+            let got = t.join().expect("solve thread");
+            assert_eq!(
+                got, solo[i],
+                "case {i} diverged from its solo body at {workers} workers"
+            );
+        }
+        handle.shutdown();
+    }
+}
+
+#[test]
+fn strict_errors_survive_coalescing_byte_for_byte() {
+    // A burst of identical strict-infeasible solves: whichever requests get
+    // batched must all render the same 422 body the solo path renders.
+    let input = worksheet(false);
+    let body = solve_body(&input, 1e9, true);
+
+    let reference = start(1);
+    let solo = post(reference.addr(), "/v1/solve", &body);
+    reference.shutdown();
+    assert_eq!(solo.0, 422, "expected strict infeasibility: {}", solo.1);
+
+    let handle = start(8);
+    let addr = handle.addr();
+    let n = 8;
+    let barrier = Arc::new(Barrier::new(n));
+    let threads: Vec<_> = (0..n)
+        .map(|_| {
+            let body = body.clone();
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                post(addr, "/v1/solve", &body)
+            })
+        })
+        .collect();
+    for t in threads {
+        assert_eq!(t.join().expect("solve thread"), solo);
+    }
+    handle.shutdown();
+}

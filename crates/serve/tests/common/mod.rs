@@ -11,30 +11,67 @@ use std::time::Duration;
 
 use rat_core::telemetry::json::{self, Json};
 
-/// Send one raw HTTP request and return the full response text.
+/// Send one raw HTTP request and return one full framed response. The read
+/// is framed by `Content-Length`, not by connection close, so it works
+/// whether the server keeps the connection alive or closes it.
 pub fn send_raw(addr: SocketAddr, raw: &str) -> String {
     let mut s = TcpStream::connect(addr).expect("connect");
     s.set_read_timeout(Some(Duration::from_secs(60))).unwrap();
     s.write_all(raw.as_bytes()).expect("write request");
-    let mut out = String::new();
-    s.read_to_string(&mut out).expect("read response");
-    out
+    read_response(&mut s)
 }
 
-/// POST `body` to `path`, returning `(status, body)` with headers stripped.
+/// Read exactly one HTTP response off `s`: headers up to the blank line,
+/// then a `Content-Length`-framed body. Panics on EOF before a full
+/// response. Reads the head one byte at a time and the body with
+/// `read_exact`, so it never consumes bytes of a pipelined next response —
+/// that makes it safe to call repeatedly on one kept-alive connection.
+pub fn read_response(s: &mut TcpStream) -> String {
+    let mut buf: Vec<u8> = Vec::new();
+    while !buf.ends_with(b"\r\n\r\n") {
+        let mut byte = [0u8; 1];
+        let n = s.read(&mut byte).expect("read response");
+        assert!(
+            n > 0,
+            "connection closed before response head: {:?}",
+            String::from_utf8_lossy(&buf)
+        );
+        buf.push(byte[0]);
+    }
+    let head = String::from_utf8_lossy(&buf).to_string();
+    let content_length: usize = head
+        .lines()
+        .find_map(|l| {
+            let (name, value) = l.split_once(':')?;
+            name.eq_ignore_ascii_case("content-length")
+                .then(|| value.trim().parse().expect("content-length"))
+        })
+        .unwrap_or(0);
+    let mut body = vec![0u8; content_length];
+    s.read_exact(&mut body).expect("read body");
+    buf.extend_from_slice(&body);
+    String::from_utf8_lossy(&buf).to_string()
+}
+
+/// POST `body` to `path` on a fresh connection that asks the server to
+/// close afterwards, returning `(status, body)` with headers stripped.
 pub fn post(addr: SocketAddr, path: &str, body: &str) -> (u16, String) {
     split_response(&send_raw(
         addr,
         &format!(
-            "POST {path} HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}",
+            "POST {path} HTTP/1.1\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
             body.len()
         ),
     ))
 }
 
-/// GET `path`, returning `(status, body)`.
+/// GET `path` on a fresh close-per-request connection, returning
+/// `(status, body)`.
 pub fn get(addr: SocketAddr, path: &str) -> (u16, String) {
-    split_response(&send_raw(addr, &format!("GET {path} HTTP/1.1\r\n\r\n")))
+    split_response(&send_raw(
+        addr,
+        &format!("GET {path} HTTP/1.1\r\nConnection: close\r\n\r\n"),
+    ))
 }
 
 /// Split a raw HTTP response into status code and body.

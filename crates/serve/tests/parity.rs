@@ -305,22 +305,23 @@ fn seeded_mc_is_deterministic_through_the_server() {
 #[test]
 fn simulate_parity_cold_vs_warm_with_cache_hits() {
     // /v1/simulate is the one endpoint that runs the cycle simulator; the
-    // first request at a clock point misses the shared cache, later ones
-    // hit it — and the report must not change by a byte either way.
+    // first request at a clock point renders fresh, the identical repeat is
+    // served straight from the response cache — and the body must not
+    // change by a byte either way.
     let handle = start(2);
     let addr = handle.addr();
     let body = "{\"app\": \"sort\", \"mhz\": 147.0}";
     let (_, metrics0) = get(addr, "/metrics");
-    let hits0 = metric_value(&metrics0, "cache_hits ").unwrap();
+    let hits0 = metric_value(&metrics0, "pipeline_cache_response_hits").unwrap();
     let (s1, cold) = post(addr, "/v1/simulate", body);
     let (s2, warm) = post(addr, "/v1/simulate", body);
     assert_eq!((s1, s2), (200, 200), "{cold}");
     assert_eq!(cold, warm, "cached simulation drifted");
     let (_, metrics1) = get(addr, "/metrics");
-    let hits1 = metric_value(&metrics1, "cache_hits ").unwrap();
+    let hits1 = metric_value(&metrics1, "pipeline_cache_response_hits").unwrap();
     assert!(
         hits1 > hits0,
-        "warm request did not hit the cache: {hits0} -> {hits1}"
+        "warm request did not hit the response cache: {hits0} -> {hits1}"
     );
     // The report matches the in-process cached path.
     assert_eq!(
@@ -330,12 +331,81 @@ fn simulate_parity_cold_vs_warm_with_cache_hits() {
     handle.shutdown();
 }
 
+#[test]
+fn shutdown_drains_single_flight_waiters_with_full_responses() {
+    // A herd of identical optimize requests: one leader computes, the rest
+    // block on the single-flight slot. Shutting down mid-herd must still
+    // hand every waiter the complete rendered body — no torn responses, no
+    // resets — because drain waits for in-flight requests.
+    let handle = start(8);
+    let addr = handle.addr();
+    let ws = escape_json(&ws_toml(&pdf1d()));
+    let body = format!(
+        "{{\"worksheet_toml\": \"{ws}\", \"seed\": 11, \
+         \"generations\": 6, \"population\": 64}}"
+    );
+    let n = 6;
+    let barrier = std::sync::Arc::new(std::sync::Barrier::new(n));
+    let threads: Vec<_> = (0..n)
+        .map(|_| {
+            let body = body.clone();
+            let barrier = std::sync::Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                post(addr, "/v1/optimize", &body)
+            })
+        })
+        .collect();
+    // Let the herd reach the workers (8 workers ≥ 6 requests, so all are
+    // in flight at once), then pull the plug while they are computing.
+    std::thread::sleep(std::time::Duration::from_millis(50));
+    let summary = handle.shutdown();
+    let mut bodies = Vec::new();
+    for t in threads {
+        let (status, resp) = t.join().expect("waiter thread");
+        assert_eq!(status, 200, "waiter got a torn response: {resp}");
+        bodies.push(resp);
+    }
+    for b in &bodies[1..] {
+        assert_eq!(b, &bodies[0], "single-flight waiters diverged");
+    }
+    let engine = reference_engine();
+    let reference = api::optimize_report(
+        &engine,
+        &pdf1d(),
+        &OptimizeSpec {
+            seed: Some(11),
+            generations: Some(6),
+            population: Some(64),
+            ..OptimizeSpec::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(report_of(&bodies[0]), reference);
+    assert!(summary.ok >= n as u64, "drain lost requests: {summary:?}");
+}
+
 // ---------------------------------------------------------------------------
 // Property tests: random worksheets through the server vs the in-process
 // scalar pipeline, bit for bit. Case counts are modest because every case
 // boots requests against a live server; the deterministic tests above cover
 // the worker-count matrix densely.
 // ---------------------------------------------------------------------------
+
+/// POST `body` twice and assert the cached repeat is byte-identical to the
+/// cold render before returning the cold response. Every route under the
+/// proptest goes through this, so cache parity is pinned across the whole
+/// random-worksheet envelope, not just the handful of deterministic cases.
+fn post_cold_and_cached(addr: std::net::SocketAddr, path: &str, body: &str) -> (u16, String) {
+    let (status, cold) = post(addr, path, body);
+    let (status_cached, cached) = post(addr, path, body);
+    assert_eq!(
+        (status, &cold),
+        (status_cached, &cached),
+        "cached response drifted from the cold render for {path}"
+    );
+    (status, cold)
+}
 
 /// Strategy: a valid worksheet input across wide parameter ranges (the same
 /// envelope the batch-differential suite uses).
@@ -398,7 +468,7 @@ proptest! {
         let handle = start(workers);
         let addr = handle.addr();
 
-        let (status, resp) = post(
+        let (status, resp) = post_cold_and_cached(
             addr,
             "/v1/solve",
             &format!("{{\"worksheet_toml\": \"{ws}\", \"target\": {target}}}"),
@@ -406,7 +476,7 @@ proptest! {
         prop_assert_eq!(status, 200, "{}", resp);
         prop_assert_eq!(report_of(&resp), api::solve_report(&input, target));
 
-        let (status, resp) = post(
+        let (status, resp) = post_cold_and_cached(
             addr,
             "/v1/sweep",
             &format!(
@@ -426,7 +496,7 @@ proptest! {
             .unwrap()
         );
 
-        let (status, resp) = post(
+        let (status, resp) = post_cold_and_cached(
             addr,
             "/v1/sensitivity",
             &format!("{{\"worksheet_toml\": \"{ws}\"}}"),
@@ -437,7 +507,7 @@ proptest! {
             api::sensitivity_report(&engine, &input).unwrap()
         );
 
-        let (status, resp) = post(
+        let (status, resp) = post_cold_and_cached(
             addr,
             "/v1/uncertainty",
             &format!(
@@ -452,7 +522,7 @@ proptest! {
             api::uncertainty_report(&engine, &input, &ranges, 64, mc_seed).unwrap()
         );
 
-        let (status, resp) = post(
+        let (status, resp) = post_cold_and_cached(
             addr,
             "/v1/explore",
             &format!("{{\"worksheet_toml\": \"{ws}\", \"min_speedup\": {target}}}"),

@@ -123,10 +123,12 @@ fn mixed_load_is_torn_free_and_drains_with_cache_flush() {
         })
         .collect();
 
-    // While the load runs, sample /metrics: cache.hits must never go
-    // backwards, and shard contention must be reported (the counter may
-    // legitimately stay 0 on an uncontended run — presence is the contract).
+    // While the load runs, sample /metrics: both the simulator cache's
+    // hits and the response cache's hits must never go backwards, and
+    // shard contention must be reported (the counter may legitimately stay
+    // 0 on an uncontended run — presence is the contract).
     let mut last_hits = 0u64;
+    let mut last_response_hits = 0u64;
     let mut contention_seen = false;
     let total = (CLIENT_THREADS * REQUESTS_PER_CLIENT) as u64;
     while completed.load(Ordering::Relaxed) < total {
@@ -138,6 +140,13 @@ fn mixed_load_is_torn_free_and_drains_with_cache_flush() {
             "cache.hits went backwards: {last_hits} -> {hits}"
         );
         last_hits = hits;
+        let response_hits = metric_value(&body, "pipeline_cache_response_hits")
+            .expect("pipeline_cache_response_hits exported");
+        assert!(
+            response_hits >= last_response_hits,
+            "cache.response.hits went backwards: {last_response_hits} -> {response_hits}"
+        );
+        last_response_hits = response_hits;
         contention_seen |= metric_value(&body, "cache_shard_contention ").is_some();
         std::thread::sleep(Duration::from_millis(20));
     }
@@ -149,10 +158,14 @@ fn mixed_load_is_torn_free_and_drains_with_cache_flush() {
         c.join().expect("client thread panicked");
     }
 
-    // The repeated simulate points must have produced real cache hits.
+    // Every client repeats the same seven bodies, so the response cache
+    // must have served real hits by the end.
     let (_, body) = get(addr, "/metrics");
-    let hits = metric_value(&body, "cache_hits ").unwrap();
-    assert!(hits > 0, "repeated simulate points never hit the cache");
+    let response_hits = metric_value(&body, "pipeline_cache_response_hits").unwrap();
+    assert!(
+        response_hits > 0,
+        "repeated identical requests never hit the response cache"
+    );
 
     // Clean drain: every accepted connection was answered, nothing was
     // dropped mid-flight, and the worker/acceptor threads are all joined by
